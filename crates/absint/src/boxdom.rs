@@ -1,0 +1,301 @@
+//! The box (interval vector) domain — interval bound propagation.
+
+use crate::affine::AffineView;
+use crate::interval::{round_down, round_up, Interval};
+use napmon_nn::{Activation, Layer, MaxPool2d};
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension lower/upper bounds: the paper's `⟨(l_1,u_1),…,(l_d,u_d)⟩`.
+///
+/// All propagation steps round outward (see [`crate::interval`]), so a
+/// propagated box is a sound enclosure of the exact real-arithmetic image.
+///
+/// ```
+/// use napmon_absint::BoxBounds;
+/// let b = BoxBounds::from_center_radius(&[0.0, 1.0], 0.5);
+/// assert!(b.contains(&[0.4, 1.2]));
+/// assert!(!b.contains(&[0.6, 1.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxBounds {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BoxBounds {
+    /// Creates a box from explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, any `lo[i] > hi[i]`, or any bound is NaN.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "box: bound length mismatch");
+        for i in 0..lo.len() {
+            assert!(!lo[i].is_nan() && !hi[i].is_nan(), "box: NaN bound at {i}");
+            assert!(lo[i] <= hi[i], "box: empty dimension {i}: [{}, {}]", lo[i], hi[i]);
+        }
+        Self { lo, hi }
+    }
+
+    /// The degenerate box containing exactly `point`.
+    pub fn from_point(point: &[f64]) -> Self {
+        Self { lo: point.to_vec(), hi: point.to_vec() }
+    }
+
+    /// The L∞ ball `[c - r, c + r]` around `center` (outward-rounded).
+    ///
+    /// This is the paper's `Δ`-perturbation set at a boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius < 0`.
+    pub fn from_center_radius(center: &[f64], radius: f64) -> Self {
+        assert!(radius >= 0.0, "box: negative radius {radius}");
+        let lo = center.iter().map(|&c| round_down(c - radius)).collect();
+        let hi = center.iter().map(|&c| round_up(c + radius)).collect();
+        Self { lo, hi }
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// The `i`-th dimension as an [`Interval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn get(&self, i: usize) -> Interval {
+        Interval::new(self.lo[i], self.hi[i])
+    }
+
+    /// Whether `point` lies inside the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dim(), "contains: dimension mismatch");
+        point.iter().enumerate().all(|(i, &x)| self.lo[i] <= x && x <= self.hi[i])
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn encloses(&self, other: &BoxBounds) -> bool {
+        assert_eq!(other.dim(), self.dim(), "encloses: dimension mismatch");
+        (0..self.dim()).all(|i| self.lo[i] <= other.lo[i] && other.hi[i] <= self.hi[i])
+    }
+
+    /// Per-dimension intersection (meet).
+    ///
+    /// Intended for combining two *sound* enclosures of the same set, where
+    /// the intersection is guaranteed non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ or the intersection is empty in some
+    /// dimension (which would mean one input was not a sound enclosure).
+    pub fn meet(&self, other: &BoxBounds) -> BoxBounds {
+        assert_eq!(other.dim(), self.dim(), "meet: dimension mismatch");
+        let lo: Vec<f64> = self.lo.iter().zip(&other.lo).map(|(a, b)| a.max(*b)).collect();
+        let hi: Vec<f64> = self.hi.iter().zip(&other.hi).map(|(a, b)| a.min(*b)).collect();
+        BoxBounds::new(lo, hi)
+    }
+
+    /// Smallest box containing both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn hull(&self, other: &BoxBounds) -> BoxBounds {
+        assert_eq!(other.dim(), self.dim(), "hull: dimension mismatch");
+        BoxBounds {
+            lo: self.lo.iter().zip(&other.lo).map(|(a, b)| a.min(*b)).collect(),
+            hi: self.hi.iter().zip(&other.hi).map(|(a, b)| a.max(*b)).collect(),
+        }
+    }
+
+    /// Per-dimension widths.
+    pub fn widths(&self) -> Vec<f64> {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| round_up(h - l)).collect()
+    }
+
+    /// Mean width across dimensions (a tightness metric for domain
+    /// comparisons); `0.0` for zero-dimensional boxes.
+    pub fn mean_width(&self) -> f64 {
+        if self.lo.is_empty() {
+            return 0.0;
+        }
+        self.widths().iter().sum::<f64>() / self.lo.len() as f64
+    }
+
+    /// Propagates the box through one affine view with directed rounding.
+    pub(crate) fn step_affine(&self, view: &AffineView) -> BoxBounds {
+        assert_eq!(self.dim(), view.in_dim(), "step_affine: dimension mismatch");
+        let mut lo = Vec::with_capacity(view.out_dim());
+        let mut hi = Vec::with_capacity(view.out_dim());
+        for r in 0..view.out_dim() {
+            let b = view.bias()[r];
+            let mut acc_lo = b;
+            let mut acc_hi = b;
+            for &(i, w) in view.row(r) {
+                let (a, c) = (w * self.lo[i], w * self.hi[i]);
+                let (cl, ch) = if a <= c { (a, c) } else { (c, a) };
+                acc_lo = round_down(acc_lo + round_down(cl));
+                acc_hi = round_up(acc_hi + round_up(ch));
+            }
+            lo.push(acc_lo);
+            hi.push(acc_hi);
+        }
+        BoxBounds { lo, hi }
+    }
+
+    /// Propagates through an elementwise monotone activation (exact up to
+    /// outward rounding).
+    pub(crate) fn step_activation(&self, act: Activation) -> BoxBounds {
+        let lo = self.lo.iter().map(|&l| round_down(act.apply(l))).collect();
+        let hi = self.hi.iter().map(|&h| round_up(act.apply(h))).collect();
+        BoxBounds { lo, hi }
+    }
+
+    /// Propagates through max pooling (exact: `max` is monotone in every
+    /// window element and incurs no rounding).
+    pub(crate) fn step_maxpool(&self, p: &MaxPool2d) -> BoxBounds {
+        assert_eq!(self.dim(), p.in_dim(), "step_maxpool: dimension mismatch");
+        let (oh, ow) = (p.out_h(), p.out_w());
+        let mut lo = Vec::with_capacity(p.out_dim());
+        let mut hi = Vec::with_capacity(p.out_dim());
+        for c in 0..p.channels() {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut wl = f64::NEG_INFINITY;
+                    let mut wh = f64::NEG_INFINITY;
+                    for i in p.window_indices(c, oy, ox) {
+                        wl = wl.max(self.lo[i]);
+                        wh = wh.max(self.hi[i]);
+                    }
+                    lo.push(wl);
+                    hi.push(wh);
+                }
+            }
+        }
+        BoxBounds { lo, hi }
+    }
+
+    /// Propagates through one network layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box dimension does not match the layer input.
+    pub fn step(&self, layer: &Layer) -> BoxBounds {
+        if let Some(view) = AffineView::from_layer(layer) {
+            return self.step_affine(&view);
+        }
+        match layer {
+            Layer::MaxPool2d(p) => self.step_maxpool(p),
+            Layer::Activation(a) => self.step_activation(*a),
+            _ => unreachable!("non-affine layers are pooling or activation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napmon_nn::Dense;
+    use napmon_tensor::{Matrix, Prng};
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = BoxBounds::new(vec![0.0, -1.0], vec![1.0, 1.0]);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.get(1).lo(), -1.0);
+        assert!(b.contains(&[0.5, 0.0]));
+        assert!(!b.contains(&[1.5, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dimension")]
+    fn inverted_bounds_panic() {
+        BoxBounds::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn center_radius_box_encloses_ball() {
+        let b = BoxBounds::from_center_radius(&[0.1, 0.2], 0.05);
+        assert!(b.contains(&[0.15, 0.15]));
+        assert!(b.contains(&[0.05, 0.25]));
+    }
+
+    #[test]
+    fn hull_encloses_both() {
+        let a = BoxBounds::new(vec![0.0], vec![1.0]);
+        let b = BoxBounds::new(vec![2.0], vec![3.0]);
+        let h = a.hull(&b);
+        assert!(h.encloses(&a) && h.encloses(&b));
+        assert!((h.widths()[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_step_encloses_concrete_images() {
+        let d = Dense::new(Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]), vec![0.1, -0.2]).unwrap();
+        let layer = Layer::Dense(d.clone());
+        let b = BoxBounds::from_center_radius(&[0.3, -0.6], 0.1);
+        let out = b.step(&layer);
+        let mut rng = Prng::seed(9);
+        for _ in 0..500 {
+            let x = vec![rng.uniform(0.2, 0.4), rng.uniform(-0.7, -0.5)];
+            assert!(out.contains(&d.forward(&x)));
+        }
+    }
+
+    #[test]
+    fn activation_step_is_pointwise_monotone_image() {
+        let b = BoxBounds::new(vec![-2.0, 0.5], vec![-1.0, 1.5]);
+        let out = b.step(&Layer::Activation(Activation::Relu));
+        // Outward rounding may widen the exact zero by one subnormal ULP.
+        assert!(out.lo()[0] >= -1e-300 && out.lo()[0] <= 0.0);
+        assert!(out.hi()[0] <= 1e-300 && out.hi()[0] >= 0.0);
+        assert!(out.get(1).contains(0.5) && out.get(1).contains(1.5));
+    }
+
+    #[test]
+    fn maxpool_step_takes_window_maxima() {
+        let p = MaxPool2d::new(1, 2, 2, 2, 2).unwrap();
+        let b = BoxBounds::new(vec![0.0, -1.0, 2.0, -3.0], vec![1.0, 5.0, 2.5, 0.0]);
+        let out = b.step(&Layer::MaxPool2d(p));
+        assert_eq!(out.lo(), &[2.0]);
+        assert_eq!(out.hi(), &[5.0]);
+    }
+
+    #[test]
+    fn degenerate_box_stays_near_concrete_value() {
+        let d = Dense::new(Matrix::from_rows(&[&[0.1, 0.2, 0.3]]), vec![0.4]).unwrap();
+        let x = [0.1, 0.1, 0.1];
+        let y = d.forward(&x);
+        let out = BoxBounds::from_point(&x).step(&Layer::Dense(d));
+        assert!(out.contains(&y));
+        // Outward rounding keeps the box tiny: a few ULPs.
+        assert!(out.widths()[0] < 1e-12);
+    }
+
+    #[test]
+    fn mean_width_averages() {
+        let b = BoxBounds::new(vec![0.0, 0.0], vec![1.0, 3.0]);
+        assert!((b.mean_width() - 2.0).abs() < 1e-12);
+    }
+}

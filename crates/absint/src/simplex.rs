@@ -1,0 +1,402 @@
+//! A dense two-phase simplex solver for the star-set domain.
+//!
+//! Solves `maximize c·x subject to A x ≤ b, x ≥ 0` with Bland's rule
+//! (guaranteeing termination). The star-set bound queries translate their
+//! boxed variables into this form; problem sizes are small (tens to a few
+//! hundred variables), so a dense tableau is the right tool.
+
+use std::fmt;
+
+/// Errors from the LP solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// Inconsistent matrix/vector dimensions.
+    BadShape(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::BadShape(msg) => write!(f, "bad linear program shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// An optimal point.
+    pub point: Vec<f64>,
+}
+
+/// Two-phase dense simplex.
+///
+/// ```
+/// use napmon_absint::Simplex;
+/// // max x + y  s.t.  x + 2y <= 4,  3x + y <= 6,  x,y >= 0  -> opt 2.8 at (1.6, 1.2)
+/// let sol = Simplex::new(2)
+///     .less_equal(&[1.0, 2.0], 4.0)
+///     .less_equal(&[3.0, 1.0], 6.0)
+///     .maximize(&[1.0, 1.0])
+///     .unwrap();
+/// assert!((sol.objective - 2.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    num_vars: usize,
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+}
+
+impl Simplex {
+    /// Starts an LP over `num_vars` non-negative variables.
+    pub fn new(num_vars: usize) -> Self {
+        Self { num_vars, rows: Vec::new(), rhs: Vec::new() }
+    }
+
+    /// Adds a constraint `coeffs · x ≤ bound`. Returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn less_equal(mut self, coeffs: &[f64], bound: f64) -> Self {
+        assert_eq!(coeffs.len(), self.num_vars, "constraint arity");
+        self.rows.push(coeffs.to_vec());
+        self.rhs.push(bound);
+        self
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Maximizes `objective · x` over the feasible region.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`] when no point satisfies the constraints,
+    /// [`LpError::Unbounded`] when the objective grows without bound,
+    /// [`LpError::BadShape`] on arity mismatch.
+    pub fn maximize(&self, objective: &[f64]) -> Result<LpSolution, LpError> {
+        if objective.len() != self.num_vars {
+            return Err(LpError::BadShape(format!(
+                "objective arity {} != variables {}",
+                objective.len(),
+                self.num_vars
+            )));
+        }
+        let m = self.rows.len();
+        let n = self.num_vars;
+        // Tableau columns: n structural + m slack + m artificial + rhs.
+        // One artificial per row keeps the code simple; unused ones just
+        // never enter the basis.
+        let cols = n + m + m + 1;
+        let mut t = vec![vec![0.0; cols]; m];
+        let mut basis = vec![0usize; m];
+        for (i, row) in self.rows.iter().enumerate() {
+            let flip = self.rhs[i] < 0.0;
+            let s = if flip { -1.0 } else { 1.0 };
+            for (j, &a) in row.iter().enumerate() {
+                t[i][j] = s * a;
+            }
+            t[i][n + i] = s; // slack
+            t[i][n + m + i] = 1.0; // artificial
+            t[i][cols - 1] = s * self.rhs[i];
+            basis[i] = n + m + i;
+        }
+
+        // Phase 1: minimize the sum of artificials (maximize their negative).
+        let mut obj1 = vec![0.0; cols];
+        for i in 0..m {
+            obj1[n + m + i] = -1.0;
+        }
+        let mut z1 = Self::run_simplex(&mut t, &mut basis, &obj1, n + m + m)?;
+        // z1 maximizes the *negative* artificial sum; feasibility needs it
+        // to reach (numerically) zero.
+        if z1 < -1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any remaining artificial variables out of the basis.
+        for i in 0..m {
+            if basis[i] >= n + m {
+                if let Some(j) = (0..n + m).find(|&j| t[i][j].abs() > 1e-9) {
+                    Self::pivot(&mut t, &mut basis, i, j);
+                } // else: redundant row; harmless.
+            }
+        }
+        z1 = 0.0;
+        let _ = z1;
+
+        // Phase 2: original objective, artificials frozen out.
+        let mut obj2 = vec![0.0; cols];
+        obj2[..n].copy_from_slice(objective);
+        let objective_value = Self::run_simplex(&mut t, &mut basis, &obj2, n + m)?;
+
+        let mut point = vec![0.0; n];
+        for (i, &b) in basis.iter().enumerate() {
+            if b < n {
+                point[b] = t[i][cols - 1];
+            }
+        }
+        Ok(LpSolution { objective: objective_value, point })
+    }
+
+    /// Runs primal simplex with Bland's rule on the tableau; columns with
+    /// index `>= active_cols` are frozen (cannot enter the basis).
+    fn run_simplex(
+        t: &mut [Vec<f64>],
+        basis: &mut [usize],
+        objective: &[f64],
+        active_cols: usize,
+    ) -> Result<f64, LpError> {
+        let m = t.len();
+        let cols = objective.len();
+        // Reduced-cost row: z_j - c_j over current basis.
+        loop {
+            // reduced cost r_j = c_j - cB · B^-1 A_j; tableau is kept in
+            // B^-1 A form, so r_j = c_j - Σ_i cB_i t[i][j].
+            let mut entering = None;
+            for j in 0..active_cols {
+                if basis.contains(&j) {
+                    continue;
+                }
+                let mut r = objective[j];
+                for i in 0..m {
+                    r -= objective[basis[i]] * t[i][j];
+                }
+                if r > 1e-9 {
+                    entering = Some(j);
+                    break; // Bland: smallest index.
+                }
+            }
+            let Some(j) = entering else {
+                // Optimal: objective = cB · rhs.
+                let mut z = 0.0;
+                for i in 0..m {
+                    z += objective[basis[i]] * t[i][cols - 1];
+                }
+                return Ok(z);
+            };
+            // Ratio test (Bland: smallest basis index on ties).
+            let mut leave: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for i in 0..m {
+                if t[i][j] > 1e-9 {
+                    let ratio = t[i][cols - 1] / t[i][j];
+                    if ratio < best - 1e-12 || (ratio < best + 1e-12 && leave.map(|l| basis[i] < basis[l]).unwrap_or(false)) {
+                        best = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(i) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            Self::pivot(t, basis, i, j);
+        }
+    }
+
+    fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+        let cols = t[row].len();
+        let p = t[row][col];
+        for v in t[row].iter_mut() {
+            *v /= p;
+        }
+        for i in 0..t.len() {
+            if i == row {
+                continue;
+            }
+            let f = t[i][col];
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..cols {
+                t[i][j] -= f * t[row][j];
+            }
+        }
+        basis[row] = col;
+    }
+}
+
+/// Maximizes `objective · x` for `x` in the polytope
+/// `{ lo ≤ x ≤ hi, A x ≤ b }` with finite variable bounds.
+///
+/// This is the exact query shape the star-set domain produces. Variables
+/// are shifted to `z = x - lo ≥ 0` and upper bounds become rows.
+///
+/// # Errors
+///
+/// Same conditions as [`Simplex::maximize`].
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any bound is non-finite / inverted.
+pub fn maximize_boxed(
+    objective: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    constraints: &[(Vec<f64>, f64)],
+) -> Result<LpSolution, LpError> {
+    let n = objective.len();
+    assert_eq!(lo.len(), n, "maximize_boxed: lo arity");
+    assert_eq!(hi.len(), n, "maximize_boxed: hi arity");
+    for i in 0..n {
+        assert!(lo[i].is_finite() && hi[i].is_finite() && lo[i] <= hi[i], "bad variable bound {i}");
+    }
+    let mut lp = Simplex::new(n);
+    // Upper bounds: z_i <= hi_i - lo_i.
+    for i in 0..n {
+        let mut row = vec![0.0; n];
+        row[i] = 1.0;
+        lp = lp.less_equal(&row, hi[i] - lo[i]);
+    }
+    // General constraints: a·x <= b  =>  a·z <= b - a·lo.
+    for (a, b) in constraints {
+        assert_eq!(a.len(), n, "maximize_boxed: constraint arity");
+        let shift: f64 = a.iter().zip(lo).map(|(ai, li)| ai * li).sum();
+        lp = lp.less_equal(a, b - shift);
+    }
+    let sol = lp.maximize(objective)?;
+    let offset: f64 = objective.iter().zip(lo).map(|(c, l)| c * l).sum();
+    let point: Vec<f64> = sol.point.iter().zip(lo).map(|(z, l)| z + l).collect();
+    Ok(LpSolution { objective: sol.objective + offset, point })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napmon_tensor::Prng;
+
+    #[test]
+    fn textbook_lp() {
+        let sol = Simplex::new(2)
+            .less_equal(&[1.0, 2.0], 4.0)
+            .less_equal(&[3.0, 1.0], 6.0)
+            .maximize(&[1.0, 1.0])
+            .unwrap();
+        assert!((sol.objective - 2.8).abs() < 1e-9);
+        assert!((sol.point[0] - 1.6).abs() < 1e-9);
+        assert!((sol.point[1] - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_direction_is_unbounded() {
+        let err = Simplex::new(2).less_equal(&[1.0, 0.0], 1.0).maximize(&[0.0, 1.0]).unwrap_err();
+        assert_eq!(err, LpError::Unbounded);
+    }
+
+    #[test]
+    fn contradictory_constraints_are_infeasible() {
+        // x <= -1 with x >= 0.
+        let err = Simplex::new(1).less_equal(&[1.0], -1.0).maximize(&[1.0]).unwrap_err();
+        assert_eq!(err, LpError::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_requires_phase_one() {
+        // x0 >= 2 (as -x0 <= -2), x0 <= 5: max -x0 is -2, max x0 is 5.
+        let lp = Simplex::new(1).less_equal(&[-1.0], -2.0).less_equal(&[1.0], 5.0);
+        let hi = lp.maximize(&[1.0]).unwrap();
+        assert!((hi.objective - 5.0).abs() < 1e-9);
+        let lo = lp.maximize(&[-1.0]).unwrap();
+        assert!((lo.objective + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_equality_like_constraints() {
+        // x0 + x1 <= 1 and -(x0 + x1) <= -1 pin the sum to exactly 1.
+        let lp = Simplex::new(2)
+            .less_equal(&[1.0, 1.0], 1.0)
+            .less_equal(&[-1.0, -1.0], -1.0);
+        let sol = lp.maximize(&[1.0, 0.0]).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-9);
+        let sol = lp.maximize(&[-1.0, 0.0]).unwrap();
+        assert!((sol.objective - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_shape_is_checked() {
+        let err = Simplex::new(2).maximize(&[1.0]).unwrap_err();
+        assert!(matches!(err, LpError::BadShape(_)));
+    }
+
+    #[test]
+    fn boxed_helper_handles_negative_bounds() {
+        // x in [-1, 1]^2, x0 + x1 <= 0: max x0 = 1 (x1 = -1).
+        let sol = maximize_boxed(&[1.0, 0.0], &[-1.0, -1.0], &[1.0, 1.0], &[(vec![1.0, 1.0], 0.0)]).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-9);
+        assert!(sol.point[0] > 0.99 && sol.point[1] < -0.99 + 1e-6);
+    }
+
+    /// Brute-force reference: maximize over a fine grid of the box, keeping
+    /// feasible points. Coarse, so assert with a tolerance.
+    fn grid_max(objective: &[f64], lo: &[f64], hi: &[f64], constraints: &[(Vec<f64>, f64)]) -> f64 {
+        let steps = 40;
+        let n = objective.len();
+        assert!(n <= 3, "grid reference only for tiny LPs");
+        let mut best = f64::NEG_INFINITY;
+        let mut idx = vec![0usize; n];
+        'outer: loop {
+            let x: Vec<f64> = (0..n).map(|i| lo[i] + (hi[i] - lo[i]) * idx[i] as f64 / steps as f64).collect();
+            let feasible = constraints
+                .iter()
+                .all(|(a, b)| a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + 1e-9);
+            if feasible {
+                let v = objective.iter().zip(&x).map(|(c, xi)| c * xi).sum::<f64>();
+                best = best.max(v);
+            }
+            for i in 0..n {
+                idx[i] += 1;
+                if idx[i] <= steps {
+                    continue 'outer;
+                }
+                idx[i] = 0;
+            }
+            break;
+        }
+        best
+    }
+
+    #[test]
+    fn random_boxed_lps_match_grid_reference() {
+        let mut rng = Prng::seed(23);
+        for trial in 0..50 {
+            let n = 2 + (trial % 2);
+            let lo: Vec<f64> = (0..n).map(|_| rng.uniform(-2.0, 0.0)).collect();
+            let hi: Vec<f64> = lo.iter().map(|l| l + rng.uniform(0.5, 2.0)).collect();
+            let mut constraints = Vec::new();
+            for _ in 0..(trial % 3) {
+                let a: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                // Keep the center feasible so the LP is never infeasible.
+                let center_val: f64 = a.iter().zip(lo.iter().zip(&hi)).map(|(ai, (l, h))| ai * 0.5 * (l + h)).sum();
+                constraints.push((a, center_val + rng.uniform(0.1, 1.0)));
+            }
+            let c: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let sol = maximize_boxed(&c, &lo, &hi, &constraints).unwrap();
+            let reference = grid_max(&c, &lo, &hi, &constraints);
+            assert!(
+                sol.objective >= reference - 1e-6,
+                "trial {trial}: simplex {} below grid {}",
+                sol.objective,
+                reference
+            );
+            assert!(
+                sol.objective <= reference + 0.35,
+                "trial {trial}: simplex {} way above grid {} (grid res limits this check)",
+                sol.objective,
+                reference
+            );
+        }
+    }
+}

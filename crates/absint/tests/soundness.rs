@@ -1,0 +1,117 @@
+//! Cross-domain soundness: randomized containment over mixed-layer
+//! networks (dense / conv / max-pool / avg-pool / batch-norm / all
+//! activations), for every abstract domain.
+
+use napmon_absint::{propagate_bounds, BoxBounds, Domain};
+use napmon_nn::network::NetworkBuilder;
+use napmon_nn::{Activation, BatchNorm1d, Layer, Network};
+use napmon_tensor::Prng;
+use proptest::prelude::*;
+
+/// A conv → maxpool → dense network.
+fn conv_net(seed: u64) -> Network {
+    NetworkBuilder::image(seed, 1, 6, 6)
+        .conv(3, 3, 1, 1, Activation::Relu)
+        .unwrap()
+        .maxpool(2, 2)
+        .unwrap()
+        .dense(8, Activation::Relu)
+        .dense(2, Activation::Identity)
+        .build()
+        .unwrap()
+}
+
+/// A conv → avgpool → batchnorm → dense network.
+fn avg_bn_net(seed: u64) -> Network {
+    let base = NetworkBuilder::image(seed, 1, 6, 6)
+        .conv(2, 3, 1, 0, Activation::Relu)
+        .unwrap()
+        .avgpool(2, 2)
+        .unwrap()
+        .build()
+        .unwrap();
+    // Splice a frozen batch norm and an output head on top.
+    let mut rng = Prng::seed(seed ^ 0xB7);
+    let width = base.output_dim();
+    let gamma: Vec<f64> = (0..width).map(|_| rng.uniform(0.5, 1.5)).collect();
+    let beta: Vec<f64> = (0..width).map(|_| rng.uniform(-0.2, 0.2)).collect();
+    let mean: Vec<f64> = (0..width).map(|_| rng.uniform(-0.1, 0.1)).collect();
+    let var: Vec<f64> = (0..width).map(|_| rng.uniform(0.5, 2.0)).collect();
+    let bn = BatchNorm1d::from_moments(&gamma, &beta, &mean, &var, 1e-5).unwrap();
+    let mut layers = base.layers().to_vec();
+    layers.push(Layer::BatchNorm(bn));
+    layers.push(Layer::Activation(Activation::Tanh));
+    Network::from_layers(base.input_dim(), layers).unwrap()
+}
+
+#[test]
+fn conv_pipeline_containment_all_domains() {
+    let net = conv_net(3);
+    let mut rng = Prng::seed(31);
+    let center: Vec<f64> = rng.uniform_vec(net.input_dim(), 0.0, 1.0);
+    let delta = 0.04;
+    let input = BoxBounds::from_center_radius(&center, delta);
+    for domain in Domain::ALL {
+        let out = propagate_bounds(&net, 0, net.num_layers(), &input, domain);
+        for _ in 0..150 {
+            let x: Vec<f64> = center.iter().map(|&c| c + rng.uniform(-delta, delta)).collect();
+            assert!(out.contains(&net.forward(&x)), "{domain}: conv pipeline escape");
+        }
+    }
+}
+
+#[test]
+fn avgpool_batchnorm_containment_all_domains() {
+    let net = avg_bn_net(5);
+    let mut rng = Prng::seed(32);
+    let center: Vec<f64> = rng.uniform_vec(net.input_dim(), 0.0, 1.0);
+    let delta = 0.06;
+    let input = BoxBounds::from_center_radius(&center, delta);
+    for domain in Domain::ALL {
+        let out = propagate_bounds(&net, 0, net.num_layers(), &input, domain);
+        for _ in 0..150 {
+            let x: Vec<f64> = center.iter().map(|&c| c + rng.uniform(-delta, delta)).collect();
+            assert!(out.contains(&net.forward(&x)), "{domain}: avg/bn pipeline escape");
+        }
+    }
+}
+
+#[test]
+fn avgpool_is_exact_across_domains() {
+    // Pure affine chain: every domain's bounds collapse to the exact image
+    // width (input width scaled by the averaging weights).
+    let net = NetworkBuilder::image(9, 1, 4, 4).avgpool(2, 2).unwrap().build().unwrap();
+    let input = BoxBounds::from_center_radius(&vec![0.5; 16], 0.1);
+    for domain in Domain::ALL {
+        let out = propagate_bounds(&net, 0, net.num_layers(), &input, domain);
+        for j in 0..out.dim() {
+            // Mean of 4 independent ±0.1 inputs spans ±0.1.
+            assert!((out.hi()[j] - 0.6).abs() < 1e-6, "{domain}: hi {}", out.hi()[j]);
+            assert!((out.lo()[j] - 0.4).abs() < 1e-6, "{domain}: lo {}", out.lo()[j]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline soundness property over randomized geometry: every
+    /// domain encloses the concrete image of every sampled perturbation.
+    #[test]
+    fn randomized_mixed_networks_contain_samples(
+        seed in 0u64..2000,
+        delta in 0.0..0.08f64,
+        sample_seed in 0u64..10_000,
+    ) {
+        let net = conv_net(seed);
+        let mut rng = Prng::seed(sample_seed);
+        let center: Vec<f64> = rng.uniform_vec(net.input_dim(), 0.0, 1.0);
+        let input = BoxBounds::from_center_radius(&center, delta);
+        let x: Vec<f64> = center.iter().map(|&c| c + rng.uniform(-delta.max(1e-12), delta.max(1e-12))).collect();
+        let y = net.forward(&x);
+        for domain in [Domain::Box, Domain::Zonotope, Domain::Poly] {
+            let out = propagate_bounds(&net, 0, net.num_layers(), &input, domain);
+            prop_assert!(out.contains(&y), "{} escape", domain);
+        }
+    }
+}

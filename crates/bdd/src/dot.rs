@@ -1,0 +1,84 @@
+//! Graphviz DOT export for debugging and documentation figures.
+
+use crate::manager::{Bdd, NodeId};
+use std::collections::HashSet;
+use std::fmt::Write;
+
+/// Renders the BDD rooted at `root` as a Graphviz `digraph`.
+///
+/// Solid edges are then-branches, dashed edges are else-branches; the
+/// terminals render as boxes. Useful for inspecting small pattern monitors.
+///
+/// ```
+/// use napmon_bdd::{Bdd, to_dot};
+/// let mut bdd = Bdd::new(2);
+/// let x0 = bdd.var(0);
+/// let dot = to_dot(&bdd, x0);
+/// assert!(dot.contains("digraph bdd"));
+/// assert!(dot.contains("x0"));
+/// ```
+pub fn to_dot(bdd: &Bdd, root: NodeId) -> String {
+    let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+    let _ = writeln!(out, "  f [shape=box,label=\"0\"];");
+    let _ = writeln!(out, "  t [shape=box,label=\"1\"];");
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if bdd.is_terminal(n) || !seen.insert(n) {
+            continue;
+        }
+        let (var, lo, hi) = bdd.node_parts(n);
+        let _ = writeln!(out, "  n{:?} [label=\"x{}\"];", id_key(n), var);
+        let _ = writeln!(out, "  n{:?} -> {} [style=dashed];", id_key(n), target(bdd, lo));
+        let _ = writeln!(out, "  n{:?} -> {};", id_key(n), target(bdd, hi));
+        stack.push(lo);
+        stack.push(hi);
+    }
+    if bdd.is_terminal(root) {
+        let _ = writeln!(out, "  root -> {};", target(bdd, root));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn id_key(n: NodeId) -> u64 {
+    // NodeId is opaque; derive a stable key from its debug formatting.
+    let s = format!("{n:?}");
+    s.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64))
+}
+
+fn target(bdd: &Bdd, n: NodeId) -> String {
+    if n == Bdd::FALSE {
+        "f".to_string()
+    } else if n == Bdd::TRUE {
+        "t".to_string()
+    } else {
+        let _ = bdd;
+        format!("n{:?}", id_key(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_terminal_mentions_box() {
+        let bdd = Bdd::new(1);
+        let dot = to_dot(&bdd, Bdd::TRUE);
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("root -> t"));
+    }
+
+    #[test]
+    fn dot_of_small_function_lists_all_levels() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(2);
+        let f = bdd.and(a, b);
+        let dot = to_dot(&bdd, f);
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x2"));
+        assert!(dot.contains("style=dashed"));
+    }
+}

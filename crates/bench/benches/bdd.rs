@@ -1,0 +1,113 @@
+//! Pattern-storage benchmarks (experiment A5).
+//!
+//! The paper's footnote 2 claims `word2set` (don't-care expansion) causes
+//! no blow-up *when patterns live in a BDD*. These benches compare the BDD
+//! against the explicit hash-set on exactly that workload: inserting cubes
+//! with growing numbers of don't-cares, and membership queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use napmon_bdd::Bdd;
+use napmon_tensor::Prng;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn random_cube(rng: &mut Prng, vars: usize, dont_cares: usize) -> Vec<Option<bool>> {
+    let free = rng.sample_indices(vars, dont_cares);
+    (0..vars)
+        .map(|i| if free.contains(&i) { None } else { Some(rng.chance(0.5)) })
+        .collect()
+}
+
+fn expand(cube: &[Option<bool>]) -> Vec<Vec<bool>> {
+    let free: Vec<usize> = cube.iter().enumerate().filter(|(_, l)| l.is_none()).map(|(i, _)| i).collect();
+    (0u64..(1u64 << free.len()))
+        .map(|mask| {
+            let mut w: Vec<bool> = cube.iter().map(|l| l.unwrap_or(false)).collect();
+            for (bit, &pos) in free.iter().enumerate() {
+                w[pos] = (mask >> bit) & 1 == 1;
+            }
+            w
+        })
+        .collect()
+}
+
+fn insertion(c: &mut Criterion) {
+    let vars = 32;
+    let mut group = c.benchmark_group("word2set-insertion");
+    group.sample_size(20);
+    for &dc in &[0usize, 4, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("bdd", dc), &dc, |b, &dc| {
+            b.iter(|| {
+                let mut rng = Prng::seed(97);
+                let mut bdd = Bdd::new(vars);
+                let mut root = Bdd::FALSE;
+                for _ in 0..16 {
+                    let cube = random_cube(&mut rng, vars, dc);
+                    root = bdd.insert_cube(root, &cube);
+                }
+                black_box(bdd.satcount(root))
+            })
+        });
+        // The hash-set must materialize 2^dc words per insertion — the
+        // blow-up the paper avoids. Capped at 12 don't-cares to keep the
+        // bench finite; the asymmetry IS the result.
+        if dc <= 12 {
+            group.bench_with_input(BenchmarkId::new("hashset", dc), &dc, |b, &dc| {
+                b.iter(|| {
+                    let mut rng = Prng::seed(97);
+                    let mut set: HashSet<Vec<bool>> = HashSet::new();
+                    for _ in 0..16 {
+                        let cube = random_cube(&mut rng, vars, dc);
+                        set.extend(expand(&cube));
+                    }
+                    black_box(set.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn membership(c: &mut Criterion) {
+    let vars = 64;
+    let mut rng = Prng::seed(101);
+    let mut bdd = Bdd::new(vars);
+    let mut root = Bdd::FALSE;
+    let mut set: HashSet<Vec<bool>> = HashSet::new();
+    for _ in 0..256 {
+        let cube = random_cube(&mut rng, vars, 6);
+        root = bdd.insert_cube(root, &cube);
+        set.extend(expand(&cube));
+    }
+    let probes: Vec<Vec<bool>> = (0..64).map(|_| (0..vars).map(|_| rng.chance(0.5)).collect()).collect();
+
+    let mut group = c.benchmark_group("membership");
+    group.bench_function("bdd", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let p = &probes[i % probes.len()];
+            i += 1;
+            black_box(bdd.eval(root, black_box(p)))
+        })
+    });
+    group.bench_function("hashset", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let p = &probes[i % probes.len()];
+            i += 1;
+            black_box(set.contains(black_box(p)))
+        })
+    });
+    group.bench_function("bdd-hamming2", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let p = &probes[i % probes.len()];
+            i += 1;
+            black_box(bdd.contains_within_hamming(root, black_box(p), 2))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, insertion, membership);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Abstract-domain benchmarks (experiment A4, runtime half).
+//!
+//! Definition 1 permits boxed abstraction, zonotopes, or star sets; the
+//! paper implements boxes. These benches measure what the alternatives
+//! cost per perturbation estimate, as a function of perturbation budget
+//! and network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use napmon_absint::{propagate::Propagator, BoxBounds, Domain};
+use napmon_bench::{random_inputs, random_network};
+use std::hint::black_box;
+
+fn domains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domains");
+    group.sample_size(20);
+
+    let net = random_network(29, 32, &[24, 16]);
+    let inputs = random_inputs(31, &net, 8);
+    let to = net.num_layers();
+
+    for domain in Domain::ALL {
+        let prop = Propagator::new(&net, domain);
+        for &delta in &[0.01f64, 0.1] {
+            group.bench_with_input(
+                BenchmarkId::new(domain.name(), format!("delta={delta}")),
+                &delta,
+                |b, &delta| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let x = &inputs[i % inputs.len()];
+                        i += 1;
+                        let input = BoxBounds::from_center_radius(black_box(x), delta);
+                        black_box(prop.bounds(0, to, &input))
+                    })
+                },
+            );
+        }
+    }
+
+    // Depth scaling for the default (box) domain.
+    for &depth in &[1usize, 2, 4] {
+        let hidden: Vec<usize> = std::iter::repeat(24).take(depth).collect();
+        let deep = random_network(37, 32, &hidden);
+        let prop = Propagator::new(&deep, Domain::Box);
+        let x = random_inputs(41, &deep, 1).pop().unwrap();
+        group.bench_with_input(BenchmarkId::new("box-depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                let input = BoxBounds::from_center_radius(black_box(&x), 0.05);
+                black_box(prop.bounds(0, deep.num_layers(), &input))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, domains);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Shared fixtures for the `napmon` benchmarks.
+//!
+//! The criterion benches and the `paper_tables` binary both need trained
+//! perception networks and sampled datasets; this module provides seeded,
+//! size-parameterized fixtures so every benchmark is reproducible.
+
+use napmon_data::racetrack::TrackConfig;
+use napmon_eval::{Experiment, RacetrackConfig};
+use napmon_nn::{Activation, LayerSpec, Network};
+use napmon_tensor::Prng;
+
+/// A small trained race-track experiment for latency benchmarks
+/// (seconds to prepare; the full-scale variant lives in `paper_tables`).
+pub fn bench_experiment() -> Experiment {
+    Experiment::prepare(RacetrackConfig {
+        train_size: 512,
+        test_size: 256,
+        ood_size: 64,
+        hidden: vec![32, 16],
+        epochs: 5,
+        track: TrackConfig { height: 12, width: 12, ..TrackConfig::default() },
+        ..RacetrackConfig::default()
+    })
+}
+
+/// An untrained (random) network of the given hidden widths over `input`
+/// dimensions — enough for propagation/throughput benches where training
+/// does not change the cost profile.
+pub fn random_network(seed: u64, input: usize, hidden: &[usize]) -> Network {
+    let mut specs: Vec<LayerSpec> = hidden.iter().map(|&w| LayerSpec::dense(w, Activation::Relu)).collect();
+    specs.push(LayerSpec::dense(2, Activation::Identity));
+    Network::seeded(seed, input, &specs)
+}
+
+/// `n` random inputs for the given network.
+pub fn random_inputs(seed: u64, net: &Network, n: usize) -> Vec<Vec<f64>> {
+    let mut rng = Prng::seed(seed);
+    (0..n).map(|_| rng.uniform_vec(net.input_dim(), 0.0, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = random_network(3, 8, &[6]);
+        let b = random_network(3, 8, &[6]);
+        assert_eq!(a, b);
+        assert_eq!(random_inputs(1, &a, 4), random_inputs(1, &b, 4));
+    }
+
+    #[test]
+    fn bench_experiment_prepares() {
+        let e = bench_experiment();
+        assert_eq!(e.network().input_dim(), 144);
+    }
+}

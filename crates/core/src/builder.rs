@@ -1,0 +1,616 @@
+//! Monitor construction: the generic algorithms of §III-A/B.
+//!
+//! The paper's construction loop is
+//!
+//! ```text
+//! M ← M0
+//! for v_tr ∈ Dtr:  M ← M ⊎ ab(G^k(v_tr))                 (standard)
+//! for v_tr ∈ Dtr:  M ← M ⊎_R ab_R(pe^G_k(v_tr, kp, Δ))   (robust)
+//! ```
+//!
+//! [`MonitorBuilder`] runs that loop for any monitor family
+//! ([`MonitorKind`]), optionally computing the per-sample work (forward
+//! passes / perturbation estimates — the expensive part) on all cores.
+
+use crate::error::MonitorError;
+use crate::feature::FeatureExtractor;
+use crate::interval_pattern::{IntervalPatternMonitor, ThresholdPolicy};
+use crate::minmax::MinMaxMonitor;
+use crate::monitor::{Monitor, Verdict};
+use crate::pattern::{PatternBackend, PatternMonitor};
+use crate::per_class::PerClassMonitor;
+use crate::perturb::perturbation_estimate_with;
+use napmon_absint::{propagate::Propagator, BoxBounds, Domain};
+use napmon_nn::Network;
+
+/// Robust-construction parameters: perturbation budget `Δ`, injection
+/// boundary `kp`, and the abstract domain computing Definition 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustConfig {
+    /// Per-dimension perturbation bound `Δ ≥ 0`.
+    pub delta: f64,
+    /// Boundary where perturbation is injected (`0` = input layer).
+    pub kp: usize,
+    /// Abstract domain for the perturbation estimate.
+    pub domain: Domain,
+}
+
+/// Which monitor family to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorKind {
+    /// Per-neuron min/max bounds, optionally bloated by `gamma` (the
+    /// baseline enlargement of Henzinger et al.).
+    MinMax {
+        /// Post-construction symmetric enlargement factor (`0` = none).
+        gamma: f64,
+    },
+    /// Boolean on-off patterns.
+    Pattern {
+        /// Threshold selection (must resolve to one threshold per neuron).
+        policy: ThresholdPolicy,
+        /// Pattern-set storage.
+        backend: PatternBackend,
+        /// Query-time Hamming tolerance.
+        hamming: usize,
+    },
+    /// Multi-bit interval patterns (§III-C).
+    IntervalPattern {
+        /// Bits per neuron.
+        bits: usize,
+        /// Threshold selection (must resolve to `2^bits − 1` per neuron).
+        policy: ThresholdPolicy,
+    },
+}
+
+impl MonitorKind {
+    /// Plain min-max monitor.
+    pub fn min_max() -> Self {
+        MonitorKind::MinMax { gamma: 0.0 }
+    }
+
+    /// Min-max monitor bloated by `gamma` after construction.
+    pub fn min_max_enlarged(gamma: f64) -> Self {
+        MonitorKind::MinMax { gamma }
+    }
+
+    /// On-off pattern monitor with sign thresholds in a BDD.
+    pub fn pattern() -> Self {
+        MonitorKind::Pattern { policy: ThresholdPolicy::Sign, backend: PatternBackend::Bdd, hamming: 0 }
+    }
+
+    /// On-off pattern monitor with explicit configuration.
+    pub fn pattern_with(policy: ThresholdPolicy, backend: PatternBackend, hamming: usize) -> Self {
+        MonitorKind::Pattern { policy, backend, hamming }
+    }
+
+    /// Interval pattern monitor with quantile thresholds.
+    pub fn interval(bits: usize) -> Self {
+        MonitorKind::IntervalPattern { bits, policy: ThresholdPolicy::Quantiles }
+    }
+
+    /// Interval pattern monitor with explicit configuration.
+    pub fn interval_with(bits: usize, policy: ThresholdPolicy) -> Self {
+        MonitorKind::IntervalPattern { bits, policy }
+    }
+}
+
+/// A monitor of any family, as produced by [`MonitorBuilder::build`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum AnyMonitor {
+    /// Min-max monitor.
+    MinMax(MinMaxMonitor),
+    /// On-off pattern monitor.
+    Pattern(PatternMonitor),
+    /// Multi-bit interval pattern monitor.
+    Interval(IntervalPatternMonitor),
+}
+
+impl AnyMonitor {
+    /// The min-max monitor, if that is what was built.
+    pub fn as_min_max(&self) -> Option<&MinMaxMonitor> {
+        match self {
+            AnyMonitor::MinMax(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The pattern monitor, if that is what was built.
+    pub fn as_pattern(&self) -> Option<&PatternMonitor> {
+        match self {
+            AnyMonitor::Pattern(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The interval monitor, if that is what was built.
+    pub fn as_interval(&self) -> Option<&IntervalPatternMonitor> {
+        match self {
+            AnyMonitor::Interval(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Fraction of the abstract pattern space the monitor admits, when the
+    /// family has a meaningful notion of coverage (pattern families only).
+    pub fn coverage(&self) -> Option<f64> {
+        match self {
+            AnyMonitor::MinMax(_) => None,
+            AnyMonitor::Pattern(m) => Some(m.coverage()),
+            AnyMonitor::Interval(m) => Some(m.coverage()),
+        }
+    }
+}
+
+impl Monitor for AnyMonitor {
+    fn extractor(&self) -> &FeatureExtractor {
+        match self {
+            AnyMonitor::MinMax(m) => m.extractor(),
+            AnyMonitor::Pattern(m) => m.extractor(),
+            AnyMonitor::Interval(m) => m.extractor(),
+        }
+    }
+
+    fn verdict_features(&self, features: &[f64]) -> Verdict {
+        match self {
+            AnyMonitor::MinMax(m) => m.verdict_features(features),
+            AnyMonitor::Pattern(m) => m.verdict_features(features),
+            AnyMonitor::Interval(m) => m.verdict_features(features),
+        }
+    }
+}
+
+/// Builds monitors over one network boundary.
+///
+/// See the crate-level example. The builder borrows the network only for
+/// construction; built monitors are self-contained values.
+#[derive(Debug, Clone)]
+pub struct MonitorBuilder<'a> {
+    net: &'a Network,
+    layer: usize,
+    neurons: Option<Vec<usize>>,
+    robust: Option<RobustConfig>,
+    parallel: bool,
+}
+
+impl<'a> MonitorBuilder<'a> {
+    /// Starts a builder monitoring boundary `layer` of `net`.
+    pub fn new(net: &'a Network, layer: usize) -> Self {
+        Self { net, layer, neurons: None, robust: None, parallel: false }
+    }
+
+    /// Monitors only the given neuron indices.
+    pub fn neurons(mut self, neurons: Vec<usize>) -> Self {
+        self.neurons = Some(neurons);
+        self
+    }
+
+    /// Switches to the robust construction of §III-B.
+    pub fn robust(mut self, delta: f64, kp: usize, domain: Domain) -> Self {
+        self.robust = Some(RobustConfig { delta, kp, domain });
+        self
+    }
+
+    /// Same as [`MonitorBuilder::robust`] with a pre-assembled config.
+    pub fn robust_config(mut self, config: RobustConfig) -> Self {
+        self.robust = Some(config);
+        self
+    }
+
+    /// Computes per-sample forward passes / perturbation estimates on all
+    /// available cores.
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    fn extractor(&self) -> Result<FeatureExtractor, MonitorError> {
+        let fx = FeatureExtractor::new(self.net, self.layer)?;
+        match &self.neurons {
+            None => Ok(fx),
+            Some(n) => fx.with_neurons(n.clone()),
+        }
+    }
+
+    fn validate(&self, data: &[Vec<f64>]) -> Result<(), MonitorError> {
+        if data.is_empty() {
+            return Err(MonitorError::EmptyTrainingSet);
+        }
+        for (i, v) in data.iter().enumerate() {
+            if v.len() != self.net.input_dim() {
+                return Err(MonitorError::DimensionMismatch {
+                    context: format!("training sample {i}"),
+                    expected: self.net.input_dim(),
+                    actual: v.len(),
+                });
+            }
+        }
+        if let Some(r) = &self.robust {
+            if r.kp >= self.layer {
+                return Err(MonitorError::InvalidConfig(format!(
+                    "robust config needs kp < monitored layer: kp={}, layer={}",
+                    r.kp, self.layer
+                )));
+            }
+            if r.delta < 0.0 || !r.delta.is_finite() {
+                return Err(MonitorError::InvalidConfig(format!("delta must be finite and non-negative, got {}", r.delta)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-sample features and (when robust) perturbation estimates, both
+    /// projected to the monitored neurons.
+    fn compute_samples(
+        &self,
+        fx: &FeatureExtractor,
+        data: &[Vec<f64>],
+    ) -> (Vec<Vec<f64>>, Option<Vec<BoxBounds>>) {
+        let robust = self.robust;
+        let net = self.net;
+        let layer = self.layer;
+        let results: Vec<(Vec<f64>, Option<BoxBounds>)> = if !self.parallel || data.len() < 64 {
+            // Serial path reuses one propagator across samples.
+            let prop = robust.map(|r| Propagator::new(net, r.domain));
+            data.iter()
+                .map(|sample| {
+                    let features = fx.project(&net.forward_prefix(sample, layer));
+                    let bounds = robust.map(|r| {
+                        let pe = perturbation_estimate_with(
+                            prop.as_ref().expect("propagator exists when robust"),
+                            sample,
+                            r.kp,
+                            layer,
+                            r.delta,
+                        )
+                        .expect("validated robust config");
+                        fx.project_bounds(&pe)
+                    });
+                    (features, bounds)
+                })
+                .collect()
+        } else {
+            let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+            let chunk_size = data.len().div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        s.spawn(move |_| {
+                            // One cached propagator per worker.
+                            let prop = robust.map(|r| Propagator::new(net, r.domain));
+                            chunk
+                                .iter()
+                                .map(|sample| {
+                                    let features = fx.project(&net.forward_prefix(sample, layer));
+                                    let bounds = robust.map(|r| {
+                                        let pe = perturbation_estimate_with(
+                                            prop.as_ref().expect("propagator exists when robust"),
+                                            sample,
+                                            r.kp,
+                                            layer,
+                                            r.delta,
+                                        )
+                                        .expect("validated robust config");
+                                        fx.project_bounds(&pe)
+                                    });
+                                    (features, bounds)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("crossbeam scope")
+        };
+        let (features, bounds): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let bounds: Option<Vec<BoxBounds>> = if self.robust.is_some() {
+            Some(bounds.into_iter().map(|b| b.expect("robust bounds computed")).collect())
+        } else {
+            None
+        };
+        (features, bounds)
+    }
+
+    /// Runs the construction loop and returns the monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::EmptyTrainingSet`] for empty data,
+    /// [`MonitorError::DimensionMismatch`] for malformed samples, and
+    /// [`MonitorError::InvalidConfig`] for invalid layer / robust / policy
+    /// configurations.
+    pub fn build(&self, kind: MonitorKind, data: &[Vec<f64>]) -> Result<AnyMonitor, MonitorError> {
+        let fx = self.extractor()?;
+        self.validate(data)?;
+        let (features, bounds) = self.compute_samples(&fx, data);
+        match kind {
+            MonitorKind::MinMax { gamma } => {
+                if gamma < 0.0 {
+                    return Err(MonitorError::InvalidConfig(format!("gamma must be non-negative, got {gamma}")));
+                }
+                let mut m = MinMaxMonitor::empty(fx);
+                match &bounds {
+                    Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
+                    None => features.iter().for_each(|f| m.absorb_point(f)),
+                }
+                if gamma > 0.0 {
+                    m.enlarge(gamma);
+                }
+                Ok(AnyMonitor::MinMax(m))
+            }
+            MonitorKind::Pattern { policy, backend, hamming } => {
+                let lists = policy.resolve(fx.dim(), 1, &features)?;
+                let thresholds: Vec<f64> = lists.into_iter().map(|l| l[0]).collect();
+                let mut m = PatternMonitor::empty(fx, thresholds, backend)?;
+                m.set_hamming_tolerance(hamming);
+                match &bounds {
+                    Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
+                    None => features.iter().for_each(|f| m.absorb_point(f)),
+                }
+                Ok(AnyMonitor::Pattern(m))
+            }
+            MonitorKind::IntervalPattern { bits, policy } => {
+                let lists = policy.resolve(fx.dim(), bits, &features)?;
+                let mut m = IntervalPatternMonitor::empty(fx, bits, lists)?;
+                match &bounds {
+                    Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
+                    None => features.iter().for_each(|f| m.absorb_point(f)),
+                }
+                Ok(AnyMonitor::Interval(m))
+            }
+        }
+    }
+
+    /// Builds one monitor per class, as in the DATE 2019 setup where each
+    /// output class keeps its own pattern set. `labels[i]` is the class of
+    /// `data[i]`; queries dispatch on the network's predicted class.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MonitorBuilder::build`], plus
+    /// [`MonitorError::InvalidConfig`] when labels are out of range, a class
+    /// has no samples, or lengths disagree.
+    pub fn build_per_class(
+        &self,
+        kind: MonitorKind,
+        data: &[Vec<f64>],
+        labels: &[usize],
+        num_classes: usize,
+    ) -> Result<PerClassMonitor, MonitorError> {
+        if labels.len() != data.len() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "per-class labels".into(),
+                expected: data.len(),
+                actual: labels.len(),
+            });
+        }
+        if num_classes == 0 {
+            return Err(MonitorError::InvalidConfig("num_classes must be positive".into()));
+        }
+        let mut partitions: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_classes];
+        for (v, &c) in data.iter().zip(labels) {
+            if c >= num_classes {
+                return Err(MonitorError::InvalidConfig(format!("label {c} out of range 0..{num_classes}")));
+            }
+            partitions[c].push(v.clone());
+        }
+        let mut monitors = Vec::with_capacity(num_classes);
+        for (c, part) in partitions.iter().enumerate() {
+            if part.is_empty() {
+                return Err(MonitorError::InvalidConfig(format!("class {c} has no training samples")));
+            }
+            monitors.push(self.build(kind.clone(), part)?);
+        }
+        Ok(PerClassMonitor::new(monitors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napmon_nn::{Activation, LayerSpec};
+    use napmon_tensor::Prng;
+
+    fn net() -> Network {
+        Network::seeded(23, 3, &[
+            LayerSpec::dense(8, Activation::Relu),
+            LayerSpec::dense(4, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ])
+    }
+
+    fn train_data(n: usize) -> Vec<Vec<f64>> {
+        let mut rng = Prng::seed(99);
+        (0..n).map(|_| rng.uniform_vec(3, -0.5, 0.5)).collect()
+    }
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        let net = net();
+        let b = MonitorBuilder::new(&net, 2);
+        assert!(matches!(b.build(MonitorKind::min_max(), &[]), Err(MonitorError::EmptyTrainingSet)));
+        assert!(b.build(MonitorKind::min_max(), &[vec![0.0]]).is_err());
+        let bad_robust = MonitorBuilder::new(&net, 2).robust(0.1, 2, Domain::Box);
+        assert!(bad_robust.build(MonitorKind::min_max(), &train_data(4)).is_err());
+        let neg_delta = MonitorBuilder::new(&net, 2).robust(-0.1, 0, Domain::Box);
+        assert!(neg_delta.build(MonitorKind::min_max(), &train_data(4)).is_err());
+        let neg_gamma = MonitorBuilder::new(&net, 2);
+        assert!(neg_gamma.build(MonitorKind::min_max_enlarged(-1.0), &train_data(4)).is_err());
+    }
+
+    #[test]
+    fn standard_monitors_accept_training_data() {
+        let net = net();
+        let data = train_data(64);
+        for kind in [
+            MonitorKind::min_max(),
+            MonitorKind::pattern(),
+            MonitorKind::interval(2),
+        ] {
+            let m = MonitorBuilder::new(&net, 4).build(kind.clone(), &data).unwrap();
+            for x in &data {
+                assert!(!m.warns(&net, x).unwrap(), "{kind:?} warned on its own training data");
+            }
+        }
+    }
+
+    #[test]
+    fn robust_monitors_accept_training_data_and_perturbations() {
+        let net = net();
+        let data = train_data(32);
+        let delta = 0.03;
+        let mut rng = Prng::seed(7);
+        for kind in [
+            MonitorKind::min_max(),
+            MonitorKind::pattern(),
+            MonitorKind::interval(2),
+        ] {
+            let m = MonitorBuilder::new(&net, 4)
+                .robust(delta, 0, Domain::Box)
+                .build(kind.clone(), &data)
+                .unwrap();
+            // Lemma 1: Δ-close inputs never warn.
+            for x in data.iter().take(16) {
+                for _ in 0..8 {
+                    let pert: Vec<f64> = x.iter().map(|&v| v + rng.uniform(-delta, delta)).collect();
+                    assert!(!m.warns(&net, &pert).unwrap(), "{kind:?} violated Lemma 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn robust_pattern_admits_no_fewer_patterns_than_standard() {
+        let net = net();
+        let data = train_data(48);
+        let std_m = MonitorBuilder::new(&net, 4).build(MonitorKind::pattern(), &data).unwrap();
+        let rob_m = MonitorBuilder::new(&net, 4)
+            .robust(0.05, 0, Domain::Box)
+            .build(MonitorKind::pattern(), &data)
+            .unwrap();
+        let (s, r) = (std_m.as_pattern().unwrap(), rob_m.as_pattern().unwrap());
+        assert!(r.pattern_count() >= s.pattern_count());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let net = net();
+        let data = train_data(200);
+        let serial = MonitorBuilder::new(&net, 4)
+            .robust(0.02, 0, Domain::Box)
+            .build(MonitorKind::min_max(), &data)
+            .unwrap();
+        let parallel = MonitorBuilder::new(&net, 4)
+            .robust(0.02, 0, Domain::Box)
+            .parallel(true)
+            .build(MonitorKind::min_max(), &data)
+            .unwrap();
+        let (s, p) = (serial.as_min_max().unwrap(), parallel.as_min_max().unwrap());
+        assert_eq!(s.lo(), p.lo());
+        assert_eq!(s.hi(), p.hi());
+    }
+
+    #[test]
+    fn neuron_subset_restricts_dimension() {
+        let net = net();
+        let m = MonitorBuilder::new(&net, 4)
+            .neurons(vec![0, 2])
+            .build(MonitorKind::min_max(), &train_data(16))
+            .unwrap();
+        assert_eq!(m.extractor().dim(), 2);
+    }
+
+    #[test]
+    fn enlarged_min_max_accepts_more() {
+        let net = net();
+        let data = train_data(32);
+        let plain = MonitorBuilder::new(&net, 4).build(MonitorKind::min_max(), &data).unwrap();
+        let bloated = MonitorBuilder::new(&net, 4).build(MonitorKind::min_max_enlarged(0.5), &data).unwrap();
+        let (p, b) = (plain.as_min_max().unwrap(), bloated.as_min_max().unwrap());
+        assert!(b.mean_width() > p.mean_width());
+    }
+
+    #[test]
+    fn per_class_build_and_dispatch() {
+        let net = net(); // 2 output classes
+        let data = train_data(40);
+        let labels: Vec<usize> = data.iter().map(|x| net.predict_class(x)).collect();
+        // Guard: both classes must be populated for this seed.
+        assert!(labels.iter().any(|&c| c == 0) && labels.iter().any(|&c| c == 1));
+        let pc = MonitorBuilder::new(&net, 4)
+            .build_per_class(MonitorKind::pattern(), &data, &labels, 2)
+            .unwrap();
+        for x in &data {
+            assert!(!pc.warns(&net, x).unwrap());
+        }
+    }
+
+    #[test]
+    fn per_class_validates_labels() {
+        let net = net();
+        let data = train_data(8);
+        let b = MonitorBuilder::new(&net, 4);
+        assert!(b.build_per_class(MonitorKind::pattern(), &data, &[0; 7], 2).is_err());
+        assert!(b.build_per_class(MonitorKind::pattern(), &data, &[5; 8], 2).is_err());
+        assert!(b.build_per_class(MonitorKind::pattern(), &data, &[0; 8], 2).is_err()); // class 1 empty
+    }
+}
+
+impl std::fmt::Display for AnyMonitor {
+    /// A one-line "monitor card" for experiment logs: family, monitored
+    /// boundary and width, samples absorbed, and coverage when meaningful.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fx = self.extractor();
+        match self {
+            AnyMonitor::MinMax(m) => write!(
+                f,
+                "min-max monitor @ boundary {} ({} neurons, {} samples, mean width {:.4})",
+                fx.layer(),
+                fx.dim(),
+                m.samples(),
+                m.mean_width()
+            ),
+            AnyMonitor::Pattern(m) => write!(
+                f,
+                "pattern monitor @ boundary {} ({} neurons, {} samples, {} patterns, coverage {:.2e})",
+                fx.layer(),
+                fx.dim(),
+                m.samples(),
+                m.pattern_count(),
+                m.coverage()
+            ),
+            AnyMonitor::Interval(m) => write!(
+                f,
+                "{}-bit interval monitor @ boundary {} ({} neurons, {} samples, coverage {:.2e})",
+                m.bits(),
+                fx.layer(),
+                fx.dim(),
+                m.samples(),
+                m.coverage()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use napmon_nn::{Activation, LayerSpec};
+    use napmon_tensor::Prng;
+
+    #[test]
+    fn monitor_cards_name_family_and_boundary() {
+        let net = Network::seeded(7, 3, &[LayerSpec::dense(6, Activation::Relu)]);
+        let mut rng = Prng::seed(8);
+        let data: Vec<Vec<f64>> = (0..16).map(|_| rng.uniform_vec(3, -1.0, 1.0)).collect();
+        let b = MonitorBuilder::new(&net, 2);
+        let mm = b.build(MonitorKind::min_max(), &data).unwrap();
+        assert!(mm.to_string().starts_with("min-max monitor @ boundary 2"));
+        let pm = b.build(MonitorKind::pattern(), &data).unwrap();
+        assert!(pm.to_string().contains("pattern monitor @ boundary 2"));
+        assert!(pm.to_string().contains("coverage"));
+        let im = b.build(MonitorKind::interval(2), &data).unwrap();
+        assert!(im.to_string().starts_with("2-bit interval monitor"));
+    }
+}

@@ -1,0 +1,464 @@
+//! Multi-bit interval activation-pattern monitors (§III-C of the paper).
+//!
+//! Instead of one on/off bit per neuron, each neuron gets `B` bits encoding
+//! which of `2^B` value intervals (split by `2^B − 1` ascending thresholds)
+//! the neuron landed in. The robust variant maps the perturbation estimate
+//! `[l_j, u_j]` to the *set* of interval symbols it touches — always a
+//! contiguous symbol range, because the symbol index is monotone in the
+//! neuron value. For `B = 2` this regenerates exactly the ten cases of the
+//! paper's Figure 1.
+//!
+//! ## Boundary convention
+//!
+//! We use the uniform half-open rule `symbol(v) = #{ i : v > c_i }`, which
+//! coincides with the paper's 2-bit table everywhere except the measure-zero
+//! boundary `v = c_2` (the paper's table mixes strict and non-strict
+//! comparisons between rows; the uniform rule is the one that also agrees
+//! with the paper's *on-off* monitor `b_j = 1 ⇔ v_j > c_j` at `B = 1`).
+
+use crate::error::MonitorError;
+use crate::feature::FeatureExtractor;
+use crate::monitor::{Monitor, Verdict, Violation};
+use napmon_absint::BoxBounds;
+use napmon_bdd::{Bdd, NodeId};
+use napmon_tensor::stats;
+use serde::{Deserialize, Serialize};
+
+/// How per-neuron thresholds are chosen from the training features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdPolicy {
+    /// All thresholds at `0.0` (the DATE 2019 "sign of the neuron value");
+    /// only meaningful for 1-bit monitors.
+    Sign,
+    /// A single threshold at the mean visited value (1-bit only).
+    Mean,
+    /// `2^B − 1` evenly spaced interior quantiles of the visited values —
+    /// the natural generalization for multi-bit monitors.
+    Quantiles,
+    /// Explicit per-neuron threshold lists (each ascending, length
+    /// `2^B − 1`).
+    Explicit(Vec<Vec<f64>>),
+}
+
+impl ThresholdPolicy {
+    /// Resolves the policy into per-neuron ascending threshold lists.
+    ///
+    /// `features` holds the training feature vectors (used by the
+    /// data-dependent policies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidConfig`] when the policy does not
+    /// support the requested bit width or the explicit thresholds are
+    /// malformed.
+    pub fn resolve(
+        &self,
+        dim: usize,
+        bits: usize,
+        features: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, MonitorError> {
+        let per_neuron = (1usize << bits) - 1;
+        match self {
+            ThresholdPolicy::Sign => {
+                if bits != 1 {
+                    return Err(MonitorError::InvalidConfig("Sign policy requires bits = 1".into()));
+                }
+                Ok(vec![vec![0.0]; dim])
+            }
+            ThresholdPolicy::Mean => {
+                if bits != 1 {
+                    return Err(MonitorError::InvalidConfig("Mean policy requires bits = 1".into()));
+                }
+                if features.is_empty() {
+                    return Err(MonitorError::EmptyTrainingSet);
+                }
+                let mut out = Vec::with_capacity(dim);
+                for j in 0..dim {
+                    let column: Vec<f64> = features.iter().map(|f| f[j]).collect();
+                    out.push(vec![stats::mean(&column)]);
+                }
+                Ok(out)
+            }
+            ThresholdPolicy::Quantiles => {
+                if features.is_empty() {
+                    return Err(MonitorError::EmptyTrainingSet);
+                }
+                let mut out = Vec::with_capacity(dim);
+                for j in 0..dim {
+                    let column: Vec<f64> = features.iter().map(|f| f[j]).collect();
+                    let mut qs = stats::interior_quantiles(&column, per_neuron);
+                    // Degenerate columns (constant activations) produce tied
+                    // quantiles; nudge them apart so the list is ascending.
+                    for i in 1..qs.len() {
+                        if qs[i] <= qs[i - 1] {
+                            qs[i] = qs[i - 1] + f64::EPSILON.max(qs[i - 1].abs() * 1e-12);
+                        }
+                    }
+                    out.push(qs);
+                }
+                Ok(out)
+            }
+            ThresholdPolicy::Explicit(lists) => {
+                if lists.len() != dim {
+                    return Err(MonitorError::DimensionMismatch {
+                        context: "explicit thresholds".into(),
+                        expected: dim,
+                        actual: lists.len(),
+                    });
+                }
+                for (j, list) in lists.iter().enumerate() {
+                    if list.len() != per_neuron {
+                        return Err(MonitorError::InvalidConfig(format!(
+                            "neuron {j}: expected {per_neuron} thresholds, got {}",
+                            list.len()
+                        )));
+                    }
+                    if list.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(MonitorError::InvalidConfig(format!("neuron {j}: thresholds not ascending")));
+                    }
+                }
+                Ok(lists.clone())
+            }
+        }
+    }
+}
+
+/// A multi-bit interval activation-pattern monitor, stored in a BDD with
+/// `B` variables per neuron (most-significant bit first).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalPatternMonitor {
+    extractor: FeatureExtractor,
+    bits: usize,
+    /// Per neuron: `2^B − 1` ascending thresholds.
+    thresholds: Vec<Vec<f64>>,
+    bdd: Bdd,
+    root: NodeId,
+    samples: usize,
+}
+
+impl IntervalPatternMonitor {
+    /// Creates an empty monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidConfig`] for `bits` outside `1..=8`
+    /// or malformed thresholds (wrong count, not ascending).
+    pub fn empty(
+        extractor: FeatureExtractor,
+        bits: usize,
+        thresholds: Vec<Vec<f64>>,
+    ) -> Result<Self, MonitorError> {
+        if bits == 0 || bits > 8 {
+            return Err(MonitorError::InvalidConfig(format!("bits per neuron must be in 1..=8, got {bits}")));
+        }
+        if thresholds.len() != extractor.dim() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "interval thresholds".into(),
+                expected: extractor.dim(),
+                actual: thresholds.len(),
+            });
+        }
+        let per_neuron = (1usize << bits) - 1;
+        for (j, list) in thresholds.iter().enumerate() {
+            if list.len() != per_neuron {
+                return Err(MonitorError::InvalidConfig(format!(
+                    "neuron {j}: expected {per_neuron} thresholds, got {}",
+                    list.len()
+                )));
+            }
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(MonitorError::InvalidConfig(format!("neuron {j}: thresholds not ascending")));
+            }
+        }
+        let bdd = Bdd::new(extractor.dim() * bits);
+        Ok(Self { extractor, bits, thresholds, bdd, root: Bdd::FALSE, samples: 0 })
+    }
+
+    /// Bits per neuron `B`.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The interval symbol of value `v` for neuron `j`:
+    /// `#{ i : v > c_{j,i} }`, in `0..2^B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn symbol(&self, j: usize, v: f64) -> u16 {
+        self.thresholds[j].iter().filter(|&&c| v > c).count() as u16
+    }
+
+    /// The contiguous symbol set touched by `[l, u]` for neuron `j` —
+    /// the robust encoding `ab_R` of the paper (Figure 1 for `B = 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or `l > u`.
+    pub fn symbol_range(&self, j: usize, l: f64, u: f64) -> std::ops::RangeInclusive<u16> {
+        assert!(l <= u, "symbol_range: empty interval [{l}, {u}]");
+        self.symbol(j, l)..=self.symbol(j, u)
+    }
+
+    /// The abstraction `ab`: one symbol per neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn abstract_symbols(&self, features: &[f64]) -> Vec<u16> {
+        assert_eq!(features.len(), self.thresholds.len(), "abstract_symbols: dimension mismatch");
+        features.iter().enumerate().map(|(j, &v)| self.symbol(j, v)).collect()
+    }
+
+    fn symbols_to_word(&self, symbols: &[u16]) -> Vec<bool> {
+        let mut word = Vec::with_capacity(symbols.len() * self.bits);
+        for &s in symbols {
+            for b in (0..self.bits).rev() {
+                word.push((s >> b) & 1 == 1);
+            }
+        }
+        word
+    }
+
+    /// Folds one feature vector (standard construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn absorb_point(&mut self, features: &[f64]) {
+        let word = self.symbols_to_word(&self.abstract_symbols(features));
+        self.root = self.bdd.insert_word(self.root, &word);
+        self.samples += 1;
+    }
+
+    /// Folds one perturbation estimate (robust construction): per neuron
+    /// the contiguous symbol set, inserted as a product via `word2set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.dim()` differs from the monitor dimension.
+    pub fn absorb_bounds(&mut self, bounds: &BoxBounds) {
+        assert_eq!(bounds.dim(), self.thresholds.len(), "absorb_bounds: dimension mismatch");
+        let blocks: Vec<Vec<u16>> = (0..self.thresholds.len())
+            .map(|j| self.symbol_range(j, bounds.lo()[j], bounds.hi()[j]).collect())
+            .collect();
+        let cube = self.bdd.product_of_blocks(&blocks, self.bits);
+        self.root = self.bdd.or(self.root, cube);
+        self.samples += 1;
+    }
+
+    /// Whether the symbol word of `features` is in the recorded set.
+    pub fn contains(&self, features: &[f64]) -> bool {
+        let word = self.symbols_to_word(&self.abstract_symbols(features));
+        self.bdd.eval(self.root, &word)
+    }
+
+    /// Whether some recorded bit word is within Hamming distance `tau` of
+    /// `word` (over the `bits × neurons` encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len() != dim * bits`.
+    pub fn contains_word_within(&self, word: &[bool], tau: usize) -> bool {
+        self.bdd.contains_within_hamming(self.root, word, tau)
+    }
+
+    /// Number of absorbed samples.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of distinct symbol words admitted.
+    pub fn pattern_count(&self) -> f64 {
+        self.bdd.satcount(self.root)
+    }
+
+    /// Fraction of the `2^{B·d}` pattern space admitted (monitor
+    /// "efficiency" in the sense of the paper's conclusion).
+    pub fn coverage(&self) -> f64 {
+        self.bdd.coverage(self.root)
+    }
+
+    /// BDD nodes reachable from the root (memory proxy).
+    pub fn store_size(&self) -> usize {
+        self.bdd.reachable_nodes(self.root)
+    }
+
+    /// Per-neuron thresholds.
+    pub fn thresholds(&self) -> &[Vec<f64>] {
+        &self.thresholds
+    }
+}
+
+impl Monitor for IntervalPatternMonitor {
+    fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    fn verdict_features(&self, features: &[f64]) -> Verdict {
+        if self.contains(features) {
+            Verdict::ok()
+        } else {
+            let word = self.symbols_to_word(&self.abstract_symbols(features));
+            Verdict::warn(vec![Violation::UnknownPattern { word }])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napmon_nn::{Activation, LayerSpec, Network};
+
+    fn extractor(width: usize) -> FeatureExtractor {
+        let net = Network::seeded(3, 2, &[LayerSpec::dense(width, Activation::Relu)]);
+        FeatureExtractor::new(&net, 2).unwrap()
+    }
+
+    fn two_bit_monitor() -> IntervalPatternMonitor {
+        // One neuron with thresholds c1=0, c2=1, c3=2.
+        IntervalPatternMonitor::empty(extractor(1), 2, vec![vec![0.0, 1.0, 2.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(IntervalPatternMonitor::empty(extractor(1), 0, vec![vec![]]).is_err());
+        assert!(IntervalPatternMonitor::empty(extractor(1), 2, vec![vec![0.0, 1.0]]).is_err());
+        assert!(IntervalPatternMonitor::empty(extractor(1), 2, vec![vec![2.0, 1.0, 0.0]]).is_err());
+        assert!(IntervalPatternMonitor::empty(extractor(2), 2, vec![vec![0.0, 1.0, 2.0]]).is_err());
+        assert!(two_bit_monitor().thresholds().len() == 1);
+    }
+
+    #[test]
+    fn symbols_follow_paper_table() {
+        let m = two_bit_monitor();
+        // Paper's 2-bit encoding: 11 iff v > c3; 00 iff v <= c1.
+        assert_eq!(m.symbol(0, 3.0), 3); // > c3 -> 11
+        assert_eq!(m.symbol(0, 1.5), 2); // c2 < v <= c3 -> 10
+        assert_eq!(m.symbol(0, 2.0), 2); // v == c3 stays 10 (paper: c3 >= v >= c2)
+        assert_eq!(m.symbol(0, 0.5), 1); // c1 < v < c2 -> 01
+        assert_eq!(m.symbol(0, 0.0), 0); // v == c1 -> 00 (paper: otherwise)
+        assert_eq!(m.symbol(0, -1.0), 0);
+    }
+
+    #[test]
+    fn figure_1_robust_encoding_all_ten_cases() {
+        let m = two_bit_monitor();
+        let cases: Vec<((f64, f64), Vec<u16>)> = vec![
+            ((2.5, 3.0), vec![3]),            // l > c3:              {11}
+            ((1.2, 1.8), vec![2]),            // c2 <= l <= u <= c3:  {10}
+            ((0.3, 0.7), vec![1]),            // c1 < l <= u < c2:    {01}
+            ((-1.0, -0.5), vec![0]),          // u <= c1:             {00}
+            ((-0.5, 0.5), vec![0, 1]),        // straddles c1:        {00,01}
+            ((0.5, 1.5), vec![1, 2]),         // straddles c2:        {01,10}
+            ((1.5, 2.5), vec![2, 3]),         // straddles c3:        {10,11}
+            ((-0.5, 1.5), vec![0, 1, 2]),     // c1 and c2:           {00,01,10}
+            ((0.5, 2.5), vec![1, 2, 3]),      // c2 and c3:           {01,10,11}
+            ((-0.5, 2.5), vec![0, 1, 2, 3]),  // everything
+        ];
+        for ((l, u), expected) in cases {
+            let got: Vec<u16> = m.symbol_range(0, l, u).collect();
+            assert_eq!(got, expected, "interval [{l}, {u}]");
+        }
+    }
+
+    #[test]
+    fn absorbed_points_are_members() {
+        let mut m = two_bit_monitor();
+        m.absorb_point(&[1.5]); // symbol 10
+        assert!(m.contains(&[1.2]));
+        assert!(!m.contains(&[0.5]));
+        assert!(!m.contains(&[2.5]));
+        assert_eq!(m.pattern_count(), 1.0);
+    }
+
+    #[test]
+    fn robust_absorption_admits_the_whole_range() {
+        let mut m = two_bit_monitor();
+        m.absorb_bounds(&BoxBounds::new(vec![0.5], vec![1.5])); // {01, 10}
+        assert!(m.contains(&[0.7]));
+        assert!(m.contains(&[1.3]));
+        assert!(!m.contains(&[-1.0]));
+        assert!(!m.contains(&[5.0]));
+        assert_eq!(m.pattern_count(), 2.0);
+    }
+
+    #[test]
+    fn multi_neuron_product_set() {
+        let mut m =
+            IntervalPatternMonitor::empty(extractor(2), 2, vec![vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]]).unwrap();
+        m.absorb_bounds(&BoxBounds::new(vec![0.5, -1.0], vec![1.5, 0.5]));
+        // Neuron 0: {01,10}; neuron 1: {00,01} -> 4 words.
+        assert_eq!(m.pattern_count(), 4.0);
+        assert!(m.contains(&[0.7, -0.2]));
+        assert!(m.contains(&[1.2, 0.3]));
+        assert!(!m.contains(&[1.2, 1.2]));
+    }
+
+    #[test]
+    fn one_bit_monitor_degenerates_to_on_off() {
+        let mut m = IntervalPatternMonitor::empty(extractor(2), 1, vec![vec![0.0], vec![0.0]]).unwrap();
+        m.absorb_point(&[1.0, -1.0]); // word 1 0
+        assert!(m.contains(&[0.5, -0.5]));
+        assert!(!m.contains(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn three_bit_monitor_resolves_finer() {
+        let thresholds: Vec<f64> = (1..8).map(|i| i as f64).collect(); // 1..7
+        let mut m = IntervalPatternMonitor::empty(extractor(1), 3, vec![thresholds]).unwrap();
+        m.absorb_point(&[3.5]); // symbol = #{c < 3.5} = 3
+        assert!(m.contains(&[3.2]));
+        assert!(!m.contains(&[4.2]));
+        assert_eq!(m.abstract_symbols(&[3.5]), vec![3]);
+    }
+
+    #[test]
+    fn quantile_policy_resolves_ascending_thresholds() {
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 42.0]).collect();
+        let lists = ThresholdPolicy::Quantiles.resolve(2, 2, &features).unwrap();
+        assert_eq!(lists.len(), 2);
+        assert_eq!(lists[0].len(), 3);
+        assert!(lists[0].windows(2).all(|w| w[0] < w[1]));
+        // Constant column: nudged apart but still ascending.
+        assert!(lists[1].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sign_and_mean_policies_only_one_bit() {
+        let features = vec![vec![1.0], vec![3.0]];
+        assert!(ThresholdPolicy::Sign.resolve(1, 2, &features).is_err());
+        assert!(ThresholdPolicy::Mean.resolve(1, 2, &features).is_err());
+        assert_eq!(ThresholdPolicy::Sign.resolve(1, 1, &features).unwrap(), vec![vec![0.0]]);
+        assert_eq!(ThresholdPolicy::Mean.resolve(1, 1, &features).unwrap(), vec![vec![2.0]]);
+    }
+
+    #[test]
+    fn explicit_policy_is_validated() {
+        let ok = ThresholdPolicy::Explicit(vec![vec![0.0, 1.0, 2.0]]);
+        assert!(ok.resolve(1, 2, &[]).is_ok());
+        let wrong_len = ThresholdPolicy::Explicit(vec![vec![0.0]]);
+        assert!(wrong_len.resolve(1, 2, &[]).is_err());
+        let not_ascending = ThresholdPolicy::Explicit(vec![vec![1.0, 0.5, 2.0]]);
+        assert!(not_ascending.resolve(1, 2, &[]).is_err());
+    }
+
+    #[test]
+    fn footnote_3_minmax_generalization() {
+        // c3 = max visited, c2 = min visited, c1 = -inf stand-in: interval
+        // monitors generalize min-max monitors (paper footnote 3).
+        let (lo, hi) = (-0.5, 2.5);
+        let mut m = IntervalPatternMonitor::empty(
+            extractor(1),
+            2,
+            vec![vec![-1e300, lo, hi]],
+        )
+        .unwrap();
+        // Everything strictly inside (min, max] maps to symbol 10.
+        m.absorb_bounds(&BoxBounds::new(vec![lo + 1e-9], vec![hi]));
+        assert_eq!(m.pattern_count(), 1.0);
+        assert!(m.contains(&[0.0])); // inside (min, max]
+        assert!(!m.contains(&[3.0])); // above max -> 11
+        assert!(!m.contains(&[-0.7])); // below min -> 01
+    }
+}

@@ -1,0 +1,119 @@
+//! The common monitor interface and query verdicts.
+
+use crate::error::MonitorError;
+use crate::feature::FeatureExtractor;
+use napmon_nn::Network;
+
+/// Why a monitor warned about one neuron (or the pattern as a whole).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A neuron value fell below the recorded minimum.
+    BelowMin {
+        /// Monitored-neuron index (position within the feature vector).
+        neuron: usize,
+        /// Observed value.
+        value: f64,
+        /// Recorded lower bound.
+        bound: f64,
+    },
+    /// A neuron value rose above the recorded maximum.
+    AboveMax {
+        /// Monitored-neuron index.
+        neuron: usize,
+        /// Observed value.
+        value: f64,
+        /// Recorded upper bound.
+        bound: f64,
+    },
+    /// The abstracted word was not in the recorded pattern set.
+    UnknownPattern {
+        /// The bit word the observation abstracted to (neuron-major,
+        /// most-significant bit first for multi-bit monitors).
+        word: Vec<bool>,
+    },
+}
+
+/// Outcome of one monitor query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Whether the monitor raises a warning (the paper's `M(v_op) = true`).
+    pub warning: bool,
+    /// Supporting evidence; empty when no warning is raised.
+    pub violations: Vec<Violation>,
+}
+
+impl Verdict {
+    /// The all-clear verdict.
+    pub fn ok() -> Self {
+        Self { warning: false, violations: Vec::new() }
+    }
+
+    /// A warning carrying its evidence.
+    pub fn warn(violations: Vec<Violation>) -> Self {
+        Self { warning: true, violations }
+    }
+}
+
+/// A runtime monitor over one network boundary.
+///
+/// Implementations are queried with the *feature vector* (the projected
+/// neuron values of the monitored boundary); the provided methods run the
+/// network first. Queries never mutate the monitor — in operation the
+/// abstraction is frozen, exactly as in the paper.
+pub trait Monitor {
+    /// The feature extractor describing what this monitor watches.
+    fn extractor(&self) -> &FeatureExtractor;
+
+    /// Full verdict for an already-extracted feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor's feature
+    /// dimension.
+    fn verdict_features(&self, features: &[f64]) -> Verdict;
+
+    /// Qualitative decision for an already-extracted feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor's feature
+    /// dimension.
+    fn warns_features(&self, features: &[f64]) -> bool {
+        self.verdict_features(features).warning
+    }
+
+    /// Runs `net` on `input` and returns the full verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if `input` does not
+    /// match the network.
+    fn verdict(&self, net: &Network, input: &[f64]) -> Result<Verdict, MonitorError> {
+        let features = self.extractor().features(net, input)?;
+        Ok(self.verdict_features(&features))
+    }
+
+    /// Runs `net` on `input` and returns the qualitative decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if `input` does not
+    /// match the network.
+    fn warns(&self, net: &Network, input: &[f64]) -> Result<bool, MonitorError> {
+        Ok(self.verdict(net, input)?.warning)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_constructors() {
+        assert!(!Verdict::ok().warning);
+        assert!(Verdict::ok().violations.is_empty());
+        let v = Verdict::warn(vec![Violation::BelowMin { neuron: 3, value: -1.0, bound: 0.0 }]);
+        assert!(v.warning);
+        assert_eq!(v.violations.len(), 1);
+    }
+}

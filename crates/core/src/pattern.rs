@@ -1,0 +1,369 @@
+//! On-off (Boolean) activation-pattern monitors.
+
+use crate::error::MonitorError;
+use crate::feature::FeatureExtractor;
+use crate::monitor::{Monitor, Verdict, Violation};
+use napmon_absint::BoxBounds;
+use napmon_bdd::{Bdd, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Storage backend for the pattern set.
+///
+/// The paper stores pattern sets in BDDs so that the robust construction's
+/// `word2set` (don't-care expansion) stays linear; the hash-set backend
+/// materializes every word and exists for the storage ablation (experiment
+/// A5) and as a differential-testing oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternBackend {
+    /// Binary decision diagram (default; matches the paper).
+    Bdd,
+    /// Explicit `HashSet<Vec<bool>>` of words.
+    HashSet,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Store {
+    Bdd { bdd: Bdd, root: NodeId },
+    Hash(HashSet<Vec<bool>>),
+}
+
+/// A Boolean on-off pattern monitor (Cheng et al., DATE 2019; §III-A/B of
+/// the paper).
+///
+/// Each monitored neuron `j` is abstracted to one bit via a threshold
+/// `c_j` (`b_j = 1` iff `v_j > c_j`); the set of words visited over the
+/// training set is the abstraction. The robust construction abstracts the
+/// perturbation estimate instead: a neuron whose `[l_j, u_j]` straddles
+/// `c_j` becomes a don't-care and the whole cube is inserted (`word2set`).
+///
+/// A query warns when its word is not in the set — or, with
+/// [`PatternMonitor::set_hamming_tolerance`], not within the configured
+/// Hamming distance of any stored word (the query-time enlargement studied
+/// in the DATE 2019 paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatternMonitor {
+    extractor: FeatureExtractor,
+    thresholds: Vec<f64>,
+    store: Store,
+    hamming_tolerance: usize,
+    samples: usize,
+}
+
+impl PatternMonitor {
+    /// Creates an empty monitor with per-neuron thresholds `c_j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if
+    /// `thresholds.len() != extractor.dim()`.
+    pub fn empty(
+        extractor: FeatureExtractor,
+        thresholds: Vec<f64>,
+        backend: PatternBackend,
+    ) -> Result<Self, MonitorError> {
+        if thresholds.len() != extractor.dim() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "pattern thresholds".into(),
+                expected: extractor.dim(),
+                actual: thresholds.len(),
+            });
+        }
+        let store = match backend {
+            PatternBackend::Bdd => Store::Bdd { bdd: Bdd::new(extractor.dim()), root: Bdd::FALSE },
+            PatternBackend::HashSet => Store::Hash(HashSet::new()),
+        };
+        Ok(Self { extractor, thresholds, store, hamming_tolerance: 0, samples: 0 })
+    }
+
+    /// The Boolean abstraction `ab`: `b_j = 1` iff `v_j > c_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn abstract_word(&self, features: &[f64]) -> Vec<bool> {
+        assert_eq!(features.len(), self.thresholds.len(), "abstract_word: dimension mismatch");
+        features.iter().zip(&self.thresholds).map(|(v, c)| v > c).collect()
+    }
+
+    /// The robust abstraction `ab_R`: `Some(true)` if `l_j > c_j`,
+    /// `Some(false)` if `u_j ≤ c_j`, otherwise `None` (don't-care, the
+    /// paper's `-`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.dim()` differs from the monitor dimension.
+    pub fn abstract_cube(&self, bounds: &BoxBounds) -> Vec<Option<bool>> {
+        assert_eq!(bounds.dim(), self.thresholds.len(), "abstract_cube: dimension mismatch");
+        (0..self.thresholds.len())
+            .map(|j| {
+                let c = self.thresholds[j];
+                if bounds.lo()[j] > c {
+                    Some(true)
+                } else if bounds.hi()[j] <= c {
+                    Some(false)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Folds one feature vector (standard construction, `⊎`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn absorb_point(&mut self, features: &[f64]) {
+        let word = self.abstract_word(features);
+        match &mut self.store {
+            Store::Bdd { bdd, root } => *root = bdd.insert_word(*root, &word),
+            Store::Hash(set) => {
+                set.insert(word);
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Folds one perturbation estimate (robust construction, `⊎_R` with
+    /// `word2set`).
+    ///
+    /// With the BDD backend the insertion is linear in the word length no
+    /// matter how many don't-cares appear; the hash-set backend must
+    /// enumerate all `2^{#don't-cares}` words — the blow-up the paper's
+    /// footnote 2 warns about, reproduced here deliberately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.dim()` differs from the monitor dimension.
+    pub fn absorb_bounds(&mut self, bounds: &BoxBounds) {
+        let cube = self.abstract_cube(bounds);
+        match &mut self.store {
+            Store::Bdd { bdd, root } => *root = bdd.insert_cube(*root, &cube),
+            Store::Hash(set) => {
+                let free: Vec<usize> =
+                    cube.iter().enumerate().filter(|(_, l)| l.is_none()).map(|(i, _)| i).collect();
+                assert!(free.len() <= 24, "hash-set word2set would expand 2^{} words; use the BDD backend", free.len());
+                for mask in 0u64..(1u64 << free.len()) {
+                    let mut w: Vec<bool> = cube.iter().map(|l| l.unwrap_or(false)).collect();
+                    for (bit, &pos) in free.iter().enumerate() {
+                        w[pos] = (mask >> bit) & 1 == 1;
+                    }
+                    set.insert(w);
+                }
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Sets the query-time Hamming tolerance `τ`: a word is accepted when
+    /// some stored word differs in at most `τ` positions.
+    pub fn set_hamming_tolerance(&mut self, tau: usize) {
+        self.hamming_tolerance = tau;
+    }
+
+    /// Whether `word` (exactly) is in the stored set.
+    pub fn contains_word(&self, word: &[bool]) -> bool {
+        match &self.store {
+            Store::Bdd { bdd, root } => bdd.eval(*root, word),
+            Store::Hash(set) => set.contains(word),
+        }
+    }
+
+    /// Whether some stored word is within Hamming distance `tau` of `word`.
+    pub fn contains_within(&self, word: &[bool], tau: usize) -> bool {
+        match &self.store {
+            Store::Bdd { bdd, root } => bdd.contains_within_hamming(*root, word, tau),
+            Store::Hash(set) => {
+                set.iter().any(|w| w.iter().zip(word).filter(|(a, b)| a != b).count() <= tau)
+            }
+        }
+    }
+
+    /// Number of absorbed samples.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of distinct words admitted by the monitor.
+    pub fn pattern_count(&self) -> f64 {
+        match &self.store {
+            Store::Bdd { bdd, root } => bdd.satcount(*root),
+            Store::Hash(set) => set.len() as f64,
+        }
+    }
+
+    /// Fraction of the `2^d` pattern space the monitor admits — the
+    /// "efficiency" measure from the paper's conclusion (a monitor covering
+    /// almost everything raises almost no warnings).
+    pub fn coverage(&self) -> f64 {
+        self.pattern_count() / 2f64.powi(self.thresholds.len() as i32)
+    }
+
+    /// Memory proxy: BDD nodes or hash-set words currently stored.
+    pub fn store_size(&self) -> usize {
+        match &self.store {
+            Store::Bdd { bdd, root } => bdd.reachable_nodes(*root),
+            Store::Hash(set) => set.len(),
+        }
+    }
+
+    /// Per-neuron thresholds `c_j`.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+impl Monitor for PatternMonitor {
+    fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    fn verdict_features(&self, features: &[f64]) -> Verdict {
+        let word = self.abstract_word(features);
+        let ok = if self.hamming_tolerance == 0 {
+            self.contains_word(&word)
+        } else {
+            self.contains_within(&word, self.hamming_tolerance)
+        };
+        if ok {
+            Verdict::ok()
+        } else {
+            Verdict::warn(vec![Violation::UnknownPattern { word }])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napmon_nn::{Activation, LayerSpec, Network};
+
+    fn setup(backend: PatternBackend) -> (Network, PatternMonitor) {
+        let net = Network::seeded(3, 2, &[LayerSpec::dense(4, Activation::Relu)]);
+        let fx = FeatureExtractor::new(&net, 2).unwrap();
+        let m = PatternMonitor::empty(fx, vec![0.0; 4], backend).unwrap();
+        (net, m)
+    }
+
+    #[test]
+    fn threshold_arity_is_checked() {
+        let net = Network::seeded(3, 2, &[LayerSpec::dense(4, Activation::Relu)]);
+        let fx = FeatureExtractor::new(&net, 2).unwrap();
+        assert!(PatternMonitor::empty(fx, vec![0.0; 3], PatternBackend::Bdd).is_err());
+    }
+
+    #[test]
+    fn abstraction_uses_strict_threshold() {
+        let (_, m) = setup(PatternBackend::Bdd);
+        assert_eq!(m.abstract_word(&[0.0, 0.1, -0.1, 5.0]), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn robust_abstraction_emits_dont_cares() {
+        let (_, m) = setup(PatternBackend::Bdd);
+        let b = BoxBounds::new(vec![0.1, -0.5, -0.2, 0.0], vec![0.2, -0.1, 0.3, 0.0]);
+        assert_eq!(
+            m.abstract_cube(&b),
+            vec![Some(true), Some(false), None, Some(false)]
+        );
+    }
+
+    #[test]
+    fn absorbed_words_are_members_in_both_backends() {
+        for backend in [PatternBackend::Bdd, PatternBackend::HashSet] {
+            let (_, mut m) = setup(backend);
+            m.absorb_point(&[1.0, -1.0, 1.0, -1.0]);
+            assert!(m.contains_word(&[true, false, true, false]));
+            assert!(!m.contains_word(&[true, true, true, false]));
+            assert_eq!(m.pattern_count(), 1.0);
+            assert_eq!(m.samples(), 1);
+        }
+    }
+
+    #[test]
+    fn robust_insertion_expands_dont_cares() {
+        for backend in [PatternBackend::Bdd, PatternBackend::HashSet] {
+            let (_, mut m) = setup(backend);
+            let b = BoxBounds::new(vec![0.5, -1.0, -0.1, -1.0], vec![1.0, -0.5, 0.1, -0.5]);
+            m.absorb_bounds(&b); // word 1 0 - 0 -> two words
+            assert_eq!(m.pattern_count(), 2.0);
+            assert!(m.contains_word(&[true, false, false, false]));
+            assert!(m.contains_word(&[true, false, true, false]));
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_membership() {
+        let (_, mut a) = setup(PatternBackend::Bdd);
+        let (_, mut b) = setup(PatternBackend::HashSet);
+        let boxes = [
+            BoxBounds::new(vec![0.5, -1.0, -0.1, -1.0], vec![1.0, -0.5, 0.1, -0.5]),
+            BoxBounds::new(vec![-0.5, 0.2, -0.1, -0.2], vec![0.5, 0.4, 0.1, 0.2]),
+        ];
+        for bx in &boxes {
+            a.absorb_bounds(bx);
+            b.absorb_bounds(bx);
+        }
+        assert_eq!(a.pattern_count(), b.pattern_count());
+        for bits in 0..16u32 {
+            let w: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(a.contains_word(&w), b.contains_word(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn hamming_tolerance_accepts_near_misses() {
+        for backend in [PatternBackend::Bdd, PatternBackend::HashSet] {
+            let (_, mut m) = setup(backend);
+            m.absorb_point(&[1.0, 1.0, 1.0, 1.0]);
+            let near = [true, true, true, false]; // distance 1
+            let far = [false, false, true, false]; // distance 3
+            assert!(!m.contains_word(&near));
+            assert!(m.contains_within(&near, 1));
+            assert!(!m.contains_within(&far, 2));
+            m.set_hamming_tolerance(1);
+            assert!(!m.verdict_features(&[0.5, 0.5, 0.5, -0.5]).warning);
+        }
+    }
+
+    #[test]
+    fn verdict_carries_the_unknown_word() {
+        let (_, mut m) = setup(PatternBackend::Bdd);
+        m.absorb_point(&[1.0, 1.0, 1.0, 1.0]);
+        let v = m.verdict_features(&[-1.0, 1.0, 1.0, 1.0]);
+        assert!(v.warning);
+        assert!(matches!(&v.violations[0], Violation::UnknownPattern { word } if !word[0]));
+    }
+
+    #[test]
+    fn coverage_reflects_pattern_fraction() {
+        let (_, mut m) = setup(PatternBackend::Bdd);
+        m.absorb_point(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((m.coverage() - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_monitoring_through_network() {
+        let (net, mut m) = setup(PatternBackend::Bdd);
+        let train = vec![vec![0.2, 0.1], vec![-0.1, 0.3], vec![0.4, -0.2]];
+        for x in &train {
+            let f = m.extractor().features(&net, x).unwrap();
+            m.absorb_point(&f);
+        }
+        for x in &train {
+            assert!(!m.warns(&net, x).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "use the BDD backend")]
+    fn hashset_expansion_has_a_safety_cap() {
+        let net = Network::seeded(5, 2, &[LayerSpec::dense(30, Activation::Relu)]);
+        let fx = FeatureExtractor::new(&net, 2).unwrap();
+        let mut m = PatternMonitor::empty(fx, vec![0.0; 30], PatternBackend::HashSet).unwrap();
+        // All 30 dims straddle the threshold: 2^30 words.
+        let b = BoxBounds::new(vec![-1.0; 30], vec![1.0; 30]);
+        m.absorb_bounds(&b);
+    }
+}

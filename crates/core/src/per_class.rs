@@ -1,0 +1,137 @@
+//! Per-class monitors: one abstraction per output class.
+//!
+//! The DATE 2019 on-off monitor keeps a separate pattern set per output
+//! class and, in operation, checks the observed pattern against the set of
+//! the class the network *predicts*. This wrapper provides that dispatch
+//! for any monitor family.
+
+use crate::builder::AnyMonitor;
+use crate::error::MonitorError;
+use crate::monitor::{Monitor, Verdict};
+use napmon_nn::Network;
+
+/// One monitor per class; queries dispatch on the predicted class.
+#[derive(Debug, Clone)]
+pub struct PerClassMonitor {
+    monitors: Vec<AnyMonitor>,
+}
+
+impl PerClassMonitor {
+    /// Wraps per-class monitors (index = class).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitors` is empty.
+    pub fn new(monitors: Vec<AnyMonitor>) -> Self {
+        assert!(!monitors.is_empty(), "per-class monitor needs at least one class");
+        Self { monitors }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// The monitor of one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class_monitor(&self, class: usize) -> &AnyMonitor {
+        &self.monitors[class]
+    }
+
+    /// Runs the network, picks the predicted class, and returns that
+    /// class's verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] for malformed inputs or
+    /// [`MonitorError::InvalidConfig`] if the network predicts a class with
+    /// no monitor.
+    pub fn verdict(&self, net: &Network, input: &[f64]) -> Result<Verdict, MonitorError> {
+        if input.len() != net.input_dim() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "per-class query input".into(),
+                expected: net.input_dim(),
+                actual: input.len(),
+            });
+        }
+        let class = net.predict_class(input);
+        let monitor = self.monitors.get(class).ok_or_else(|| {
+            MonitorError::InvalidConfig(format!(
+                "predicted class {class} has no monitor ({} classes)",
+                self.monitors.len()
+            ))
+        })?;
+        monitor.verdict(net, input)
+    }
+
+    /// Qualitative decision of [`PerClassMonitor::verdict`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PerClassMonitor::verdict`].
+    pub fn warns(&self, net: &Network, input: &[f64]) -> Result<bool, MonitorError> {
+        Ok(self.verdict(net, input)?.warning)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{MonitorBuilder, MonitorKind};
+    use napmon_nn::{Activation, LayerSpec, Network};
+
+    fn setup() -> (Network, PerClassMonitor, Vec<Vec<f64>>) {
+        let net = Network::seeded(61, 2, &[
+            LayerSpec::dense(6, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ]);
+        // Synthesize inputs until both classes appear.
+        let mut data = Vec::new();
+        for i in 0..64 {
+            let x = vec![(i as f64 / 32.0) - 1.0, ((i * 7 % 64) as f64 / 32.0) - 1.0];
+            data.push(x);
+        }
+        let labels: Vec<usize> = data.iter().map(|x| net.predict_class(x)).collect();
+        assert!(labels.contains(&0) && labels.contains(&1), "need both classes");
+        let pc = MonitorBuilder::new(&net, 2)
+            .build_per_class(MonitorKind::min_max(), &data, &labels, 2)
+            .unwrap();
+        (net, pc, data)
+    }
+
+    #[test]
+    fn training_inputs_do_not_warn() {
+        let (net, pc, data) = setup();
+        for x in &data {
+            assert!(!pc.warns(&net, x).unwrap());
+        }
+    }
+
+    #[test]
+    fn num_classes_and_access() {
+        let (_, pc, _) = setup();
+        assert_eq!(pc.num_classes(), 2);
+        assert!(pc.class_monitor(0).as_min_max().is_some());
+    }
+
+    #[test]
+    fn wrong_input_dimension_errors() {
+        let (net, pc, _) = setup();
+        assert!(pc.verdict(&net, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn far_inputs_warn() {
+        let (net, pc, _) = setup();
+        assert!(pc.warns(&net, &[100.0, -100.0]).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_class_list_panics() {
+        PerClassMonitor::new(vec![]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Labelled datasets with deterministic splits.
+
+use napmon_tensor::Prng;
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset: inputs plus regression targets, with optional class
+/// labels for classification tasks.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Network inputs, one vector per sample.
+    pub inputs: Vec<Vec<f64>>,
+    /// Training targets (regression values or one-hot rows).
+    pub targets: Vec<Vec<f64>>,
+    /// Class labels for classification datasets.
+    pub labels: Option<Vec<usize>>,
+}
+
+impl Dataset {
+    /// Creates a regression dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn regression(inputs: Vec<Vec<f64>>, targets: Vec<Vec<f64>>) -> Self {
+        assert_eq!(inputs.len(), targets.len(), "dataset: inputs vs targets length");
+        Self { inputs, targets, labels: None }
+    }
+
+    /// Creates a classification dataset; targets become one-hot rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or a label is `>= num_classes`.
+    pub fn classification(inputs: Vec<Vec<f64>>, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(inputs.len(), labels.len(), "dataset: inputs vs labels length");
+        let targets = labels
+            .iter()
+            .map(|&c| {
+                assert!(c < num_classes, "label {c} out of range 0..{num_classes}");
+                let mut row = vec![0.0; num_classes];
+                row[c] = 1.0;
+                row
+            })
+            .collect();
+        Self { inputs, targets, labels: Some(labels) }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Deterministically shuffles the samples in place.
+    pub fn shuffle(&mut self, rng: &mut Prng) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        self.reorder(&order);
+    }
+
+    fn reorder(&mut self, order: &[usize]) {
+        self.inputs = order.iter().map(|&i| self.inputs[i].clone()).collect();
+        self.targets = order.iter().map(|&i| self.targets[i].clone()).collect();
+        if let Some(labels) = &self.labels {
+            self.labels = Some(order.iter().map(|&i| labels[i]).collect());
+        }
+    }
+
+    /// Splits off the first `fraction` of samples (after an internal
+    /// deterministic shuffle) as the first dataset; the rest become the
+    /// second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `(0, 1)`.
+    pub fn split(mut self, fraction: f64, rng: &mut Prng) -> (Dataset, Dataset) {
+        assert!(fraction > 0.0 && fraction < 1.0, "split fraction {fraction} outside (0, 1)");
+        self.shuffle(rng);
+        let cut = ((self.len() as f64) * fraction).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        let second = Dataset {
+            inputs: self.inputs.split_off(cut),
+            targets: self.targets.split_off(cut),
+            labels: self.labels.as_mut().map(|l| l.split_off(cut)),
+        };
+        (self, second)
+    }
+
+    /// Appends all samples of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if exactly one of the two datasets carries labels.
+    pub fn extend(&mut self, other: Dataset) {
+        assert_eq!(self.labels.is_some(), other.labels.is_some() || self.is_empty(), "label presence mismatch");
+        self.inputs.extend(other.inputs);
+        self.targets.extend(other.targets);
+        match (&mut self.labels, other.labels) {
+            (Some(a), Some(b)) => a.extend(b),
+            (None, Some(b)) if self.targets.len() == b.len() => self.labels = Some(b),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::classification(
+            (0..10).map(|i| vec![i as f64]).collect(),
+            (0..10).map(|i| i % 2).collect(),
+            2,
+        )
+    }
+
+    #[test]
+    fn classification_builds_one_hot() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.targets[3], vec![0.0, 1.0]);
+        assert_eq!(d.labels.as_ref().unwrap()[3], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn classification_validates_labels() {
+        Dataset::classification(vec![vec![0.0]], vec![5], 2);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let mut rng = Prng::seed(1);
+        let (a, b) = toy().split(0.7, &mut rng);
+        assert_eq!(a.len() + b.len(), 10);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a.labels.as_ref().unwrap().len(), 7);
+        assert_eq!(b.labels.as_ref().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let (a1, _) = toy().split(0.5, &mut Prng::seed(42));
+        let (a2, _) = toy().split(0.5, &mut Prng::seed(42));
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairing() {
+        let mut d = toy();
+        d.shuffle(&mut Prng::seed(3));
+        for (x, l) in d.inputs.iter().zip(d.labels.as_ref().unwrap()) {
+            assert_eq!((x[0] as usize) % 2, *l, "pairing broken by shuffle");
+        }
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = toy();
+        let b = toy();
+        a.extend(b);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.labels.as_ref().unwrap().len(), 20);
+    }
+}

@@ -1,0 +1,139 @@
+//! Gaussian cluster data for fast tests and micro-benchmarks.
+
+use crate::dataset::Dataset;
+use napmon_tensor::Prng;
+use serde::{Deserialize, Serialize};
+
+/// A mixture of isotropic Gaussian clusters, one cluster per class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianClusters {
+    /// Cluster centers (class `c` is `centers[c]`).
+    pub centers: Vec<Vec<f64>>,
+    /// Shared isotropic standard deviation.
+    pub sigma: f64,
+}
+
+impl GaussianClusters {
+    /// `k` clusters on a circle of the given radius in `dim` dimensions
+    /// (extra dimensions are zero-centered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `dim < 2`, or `sigma <= 0`.
+    pub fn ring(k: usize, dim: usize, radius: f64, sigma: f64) -> Self {
+        assert!(k > 0, "need at least one cluster");
+        assert!(dim >= 2, "ring layout needs dim >= 2");
+        assert!(sigma > 0.0, "sigma must be positive");
+        let centers = (0..k)
+            .map(|i| {
+                let angle = i as f64 * std::f64::consts::TAU / k as f64;
+                let mut c = vec![0.0; dim];
+                c[0] = radius * angle.cos();
+                c[1] = radius * angle.sin();
+                c
+            })
+            .collect();
+        Self { centers, sigma }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.centers[0].len()
+    }
+
+    /// Samples one point of class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn sample(&self, c: usize, rng: &mut Prng) -> Vec<f64> {
+        self.centers[c].iter().map(|&m| rng.normal(m, self.sigma)).collect()
+    }
+
+    /// A balanced classification dataset with `per_class` samples each.
+    pub fn dataset(&self, per_class: usize, rng: &mut Prng) -> Dataset {
+        let k = self.num_classes();
+        let mut inputs = Vec::with_capacity(per_class * k);
+        let mut labels = Vec::with_capacity(per_class * k);
+        for _ in 0..per_class {
+            for c in 0..k {
+                inputs.push(self.sample(c, rng));
+                labels.push(c);
+            }
+        }
+        let mut d = Dataset::classification(inputs, labels, k);
+        d.shuffle(rng);
+        d
+    }
+
+    /// OOD inputs: samples from a phantom cluster at the ring center (far
+    /// from every in-distribution cluster when `radius >> sigma`).
+    pub fn ood_inputs(&self, n: usize, rng: &mut Prng) -> Vec<Vec<f64>> {
+        (0..n).map(|_| (0..self.dim()).map(|_| rng.normal(0.0, self.sigma)).collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_layout_geometry() {
+        let g = GaussianClusters::ring(4, 3, 2.0, 0.1);
+        assert_eq!(g.num_classes(), 4);
+        assert_eq!(g.dim(), 3);
+        // Centers pairwise distinct and on the radius.
+        for c in &g.centers {
+            let r = (c[0] * c[0] + c[1] * c[1]).sqrt();
+            assert!((r - 2.0).abs() < 1e-12);
+            assert_eq!(c[2], 0.0);
+        }
+    }
+
+    #[test]
+    fn samples_concentrate_near_their_center() {
+        let g = GaussianClusters::ring(3, 2, 5.0, 0.2);
+        let mut rng = Prng::seed(13);
+        for c in 0..3 {
+            for _ in 0..50 {
+                let x = g.sample(c, &mut rng);
+                let d: f64 = x.iter().zip(&g.centers[c]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+                assert!(d < 1.5, "sample {d} too far from center {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_is_balanced() {
+        let g = GaussianClusters::ring(3, 2, 3.0, 0.3);
+        let d = g.dataset(20, &mut Prng::seed(14));
+        assert_eq!(d.len(), 60);
+        let labels = d.labels.as_ref().unwrap();
+        for c in 0..3 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 20);
+        }
+    }
+
+    #[test]
+    fn ood_points_sit_far_from_clusters() {
+        let g = GaussianClusters::ring(4, 2, 6.0, 0.3);
+        let mut rng = Prng::seed(15);
+        for x in g.ood_inputs(30, &mut rng) {
+            for c in &g.centers {
+                let d: f64 = x.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+                assert!(d > 3.0, "OOD point too close to a cluster");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dim >= 2")]
+    fn ring_needs_two_dims() {
+        GaussianClusters::ring(2, 1, 1.0, 0.1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Grayscale images as flat `f64` vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// A grayscale image with intensities in `[0, 1]`, stored row-major.
+///
+/// ```
+/// use napmon_data::Image;
+/// let img = Image::filled(2, 3, 0.5);
+/// assert_eq!(img.pixels().len(), 6);
+/// assert_eq!(img.get(1, 2), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    h: usize,
+    w: usize,
+    pixels: Vec<f64>,
+}
+
+impl Image {
+    /// Creates an image filled with a constant intensity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(h: usize, w: usize, value: f64) -> Self {
+        assert!(h > 0 && w > 0, "image dimensions must be positive");
+        Self { h, w, pixels: vec![value; h * w] }
+    }
+
+    /// Wraps existing pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != h * w` or either dimension is zero.
+    pub fn from_pixels(h: usize, w: usize, pixels: Vec<f64>) -> Self {
+        assert!(h > 0 && w > 0, "image dimensions must be positive");
+        assert_eq!(pixels.len(), h * w, "pixel count {} != {h}x{w}", pixels.len());
+        Self { h, w, pixels }
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Borrows the row-major pixel buffer.
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Mutably borrows the pixel buffer.
+    pub fn pixels_mut(&mut self) -> &mut [f64] {
+        &mut self.pixels
+    }
+
+    /// Consumes the image into its pixel buffer (the network input format).
+    pub fn into_pixels(self) -> Vec<f64> {
+        self.pixels
+    }
+
+    /// Intensity at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.h && col < self.w, "pixel ({row},{col}) out of {}x{}", self.h, self.w);
+        self.pixels[row * self.w + col]
+    }
+
+    /// Sets intensity at `(row, col)` (clamped to `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.h && col < self.w, "pixel ({row},{col}) out of {}x{}", self.h, self.w);
+        self.pixels[row * self.w + col] = value.clamp(0.0, 1.0);
+    }
+
+    /// Clamps all intensities into `[0, 1]`.
+    pub fn clamp(&mut self) {
+        for p in &mut self.pixels {
+            *p = p.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Renders the image as ASCII art (dark = dense glyphs), one row per
+    /// line — used to "show" the synthetic Figure 2 scenarios in a
+    /// terminal.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b"@%#*+=-:. ";
+        let mut out = String::with_capacity((self.w + 1) * self.h);
+        for r in 0..self.h {
+            for c in 0..self.w {
+                let v = self.get(r, c).clamp(0.0, 1.0);
+                let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mean intensity.
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().sum::<f64>() / self.pixels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::filled(4, 3, 0.25);
+        assert_eq!((img.height(), img.width()), (4, 3));
+        img.set(2, 1, 0.75);
+        assert_eq!(img.get(2, 1), 0.75);
+        assert_eq!(img.get(0, 0), 0.25);
+    }
+
+    #[test]
+    fn set_clamps_values() {
+        let mut img = Image::filled(1, 1, 0.0);
+        img.set(0, 0, 7.0);
+        assert_eq!(img.get(0, 0), 1.0);
+        img.set(0, 0, -3.0);
+        assert_eq!(img.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count")]
+    fn from_pixels_checks_length() {
+        Image::from_pixels(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn ascii_has_one_line_per_row() {
+        let img = Image::filled(3, 5, 0.5);
+        let art = img.to_ascii();
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.lines().all(|l| l.chars().count() == 5));
+    }
+
+    #[test]
+    fn ascii_dark_vs_bright_glyphs_differ() {
+        let dark = Image::filled(1, 1, 0.0).to_ascii();
+        let bright = Image::filled(1, 1, 1.0).to_ascii();
+        assert_ne!(dark, bright);
+        assert_eq!(bright.trim_end(), ""); // brightest maps to space
+    }
+
+    #[test]
+    fn mean_intensity() {
+        let img = Image::from_pixels(1, 4, vec![0.0, 0.5, 0.5, 1.0]);
+        assert!((img.mean() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic perception datasets for the `napmon` experiments.
+//!
+//! The paper evaluates its monitors in a physical race-track lab: a DNN
+//! regresses visual waypoints from camera images, the training data carries
+//! aleatory lighting jitter, and out-of-ODD scenarios (darkness, a
+//! construction site, ice on the track) are staged physically. None of
+//! that data was released, so this crate synthesizes the closest
+//! functional equivalents:
+//!
+//! - [`racetrack`] — a parametric track-view renderer producing grayscale
+//!   images with waypoint labels. The in-ODD sampler jitters lighting and
+//!   pixel noise per sample, reproducing the false-positive mechanism the
+//!   paper attributes to "tiny changes of lighting conditions in the day".
+//! - [`ood`] — procedural corruptions mirroring the staged scenarios of
+//!   the paper's Figure 2 (dark conditions, construction site, ice on the
+//!   track) plus fog and sensor-noise extras.
+//! - [`shapes`] — a small glyph-classification dataset (per-class
+//!   monitoring as in the DATE 2019 predecessor paper).
+//! - [`gaussian`] — Gaussian cluster data for fast unit and property
+//!   tests.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod dataset;
+pub mod gaussian;
+pub mod image;
+pub mod ood;
+pub mod racetrack;
+pub mod shapes;
+
+pub use dataset::Dataset;
+pub use image::Image;
+pub use ood::OodScenario;
+pub use racetrack::{TrackConfig, TrackSampler};

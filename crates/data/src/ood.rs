@@ -1,0 +1,204 @@
+//! Out-of-ODD scenario generators (the synthetic Figure 2).
+//!
+//! The paper stages three physical out-of-ODD scenarios on its race track
+//! — dark conditions, a construction site, and ice on the track — and
+//! measures how often each monitor flags them. These corruptions
+//! reproduce the same three distribution shifts procedurally, plus two
+//! extras (fog, heavy sensor noise) for wider sweeps:
+//!
+//! - **dark** — a global photometric shift (gain far below the ODD's
+//!   lighting jitter),
+//! - **construction** — a local structural anomaly: a striped barrier
+//!   blocking part of the road ahead,
+//! - **ice** — local photometric anomalies: high-albedo patches on the
+//!   asphalt,
+//! - **fog** — distance-dependent contrast washout,
+//! - **sensor noise** — pixel-level corruption far beyond the ODD level.
+
+use crate::image::Image;
+use napmon_tensor::Prng;
+use serde::{Deserialize, Serialize};
+
+/// An out-of-ODD scenario, applied as a corruption to an in-ODD frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OodScenario {
+    /// Dark conditions (paper scenario).
+    Dark,
+    /// Construction site on the track (paper scenario).
+    Construction,
+    /// Ice patches on the track (paper scenario).
+    Ice,
+    /// Fog (extra).
+    Fog,
+    /// Severe sensor noise (extra).
+    SensorNoise,
+}
+
+impl OodScenario {
+    /// The three scenarios staged in the paper.
+    pub const PAPER: [OodScenario; 3] = [OodScenario::Dark, OodScenario::Construction, OodScenario::Ice];
+
+    /// All implemented scenarios.
+    pub const ALL: [OodScenario; 5] = [
+        OodScenario::Dark,
+        OodScenario::Construction,
+        OodScenario::Ice,
+        OodScenario::Fog,
+        OodScenario::SensorNoise,
+    ];
+
+    /// Short lowercase name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            OodScenario::Dark => "dark",
+            OodScenario::Construction => "construction",
+            OodScenario::Ice => "ice",
+            OodScenario::Fog => "fog",
+            OodScenario::SensorNoise => "noise",
+        }
+    }
+
+    /// Applies the corruption to an in-ODD frame.
+    pub fn apply(self, img: &Image, rng: &mut Prng) -> Image {
+        let mut out = img.clone();
+        let (h, w) = (img.height(), img.width());
+        match self {
+            OodScenario::Dark => {
+                let gain = rng.uniform(0.25, 0.45);
+                for p in out.pixels_mut() {
+                    *p *= gain;
+                }
+            }
+            OodScenario::Construction => {
+                // A striped barrier spanning the mid rows of the road.
+                let top = h / 3;
+                let bottom = top + (h / 4).max(2);
+                let left = w / 4;
+                let right = w - w / 4;
+                for row in top..bottom.min(h) {
+                    for col in left..right {
+                        let stripe = ((col + row) / 2) % 2 == 0;
+                        out.set(row, col, if stripe { 0.95 } else { 0.08 });
+                    }
+                }
+            }
+            OodScenario::Ice => {
+                // 3-5 bright elliptical patches on the lower (road) half.
+                let patches = 3 + rng.index(3);
+                for _ in 0..patches {
+                    let cy = h / 2 + rng.index(h / 2);
+                    let cx = rng.index(w);
+                    let ry = 1.0 + rng.uniform(0.0, 1.5);
+                    let rx = 1.5 + rng.uniform(0.0, 2.5);
+                    for row in 0..h {
+                        for col in 0..w {
+                            let dy = (row as f64 - cy as f64) / ry;
+                            let dx = (col as f64 - cx as f64) / rx;
+                            if dy * dy + dx * dx <= 1.0 {
+                                let v = out.get(row, col);
+                                out.set(row, col, (v + 0.85).min(1.0));
+                            }
+                        }
+                    }
+                }
+            }
+            OodScenario::Fog => {
+                // Wash out toward white with distance (top of frame).
+                for row in 0..h {
+                    let t = 1.0 - (row as f64 + 0.5) / h as f64; // distance
+                    let alpha = 0.85 * t + 0.25;
+                    for col in 0..w {
+                        let v = out.get(row, col);
+                        out.set(row, col, v * (1.0 - alpha) + 0.95 * alpha);
+                    }
+                }
+            }
+            OodScenario::SensorNoise => {
+                for p in out.pixels_mut() {
+                    let noisy = *p + rng.normal(0.0, 0.25);
+                    *p = noisy.clamp(0.0, 1.0);
+                }
+            }
+        }
+        out.clamp();
+        out
+    }
+}
+
+impl std::fmt::Display for OodScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::racetrack::{TrackConfig, TrackSampler};
+
+    fn frame() -> (Image, Prng) {
+        let mut s = TrackSampler::new(TrackConfig::default(), 31);
+        let (img, _, _) = s.sample();
+        (img, Prng::seed(77))
+    }
+
+    #[test]
+    fn all_scenarios_keep_unit_range_and_shape() {
+        let (img, mut rng) = frame();
+        for sc in OodScenario::ALL {
+            let out = sc.apply(&img, &mut rng);
+            assert_eq!((out.height(), out.width()), (img.height(), img.width()));
+            assert!(out.pixels().iter().all(|&v| (0.0..=1.0).contains(&v)), "{sc}");
+        }
+    }
+
+    #[test]
+    fn dark_reduces_mean_brightness_substantially() {
+        let (img, mut rng) = frame();
+        let dark = OodScenario::Dark.apply(&img, &mut rng);
+        assert!(dark.mean() < img.mean() * 0.6, "dark {} vs {}", dark.mean(), img.mean());
+    }
+
+    #[test]
+    fn ice_increases_brightness_on_road() {
+        let (img, mut rng) = frame();
+        let ice = OodScenario::Ice.apply(&img, &mut rng);
+        assert!(ice.mean() > img.mean());
+    }
+
+    #[test]
+    fn construction_inserts_high_contrast_stripes() {
+        let (img, mut rng) = frame();
+        let c = OodScenario::Construction.apply(&img, &mut rng);
+        // The barrier rows contain near-black and near-white pixels.
+        let h = img.height();
+        let row = h / 3;
+        let vals: Vec<f64> = (0..img.width()).map(|col| c.get(row, col)).collect();
+        assert!(vals.iter().any(|&v| v > 0.9));
+        assert!(vals.iter().any(|&v| v < 0.1));
+    }
+
+    #[test]
+    fn fog_brightens_the_horizon_most() {
+        let (img, mut rng) = frame();
+        let foggy = OodScenario::Fog.apply(&img, &mut rng);
+        let top_delta = foggy.get(0, 0) - img.get(0, 0);
+        let bottom_delta = foggy.get(img.height() - 1, 0) - img.get(img.height() - 1, 0);
+        assert!(top_delta > bottom_delta - 1e-9);
+    }
+
+    #[test]
+    fn corruptions_change_the_image() {
+        let (img, mut rng) = frame();
+        for sc in OodScenario::ALL {
+            assert_ne!(sc.apply(&img, &mut rng), img, "{sc} left the frame unchanged");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(OodScenario::Dark.to_string(), "dark");
+        assert_eq!(OodScenario::PAPER.len(), 3);
+        assert_eq!(OodScenario::ALL.len(), 5);
+    }
+}

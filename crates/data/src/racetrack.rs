@@ -1,0 +1,257 @@
+//! Synthetic race-track perception: images in, waypoints out.
+//!
+//! Stands in for the paper's physical lab. Each sample renders the
+//! ego-view of a track whose geometry is drawn from the operational design
+//! domain (ODD): curvature, lateral offset and heading vary smoothly, and
+//! two *aleatory* nuisances — global lighting gain and per-pixel sensor
+//! noise — are jittered per sample exactly like the "tiny changes of
+//! lighting conditions in the day" that cause the false positives the
+//! paper fights. The regression label is the visual waypoint the vehicle
+//! should steer toward.
+
+use crate::dataset::Dataset;
+use crate::image::Image;
+use napmon_tensor::Prng;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and nuisance parameters of one rendered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackParams {
+    /// Track curvature (left negative, right positive).
+    pub curvature: f64,
+    /// Lateral offset of the ego vehicle from the track center line.
+    pub offset: f64,
+    /// Heading error of the ego vehicle.
+    pub heading: f64,
+    /// Global lighting gain (1.0 = nominal).
+    pub lighting: f64,
+}
+
+/// Renderer and ODD-sampler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackConfig {
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Maximum |curvature| sampled inside the ODD.
+    pub max_curvature: f64,
+    /// Maximum |lateral offset| sampled inside the ODD.
+    pub max_offset: f64,
+    /// Maximum |heading error| sampled inside the ODD.
+    pub max_heading: f64,
+    /// Standard deviation of the per-sample lighting gain around 1.0.
+    pub lighting_sigma: f64,
+    /// Standard deviation of additive per-pixel sensor noise.
+    pub pixel_noise: f64,
+    /// Row (from the bottom, as a fraction of height) where the waypoint
+    /// is read off.
+    pub lookahead: f64,
+}
+
+impl Default for TrackConfig {
+    fn default() -> Self {
+        Self {
+            height: 16,
+            width: 16,
+            max_curvature: 0.6,
+            max_offset: 0.35,
+            max_heading: 0.35,
+            lighting_sigma: 0.06,
+            pixel_noise: 0.02,
+            lookahead: 0.75,
+        }
+    }
+}
+
+impl TrackConfig {
+    /// Flattened input dimension (`height * width`).
+    pub fn input_dim(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Track-center horizontal position (in `[-1, 1]` view coordinates) at
+    /// normalized distance `t ∈ [0, 1]` (0 = bottom of the image).
+    pub fn center_line(&self, p: &TrackParams, t: f64) -> f64 {
+        p.offset + p.heading * t + p.curvature * t * t
+    }
+
+    /// Renders the ego view of the track.
+    ///
+    /// The road is dark asphalt with bright lane markings, on lighter
+    /// surroundings; the whole frame is scaled by the lighting gain and
+    /// perturbed by sensor noise.
+    pub fn render(&self, p: &TrackParams, rng: &mut Prng) -> Image {
+        let (h, w) = (self.height, self.width);
+        let mut img = Image::filled(h, w, 0.0);
+        for row in 0..h {
+            // Row 0 is the far horizon, row h-1 the nearest scanline.
+            let t = 1.0 - (row as f64 + 0.5) / h as f64; // distance fraction
+            let center = self.center_line(p, t);
+            // Perspective: lanes converge with distance.
+            let half_width = 0.42 * (1.0 - 0.65 * t);
+            for col in 0..w {
+                let x = (col as f64 + 0.5) / w as f64 * 2.0 - 1.0;
+                let d = (x - center).abs();
+                let base = if d < half_width * 0.82 {
+                    0.30 // asphalt
+                } else if d < half_width {
+                    0.92 // lane marking
+                } else {
+                    0.62 + 0.08 * ((col * 7 + row * 13) % 5) as f64 / 5.0 // textured verge
+                };
+                let v = base * p.lighting + rng.normal(0.0, self.pixel_noise);
+                img.set(row, col, v);
+            }
+        }
+        img
+    }
+
+    /// The waypoint label for the given geometry: the track-center position
+    /// at the lookahead distance, plus the lookahead itself, both in view
+    /// coordinates.
+    pub fn waypoint(&self, p: &TrackParams) -> Vec<f64> {
+        vec![self.center_line(p, self.lookahead), self.lookahead]
+    }
+}
+
+/// Samples in-ODD frames (geometry plus aleatory nuisances).
+#[derive(Debug, Clone)]
+pub struct TrackSampler {
+    config: TrackConfig,
+    rng: Prng,
+}
+
+impl TrackSampler {
+    /// Creates a sampler with the given config and seed.
+    pub fn new(config: TrackConfig, seed: u64) -> Self {
+        Self { config, rng: Prng::seed(seed) }
+    }
+
+    /// The renderer configuration.
+    pub fn config(&self) -> &TrackConfig {
+        &self.config
+    }
+
+    /// Draws in-ODD geometry and nuisance parameters.
+    pub fn sample_params(&mut self) -> TrackParams {
+        let c = &self.config;
+        TrackParams {
+            curvature: self.rng.uniform(-c.max_curvature, c.max_curvature),
+            offset: self.rng.uniform(-c.max_offset, c.max_offset),
+            heading: self.rng.uniform(-c.max_heading, c.max_heading),
+            lighting: (1.0 + self.rng.normal(0.0, c.lighting_sigma)).max(0.1),
+        }
+    }
+
+    /// Renders one labelled in-ODD sample.
+    pub fn sample(&mut self) -> (Image, Vec<f64>, TrackParams) {
+        let params = self.sample_params();
+        let img = self.config.render(&params, &mut self.rng);
+        let label = self.config.waypoint(&params);
+        (img, label, params)
+    }
+
+    /// Generates a labelled regression dataset of `n` in-ODD samples.
+    pub fn dataset(&mut self, n: usize) -> Dataset {
+        let mut inputs = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (img, label, _) = self.sample();
+            inputs.push(img.into_pixels());
+            targets.push(label);
+        }
+        Dataset::regression(inputs, targets)
+    }
+
+    /// Access to the internal RNG (used by OOD generators that corrupt
+    /// freshly sampled frames).
+    pub fn rng_mut(&mut self) -> &mut Prng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_dimensions() {
+        let c = TrackConfig::default();
+        assert_eq!(c.input_dim(), 256);
+    }
+
+    #[test]
+    fn rendering_is_deterministic_per_seed() {
+        let c = TrackConfig::default();
+        let mut a = TrackSampler::new(c, 5);
+        let mut b = TrackSampler::new(c, 5);
+        let (ia, la, pa) = a.sample();
+        let (ib, lb, pb) = b.sample();
+        assert_eq!(ia, ib);
+        assert_eq!(la, lb);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn pixels_stay_in_unit_range() {
+        let c = TrackConfig::default();
+        let mut s = TrackSampler::new(c, 9);
+        for _ in 0..20 {
+            let (img, _, _) = s.sample();
+            assert!(img.pixels().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn waypoint_tracks_geometry() {
+        let c = TrackConfig::default();
+        let straight = TrackParams { curvature: 0.0, offset: 0.0, heading: 0.0, lighting: 1.0 };
+        assert_eq!(c.waypoint(&straight)[0], 0.0);
+        let right = TrackParams { curvature: 0.5, offset: 0.0, heading: 0.0, lighting: 1.0 };
+        assert!(c.waypoint(&right)[0] > 0.2);
+        let offset = TrackParams { curvature: 0.0, offset: -0.3, heading: 0.0, lighting: 1.0 };
+        assert!((c.waypoint(&offset)[0] + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn road_is_darker_than_verge() {
+        let c = TrackConfig::default();
+        let p = TrackParams { curvature: 0.0, offset: 0.0, heading: 0.0, lighting: 1.0 };
+        let mut rng = Prng::seed(1);
+        let img = c.render(&p, &mut rng);
+        // Bottom row: center pixel is asphalt, border pixel is verge.
+        let bottom = c.height - 1;
+        let center = img.get(bottom, c.width / 2);
+        let border = img.get(bottom, 0);
+        assert!(center < border, "asphalt {center} should be darker than verge {border}");
+    }
+
+    #[test]
+    fn lighting_gain_scales_brightness() {
+        let c = TrackConfig { pixel_noise: 0.0, ..TrackConfig::default() };
+        let dim = TrackParams { curvature: 0.0, offset: 0.0, heading: 0.0, lighting: 0.4 };
+        let bright = TrackParams { lighting: 1.2, ..dim };
+        let i_dim = c.render(&dim, &mut Prng::seed(2));
+        let i_bright = c.render(&bright, &mut Prng::seed(2));
+        assert!(i_dim.mean() < i_bright.mean());
+    }
+
+    #[test]
+    fn dataset_has_matching_shapes() {
+        let mut s = TrackSampler::new(TrackConfig::default(), 3);
+        let d = s.dataset(50);
+        assert_eq!(d.len(), 50);
+        assert!(d.inputs.iter().all(|x| x.len() == 256));
+        assert!(d.targets.iter().all(|t| t.len() == 2));
+        assert!(d.labels.is_none());
+    }
+
+    #[test]
+    fn samples_vary_within_odd() {
+        let mut s = TrackSampler::new(TrackConfig::default(), 11);
+        let (a, _, _) = s.sample();
+        let (b, _, _) = s.sample();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,243 @@
+//! Glyph classification: a small stand-in for MNIST/GTSRB-style tasks.
+//!
+//! The DATE 2019 predecessor evaluated on-off monitors on MNIST and GTSRB
+//! with per-class pattern sets; this module provides an offline-friendly
+//! equivalent: four rendered glyph classes (circle, square, triangle,
+//! cross) with positional/scale jitter and noise, plus out-of-distribution
+//! glyphs (star, inverted frames) for detection experiments.
+
+use crate::dataset::Dataset;
+use crate::image::Image;
+use napmon_tensor::Prng;
+use serde::{Deserialize, Serialize};
+
+/// The in-distribution glyph classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Glyph {
+    /// A ring.
+    Circle,
+    /// An axis-aligned square outline.
+    Square,
+    /// An upward triangle outline.
+    Triangle,
+    /// A plus-shaped cross.
+    Cross,
+}
+
+impl Glyph {
+    /// All in-distribution classes, index order = class label.
+    pub const ALL: [Glyph; 4] = [Glyph::Circle, Glyph::Square, Glyph::Triangle, Glyph::Cross];
+
+    /// Class label of this glyph.
+    pub fn label(self) -> usize {
+        Glyph::ALL.iter().position(|&g| g == self).expect("glyph in ALL")
+    }
+}
+
+/// Shape-dataset configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShapesConfig {
+    /// Image side length (square images).
+    pub side: usize,
+    /// Additive pixel noise sigma.
+    pub noise: f64,
+}
+
+impl Default for ShapesConfig {
+    fn default() -> Self {
+        Self { side: 12, noise: 0.04 }
+    }
+}
+
+impl ShapesConfig {
+    /// Flattened input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.side * self.side
+    }
+
+    fn blank(&self) -> Image {
+        Image::filled(self.side, self.side, 0.05)
+    }
+
+    /// Renders one glyph with jittered center and radius.
+    pub fn render(&self, glyph: Glyph, rng: &mut Prng) -> Image {
+        let s = self.side as f64;
+        let cx = s / 2.0 + rng.uniform(-1.2, 1.2);
+        let cy = s / 2.0 + rng.uniform(-1.2, 1.2);
+        let r = s * rng.uniform(0.26, 0.36);
+        let mut img = self.blank();
+        for row in 0..self.side {
+            for col in 0..self.side {
+                let x = col as f64 + 0.5 - cx;
+                let y = row as f64 + 0.5 - cy;
+                let on = match glyph {
+                    Glyph::Circle => {
+                        let d = (x * x + y * y).sqrt();
+                        (d - r).abs() < 0.9
+                    }
+                    Glyph::Square => {
+                        let m = x.abs().max(y.abs());
+                        (m - r).abs() < 0.9
+                    }
+                    Glyph::Triangle => {
+                        // Outline of an upward triangle inscribed in radius r.
+                        let base = y > r * 0.5 - 0.9 && y < r * 0.5 + 0.9 && x.abs() < r;
+                        let left = (x * 1.5 + y - r * 0.5).abs() < 0.9 && y > -r && y < r * 0.5;
+                        let right = (-x * 1.5 + y - r * 0.5).abs() < 0.9 && y > -r && y < r * 0.5;
+                        base || left || right
+                    }
+                    Glyph::Cross => x.abs() < 0.9 && y.abs() < r || y.abs() < 0.9 && x.abs() < r,
+                };
+                if on {
+                    img.set(row, col, 0.95);
+                }
+            }
+        }
+        // Sensor noise.
+        for p in img.pixels_mut() {
+            *p = (*p + rng.normal(0.0, self.noise)).clamp(0.0, 1.0);
+        }
+        img
+    }
+
+    /// Generates a balanced classification dataset with `per_class`
+    /// samples per glyph.
+    pub fn dataset(&self, per_class: usize, rng: &mut Prng) -> Dataset {
+        let mut inputs = Vec::with_capacity(per_class * Glyph::ALL.len());
+        let mut labels = Vec::with_capacity(per_class * Glyph::ALL.len());
+        for _ in 0..per_class {
+            for glyph in Glyph::ALL {
+                inputs.push(self.render(glyph, rng).into_pixels());
+                labels.push(glyph.label());
+            }
+        }
+        let mut d = Dataset::classification(inputs, labels, Glyph::ALL.len());
+        d.shuffle(rng);
+        d
+    }
+
+    /// Renders an out-of-distribution star glyph (five spokes).
+    pub fn render_ood_star(&self, rng: &mut Prng) -> Image {
+        let s = self.side as f64;
+        let cx = s / 2.0 + rng.uniform(-1.0, 1.0);
+        let cy = s / 2.0 + rng.uniform(-1.0, 1.0);
+        let r = s * rng.uniform(0.3, 0.4);
+        let mut img = self.blank();
+        for k in 0..5 {
+            let angle = k as f64 * std::f64::consts::TAU / 5.0 - std::f64::consts::FRAC_PI_2;
+            let (dy, dx) = angle.sin_cos();
+            let steps = (r * 2.0) as usize;
+            for i in 0..steps {
+                let t = i as f64 / steps as f64 * r;
+                let row = (cy + dy * t) as isize;
+                let col = (cx + dx * t) as isize;
+                if row >= 0 && col >= 0 && (row as usize) < self.side && (col as usize) < self.side {
+                    img.set(row as usize, col as usize, 0.95);
+                }
+            }
+        }
+        for p in img.pixels_mut() {
+            *p = (*p + rng.normal(0.0, self.noise)).clamp(0.0, 1.0);
+        }
+        img
+    }
+
+    /// Renders an inverted-contrast in-distribution glyph (OOD: the glyph
+    /// geometry is familiar, the photometry is not).
+    pub fn render_ood_inverted(&self, rng: &mut Prng) -> Image {
+        let glyph = Glyph::ALL[rng.index(4)];
+        let mut img = self.render(glyph, rng);
+        for p in img.pixels_mut() {
+            *p = 1.0 - *p;
+        }
+        img
+    }
+
+    /// A batch of OOD inputs mixing stars and inverted glyphs.
+    pub fn ood_inputs(&self, n: usize, rng: &mut Prng) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    self.render_ood_star(rng).into_pixels()
+                } else {
+                    self.render_ood_inverted(rng).into_pixels()
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_is_balanced_and_shuffled() {
+        let cfg = ShapesConfig::default();
+        let d = cfg.dataset(25, &mut Prng::seed(4));
+        assert_eq!(d.len(), 100);
+        let labels = d.labels.as_ref().unwrap();
+        for c in 0..4 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 25);
+        }
+        // Shuffled: not grouped by class.
+        assert!(labels.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn glyph_classes_are_visually_distinct() {
+        let cfg = ShapesConfig { side: 12, noise: 0.0 };
+        let mut rng = Prng::seed(8);
+        let mut renders: Vec<Vec<f64>> = Vec::new();
+        for glyph in Glyph::ALL {
+            renders.push(cfg.render(glyph, &mut rng).into_pixels());
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let diff: f64 = renders[i].iter().zip(&renders[j]).map(|(a, b)| (a - b).abs()).sum();
+                assert!(diff > 3.0, "classes {i} and {j} look identical");
+            }
+        }
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let cfg = ShapesConfig::default();
+        let a = cfg.render(Glyph::Circle, &mut Prng::seed(5));
+        let b = cfg.render(Glyph::Circle, &mut Prng::seed(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ood_star_differs_from_all_classes() {
+        let cfg = ShapesConfig { side: 12, noise: 0.0 };
+        let star = cfg.render_ood_star(&mut Prng::seed(6)).into_pixels();
+        for glyph in Glyph::ALL {
+            let g = cfg.render(glyph, &mut Prng::seed(6)).into_pixels();
+            let diff: f64 = star.iter().zip(&g).map(|(a, b)| (a - b).abs()).sum();
+            assert!(diff > 2.0, "star too close to {glyph:?}");
+        }
+    }
+
+    #[test]
+    fn inverted_glyph_flips_photometry() {
+        let cfg = ShapesConfig { side: 12, noise: 0.0 };
+        let inv = cfg.render_ood_inverted(&mut Prng::seed(7));
+        // Background was dark (0.05); inverted background is bright.
+        assert!(inv.mean() > 0.5);
+    }
+
+    #[test]
+    fn ood_batch_has_requested_size() {
+        let cfg = ShapesConfig::default();
+        let batch = cfg.ood_inputs(10, &mut Prng::seed(9));
+        assert_eq!(batch.len(), 10);
+        assert!(batch.iter().all(|x| x.len() == cfg.input_dim()));
+    }
+
+    #[test]
+    fn labels_match_all_ordering() {
+        assert_eq!(Glyph::Circle.label(), 0);
+        assert_eq!(Glyph::Cross.label(), 3);
+    }
+}

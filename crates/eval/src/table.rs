@@ -1,0 +1,146 @@
+//! Fixed-width ASCII tables for experiment output.
+
+use std::fmt;
+
+/// A simple left-aligned ASCII table.
+///
+/// ```
+/// use napmon_eval::Table;
+/// let mut t = Table::new(vec!["monitor".into(), "fp %".into()]);
+/// t.row(vec!["min-max".into(), "0.62".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("monitor"));
+/// assert!(s.contains("0.62"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the headers.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity {} != {}", cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for i in 0..cols {
+                write!(f, " {:width$} |", cells[i], width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        write_row(f, &self.headers)?;
+        rule(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        rule(f)
+    }
+}
+
+/// Formats a rate as a percentage with three significant decimals
+/// (`0.00125` → `"0.125%"`).
+pub fn percent(rate: f64) -> String {
+    format!("{:.3}%", rate * 100.0)
+}
+
+/// Formats seconds compactly (`0.01234` → `"12.3ms"`).
+pub fn seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "column".into()]);
+        t.row(vec!["longer".into(), "x".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        // rule, header, rule, row, rule
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "ragged table:\n{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_is_enforced() {
+        Table::new(vec!["a".into()]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn percent_formatting_matches_paper_style() {
+        assert_eq!(percent(0.0062), "0.620%");
+        assert_eq!(percent(0.00125), "0.125%");
+        assert_eq!(percent(1.0), "100.000%");
+    }
+
+    #[test]
+    fn seconds_formatting_scales() {
+        assert_eq!(seconds(2.5), "2.50s");
+        assert_eq!(seconds(0.0123), "12.3ms");
+        assert_eq!(seconds(0.0000123), "12.3µs");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new(vec!["h".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["v".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Elementwise activation functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An elementwise activation function.
+///
+/// All supported activations are **monotone non-decreasing**; the
+/// abstract-interpretation crate relies on this to propagate interval
+/// bounds through activations exactly (`[f(l), f(u)]`).
+///
+/// ```
+/// use napmon_nn::Activation;
+/// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+/// assert_eq!(Activation::Relu.apply(3.0), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// `f(x) = max(0, x)`.
+    Relu,
+    /// `f(x) = x` for `x > 0`, `alpha * x` otherwise.
+    LeakyRelu {
+        /// Negative-side slope, expected in `[0, 1)`.
+        alpha: f64,
+    },
+    /// `f(x) = 1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// A leaky ReLU with the conventional slope `0.01`.
+    pub fn leaky_relu() -> Self {
+        Activation::LeakyRelu { alpha: 0.01 }
+    }
+
+    /// Applies the activation to one value.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu { alpha } => {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * x
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Applies the activation to a whole vector.
+    pub fn apply_vec(self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+
+    /// Derivative `f'(x)`, computed from the input `x` and the already
+    /// computed output `y = f(x)` (cheaper for sigmoid/tanh).
+    ///
+    /// For ReLU the sub-gradient at `0` is taken as `0`.
+    pub fn grad(self, x: f64, y: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu { alpha } => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+
+    /// Whether the function is piecewise linear (exactly representable by
+    /// zonotope/star relaxations with a finite case analysis).
+    pub fn is_piecewise_linear(self) -> bool {
+        matches!(self, Activation::Identity | Activation::Relu | Activation::LeakyRelu { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ALL: [Activation; 5] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::LeakyRelu { alpha: 0.01 },
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ];
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-1.5), 0.0);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let f = Activation::LeakyRelu { alpha: 0.1 };
+        assert_eq!(f.apply(-10.0), -1.0);
+        assert_eq!(f.apply(10.0), 10.0);
+    }
+
+    #[test]
+    fn sigmoid_fixed_points() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(Activation::Sigmoid.apply(100.0) > 0.999_999);
+        assert!(Activation::Sigmoid.apply(-100.0) < 1e-6);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        for x in [-2.0, -0.5, 0.0, 0.7, 3.0] {
+            let f = Activation::Tanh;
+            assert!((f.apply(x) + f.apply(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_differences() {
+        let h = 1e-6;
+        for f in ALL {
+            // Avoid the ReLU kink at 0.
+            for x in [-1.3, -0.4, 0.3, 1.7] {
+                let y = f.apply(x);
+                let numeric = (f.apply(x + h) - f.apply(x - h)) / (2.0 * h);
+                let analytic = f.grad(x, y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{f:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn piecewise_linear_classification() {
+        assert!(Activation::Relu.is_piecewise_linear());
+        assert!(Activation::Identity.is_piecewise_linear());
+        assert!(Activation::leaky_relu().is_piecewise_linear());
+        assert!(!Activation::Sigmoid.is_piecewise_linear());
+        assert!(!Activation::Tanh.is_piecewise_linear());
+    }
+
+    proptest! {
+        #[test]
+        fn all_activations_are_monotone(
+            a in -20.0..20.0f64,
+            b in -20.0..20.0f64,
+        ) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            for f in ALL {
+                prop_assert!(f.apply(lo) <= f.apply(hi), "{:?} not monotone", f);
+            }
+        }
+
+        #[test]
+        fn apply_vec_matches_pointwise(xs in proptest::collection::vec(-5.0..5.0f64, 0..8)) {
+            for f in ALL {
+                let v = f.apply_vec(&xs);
+                for (x, y) in xs.iter().zip(&v) {
+                    prop_assert_eq!(f.apply(*x), *y);
+                }
+            }
+        }
+    }
+}

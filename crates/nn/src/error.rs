@@ -1,0 +1,77 @@
+//! Error type for network construction and persistence.
+
+use std::fmt;
+
+/// Errors returned by fallible `napmon-nn` operations.
+#[derive(Debug)]
+pub enum NnError {
+    /// Two layer dimensions that must agree do not.
+    ShapeMismatch {
+        /// Description of where the mismatch occurred.
+        context: String,
+        /// Dimension that was expected.
+        expected: usize,
+        /// Dimension that was provided.
+        actual: usize,
+    },
+    /// A configuration value is invalid (e.g. zero-sized kernel).
+    InvalidConfig(String),
+    /// Reading or writing a model file failed.
+    Io(std::io::Error),
+    /// (De)serializing a model failed.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { context, expected, actual } => {
+                write!(f, "shape mismatch in {context}: expected {expected}, got {actual}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::Io(e) => write!(f, "model i/o failed: {e}"),
+            NnError::Serde(e) => write!(f, "model (de)serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Io(e) => Some(e),
+            NnError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for NnError {
+    fn from(e: serde_json::Error) -> Self {
+        NnError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NnError::ShapeMismatch { context: "dense layer 2".into(), expected: 8, actual: 4 };
+        assert_eq!(e.to_string(), "shape mismatch in dense layer 2: expected 8, got 4");
+        let e = NnError::InvalidConfig("kernel size 0".into());
+        assert!(e.to_string().contains("kernel size 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

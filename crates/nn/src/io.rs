@@ -1,0 +1,76 @@
+//! Model persistence.
+//!
+//! Networks serialize to JSON: the files are small (the perception networks
+//! in the experiments have tens of thousands of parameters), diff-able, and
+//! inspectable — which matters when a monitor's behaviour must be traced
+//! back to the exact parameters it was built against.
+
+use crate::error::NnError;
+use crate::network::Network;
+use std::fs;
+use std::path::Path;
+
+/// Saves a network as JSON at `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on filesystem failure or [`NnError::Serde`] if
+/// serialization fails.
+pub fn save(net: &Network, path: impl AsRef<Path>) -> Result<(), NnError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string(net)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a network previously written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] if the file cannot be read or
+/// [`NnError::Serde`] if it does not contain a valid network.
+pub fn load(path: impl AsRef<Path>) -> Result<Network, NnError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::network::LayerSpec;
+
+    #[test]
+    fn save_load_round_trip() {
+        let net = Network::seeded(3, 4, &[LayerSpec::dense(8, Activation::Relu), LayerSpec::dense(2, Activation::Identity)]);
+        let dir = std::env::temp_dir().join("napmon_nn_io_test");
+        let path = dir.join("model.json");
+        save(&net, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(net, loaded);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3, 0.4]), loaded.forward(&[0.1, 0.2, 0.3, 0.4]));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load("/nonexistent/napmon/model.json").unwrap_err();
+        assert!(matches!(err, NnError::Io(_)));
+    }
+
+    #[test]
+    fn load_garbage_is_serde_error() {
+        let dir = std::env::temp_dir().join("napmon_nn_io_garbage");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, "{not json").unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(matches!(err, NnError::Serde(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

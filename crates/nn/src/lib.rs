@@ -1,0 +1,50 @@
+//! Feed-forward deep neural networks for the `napmon` workspace.
+//!
+//! The paper models a trained DNN as a function `G = g_n ∘ … ∘ g_1` with
+//! fixed parameters, and the monitors need to evaluate *slices* of that
+//! composition:
+//!
+//! - `G^k(v)` — the first `k` layer transformations ([`Network::forward_prefix`]),
+//! - `G^{l→k}(v)` — layers `l+1 … k` applied to an intermediate vector
+//!   ([`Network::forward_range`], used when perturbation is injected at the
+//!   output of layer `kp`).
+//!
+//! A [`Layer`] is one transformation `g_i`: an affine map (dense or
+//! convolutional), a pooling stage, or an elementwise [`Activation`].
+//! Keeping linear maps and activations as *separate* layers makes the
+//! abstract-interpretation crate (`napmon-absint`) exact on every affine
+//! layer and confines over-approximation to the activations, while still
+//! matching the paper's formulation (each `g_i` is one layer transformation).
+//!
+//! The [`train`] module provides enough machinery (SGD/Adam, MSE and
+//! softmax cross-entropy, mini-batch trainer) to train the perception
+//! networks used by the experiments from scratch — the paper's race-track
+//! waypoint regressor is a small feed-forward network, well within reach of
+//! a CPU trainer.
+//!
+//! ```
+//! use napmon_nn::{Activation, LayerSpec, Network};
+//!
+//! let net = Network::seeded(1, 2, &[
+//!     LayerSpec::dense(4, Activation::Relu),
+//!     LayerSpec::dense(1, Activation::Identity),
+//! ]);
+//! let y = net.forward(&[0.5, -0.5]);
+//! assert_eq!(y.len(), 1);
+//! // G^0 is the identity; the full prefix equals forward().
+//! assert_eq!(net.forward_prefix(&[0.5, -0.5], 0), vec![0.5, -0.5]);
+//! assert_eq!(net.forward_prefix(&[0.5, -0.5], net.num_layers()), y);
+//! ```
+
+pub mod activation;
+pub mod error;
+pub mod io;
+pub mod layer;
+pub mod network;
+pub mod train;
+
+pub use activation::Activation;
+pub use error::NnError;
+pub use layer::{AvgPool2d, BatchNorm1d, Conv2d, Dense, Layer, MaxPool2d};
+pub use network::{LayerSpec, Network};
+pub use train::{accuracy, Loss, Optimizer, TrainReport, Trainer};

@@ -1,0 +1,109 @@
+//! Loss functions.
+
+use napmon_tensor::vector;
+
+/// A training loss over `(prediction, target)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error `(1/d) Σ (p_i - t_i)^2` — used for the waypoint
+    /// regression network.
+    Mse,
+    /// Softmax cross-entropy over logits with a one-hot (or soft) target —
+    /// used for the classification networks.
+    SoftmaxCrossEntropy,
+}
+
+impl Loss {
+    /// Loss value for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or (for cross-entropy) the slices are
+    /// empty.
+    pub fn value(self, prediction: &[f64], target: &[f64]) -> f64 {
+        assert_eq!(prediction.len(), target.len(), "loss: length mismatch");
+        match self {
+            Loss::Mse => {
+                let d = prediction.len().max(1) as f64;
+                prediction.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / d
+            }
+            Loss::SoftmaxCrossEntropy => {
+                let probs = vector::softmax(prediction);
+                -target
+                    .iter()
+                    .zip(&probs)
+                    .map(|(t, p)| if *t == 0.0 { 0.0 } else { t * p.max(1e-300).ln() })
+                    .sum::<f64>()
+            }
+        }
+    }
+
+    /// Gradient of the loss w.r.t. the prediction (logits for
+    /// cross-entropy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn grad(self, prediction: &[f64], target: &[f64]) -> Vec<f64> {
+        assert_eq!(prediction.len(), target.len(), "loss grad: length mismatch");
+        match self {
+            Loss::Mse => {
+                let d = prediction.len().max(1) as f64;
+                prediction.iter().zip(target).map(|(p, t)| 2.0 * (p - t) / d).collect()
+            }
+            Loss::SoftmaxCrossEntropy => {
+                let probs = vector::softmax(prediction);
+                probs.iter().zip(target).map(|(p, t)| p - t).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_vectors_is_zero() {
+        assert_eq!(Loss::Mse.value(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let v = Loss::Mse.value(&[3.0, 0.0], &[1.0, 0.0]);
+        assert_eq!(v, 2.0); // (4 + 0) / 2
+        assert_eq!(Loss::Mse.grad(&[3.0, 0.0], &[1.0, 0.0]), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let good = Loss::SoftmaxCrossEntropy.value(&[5.0, 0.0], &[1.0, 0.0]);
+        let bad = Loss::SoftmaxCrossEntropy.value(&[0.0, 5.0], &[1.0, 0.0]);
+        assert!(good < bad);
+        assert!(good > 0.0);
+    }
+
+    #[test]
+    fn grads_match_finite_differences() {
+        let h = 1e-6;
+        for loss in [Loss::Mse, Loss::SoftmaxCrossEntropy] {
+            let p = [0.3, -0.7, 1.2];
+            let t = [0.0, 1.0, 0.0];
+            let g = loss.grad(&p, &t);
+            for i in 0..p.len() {
+                let mut pp = p.to_vec();
+                pp[i] += h;
+                let mut pm = p.to_vec();
+                pm[i] -= h;
+                let num = (loss.value(&pp, &t) - loss.value(&pm, &t)) / (2.0 * h);
+                assert!((num - g[i]).abs() < 1e-5, "{loss:?} grad[{i}]: {num} vs {}", g[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_sums_to_zero_for_one_hot() {
+        let g = Loss::SoftmaxCrossEntropy.grad(&[1.0, 2.0, 3.0], &[0.0, 0.0, 1.0]);
+        assert!(g.iter().sum::<f64>().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,14 @@
+//! Training machinery: losses, optimizers, and a mini-batch trainer.
+//!
+//! The experiments train small perception networks from scratch (the paper
+//! assumes "a DNN after training" but releases none), so this module favors
+//! clarity and determinism over raw throughput: full-precision `f64`,
+//! explicit per-sample backpropagation, seeded shuffling.
+
+mod loss;
+mod optimizer;
+mod trainer;
+
+pub use loss::Loss;
+pub use optimizer::Optimizer;
+pub use trainer::{accuracy, TrainReport, Trainer};

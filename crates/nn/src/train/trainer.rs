@@ -1,0 +1,267 @@
+//! Mini-batch trainer.
+
+use crate::layer::LayerGrad;
+use crate::network::Network;
+use crate::train::loss::Loss;
+use crate::train::optimizer::{Optimizer, OptimizerState};
+use napmon_tensor::Prng;
+
+/// Summary of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean training loss per epoch, in epoch order.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Loss after the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is empty (zero epochs).
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().expect("at least one epoch")
+    }
+}
+
+/// Deterministic mini-batch trainer.
+///
+/// ```
+/// use napmon_nn::{Activation, LayerSpec, Loss, Network, Optimizer, Trainer};
+///
+/// // Fit y = 2x on a handful of points.
+/// let mut net = Network::seeded(3, 1, &[LayerSpec::dense(1, Activation::Identity)]);
+/// let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0]).collect();
+/// let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![2.0 * x[0]]).collect();
+/// let report = Trainer::new(Loss::Mse, Optimizer::sgd(0.5))
+///     .batch_size(4)
+///     .epochs(200)
+///     .run(&mut net, &xs, &ys, 7);
+/// assert!(report.final_loss() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    loss: Loss,
+    optimizer: Optimizer,
+    batch_size: usize,
+    epochs: usize,
+}
+
+impl Trainer {
+    /// Creates a trainer with batch size 32 and 10 epochs.
+    pub fn new(loss: Loss, optimizer: Optimizer) -> Self {
+        Self { loss, optimizer, batch_size: 32, epochs: 10 }
+    }
+
+    /// Sets the mini-batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the number of epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// The configured loss.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// Trains `net` on `(inputs, targets)` pairs, shuffling with the given
+    /// seed each epoch. Returns per-epoch mean losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `targets` differ in length, are empty, or any
+    /// sample has the wrong dimension.
+    pub fn run(&self, net: &mut Network, inputs: &[Vec<f64>], targets: &[Vec<f64>], seed: u64) -> TrainReport {
+        assert_eq!(inputs.len(), targets.len(), "trainer: inputs vs targets length");
+        assert!(!inputs.is_empty(), "trainer: empty training set");
+        let mut rng = Prng::seed(seed);
+        let mut state = OptimizerState::new(self.optimizer, net.num_layers());
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.epochs);
+
+        for _ in 0..self.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(self.batch_size) {
+                let mut grads: Vec<Option<LayerGrad>> = vec![None; net.num_layers()];
+                for &idx in batch {
+                    let x = &inputs[idx];
+                    let t = &targets[idx];
+                    let boundaries = net.boundary_values(x);
+                    let pred = boundaries.last().expect("network output");
+                    epoch_loss += self.loss.value(pred, t);
+                    // Backward pass.
+                    let mut dy = self.loss.grad(pred, t);
+                    for (li, layer) in net.layers().iter().enumerate().rev() {
+                        let (dx, grad) = layer.backward(&boundaries[li], &boundaries[li + 1], &dy);
+                        if let Some(g) = grad {
+                            match &mut grads[li] {
+                                Some(acc) => {
+                                    acc.dw.axpy(1.0, &g.dw);
+                                    for (a, b) in acc.db.iter_mut().zip(&g.db) {
+                                        *a += b;
+                                    }
+                                }
+                                slot => *slot = Some(g),
+                            }
+                        }
+                        dy = dx;
+                    }
+                }
+                // Average over the batch before stepping.
+                let scale = 1.0 / batch.len() as f64;
+                for g in grads.iter_mut().flatten() {
+                    g.dw.scale(scale);
+                    for b in &mut g.db {
+                        *b *= scale;
+                    }
+                }
+                state.step(net, &grads);
+            }
+            epoch_losses.push(epoch_loss / inputs.len() as f64);
+        }
+        TrainReport { epoch_losses }
+    }
+
+    /// Mean loss of `net` over a labelled set, without training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `targets` differ in length or are empty.
+    pub fn evaluate(&self, net: &Network, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
+        assert_eq!(inputs.len(), targets.len(), "evaluate: inputs vs targets length");
+        assert!(!inputs.is_empty(), "evaluate: empty set");
+        inputs
+            .iter()
+            .zip(targets)
+            .map(|(x, t)| self.loss.value(&net.forward(x), t))
+            .sum::<f64>()
+            / inputs.len() as f64
+    }
+}
+
+/// Classification accuracy of `net` over a labelled set (targets one-hot).
+///
+/// # Panics
+///
+/// Panics if `inputs` and `targets` differ in length or are empty.
+pub fn accuracy(net: &Network, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
+    assert_eq!(inputs.len(), targets.len(), "accuracy: inputs vs targets length");
+    assert!(!inputs.is_empty(), "accuracy: empty set");
+    let correct = inputs
+        .iter()
+        .zip(targets)
+        .filter(|(x, t)| net.predict_class(x) == napmon_tensor::vector::argmax(t))
+        .count();
+    correct as f64 / inputs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::network::{LayerSpec, Network};
+
+    #[test]
+    fn linear_regression_converges() {
+        // y = 3x - 1 with a single affine neuron.
+        let mut net = Network::seeded(11, 1, &[LayerSpec::dense(1, Activation::Identity)]);
+        let xs: Vec<Vec<f64>> = (0..32).map(|i| vec![(i as f64 - 16.0) / 16.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![3.0 * x[0] - 1.0]).collect();
+        let report = Trainer::new(Loss::Mse, Optimizer::sgd(0.3)).batch_size(8).epochs(300).run(&mut net, &xs, &ys, 5);
+        assert!(report.final_loss() < 1e-4, "loss {}", report.final_loss());
+        let out = net.forward(&[0.5]);
+        assert!((out[0] - 0.5).abs() < 0.05, "f(0.5) = {}", out[0]);
+    }
+
+    #[test]
+    fn nonlinear_regression_with_relu_converges() {
+        // y = |x| is exactly representable with two ReLU units.
+        let mut net = Network::seeded(2, 1, &[
+            LayerSpec::dense(8, Activation::Relu),
+            LayerSpec::dense(1, Activation::Identity),
+        ]);
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![(i as f64 - 32.0) / 32.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0].abs()]).collect();
+        let report = Trainer::new(Loss::Mse, Optimizer::adam(0.01)).batch_size(16).epochs(400).run(&mut net, &xs, &ys, 9);
+        assert!(report.final_loss() < 5e-4, "loss {}", report.final_loss());
+    }
+
+    #[test]
+    fn two_class_classification_reaches_high_accuracy() {
+        // Two separable blobs on the line.
+        let mut rng = Prng::seed(31);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..60 {
+            xs.push(vec![rng.normal(-1.0, 0.3)]);
+            ys.push(vec![1.0, 0.0]);
+            xs.push(vec![rng.normal(1.0, 0.3)]);
+            ys.push(vec![0.0, 1.0]);
+        }
+        let mut net = Network::seeded(4, 1, &[
+            LayerSpec::dense(8, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ]);
+        Trainer::new(Loss::SoftmaxCrossEntropy, Optimizer::adam(0.02))
+            .batch_size(16)
+            .epochs(60)
+            .run(&mut net, &xs, &ys, 17);
+        assert!(accuracy(&net, &xs, &ys) > 0.97);
+    }
+
+    #[test]
+    fn training_is_deterministic_under_seeds() {
+        let build = || Network::seeded(8, 2, &[LayerSpec::dense(4, Activation::Relu), LayerSpec::dense(1, Activation::Identity)]);
+        let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![(i % 4) as f64, (i / 4) as f64]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] - x[1]]).collect();
+        let mut a = build();
+        let mut b = build();
+        let t = Trainer::new(Loss::Mse, Optimizer::adam(0.01)).batch_size(4).epochs(5);
+        let ra = t.run(&mut a, &xs, &ys, 3);
+        let rb = t.run(&mut b, &xs, &ys, 3);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluate_reports_mean_loss() {
+        let net = Network::seeded(1, 1, &[LayerSpec::dense(1, Activation::Identity)]);
+        let t = Trainer::new(Loss::Mse, Optimizer::sgd(0.1));
+        let xs = vec![vec![0.0]];
+        let b0 = net.forward(&[0.0])[0];
+        let loss = t.evaluate(&net, &xs, &[vec![b0 + 2.0]]);
+        assert!((loss - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxpool_network_trains_without_panicking() {
+        use crate::network::NetworkBuilder;
+        let mut net = NetworkBuilder::image(13, 1, 6, 6)
+            .conv(2, 3, 1, 1, Activation::Relu)
+            .unwrap()
+            .maxpool(2, 2)
+            .unwrap()
+            .dense(4, Activation::Relu)
+            .dense(1, Activation::Identity)
+            .build()
+            .unwrap();
+        let mut rng = Prng::seed(2);
+        let xs: Vec<Vec<f64>> = (0..8).map(|_| rng.uniform_vec(36, 0.0, 1.0)).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x.iter().sum::<f64>() / 36.0]).collect();
+        let report = Trainer::new(Loss::Mse, Optimizer::adam(0.01)).batch_size(4).epochs(20).run(&mut net, &xs, &ys, 1);
+        assert!(report.final_loss().is_finite());
+        assert!(report.final_loss() < report.epoch_losses[0]);
+    }
+}

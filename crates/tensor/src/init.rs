@@ -1,0 +1,97 @@
+//! Weight-initialization schemes.
+
+use crate::{Matrix, Prng};
+
+/// Initialization scheme for a dense weight matrix.
+///
+/// The variance-scaling schemes take the layer fan-in/fan-out from the
+/// matrix shape (`rows` = fan-out, `cols` = fan-in, matching the
+/// `y = W x + b` convention used by `napmon-nn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Uniform in `[-a, a]`.
+    Uniform,
+    /// Glorot/Xavier uniform: `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `sigma = sqrt(2 / fan_in)`; the right default in
+    /// front of ReLU activations.
+    HeNormal,
+}
+
+impl Init {
+    /// Samples a `rows x cols` weight matrix under this scheme.
+    pub fn matrix(self, rng: &mut Prng, rows: usize, cols: usize) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::Uniform => {
+                let a = 0.05;
+                Matrix::from_fn(rows, cols, |_, _| rng.uniform(-a, a))
+            }
+            Init::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f64).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.uniform(-a, a))
+            }
+            Init::HeNormal => {
+                let sigma = (2.0 / cols.max(1) as f64).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, sigma))
+            }
+        }
+    }
+
+    /// Samples a bias vector of length `n` under this scheme (fan-in 1).
+    pub fn vector(self, rng: &mut Prng, n: usize) -> Vec<f64> {
+        match self {
+            Init::Zeros => vec![0.0; n],
+            Init::Uniform => rng.uniform_vec(n, -0.05, 0.05),
+            Init::XavierUniform => {
+                let a = (6.0 / (n + 1) as f64).sqrt();
+                rng.uniform_vec(n, -a, a)
+            }
+            Init::HeNormal => rng.normal_vec(n, 0.0, (2.0_f64).sqrt()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let mut rng = Prng::seed(0);
+        let m = Init::Zeros.matrix(&mut rng, 4, 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert!(Init::Zeros.vector(&mut rng, 3).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn xavier_bounds_shrink_with_size() {
+        let mut rng = Prng::seed(1);
+        let small = Init::XavierUniform.matrix(&mut rng, 4, 4);
+        let big = Init::XavierUniform.matrix(&mut rng, 512, 512);
+        let max_small = small.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let max_big = big.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        assert!(max_small <= (6.0 / 8.0_f64).sqrt());
+        assert!(max_big <= (6.0 / 1024.0_f64).sqrt());
+        assert!(max_big < max_small);
+    }
+
+    #[test]
+    fn he_normal_variance_tracks_fan_in() {
+        let mut rng = Prng::seed(2);
+        let m = Init::HeNormal.matrix(&mut rng, 64, 128);
+        let n = (m.rows() * m.cols()) as f64;
+        let var = m.as_slice().iter().map(|v| v * v).sum::<f64>() / n;
+        // Expected variance 2/128 = 0.015625.
+        assert!((var - 0.015625).abs() < 0.003, "var {var}");
+    }
+
+    #[test]
+    fn init_is_deterministic_under_seed() {
+        let a = Init::HeNormal.matrix(&mut Prng::seed(9), 8, 8);
+        let b = Init::HeNormal.matrix(&mut Prng::seed(9), 8, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! Summary statistics over `f64` slices.
+//!
+//! Used by threshold selection (per-neuron activation quantiles), dataset
+//! normalization, and the evaluation harness.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum value; `+inf` for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum value; `-inf` for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`.
+///
+/// Matches numpy's default (`linear`) method. Sorting happens on a copy.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q={q} outside [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// `k` evenly spaced interior quantiles (excluding 0 and 1).
+///
+/// For `k = 3` this returns the 25th/50th/75th percentiles — exactly the
+/// threshold layout a 2-bit interval monitor needs.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn interior_quantiles(xs: &[f64], k: usize) -> Vec<f64> {
+    (1..=k).map(|i| quantile(xs, i as f64 / (k + 1) as f64)).collect()
+}
+
+/// Histogram of `xs` over `bins` equal-width buckets spanning `[lo, hi]`.
+///
+/// Out-of-range values clamp into the first/last bucket.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi`.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram: zero bins");
+    assert!(lo < hi, "histogram: bad range [{lo}, {hi}]");
+    let mut counts = vec![0usize; bins];
+    let w = (hi - lo) / bins as f64;
+    for &x in xs {
+        let b = (((x - lo) / w).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_slice_conventions() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn quantile_endpoints_are_min_max() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 3.0);
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+        assert_eq!(quantile(&xs, 0.75), 7.5);
+    }
+
+    #[test]
+    fn interior_quantiles_are_sorted_quartiles() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let qs = interior_quantiles(&xs, 3);
+        assert_eq!(qs, vec![25.0, 50.0, 75.0]);
+    }
+
+    #[test]
+    fn histogram_counts_everything_once() {
+        let xs = [-10.0, 0.1, 0.2, 0.5, 0.9, 10.0];
+        let h = histogram(&xs, 0.0, 1.0, 2);
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+        assert_eq!(h, vec![3, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone_in_q(
+            xs in proptest::collection::vec(-100.0..100.0f64, 1..64),
+            q1 in 0.0..1.0f64,
+            q2 in 0.0..1.0f64,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi));
+        }
+
+        #[test]
+        fn quantile_is_bounded_by_min_max(
+            xs in proptest::collection::vec(-100.0..100.0f64, 1..64),
+            q in 0.0..=1.0f64,
+        ) {
+            let v = quantile(&xs, q);
+            prop_assert!(v >= min(&xs) && v <= max(&xs));
+        }
+
+        #[test]
+        fn variance_is_translation_invariant(
+            xs in proptest::collection::vec(-10.0..10.0f64, 2..32),
+            shift in -5.0..5.0f64,
+        ) {
+            let shifted: Vec<f64> = xs.iter().map(|v| v + shift).collect();
+            prop_assert!((variance(&xs) - variance(&shifted)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Slice-based vector helpers.
+//!
+//! Vectors throughout the workspace are plain `Vec<f64>` / `&[f64]`; these
+//! free functions provide the arithmetic the other crates need without
+//! wrapping the data in a newtype (feature vectors flow between crates and
+//! into user code, so bare slices keep the API friction-free).
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+///
+/// ```
+/// assert_eq!(napmon_tensor::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Elementwise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Elementwise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// In-place `a += alpha * b`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(a: &mut [f64], alpha: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "axpy: length mismatch {} vs {}", a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// Scales a vector in place.
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// Euclidean (L2) norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute entry (L∞ norm); `0.0` for the empty slice.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// L∞ distance between two equal-length slices.
+///
+/// This is the "closeness" metric of the paper's Lemma 1: two points are
+/// `Δ`-close when every coordinate differs by at most `Δ`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "linf_distance: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).fold(0.0, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Index of the largest entry, breaking ties toward the lower index.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn argmax(a: &[f64]) -> usize {
+    assert!(!a.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > a[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically-stable softmax.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn softmax(a: &[f64]) -> Vec<f64> {
+    assert!(!a.is_empty(), "softmax of empty slice");
+    let max = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = a.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Clamps every entry of `a` into `[lo[i], hi[i]]`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or any `lo[i] > hi[i]`.
+pub fn clamp_into(a: &mut [f64], lo: &[f64], hi: &[f64]) {
+    assert_eq!(a.len(), lo.len(), "clamp_into: length mismatch");
+    assert_eq!(a.len(), hi.len(), "clamp_into: length mismatch");
+    for i in 0..a.len() {
+        assert!(lo[i] <= hi[i], "clamp_into: lo[{i}] > hi[{i}]");
+        a[i] = a[i].clamp(lo[i], hi[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = [1.0, -2.0, 3.5];
+        let b = [0.5, 0.5, 0.5];
+        assert_eq!(sub(&add(&a, &b), &b), a.to_vec());
+    }
+
+    #[test]
+    fn axpy_matches_add_scaled() {
+        let mut a = vec![1.0, 2.0];
+        axpy(&mut a, 2.0, &[3.0, -1.0]);
+        assert_eq!(a, vec![7.0, 0.0]);
+    }
+
+    #[test]
+    fn norms_of_unit_vectors() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 4.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn linf_distance_is_max_coordinate_gap() {
+        assert_eq!(linf_distance(&[0.0, 0.0], &[0.5, -2.0]), 2.0);
+        assert_eq!(linf_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_preserves_order() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        assert!((a[0] - b[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_into_respects_bounds() {
+        let mut a = vec![-5.0, 0.5, 5.0];
+        clamp_into(&mut a, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![0.0, 0.5, 1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_symmetric(
+            a in proptest::collection::vec(-100.0..100.0f64, 0..16),
+        ) {
+            let b: Vec<f64> = a.iter().rev().cloned().collect();
+            prop_assert_eq!(dot(&a, &b), dot(&b, &a));
+        }
+
+        #[test]
+        fn linf_distance_triangle_inequality(
+            a in proptest::collection::vec(-10.0..10.0f64, 4),
+            b in proptest::collection::vec(-10.0..10.0f64, 4),
+            c in proptest::collection::vec(-10.0..10.0f64, 4),
+        ) {
+            prop_assert!(linf_distance(&a, &c) <= linf_distance(&a, &b) + linf_distance(&b, &c) + 1e-12);
+        }
+
+        #[test]
+        fn softmax_output_is_distribution(
+            a in proptest::collection::vec(-50.0..50.0f64, 1..10),
+        ) {
+            let p = softmax(&a);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

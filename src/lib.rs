@@ -1,0 +1,53 @@
+//! # napmon — provably-robust runtime monitoring of neuron activation patterns
+//!
+//! A Rust reproduction of *"Provably-Robust Runtime Monitoring of Neuron
+//! Activation Patterns"* (Chih-Hong Cheng, DATE 2021). The crate is a facade
+//! that re-exports the workspace members:
+//!
+//! - [`tensor`] — dense vectors/matrices and RNG utilities,
+//! - [`nn`] — feed-forward networks, training, and layer-sliced evaluation
+//!   (`G^k`, `G^{l->k}` in the paper's notation),
+//! - [`absint`] — abstract domains (interval/box, zonotope, DeepPoly-style
+//!   polyhedra, star set) used to compute the perturbation estimate of
+//!   Definition 1,
+//! - [`bdd`] — reduced ordered binary decision diagrams storing pattern sets,
+//! - [`core`] — the monitors themselves: min-max, Boolean on-off patterns and
+//!   multi-bit interval patterns, each with standard and robust construction,
+//! - [`data`] — synthetic datasets standing in for the paper's race-track lab,
+//! - [`eval`] — the experiment harness regenerating the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use napmon::nn::{Network, LayerSpec, Activation};
+//! use napmon::core::{MonitorBuilder, MonitorKind, Monitor};
+//! use napmon::absint::Domain;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny trained-elsewhere network: 4 -> 8 -> 2 with ReLU.
+//! let net = Network::seeded(42, 4, &[
+//!     LayerSpec::dense(8, Activation::Relu),
+//!     LayerSpec::dense(2, Activation::Identity),
+//! ]);
+//! // Training data (here: random points standing in for a real set).
+//! let train: Vec<Vec<f64>> = (0..64)
+//!     .map(|i| (0..4).map(|j| ((i * 7 + j * 3) % 10) as f64 / 10.0).collect())
+//!     .collect();
+//! // Build a robust on-off pattern monitor at the last hidden layer,
+//! // tolerating input perturbations up to 0.05 per dimension.
+//! let monitor = MonitorBuilder::new(&net, 1)
+//!     .robust(0.05, 0, Domain::Box)
+//!     .build(MonitorKind::pattern(), &train)?;
+//! // Inputs near the training data never warn (Lemma 1)...
+//! assert!(!monitor.warns(&net, &train[0])?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use napmon_absint as absint;
+pub use napmon_bdd as bdd;
+pub use napmon_core as core;
+pub use napmon_data as data;
+pub use napmon_eval as eval;
+pub use napmon_nn as nn;
+pub use napmon_tensor as tensor;
