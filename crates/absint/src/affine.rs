@@ -43,7 +43,12 @@ impl AffineView {
                     .collect()
             })
             .collect();
-        Self { in_dim: d.in_dim(), out_dim: d.out_dim(), rows, bias: d.bias().to_vec() }
+        Self {
+            in_dim: d.in_dim(),
+            out_dim: d.out_dim(),
+            rows,
+            bias: d.bias().to_vec(),
+        }
     }
 
     /// Enumerates a convolution's receptive fields into sparse rows.
@@ -61,7 +66,11 @@ impl AffineView {
                             for kx in 0..k {
                                 let iy = (oy * c.stride() + ky) as isize - c.padding() as isize;
                                 let ix = (ox * c.stride() + kx) as isize - c.padding() as isize;
-                                if iy < 0 || ix < 0 || iy as usize >= c.in_h() || ix as usize >= c.in_w() {
+                                if iy < 0
+                                    || ix < 0
+                                    || iy as usize >= c.in_h()
+                                    || ix as usize >= c.in_w()
+                                {
                                     continue;
                                 }
                                 let idx = (ic * c.in_h() + iy as usize) * c.in_w() + ix as usize;
@@ -77,7 +86,12 @@ impl AffineView {
                 }
             }
         }
-        Self { in_dim: c.in_dim(), out_dim: c.out_dim(), rows, bias }
+        Self {
+            in_dim: c.in_dim(),
+            out_dim: c.out_dim(),
+            rows,
+            bias,
+        }
     }
 
     /// Average pooling as a sparse affine map (weight `1/p²` per window
@@ -93,13 +107,28 @@ impl AffineView {
                 }
             }
         }
-        Self { in_dim: p.in_dim(), out_dim: p.out_dim(), rows, bias: vec![0.0; p.out_dim()] }
+        Self {
+            in_dim: p.in_dim(),
+            out_dim: p.out_dim(),
+            rows,
+            bias: vec![0.0; p.out_dim()],
+        }
     }
 
     /// Frozen batch norm as a diagonal affine map.
     pub fn from_batchnorm(bn: &BatchNorm1d) -> Self {
-        let rows = bn.scale().iter().enumerate().map(|(i, &s)| vec![(i, s)]).collect();
-        Self { in_dim: bn.dim(), out_dim: bn.dim(), rows, bias: bn.shift().to_vec() }
+        let rows = bn
+            .scale()
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| vec![(i, s)])
+            .collect();
+        Self {
+            in_dim: bn.dim(),
+            out_dim: bn.dim(),
+            rows,
+            bias: bn.shift().to_vec(),
+        }
     }
 
     /// Input dimension.
@@ -161,7 +190,11 @@ mod tests {
 
     #[test]
     fn dense_view_matches_layer_forward() {
-        let d = Dense::new(Matrix::from_rows(&[&[1.0, -2.0, 0.0], &[0.5, 0.0, 3.0]]), vec![0.1, -0.2]).unwrap();
+        let d = Dense::new(
+            Matrix::from_rows(&[&[1.0, -2.0, 0.0], &[0.5, 0.0, 3.0]]),
+            vec![0.1, -0.2],
+        )
+        .unwrap();
         let v = AffineView::from_dense(&d);
         assert_eq!(v.in_dim(), 3);
         assert_eq!(v.out_dim(), 2);

@@ -32,14 +32,22 @@ impl BoxBounds {
         assert_eq!(lo.len(), hi.len(), "box: bound length mismatch");
         for i in 0..lo.len() {
             assert!(!lo[i].is_nan() && !hi[i].is_nan(), "box: NaN bound at {i}");
-            assert!(lo[i] <= hi[i], "box: empty dimension {i}: [{}, {}]", lo[i], hi[i]);
+            assert!(
+                lo[i] <= hi[i],
+                "box: empty dimension {i}: [{}, {}]",
+                lo[i],
+                hi[i]
+            );
         }
         Self { lo, hi }
     }
 
     /// The degenerate box containing exactly `point`.
     pub fn from_point(point: &[f64]) -> Self {
-        Self { lo: point.to_vec(), hi: point.to_vec() }
+        Self {
+            lo: point.to_vec(),
+            hi: point.to_vec(),
+        }
     }
 
     /// The L∞ ball `[c - r, c + r]` around `center` (outward-rounded).
@@ -87,7 +95,10 @@ impl BoxBounds {
     /// Panics if the dimensions differ.
     pub fn contains(&self, point: &[f64]) -> bool {
         assert_eq!(point.len(), self.dim(), "contains: dimension mismatch");
-        point.iter().enumerate().all(|(i, &x)| self.lo[i] <= x && x <= self.hi[i])
+        point
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| self.lo[i] <= x && x <= self.hi[i])
     }
 
     /// Whether `other` is entirely inside `self`.
@@ -111,8 +122,18 @@ impl BoxBounds {
     /// dimension (which would mean one input was not a sound enclosure).
     pub fn meet(&self, other: &BoxBounds) -> BoxBounds {
         assert_eq!(other.dim(), self.dim(), "meet: dimension mismatch");
-        let lo: Vec<f64> = self.lo.iter().zip(&other.lo).map(|(a, b)| a.max(*b)).collect();
-        let hi: Vec<f64> = self.hi.iter().zip(&other.hi).map(|(a, b)| a.min(*b)).collect();
+        let lo: Vec<f64> = self
+            .lo
+            .iter()
+            .zip(&other.lo)
+            .map(|(a, b)| a.max(*b))
+            .collect();
+        let hi: Vec<f64> = self
+            .hi
+            .iter()
+            .zip(&other.hi)
+            .map(|(a, b)| a.min(*b))
+            .collect();
         BoxBounds::new(lo, hi)
     }
 
@@ -124,14 +145,28 @@ impl BoxBounds {
     pub fn hull(&self, other: &BoxBounds) -> BoxBounds {
         assert_eq!(other.dim(), self.dim(), "hull: dimension mismatch");
         BoxBounds {
-            lo: self.lo.iter().zip(&other.lo).map(|(a, b)| a.min(*b)).collect(),
-            hi: self.hi.iter().zip(&other.hi).map(|(a, b)| a.max(*b)).collect(),
+            lo: self
+                .lo
+                .iter()
+                .zip(&other.lo)
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+            hi: self
+                .hi
+                .iter()
+                .zip(&other.hi)
+                .map(|(a, b)| a.max(*b))
+                .collect(),
         }
     }
 
     /// Per-dimension widths.
     pub fn widths(&self) -> Vec<f64> {
-        self.lo.iter().zip(&self.hi).map(|(l, h)| round_up(h - l)).collect()
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| round_up(h - l))
+            .collect()
     }
 
     /// Mean width across dimensions (a tightness metric for domain
@@ -252,7 +287,11 @@ mod tests {
 
     #[test]
     fn affine_step_encloses_concrete_images() {
-        let d = Dense::new(Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]), vec![0.1, -0.2]).unwrap();
+        let d = Dense::new(
+            Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]),
+            vec![0.1, -0.2],
+        )
+        .unwrap();
         let layer = Layer::Dense(d.clone());
         let b = BoxBounds::from_center_radius(&[0.3, -0.6], 0.1);
         let out = b.step(&layer);

@@ -106,36 +106,62 @@ impl Interval {
     }
 
     /// Outward-rounded sum.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Interval) -> Interval {
-        Interval { lo: round_down(self.lo + rhs.lo), hi: round_up(self.hi + rhs.hi) }
+        Interval {
+            lo: round_down(self.lo + rhs.lo),
+            hi: round_up(self.hi + rhs.hi),
+        }
     }
 
     /// Outward-rounded difference.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Interval) -> Interval {
-        Interval { lo: round_down(self.lo - rhs.hi), hi: round_up(self.hi - rhs.lo) }
+        Interval {
+            lo: round_down(self.lo - rhs.hi),
+            hi: round_up(self.hi - rhs.lo),
+        }
     }
 
     /// Outward-rounded product with a scalar.
     pub fn scale(self, k: f64) -> Interval {
         let (a, b) = (k * self.lo, k * self.hi);
         if a <= b {
-            Interval { lo: round_down(a), hi: round_up(b) }
+            Interval {
+                lo: round_down(a),
+                hi: round_up(b),
+            }
         } else {
-            Interval { lo: round_down(b), hi: round_up(a) }
+            Interval {
+                lo: round_down(b),
+                hi: round_up(a),
+            }
         }
     }
 
     /// Outward-rounded addition of a scalar.
     pub fn shift(self, k: f64) -> Interval {
-        Interval { lo: round_down(self.lo + k), hi: round_up(self.hi + k) }
+        Interval {
+            lo: round_down(self.lo + k),
+            hi: round_up(self.hi + k),
+        }
     }
 
     /// Outward-rounded interval product.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Interval) -> Interval {
-        let candidates = [self.lo * rhs.lo, self.lo * rhs.hi, self.hi * rhs.lo, self.hi * rhs.hi];
+        let candidates = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
         let lo = candidates.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = candidates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Interval { lo: round_down(lo), hi: round_up(hi) }
+        Interval {
+            lo: round_down(lo),
+            hi: round_up(hi),
+        }
     }
 
     /// Image under a monotone non-decreasing function.
@@ -143,17 +169,26 @@ impl Interval {
     /// Sound only for monotone `f` (all activations in `napmon-nn` qualify);
     /// `f` itself is evaluated in round-to-nearest and then rounded outward.
     pub fn map_monotone(self, f: impl Fn(f64) -> f64) -> Interval {
-        Interval { lo: round_down(f(self.lo)), hi: round_up(f(self.hi)) }
+        Interval {
+            lo: round_down(f(self.lo)),
+            hi: round_up(f(self.hi)),
+        }
     }
 
     /// Union (smallest interval containing both).
     pub fn hull(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo.min(rhs.lo), hi: self.hi.max(rhs.hi) }
+        Interval {
+            lo: self.lo.min(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+        }
     }
 
     /// Maximum of two intervals (elementwise monotone in both arguments).
     pub fn max(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo.max(rhs.lo), hi: self.hi.max(rhs.hi) }
+        Interval {
+            lo: self.lo.max(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+        }
     }
 }
 

@@ -32,13 +32,19 @@ struct LinExpr {
 
 impl LinExpr {
     fn constant(c: f64, width: usize) -> Self {
-        Self { coeffs: vec![0.0; width], constant: c }
+        Self {
+            coeffs: vec![0.0; width],
+            constant: c,
+        }
     }
 
     fn unit(i: usize, width: usize) -> Self {
         let mut coeffs = vec![0.0; width];
         coeffs[i] = 1.0;
-        Self { coeffs, constant: 0.0 }
+        Self {
+            coeffs,
+            constant: 0.0,
+        }
     }
 }
 
@@ -70,9 +76,19 @@ impl PolyAnalysis {
     ///
     /// Panics if the range or box dimension is invalid.
     pub fn run(net: &Network, from: usize, to: usize, input: &BoxBounds) -> Self {
-        assert!(from <= to && to <= net.num_layers(), "invalid layer range {from}..{to}");
-        assert_eq!(input.dim(), net.dim_at(from), "input box dimension at boundary {from}");
-        let mut analysis = Self { relaxations: Vec::with_capacity(to - from), input: input.clone() };
+        assert!(
+            from <= to && to <= net.num_layers(),
+            "invalid layer range {from}..{to}"
+        );
+        assert_eq!(
+            input.dim(),
+            net.dim_at(from),
+            "input box dimension at boundary {from}"
+        );
+        let mut analysis = Self {
+            relaxations: Vec::with_capacity(to - from),
+            input: input.clone(),
+        };
         for li in from..to {
             let layer = &net.layers()[li];
             let in_dim = net.dim_at(li);
@@ -104,10 +120,16 @@ impl PolyAnalysis {
                 for &(i, w) in view.row(r) {
                     coeffs[i] = w;
                 }
-                LinExpr { coeffs, constant: view.bias()[r] }
+                LinExpr {
+                    coeffs,
+                    constant: view.bias()[r],
+                }
             })
             .collect();
-        Relaxation { lower: exprs.clone(), upper: exprs }
+        Relaxation {
+            lower: exprs.clone(),
+            upper: exprs,
+        }
     }
 
     fn activation_relaxation(act: Activation, pre: &BoxBounds) -> Relaxation {
@@ -177,8 +199,16 @@ impl PolyAnalysis {
 
     fn constant_relaxation(post: &BoxBounds, in_dim: usize) -> Relaxation {
         Relaxation {
-            lower: post.lo().iter().map(|&l| LinExpr::constant(l, in_dim)).collect(),
-            upper: post.hi().iter().map(|&u| LinExpr::constant(u, in_dim)).collect(),
+            lower: post
+                .lo()
+                .iter()
+                .map(|&l| LinExpr::constant(l, in_dim))
+                .collect(),
+            upper: post
+                .hi()
+                .iter()
+                .map(|&u| LinExpr::constant(u, in_dim))
+                .collect(),
         }
     }
 
@@ -210,7 +240,11 @@ impl PolyAnalysis {
     /// Back-substitutes one neuron's bound from boundary `depth` to the
     /// input and evaluates over the input box.
     fn bound_one(&self, depth: usize, neuron: usize, want_upper: bool) -> f64 {
-        let width = if depth == 0 { self.input.dim() } else { self.relaxations[depth - 1].lower.len() };
+        let width = if depth == 0 {
+            self.input.dim()
+        } else {
+            self.relaxations[depth - 1].lower.len()
+        };
         let mut expr = LinExpr::unit(neuron, width);
         for level in (0..depth).rev() {
             expr = self.substitute(&expr, level, want_upper);
@@ -219,9 +253,17 @@ impl PolyAnalysis {
         let mut acc = expr.constant;
         for (i, &c) in expr.coeffs.iter().enumerate() {
             if c > 0.0 {
-                acc += c * if want_upper { self.input.hi()[i] } else { self.input.lo()[i] };
+                acc += c * if want_upper {
+                    self.input.hi()[i]
+                } else {
+                    self.input.lo()[i]
+                };
             } else if c < 0.0 {
-                acc += c * if want_upper { self.input.lo()[i] } else { self.input.hi()[i] };
+                acc += c * if want_upper {
+                    self.input.lo()[i]
+                } else {
+                    self.input.hi()[i]
+                };
             }
         }
         let pad = POLY_EPS * (1.0 + acc.abs());
@@ -236,7 +278,11 @@ impl PolyAnalysis {
     /// the input of `level`, choosing lower/upper relaxations per sign.
     fn substitute(&self, expr: &LinExpr, level: usize, want_upper: bool) -> LinExpr {
         let rel = &self.relaxations[level];
-        let in_width = if level == 0 { self.input.dim() } else { self.relaxations[level - 1].lower.len() };
+        let in_width = if level == 0 {
+            self.input.dim()
+        } else {
+            self.relaxations[level - 1].lower.len()
+        };
         let mut out = LinExpr::constant(expr.constant, in_width);
         for (j, &c) in expr.coeffs.iter().enumerate() {
             if c == 0.0 {
@@ -246,7 +292,11 @@ impl PolyAnalysis {
             // relaxation and negative ones the lower (vice versa for a
             // lower bound).
             let use_upper = (c > 0.0) == want_upper;
-            let sub = if use_upper { &rel.upper[j] } else { &rel.lower[j] };
+            let sub = if use_upper {
+                &rel.upper[j]
+            } else {
+                &rel.lower[j]
+            };
             for (i, &sc) in sub.coeffs.iter().enumerate() {
                 out.coeffs[i] += c * sc;
             }
@@ -277,17 +327,25 @@ mod tests {
     use napmon_tensor::{Matrix, Prng};
 
     fn net(seed: u64) -> Network {
-        Network::seeded(seed, 3, &[
-            LayerSpec::dense(8, Activation::Relu),
-            LayerSpec::dense(6, Activation::Relu),
-            LayerSpec::dense(2, Activation::Identity),
-        ])
+        Network::seeded(
+            seed,
+            3,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(6, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        )
     }
 
     #[test]
     fn affine_chain_is_essentially_exact() {
         // Rotate then sum: poly keeps the cancellation that boxes lose.
-        let rot = Dense::new(Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]), vec![0.0, 0.0]).unwrap();
+        let rot = Dense::new(
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]),
+            vec![0.0, 0.0],
+        )
+        .unwrap();
         let sum = Dense::new(Matrix::from_rows(&[&[1.0, 1.0]]), vec![0.0]).unwrap();
         let net = Network::from_layers(2, vec![Layer::Dense(rot), Layer::Dense(sum)]).unwrap();
         let input = BoxBounds::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
@@ -305,8 +363,14 @@ mod tests {
         let input = BoxBounds::from_center_radius(&center, delta);
         let out = poly_bounds(&net, 0, net.num_layers(), &input);
         for _ in 0..500 {
-            let x: Vec<f64> = center.iter().map(|&c| rng.uniform(c - delta, c + delta)).collect();
-            assert!(out.contains(&net.forward(&x)), "concrete image escaped poly bounds");
+            let x: Vec<f64> = center
+                .iter()
+                .map(|&c| rng.uniform(c - delta, c + delta))
+                .collect();
+            assert!(
+                out.contains(&net.forward(&x)),
+                "concrete image escaped poly bounds"
+            );
         }
     }
 
@@ -324,7 +388,12 @@ mod tests {
             }
             b
         };
-        assert!(poly.mean_width() <= boxb.mean_width() + 1e-9, "poly {} vs box {}", poly.mean_width(), boxb.mean_width());
+        assert!(
+            poly.mean_width() <= boxb.mean_width() + 1e-9,
+            "poly {} vs box {}",
+            poly.mean_width(),
+            boxb.mean_width()
+        );
     }
 
     #[test]
@@ -352,7 +421,14 @@ mod tests {
 
     #[test]
     fn sigmoid_collapse_is_sound() {
-        let net = Network::seeded(13, 2, &[LayerSpec::dense(4, Activation::Sigmoid), LayerSpec::dense(1, Activation::Identity)]);
+        let net = Network::seeded(
+            13,
+            2,
+            &[
+                LayerSpec::dense(4, Activation::Sigmoid),
+                LayerSpec::dense(1, Activation::Identity),
+            ],
+        );
         let input = BoxBounds::from_center_radius(&[0.0, 0.0], 0.4);
         let out = poly_bounds(&net, 0, net.num_layers(), &input);
         let mut rng = Prng::seed(14);
@@ -364,10 +440,14 @@ mod tests {
 
     #[test]
     fn leaky_relu_relaxation_is_sound() {
-        let net = Network::seeded(15, 2, &[
-            LayerSpec::dense(6, Activation::LeakyRelu { alpha: 0.1 }),
-            LayerSpec::dense(2, Activation::Identity),
-        ]);
+        let net = Network::seeded(
+            15,
+            2,
+            &[
+                LayerSpec::dense(6, Activation::LeakyRelu { alpha: 0.1 }),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        );
         let input = BoxBounds::from_center_radius(&[0.1, -0.1], 0.3);
         let out = poly_bounds(&net, 0, net.num_layers(), &input);
         let mut rng = Prng::seed(16);

@@ -114,8 +114,15 @@ impl<'a> Propagator<'a> {
     ///
     /// Panics if the range or the box dimension is invalid.
     pub fn bounds(&self, from: usize, to: usize, input: &BoxBounds) -> BoxBounds {
-        assert!(from <= to && to <= self.net.num_layers(), "invalid layer range {from}..{to}");
-        assert_eq!(input.dim(), self.net.dim_at(from), "input box dimension at boundary {from}");
+        assert!(
+            from <= to && to <= self.net.num_layers(),
+            "invalid layer range {from}..{to}"
+        );
+        assert_eq!(
+            input.dim(),
+            self.net.dim_at(from),
+            "input box dimension at boundary {from}"
+        );
         match self.domain {
             Domain::Box => {
                 let mut b = input.clone();
@@ -138,7 +145,8 @@ impl<'a> Propagator<'a> {
                 z.bounds().meet(&b)
             }
             Domain::Poly => {
-                let poly = crate::poly::PolyAnalysis::run(self.net, from, to, input).output_bounds();
+                let poly =
+                    crate::poly::PolyAnalysis::run(self.net, from, to, input).output_bounds();
                 let mut b = input.clone();
                 for li in from..to {
                     b = self.step_box(&b, li);
@@ -164,7 +172,13 @@ impl<'a> Propagator<'a> {
 /// # Panics
 ///
 /// Panics if the range or the box dimension is invalid.
-pub fn propagate_bounds(net: &Network, from: usize, to: usize, input: &BoxBounds, domain: Domain) -> BoxBounds {
+pub fn propagate_bounds(
+    net: &Network,
+    from: usize,
+    to: usize,
+    input: &BoxBounds,
+    domain: Domain,
+) -> BoxBounds {
     Propagator::new(net, domain).bounds(from, to, input)
 }
 
@@ -176,11 +190,15 @@ mod tests {
     use proptest::prelude::*;
 
     fn sample_net(seed: u64) -> Network {
-        Network::seeded(seed, 3, &[
-            LayerSpec::dense(6, Activation::Relu),
-            LayerSpec::dense(5, Activation::Relu),
-            LayerSpec::dense(2, Activation::Identity),
-        ])
+        Network::seeded(
+            seed,
+            3,
+            &[
+                LayerSpec::dense(6, Activation::Relu),
+                LayerSpec::dense(5, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        )
     }
 
     #[test]
@@ -189,9 +207,19 @@ mod tests {
         let x = [0.2, -0.4, 0.6];
         let y = net.forward(&x);
         for domain in Domain::ALL {
-            let out = propagate_bounds(&net, 0, net.num_layers(), &BoxBounds::from_point(&x), domain);
+            let out = propagate_bounds(
+                &net,
+                0,
+                net.num_layers(),
+                &BoxBounds::from_point(&x),
+                domain,
+            );
             assert!(out.contains(&y), "{domain}: concrete output escaped");
-            assert!(out.mean_width() < 1e-6, "{domain}: width {}", out.mean_width());
+            assert!(
+                out.mean_width() < 1e-6,
+                "{domain}: width {}",
+                out.mean_width()
+            );
         }
     }
 
@@ -205,8 +233,14 @@ mod tests {
         for domain in Domain::ALL {
             let out = propagate_bounds(&net, 0, net.num_layers(), &input, domain);
             for _ in 0..400 {
-                let x: Vec<f64> = center.iter().map(|&c| rng.uniform(c - delta, c + delta)).collect();
-                assert!(out.contains(&net.forward(&x)), "{domain}: perturbed image escaped");
+                let x: Vec<f64> = center
+                    .iter()
+                    .map(|&c| rng.uniform(c - delta, c + delta))
+                    .collect();
+                assert!(
+                    out.contains(&net.forward(&x)),
+                    "{domain}: perturbed image escaped"
+                );
             }
         }
     }
@@ -232,7 +266,10 @@ mod tests {
         let out = propagate_bounds(&net, 2, net.num_layers(), &input, Domain::Box);
         let mut rng = Prng::seed(11);
         for _ in 0..200 {
-            let pert: Vec<f64> = mid.iter().map(|&m| rng.uniform(m - 0.05, m + 0.05)).collect();
+            let pert: Vec<f64> = mid
+                .iter()
+                .map(|&m| rng.uniform(m - 0.05, m + 0.05))
+                .collect();
             assert!(out.contains(&net.forward_range(&pert, 2, net.num_layers())));
         }
     }
@@ -266,8 +303,14 @@ mod tests {
         for domain in Domain::ALL {
             let out = propagate_bounds(&net, 0, net.num_layers(), &input, domain);
             for _ in 0..100 {
-                let x: Vec<f64> = center.iter().map(|&c| rng.uniform(c - 0.05, c + 0.05)).collect();
-                assert!(out.contains(&net.forward(&x)), "{domain}: conv image escaped");
+                let x: Vec<f64> = center
+                    .iter()
+                    .map(|&c| rng.uniform(c - 0.05, c + 0.05))
+                    .collect();
+                assert!(
+                    out.contains(&net.forward(&x)),
+                    "{domain}: conv image escaped"
+                );
             }
         }
     }

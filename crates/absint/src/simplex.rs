@@ -61,7 +61,11 @@ pub struct Simplex {
 impl Simplex {
     /// Starts an LP over `num_vars` non-negative variables.
     pub fn new(num_vars: usize) -> Self {
-        Self { num_vars, rows: Vec::new(), rhs: Vec::new() }
+        Self {
+            num_vars,
+            rows: Vec::new(),
+            rhs: Vec::new(),
+        }
     }
 
     /// Adds a constraint `coeffs · x ≤ bound`. Returns `self` for chaining.
@@ -149,7 +153,10 @@ impl Simplex {
                 point[b] = t[i][cols - 1];
             }
         }
-        Ok(LpSolution { objective: objective_value, point })
+        Ok(LpSolution {
+            objective: objective_value,
+            point,
+        })
     }
 
     /// Runs primal simplex with Bland's rule on the tableau; columns with
@@ -194,7 +201,10 @@ impl Simplex {
             for i in 0..m {
                 if t[i][j] > 1e-9 {
                     let ratio = t[i][cols - 1] / t[i][j];
-                    if ratio < best - 1e-12 || (ratio < best + 1e-12 && leave.map(|l| basis[i] < basis[l]).unwrap_or(false)) {
+                    if ratio < best - 1e-12
+                        || (ratio < best + 1e-12
+                            && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                    {
                         best = ratio;
                         leave = Some(i);
                     }
@@ -221,6 +231,7 @@ impl Simplex {
             if f == 0.0 {
                 continue;
             }
+            #[allow(clippy::needless_range_loop)] // two rows of one tableau
             for j in 0..cols {
                 t[i][j] -= f * t[row][j];
             }
@@ -252,7 +263,10 @@ pub fn maximize_boxed(
     assert_eq!(lo.len(), n, "maximize_boxed: lo arity");
     assert_eq!(hi.len(), n, "maximize_boxed: hi arity");
     for i in 0..n {
-        assert!(lo[i].is_finite() && hi[i].is_finite() && lo[i] <= hi[i], "bad variable bound {i}");
+        assert!(
+            lo[i].is_finite() && hi[i].is_finite() && lo[i] <= hi[i],
+            "bad variable bound {i}"
+        );
     }
     let mut lp = Simplex::new(n);
     // Upper bounds: z_i <= hi_i - lo_i.
@@ -270,7 +284,10 @@ pub fn maximize_boxed(
     let sol = lp.maximize(objective)?;
     let offset: f64 = objective.iter().zip(lo).map(|(c, l)| c * l).sum();
     let point: Vec<f64> = sol.point.iter().zip(lo).map(|(z, l)| z + l).collect();
-    Ok(LpSolution { objective: sol.objective + offset, point })
+    Ok(LpSolution {
+        objective: sol.objective + offset,
+        point,
+    })
 }
 
 #[cfg(test)]
@@ -292,21 +309,29 @@ mod tests {
 
     #[test]
     fn unconstrained_direction_is_unbounded() {
-        let err = Simplex::new(2).less_equal(&[1.0, 0.0], 1.0).maximize(&[0.0, 1.0]).unwrap_err();
+        let err = Simplex::new(2)
+            .less_equal(&[1.0, 0.0], 1.0)
+            .maximize(&[0.0, 1.0])
+            .unwrap_err();
         assert_eq!(err, LpError::Unbounded);
     }
 
     #[test]
     fn contradictory_constraints_are_infeasible() {
         // x <= -1 with x >= 0.
-        let err = Simplex::new(1).less_equal(&[1.0], -1.0).maximize(&[1.0]).unwrap_err();
+        let err = Simplex::new(1)
+            .less_equal(&[1.0], -1.0)
+            .maximize(&[1.0])
+            .unwrap_err();
         assert_eq!(err, LpError::Infeasible);
     }
 
     #[test]
     fn negative_rhs_requires_phase_one() {
         // x0 >= 2 (as -x0 <= -2), x0 <= 5: max -x0 is -2, max x0 is 5.
-        let lp = Simplex::new(1).less_equal(&[-1.0], -2.0).less_equal(&[1.0], 5.0);
+        let lp = Simplex::new(1)
+            .less_equal(&[-1.0], -2.0)
+            .less_equal(&[1.0], 5.0);
         let hi = lp.maximize(&[1.0]).unwrap();
         assert!((hi.objective - 5.0).abs() < 1e-9);
         let lo = lp.maximize(&[-1.0]).unwrap();
@@ -334,7 +359,13 @@ mod tests {
     #[test]
     fn boxed_helper_handles_negative_bounds() {
         // x in [-1, 1]^2, x0 + x1 <= 0: max x0 = 1 (x1 = -1).
-        let sol = maximize_boxed(&[1.0, 0.0], &[-1.0, -1.0], &[1.0, 1.0], &[(vec![1.0, 1.0], 0.0)]).unwrap();
+        let sol = maximize_boxed(
+            &[1.0, 0.0],
+            &[-1.0, -1.0],
+            &[1.0, 1.0],
+            &[(vec![1.0, 1.0], 0.0)],
+        )
+        .unwrap();
         assert!((sol.objective - 1.0).abs() < 1e-9);
         assert!(sol.point[0] > 0.99 && sol.point[1] < -0.99 + 1e-6);
     }
@@ -348,7 +379,9 @@ mod tests {
         let mut best = f64::NEG_INFINITY;
         let mut idx = vec![0usize; n];
         'outer: loop {
-            let x: Vec<f64> = (0..n).map(|i| lo[i] + (hi[i] - lo[i]) * idx[i] as f64 / steps as f64).collect();
+            let x: Vec<f64> = (0..n)
+                .map(|i| lo[i] + (hi[i] - lo[i]) * idx[i] as f64 / steps as f64)
+                .collect();
             let feasible = constraints
                 .iter()
                 .all(|(a, b)| a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + 1e-9);
@@ -356,6 +389,7 @@ mod tests {
                 let v = objective.iter().zip(&x).map(|(c, xi)| c * xi).sum::<f64>();
                 best = best.max(v);
             }
+            #[allow(clippy::needless_range_loop)] // odometer carry over idx
             for i in 0..n {
                 idx[i] += 1;
                 if idx[i] <= steps {
@@ -379,7 +413,11 @@ mod tests {
             for _ in 0..(trial % 3) {
                 let a: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
                 // Keep the center feasible so the LP is never infeasible.
-                let center_val: f64 = a.iter().zip(lo.iter().zip(&hi)).map(|(ai, (l, h))| ai * 0.5 * (l + h)).sum();
+                let center_val: f64 = a
+                    .iter()
+                    .zip(lo.iter().zip(&hi))
+                    .map(|(ai, (l, h))| ai * 0.5 * (l + h))
+                    .sum();
                 constraints.push((a, center_val + rng.uniform(0.1, 1.0)));
             }
             let c: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();

@@ -42,7 +42,9 @@ impl StarSet {
     /// Builds the star representing a box: identity basis, `α ∈ box`.
     pub fn from_box(b: &BoxBounds) -> Self {
         let d = b.dim();
-        let center = (0..d).map(|i| 0.5 * (b.lo()[i] + b.hi()[i])).collect::<Vec<_>>();
+        let center = (0..d)
+            .map(|i| 0.5 * (b.lo()[i] + b.hi()[i]))
+            .collect::<Vec<_>>();
         let mut basis = Vec::with_capacity(d);
         for i in 0..d {
             let mut col = vec![0.0; d];
@@ -93,7 +95,10 @@ impl StarSet {
         let lo = self.center[i] - min.objective;
         let scale = 1.0 + LP_EPS;
         let pad = LP_EPS * (1.0 + lo.abs().max(hi.abs()));
-        Ok((round_down(lo * if lo < 0.0 { scale } else { 1.0 / scale } - pad), round_up(hi * if hi > 0.0 { scale } else { 1.0 / scale } + pad)))
+        Ok((
+            round_down(lo * if lo < 0.0 { scale } else { 1.0 / scale } - pad),
+            round_up(hi * if hi > 0.0 { scale } else { 1.0 / scale } + pad),
+        ))
     }
 
     /// Sound per-dimension bounds of the star.
@@ -108,7 +113,9 @@ impl StarSet {
         let mut lo = Vec::with_capacity(d);
         let mut hi = Vec::with_capacity(d);
         for i in 0..d {
-            let (l, h) = self.dim_bounds(i).expect("star LP must be feasible and bounded");
+            let (l, h) = self
+                .dim_bounds(i)
+                .expect("star LP must be feasible and bounded");
             lo.push(l.min(h));
             hi.push(h.max(l));
         }
@@ -119,7 +126,11 @@ impl StarSet {
     pub(crate) fn step_affine(&self, view: &AffineView) -> StarSet {
         assert_eq!(self.dim(), view.in_dim(), "star affine: dimension mismatch");
         let center = view.apply(&self.center);
-        let basis = self.basis.iter().map(|col| view.apply_linear(col)).collect();
+        let basis = self
+            .basis
+            .iter()
+            .map(|col| view.apply_linear(col))
+            .collect();
         StarSet {
             center,
             basis,
@@ -153,7 +164,9 @@ impl StarSet {
     pub(crate) fn step_relu(&self) -> StarSet {
         let mut star = self.clone();
         for i in 0..star.dim() {
-            let (l, u) = star.dim_bounds(i).expect("star LP must be feasible and bounded");
+            let (l, u) = star
+                .dim_bounds(i)
+                .expect("star LP must be feasible and bounded");
             if u <= 0.0 {
                 star.zero_dim(i);
             } else if l >= 0.0 {
@@ -282,10 +295,16 @@ mod tests {
 
     #[test]
     fn affine_step_is_exact_on_linear_chain() {
-        let rot = Dense::new(Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]), vec![0.0, 0.0]).unwrap();
+        let rot = Dense::new(
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]),
+            vec![0.0, 0.0],
+        )
+        .unwrap();
         let sum = Dense::new(Matrix::from_rows(&[&[1.0, 1.0]]), vec![0.0]).unwrap();
         let input = BoxBounds::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
-        let s = StarSet::from_box(&input).step(&Layer::Dense(rot)).step(&Layer::Dense(sum));
+        let s = StarSet::from_box(&input)
+            .step(&Layer::Dense(rot))
+            .step(&Layer::Dense(sum));
         let b = s.bounds();
         // (x0+x1) + (x0-x1) = 2 x0 ∈ [-2, 2]: the star keeps the correlation.
         assert!(b.hi()[0] <= 2.0 + 1e-5 && b.lo()[0] >= -2.0 - 1e-5);
@@ -294,7 +313,14 @@ mod tests {
     #[test]
     fn relu_star_contains_concrete_samples() {
         let mut rng = Prng::seed(40);
-        let net = Network::seeded(19, 2, &[LayerSpec::dense(5, Activation::Relu), LayerSpec::dense(2, Activation::Identity)]);
+        let net = Network::seeded(
+            19,
+            2,
+            &[
+                LayerSpec::dense(5, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        );
         let center = [0.1, -0.3];
         let input = BoxBounds::from_center_radius(&center, 0.25);
         let mut s = StarSet::from_box(&input);
@@ -303,18 +329,24 @@ mod tests {
         }
         let out = s.bounds();
         for _ in 0..300 {
-            let x: Vec<f64> = (0..2).map(|i| rng.uniform(center[i] - 0.25, center[i] + 0.25)).collect();
+            let x: Vec<f64> = (0..2)
+                .map(|i| rng.uniform(center[i] - 0.25, center[i] + 0.25))
+                .collect();
             assert!(out.contains(&net.forward(&x)), "sample escaped star bounds");
         }
     }
 
     #[test]
     fn star_no_looser_than_box_through_relu() {
-        let net = Network::seeded(33, 3, &[
-            LayerSpec::dense(8, Activation::Relu),
-            LayerSpec::dense(4, Activation::Relu),
-            LayerSpec::dense(2, Activation::Identity),
-        ]);
+        let net = Network::seeded(
+            33,
+            3,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(4, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        );
         let input = BoxBounds::from_center_radius(&[0.2, -0.1, 0.4], 0.3);
         let mut s = StarSet::from_box(&input);
         let mut b = input.clone();
@@ -323,7 +355,12 @@ mod tests {
             b = b.step(layer);
         }
         let sb = s.bounds();
-        assert!(sb.mean_width() <= b.mean_width() + 1e-6, "star {} vs box {}", sb.mean_width(), b.mean_width());
+        assert!(
+            sb.mean_width() <= b.mean_width() + 1e-6,
+            "star {} vs box {}",
+            sb.mean_width(),
+            b.mean_width()
+        );
     }
 
     #[test]
@@ -331,7 +368,9 @@ mod tests {
         // All-positive pre-activations: ReLU is exact, nothing is added.
         let d = Dense::new(Matrix::from_rows(&[&[1.0], &[2.0]]), vec![10.0, 10.0]).unwrap();
         let input = BoxBounds::new(vec![-0.5], vec![0.5]);
-        let s = StarSet::from_box(&input).step(&Layer::Dense(d)).step(&Layer::Activation(Activation::Relu));
+        let s = StarSet::from_box(&input)
+            .step(&Layer::Dense(d))
+            .step(&Layer::Activation(Activation::Relu));
         assert_eq!(s.num_symbols(), 1);
         assert_eq!(s.num_constraints(), 0);
     }
@@ -340,7 +379,9 @@ mod tests {
     fn unstable_neurons_add_one_symbol_and_two_constraints() {
         let d = Dense::new(Matrix::from_rows(&[&[1.0]]), vec![0.0]).unwrap();
         let input = BoxBounds::new(vec![-1.0], vec![1.0]);
-        let s = StarSet::from_box(&input).step(&Layer::Dense(d)).step(&Layer::Activation(Activation::Relu));
+        let s = StarSet::from_box(&input)
+            .step(&Layer::Dense(d))
+            .step(&Layer::Activation(Activation::Relu));
         assert_eq!(s.num_symbols(), 2);
         assert_eq!(s.num_constraints(), 2);
         let b = s.bounds();
@@ -351,7 +392,14 @@ mod tests {
     #[test]
     fn sigmoid_collapse_is_sound() {
         let mut rng = Prng::seed(44);
-        let net = Network::seeded(21, 2, &[LayerSpec::dense(3, Activation::Sigmoid), LayerSpec::dense(1, Activation::Identity)]);
+        let net = Network::seeded(
+            21,
+            2,
+            &[
+                LayerSpec::dense(3, Activation::Sigmoid),
+                LayerSpec::dense(1, Activation::Identity),
+            ],
+        );
         let input = BoxBounds::from_center_radius(&[0.0, 0.0], 0.5);
         let mut s = StarSet::from_box(&input);
         for layer in net.layers() {

@@ -47,7 +47,11 @@ impl Zonotope {
             g[i] = r;
             generators.push(g);
         }
-        Self { center, generators, error }
+        Self {
+            center,
+            generators,
+            error,
+        }
     }
 
     /// Number of dimensions.
@@ -78,12 +82,17 @@ impl Zonotope {
 
     /// Propagates through one affine view; rounding slack goes to `error`.
     pub(crate) fn step_affine(&self, view: &AffineView) -> Zonotope {
-        assert_eq!(self.dim(), view.in_dim(), "zonotope affine: dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            view.in_dim(),
+            "zonotope affine: dimension mismatch"
+        );
         let out = view.out_dim();
         let mut center = Vec::with_capacity(out);
         let mut error = vec![0.0; out];
 
         // Center: directed rounding to capture the true affine image.
+        #[allow(clippy::needless_range_loop)] // r also indexes `error`
         for r in 0..out {
             let b = view.bias()[r];
             let (mut alo, mut ahi) = (b, b);
@@ -124,7 +133,11 @@ impl Zonotope {
             *err = round_up(*err + acc);
         }
 
-        Zonotope { center, generators, error }
+        Zonotope {
+            center,
+            generators,
+            error,
+        }
     }
 
     /// Collapses dimension `i` to the interval `[l, h]` (center + private
@@ -169,7 +182,8 @@ impl Zonotope {
                         z.error[i] = round_up(round_up(lambda * z.error[i]) + mu);
                         z.center[i] = lambda * z.center[i] + mu;
                         // Account for rounding of center multiplication.
-                        z.error[i] = round_up(z.error[i] + f64::EPSILON * (z.center[i].abs() + 1.0));
+                        z.error[i] =
+                            round_up(z.error[i] + f64::EPSILON * (z.center[i].abs() + 1.0));
                     }
                 }
             }
@@ -181,21 +195,24 @@ impl Zonotope {
                         let k = if u <= 0.0 { alpha } else { 1.0 };
                         if k != 1.0 {
                             z.center[i] *= k;
-                            z.error[i] = round_up(z.error[i] * k + f64::EPSILON * (z.center[i].abs() + 1.0));
+                            z.error[i] =
+                                round_up(z.error[i] * k + f64::EPSILON * (z.center[i].abs() + 1.0));
                             for g in &mut z.generators {
                                 g[i] *= k;
                             }
                         }
                     } else {
                         let lambda = ((u - alpha * l) / (u - l)).clamp(alpha, 1.0);
-                        let m = round_up(((lambda - alpha) * (-l)).max((1.0 - lambda) * u)).max(0.0);
+                        let m =
+                            round_up(((lambda - alpha) * (-l)).max((1.0 - lambda) * u)).max(0.0);
                         let mu = round_up(0.5 * m);
                         for g in &mut z.generators {
                             g[i] *= lambda;
                         }
                         z.error[i] = round_up(round_up(lambda * z.error[i]) + mu);
                         z.center[i] = lambda * z.center[i] + mu;
-                        z.error[i] = round_up(z.error[i] + f64::EPSILON * (z.center[i].abs() + 1.0));
+                        z.error[i] =
+                            round_up(z.error[i] + f64::EPSILON * (z.center[i].abs() + 1.0));
                     }
                 }
             }
@@ -215,7 +232,11 @@ impl Zonotope {
     pub(crate) fn step_maxpool(&self, p: &MaxPool2d) -> Zonotope {
         let pre = self.bounds().step_maxpool(p);
         let d = pre.dim();
-        let mut z = Zonotope { center: vec![0.0; d], generators: Vec::new(), error: vec![0.0; d] };
+        let mut z = Zonotope {
+            center: vec![0.0; d],
+            generators: Vec::new(),
+            error: vec![0.0; d],
+        };
         for i in 0..d {
             z.collapse_dim(i, pre.lo()[i], pre.hi()[i]);
         }
@@ -259,7 +280,11 @@ mod tests {
     fn affine_step_tracks_correlation() {
         // y0 = x0 + x1, y1 = x0 - x1 over the unit box: the zonotope knows
         // y0 + y1 = 2 x0 ∈ [-2, 2] even though each y spans [-2, 2].
-        let d = Dense::new(Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]), vec![0.0, 0.0]).unwrap();
+        let d = Dense::new(
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]),
+            vec![0.0, 0.0],
+        )
+        .unwrap();
         let b = BoxBounds::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
         let z = Zonotope::from_box(&b).step(&Layer::Dense(d.clone()));
         // Apply the summing map (1,1): bounds must stay ~[-2,2], not [-4,4].
@@ -274,7 +299,14 @@ mod tests {
     #[test]
     fn relu_relaxation_contains_samples_and_beats_nothing() {
         let mut rng = Prng::seed(5);
-        let net = Network::seeded(3, 2, &[LayerSpec::dense(6, Activation::Relu), LayerSpec::dense(2, Activation::Identity)]);
+        let net = Network::seeded(
+            3,
+            2,
+            &[
+                LayerSpec::dense(6, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        );
         let center = [0.3, -0.2];
         let input = BoxBounds::from_center_radius(&center, 0.2);
         let mut z = Zonotope::from_box(&input);
@@ -283,16 +315,29 @@ mod tests {
         }
         let out = z.bounds();
         for _ in 0..500 {
-            let x: Vec<f64> = (0..2).map(|i| rng.uniform(center[i] - 0.2, center[i] + 0.2)).collect();
-            assert!(out.contains(&net.forward(&x)), "sample escaped zonotope bounds");
+            let x: Vec<f64> = (0..2)
+                .map(|i| rng.uniform(center[i] - 0.2, center[i] + 0.2))
+                .collect();
+            assert!(
+                out.contains(&net.forward(&x)),
+                "sample escaped zonotope bounds"
+            );
         }
     }
 
     #[test]
     fn zonotope_no_looser_than_box_on_affine_chain() {
         // Without nonlinearities the zonotope is exact, the box is not.
-        let l1 = Dense::new(Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]), vec![0.0, 0.0]).unwrap();
-        let l2 = Dense::new(Matrix::from_rows(&[&[0.5, 0.5], &[0.5, -0.5]]), vec![0.0, 0.0]).unwrap();
+        let l1 = Dense::new(
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]),
+            vec![0.0, 0.0],
+        )
+        .unwrap();
+        let l2 = Dense::new(
+            Matrix::from_rows(&[&[0.5, 0.5], &[0.5, -0.5]]),
+            vec![0.0, 0.0],
+        )
+        .unwrap();
         let input = BoxBounds::new(vec![-1.0, -1.0], vec![1.0, 1.0]);
         let zb = Zonotope::from_box(&input)
             .step(&Layer::Dense(l1.clone()))
@@ -308,7 +353,14 @@ mod tests {
     #[test]
     fn sigmoid_collapse_is_sound() {
         let mut rng = Prng::seed(6);
-        let net = Network::seeded(8, 2, &[LayerSpec::dense(4, Activation::Sigmoid), LayerSpec::dense(1, Activation::Tanh)]);
+        let net = Network::seeded(
+            8,
+            2,
+            &[
+                LayerSpec::dense(4, Activation::Sigmoid),
+                LayerSpec::dense(1, Activation::Tanh),
+            ],
+        );
         let input = BoxBounds::from_center_radius(&[0.1, 0.4], 0.3);
         let mut z = Zonotope::from_box(&input);
         for layer in net.layers() {
@@ -336,7 +388,10 @@ mod tests {
         let z = Zonotope::from_box(&b).step_activation(Activation::Relu);
         let out = z.bounds();
         assert!(out.lo()[0] <= 1.0 && out.hi()[0] >= 2.0);
-        assert!(out.hi()[0] - out.lo()[0] < 1.0 + 1e-9, "positive dim stays tight");
+        assert!(
+            out.hi()[0] - out.lo()[0] < 1.0 + 1e-9,
+            "positive dim stays tight"
+        );
         assert!(out.lo()[1].abs() <= 1e-300 && out.hi()[1].abs() <= 1e-300);
     }
 }

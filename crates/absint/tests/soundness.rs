@@ -54,8 +54,14 @@ fn conv_pipeline_containment_all_domains() {
     for domain in Domain::ALL {
         let out = propagate_bounds(&net, 0, net.num_layers(), &input, domain);
         for _ in 0..150 {
-            let x: Vec<f64> = center.iter().map(|&c| c + rng.uniform(-delta, delta)).collect();
-            assert!(out.contains(&net.forward(&x)), "{domain}: conv pipeline escape");
+            let x: Vec<f64> = center
+                .iter()
+                .map(|&c| c + rng.uniform(-delta, delta))
+                .collect();
+            assert!(
+                out.contains(&net.forward(&x)),
+                "{domain}: conv pipeline escape"
+            );
         }
     }
 }
@@ -70,8 +76,14 @@ fn avgpool_batchnorm_containment_all_domains() {
     for domain in Domain::ALL {
         let out = propagate_bounds(&net, 0, net.num_layers(), &input, domain);
         for _ in 0..150 {
-            let x: Vec<f64> = center.iter().map(|&c| c + rng.uniform(-delta, delta)).collect();
-            assert!(out.contains(&net.forward(&x)), "{domain}: avg/bn pipeline escape");
+            let x: Vec<f64> = center
+                .iter()
+                .map(|&c| c + rng.uniform(-delta, delta))
+                .collect();
+            assert!(
+                out.contains(&net.forward(&x)),
+                "{domain}: avg/bn pipeline escape"
+            );
         }
     }
 }
@@ -80,14 +92,26 @@ fn avgpool_batchnorm_containment_all_domains() {
 fn avgpool_is_exact_across_domains() {
     // Pure affine chain: every domain's bounds collapse to the exact image
     // width (input width scaled by the averaging weights).
-    let net = NetworkBuilder::image(9, 1, 4, 4).avgpool(2, 2).unwrap().build().unwrap();
-    let input = BoxBounds::from_center_radius(&vec![0.5; 16], 0.1);
+    let net = NetworkBuilder::image(9, 1, 4, 4)
+        .avgpool(2, 2)
+        .unwrap()
+        .build()
+        .unwrap();
+    let input = BoxBounds::from_center_radius(&[0.5; 16], 0.1);
     for domain in Domain::ALL {
         let out = propagate_bounds(&net, 0, net.num_layers(), &input, domain);
         for j in 0..out.dim() {
             // Mean of 4 independent ±0.1 inputs spans ±0.1.
-            assert!((out.hi()[j] - 0.6).abs() < 1e-6, "{domain}: hi {}", out.hi()[j]);
-            assert!((out.lo()[j] - 0.4).abs() < 1e-6, "{domain}: lo {}", out.lo()[j]);
+            assert!(
+                (out.hi()[j] - 0.6).abs() < 1e-6,
+                "{domain}: hi {}",
+                out.hi()[j]
+            );
+            assert!(
+                (out.lo()[j] - 0.4).abs() < 1e-6,
+                "{domain}: lo {}",
+                out.lo()[j]
+            );
         }
     }
 }

@@ -29,7 +29,12 @@ pub fn to_dot(bdd: &Bdd, root: NodeId) -> String {
         }
         let (var, lo, hi) = bdd.node_parts(n);
         let _ = writeln!(out, "  n{:?} [label=\"x{}\"];", id_key(n), var);
-        let _ = writeln!(out, "  n{:?} -> {} [style=dashed];", id_key(n), target(bdd, lo));
+        let _ = writeln!(
+            out,
+            "  n{:?} -> {} [style=dashed];",
+            id_key(n),
+            target(bdd, lo)
+        );
         let _ = writeln!(out, "  n{:?} -> {};", id_key(n), target(bdd, hi));
         stack.push(lo);
         stack.push(hi);
@@ -44,7 +49,8 @@ pub fn to_dot(bdd: &Bdd, root: NodeId) -> String {
 fn id_key(n: NodeId) -> u64 {
     // NodeId is opaque; derive a stable key from its debug formatting.
     let s = format!("{n:?}");
-    s.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64))
+    s.bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64))
 }
 
 fn target(bdd: &Bdd, n: NodeId) -> String {

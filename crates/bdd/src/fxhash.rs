@@ -1,0 +1,124 @@
+//! A fast, non-cryptographic hasher for the BDD's internal tables.
+//!
+//! The BDD unique table and operation caches are hit once per node visit
+//! during construction; with std's default SipHash the hashing itself
+//! dominates cache lookups. This is the multiply-xor scheme popularized by
+//! rustc's `FxHasher`: one rotate + xor + multiply per 8 bytes. It is not
+//! DoS-resistant — fine for these tables, whose keys are internal node ids,
+//! never attacker-controlled data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style multiply-xor hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into std collections.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(write: impl Fn(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::default();
+        write(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        assert_eq!(hash_of(|h| h.write_u64(42)), hash_of(|h| h.write_u64(42)));
+        assert_ne!(hash_of(|h| h.write_u64(42)), hash_of(|h| h.write_u64(43)));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_stream_on_aligned_input() {
+        let a = hash_of(|h| h.write(&7u64.to_le_bytes()));
+        let b = hash_of(|h| h.write_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert((i, i.wrapping_mul(31)), i);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get(&(17, 17 * 31)), Some(&17));
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        // All 10k keys into 64 buckets: no bucket should exceed 4x the mean.
+        let mut buckets = [0u32; 64];
+        for i in 0..10_000u64 {
+            buckets[(hash_of(|h| h.write_u64(i)) >> 58) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c < 4 * 10_000 / 64));
+    }
+}

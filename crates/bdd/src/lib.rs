@@ -28,7 +28,11 @@
 //! ```
 
 mod dot;
+mod fxhash;
 mod manager;
+mod word;
 
 pub use dot::to_dot;
-pub use manager::{Bdd, NodeId};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use manager::{Bdd, CacheStats, NodeId};
+pub use word::{AsBits, BitCube, BitWord, INLINE_BITS, INLINE_WORDS};

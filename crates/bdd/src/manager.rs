@@ -1,7 +1,27 @@
 //! The BDD manager: arena, unique table, and operations.
 
+use crate::fxhash::FxHashMap;
+use crate::word::{AsBits, BitCube};
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
-use std::collections::HashMap;
+
+/// Upper bound on the capacity pre-reserved for the unique table and op
+/// caches.
+///
+/// Pattern monitors insert thousands of nodes during construction; starting
+/// the tables at a realistic size avoids the rehash cascade that dominated
+/// profile traces of the seed implementation. The actual reservation scales
+/// with the variable count (see [`initial_capacity`]) so that per-class /
+/// multi-layer deployments holding many small managers don't pay ~100 KB of
+/// idle table each.
+const MAX_INITIAL_TABLE_CAPACITY: usize = 1 << 12;
+
+/// Initial table capacity for a manager over `num_vars` variables: roughly
+/// one insertion wave of cube nodes, clamped to a sane range.
+fn initial_capacity(num_vars: usize) -> usize {
+    (num_vars * 16)
+        .next_power_of_two()
+        .clamp(16, MAX_INITIAL_TABLE_CAPACITY)
+}
 
 /// Index of a BDD node within its [`Bdd`] manager.
 ///
@@ -32,6 +52,42 @@ enum Op {
     Or,
 }
 
+/// Hit/miss counters of the manager's internal tables, exposed so the
+/// benchmark suite can attribute construction speedups to cache behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `mk` calls answered from the unique table.
+    pub unique_hits: u64,
+    /// `mk` calls that allocated a fresh node.
+    pub unique_misses: u64,
+    /// Binary operations answered from the op cache.
+    pub op_hits: u64,
+    /// Binary operations that recursed.
+    pub op_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of `mk` calls answered from the unique table.
+    pub fn unique_hit_rate(&self) -> f64 {
+        let total = self.unique_hits + self.unique_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.unique_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of binary operations answered from the op cache.
+    pub fn op_hit_rate(&self) -> f64 {
+        let total = self.op_hits + self.op_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.op_hits as f64 / total as f64
+        }
+    }
+}
+
 /// A reduced ordered BDD manager over a fixed variable count.
 ///
 /// Nodes are hash-consed (the *unique table*), so structural equality is
@@ -44,9 +100,10 @@ enum Op {
 pub struct Bdd {
     num_vars: usize,
     nodes: Vec<Node>,
-    unique: HashMap<Node, NodeId>,
-    op_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
-    not_cache: HashMap<NodeId, NodeId>,
+    unique: FxHashMap<Node, NodeId>,
+    op_cache: FxHashMap<(Op, NodeId, NodeId), NodeId>,
+    not_cache: FxHashMap<NodeId, NodeId>,
+    stats: CacheStats,
 }
 
 impl Bdd {
@@ -59,16 +116,42 @@ impl Bdd {
     /// ordered by index: variable 0 is the root-most level).
     pub fn new(num_vars: usize) -> Self {
         let terminals = vec![
-            Node { var: u32::MAX, lo: Self::FALSE, hi: Self::FALSE },
-            Node { var: u32::MAX, lo: Self::TRUE, hi: Self::TRUE },
+            Node {
+                var: u32::MAX,
+                lo: Self::FALSE,
+                hi: Self::FALSE,
+            },
+            Node {
+                var: u32::MAX,
+                lo: Self::TRUE,
+                hi: Self::TRUE,
+            },
         ];
         Self {
             num_vars,
             nodes: terminals,
-            unique: HashMap::new(),
-            op_cache: HashMap::new(),
-            not_cache: HashMap::new(),
+            unique: FxHashMap::with_capacity_and_hasher(
+                initial_capacity(num_vars),
+                Default::default(),
+            ),
+            op_cache: FxHashMap::with_capacity_and_hasher(
+                initial_capacity(num_vars),
+                Default::default(),
+            ),
+            not_cache: FxHashMap::default(),
+            stats: CacheStats::default(),
         }
+    }
+
+    /// Hit/miss counters of the unique table and op cache since creation
+    /// (or the last [`Bdd::reset_cache_stats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the cache counters (the caches themselves are kept).
+    pub fn reset_cache_stats(&mut self) {
+        self.stats = CacheStats::default();
     }
 
     /// Number of variables.
@@ -94,8 +177,10 @@ impl Bdd {
         }
         let node = Node { var, lo, hi };
         if let Some(&id) = self.unique.get(&node) {
+            self.stats.unique_hits += 1;
             return id;
         }
+        self.stats.unique_misses += 1;
         let id = NodeId(u32::try_from(self.nodes.len()).expect("BDD node arena overflow"));
         self.nodes.push(node);
         self.unique.insert(node, id);
@@ -108,7 +193,11 @@ impl Bdd {
     ///
     /// Panics if `i >= self.num_vars()`.
     pub fn var(&mut self, i: usize) -> NodeId {
-        assert!(i < self.num_vars, "variable {i} out of range ({} vars)", self.num_vars);
+        assert!(
+            i < self.num_vars,
+            "variable {i} out of range ({} vars)",
+            self.num_vars
+        );
         self.mk(i as u32, Self::FALSE, Self::TRUE)
     }
 
@@ -118,7 +207,11 @@ impl Bdd {
     ///
     /// Panics if `i >= self.num_vars()`.
     pub fn nvar(&mut self, i: usize) -> NodeId {
-        assert!(i < self.num_vars, "variable {i} out of range ({} vars)", self.num_vars);
+        assert!(
+            i < self.num_vars,
+            "variable {i} out of range ({} vars)",
+            self.num_vars
+        );
         self.mk(i as u32, Self::TRUE, Self::FALSE)
     }
 
@@ -177,13 +270,23 @@ impl Bdd {
         // Normalize operand order for cache hits (both ops commute).
         let key = if a <= b { (op, a, b) } else { (op, b, a) };
         if let Some(&r) = self.op_cache.get(&key) {
+            self.stats.op_hits += 1;
             return r;
         }
+        self.stats.op_misses += 1;
         let na = self.node(a);
         let nb = self.node(b);
         let var = na.var.min(nb.var);
-        let (alo, ahi) = if na.var == var { (na.lo, na.hi) } else { (a, a) };
-        let (blo, bhi) = if nb.var == var { (nb.lo, nb.hi) } else { (b, b) };
+        let (alo, ahi) = if na.var == var {
+            (na.lo, na.hi)
+        } else {
+            (a, a)
+        };
+        let (blo, bhi) = if nb.var == var {
+            (nb.lo, nb.hi)
+        } else {
+            (b, b)
+        };
         let lo = self.apply(op, alo, blo);
         let hi = self.apply(op, ahi, bhi);
         let r = self.mk(var, lo, hi);
@@ -241,27 +344,74 @@ impl Bdd {
         self.or(root, c)
     }
 
-    /// Inserts a fully-specified word.
+    /// Builds the cube described by a packed [`BitCube`]. Same semantics as
+    /// [`Bdd::cube`] without unpacking to `Option<bool>` literals.
     ///
     /// # Panics
     ///
-    /// Panics if `word.len() != self.num_vars()`.
-    pub fn insert_word(&mut self, root: NodeId, word: &[bool]) -> NodeId {
-        let literals: Vec<Option<bool>> = word.iter().map(|&b| Some(b)).collect();
-        self.insert_cube(root, &literals)
+    /// Panics if `cube.len() != self.num_vars()`.
+    pub fn cube_packed(&mut self, cube: &BitCube) -> NodeId {
+        assert_eq!(cube.len(), self.num_vars, "cube arity");
+        let mut node = Self::TRUE;
+        for i in (0..cube.len()).rev() {
+            node = match cube.get(i) {
+                None => node,
+                Some(true) => self.mk(i as u32, Self::FALSE, node),
+                Some(false) => self.mk(i as u32, node, Self::FALSE),
+            };
+        }
+        node
     }
 
-    /// Evaluates the function under a full assignment.
+    /// `root ∨ cube_packed(cube)` — packed-cube insertion.
     ///
     /// # Panics
     ///
-    /// Panics if `assignment.len() != self.num_vars()`.
-    pub fn eval(&self, root: NodeId, assignment: &[bool]) -> bool {
-        assert_eq!(assignment.len(), self.num_vars, "eval arity");
+    /// Panics if `cube.len() != self.num_vars()`.
+    pub fn insert_cube_packed(&mut self, root: NodeId, cube: &BitCube) -> NodeId {
+        let c = self.cube_packed(cube);
+        self.or(root, c)
+    }
+
+    /// Inserts a fully-specified word (packed or `bool`-slice form; no
+    /// intermediate literal vector is allocated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.bit_len() != self.num_vars()`.
+    pub fn insert_word<W: AsBits + ?Sized>(&mut self, root: NodeId, word: &W) -> NodeId {
+        assert_eq!(word.bit_len(), self.num_vars, "insert_word arity");
+        let mut node = Self::TRUE;
+        for i in (0..self.num_vars).rev() {
+            node = if word.bit(i) {
+                self.mk(i as u32, Self::FALSE, node)
+            } else {
+                self.mk(i as u32, node, Self::FALSE)
+            };
+        }
+        self.or(root, node)
+    }
+
+    /// Evaluates the function under a full assignment ([`BitWord`],
+    /// `&[bool]`, or array). The walk visits at most one node per variable
+    /// and performs no allocation.
+    ///
+    /// [`BitWord`]: crate::BitWord
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.bit_len() != self.num_vars()`.
+    #[inline(always)]
+    pub fn eval<W: AsBits + ?Sized>(&self, root: NodeId, assignment: &W) -> bool {
+        assert_eq!(assignment.bit_len(), self.num_vars, "eval arity");
         let mut n = root;
         while !self.is_terminal(n) {
             let node = self.node(n);
-            n = if assignment[node.var as usize] { node.hi } else { node.lo };
+            n = if assignment.bit(node.var as usize) {
+                node.hi
+            } else {
+                node.lo
+            };
         }
         n == Self::TRUE
     }
@@ -271,10 +421,10 @@ impl Bdd {
     /// Returned as `f64` (pattern spaces reach `2^hundreds`; exact integers
     /// overflow, while the monitors only need coverage *ratios*).
     pub fn satcount(&self, root: NodeId) -> f64 {
-        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
         let total_level = self.num_vars as u32;
         // count(n) = satisfying assignments over variables var(n)..num_vars.
-        fn go(bdd: &Bdd, n: NodeId, memo: &mut HashMap<NodeId, f64>, total: u32) -> f64 {
+        fn go(bdd: &Bdd, n: NodeId, memo: &mut FxHashMap<NodeId, f64>, total: u32) -> f64 {
             if n == Bdd::FALSE {
                 return 0.0;
             }
@@ -287,13 +437,26 @@ impl Bdd {
             let node = bdd.node(n);
             let lo = go(bdd, node.lo, memo, total);
             let hi = go(bdd, node.hi, memo, total);
-            let lo_var = if bdd.is_terminal(node.lo) { total } else { bdd.node(node.lo).var };
-            let hi_var = if bdd.is_terminal(node.hi) { total } else { bdd.node(node.hi).var };
-            let c = lo * 2f64.powi((lo_var - node.var - 1) as i32) + hi * 2f64.powi((hi_var - node.var - 1) as i32);
+            let lo_var = if bdd.is_terminal(node.lo) {
+                total
+            } else {
+                bdd.node(node.lo).var
+            };
+            let hi_var = if bdd.is_terminal(node.hi) {
+                total
+            } else {
+                bdd.node(node.hi).var
+            };
+            let c = lo * 2f64.powi((lo_var - node.var - 1) as i32)
+                + hi * 2f64.powi((hi_var - node.var - 1) as i32);
             memo.insert(n, c);
             c
         }
-        let root_var = if self.is_terminal(root) { total_level } else { self.node(root).var };
+        let root_var = if self.is_terminal(root) {
+            total_level
+        } else {
+            self.node(root).var
+        };
         go(self, root, &mut memo, total_level) * 2f64.powi(root_var as i32)
     }
 
@@ -331,10 +494,19 @@ impl Bdd {
     ///
     /// # Panics
     ///
-    /// Panics if `word.len() != self.num_vars()`.
-    pub fn contains_within_hamming(&self, root: NodeId, word: &[bool], tau: usize) -> bool {
-        assert_eq!(word.len(), self.num_vars, "contains_within_hamming arity");
-        fn go(bdd: &Bdd, n: NodeId, word: &[bool], budget: usize) -> bool {
+    /// Panics if `word.bit_len() != self.num_vars()`.
+    pub fn contains_within_hamming<W: AsBits + ?Sized>(
+        &self,
+        root: NodeId,
+        word: &W,
+        tau: usize,
+    ) -> bool {
+        assert_eq!(
+            word.bit_len(),
+            self.num_vars,
+            "contains_within_hamming arity"
+        );
+        fn go<W: AsBits + ?Sized>(bdd: &Bdd, n: NodeId, word: &W, budget: usize) -> bool {
             if n == Bdd::FALSE {
                 return false;
             }
@@ -342,7 +514,7 @@ impl Bdd {
                 return true;
             }
             let node = bdd.node(n);
-            let bit = word[node.var as usize];
+            let bit = word.bit(node.var as usize);
             let follow = if bit { node.hi } else { node.lo };
             if go(bdd, follow, word, budget) {
                 return true;
@@ -374,14 +546,21 @@ impl Bdd {
     /// `>= 2^bits`, or any block's allowed set is empty.
     pub fn product_of_blocks(&mut self, blocks: &[Vec<u16>], bits: usize) -> NodeId {
         assert!(bits > 0 && bits <= 16, "bits per block must be in 1..=16");
-        assert_eq!(blocks.len() * bits, self.num_vars, "blocks do not tile the variables");
+        assert_eq!(
+            blocks.len() * bits,
+            self.num_vars,
+            "blocks do not tile the variables"
+        );
         let mut tail = Self::TRUE;
         for (i, allowed) in blocks.iter().enumerate().rev() {
             assert!(!allowed.is_empty(), "block {i} allows no symbols");
             let mut sorted: Vec<u16> = allowed.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert!(*sorted.last().unwrap() < (1u32 << bits) as u16, "block {i}: symbol out of range");
+            assert!(
+                *sorted.last().unwrap() < (1u32 << bits) as u16,
+                "block {i}: symbol out of range"
+            );
             tail = self.block_node(i * bits, bits, &sorted, tail);
         }
         tail
@@ -390,7 +569,13 @@ impl Bdd {
     /// Recursive helper: the sub-BDD over `bits` variables starting at
     /// `var_base` that routes allowed symbols to `tail` and others to
     /// FALSE. `allowed` is sorted.
-    fn block_node(&mut self, var_base: usize, bits: usize, allowed: &[u16], tail: NodeId) -> NodeId {
+    fn block_node(
+        &mut self,
+        var_base: usize,
+        bits: usize,
+        allowed: &[u16],
+        tail: NodeId,
+    ) -> NodeId {
         if allowed.is_empty() {
             return Self::FALSE;
         }
@@ -496,7 +681,9 @@ mod tests {
     #[test]
     fn coverage_is_satcount_normalized() {
         let mut bdd = Bdd::new(10);
-        let cube: Vec<Option<bool>> = (0..10).map(|i| if i < 3 { Some(true) } else { None }).collect();
+        let cube: Vec<Option<bool>> = (0..10)
+            .map(|i| if i < 3 { Some(true) } else { None })
+            .collect();
         let s = bdd.cube(&cube);
         assert!((bdd.coverage(s) - 1.0 / 8.0).abs() < 1e-12);
     }
@@ -515,7 +702,7 @@ mod tests {
         let mut bdd = Bdd::new(6); // 3 blocks x 2 bits
         let blocks = vec![vec![0b00u16, 0b01], vec![0b01, 0b10, 0b11], vec![0b10]];
         let f = bdd.product_of_blocks(&blocks, 2);
-        assert_eq!(bdd.satcount(f), (2 * 3 * 1) as f64);
+        assert_eq!(bdd.satcount(f), (2 * 3) as f64);
         // Word: block symbols (00, 11, 10) -> allowed.
         assert!(bdd.eval(f, &[false, false, true, true, true, false]));
         // Word: (01, 00, 10) -> block 1 forbids 00.
@@ -540,12 +727,22 @@ mod tests {
             for _ in 0..rng.index(30) {
                 // Random cube with ~30% don't-cares.
                 let literals: Vec<Option<bool>> = (0..vars)
-                    .map(|_| if rng.chance(0.3) { None } else { Some(rng.chance(0.5)) })
+                    .map(|_| {
+                        if rng.chance(0.3) {
+                            None
+                        } else {
+                            Some(rng.chance(0.5))
+                        }
+                    })
                     .collect();
                 root = bdd.insert_cube(root, &literals);
                 // Expand into the reference set.
-                let free: Vec<usize> =
-                    literals.iter().enumerate().filter(|(_, l)| l.is_none()).map(|(i, _)| i).collect();
+                let free: Vec<usize> = literals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.is_none())
+                    .map(|(i, _)| i)
+                    .collect();
                 for mask in 0..(1u32 << free.len()) {
                     let mut w: Vec<bool> = literals.iter().map(|l| l.unwrap_or(false)).collect();
                     for (bit, &pos) in free.iter().enumerate() {
@@ -556,8 +753,14 @@ mod tests {
             }
             // Compare on the full truth table.
             for bits in 0..(1u32 << vars) {
-                let a: Vec<bool> = (0..vars).map(|i| (bits >> (vars - 1 - i)) & 1 == 1).collect();
-                assert_eq!(bdd.eval(root, &a), reference.contains(&a), "assignment {a:?}");
+                let a: Vec<bool> = (0..vars)
+                    .map(|i| (bits >> (vars - 1 - i)) & 1 == 1)
+                    .collect();
+                assert_eq!(
+                    bdd.eval(root, &a),
+                    reference.contains(&a),
+                    "assignment {a:?}"
+                );
             }
             assert_eq!(bdd.satcount(root), reference.len() as f64);
         }
@@ -572,8 +775,7 @@ mod tests {
             let mut bdd = Bdd::new(bits * neurons);
             let blocks: Vec<Vec<u16>> = (0..neurons)
                 .map(|_| {
-                    let mut symbols: Vec<u16> =
-                        (0..4u16).filter(|_| rng.chance(0.6)).collect();
+                    let mut symbols: Vec<u16> = (0..4u16).filter(|_| rng.chance(0.6)).collect();
                     if symbols.is_empty() {
                         symbols.push(rng.index(4) as u16);
                     }
@@ -582,8 +784,9 @@ mod tests {
                 .collect();
             let f = bdd.product_of_blocks(&blocks, bits);
             for word in 0..(1u32 << (bits * neurons)) {
-                let a: Vec<bool> =
-                    (0..bits * neurons).map(|i| (word >> (bits * neurons - 1 - i)) & 1 == 1).collect();
+                let a: Vec<bool> = (0..bits * neurons)
+                    .map(|i| (word >> (bits * neurons - 1 - i)) & 1 == 1)
+                    .collect();
                 let expected = (0..neurons).all(|n| {
                     let sym = ((a[2 * n] as u16) << 1) | a[2 * n + 1] as u16;
                     blocks[n].contains(&sym)
@@ -639,7 +842,11 @@ struct BddData {
 
 impl Serialize for Bdd {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        BddData { num_vars: self.num_vars, nodes: self.nodes.clone() }.serialize(serializer)
+        BddData {
+            num_vars: self.num_vars,
+            nodes: self.nodes.clone(),
+        }
+        .serialize(serializer)
     }
 }
 
@@ -647,9 +854,11 @@ impl<'de> Deserialize<'de> for Bdd {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let data = BddData::deserialize(deserializer)?;
         if data.nodes.len() < 2 {
-            return Err(serde::de::Error::custom("BDD arena must contain the two terminals"));
+            return Err(serde::de::Error::custom(
+                "BDD arena must contain the two terminals",
+            ));
         }
-        let mut unique = HashMap::new();
+        let mut unique = FxHashMap::with_capacity_and_hasher(data.nodes.len(), Default::default());
         for (i, node) in data.nodes.iter().enumerate().skip(2) {
             unique.insert(*node, NodeId(i as u32));
         }
@@ -657,8 +866,12 @@ impl<'de> Deserialize<'de> for Bdd {
             num_vars: data.num_vars,
             nodes: data.nodes,
             unique,
-            op_cache: HashMap::new(),
-            not_cache: HashMap::new(),
+            op_cache: FxHashMap::with_capacity_and_hasher(
+                initial_capacity(data.num_vars),
+                Default::default(),
+            ),
+            not_cache: FxHashMap::default(),
+            stats: CacheStats::default(),
         })
     }
 }

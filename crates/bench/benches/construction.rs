@@ -24,32 +24,46 @@ fn construction(c: &mut Criterion) {
             ("pattern", MonitorKind::pattern()),
             ("interval2", MonitorKind::interval(2)),
         ] {
-            group.bench_with_input(BenchmarkId::new(format!("standard/{name}"), n), &data, |b, data| {
-                b.iter(|| {
-                    let m = MonitorBuilder::new(&net, layer).build(kind.clone(), black_box(data)).unwrap();
-                    black_box(m)
-                })
-            });
-            group.bench_with_input(BenchmarkId::new(format!("robust-box/{name}"), n), &data, |b, data| {
+            group.bench_with_input(
+                BenchmarkId::new(format!("standard/{name}"), n),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        let m = MonitorBuilder::new(&net, layer)
+                            .build(kind.clone(), black_box(data))
+                            .unwrap();
+                        black_box(m)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("robust-box/{name}"), n),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        let m = MonitorBuilder::new(&net, layer)
+                            .robust(0.02, 0, Domain::Box)
+                            .build(kind.clone(), black_box(data))
+                            .unwrap();
+                        black_box(m)
+                    })
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("robust-box-parallel/pattern", n),
+            &data,
+            |b, data| {
                 b.iter(|| {
                     let m = MonitorBuilder::new(&net, layer)
                         .robust(0.02, 0, Domain::Box)
-                        .build(kind.clone(), black_box(data))
+                        .parallel(true)
+                        .build(MonitorKind::pattern(), black_box(data))
                         .unwrap();
                     black_box(m)
                 })
-            });
-        }
-        group.bench_with_input(BenchmarkId::new("robust-box-parallel/pattern", n), &data, |b, data| {
-            b.iter(|| {
-                let m = MonitorBuilder::new(&net, layer)
-                    .robust(0.02, 0, Domain::Box)
-                    .parallel(true)
-                    .build(MonitorKind::pattern(), black_box(data))
-                    .unwrap();
-                black_box(m)
-            })
-        });
+            },
+        );
     }
     group.finish();
 }

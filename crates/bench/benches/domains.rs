@@ -39,7 +39,7 @@ fn domains(c: &mut Criterion) {
 
     // Depth scaling for the default (box) domain.
     for &depth in &[1usize, 2, 4] {
-        let hidden: Vec<usize> = std::iter::repeat(24).take(depth).collect();
+        let hidden: Vec<usize> = std::iter::repeat_n(24, depth).collect();
         let deep = random_network(37, 32, &hidden);
         let prop = Propagator::new(&deep, Domain::Box);
         let x = random_inputs(41, &deep, 1).pop().unwrap();

@@ -19,8 +19,18 @@ fn query(c: &mut Criterion) {
     let probes = random_inputs(23, &net, 64);
 
     let monitors = vec![
-        ("minmax", MonitorBuilder::new(&net, layer).build(MonitorKind::min_max(), &train).unwrap()),
-        ("pattern-bdd", MonitorBuilder::new(&net, layer).build(MonitorKind::pattern(), &train).unwrap()),
+        (
+            "minmax",
+            MonitorBuilder::new(&net, layer)
+                .build(MonitorKind::min_max(), &train)
+                .unwrap(),
+        ),
+        (
+            "pattern-bdd",
+            MonitorBuilder::new(&net, layer)
+                .build(MonitorKind::pattern(), &train)
+                .unwrap(),
+        ),
         (
             "pattern-hashset",
             MonitorBuilder::new(&net, layer)
@@ -33,11 +43,24 @@ fn query(c: &mut Criterion) {
         (
             "pattern-hamming1",
             MonitorBuilder::new(&net, layer)
-                .build(MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Bdd, 1), &train)
+                .build(
+                    MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Bdd, 1),
+                    &train,
+                )
                 .unwrap(),
         ),
-        ("interval2", MonitorBuilder::new(&net, layer).build(MonitorKind::interval(2), &train).unwrap()),
-        ("interval4", MonitorBuilder::new(&net, layer).build(MonitorKind::interval(4), &train).unwrap()),
+        (
+            "interval2",
+            MonitorBuilder::new(&net, layer)
+                .build(MonitorKind::interval(2), &train)
+                .unwrap(),
+        ),
+        (
+            "interval4",
+            MonitorBuilder::new(&net, layer)
+                .build(MonitorKind::interval(4), &train)
+                .unwrap(),
+        ),
         (
             "robust-pattern",
             MonitorBuilder::new(&net, layer)

@@ -15,9 +15,9 @@ use napmon_core::{MonitorBuilder, MonitorKind, PatternBackend, ThresholdPolicy};
 use napmon_data::ood::OodScenario;
 use napmon_data::racetrack::{TrackConfig, TrackSampler};
 use napmon_eval::experiment::{Experiment, RacetrackConfig};
+use napmon_eval::report;
 use napmon_eval::sweep;
 use napmon_eval::table::{percent, seconds, Table};
-use napmon_eval::report;
 use napmon_tensor::Prng;
 use std::time::Instant;
 
@@ -36,7 +36,11 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
 
     let config = if full {
         RacetrackConfig::paper_scale()
@@ -52,7 +56,10 @@ fn main() {
         }
     };
 
-    let needs_experiment = matches!(which, "e1" | "f2" | "a1" | "a1mm" | "a2" | "a3" | "a4" | "a6" | "all");
+    let needs_experiment = matches!(
+        which,
+        "e1" | "f2" | "a1" | "a1mm" | "a2" | "a3" | "a4" | "a6" | "all"
+    );
     let exp = needs_experiment.then(|| {
         println!(
             "# preparing experiment (train={}, test={}, ood={}x{}, net=256->{:?}->2, {} epochs)…",
@@ -130,7 +137,11 @@ fn e1(exp: &Experiment) {
         let robust = exp.run_monitor(
             &format!("{family} (robust Δ={})", best.delta),
             kind,
-            Some(napmon_core::RobustConfig { delta: best.delta, kp: 0, domain: Domain::Box }),
+            Some(napmon_core::RobustConfig {
+                delta: best.delta,
+                kp: 0,
+                domain: Domain::Box,
+            }),
         );
         for row in [&standard, &robust] {
             let mut cells = vec![row.name.clone(), percent(row.fp_rate)];
@@ -170,7 +181,11 @@ fn e1(exp: &Experiment) {
 fn e2(full: bool) {
     use napmon_eval::shapes_experiment::{ShapesExperiment, ShapesExperimentConfig};
     println!("## E2 — per-class pattern monitoring on the glyph classifier\n");
-    let config = if full { ShapesExperimentConfig::paper_scale() } else { ShapesExperimentConfig::default() };
+    let config = if full {
+        ShapesExperimentConfig::paper_scale()
+    } else {
+        ShapesExperimentConfig::default()
+    };
     let exp = ShapesExperiment::prepare(config);
     println!("classifier accuracy: {}\n", percent(exp.accuracy()));
     let kind = pattern_family();
@@ -180,12 +195,26 @@ fn e2(full: bool) {
         rows.push(exp.run_per_class(
             &format!("per-class pattern (robust Δ={delta})"),
             kind.clone(),
-            Some(napmon_core::RobustConfig { delta, kp: 0, domain: Domain::Box }),
+            Some(napmon_core::RobustConfig {
+                delta,
+                kp: 0,
+                domain: Domain::Box,
+            }),
         ));
     }
-    let mut t = Table::new(vec!["monitor".into(), "FP rate".into(), "OOD detection".into(), "build".into()]);
+    let mut t = Table::new(vec![
+        "monitor".into(),
+        "FP rate".into(),
+        "OOD detection".into(),
+        "build".into(),
+    ]);
     for row in &rows {
-        t.row(vec![row.name.clone(), percent(row.fp_rate), percent(row.detection), seconds(row.build_seconds)]);
+        t.row(vec![
+            row.name.clone(),
+            percent(row.fp_rate),
+            percent(row.detection),
+            seconds(row.build_seconds),
+        ]);
     }
     println!("{t}");
     report::save_json(&rows, "results/e2.json").expect("write results/e2.json");
@@ -209,9 +238,15 @@ fn f1() {
         ("c1 < l < c2, c3 < u", 0.5, 2.5),
         ("l <= c1, c3 < u", -0.5, 2.5),
     ];
-    let mut t = Table::new(vec!["relation of [l,u] to thresholds".into(), "symbols b_j".into()]);
+    let mut t = Table::new(vec![
+        "relation of [l,u] to thresholds".into(),
+        "symbols b_j".into(),
+    ]);
     for (desc, l, u) in cases {
-        let symbols: Vec<String> = m.symbol_range(0, l, u).map(|s| format!("{s:02b}")).collect();
+        let symbols: Vec<String> = m
+            .symbol_range(0, l, u)
+            .map(|s| format!("{s:02b}"))
+            .collect();
         t.row(vec![desc.to_string(), format!("{{{}}}", symbols.join(","))]);
     }
     println!("{t}");
@@ -232,13 +267,20 @@ fn f2(exp: &Experiment, seed: u64) {
     let row = exp.run_monitor(
         "pattern (robust Δ=0.001)",
         pattern_family(),
-        Some(napmon_core::RobustConfig { delta: 0.001, kp: 0, domain: Domain::Box }),
+        Some(napmon_core::RobustConfig {
+            delta: 0.001,
+            kp: 0,
+            domain: Domain::Box,
+        }),
     );
     let mut t = Table::new(vec!["scenario".into(), "detection rate".into()]);
     for (name, rate) in &row.detection {
         t.row(vec![name.clone(), percent(*rate)]);
     }
-    t.row(vec!["(in-ODD false positives)".into(), percent(row.fp_rate)]);
+    t.row(vec![
+        "(in-ODD false positives)".into(),
+        percent(row.fp_rate),
+    ]);
     println!("{t}");
     report::save_json(&row, "results/f2.json").expect("write results/f2.json");
 }
@@ -247,7 +289,12 @@ fn f2(exp: &Experiment, seed: u64) {
 fn a1(exp: &Experiment) {
     println!("## A1 — Δ sweep (robust pattern monitor, box domain, kp = 0)\n");
     let deltas = [0.0, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2e-2, 4e-2];
-    let mut t = Table::new(vec!["Δ".into(), "FP rate".into(), "mean detection".into(), "coverage".into()]);
+    let mut t = Table::new(vec![
+        "Δ".into(),
+        "FP rate".into(),
+        "mean detection".into(),
+        "coverage".into(),
+    ]);
     let points = sweep::delta_sweep(exp, pattern_family(), &deltas, 0, Domain::Box);
     for p in &points {
         t.row(vec![
@@ -269,7 +316,11 @@ fn a1mm(exp: &Experiment) {
     let points = sweep::delta_sweep(exp, MonitorKind::min_max(), &deltas, 0, Domain::Box);
     let mut t = Table::new(vec!["Δ".into(), "FP rate".into(), "mean detection".into()]);
     for p in &points {
-        t.row(vec![format!("{}", p.delta), percent(p.fp_rate), percent(p.mean_detection)]);
+        t.row(vec![
+            format!("{}", p.delta),
+            percent(p.fp_rate),
+            percent(p.mean_detection),
+        ]);
     }
     println!("{t}");
     report::save_json(&points, "results/a1mm.json").expect("write results/a1mm.json");
@@ -281,7 +332,12 @@ fn a2(exp: &Experiment) {
     let layer = exp.monitored_boundary();
     let kps: Vec<usize> = (0..layer).collect();
     let points = sweep::kp_sweep(exp, pattern_family(), &kps, 0.001, Domain::Box);
-    let mut t = Table::new(vec!["kp".into(), "FP rate".into(), "mean detection".into(), "coverage".into()]);
+    let mut t = Table::new(vec![
+        "kp".into(),
+        "FP rate".into(),
+        "mean detection".into(),
+        "coverage".into(),
+    ]);
     for p in &points {
         t.row(vec![
             p.kp.to_string(),
@@ -362,8 +418,15 @@ fn a5() {
         let mut cube_list = Vec::new();
         for _ in 0..cubes {
             let free = rng.sample_indices(vars, dc);
-            let cube: Vec<Option<bool>> =
-                (0..vars).map(|i| if free.contains(&i) { None } else { Some(rng.chance(0.5)) }).collect();
+            let cube: Vec<Option<bool>> = (0..vars)
+                .map(|i| {
+                    if free.contains(&i) {
+                        None
+                    } else {
+                        Some(rng.chance(0.5))
+                    }
+                })
+                .collect();
             root = bdd.insert_cube(root, &cube);
             cube_list.push(cube);
         }
@@ -372,8 +435,12 @@ fn a5() {
             let start = Instant::now();
             let mut set = std::collections::HashSet::new();
             for cube in &cube_list {
-                let free: Vec<usize> =
-                    cube.iter().enumerate().filter(|(_, l)| l.is_none()).map(|(i, _)| i).collect();
+                let free: Vec<usize> = cube
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.is_none())
+                    .map(|(i, _)| i)
+                    .collect();
                 for mask in 0u64..(1u64 << free.len()) {
                     let mut w: Vec<bool> = cube.iter().map(|l| l.unwrap_or(false)).collect();
                     for (bit, &pos) in free.iter().enumerate() {
@@ -382,7 +449,10 @@ fn a5() {
                     set.insert(w);
                 }
             }
-            (set.len().to_string(), format!("{:.2}", start.elapsed().as_secs_f64() * 1e3))
+            (
+                set.len().to_string(),
+                format!("{:.2}", start.elapsed().as_secs_f64() * 1e3),
+            )
         } else {
             (format!("~2^{dc}·{cubes} (skipped)"), "-".into())
         };
@@ -431,5 +501,8 @@ fn a6(exp: &Experiment) {
     println!("{t}");
 
     let row = exp.run_monitor("pattern", MonitorKind::pattern(), None);
-    println!("mean query latency (pattern monitor, incl. forward pass): {:.1} µs\n", row.query_nanos / 1e3);
+    println!(
+        "mean query latency (pattern monitor, incl. forward pass): {:.1} µs\n",
+        row.query_nanos / 1e3
+    );
 }

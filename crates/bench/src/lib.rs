@@ -18,7 +18,11 @@ pub fn bench_experiment() -> Experiment {
         ood_size: 64,
         hidden: vec![32, 16],
         epochs: 5,
-        track: TrackConfig { height: 12, width: 12, ..TrackConfig::default() },
+        track: TrackConfig {
+            height: 12,
+            width: 12,
+            ..TrackConfig::default()
+        },
         ..RacetrackConfig::default()
     })
 }
@@ -27,7 +31,10 @@ pub fn bench_experiment() -> Experiment {
 /// dimensions — enough for propagation/throughput benches where training
 /// does not change the cost profile.
 pub fn random_network(seed: u64, input: usize, hidden: &[usize]) -> Network {
-    let mut specs: Vec<LayerSpec> = hidden.iter().map(|&w| LayerSpec::dense(w, Activation::Relu)).collect();
+    let mut specs: Vec<LayerSpec> = hidden
+        .iter()
+        .map(|&w| LayerSpec::dense(w, Activation::Relu))
+        .collect();
     specs.push(LayerSpec::dense(2, Activation::Identity));
     Network::seeded(seed, input, &specs)
 }
@@ -35,7 +42,9 @@ pub fn random_network(seed: u64, input: usize, hidden: &[usize]) -> Network {
 /// `n` random inputs for the given network.
 pub fn random_inputs(seed: u64, net: &Network, n: usize) -> Vec<Vec<f64>> {
     let mut rng = Prng::seed(seed);
-    (0..n).map(|_| rng.uniform_vec(net.input_dim(), 0.0, 1.0)).collect()
+    (0..n)
+        .map(|_| rng.uniform_vec(net.input_dim(), 0.0, 1.0))
+        .collect()
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use crate::error::MonitorError;
 use crate::feature::FeatureExtractor;
 use crate::interval_pattern::{IntervalPatternMonitor, ThresholdPolicy};
 use crate::minmax::MinMaxMonitor;
-use crate::monitor::{Monitor, Verdict};
+use crate::monitor::{Monitor, QueryScratch, Verdict};
 use crate::pattern::{PatternBackend, PatternMonitor};
 use crate::per_class::PerClassMonitor;
 use crate::perturb::perturbation_estimate_with;
@@ -75,17 +75,28 @@ impl MonitorKind {
 
     /// On-off pattern monitor with sign thresholds in a BDD.
     pub fn pattern() -> Self {
-        MonitorKind::Pattern { policy: ThresholdPolicy::Sign, backend: PatternBackend::Bdd, hamming: 0 }
+        MonitorKind::Pattern {
+            policy: ThresholdPolicy::Sign,
+            backend: PatternBackend::Bdd,
+            hamming: 0,
+        }
     }
 
     /// On-off pattern monitor with explicit configuration.
     pub fn pattern_with(policy: ThresholdPolicy, backend: PatternBackend, hamming: usize) -> Self {
-        MonitorKind::Pattern { policy, backend, hamming }
+        MonitorKind::Pattern {
+            policy,
+            backend,
+            hamming,
+        }
     }
 
     /// Interval pattern monitor with quantile thresholds.
     pub fn interval(bits: usize) -> Self {
-        MonitorKind::IntervalPattern { bits, policy: ThresholdPolicy::Quantiles }
+        MonitorKind::IntervalPattern {
+            bits,
+            policy: ThresholdPolicy::Quantiles,
+        }
     }
 
     /// Interval pattern monitor with explicit configuration.
@@ -157,6 +168,14 @@ impl Monitor for AnyMonitor {
             AnyMonitor::Interval(m) => m.verdict_features(features),
         }
     }
+
+    fn verdict_features_scratch(&self, features: &[f64], scratch: &mut QueryScratch) -> Verdict {
+        match self {
+            AnyMonitor::MinMax(m) => m.verdict_features_scratch(features, scratch),
+            AnyMonitor::Pattern(m) => m.verdict_features_scratch(features, scratch),
+            AnyMonitor::Interval(m) => m.verdict_features_scratch(features, scratch),
+        }
+    }
 }
 
 /// Builds monitors over one network boundary.
@@ -175,7 +194,13 @@ pub struct MonitorBuilder<'a> {
 impl<'a> MonitorBuilder<'a> {
     /// Starts a builder monitoring boundary `layer` of `net`.
     pub fn new(net: &'a Network, layer: usize) -> Self {
-        Self { net, layer, neurons: None, robust: None, parallel: false }
+        Self {
+            net,
+            layer,
+            neurons: None,
+            robust: None,
+            parallel: false,
+        }
     }
 
     /// Monitors only the given neuron indices.
@@ -232,7 +257,10 @@ impl<'a> MonitorBuilder<'a> {
                 )));
             }
             if r.delta < 0.0 || !r.delta.is_finite() {
-                return Err(MonitorError::InvalidConfig(format!("delta must be finite and non-negative, got {}", r.delta)));
+                return Err(MonitorError::InvalidConfig(format!(
+                    "delta must be finite and non-negative, got {}",
+                    r.delta
+                )));
             }
         }
         Ok(())
@@ -269,13 +297,15 @@ impl<'a> MonitorBuilder<'a> {
                 })
                 .collect()
         } else {
-            let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+            let threads = std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(4);
             let chunk_size = data.len().div_ceil(threads);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = data
                     .chunks(chunk_size)
                     .map(|chunk| {
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             // One cached propagator per worker.
                             let prop = robust.map(|r| Propagator::new(net, r.domain));
                             chunk
@@ -299,13 +329,20 @@ impl<'a> MonitorBuilder<'a> {
                         })
                     })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .collect()
             })
-            .expect("crossbeam scope")
         };
         let (features, bounds): (Vec<_>, Vec<_>) = results.into_iter().unzip();
         let bounds: Option<Vec<BoxBounds>> = if self.robust.is_some() {
-            Some(bounds.into_iter().map(|b| b.expect("robust bounds computed")).collect())
+            Some(
+                bounds
+                    .into_iter()
+                    .map(|b| b.expect("robust bounds computed"))
+                    .collect(),
+            )
         } else {
             None
         };
@@ -327,7 +364,9 @@ impl<'a> MonitorBuilder<'a> {
         match kind {
             MonitorKind::MinMax { gamma } => {
                 if gamma < 0.0 {
-                    return Err(MonitorError::InvalidConfig(format!("gamma must be non-negative, got {gamma}")));
+                    return Err(MonitorError::InvalidConfig(format!(
+                        "gamma must be non-negative, got {gamma}"
+                    )));
                 }
                 let mut m = MinMaxMonitor::empty(fx);
                 match &bounds {
@@ -339,7 +378,11 @@ impl<'a> MonitorBuilder<'a> {
                 }
                 Ok(AnyMonitor::MinMax(m))
             }
-            MonitorKind::Pattern { policy, backend, hamming } => {
+            MonitorKind::Pattern {
+                policy,
+                backend,
+                hamming,
+            } => {
                 let lists = policy.resolve(fx.dim(), 1, &features)?;
                 let thresholds: Vec<f64> = lists.into_iter().map(|l| l[0]).collect();
                 let mut m = PatternMonitor::empty(fx, thresholds, backend)?;
@@ -386,19 +429,25 @@ impl<'a> MonitorBuilder<'a> {
             });
         }
         if num_classes == 0 {
-            return Err(MonitorError::InvalidConfig("num_classes must be positive".into()));
+            return Err(MonitorError::InvalidConfig(
+                "num_classes must be positive".into(),
+            ));
         }
         let mut partitions: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_classes];
         for (v, &c) in data.iter().zip(labels) {
             if c >= num_classes {
-                return Err(MonitorError::InvalidConfig(format!("label {c} out of range 0..{num_classes}")));
+                return Err(MonitorError::InvalidConfig(format!(
+                    "label {c} out of range 0..{num_classes}"
+                )));
             }
             partitions[c].push(v.clone());
         }
         let mut monitors = Vec::with_capacity(num_classes);
         for (c, part) in partitions.iter().enumerate() {
             if part.is_empty() {
-                return Err(MonitorError::InvalidConfig(format!("class {c} has no training samples")));
+                return Err(MonitorError::InvalidConfig(format!(
+                    "class {c} has no training samples"
+                )));
             }
             monitors.push(self.build(kind.clone(), part)?);
         }
@@ -413,11 +462,15 @@ mod tests {
     use napmon_tensor::Prng;
 
     fn net() -> Network {
-        Network::seeded(23, 3, &[
-            LayerSpec::dense(8, Activation::Relu),
-            LayerSpec::dense(4, Activation::Relu),
-            LayerSpec::dense(2, Activation::Identity),
-        ])
+        Network::seeded(
+            23,
+            3,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(4, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        )
     }
 
     fn train_data(n: usize) -> Vec<Vec<f64>> {
@@ -429,14 +482,23 @@ mod tests {
     fn validation_catches_bad_inputs() {
         let net = net();
         let b = MonitorBuilder::new(&net, 2);
-        assert!(matches!(b.build(MonitorKind::min_max(), &[]), Err(MonitorError::EmptyTrainingSet)));
+        assert!(matches!(
+            b.build(MonitorKind::min_max(), &[]),
+            Err(MonitorError::EmptyTrainingSet)
+        ));
         assert!(b.build(MonitorKind::min_max(), &[vec![0.0]]).is_err());
         let bad_robust = MonitorBuilder::new(&net, 2).robust(0.1, 2, Domain::Box);
-        assert!(bad_robust.build(MonitorKind::min_max(), &train_data(4)).is_err());
+        assert!(bad_robust
+            .build(MonitorKind::min_max(), &train_data(4))
+            .is_err());
         let neg_delta = MonitorBuilder::new(&net, 2).robust(-0.1, 0, Domain::Box);
-        assert!(neg_delta.build(MonitorKind::min_max(), &train_data(4)).is_err());
+        assert!(neg_delta
+            .build(MonitorKind::min_max(), &train_data(4))
+            .is_err());
         let neg_gamma = MonitorBuilder::new(&net, 2);
-        assert!(neg_gamma.build(MonitorKind::min_max_enlarged(-1.0), &train_data(4)).is_err());
+        assert!(neg_gamma
+            .build(MonitorKind::min_max_enlarged(-1.0), &train_data(4))
+            .is_err());
     }
 
     #[test]
@@ -448,9 +510,14 @@ mod tests {
             MonitorKind::pattern(),
             MonitorKind::interval(2),
         ] {
-            let m = MonitorBuilder::new(&net, 4).build(kind.clone(), &data).unwrap();
+            let m = MonitorBuilder::new(&net, 4)
+                .build(kind.clone(), &data)
+                .unwrap();
             for x in &data {
-                assert!(!m.warns(&net, x).unwrap(), "{kind:?} warned on its own training data");
+                assert!(
+                    !m.warns(&net, x).unwrap(),
+                    "{kind:?} warned on its own training data"
+                );
             }
         }
     }
@@ -473,7 +540,8 @@ mod tests {
             // Lemma 1: Δ-close inputs never warn.
             for x in data.iter().take(16) {
                 for _ in 0..8 {
-                    let pert: Vec<f64> = x.iter().map(|&v| v + rng.uniform(-delta, delta)).collect();
+                    let pert: Vec<f64> =
+                        x.iter().map(|&v| v + rng.uniform(-delta, delta)).collect();
                     assert!(!m.warns(&net, &pert).unwrap(), "{kind:?} violated Lemma 1");
                 }
             }
@@ -484,7 +552,9 @@ mod tests {
     fn robust_pattern_admits_no_fewer_patterns_than_standard() {
         let net = net();
         let data = train_data(48);
-        let std_m = MonitorBuilder::new(&net, 4).build(MonitorKind::pattern(), &data).unwrap();
+        let std_m = MonitorBuilder::new(&net, 4)
+            .build(MonitorKind::pattern(), &data)
+            .unwrap();
         let rob_m = MonitorBuilder::new(&net, 4)
             .robust(0.05, 0, Domain::Box)
             .build(MonitorKind::pattern(), &data)
@@ -525,8 +595,12 @@ mod tests {
     fn enlarged_min_max_accepts_more() {
         let net = net();
         let data = train_data(32);
-        let plain = MonitorBuilder::new(&net, 4).build(MonitorKind::min_max(), &data).unwrap();
-        let bloated = MonitorBuilder::new(&net, 4).build(MonitorKind::min_max_enlarged(0.5), &data).unwrap();
+        let plain = MonitorBuilder::new(&net, 4)
+            .build(MonitorKind::min_max(), &data)
+            .unwrap();
+        let bloated = MonitorBuilder::new(&net, 4)
+            .build(MonitorKind::min_max_enlarged(0.5), &data)
+            .unwrap();
         let (p, b) = (plain.as_min_max().unwrap(), bloated.as_min_max().unwrap());
         assert!(b.mean_width() > p.mean_width());
     }
@@ -537,7 +611,7 @@ mod tests {
         let data = train_data(40);
         let labels: Vec<usize> = data.iter().map(|x| net.predict_class(x)).collect();
         // Guard: both classes must be populated for this seed.
-        assert!(labels.iter().any(|&c| c == 0) && labels.iter().any(|&c| c == 1));
+        assert!(labels.contains(&0) && labels.contains(&1));
         let pc = MonitorBuilder::new(&net, 4)
             .build_per_class(MonitorKind::pattern(), &data, &labels, 2)
             .unwrap();
@@ -551,9 +625,15 @@ mod tests {
         let net = net();
         let data = train_data(8);
         let b = MonitorBuilder::new(&net, 4);
-        assert!(b.build_per_class(MonitorKind::pattern(), &data, &[0; 7], 2).is_err());
-        assert!(b.build_per_class(MonitorKind::pattern(), &data, &[5; 8], 2).is_err());
-        assert!(b.build_per_class(MonitorKind::pattern(), &data, &[0; 8], 2).is_err()); // class 1 empty
+        assert!(b
+            .build_per_class(MonitorKind::pattern(), &data, &[0; 7], 2)
+            .is_err());
+        assert!(b
+            .build_per_class(MonitorKind::pattern(), &data, &[5; 8], 2)
+            .is_err());
+        assert!(b
+            .build_per_class(MonitorKind::pattern(), &data, &[0; 8], 2)
+            .is_err()); // class 1 empty
     }
 }
 

@@ -23,10 +23,19 @@ pub enum MonitorError {
 impl fmt::Display for MonitorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MonitorError::DimensionMismatch { context, expected, actual } => {
-                write!(f, "dimension mismatch in {context}: expected {expected}, got {actual}")
+            MonitorError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch in {context}: expected {expected}, got {actual}"
+                )
             }
-            MonitorError::EmptyTrainingSet => write!(f, "monitor construction needs a non-empty training set"),
+            MonitorError::EmptyTrainingSet => {
+                write!(f, "monitor construction needs a non-empty training set")
+            }
             MonitorError::InvalidConfig(msg) => write!(f, "invalid monitor configuration: {msg}"),
         }
     }
@@ -40,9 +49,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MonitorError::DimensionMismatch { context: "query input".into(), expected: 4, actual: 3 };
-        assert_eq!(e.to_string(), "dimension mismatch in query input: expected 4, got 3");
-        assert!(MonitorError::EmptyTrainingSet.to_string().contains("non-empty"));
+        let e = MonitorError::DimensionMismatch {
+            context: "query input".into(),
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in query input: expected 4, got 3"
+        );
+        assert!(MonitorError::EmptyTrainingSet
+            .to_string()
+            .contains("non-empty"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::error::MonitorError;
 use napmon_absint::BoxBounds;
-use napmon_nn::Network;
+use napmon_nn::{ForwardScratch, Network};
 use serde::{Deserialize, Serialize};
 
 /// Selects the monitored feature vector: the values of boundary `layer`
@@ -46,7 +46,11 @@ impl FeatureExtractor {
                 net.num_layers()
             )));
         }
-        Ok(Self { layer, layer_dim: net.dim_at(layer), neurons: None })
+        Ok(Self {
+            layer,
+            layer_dim: net.dim_at(layer),
+            neurons: None,
+        })
     }
 
     /// Restricts monitoring to the given neuron indices (deduplicated,
@@ -103,10 +107,22 @@ impl FeatureExtractor {
     ///
     /// Panics if `full.len() != self.layer_dim()`.
     pub fn project(&self, full: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.project_into(full, &mut out);
+        out
+    }
+
+    /// Projects a full layer vector into a reused output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != self.layer_dim()`.
+    pub fn project_into(&self, full: &[f64], out: &mut Vec<f64>) {
         assert_eq!(full.len(), self.layer_dim, "project: layer width mismatch");
+        out.clear();
         match &self.neurons {
-            None => full.to_vec(),
-            Some(idx) => idx.iter().map(|&i| full[i]).collect(),
+            None => out.extend_from_slice(full),
+            Some(idx) => out.extend(idx.iter().map(|&i| full[i])),
         }
     }
 
@@ -116,7 +132,11 @@ impl FeatureExtractor {
     ///
     /// Panics if `bounds.dim() != self.layer_dim()`.
     pub fn project_bounds(&self, bounds: &BoxBounds) -> BoxBounds {
-        assert_eq!(bounds.dim(), self.layer_dim, "project_bounds: layer width mismatch");
+        assert_eq!(
+            bounds.dim(),
+            self.layer_dim,
+            "project_bounds: layer width mismatch"
+        );
         match &self.neurons {
             None => bounds.clone(),
             Some(idx) => BoxBounds::new(
@@ -142,6 +162,32 @@ impl FeatureExtractor {
         }
         Ok(self.project(&net.forward_prefix(input, self.layer)))
     }
+
+    /// Computes `G^k(input)` (projected) into a reused output buffer via
+    /// reused forward-pass buffers — the allocation-free query path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if `input` does not match
+    /// the network input dimension.
+    pub fn features_into(
+        &self,
+        net: &Network,
+        input: &[f64],
+        forward: &mut ForwardScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MonitorError> {
+        if input.len() != net.input_dim() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "feature extraction input".into(),
+                expected: net.input_dim(),
+                actual: input.len(),
+            });
+        }
+        let full = net.forward_prefix_into(input, self.layer, forward);
+        self.project_into(full, out);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +196,14 @@ mod tests {
     use napmon_nn::{Activation, LayerSpec};
 
     fn net() -> Network {
-        Network::seeded(3, 4, &[LayerSpec::dense(6, Activation::Relu), LayerSpec::dense(2, Activation::Identity)])
+        Network::seeded(
+            3,
+            4,
+            &[
+                LayerSpec::dense(6, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        )
     }
 
     #[test]
@@ -172,7 +225,10 @@ mod tests {
     #[test]
     fn subset_projects_in_order_and_dedups() {
         let net = net();
-        let fx = FeatureExtractor::new(&net, 2).unwrap().with_neurons(vec![5, 0, 5, 2]).unwrap();
+        let fx = FeatureExtractor::new(&net, 2)
+            .unwrap()
+            .with_neurons(vec![5, 0, 5, 2])
+            .unwrap();
         assert_eq!(fx.dim(), 3);
         let full: Vec<f64> = (0..6).map(|i| i as f64).collect();
         assert_eq!(fx.project(&full), vec![5.0, 0.0, 2.0]);
@@ -190,8 +246,14 @@ mod tests {
     #[test]
     fn project_bounds_selects_dimensions() {
         let net = net();
-        let fx = FeatureExtractor::new(&net, 2).unwrap().with_neurons(vec![1, 3]).unwrap();
-        let b = BoxBounds::new((0..6).map(|i| i as f64).collect(), (0..6).map(|i| i as f64 + 0.5).collect());
+        let fx = FeatureExtractor::new(&net, 2)
+            .unwrap()
+            .with_neurons(vec![1, 3])
+            .unwrap();
+        let b = BoxBounds::new(
+            (0..6).map(|i| i as f64).collect(),
+            (0..6).map(|i| i as f64 + 0.5).collect(),
+        );
         let p = fx.project_bounds(&b);
         assert_eq!(p.lo(), &[1.0, 3.0]);
         assert_eq!(p.hi(), &[1.5, 3.5]);

@@ -18,9 +18,9 @@
 
 use crate::error::MonitorError;
 use crate::feature::FeatureExtractor;
-use crate::monitor::{Monitor, Verdict, Violation};
+use crate::monitor::{Monitor, QueryScratch, Verdict, Violation};
 use napmon_absint::BoxBounds;
-use napmon_bdd::{Bdd, NodeId};
+use napmon_bdd::{Bdd, BitWord, NodeId};
 use napmon_tensor::stats;
 use serde::{Deserialize, Serialize};
 
@@ -61,13 +61,17 @@ impl ThresholdPolicy {
         match self {
             ThresholdPolicy::Sign => {
                 if bits != 1 {
-                    return Err(MonitorError::InvalidConfig("Sign policy requires bits = 1".into()));
+                    return Err(MonitorError::InvalidConfig(
+                        "Sign policy requires bits = 1".into(),
+                    ));
                 }
                 Ok(vec![vec![0.0]; dim])
             }
             ThresholdPolicy::Mean => {
                 if bits != 1 {
-                    return Err(MonitorError::InvalidConfig("Mean policy requires bits = 1".into()));
+                    return Err(MonitorError::InvalidConfig(
+                        "Mean policy requires bits = 1".into(),
+                    ));
                 }
                 if features.is_empty() {
                     return Err(MonitorError::EmptyTrainingSet);
@@ -114,7 +118,9 @@ impl ThresholdPolicy {
                         )));
                     }
                     if list.windows(2).any(|w| w[0] >= w[1]) {
-                        return Err(MonitorError::InvalidConfig(format!("neuron {j}: thresholds not ascending")));
+                        return Err(MonitorError::InvalidConfig(format!(
+                            "neuron {j}: thresholds not ascending"
+                        )));
                     }
                 }
                 Ok(lists.clone())
@@ -149,7 +155,9 @@ impl IntervalPatternMonitor {
         thresholds: Vec<Vec<f64>>,
     ) -> Result<Self, MonitorError> {
         if bits == 0 || bits > 8 {
-            return Err(MonitorError::InvalidConfig(format!("bits per neuron must be in 1..=8, got {bits}")));
+            return Err(MonitorError::InvalidConfig(format!(
+                "bits per neuron must be in 1..=8, got {bits}"
+            )));
         }
         if thresholds.len() != extractor.dim() {
             return Err(MonitorError::DimensionMismatch {
@@ -167,11 +175,20 @@ impl IntervalPatternMonitor {
                 )));
             }
             if list.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(MonitorError::InvalidConfig(format!("neuron {j}: thresholds not ascending")));
+                return Err(MonitorError::InvalidConfig(format!(
+                    "neuron {j}: thresholds not ascending"
+                )));
             }
         }
         let bdd = Bdd::new(extractor.dim() * bits);
-        Ok(Self { extractor, bits, thresholds, bdd, root: Bdd::FALSE, samples: 0 })
+        Ok(Self {
+            extractor,
+            bits,
+            thresholds,
+            bdd,
+            root: Bdd::FALSE,
+            samples: 0,
+        })
     }
 
     /// Bits per neuron `B`.
@@ -206,18 +223,57 @@ impl IntervalPatternMonitor {
     ///
     /// Panics if `features.len()` differs from the monitor dimension.
     pub fn abstract_symbols(&self, features: &[f64]) -> Vec<u16> {
-        assert_eq!(features.len(), self.thresholds.len(), "abstract_symbols: dimension mismatch");
-        features.iter().enumerate().map(|(j, &v)| self.symbol(j, v)).collect()
+        assert_eq!(
+            features.len(),
+            self.thresholds.len(),
+            "abstract_symbols: dimension mismatch"
+        );
+        features
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| self.symbol(j, v))
+            .collect()
     }
 
-    fn symbols_to_word(&self, symbols: &[u16]) -> Vec<bool> {
-        let mut word = Vec::with_capacity(symbols.len() * self.bits);
-        for &s in symbols {
-            for b in (0..self.bits).rev() {
-                word.push((s >> b) & 1 == 1);
-            }
-        }
+    /// The packed bit encoding of the symbol word (neuron-major, most
+    /// significant bit first): the query-path abstraction. Computes the
+    /// symbols inline — no intermediate symbol vector, no heap allocation
+    /// for monitors up to [`napmon_bdd::INLINE_BITS`] total bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn abstract_bitword(&self, features: &[f64]) -> BitWord {
+        let mut word = BitWord::zeros(self.thresholds.len() * self.bits);
+        self.abstract_into(features, &mut word);
         word
+    }
+
+    /// Packs the bit encoding into a caller-owned scratch word (resized as
+    /// needed; zero allocation once grown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn abstract_into(&self, features: &[f64], word: &mut BitWord) {
+        assert_eq!(
+            features.len(),
+            self.thresholds.len(),
+            "abstract_symbols: dimension mismatch"
+        );
+        let bits = self.bits;
+        // fill_with visits bits in order, so each neuron's symbol is
+        // computed once and reused for its `bits` consecutive positions.
+        let mut current_neuron = usize::MAX;
+        let mut symbol = 0u16;
+        word.fill_with(self.thresholds.len() * bits, |i| {
+            let j = i / bits;
+            if j != current_neuron {
+                symbol = self.symbol(j, features[j]);
+                current_neuron = j;
+            }
+            (symbol >> (bits - 1 - i % bits)) & 1 == 1
+        });
     }
 
     /// Folds one feature vector (standard construction).
@@ -226,7 +282,7 @@ impl IntervalPatternMonitor {
     ///
     /// Panics if `features.len()` differs from the monitor dimension.
     pub fn absorb_point(&mut self, features: &[f64]) {
-        let word = self.symbols_to_word(&self.abstract_symbols(features));
+        let word = self.abstract_bitword(features);
         self.root = self.bdd.insert_word(self.root, &word);
         self.samples += 1;
     }
@@ -238,9 +294,16 @@ impl IntervalPatternMonitor {
     ///
     /// Panics if `bounds.dim()` differs from the monitor dimension.
     pub fn absorb_bounds(&mut self, bounds: &BoxBounds) {
-        assert_eq!(bounds.dim(), self.thresholds.len(), "absorb_bounds: dimension mismatch");
+        assert_eq!(
+            bounds.dim(),
+            self.thresholds.len(),
+            "absorb_bounds: dimension mismatch"
+        );
         let blocks: Vec<Vec<u16>> = (0..self.thresholds.len())
-            .map(|j| self.symbol_range(j, bounds.lo()[j], bounds.hi()[j]).collect())
+            .map(|j| {
+                self.symbol_range(j, bounds.lo()[j], bounds.hi()[j])
+                    .collect()
+            })
             .collect();
         let cube = self.bdd.product_of_blocks(&blocks, self.bits);
         self.root = self.bdd.or(self.root, cube);
@@ -249,17 +312,32 @@ impl IntervalPatternMonitor {
 
     /// Whether the symbol word of `features` is in the recorded set.
     pub fn contains(&self, features: &[f64]) -> bool {
-        let word = self.symbols_to_word(&self.abstract_symbols(features));
+        let word = self.abstract_bitword(features);
         self.bdd.eval(self.root, &word)
     }
 
-    /// Whether some recorded bit word is within Hamming distance `tau` of
-    /// `word` (over the `bits × neurons` encoding).
+    /// Packed membership against a pre-abstracted word.
     ///
     /// # Panics
     ///
     /// Panics if `word.len() != dim * bits`.
-    pub fn contains_word_within(&self, word: &[bool], tau: usize) -> bool {
+    #[inline]
+    pub fn contains_packed(&self, word: &BitWord) -> bool {
+        self.bdd.eval(self.root, word)
+    }
+
+    /// Whether some recorded bit word is within Hamming distance `tau` of
+    /// `word` (over the `bits × neurons` encoding; packed or `bool`-slice
+    /// form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.bit_len() != dim * bits`.
+    pub fn contains_word_within<W: napmon_bdd::AsBits + ?Sized>(
+        &self,
+        word: &W,
+        tau: usize,
+    ) -> bool {
         self.bdd.contains_within_hamming(self.root, word, tau)
     }
 
@@ -296,11 +374,24 @@ impl Monitor for IntervalPatternMonitor {
     }
 
     fn verdict_features(&self, features: &[f64]) -> Verdict {
-        if self.contains(features) {
+        let word = self.abstract_bitword(features);
+        if self.contains_packed(&word) {
             Verdict::ok()
         } else {
-            let word = self.symbols_to_word(&self.abstract_symbols(features));
-            Verdict::warn(vec![Violation::UnknownPattern { word }])
+            Verdict::warn(vec![Violation::UnknownPattern {
+                word: word.to_bools(),
+            }])
+        }
+    }
+
+    fn verdict_features_scratch(&self, features: &[f64], scratch: &mut QueryScratch) -> Verdict {
+        self.abstract_into(features, &mut scratch.word);
+        if self.contains_packed(&scratch.word) {
+            Verdict::ok()
+        } else {
+            Verdict::warn(vec![Violation::UnknownPattern {
+                word: scratch.word.to_bools(),
+            }])
         }
     }
 }
@@ -345,16 +436,16 @@ mod tests {
     fn figure_1_robust_encoding_all_ten_cases() {
         let m = two_bit_monitor();
         let cases: Vec<((f64, f64), Vec<u16>)> = vec![
-            ((2.5, 3.0), vec![3]),            // l > c3:              {11}
-            ((1.2, 1.8), vec![2]),            // c2 <= l <= u <= c3:  {10}
-            ((0.3, 0.7), vec![1]),            // c1 < l <= u < c2:    {01}
-            ((-1.0, -0.5), vec![0]),          // u <= c1:             {00}
-            ((-0.5, 0.5), vec![0, 1]),        // straddles c1:        {00,01}
-            ((0.5, 1.5), vec![1, 2]),         // straddles c2:        {01,10}
-            ((1.5, 2.5), vec![2, 3]),         // straddles c3:        {10,11}
-            ((-0.5, 1.5), vec![0, 1, 2]),     // c1 and c2:           {00,01,10}
-            ((0.5, 2.5), vec![1, 2, 3]),      // c2 and c3:           {01,10,11}
-            ((-0.5, 2.5), vec![0, 1, 2, 3]),  // everything
+            ((2.5, 3.0), vec![3]),           // l > c3:              {11}
+            ((1.2, 1.8), vec![2]),           // c2 <= l <= u <= c3:  {10}
+            ((0.3, 0.7), vec![1]),           // c1 < l <= u < c2:    {01}
+            ((-1.0, -0.5), vec![0]),         // u <= c1:             {00}
+            ((-0.5, 0.5), vec![0, 1]),       // straddles c1:        {00,01}
+            ((0.5, 1.5), vec![1, 2]),        // straddles c2:        {01,10}
+            ((1.5, 2.5), vec![2, 3]),        // straddles c3:        {10,11}
+            ((-0.5, 1.5), vec![0, 1, 2]),    // c1 and c2:           {00,01,10}
+            ((0.5, 2.5), vec![1, 2, 3]),     // c2 and c3:           {01,10,11}
+            ((-0.5, 2.5), vec![0, 1, 2, 3]), // everything
         ];
         for ((l, u), expected) in cases {
             let got: Vec<u16> = m.symbol_range(0, l, u).collect();
@@ -385,8 +476,12 @@ mod tests {
 
     #[test]
     fn multi_neuron_product_set() {
-        let mut m =
-            IntervalPatternMonitor::empty(extractor(2), 2, vec![vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]]).unwrap();
+        let mut m = IntervalPatternMonitor::empty(
+            extractor(2),
+            2,
+            vec![vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]],
+        )
+        .unwrap();
         m.absorb_bounds(&BoxBounds::new(vec![0.5, -1.0], vec![1.5, 0.5]));
         // Neuron 0: {01,10}; neuron 1: {00,01} -> 4 words.
         assert_eq!(m.pattern_count(), 4.0);
@@ -397,7 +492,8 @@ mod tests {
 
     #[test]
     fn one_bit_monitor_degenerates_to_on_off() {
-        let mut m = IntervalPatternMonitor::empty(extractor(2), 1, vec![vec![0.0], vec![0.0]]).unwrap();
+        let mut m =
+            IntervalPatternMonitor::empty(extractor(2), 1, vec![vec![0.0], vec![0.0]]).unwrap();
         m.absorb_point(&[1.0, -1.0]); // word 1 0
         assert!(m.contains(&[0.5, -0.5]));
         assert!(!m.contains(&[0.5, 0.5]));
@@ -429,8 +525,14 @@ mod tests {
         let features = vec![vec![1.0], vec![3.0]];
         assert!(ThresholdPolicy::Sign.resolve(1, 2, &features).is_err());
         assert!(ThresholdPolicy::Mean.resolve(1, 2, &features).is_err());
-        assert_eq!(ThresholdPolicy::Sign.resolve(1, 1, &features).unwrap(), vec![vec![0.0]]);
-        assert_eq!(ThresholdPolicy::Mean.resolve(1, 1, &features).unwrap(), vec![vec![2.0]]);
+        assert_eq!(
+            ThresholdPolicy::Sign.resolve(1, 1, &features).unwrap(),
+            vec![vec![0.0]]
+        );
+        assert_eq!(
+            ThresholdPolicy::Mean.resolve(1, 1, &features).unwrap(),
+            vec![vec![2.0]]
+        );
     }
 
     #[test]
@@ -448,12 +550,8 @@ mod tests {
         // c3 = max visited, c2 = min visited, c1 = -inf stand-in: interval
         // monitors generalize min-max monitors (paper footnote 3).
         let (lo, hi) = (-0.5, 2.5);
-        let mut m = IntervalPatternMonitor::empty(
-            extractor(1),
-            2,
-            vec![vec![-1e300, lo, hi]],
-        )
-        .unwrap();
+        let mut m =
+            IntervalPatternMonitor::empty(extractor(1), 2, vec![vec![-1e300, lo, hi]]).unwrap();
         // Everything strictly inside (min, max] maps to symbol 10.
         m.absorb_bounds(&BoxBounds::new(vec![lo + 1e-9], vec![hi]));
         assert_eq!(m.pattern_count(), 1.0);

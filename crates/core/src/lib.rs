@@ -82,7 +82,7 @@ pub use error::MonitorError;
 pub use feature::FeatureExtractor;
 pub use interval_pattern::{IntervalPatternMonitor, ThresholdPolicy};
 pub use minmax::MinMaxMonitor;
-pub use monitor::{Monitor, Verdict, Violation};
+pub use monitor::{Monitor, QueryScratch, Verdict, Violation};
 pub use multi::{MultiLayerMonitor, Vote};
 pub use pattern::{PatternBackend, PatternMonitor};
 pub use per_class::PerClassMonitor;

@@ -27,7 +27,12 @@ impl MinMaxMonitor {
     /// until something is folded in.
     pub fn empty(extractor: FeatureExtractor) -> Self {
         let d = extractor.dim();
-        Self { extractor, lo: vec![f64::INFINITY; d], hi: vec![f64::NEG_INFINITY; d], samples: 0 }
+        Self {
+            extractor,
+            lo: vec![f64::INFINITY; d],
+            hi: vec![f64::NEG_INFINITY; d],
+            samples: 0,
+        }
     }
 
     /// Folds one feature vector (standard construction, `⊎`).
@@ -36,7 +41,11 @@ impl MinMaxMonitor {
     ///
     /// Panics if `features.len()` differs from the monitor dimension.
     pub fn absorb_point(&mut self, features: &[f64]) {
-        assert_eq!(features.len(), self.lo.len(), "absorb_point: dimension mismatch");
+        assert_eq!(
+            features.len(),
+            self.lo.len(),
+            "absorb_point: dimension mismatch"
+        );
         for (j, &v) in features.iter().enumerate() {
             self.lo[j] = self.lo[j].min(v);
             self.hi[j] = self.hi[j].max(v);
@@ -50,7 +59,11 @@ impl MinMaxMonitor {
     ///
     /// Panics if `bounds.dim()` differs from the monitor dimension.
     pub fn absorb_bounds(&mut self, bounds: &BoxBounds) {
-        assert_eq!(bounds.dim(), self.lo.len(), "absorb_bounds: dimension mismatch");
+        assert_eq!(
+            bounds.dim(),
+            self.lo.len(),
+            "absorb_bounds: dimension mismatch"
+        );
         for j in 0..self.lo.len() {
             self.lo[j] = self.lo[j].min(bounds.lo()[j]);
             self.hi[j] = self.hi[j].max(bounds.hi()[j]);
@@ -98,7 +111,12 @@ impl MinMaxMonitor {
         if self.samples == 0 || self.lo.is_empty() {
             return 0.0;
         }
-        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).sum::<f64>() / self.lo.len() as f64
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| h - l)
+            .sum::<f64>()
+            / self.lo.len() as f64
     }
 }
 
@@ -112,9 +130,17 @@ impl Monitor for MinMaxMonitor {
         let mut violations = Vec::new();
         for (j, &v) in features.iter().enumerate() {
             if v < self.lo[j] {
-                violations.push(Violation::BelowMin { neuron: j, value: v, bound: self.lo[j] });
+                violations.push(Violation::BelowMin {
+                    neuron: j,
+                    value: v,
+                    bound: self.lo[j],
+                });
             } else if v > self.hi[j] {
-                violations.push(Violation::AboveMax { neuron: j, value: v, bound: self.hi[j] });
+                violations.push(Violation::AboveMax {
+                    neuron: j,
+                    value: v,
+                    bound: self.hi[j],
+                });
             }
         }
         if violations.is_empty() {
@@ -134,7 +160,10 @@ impl Monitor for MinMaxMonitor {
 /// # Panics
 ///
 /// Panics if any feature vector has the wrong dimension.
-pub fn from_features(extractor: FeatureExtractor, features: &[Vec<f64>]) -> Result<MinMaxMonitor, MonitorError> {
+pub fn from_features(
+    extractor: FeatureExtractor,
+    features: &[Vec<f64>],
+) -> Result<MinMaxMonitor, MonitorError> {
     if features.is_empty() {
         return Err(MonitorError::EmptyTrainingSet);
     }
@@ -184,8 +213,14 @@ mod tests {
         let v = m.verdict_features(&[-0.5, 0.5, 2.0]);
         assert!(v.warning);
         assert_eq!(v.violations.len(), 2);
-        assert!(matches!(v.violations[0], Violation::BelowMin { neuron: 0, .. }));
-        assert!(matches!(v.violations[1], Violation::AboveMax { neuron: 2, .. }));
+        assert!(matches!(
+            v.violations[0],
+            Violation::BelowMin { neuron: 0, .. }
+        ));
+        assert!(matches!(
+            v.violations[1],
+            Violation::AboveMax { neuron: 2, .. }
+        ));
     }
 
     #[test]
@@ -221,7 +256,10 @@ mod tests {
     #[test]
     fn from_features_rejects_empty() {
         let (_, fx) = extractor();
-        assert!(matches!(from_features(fx, &[]), Err(MonitorError::EmptyTrainingSet)));
+        assert!(matches!(
+            from_features(fx, &[]),
+            Err(MonitorError::EmptyTrainingSet)
+        ));
     }
 
     #[test]

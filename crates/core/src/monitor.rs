@@ -2,7 +2,8 @@
 
 use crate::error::MonitorError;
 use crate::feature::FeatureExtractor;
-use napmon_nn::Network;
+use napmon_bdd::BitWord;
+use napmon_nn::{ForwardScratch, Network};
 
 /// Why a monitor warned about one neuron (or the pattern as a whole).
 #[derive(Debug, Clone, PartialEq)]
@@ -45,12 +46,41 @@ pub struct Verdict {
 impl Verdict {
     /// The all-clear verdict.
     pub fn ok() -> Self {
-        Self { warning: false, violations: Vec::new() }
+        Self {
+            warning: false,
+            violations: Vec::new(),
+        }
     }
 
     /// A warning carrying its evidence.
     pub fn warn(violations: Vec<Violation>) -> Self {
-        Self { warning: true, violations }
+        Self {
+            warning: true,
+            violations,
+        }
+    }
+}
+
+/// Reusable per-thread buffers for the steady-state query path.
+///
+/// One scratch holds everything a query needs to touch the heap for:
+/// the network's ping-pong forward buffers, the projected feature vector,
+/// and the packed abstraction word. [`Monitor::query_batch`] (and the
+/// parallel variant) allocate one scratch per worker and reuse it across
+/// the whole batch, so per-query heap allocation drops to zero once the
+/// buffers have grown — the operational regime the paper's "operation
+/// time" monitors run in.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    pub(crate) forward: ForwardScratch,
+    pub(crate) features: Vec<f64>,
+    pub(crate) word: BitWord,
+}
+
+impl QueryScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -71,6 +101,19 @@ pub trait Monitor {
     /// Panics if `features.len()` differs from the monitor's feature
     /// dimension.
     fn verdict_features(&self, features: &[f64]) -> Verdict;
+
+    /// Like [`Monitor::verdict_features`] but reusing the caller's scratch
+    /// buffers, so repeated queries stay allocation-free on the membership
+    /// path. The default ignores the scratch; pattern monitors override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor's feature
+    /// dimension.
+    fn verdict_features_scratch(&self, features: &[f64], scratch: &mut QueryScratch) -> Verdict {
+        let _ = scratch;
+        self.verdict_features(features)
+    }
 
     /// Qualitative decision for an already-extracted feature vector.
     ///
@@ -102,6 +145,111 @@ pub trait Monitor {
     fn warns(&self, net: &Network, input: &[f64]) -> Result<bool, MonitorError> {
         Ok(self.verdict(net, input)?.warning)
     }
+
+    /// Runs `net` on `input` through the caller's scratch buffers and
+    /// returns the full verdict. Steady state (buffers grown, verdict OK)
+    /// performs no heap allocation for dense networks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if `input` does not
+    /// match the network.
+    fn verdict_scratch(
+        &self,
+        net: &Network,
+        input: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Result<Verdict, MonitorError> {
+        // The feature buffer is taken out of the scratch for the duration
+        // of the call so the monitor can borrow the rest of the scratch
+        // mutably alongside it.
+        let mut features = std::mem::take(&mut scratch.features);
+        let result = self
+            .extractor()
+            .features_into(net, input, &mut scratch.forward, &mut features)
+            .map(|()| self.verdict_features_scratch(&features, scratch));
+        scratch.features = features;
+        result
+    }
+
+    /// Verdicts for a whole batch of inputs, sharing one scratch across
+    /// the batch (single-threaded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] on the first malformed
+    /// input.
+    fn query_batch(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+    ) -> Result<Vec<Verdict>, MonitorError> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            out.push(self.verdict_scratch(net, input, &mut scratch)?);
+        }
+        Ok(out)
+    }
+
+    /// Verdicts for a whole batch, fanned out over all available cores
+    /// with one reusable scratch per worker thread.
+    ///
+    /// Implemented with `std::thread::scope` (the build environment has no
+    /// registry access for `rayon`; the chunked scope achieves the same
+    /// embarrassingly-parallel split). Results keep input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if any input is
+    /// malformed.
+    fn query_batch_parallel(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+    ) -> Result<Vec<Verdict>, MonitorError>
+    where
+        Self: Sync,
+    {
+        fan_out_batch(inputs, |chunk| self.query_batch(net, chunk))
+    }
+}
+
+/// Shared fan-out behind every `query_batch_parallel`: chunks `inputs`
+/// across the available cores via `std::thread::scope`, runs `query_chunk`
+/// per worker (each call gets a contiguous sub-slice and allocates its own
+/// scratch inside), and restitches results in input order. Falls back to
+/// one direct call when parallelism cannot pay for the thread spawns.
+pub(crate) fn fan_out_batch<F>(
+    inputs: &[Vec<f64>],
+    query_chunk: F,
+) -> Result<Vec<Verdict>, MonitorError>
+where
+    F: Fn(&[Vec<f64>]) -> Result<Vec<Verdict>, MonitorError> + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(4);
+    if threads <= 1 || inputs.len() < 2 * threads {
+        return query_chunk(inputs);
+    }
+    let chunk_size = inputs.len().div_ceil(threads);
+    let chunk_results: Vec<Result<Vec<Verdict>, MonitorError>> = std::thread::scope(|scope| {
+        let query_chunk = &query_chunk;
+        let handles: Vec<_> = inputs
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || query_chunk(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(inputs.len());
+    for chunk in chunk_results {
+        out.extend(chunk?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -112,7 +260,11 @@ mod tests {
     fn verdict_constructors() {
         assert!(!Verdict::ok().warning);
         assert!(Verdict::ok().violations.is_empty());
-        let v = Verdict::warn(vec![Violation::BelowMin { neuron: 3, value: -1.0, bound: 0.0 }]);
+        let v = Verdict::warn(vec![Violation::BelowMin {
+            neuron: 3,
+            value: -1.0,
+            bound: 0.0,
+        }]);
         assert!(v.warning);
         assert_eq!(v.violations.len(), 1);
     }

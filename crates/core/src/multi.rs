@@ -8,7 +8,7 @@
 
 use crate::builder::AnyMonitor;
 use crate::error::MonitorError;
-use crate::monitor::{Monitor, Verdict};
+use crate::monitor::{Monitor, QueryScratch, Verdict};
 use napmon_nn::Network;
 use serde::{Deserialize, Serialize};
 
@@ -49,9 +49,16 @@ impl MultiLayerMonitor {
     /// Panics if `members` is empty or an `AtLeast(k)` vote demands more
     /// members than exist.
     pub fn new(members: Vec<AnyMonitor>, vote: Vote) -> Self {
-        assert!(!members.is_empty(), "multi-layer monitor needs at least one member");
+        assert!(
+            !members.is_empty(),
+            "multi-layer monitor needs at least one member"
+        );
         if let Vote::AtLeast(k) = vote {
-            assert!(k >= 1 && k <= members.len(), "AtLeast({k}) with {} members", members.len());
+            assert!(
+                k >= 1 && k <= members.len(),
+                "AtLeast({k}) with {} members",
+                members.len()
+            );
         }
         Self { members, vote }
     }
@@ -115,6 +122,83 @@ impl MultiLayerMonitor {
     pub fn warns(&self, net: &Network, input: &[f64]) -> Result<bool, MonitorError> {
         Ok(self.verdict(net, input)?.warning)
     }
+
+    /// One verdict through the caller's scratch buffers: the forward pass
+    /// is shared across members, and every member's feature projection and
+    /// abstraction word reuse the scratch. The boundary snapshot itself
+    /// (`Network::boundary_values`) still allocates per query — the
+    /// multi-layer path is not yet fully allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] for malformed inputs.
+    pub fn verdict_scratch(
+        &self,
+        net: &Network,
+        input: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Result<Verdict, MonitorError> {
+        if input.len() != net.input_dim() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "multi-layer query input".into(),
+                expected: net.input_dim(),
+                actual: input.len(),
+            });
+        }
+        let boundaries = net.boundary_values(input);
+        let mut warnings = 0usize;
+        let mut evidence = Vec::new();
+        let mut features = std::mem::take(&mut scratch.features);
+        for member in &self.members {
+            let fx = member.extractor();
+            fx.project_into(&boundaries[fx.layer()], &mut features);
+            let v = member.verdict_features_scratch(&features, scratch);
+            if v.warning {
+                warnings += 1;
+                evidence.extend(v.violations);
+            }
+        }
+        scratch.features = features;
+        if self.vote.decide(warnings, self.members.len()) {
+            Ok(Verdict::warn(evidence))
+        } else {
+            Ok(Verdict::ok())
+        }
+    }
+
+    /// Verdicts for a whole batch, sharing one scratch (single-threaded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] on the first malformed
+    /// input.
+    pub fn query_batch(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+    ) -> Result<Vec<Verdict>, MonitorError> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            out.push(self.verdict_scratch(net, input, &mut scratch)?);
+        }
+        Ok(out)
+    }
+
+    /// Parallel batch: chunks fanned out over all cores with one scratch
+    /// per worker (`std::thread::scope`; results keep input order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if any input is
+    /// malformed.
+    pub fn query_batch_parallel(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+    ) -> Result<Vec<Verdict>, MonitorError> {
+        crate::monitor::fan_out_batch(inputs, |chunk| self.query_batch(net, chunk))
+    }
 }
 
 #[cfg(test)]
@@ -125,19 +209,27 @@ mod tests {
     use napmon_tensor::Prng;
 
     fn setup() -> (Network, Vec<Vec<f64>>) {
-        let net = Network::seeded(71, 3, &[
-            LayerSpec::dense(8, Activation::Relu),
-            LayerSpec::dense(4, Activation::Relu),
-            LayerSpec::dense(2, Activation::Identity),
-        ]);
+        let net = Network::seeded(
+            71,
+            3,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(4, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        );
         let mut rng = Prng::seed(72);
         let data = (0..48).map(|_| rng.uniform_vec(3, -0.5, 0.5)).collect();
         (net, data)
     }
 
     fn multi(net: &Network, data: &[Vec<f64>], vote: Vote) -> MultiLayerMonitor {
-        let m2 = MonitorBuilder::new(net, 2).build(MonitorKind::min_max(), data).unwrap();
-        let m4 = MonitorBuilder::new(net, 4).build(MonitorKind::min_max(), data).unwrap();
+        let m2 = MonitorBuilder::new(net, 2)
+            .build(MonitorKind::min_max(), data)
+            .unwrap();
+        let m4 = MonitorBuilder::new(net, 4)
+            .build(MonitorKind::min_max(), data)
+            .unwrap();
         MultiLayerMonitor::new(vec![m2, m4], vote)
     }
 
@@ -222,7 +314,10 @@ mod tests {
         let mut rng = Prng::seed(75);
         for _ in 0..50 {
             let probe = rng.uniform_vec(3, -2.0, 2.0);
-            assert_eq!(mm.warns(&net, &probe).unwrap(), back.warns(&net, &probe).unwrap());
+            assert_eq!(
+                mm.warns(&net, &probe).unwrap(),
+                back.warns(&net, &probe).unwrap()
+            );
         }
     }
 }

@@ -2,9 +2,9 @@
 
 use crate::error::MonitorError;
 use crate::feature::FeatureExtractor;
-use crate::monitor::{Monitor, Verdict, Violation};
+use crate::monitor::{Monitor, QueryScratch, Verdict, Violation};
 use napmon_absint::BoxBounds;
-use napmon_bdd::{Bdd, NodeId};
+use napmon_bdd::{Bdd, BitCube, BitWord, FxBuildHasher, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -18,14 +18,18 @@ use std::collections::HashSet;
 pub enum PatternBackend {
     /// Binary decision diagram (default; matches the paper).
     Bdd,
-    /// Explicit `HashSet<Vec<bool>>` of words.
+    /// Explicit hash set of packed words.
     HashSet,
 }
 
+/// Words are stored packed ([`BitWord`]) and hashed with the same FxHash
+/// scheme as the BDD tables: membership hashes one `u64` limb per 64
+/// monitored neurons instead of SipHashing one byte per neuron, and the
+/// query side never materializes a `Vec<bool>`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Store {
     Bdd { bdd: Bdd, root: NodeId },
-    Hash(HashSet<Vec<bool>>),
+    Hash(HashSet<BitWord, FxBuildHasher>),
 }
 
 /// A Boolean on-off pattern monitor (Cheng et al., DATE 2019; §III-A/B of
@@ -70,43 +74,95 @@ impl PatternMonitor {
             });
         }
         let store = match backend {
-            PatternBackend::Bdd => Store::Bdd { bdd: Bdd::new(extractor.dim()), root: Bdd::FALSE },
-            PatternBackend::HashSet => Store::Hash(HashSet::new()),
+            PatternBackend::Bdd => Store::Bdd {
+                bdd: Bdd::new(extractor.dim()),
+                root: Bdd::FALSE,
+            },
+            PatternBackend::HashSet => Store::Hash(HashSet::default()),
         };
-        Ok(Self { extractor, thresholds, store, hamming_tolerance: 0, samples: 0 })
+        Ok(Self {
+            extractor,
+            thresholds,
+            store,
+            hamming_tolerance: 0,
+            samples: 0,
+        })
     }
 
-    /// The Boolean abstraction `ab`: `b_j = 1` iff `v_j > c_j`.
+    /// The Boolean abstraction `ab`: `b_j = 1` iff `v_j > c_j`, unpacked.
+    ///
+    /// Query paths use [`PatternMonitor::abstract_bitword`] instead; this
+    /// form exists for inspection and differential tests.
     ///
     /// # Panics
     ///
     /// Panics if `features.len()` differs from the monitor dimension.
     pub fn abstract_word(&self, features: &[f64]) -> Vec<bool> {
-        assert_eq!(features.len(), self.thresholds.len(), "abstract_word: dimension mismatch");
-        features.iter().zip(&self.thresholds).map(|(v, c)| v > c).collect()
+        assert_eq!(
+            features.len(),
+            self.thresholds.len(),
+            "abstract_word: dimension mismatch"
+        );
+        features
+            .iter()
+            .zip(&self.thresholds)
+            .map(|(v, c)| v > c)
+            .collect()
     }
 
-    /// The robust abstraction `ab_R`: `Some(true)` if `l_j > c_j`,
-    /// `Some(false)` if `u_j ≤ c_j`, otherwise `None` (don't-care, the
-    /// paper's `-`).
+    /// The Boolean abstraction packed into a [`BitWord`]. Stack-only for
+    /// monitors up to [`napmon_bdd::INLINE_BITS`] neurons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn abstract_bitword(&self, features: &[f64]) -> BitWord {
+        let mut word = BitWord::zeros(self.thresholds.len());
+        self.abstract_into(features, &mut word);
+        word
+    }
+
+    /// Packs the Boolean abstraction into a caller-owned scratch word
+    /// (resized as needed; zero allocation once grown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn abstract_into(&self, features: &[f64], word: &mut BitWord) {
+        assert_eq!(
+            features.len(),
+            self.thresholds.len(),
+            "abstract_word: dimension mismatch"
+        );
+        word.fill_from_iter(
+            self.thresholds.len(),
+            features.iter().zip(&self.thresholds).map(|(v, c)| v > c),
+        );
+    }
+
+    /// The robust abstraction `ab_R` as a packed cube: `Some(true)` if
+    /// `l_j > c_j`, `Some(false)` if `u_j ≤ c_j`, otherwise don't-care
+    /// (the paper's `-`).
     ///
     /// # Panics
     ///
     /// Panics if `bounds.dim()` differs from the monitor dimension.
-    pub fn abstract_cube(&self, bounds: &BoxBounds) -> Vec<Option<bool>> {
-        assert_eq!(bounds.dim(), self.thresholds.len(), "abstract_cube: dimension mismatch");
-        (0..self.thresholds.len())
-            .map(|j| {
-                let c = self.thresholds[j];
-                if bounds.lo()[j] > c {
-                    Some(true)
-                } else if bounds.hi()[j] <= c {
-                    Some(false)
-                } else {
-                    None
-                }
-            })
-            .collect()
+    pub fn abstract_cube(&self, bounds: &BoxBounds) -> BitCube {
+        assert_eq!(
+            bounds.dim(),
+            self.thresholds.len(),
+            "abstract_cube: dimension mismatch"
+        );
+        let mut cube = BitCube::free(self.thresholds.len());
+        for j in 0..self.thresholds.len() {
+            let c = self.thresholds[j];
+            if bounds.lo()[j] > c {
+                cube.set(j, Some(true));
+            } else if bounds.hi()[j] <= c {
+                cube.set(j, Some(false));
+            }
+        }
+        cube
     }
 
     /// Folds one feature vector (standard construction, `⊎`).
@@ -115,7 +171,7 @@ impl PatternMonitor {
     ///
     /// Panics if `features.len()` differs from the monitor dimension.
     pub fn absorb_point(&mut self, features: &[f64]) {
-        let word = self.abstract_word(features);
+        let word = self.abstract_bitword(features);
         match &mut self.store {
             Store::Bdd { bdd, root } => *root = bdd.insert_word(*root, &word),
             Store::Hash(set) => {
@@ -139,15 +195,19 @@ impl PatternMonitor {
     pub fn absorb_bounds(&mut self, bounds: &BoxBounds) {
         let cube = self.abstract_cube(bounds);
         match &mut self.store {
-            Store::Bdd { bdd, root } => *root = bdd.insert_cube(*root, &cube),
+            Store::Bdd { bdd, root } => *root = bdd.insert_cube_packed(*root, &cube),
             Store::Hash(set) => {
-                let free: Vec<usize> =
-                    cube.iter().enumerate().filter(|(_, l)| l.is_none()).map(|(i, _)| i).collect();
-                assert!(free.len() <= 24, "hash-set word2set would expand 2^{} words; use the BDD backend", free.len());
+                let free: Vec<usize> = (0..cube.len()).filter(|&i| cube.get(i).is_none()).collect();
+                assert!(
+                    free.len() <= 24,
+                    "hash-set word2set would expand 2^{} words; use the BDD backend",
+                    free.len()
+                );
+                let base = BitWord::from_fn(cube.len(), |i| cube.get(i).unwrap_or(false));
                 for mask in 0u64..(1u64 << free.len()) {
-                    let mut w: Vec<bool> = cube.iter().map(|l| l.unwrap_or(false)).collect();
+                    let mut w = base.clone();
                     for (bit, &pos) in free.iter().enumerate() {
-                        w[pos] = (mask >> bit) & 1 == 1;
+                        w.set(pos, (mask >> bit) & 1 == 1);
                     }
                     set.insert(w);
                 }
@@ -164,6 +224,12 @@ impl PatternMonitor {
 
     /// Whether `word` (exactly) is in the stored set.
     pub fn contains_word(&self, word: &[bool]) -> bool {
+        self.contains_packed(&BitWord::from_bools(word))
+    }
+
+    /// Packed membership: the allocation-free hot path.
+    #[inline]
+    pub fn contains_packed(&self, word: &BitWord) -> bool {
         match &self.store {
             Store::Bdd { bdd, root } => bdd.eval(*root, word),
             Store::Hash(set) => set.contains(word),
@@ -172,11 +238,15 @@ impl PatternMonitor {
 
     /// Whether some stored word is within Hamming distance `tau` of `word`.
     pub fn contains_within(&self, word: &[bool], tau: usize) -> bool {
+        self.contains_within_packed(&BitWord::from_bools(word), tau)
+    }
+
+    /// Packed Hamming-tolerant membership. The hash-set scan is a popcount
+    /// per stored word; the BDD walk explores `O(nodes · tau)` states.
+    pub fn contains_within_packed(&self, word: &BitWord, tau: usize) -> bool {
         match &self.store {
             Store::Bdd { bdd, root } => bdd.contains_within_hamming(*root, word, tau),
-            Store::Hash(set) => {
-                set.iter().any(|w| w.iter().zip(word).filter(|(a, b)| a != b).count() <= tau)
-            }
+            Store::Hash(set) => set.iter().any(|w| w.hamming(word) as usize <= tau),
         }
     }
 
@@ -214,23 +284,36 @@ impl PatternMonitor {
     }
 }
 
+impl PatternMonitor {
+    fn verdict_packed(&self, word: &BitWord) -> Verdict {
+        let ok = if self.hamming_tolerance == 0 {
+            self.contains_packed(word)
+        } else {
+            self.contains_within_packed(word, self.hamming_tolerance)
+        };
+        if ok {
+            Verdict::ok()
+        } else {
+            // Warnings are the cold path; unpacking for the evidence is fine.
+            Verdict::warn(vec![Violation::UnknownPattern {
+                word: word.to_bools(),
+            }])
+        }
+    }
+}
+
 impl Monitor for PatternMonitor {
     fn extractor(&self) -> &FeatureExtractor {
         &self.extractor
     }
 
     fn verdict_features(&self, features: &[f64]) -> Verdict {
-        let word = self.abstract_word(features);
-        let ok = if self.hamming_tolerance == 0 {
-            self.contains_word(&word)
-        } else {
-            self.contains_within(&word, self.hamming_tolerance)
-        };
-        if ok {
-            Verdict::ok()
-        } else {
-            Verdict::warn(vec![Violation::UnknownPattern { word }])
-        }
+        self.verdict_packed(&self.abstract_bitword(features))
+    }
+
+    fn verdict_features_scratch(&self, features: &[f64], scratch: &mut QueryScratch) -> Verdict {
+        self.abstract_into(features, &mut scratch.word);
+        self.verdict_packed(&scratch.word)
     }
 }
 
@@ -256,7 +339,10 @@ mod tests {
     #[test]
     fn abstraction_uses_strict_threshold() {
         let (_, m) = setup(PatternBackend::Bdd);
-        assert_eq!(m.abstract_word(&[0.0, 0.1, -0.1, 5.0]), vec![false, true, false, true]);
+        assert_eq!(
+            m.abstract_word(&[0.0, 0.1, -0.1, 5.0]),
+            vec![false, true, false, true]
+        );
     }
 
     #[test]
@@ -264,7 +350,7 @@ mod tests {
         let (_, m) = setup(PatternBackend::Bdd);
         let b = BoxBounds::new(vec![0.1, -0.5, -0.2, 0.0], vec![0.2, -0.1, 0.3, 0.0]);
         assert_eq!(
-            m.abstract_cube(&b),
+            m.abstract_cube(&b).to_options(),
             vec![Some(true), Some(false), None, Some(false)]
         );
     }

@@ -7,7 +7,7 @@
 
 use crate::builder::AnyMonitor;
 use crate::error::MonitorError;
-use crate::monitor::{Monitor, Verdict};
+use crate::monitor::{Monitor, QueryScratch, Verdict};
 use napmon_nn::Network;
 
 /// One monitor per class; queries dispatch on the predicted class.
@@ -23,7 +23,10 @@ impl PerClassMonitor {
     ///
     /// Panics if `monitors` is empty.
     pub fn new(monitors: Vec<AnyMonitor>) -> Self {
-        assert!(!monitors.is_empty(), "per-class monitor needs at least one class");
+        assert!(
+            !monitors.is_empty(),
+            "per-class monitor needs at least one class"
+        );
         Self { monitors }
     }
 
@@ -75,6 +78,71 @@ impl PerClassMonitor {
     pub fn warns(&self, net: &Network, input: &[f64]) -> Result<bool, MonitorError> {
         Ok(self.verdict(net, input)?.warning)
     }
+
+    /// One dispatched verdict through the caller's scratch buffers (the
+    /// class prediction reuses the scratch's forward buffers too).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PerClassMonitor::verdict`].
+    pub fn verdict_scratch(
+        &self,
+        net: &Network,
+        input: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Result<Verdict, MonitorError> {
+        if input.len() != net.input_dim() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "per-class query input".into(),
+                expected: net.input_dim(),
+                actual: input.len(),
+            });
+        }
+        let class = {
+            let out = net.forward_prefix_into(input, net.num_layers(), &mut scratch.forward);
+            napmon_tensor::vector::argmax(out)
+        };
+        let monitor = self.monitors.get(class).ok_or_else(|| {
+            MonitorError::InvalidConfig(format!(
+                "predicted class {class} has no monitor ({} classes)",
+                self.monitors.len()
+            ))
+        })?;
+        monitor.verdict_scratch(net, input, scratch)
+    }
+
+    /// Verdicts for a whole batch, sharing one scratch (single-threaded).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PerClassMonitor::verdict`], on the first
+    /// failing input.
+    pub fn query_batch(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+    ) -> Result<Vec<Verdict>, MonitorError> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            out.push(self.verdict_scratch(net, input, &mut scratch)?);
+        }
+        Ok(out)
+    }
+
+    /// Parallel batch over all cores with one scratch per worker
+    /// (`std::thread::scope`; results keep input order).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PerClassMonitor::verdict`].
+    pub fn query_batch_parallel(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+    ) -> Result<Vec<Verdict>, MonitorError> {
+        crate::monitor::fan_out_batch(inputs, |chunk| self.query_batch(net, chunk))
+    }
 }
 
 #[cfg(test)]
@@ -84,10 +152,14 @@ mod tests {
     use napmon_nn::{Activation, LayerSpec, Network};
 
     fn setup() -> (Network, PerClassMonitor, Vec<Vec<f64>>) {
-        let net = Network::seeded(61, 2, &[
-            LayerSpec::dense(6, Activation::Relu),
-            LayerSpec::dense(2, Activation::Identity),
-        ]);
+        let net = Network::seeded(
+            61,
+            2,
+            &[
+                LayerSpec::dense(6, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        );
         // Synthesize inputs until both classes appear.
         let mut data = Vec::new();
         for i in 0..64 {
@@ -95,7 +167,10 @@ mod tests {
             data.push(x);
         }
         let labels: Vec<usize> = data.iter().map(|x| net.predict_class(x)).collect();
-        assert!(labels.contains(&0) && labels.contains(&1), "need both classes");
+        assert!(
+            labels.contains(&0) && labels.contains(&1),
+            "need both classes"
+        );
         let pc = MonitorBuilder::new(&net, 2)
             .build_per_class(MonitorKind::min_max(), &data, &labels, 2)
             .unwrap();

@@ -69,7 +69,9 @@ pub fn perturbation_estimate_with(
         )));
     }
     if delta < 0.0 || !delta.is_finite() {
-        return Err(MonitorError::InvalidConfig(format!("delta must be finite and non-negative, got {delta}")));
+        return Err(MonitorError::InvalidConfig(format!(
+            "delta must be finite and non-negative, got {delta}"
+        )));
     }
     if v_tr.len() != net.input_dim() {
         return Err(MonitorError::DimensionMismatch {
@@ -90,11 +92,15 @@ mod tests {
     use napmon_tensor::Prng;
 
     fn net() -> Network {
-        Network::seeded(9, 3, &[
-            LayerSpec::dense(8, Activation::Relu),
-            LayerSpec::dense(6, Activation::Relu),
-            LayerSpec::dense(2, Activation::Identity),
-        ])
+        Network::seeded(
+            9,
+            3,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(6, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        )
     }
 
     #[test]
@@ -133,7 +139,10 @@ mod tests {
         let pe = perturbation_estimate(&net, &v, kp, k, delta, Domain::Box).unwrap();
         let at_kp = net.forward_prefix(&v, kp);
         for _ in 0..500 {
-            let pert: Vec<f64> = at_kp.iter().map(|&c| c + rng.uniform(-delta, delta)).collect();
+            let pert: Vec<f64> = at_kp
+                .iter()
+                .map(|&c| c + rng.uniform(-delta, delta))
+                .collect();
             assert!(pe.contains(&net.forward_range(&pert, kp, k)));
         }
     }

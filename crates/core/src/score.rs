@@ -47,9 +47,9 @@ impl ScoredMonitor for PatternMonitor {
     /// Minimum Hamming distance from the observed word to the pattern set
     /// (in bits).
     fn score_features(&self, features: &[f64]) -> f64 {
-        let word = self.abstract_word(features);
+        let word = self.abstract_bitword(features);
         for tau in 0..=word.len() {
-            if self.contains_within(&word, tau) {
+            if self.contains_within_packed(&word, tau) {
                 return tau as f64;
             }
         }
@@ -60,11 +60,7 @@ impl ScoredMonitor for PatternMonitor {
 impl ScoredMonitor for IntervalPatternMonitor {
     /// Minimum Hamming distance in the bit encoding of the symbol word.
     fn score_features(&self, features: &[f64]) -> f64 {
-        let symbols = self.abstract_symbols(features);
-        let word: Vec<bool> = symbols
-            .iter()
-            .flat_map(|&s| (0..self.bits()).rev().map(move |b| (s >> b) & 1 == 1))
-            .collect();
+        let word = self.abstract_bitword(features);
         for tau in 0..=word.len() {
             if self.contains_word_within(&word, tau) {
                 return tau as f64;
@@ -114,7 +110,8 @@ mod tests {
     fn pattern_score_counts_flipped_bits() {
         let n = net();
         let fx = FeatureExtractor::new(&n, 2).unwrap();
-        let mut m = PatternMonitor::empty(fx, vec![0.0; 4], crate::pattern::PatternBackend::Bdd).unwrap();
+        let mut m =
+            PatternMonitor::empty(fx, vec![0.0; 4], crate::pattern::PatternBackend::Bdd).unwrap();
         m.absorb_point(&[1.0, 1.0, 1.0, 1.0]); // word 1111
         assert_eq!(m.score_features(&[1.0, 1.0, 1.0, 1.0]), 0.0);
         assert_eq!(m.score_features(&[-1.0, 1.0, 1.0, 1.0]), 1.0);
@@ -126,12 +123,7 @@ mod tests {
     fn interval_score_counts_encoded_bits() {
         let n = net();
         let fx = FeatureExtractor::new(&n, 2).unwrap();
-        let mut m = IntervalPatternMonitor::empty(
-            fx,
-            2,
-            vec![vec![0.0, 1.0, 2.0]; 4],
-        )
-        .unwrap();
+        let mut m = IntervalPatternMonitor::empty(fx, 2, vec![vec![0.0, 1.0, 2.0]; 4]).unwrap();
         m.absorb_point(&[0.5, 0.5, 0.5, 0.5]); // all symbol 01
         assert_eq!(m.score_features(&[0.5, 0.5, 0.5, 0.5]), 0.0);
         // One neuron to symbol 00 flips one bit.
@@ -145,7 +137,11 @@ mod tests {
         let n = net();
         let mut rng = Prng::seed(83);
         let data: Vec<Vec<f64>> = (0..32).map(|_| rng.uniform_vec(2, -1.0, 1.0)).collect();
-        for kind in [MonitorKind::min_max(), MonitorKind::pattern(), MonitorKind::interval(2)] {
+        for kind in [
+            MonitorKind::min_max(),
+            MonitorKind::pattern(),
+            MonitorKind::interval(2),
+        ] {
             let m = MonitorBuilder::new(&n, 2).build(kind, &data).unwrap();
             for _ in 0..100 {
                 let probe = rng.uniform_vec(2, -2.0, 2.0);

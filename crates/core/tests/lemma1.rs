@@ -13,11 +13,15 @@ use napmon_tensor::Prng;
 use proptest::prelude::*;
 
 fn network(seed: u64) -> Network {
-    Network::seeded(seed, 3, &[
-        LayerSpec::dense(10, Activation::Relu),
-        LayerSpec::dense(6, Activation::Relu),
-        LayerSpec::dense(2, Activation::Identity),
-    ])
+    Network::seeded(
+        seed,
+        3,
+        &[
+            LayerSpec::dense(10, Activation::Relu),
+            LayerSpec::dense(6, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ],
+    )
 }
 
 fn training_set(seed: u64, n: usize) -> Vec<Vec<f64>> {
@@ -27,7 +31,12 @@ fn training_set(seed: u64, n: usize) -> Vec<Vec<f64>> {
 
 /// All monitor kinds exercised against Lemma 1.
 fn kinds() -> Vec<MonitorKind> {
-    vec![MonitorKind::min_max(), MonitorKind::pattern(), MonitorKind::interval(2), MonitorKind::interval(3)]
+    vec![
+        MonitorKind::min_max(),
+        MonitorKind::pattern(),
+        MonitorKind::interval(2),
+        MonitorKind::interval(3),
+    ]
 }
 
 proptest! {
@@ -163,8 +172,14 @@ fn lemma1_holds_for_all_domains() {
             .unwrap();
         for base in &data {
             for _ in 0..5 {
-                let v_op: Vec<f64> = base.iter().map(|&b| b + rng.uniform(-delta, delta)).collect();
-                assert!(!monitor.warns(&net, &v_op).unwrap(), "{domain} violated Lemma 1");
+                let v_op: Vec<f64> = base
+                    .iter()
+                    .map(|&b| b + rng.uniform(-delta, delta))
+                    .collect();
+                assert!(
+                    !monitor.warns(&net, &v_op).unwrap(),
+                    "{domain} violated Lemma 1"
+                );
             }
         }
     }
@@ -178,7 +193,9 @@ fn robust_accepts_superset_of_standard() {
     let data = training_set(102, 32);
     let mut rng = Prng::seed(103);
     for kind in kinds() {
-        let standard = MonitorBuilder::new(&net, 4).build(kind.clone(), &data).unwrap();
+        let standard = MonitorBuilder::new(&net, 4)
+            .build(kind.clone(), &data)
+            .unwrap();
         let robust = MonitorBuilder::new(&net, 4)
             .robust(0.08, 0, Domain::Box)
             .build(kind.clone(), &data)

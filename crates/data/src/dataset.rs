@@ -22,8 +22,16 @@ impl Dataset {
     ///
     /// Panics if lengths disagree.
     pub fn regression(inputs: Vec<Vec<f64>>, targets: Vec<Vec<f64>>) -> Self {
-        assert_eq!(inputs.len(), targets.len(), "dataset: inputs vs targets length");
-        Self { inputs, targets, labels: None }
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "dataset: inputs vs targets length"
+        );
+        Self {
+            inputs,
+            targets,
+            labels: None,
+        }
     }
 
     /// Creates a classification dataset; targets become one-hot rows.
@@ -32,7 +40,11 @@ impl Dataset {
     ///
     /// Panics if lengths disagree or a label is `>= num_classes`.
     pub fn classification(inputs: Vec<Vec<f64>>, labels: Vec<usize>, num_classes: usize) -> Self {
-        assert_eq!(inputs.len(), labels.len(), "dataset: inputs vs labels length");
+        assert_eq!(
+            inputs.len(),
+            labels.len(),
+            "dataset: inputs vs labels length"
+        );
         let targets = labels
             .iter()
             .map(|&c| {
@@ -42,7 +54,11 @@ impl Dataset {
                 row
             })
             .collect();
-        Self { inputs, targets, labels: Some(labels) }
+        Self {
+            inputs,
+            targets,
+            labels: Some(labels),
+        }
     }
 
     /// Number of samples.
@@ -78,7 +94,10 @@ impl Dataset {
     ///
     /// Panics if `fraction` is not within `(0, 1)`.
     pub fn split(mut self, fraction: f64, rng: &mut Prng) -> (Dataset, Dataset) {
-        assert!(fraction > 0.0 && fraction < 1.0, "split fraction {fraction} outside (0, 1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "split fraction {fraction} outside (0, 1)"
+        );
         self.shuffle(rng);
         let cut = ((self.len() as f64) * fraction).round() as usize;
         let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
@@ -96,7 +115,11 @@ impl Dataset {
     ///
     /// Panics if exactly one of the two datasets carries labels.
     pub fn extend(&mut self, other: Dataset) {
-        assert_eq!(self.labels.is_some(), other.labels.is_some() || self.is_empty(), "label presence mismatch");
+        assert_eq!(
+            self.labels.is_some(),
+            other.labels.is_some() || self.is_empty(),
+            "label presence mismatch"
+        );
         self.inputs.extend(other.inputs);
         self.targets.extend(other.targets);
         match (&mut self.labels, other.labels) {

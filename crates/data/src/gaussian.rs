@@ -52,7 +52,10 @@ impl GaussianClusters {
     ///
     /// Panics if `c` is out of range.
     pub fn sample(&self, c: usize, rng: &mut Prng) -> Vec<f64> {
-        self.centers[c].iter().map(|&m| rng.normal(m, self.sigma)).collect()
+        self.centers[c]
+            .iter()
+            .map(|&m| rng.normal(m, self.sigma))
+            .collect()
     }
 
     /// A balanced classification dataset with `per_class` samples each.
@@ -74,7 +77,13 @@ impl GaussianClusters {
     /// OOD inputs: samples from a phantom cluster at the ring center (far
     /// from every in-distribution cluster when `radius >> sigma`).
     pub fn ood_inputs(&self, n: usize, rng: &mut Prng) -> Vec<Vec<f64>> {
-        (0..n).map(|_| (0..self.dim()).map(|_| rng.normal(0.0, self.sigma)).collect()).collect()
+        (0..n)
+            .map(|_| {
+                (0..self.dim())
+                    .map(|_| rng.normal(0.0, self.sigma))
+                    .collect()
+            })
+            .collect()
     }
 }
 
@@ -102,7 +111,12 @@ mod tests {
         for c in 0..3 {
             for _ in 0..50 {
                 let x = g.sample(c, &mut rng);
-                let d: f64 = x.iter().zip(&g.centers[c]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+                let d: f64 = x
+                    .iter()
+                    .zip(&g.centers[c])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
                 assert!(d < 1.5, "sample {d} too far from center {c}");
             }
         }
@@ -125,7 +139,12 @@ mod tests {
         let mut rng = Prng::seed(15);
         for x in g.ood_inputs(30, &mut rng) {
             for c in &g.centers {
-                let d: f64 = x.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+                let d: f64 = x
+                    .iter()
+                    .zip(c)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
                 assert!(d > 3.0, "OOD point too close to a cluster");
             }
         }

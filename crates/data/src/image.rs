@@ -25,7 +25,11 @@ impl Image {
     /// Panics if either dimension is zero.
     pub fn filled(h: usize, w: usize, value: f64) -> Self {
         assert!(h > 0 && w > 0, "image dimensions must be positive");
-        Self { h, w, pixels: vec![value; h * w] }
+        Self {
+            h,
+            w,
+            pixels: vec![value; h * w],
+        }
     }
 
     /// Wraps existing pixel data.
@@ -35,7 +39,12 @@ impl Image {
     /// Panics if `pixels.len() != h * w` or either dimension is zero.
     pub fn from_pixels(h: usize, w: usize, pixels: Vec<f64>) -> Self {
         assert!(h > 0 && w > 0, "image dimensions must be positive");
-        assert_eq!(pixels.len(), h * w, "pixel count {} != {h}x{w}", pixels.len());
+        assert_eq!(
+            pixels.len(),
+            h * w,
+            "pixel count {} != {h}x{w}",
+            pixels.len()
+        );
         Self { h, w, pixels }
     }
 
@@ -70,7 +79,12 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.h && col < self.w, "pixel ({row},{col}) out of {}x{}", self.h, self.w);
+        assert!(
+            row < self.h && col < self.w,
+            "pixel ({row},{col}) out of {}x{}",
+            self.h,
+            self.w
+        );
         self.pixels[row * self.w + col]
     }
 
@@ -80,7 +94,12 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.h && col < self.w, "pixel ({row},{col}) out of {}x{}", self.h, self.w);
+        assert!(
+            row < self.h && col < self.w,
+            "pixel ({row},{col}) out of {}x{}",
+            self.h,
+            self.w
+        );
         self.pixels[row * self.w + col] = value.clamp(0.0, 1.0);
     }
 

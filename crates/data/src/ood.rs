@@ -36,7 +36,11 @@ pub enum OodScenario {
 
 impl OodScenario {
     /// The three scenarios staged in the paper.
-    pub const PAPER: [OodScenario; 3] = [OodScenario::Dark, OodScenario::Construction, OodScenario::Ice];
+    pub const PAPER: [OodScenario; 3] = [
+        OodScenario::Dark,
+        OodScenario::Construction,
+        OodScenario::Ice,
+    ];
 
     /// All implemented scenarios.
     pub const ALL: [OodScenario; 5] = [
@@ -148,7 +152,10 @@ mod tests {
         for sc in OodScenario::ALL {
             let out = sc.apply(&img, &mut rng);
             assert_eq!((out.height(), out.width()), (img.height(), img.width()));
-            assert!(out.pixels().iter().all(|&v| (0.0..=1.0).contains(&v)), "{sc}");
+            assert!(
+                out.pixels().iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "{sc}"
+            );
         }
     }
 
@@ -156,7 +163,12 @@ mod tests {
     fn dark_reduces_mean_brightness_substantially() {
         let (img, mut rng) = frame();
         let dark = OodScenario::Dark.apply(&img, &mut rng);
-        assert!(dark.mean() < img.mean() * 0.6, "dark {} vs {}", dark.mean(), img.mean());
+        assert!(
+            dark.mean() < img.mean() * 0.6,
+            "dark {} vs {}",
+            dark.mean(),
+            img.mean()
+        );
     }
 
     #[test]
@@ -191,7 +203,11 @@ mod tests {
     fn corruptions_change_the_image() {
         let (img, mut rng) = frame();
         for sc in OodScenario::ALL {
-            assert_ne!(sc.apply(&img, &mut rng), img, "{sc} left the frame unchanged");
+            assert_ne!(
+                sc.apply(&img, &mut rng),
+                img,
+                "{sc} left the frame unchanged"
+            );
         }
     }
 

@@ -125,7 +125,10 @@ pub struct TrackSampler {
 impl TrackSampler {
     /// Creates a sampler with the given config and seed.
     pub fn new(config: TrackConfig, seed: u64) -> Self {
-        Self { config, rng: Prng::seed(seed) }
+        Self {
+            config,
+            rng: Prng::seed(seed),
+        }
     }
 
     /// The renderer configuration.
@@ -206,32 +209,66 @@ mod tests {
     #[test]
     fn waypoint_tracks_geometry() {
         let c = TrackConfig::default();
-        let straight = TrackParams { curvature: 0.0, offset: 0.0, heading: 0.0, lighting: 1.0 };
+        let straight = TrackParams {
+            curvature: 0.0,
+            offset: 0.0,
+            heading: 0.0,
+            lighting: 1.0,
+        };
         assert_eq!(c.waypoint(&straight)[0], 0.0);
-        let right = TrackParams { curvature: 0.5, offset: 0.0, heading: 0.0, lighting: 1.0 };
+        let right = TrackParams {
+            curvature: 0.5,
+            offset: 0.0,
+            heading: 0.0,
+            lighting: 1.0,
+        };
         assert!(c.waypoint(&right)[0] > 0.2);
-        let offset = TrackParams { curvature: 0.0, offset: -0.3, heading: 0.0, lighting: 1.0 };
+        let offset = TrackParams {
+            curvature: 0.0,
+            offset: -0.3,
+            heading: 0.0,
+            lighting: 1.0,
+        };
         assert!((c.waypoint(&offset)[0] + 0.3).abs() < 1e-12);
     }
 
     #[test]
     fn road_is_darker_than_verge() {
         let c = TrackConfig::default();
-        let p = TrackParams { curvature: 0.0, offset: 0.0, heading: 0.0, lighting: 1.0 };
+        let p = TrackParams {
+            curvature: 0.0,
+            offset: 0.0,
+            heading: 0.0,
+            lighting: 1.0,
+        };
         let mut rng = Prng::seed(1);
         let img = c.render(&p, &mut rng);
         // Bottom row: center pixel is asphalt, border pixel is verge.
         let bottom = c.height - 1;
         let center = img.get(bottom, c.width / 2);
         let border = img.get(bottom, 0);
-        assert!(center < border, "asphalt {center} should be darker than verge {border}");
+        assert!(
+            center < border,
+            "asphalt {center} should be darker than verge {border}"
+        );
     }
 
     #[test]
     fn lighting_gain_scales_brightness() {
-        let c = TrackConfig { pixel_noise: 0.0, ..TrackConfig::default() };
-        let dim = TrackParams { curvature: 0.0, offset: 0.0, heading: 0.0, lighting: 0.4 };
-        let bright = TrackParams { lighting: 1.2, ..dim };
+        let c = TrackConfig {
+            pixel_noise: 0.0,
+            ..TrackConfig::default()
+        };
+        let dim = TrackParams {
+            curvature: 0.0,
+            offset: 0.0,
+            heading: 0.0,
+            lighting: 0.4,
+        };
+        let bright = TrackParams {
+            lighting: 1.2,
+            ..dim
+        };
         let i_dim = c.render(&dim, &mut Prng::seed(2));
         let i_bright = c.render(&bright, &mut Prng::seed(2));
         assert!(i_dim.mean() < i_bright.mean());

@@ -30,7 +30,10 @@ impl Glyph {
 
     /// Class label of this glyph.
     pub fn label(self) -> usize {
-        Glyph::ALL.iter().position(|&g| g == self).expect("glyph in ALL")
+        Glyph::ALL
+            .iter()
+            .position(|&g| g == self)
+            .expect("glyph in ALL")
     }
 }
 
@@ -45,7 +48,10 @@ pub struct ShapesConfig {
 
 impl Default for ShapesConfig {
     fn default() -> Self {
-        Self { side: 12, noise: 0.04 }
+        Self {
+            side: 12,
+            noise: 0.04,
+        }
     }
 }
 
@@ -131,7 +137,8 @@ impl ShapesConfig {
                 let t = i as f64 / steps as f64 * r;
                 let row = (cy + dy * t) as isize;
                 let col = (cx + dx * t) as isize;
-                if row >= 0 && col >= 0 && (row as usize) < self.side && (col as usize) < self.side {
+                if row >= 0 && col >= 0 && (row as usize) < self.side && (col as usize) < self.side
+                {
                     img.set(row as usize, col as usize, 0.95);
                 }
             }
@@ -186,7 +193,10 @@ mod tests {
 
     #[test]
     fn glyph_classes_are_visually_distinct() {
-        let cfg = ShapesConfig { side: 12, noise: 0.0 };
+        let cfg = ShapesConfig {
+            side: 12,
+            noise: 0.0,
+        };
         let mut rng = Prng::seed(8);
         let mut renders: Vec<Vec<f64>> = Vec::new();
         for glyph in Glyph::ALL {
@@ -194,7 +204,11 @@ mod tests {
         }
         for i in 0..4 {
             for j in (i + 1)..4 {
-                let diff: f64 = renders[i].iter().zip(&renders[j]).map(|(a, b)| (a - b).abs()).sum();
+                let diff: f64 = renders[i]
+                    .iter()
+                    .zip(&renders[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
                 assert!(diff > 3.0, "classes {i} and {j} look identical");
             }
         }
@@ -210,7 +224,10 @@ mod tests {
 
     #[test]
     fn ood_star_differs_from_all_classes() {
-        let cfg = ShapesConfig { side: 12, noise: 0.0 };
+        let cfg = ShapesConfig {
+            side: 12,
+            noise: 0.0,
+        };
         let star = cfg.render_ood_star(&mut Prng::seed(6)).into_pixels();
         for glyph in Glyph::ALL {
             let g = cfg.render(glyph, &mut Prng::seed(6)).into_pixels();
@@ -221,7 +238,10 @@ mod tests {
 
     #[test]
     fn inverted_glyph_flips_photometry() {
-        let cfg = ShapesConfig { side: 12, noise: 0.0 };
+        let cfg = ShapesConfig {
+            side: 12,
+            noise: 0.0,
+        };
         let inv = cfg.render_ood_inverted(&mut Prng::seed(7));
         // Background was dark (0.05); inverted background is bright.
         assert!(inv.mean() > 0.5);

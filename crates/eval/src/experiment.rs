@@ -118,7 +118,10 @@ impl Experiment {
     /// Panics if the configuration is degenerate (zero sizes, no hidden
     /// layers).
     pub fn prepare(config: RacetrackConfig) -> Self {
-        assert!(config.train_size > 0 && config.test_size > 0 && config.ood_size > 0, "zero-sized dataset");
+        assert!(
+            config.train_size > 0 && config.test_size > 0 && config.ood_size > 0,
+            "zero-sized dataset"
+        );
         assert!(!config.hidden.is_empty(), "need at least one hidden layer");
 
         let mut sampler = TrackSampler::new(config.track, config.seed);
@@ -138,15 +141,33 @@ impl Experiment {
         }
 
         // Train the perception network.
-        let mut specs: Vec<LayerSpec> =
-            config.hidden.iter().map(|&w| LayerSpec::dense(w, Activation::Relu)).collect();
+        let mut specs: Vec<LayerSpec> = config
+            .hidden
+            .iter()
+            .map(|&w| LayerSpec::dense(w, Activation::Relu))
+            .collect();
         specs.push(LayerSpec::dense(2, Activation::Identity));
         let mut net = Network::seeded(config.seed ^ 0xDA7E, config.track.input_dim(), &specs);
-        let trainer = Trainer::new(Loss::Mse, Optimizer::adam(0.003)).batch_size(32).epochs(config.epochs);
-        let report = trainer.run(&mut net, &train.inputs, &train.targets, config.seed ^ 0x7EAC);
+        let trainer = Trainer::new(Loss::Mse, Optimizer::adam(0.003))
+            .batch_size(32)
+            .epochs(config.epochs);
+        let report = trainer.run(
+            &mut net,
+            &train.inputs,
+            &train.targets,
+            config.seed ^ 0x7EAC,
+        );
         let test_loss = trainer.evaluate(&net, &test.inputs, &test.targets);
 
-        Self { config, net, train, test, ood, train_loss: report.final_loss(), test_loss }
+        Self {
+            config,
+            net,
+            train,
+            test,
+            ood,
+            train_loss: report.final_loss(),
+            test_loss,
+        }
     }
 
     /// The trained perception network.
@@ -192,22 +213,36 @@ impl Experiment {
 
     /// Builds and evaluates one monitor; `robust = None` gives the
     /// standard construction.
-    pub fn run_monitor(&self, name: &str, kind: MonitorKind, robust: Option<RobustConfig>) -> MonitorRow {
+    pub fn run_monitor(
+        &self,
+        name: &str,
+        kind: MonitorKind,
+        robust: Option<RobustConfig>,
+    ) -> MonitorRow {
         let layer = self.monitored_boundary();
         let mut builder = MonitorBuilder::new(&self.net, layer).parallel(true);
         if let Some(r) = robust {
             builder = builder.robust_config(r);
         }
         let start = Instant::now();
-        let monitor = builder.build(kind, &self.train.inputs).expect("valid experiment configuration");
+        let monitor = builder
+            .build(kind, &self.train.inputs)
+            .expect("valid experiment configuration");
         let build_seconds = start.elapsed().as_secs_f64();
 
         let fp_rate = warn_rate(&monitor, &self.net, &self.test.inputs);
         let mut detection = BTreeMap::new();
         for (scenario, inputs) in &self.ood {
-            detection.insert(scenario.name().to_string(), warn_rate(&monitor, &self.net, inputs));
+            detection.insert(
+                scenario.name().to_string(),
+                warn_rate(&monitor, &self.net, inputs),
+            );
         }
-        let query_nanos = mean_query_nanos(&monitor, &self.net, &self.test.inputs[..self.test.inputs.len().min(256)]);
+        let query_nanos = mean_query_nanos(
+            &monitor,
+            &self.net,
+            &self.test.inputs[..self.test.inputs.len().min(256)],
+        );
         MonitorRow {
             name: name.to_string(),
             fp_rate,
@@ -227,7 +262,10 @@ impl Experiment {
         use napmon_core::{PatternBackend, ThresholdPolicy};
         vec![
             ("min-max", MonitorKind::min_max()),
-            ("pattern", MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::Bdd, 0)),
+            (
+                "pattern",
+                MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::Bdd, 0),
+            ),
             ("interval-2bit", MonitorKind::interval(2)),
         ]
     }
@@ -235,11 +273,19 @@ impl Experiment {
     /// The standard-vs-robust comparison of the paper's Section IV: every
     /// monitor family, standard and robust at the given `Δ`.
     pub fn standard_vs_robust(&self, delta: f64, domain: Domain) -> Vec<MonitorRow> {
-        let robust = RobustConfig { delta, kp: 0, domain };
+        let robust = RobustConfig {
+            delta,
+            kp: 0,
+            domain,
+        };
         let mut rows = Vec::new();
         for (family, kind) in Self::monitor_families() {
             rows.push(self.run_monitor(&format!("{family} (standard)"), kind.clone(), None));
-            rows.push(self.run_monitor(&format!("{family} (robust Δ={delta})"), kind, Some(robust)));
+            rows.push(self.run_monitor(
+                &format!("{family} (robust Δ={delta})"),
+                kind,
+                Some(robust),
+            ));
         }
         rows
     }
@@ -256,7 +302,11 @@ mod tests {
             ood_size: 16,
             hidden: vec![12, 8],
             epochs: 3,
-            track: TrackConfig { height: 8, width: 8, ..TrackConfig::default() },
+            track: TrackConfig {
+                height: 8,
+                width: 8,
+                ..TrackConfig::default()
+            },
             ..RacetrackConfig::default()
         })
     }
@@ -284,7 +334,7 @@ mod tests {
         let row = e.run_monitor("minmax", MonitorKind::min_max(), None);
         assert!((0.0..=1.0).contains(&row.fp_rate));
         assert_eq!(row.detection.len(), 3);
-        for (_, r) in &row.detection {
+        for r in row.detection.values() {
             assert!((0.0..=1.0).contains(r));
         }
         assert!(row.build_seconds >= 0.0);

@@ -25,6 +25,6 @@ pub mod sweep;
 pub mod table;
 
 pub use experiment::{Experiment, MonitorRow, RacetrackConfig};
-pub use shapes_experiment::{ShapesExperiment, ShapesExperimentConfig};
 pub use metrics::{auc, roc, scores, warn_rate, RocPoint};
+pub use shapes_experiment::{ShapesExperiment, ShapesExperimentConfig};
 pub use table::Table;

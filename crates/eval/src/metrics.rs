@@ -15,7 +15,11 @@ pub fn warn_rate<M: Monitor + ?Sized>(monitor: &M, net: &Network, inputs: &[Vec<
     assert!(!inputs.is_empty(), "warn_rate over an empty input set");
     let warnings = inputs
         .iter()
-        .filter(|x| monitor.warns(net, x).expect("inputs must match the network dimension"))
+        .filter(|x| {
+            monitor
+                .warns(net, x)
+                .expect("inputs must match the network dimension")
+        })
         .count();
     warnings as f64 / inputs.len() as f64
 }
@@ -25,12 +29,19 @@ pub fn warn_rate<M: Monitor + ?Sized>(monitor: &M, net: &Network, inputs: &[Vec<
 /// # Panics
 ///
 /// Panics if `inputs` is empty.
-pub fn mean_query_nanos<M: Monitor + ?Sized>(monitor: &M, net: &Network, inputs: &[Vec<f64>]) -> f64 {
+pub fn mean_query_nanos<M: Monitor + ?Sized>(
+    monitor: &M,
+    net: &Network,
+    inputs: &[Vec<f64>],
+) -> f64 {
     assert!(!inputs.is_empty(), "timing over an empty input set");
     let start = std::time::Instant::now();
     let mut warned = 0usize;
     for x in inputs {
-        if monitor.warns(net, x).expect("inputs must match the network dimension") {
+        if monitor
+            .warns(net, x)
+            .expect("inputs must match the network dimension")
+        {
             warned += 1;
         }
     }
@@ -54,7 +65,10 @@ pub fn scores<M: napmon_core::ScoredMonitor + ?Sized>(
     inputs
         .iter()
         .map(|x| {
-            let features = monitor.extractor().features(net, x).expect("inputs must match the network");
+            let features = monitor
+                .extractor()
+                .features(net, x)
+                .expect("inputs must match the network");
             monitor.score_features(&features)
         })
         .collect()
@@ -79,16 +93,29 @@ pub struct RocPoint {
 ///
 /// Panics if either score set is empty.
 pub fn roc(negative_scores: &[f64], positive_scores: &[f64]) -> Vec<RocPoint> {
-    assert!(!negative_scores.is_empty() && !positive_scores.is_empty(), "roc needs both score sets");
-    let mut thresholds: Vec<f64> = negative_scores.iter().chain(positive_scores).cloned().collect();
+    assert!(
+        !negative_scores.is_empty() && !positive_scores.is_empty(),
+        "roc needs both score sets"
+    );
+    let mut thresholds: Vec<f64> = negative_scores
+        .iter()
+        .chain(positive_scores)
+        .cloned()
+        .collect();
     thresholds.sort_by(|a, b| b.partial_cmp(a).expect("scores are finite"));
     thresholds.dedup();
     let mut points = Vec::with_capacity(thresholds.len() + 1);
     // The "warn on everything" end of the curve.
     for &t in thresholds.iter().chain(std::iter::once(&f64::NEG_INFINITY)) {
-        let fpr = negative_scores.iter().filter(|&&s| s > t).count() as f64 / negative_scores.len() as f64;
-        let tpr = positive_scores.iter().filter(|&&s| s > t).count() as f64 / positive_scores.len() as f64;
-        points.push(RocPoint { threshold: t, fpr, tpr });
+        let fpr = negative_scores.iter().filter(|&&s| s > t).count() as f64
+            / negative_scores.len() as f64;
+        let tpr = positive_scores.iter().filter(|&&s| s > t).count() as f64
+            / positive_scores.len() as f64;
+        points.push(RocPoint {
+            threshold: t,
+            fpr,
+            tpr,
+        });
     }
     points
 }
@@ -124,14 +151,18 @@ mod tests {
     #[test]
     fn training_data_has_zero_warn_rate() {
         let (net, data) = setup();
-        let m = MonitorBuilder::new(&net, 2).build(MonitorKind::min_max(), &data).unwrap();
+        let m = MonitorBuilder::new(&net, 2)
+            .build(MonitorKind::min_max(), &data)
+            .unwrap();
         assert_eq!(warn_rate(&m, &net, &data), 0.0);
     }
 
     #[test]
     fn far_data_has_full_warn_rate() {
         let (net, data) = setup();
-        let m = MonitorBuilder::new(&net, 2).build(MonitorKind::min_max(), &data).unwrap();
+        let m = MonitorBuilder::new(&net, 2)
+            .build(MonitorKind::min_max(), &data)
+            .unwrap();
         let far: Vec<Vec<f64>> = (0..8).map(|i| vec![100.0 + i as f64, -100.0]).collect();
         assert_eq!(warn_rate(&m, &net, &far), 1.0);
     }
@@ -139,7 +170,9 @@ mod tests {
     #[test]
     fn partial_rates_are_fractions() {
         let (net, data) = setup();
-        let m = MonitorBuilder::new(&net, 2).build(MonitorKind::min_max(), &data).unwrap();
+        let m = MonitorBuilder::new(&net, 2)
+            .build(MonitorKind::min_max(), &data)
+            .unwrap();
         let mut mixed = data[..4].to_vec();
         mixed.push(vec![100.0, -100.0]);
         assert!((warn_rate(&m, &net, &mixed) - 0.2).abs() < 1e-12);
@@ -148,7 +181,9 @@ mod tests {
     #[test]
     fn query_timing_is_positive() {
         let (net, data) = setup();
-        let m = MonitorBuilder::new(&net, 2).build(MonitorKind::pattern(), &data).unwrap();
+        let m = MonitorBuilder::new(&net, 2)
+            .build(MonitorKind::pattern(), &data)
+            .unwrap();
         assert!(mean_query_nanos(&m, &net, &data) > 0.0);
     }
 
@@ -156,7 +191,9 @@ mod tests {
     #[should_panic(expected = "empty input set")]
     fn empty_input_set_panics() {
         let (net, data) = setup();
-        let m = MonitorBuilder::new(&net, 2).build(MonitorKind::min_max(), &data).unwrap();
+        let m = MonitorBuilder::new(&net, 2)
+            .build(MonitorKind::min_max(), &data)
+            .unwrap();
         warn_rate(&m, &net, &[]);
     }
 
@@ -192,7 +229,9 @@ mod tests {
     #[test]
     fn monitor_scores_separate_near_from_far() {
         let (net, data) = setup();
-        let m = MonitorBuilder::new(&net, 2).build(MonitorKind::min_max(), &data).unwrap();
+        let m = MonitorBuilder::new(&net, 2)
+            .build(MonitorKind::min_max(), &data)
+            .unwrap();
         let far: Vec<Vec<f64>> = (0..8).map(|i| vec![50.0 + i as f64, -50.0]).collect();
         let neg = scores(&m, &net, &data);
         let pos = scores(&m, &net, &far);

@@ -49,7 +49,10 @@ mod tests {
     fn json_round_trips_structure() {
         let mut rates = BTreeMap::new();
         rates.insert("dark".to_string(), 0.95);
-        let d = Dummy { name: "pattern".into(), rates };
+        let d = Dummy {
+            name: "pattern".into(),
+            rates,
+        };
         let json = to_json(&d);
         assert!(json.contains("\"pattern\""));
         assert!(json.contains("\"dark\""));

@@ -47,7 +47,14 @@ impl Default for ShapesExperimentConfig {
 impl ShapesExperimentConfig {
     /// The configuration used for `EXPERIMENTS.md`.
     pub fn paper_scale() -> Self {
-        Self { per_class_train: 500, per_class_test: 250, ood_size: 1000, hidden: vec![48, 24], epochs: 25, ..Self::default() }
+        Self {
+            per_class_train: 500,
+            per_class_test: 250,
+            ood_size: 1000,
+            hidden: vec![48, 24],
+            epochs: 25,
+            ..Self::default()
+        }
     }
 }
 
@@ -81,23 +88,40 @@ impl ShapesExperiment {
     ///
     /// Panics on degenerate configurations (zero sizes, no hidden layers).
     pub fn prepare(config: ShapesExperimentConfig) -> Self {
-        assert!(config.per_class_train > 0 && config.per_class_test > 0 && config.ood_size > 0, "zero-sized dataset");
+        assert!(
+            config.per_class_train > 0 && config.per_class_test > 0 && config.ood_size > 0,
+            "zero-sized dataset"
+        );
         assert!(!config.hidden.is_empty(), "need at least one hidden layer");
         let mut rng = Prng::seed(config.seed);
         let train = config.shapes.dataset(config.per_class_train, &mut rng);
         let test = config.shapes.dataset(config.per_class_test, &mut rng);
         let ood = config.shapes.ood_inputs(config.ood_size, &mut rng);
 
-        let mut specs: Vec<LayerSpec> =
-            config.hidden.iter().map(|&w| LayerSpec::dense(w, Activation::Relu)).collect();
+        let mut specs: Vec<LayerSpec> = config
+            .hidden
+            .iter()
+            .map(|&w| LayerSpec::dense(w, Activation::Relu))
+            .collect();
         specs.push(LayerSpec::dense(Glyph::ALL.len(), Activation::Identity));
         let mut net = Network::seeded(config.seed ^ 0x5A9E5, config.shapes.input_dim(), &specs);
         Trainer::new(Loss::SoftmaxCrossEntropy, Optimizer::adam(0.004))
             .batch_size(32)
             .epochs(config.epochs)
-            .run(&mut net, &train.inputs, &train.targets, config.seed ^ 0x7EAC);
+            .run(
+                &mut net,
+                &train.inputs,
+                &train.targets,
+                config.seed ^ 0x7EAC,
+            );
         let acc = accuracy(&net, &test.inputs, &test.targets);
-        Self { net, train, test, ood, accuracy: acc }
+        Self {
+            net,
+            train,
+            test,
+            ood,
+            accuracy: acc,
+        }
     }
 
     /// The trained classifier.
@@ -111,7 +135,12 @@ impl ShapesExperiment {
     }
 
     /// Builds and evaluates one per-class monitor configuration.
-    pub fn run_per_class(&self, name: &str, kind: MonitorKind, robust: Option<RobustConfig>) -> PerClassRow {
+    pub fn run_per_class(
+        &self,
+        name: &str,
+        kind: MonitorKind,
+        robust: Option<RobustConfig>,
+    ) -> PerClassRow {
         let layer = self.net.penultimate_boundary();
         let mut builder = MonitorBuilder::new(&self.net, layer).parallel(true);
         if let Some(r) = robust {
@@ -139,7 +168,10 @@ impl ShapesExperiment {
 /// Panics if `inputs` is empty or malformed.
 pub fn per_class_rate(monitor: &PerClassMonitor, net: &Network, inputs: &[Vec<f64>]) -> f64 {
     assert!(!inputs.is_empty(), "per_class_rate over an empty input set");
-    inputs.iter().filter(|x| monitor.warns(net, x).expect("inputs match the network")).count() as f64
+    inputs
+        .iter()
+        .filter(|x| monitor.warns(net, x).expect("inputs match the network"))
+        .count() as f64
         / inputs.len() as f64
 }
 
@@ -156,7 +188,10 @@ mod tests {
             ood_size: 40,
             hidden: vec![16, 8],
             epochs: 8,
-            shapes: ShapesConfig { side: 10, noise: 0.03 },
+            shapes: ShapesConfig {
+                side: 10,
+                noise: 0.03,
+            },
             ..ShapesExperimentConfig::default()
         })
     }
@@ -173,7 +208,12 @@ mod tests {
         let kind = MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::Bdd, 0);
         let row = e.run_per_class("std", kind, None);
         assert!((0.0..=1.0).contains(&row.fp_rate));
-        assert!(row.detection > row.fp_rate, "detection {} <= fp {}", row.detection, row.fp_rate);
+        assert!(
+            row.detection > row.fp_rate,
+            "detection {} <= fp {}",
+            row.detection,
+            row.fp_rate
+        );
     }
 
     #[test]
@@ -184,8 +224,17 @@ mod tests {
         let rob = e.run_per_class(
             "rob",
             kind,
-            Some(RobustConfig { delta: 0.002, kp: 0, domain: Domain::Box }),
+            Some(RobustConfig {
+                delta: 0.002,
+                kp: 0,
+                domain: Domain::Box,
+            }),
         );
-        assert!(rob.fp_rate <= std.fp_rate + 1e-12, "robust fp {} > std fp {}", rob.fp_rate, std.fp_rate);
+        assert!(
+            rob.fp_rate <= std.fp_rate + 1e-12,
+            "robust fp {} > std fp {}",
+            rob.fp_rate,
+            std.fp_rate
+        );
     }
 }

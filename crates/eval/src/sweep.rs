@@ -22,16 +22,31 @@ pub struct DeltaPoint {
 
 /// Sweeps the robust construction over `deltas` for one monitor family
 /// (experiment A1). `delta = 0` rows are effectively the standard monitor.
-pub fn delta_sweep(exp: &Experiment, kind: MonitorKind, deltas: &[f64], kp: usize, domain: Domain) -> Vec<DeltaPoint> {
+pub fn delta_sweep(
+    exp: &Experiment,
+    kind: MonitorKind,
+    deltas: &[f64],
+    kp: usize,
+    domain: Domain,
+) -> Vec<DeltaPoint> {
     deltas
         .iter()
         .map(|&delta| {
             let row = if delta == 0.0 {
                 exp.run_monitor("sweep", kind.clone(), None)
             } else {
-                exp.run_monitor("sweep", kind.clone(), Some(RobustConfig { delta, kp, domain }))
+                exp.run_monitor(
+                    "sweep",
+                    kind.clone(),
+                    Some(RobustConfig { delta, kp, domain }),
+                )
             };
-            DeltaPoint { delta, fp_rate: row.fp_rate, mean_detection: row.mean_detection(), coverage: row.coverage }
+            DeltaPoint {
+                delta,
+                fp_rate: row.fp_rate,
+                mean_detection: row.mean_detection(),
+                coverage: row.coverage,
+            }
         })
         .collect()
 }
@@ -49,7 +64,10 @@ pub fn delta_sweep(exp: &Experiment, kind: MonitorKind, deltas: &[f64], kp: usiz
 /// Panics if `points` contains no Δ > 0 entry.
 pub fn pick_operating_point(points: &[DeltaPoint], tolerance: f64) -> &DeltaPoint {
     let robust: Vec<&DeltaPoint> = points.iter().filter(|p| p.delta > 0.0).collect();
-    assert!(!robust.is_empty(), "sweep needs at least one positive-Δ point");
+    assert!(
+        !robust.is_empty(),
+        "sweep needs at least one positive-Δ point"
+    );
     let baseline = points[0].mean_detection;
     robust
         .iter()
@@ -59,7 +77,11 @@ pub fn pick_operating_point(points: &[DeltaPoint], tolerance: f64) -> &DeltaPoin
         .unwrap_or_else(|| {
             robust
                 .iter()
-                .max_by(|a, b| a.mean_detection.partial_cmp(&b.mean_detection).expect("rates are finite"))
+                .max_by(|a, b| {
+                    a.mean_detection
+                        .partial_cmp(&b.mean_detection)
+                        .expect("rates are finite")
+                })
                 .copied()
                 .expect("non-empty robust set")
         })
@@ -75,11 +97,21 @@ pub struct KpPoint {
 }
 
 /// Sweeps the perturbation boundary `kp` (experiment A2).
-pub fn kp_sweep(exp: &Experiment, kind: MonitorKind, kps: &[usize], delta: f64, domain: Domain) -> Vec<KpPoint> {
+pub fn kp_sweep(
+    exp: &Experiment,
+    kind: MonitorKind,
+    kps: &[usize],
+    delta: f64,
+    domain: Domain,
+) -> Vec<KpPoint> {
     kps.iter()
         .map(|&kp| KpPoint {
             kp,
-            row: exp.run_monitor(&format!("kp={kp}"), kind.clone(), Some(RobustConfig { delta, kp, domain })),
+            row: exp.run_monitor(
+                &format!("kp={kp}"),
+                kind.clone(),
+                Some(RobustConfig { delta, kp, domain }),
+            ),
         })
         .collect()
 }
@@ -96,16 +128,29 @@ pub struct BitsPoint {
 }
 
 /// Sweeps the interval-monitor bit width (experiment A3).
-pub fn bits_sweep(exp: &Experiment, bits_list: &[usize], delta: f64, domain: Domain) -> Vec<BitsPoint> {
+pub fn bits_sweep(
+    exp: &Experiment,
+    bits_list: &[usize],
+    delta: f64,
+    domain: Domain,
+) -> Vec<BitsPoint> {
     bits_list
         .iter()
         .map(|&bits| BitsPoint {
             bits,
-            standard: exp.run_monitor(&format!("{bits}-bit standard"), MonitorKind::interval(bits), None),
+            standard: exp.run_monitor(
+                &format!("{bits}-bit standard"),
+                MonitorKind::interval(bits),
+                None,
+            ),
             robust: exp.run_monitor(
                 &format!("{bits}-bit robust"),
                 MonitorKind::interval(bits),
-                Some(RobustConfig { delta, kp: 0, domain }),
+                Some(RobustConfig {
+                    delta,
+                    kp: 0,
+                    domain,
+                }),
             ),
         })
         .collect()
@@ -148,7 +193,11 @@ pub fn domain_comparison(exp: &Experiment, delta: f64, samples: usize) -> Vec<Do
             // The star domain solves LPs per unstable neuron: probe fewer
             // samples and skip the monitor build entirely.
             let is_star = domain == Domain::Star;
-            let probe = if is_star { &probe[..probe.len().min(4)] } else { &probe[..] };
+            let probe = if is_star {
+                &probe[..probe.len().min(4)]
+            } else {
+                &probe[..]
+            };
             let prop = Propagator::new(net, domain);
             let start = Instant::now();
             let mut width_sum = 0.0;
@@ -186,17 +235,20 @@ pub struct PolicyPoint {
 
 /// Compares threshold policies for the on-off monitor.
 pub fn policy_comparison(exp: &Experiment) -> Vec<PolicyPoint> {
-    [("sign", ThresholdPolicy::Sign), ("mean", ThresholdPolicy::Mean)]
-        .into_iter()
-        .map(|(name, policy)| PolicyPoint {
-            policy: name.to_string(),
-            row: exp.run_monitor(
-                name,
-                MonitorKind::pattern_with(policy, napmon_core::PatternBackend::Bdd, 0),
-                None,
-            ),
-        })
-        .collect()
+    [
+        ("sign", ThresholdPolicy::Sign),
+        ("mean", ThresholdPolicy::Mean),
+    ]
+    .into_iter()
+    .map(|(name, policy)| PolicyPoint {
+        policy: name.to_string(),
+        row: exp.run_monitor(
+            name,
+            MonitorKind::pattern_with(policy, napmon_core::PatternBackend::Bdd, 0),
+            None,
+        ),
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -212,7 +264,11 @@ mod tests {
             ood_size: 12,
             hidden: vec![10, 6],
             epochs: 2,
-            track: TrackConfig { height: 6, width: 6, ..TrackConfig::default() },
+            track: TrackConfig {
+                height: 6,
+                width: 6,
+                ..TrackConfig::default()
+            },
             ..RacetrackConfig::default()
         })
     }
@@ -220,7 +276,13 @@ mod tests {
     #[test]
     fn delta_sweep_fp_is_monotone_nonincreasing() {
         let e = tiny();
-        let points = delta_sweep(&e, MonitorKind::pattern(), &[0.0, 0.01, 0.05, 0.2], 0, Domain::Box);
+        let points = delta_sweep(
+            &e,
+            MonitorKind::pattern(),
+            &[0.0, 0.01, 0.05, 0.2],
+            0,
+            Domain::Box,
+        );
         assert_eq!(points.len(), 4);
         for w in points.windows(2) {
             assert!(
@@ -244,20 +306,53 @@ mod tests {
     #[test]
     fn operating_point_respects_detection_tolerance() {
         let points = vec![
-            DeltaPoint { delta: 0.0, fp_rate: 0.10, mean_detection: 0.9, coverage: None },
-            DeltaPoint { delta: 0.1, fp_rate: 0.02, mean_detection: 0.89, coverage: None },
-            DeltaPoint { delta: 0.5, fp_rate: 0.00, mean_detection: 0.2, coverage: None },
+            DeltaPoint {
+                delta: 0.0,
+                fp_rate: 0.10,
+                mean_detection: 0.9,
+                coverage: None,
+            },
+            DeltaPoint {
+                delta: 0.1,
+                fp_rate: 0.02,
+                mean_detection: 0.89,
+                coverage: None,
+            },
+            DeltaPoint {
+                delta: 0.5,
+                fp_rate: 0.00,
+                mean_detection: 0.2,
+                coverage: None,
+            },
         ];
         let best = pick_operating_point(&points, 0.05);
-        assert_eq!(best.delta, 0.1, "the huge-delta point kills detection and must be skipped");
+        assert_eq!(
+            best.delta, 0.1,
+            "the huge-delta point kills detection and must be skipped"
+        );
     }
 
     #[test]
     fn operating_point_never_returns_the_standard_baseline() {
         let points = vec![
-            DeltaPoint { delta: 0.0, fp_rate: 0.01, mean_detection: 0.9, coverage: None },
-            DeltaPoint { delta: 0.1, fp_rate: 0.30, mean_detection: 0.5, coverage: None },
-            DeltaPoint { delta: 0.2, fp_rate: 0.00, mean_detection: 0.4, coverage: None },
+            DeltaPoint {
+                delta: 0.0,
+                fp_rate: 0.01,
+                mean_detection: 0.9,
+                coverage: None,
+            },
+            DeltaPoint {
+                delta: 0.1,
+                fp_rate: 0.30,
+                mean_detection: 0.5,
+                coverage: None,
+            },
+            DeltaPoint {
+                delta: 0.2,
+                fp_rate: 0.00,
+                mean_detection: 0.4,
+                coverage: None,
+            },
         ];
         // No robust point keeps detection: fall back to best-detection robust.
         let best = pick_operating_point(&points, 0.02);

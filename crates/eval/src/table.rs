@@ -26,7 +26,10 @@ impl Table {
     /// Panics if `headers` is empty.
     pub fn new(headers: Vec<String>) -> Self {
         assert!(!headers.is_empty(), "table needs at least one column");
-        Self { headers, rows: Vec::new() }
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -35,7 +38,13 @@ impl Table {
     ///
     /// Panics if the arity differs from the headers.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row arity {} != {}", cells.len(), self.headers.len());
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != {}",
+            cells.len(),
+            self.headers.len()
+        );
         self.rows.push(cells);
         self
     }
@@ -113,7 +122,10 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         // rule, header, rule, row, rule
         assert_eq!(lines.len(), 5);
-        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "ragged table:\n{s}");
+        assert!(
+            lines.iter().all(|l| l.len() == lines[0].len()),
+            "ragged table:\n{s}"
+        );
     }
 
     #[test]

@@ -58,6 +58,13 @@ impl Activation {
         xs.iter().map(|&x| self.apply(x)).collect()
     }
 
+    /// Applies the activation into a reused output buffer (resized to
+    /// `xs.len()`; no allocation once the buffer has grown).
+    pub fn apply_vec_into(self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.apply(x)));
+    }
+
     /// Derivative `f'(x)`, computed from the input `x` and the already
     /// computed output `y = f(x)` (cheaper for sigmoid/tanh).
     ///
@@ -87,7 +94,10 @@ impl Activation {
     /// Whether the function is piecewise linear (exactly representable by
     /// zonotope/star relaxations with a finite case analysis).
     pub fn is_piecewise_linear(self) -> bool {
-        matches!(self, Activation::Identity | Activation::Relu | Activation::LeakyRelu { .. })
+        matches!(
+            self,
+            Activation::Identity | Activation::Relu | Activation::LeakyRelu { .. }
+        )
     }
 }
 

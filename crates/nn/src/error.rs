@@ -25,8 +25,15 @@ pub enum NnError {
 impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NnError::ShapeMismatch { context, expected, actual } => {
-                write!(f, "shape mismatch in {context}: expected {expected}, got {actual}")
+            NnError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected}, got {actual}"
+                )
             }
             NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             NnError::Io(e) => write!(f, "model i/o failed: {e}"),
@@ -63,8 +70,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = NnError::ShapeMismatch { context: "dense layer 2".into(), expected: 8, actual: 4 };
-        assert_eq!(e.to_string(), "shape mismatch in dense layer 2: expected 8, got 4");
+        let e = NnError::ShapeMismatch {
+            context: "dense layer 2".into(),
+            expected: 8,
+            actual: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in dense layer 2: expected 8, got 4"
+        );
         let e = NnError::InvalidConfig("kernel size 0".into());
         assert!(e.to_string().contains("kernel size 0"));
     }

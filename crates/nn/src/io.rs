@@ -47,13 +47,23 @@ mod tests {
 
     #[test]
     fn save_load_round_trip() {
-        let net = Network::seeded(3, 4, &[LayerSpec::dense(8, Activation::Relu), LayerSpec::dense(2, Activation::Identity)]);
+        let net = Network::seeded(
+            3,
+            4,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        );
         let dir = std::env::temp_dir().join("napmon_nn_io_test");
         let path = dir.join("model.json");
         save(&net, &path).unwrap();
         let loaded = load(&path).unwrap();
         assert_eq!(net, loaded);
-        assert_eq!(net.forward(&[0.1, 0.2, 0.3, 0.4]), loaded.forward(&[0.1, 0.2, 0.3, 0.4]));
+        assert_eq!(
+            net.forward(&[0.1, 0.2, 0.3, 0.4]),
+            loaded.forward(&[0.1, 0.2, 0.3, 0.4])
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -57,10 +57,14 @@ impl Conv2d {
         padding: usize,
     ) -> Result<Self, NnError> {
         if in_channels == 0 || in_h == 0 || in_w == 0 || out_channels == 0 {
-            return Err(NnError::InvalidConfig("conv2d: zero-sized dimension".into()));
+            return Err(NnError::InvalidConfig(
+                "conv2d: zero-sized dimension".into(),
+            ));
         }
         if kernel == 0 || stride == 0 {
-            return Err(NnError::InvalidConfig("conv2d: kernel and stride must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "conv2d: kernel and stride must be positive".into(),
+            ));
         }
         if in_h + 2 * padding < kernel || in_w + 2 * padding < kernel {
             return Err(NnError::InvalidConfig(format!(
@@ -71,7 +75,17 @@ impl Conv2d {
         }
         let weights = Matrix::zeros(out_channels, in_channels * kernel * kernel);
         let bias = vec![0.0; out_channels];
-        Ok(Self { in_channels, in_h, in_w, out_channels, kernel, stride, padding, weights, bias })
+        Ok(Self {
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weights,
+            bias,
+        })
     }
 
     /// Creates a randomly initialized convolution.
@@ -91,7 +105,15 @@ impl Conv2d {
         padding: usize,
         init: Init,
     ) -> Result<Self, NnError> {
-        let mut conv = Self::zeros(in_channels, in_h, in_w, out_channels, kernel, stride, padding)?;
+        let mut conv = Self::zeros(
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        )?;
         conv.weights = init.matrix(rng, out_channels, in_channels * kernel * kernel);
         Ok(conv)
     }
@@ -173,7 +195,12 @@ impl Conv2d {
         Some((c * self.in_h + y as usize) * self.in_w + x as usize)
     }
 
-    fn conv_core(&self, x: &[f64], weight_of: impl Fn(usize, usize) -> f64, with_bias: bool) -> Vec<f64> {
+    fn conv_core(
+        &self,
+        x: &[f64],
+        weight_of: impl Fn(usize, usize) -> f64,
+        with_bias: bool,
+    ) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim(), "conv forward: input dimension");
         let (oh, ow) = (self.out_h(), self.out_w());
         let mut out = vec![0.0; self.out_dim()];
@@ -235,10 +262,17 @@ impl Conv2d {
     /// Panics on dimension mismatches.
     pub fn backward(&self, x: &[f64], dy: &[f64]) -> (Vec<f64>, LayerGrad) {
         assert_eq!(x.len(), self.in_dim(), "conv backward: input dimension");
-        assert_eq!(dy.len(), self.out_dim(), "conv backward: gradient dimension");
+        assert_eq!(
+            dy.len(),
+            self.out_dim(),
+            "conv backward: gradient dimension"
+        );
         let (oh, ow) = (self.out_h(), self.out_w());
         let mut dx = vec![0.0; self.in_dim()];
-        let mut dw = Matrix::zeros(self.out_channels, self.in_channels * self.kernel * self.kernel);
+        let mut dw = Matrix::zeros(
+            self.out_channels,
+            self.in_channels * self.kernel * self.kernel,
+        );
         let mut db = vec![0.0; self.out_channels];
         for oc in 0..self.out_channels {
             for oy in 0..oh {

@@ -45,7 +45,10 @@ impl Dense {
 
     /// Creates a randomly initialized `in_dim -> out_dim` layer.
     pub fn seeded(rng: &mut Prng, in_dim: usize, out_dim: usize, init: Init) -> Self {
-        Self { weights: init.matrix(rng, out_dim, in_dim), bias: vec![0.0; out_dim] }
+        Self {
+            weights: init.matrix(rng, out_dim, in_dim),
+            bias: vec![0.0; out_dim],
+        }
     }
 
     /// Input dimension (columns of the weight matrix).
@@ -79,11 +82,22 @@ impl Dense {
     ///
     /// Panics if `x.len() != self.in_dim()`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = self.weights.matvec(x);
-        for (yi, bi) in y.iter_mut().zip(&self.bias) {
+        let mut y = Vec::new();
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Computes `W x + b` into a reused output buffer (no allocation once
+    /// the buffer has grown to `out_dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_dim()`.
+    pub fn forward_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        self.weights.matvec_into(x, out);
+        for (yi, bi) in out.iter_mut().zip(&self.bias) {
             *yi += bi;
         }
-        y
     }
 
     /// Computes `W x` (no bias).
@@ -101,7 +115,11 @@ impl Dense {
     ///
     /// Panics if `x.len() != self.in_dim()`.
     pub fn apply_abs_linear(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.in_dim(), "apply_abs_linear: dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.in_dim(),
+            "apply_abs_linear: dimension mismatch"
+        );
         let mut y = vec![0.0; self.out_dim()];
         for (r, yr) in y.iter_mut().enumerate() {
             let row = self.weights.row(r);
@@ -122,12 +140,22 @@ impl Dense {
     /// Panics on dimension mismatches.
     pub fn backward(&self, x: &[f64], dy: &[f64]) -> (Vec<f64>, LayerGrad) {
         assert_eq!(x.len(), self.in_dim(), "dense backward: input dimension");
-        assert_eq!(dy.len(), self.out_dim(), "dense backward: gradient dimension");
+        assert_eq!(
+            dy.len(),
+            self.out_dim(),
+            "dense backward: gradient dimension"
+        );
         // dx = W^T dy
         let dx = self.weights.matvec_transposed(dy);
         // dW = dy ⊗ x
         let dw = Matrix::from_fn(self.out_dim(), self.in_dim(), |r, c| dy[r] * x[c]);
-        (dx, LayerGrad { dw, db: dy.to_vec() })
+        (
+            dx,
+            LayerGrad {
+                dw,
+                db: dy.to_vec(),
+            },
+        )
     }
 }
 
@@ -136,7 +164,11 @@ mod tests {
     use super::*;
 
     fn layer() -> Dense {
-        Dense::new(Matrix::from_rows(&[&[1.0, 2.0], &[-0.5, 0.25], &[0.0, 1.0]]), vec![0.5, 0.0, -1.0]).unwrap()
+        Dense::new(
+            Matrix::from_rows(&[&[1.0, 2.0], &[-0.5, 0.25], &[0.0, 1.0]]),
+            vec![0.5, 0.0, -1.0],
+        )
+        .unwrap()
     }
 
     #[test]

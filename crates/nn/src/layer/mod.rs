@@ -96,6 +96,38 @@ impl Layer {
         }
     }
 
+    /// Applies the layer into a reused output buffer.
+    ///
+    /// Dense, batch-norm, and activation layers write straight into `out`
+    /// with no allocation (once the buffer has grown); convolution and
+    /// pooling fall back to [`Layer::forward`] and copy — they sit below
+    /// the monitored boundary of every experiment in this workspace, so
+    /// their cost profile is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the layer's input dimension.
+    pub fn forward_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        match self {
+            Layer::Dense(d) => d.forward_into(x, out),
+            Layer::Activation(a) => a.apply_vec_into(x, out),
+            Layer::BatchNorm(bn) => {
+                assert_eq!(x.len(), bn.dim(), "batch norm forward: dimension mismatch");
+                out.clear();
+                out.extend(
+                    x.iter()
+                        .zip(bn.scale().iter().zip(bn.shift()))
+                        .map(|(v, (s, b))| v * s + b),
+                );
+            }
+            Layer::Conv2d(_) | Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => {
+                let y = self.forward(x);
+                out.clear();
+                out.extend_from_slice(&y);
+            }
+        }
+    }
+
     /// Backpropagates through the layer.
     ///
     /// `x` is the input that produced output `y`, and `dy` is the loss
@@ -133,8 +165,10 @@ impl Layer {
 
     /// Whether the layer is an affine map (exact in every abstract domain).
     pub fn is_affine(&self) -> bool {
-        matches!(self, Layer::Dense(_) | Layer::Conv2d(_) | Layer::AvgPool2d(_) | Layer::BatchNorm(_))
-            || matches!(self, Layer::Activation(Activation::Identity))
+        matches!(
+            self,
+            Layer::Dense(_) | Layer::Conv2d(_) | Layer::AvgPool2d(_) | Layer::BatchNorm(_)
+        ) || matches!(self, Layer::Activation(Activation::Identity))
     }
 
     /// Applies only the linear part (no bias) of an affine layer.
@@ -235,7 +269,13 @@ mod tests {
     use napmon_tensor::Matrix;
 
     fn tiny_dense() -> Layer {
-        Layer::Dense(Dense::new(Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.5]]), vec![0.1, -0.1]).unwrap())
+        Layer::Dense(
+            Dense::new(
+                Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.5]]),
+                vec![0.1, -0.1],
+            )
+            .unwrap(),
+        )
     }
 
     #[test]
@@ -279,7 +319,10 @@ mod tests {
 
     #[test]
     fn from_impls_build_expected_variants() {
-        assert!(matches!(Layer::from(Activation::Tanh), Layer::Activation(Activation::Tanh)));
+        assert!(matches!(
+            Layer::from(Activation::Tanh),
+            Layer::Activation(Activation::Tanh)
+        ));
         let d = Dense::new(Matrix::identity(2), vec![0.0, 0.0]).unwrap();
         assert!(matches!(Layer::from(d), Layer::Dense(_)));
     }

@@ -27,7 +27,9 @@ impl BatchNorm1d {
     /// [`NnError::InvalidConfig`] if they are empty.
     pub fn new(scale: Vec<f64>, shift: Vec<f64>) -> Result<Self, NnError> {
         if scale.is_empty() {
-            return Err(NnError::InvalidConfig("batch norm over zero dimensions".into()));
+            return Err(NnError::InvalidConfig(
+                "batch norm over zero dimensions".into(),
+            ));
         }
         if scale.len() != shift.len() {
             return Err(NnError::ShapeMismatch {
@@ -54,19 +56,39 @@ impl BatchNorm1d {
         eps: f64,
     ) -> Result<Self, NnError> {
         let d = gamma.len();
-        for (name, v) in [("beta", beta.len()), ("mean", mean.len()), ("variance", variance.len())] {
+        for (name, v) in [
+            ("beta", beta.len()),
+            ("mean", mean.len()),
+            ("variance", variance.len()),
+        ] {
             if v != d {
-                return Err(NnError::ShapeMismatch { context: format!("batch norm {name}"), expected: d, actual: v });
+                return Err(NnError::ShapeMismatch {
+                    context: format!("batch norm {name}"),
+                    expected: d,
+                    actual: v,
+                });
             }
         }
         if eps <= 0.0 {
-            return Err(NnError::InvalidConfig(format!("batch norm eps must be positive, got {eps}")));
+            return Err(NnError::InvalidConfig(format!(
+                "batch norm eps must be positive, got {eps}"
+            )));
         }
         if variance.iter().any(|&v| v < 0.0) {
-            return Err(NnError::InvalidConfig("batch norm variance must be non-negative".into()));
+            return Err(NnError::InvalidConfig(
+                "batch norm variance must be non-negative".into(),
+            ));
         }
-        let scale: Vec<f64> = gamma.iter().zip(variance).map(|(g, v)| g / (v + eps).sqrt()).collect();
-        let shift: Vec<f64> = beta.iter().zip(mean.iter().zip(&scale)).map(|(b, (m, s))| b - m * s).collect();
+        let scale: Vec<f64> = gamma
+            .iter()
+            .zip(variance)
+            .map(|(g, v)| g / (v + eps).sqrt())
+            .collect();
+        let shift: Vec<f64> = beta
+            .iter()
+            .zip(mean.iter().zip(&scale))
+            .map(|(b, (m, s))| b - m * s)
+            .collect();
         Self::new(scale, shift)
     }
 
@@ -91,8 +113,15 @@ impl BatchNorm1d {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.dim(), "batch norm forward: dimension mismatch");
-        x.iter().zip(self.scale.iter().zip(&self.shift)).map(|(v, (s, b))| v * s + b).collect()
+        assert_eq!(
+            x.len(),
+            self.dim(),
+            "batch norm forward: dimension mismatch"
+        );
+        x.iter()
+            .zip(self.scale.iter().zip(&self.shift))
+            .map(|(v, (s, b))| v * s + b)
+            .collect()
     }
 
     /// Applies only the linear part (`scale ⊙ x`).
@@ -101,7 +130,11 @@ impl BatchNorm1d {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn apply_linear(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.dim(), "batch norm apply_linear: dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.dim(),
+            "batch norm apply_linear: dimension mismatch"
+        );
         x.iter().zip(&self.scale).map(|(v, s)| v * s).collect()
     }
 
@@ -111,8 +144,15 @@ impl BatchNorm1d {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn apply_abs_linear(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.dim(), "batch norm apply_abs_linear: dimension mismatch");
-        x.iter().zip(&self.scale).map(|(v, s)| v * s.abs()).collect()
+        assert_eq!(
+            x.len(),
+            self.dim(),
+            "batch norm apply_abs_linear: dimension mismatch"
+        );
+        x.iter()
+            .zip(&self.scale)
+            .map(|(v, s)| v * s.abs())
+            .collect()
     }
 
     /// Backpropagates to the input (statistics are frozen constants).
@@ -121,7 +161,11 @@ impl BatchNorm1d {
     ///
     /// Panics if `dy.len() != self.dim()`.
     pub fn backward(&self, dy: &[f64]) -> Vec<f64> {
-        assert_eq!(dy.len(), self.dim(), "batch norm backward: dimension mismatch");
+        assert_eq!(
+            dy.len(),
+            self.dim(),
+            "batch norm backward: dimension mismatch"
+        );
         dy.iter().zip(&self.scale).map(|(d, s)| d * s).collect()
     }
 }

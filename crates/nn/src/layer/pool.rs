@@ -29,17 +29,35 @@ impl MaxPool2d {
     ///
     /// Returns [`NnError::InvalidConfig`] if any dimension, the window, or
     /// the stride is zero, or the window does not fit the input.
-    pub fn new(channels: usize, in_h: usize, in_w: usize, pool: usize, stride: usize) -> Result<Self, NnError> {
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        pool: usize,
+        stride: usize,
+    ) -> Result<Self, NnError> {
         if channels == 0 || in_h == 0 || in_w == 0 {
-            return Err(NnError::InvalidConfig("maxpool2d: zero-sized dimension".into()));
+            return Err(NnError::InvalidConfig(
+                "maxpool2d: zero-sized dimension".into(),
+            ));
         }
         if pool == 0 || stride == 0 {
-            return Err(NnError::InvalidConfig("maxpool2d: pool and stride must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "maxpool2d: pool and stride must be positive".into(),
+            ));
         }
         if pool > in_h || pool > in_w {
-            return Err(NnError::InvalidConfig(format!("maxpool2d: window {pool} larger than input {in_h}x{in_w}")));
+            return Err(NnError::InvalidConfig(format!(
+                "maxpool2d: window {pool} larger than input {in_h}x{in_w}"
+            )));
         }
-        Ok(Self { channels, in_h, in_w, pool, stride })
+        Ok(Self {
+            channels,
+            in_h,
+            in_w,
+            pool,
+            stride,
+        })
     }
 
     /// Number of channels.
@@ -79,7 +97,12 @@ impl MaxPool2d {
 
     /// Iterates over the flat input indices of the window feeding output
     /// position `(c, oy, ox)`.
-    pub fn window_indices(&self, c: usize, oy: usize, ox: usize) -> impl Iterator<Item = usize> + '_ {
+    pub fn window_indices(
+        &self,
+        c: usize,
+        oy: usize,
+        ox: usize,
+    ) -> impl Iterator<Item = usize> + '_ {
         let base_y = oy * self.stride;
         let base_x = ox * self.stride;
         let (in_h, in_w, pool) = (self.in_h, self.in_w, self.pool);
@@ -120,7 +143,11 @@ impl MaxPool2d {
     /// Panics on dimension mismatches.
     pub fn backward(&self, x: &[f64], dy: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim(), "maxpool backward: input dimension");
-        assert_eq!(dy.len(), self.out_dim(), "maxpool backward: gradient dimension");
+        assert_eq!(
+            dy.len(),
+            self.out_dim(),
+            "maxpool backward: gradient dimension"
+        );
         let (oh, ow) = (self.out_h(), self.out_w());
         let mut dx = vec![0.0; self.in_dim()];
         for c in 0..self.channels {
@@ -158,8 +185,16 @@ impl AvgPool2d {
     /// # Errors
     ///
     /// Same conditions as [`MaxPool2d::new`].
-    pub fn new(channels: usize, in_h: usize, in_w: usize, pool: usize, stride: usize) -> Result<Self, NnError> {
-        Ok(Self { inner: MaxPool2d::new(channels, in_h, in_w, pool, stride)? })
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        pool: usize,
+        stride: usize,
+    ) -> Result<Self, NnError> {
+        Ok(Self {
+            inner: MaxPool2d::new(channels, in_h, in_w, pool, stride)?,
+        })
     }
 
     /// Number of channels.
@@ -198,7 +233,12 @@ impl AvgPool2d {
     }
 
     /// Iterates over the flat input indices feeding output `(c, oy, ox)`.
-    pub fn window_indices(&self, c: usize, oy: usize, ox: usize) -> impl Iterator<Item = usize> + '_ {
+    pub fn window_indices(
+        &self,
+        c: usize,
+        oy: usize,
+        ox: usize,
+    ) -> impl Iterator<Item = usize> + '_ {
         self.inner.window_indices(c, oy, ox)
     }
 
@@ -230,7 +270,11 @@ impl AvgPool2d {
     ///
     /// Panics on dimension mismatches.
     pub fn backward(&self, dy: &[f64]) -> Vec<f64> {
-        assert_eq!(dy.len(), self.out_dim(), "avgpool backward: gradient dimension");
+        assert_eq!(
+            dy.len(),
+            self.out_dim(),
+            "avgpool backward: gradient dimension"
+        );
         let (oh, ow) = (self.out_h(), self.out_w());
         let norm = 1.0 / (self.pool() * self.pool()) as f64;
         let mut dx = vec![0.0; self.in_dim()];

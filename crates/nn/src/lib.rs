@@ -46,5 +46,5 @@ pub mod train;
 pub use activation::Activation;
 pub use error::NnError;
 pub use layer::{AvgPool2d, BatchNorm1d, Conv2d, Dense, Layer, MaxPool2d};
-pub use network::{LayerSpec, Network};
+pub use network::{ForwardScratch, LayerSpec, Network};
 pub use train::{accuracy, Loss, Optimizer, TrainReport, Trainer};

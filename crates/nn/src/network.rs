@@ -42,10 +42,14 @@ impl Network {
     /// [`NnError::InvalidConfig`] if `input_dim == 0` or `layers` is empty.
     pub fn from_layers(input_dim: usize, layers: Vec<Layer>) -> Result<Self, NnError> {
         if input_dim == 0 {
-            return Err(NnError::InvalidConfig("network input dimension must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "network input dimension must be positive".into(),
+            ));
         }
         if layers.is_empty() {
-            return Err(NnError::InvalidConfig("network needs at least one layer".into()));
+            return Err(NnError::InvalidConfig(
+                "network needs at least one layer".into(),
+            ));
         }
         let mut dim = input_dim;
         for (i, layer) in layers.iter().enumerate() {
@@ -132,7 +136,11 @@ impl Network {
     /// Panics if `k > self.num_layers()`.
     pub fn dim_at(&self, k: usize) -> usize {
         let dims = self.dims();
-        assert!(k < dims.len(), "boundary {k} out of range (network has {} layers)", self.layers.len());
+        assert!(
+            k < dims.len(),
+            "boundary {k} out of range (network has {} layers)",
+            self.layers.len()
+        );
         dims[k]
     }
 
@@ -155,6 +163,38 @@ impl Network {
         self.forward_range(x, 0, k)
     }
 
+    /// Prefix evaluation `G^k(x)` through reusable ping-pong buffers: the
+    /// steady-state query path of the monitors. After the scratch buffers
+    /// have grown to the widest layer, repeated calls perform **no heap
+    /// allocation** for dense/batch-norm/activation networks.
+    ///
+    /// The result borrows from `scratch` and stays valid until the next
+    /// call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.num_layers()` or `x` has the wrong length.
+    pub fn forward_prefix_into<'s>(
+        &self,
+        x: &[f64],
+        k: usize,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        assert!(k <= self.layers.len(), "invalid boundary {k}");
+        assert_eq!(
+            x.len(),
+            self.input_dim,
+            "forward_prefix_into: input dimension"
+        );
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(x);
+        for layer in &self.layers[..k] {
+            layer.forward_into(&scratch.cur, &mut scratch.next);
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+        }
+        &scratch.cur
+    }
+
     /// Range evaluation `G^{from→to}`: applies layers `from+1..=to` to a
     /// vector `v` living at boundary `from`.
     ///
@@ -163,8 +203,15 @@ impl Network {
     /// Panics if `from > to`, `to > self.num_layers()`, or `v` does not have
     /// dimension `d_from`.
     pub fn forward_range(&self, v: &[f64], from: usize, to: usize) -> Vec<f64> {
-        assert!(from <= to && to <= self.layers.len(), "invalid layer range {from}..{to}");
-        assert_eq!(v.len(), self.dim_at(from), "forward_range: input dimension at boundary {from}");
+        assert!(
+            from <= to && to <= self.layers.len(),
+            "invalid layer range {from}..{to}"
+        );
+        assert_eq!(
+            v.len(),
+            self.dim_at(from),
+            "forward_range: input dimension at boundary {from}"
+        );
         let mut cur = v.to_vec();
         for layer in &self.layers[from..to] {
             cur = layer.forward(&cur);
@@ -216,6 +263,23 @@ impl Network {
             }
         }
         self.layers.len()
+    }
+}
+
+/// Reusable ping-pong buffers for [`Network::forward_prefix_into`].
+///
+/// One scratch per querying thread; the monitors' batched APIs allocate one
+/// per worker and reuse it across the whole batch.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl ForwardScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -330,7 +394,10 @@ impl NetworkBuilder {
     ///
     /// Panics if any dimension is zero.
     pub fn image(seed: u64, c: usize, h: usize, w: usize) -> Self {
-        assert!(c > 0 && h > 0 && w > 0, "image: dimensions must be positive");
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "image: dimensions must be positive"
+        );
         Self {
             rng: Prng::seed(seed),
             input_dim: c * h * w,
@@ -347,7 +414,12 @@ impl NetworkBuilder {
             Activation::Relu | Activation::LeakyRelu { .. } => Init::HeNormal,
             _ => Init::XavierUniform,
         };
-        self.layers.push(Layer::Dense(Dense::seeded(&mut self.rng, in_dim, out, init)));
+        self.layers.push(Layer::Dense(Dense::seeded(
+            &mut self.rng,
+            in_dim,
+            out,
+            init,
+        )));
         if activation != Activation::Identity {
             self.layers.push(Layer::Activation(activation));
         }
@@ -370,10 +442,26 @@ impl NetworkBuilder {
         activation: Activation,
     ) -> Result<Self, NnError> {
         let BuilderShape::Image { c, h, w } = self.shape else {
-            return Err(NnError::InvalidConfig("conv: running shape is flat, not an image".into()));
+            return Err(NnError::InvalidConfig(
+                "conv: running shape is flat, not an image".into(),
+            ));
         };
-        let conv = Conv2d::seeded(&mut self.rng, c, h, w, out_channels, kernel, stride, padding, Init::HeNormal)?;
-        self.shape = BuilderShape::Image { c: out_channels, h: conv.out_h(), w: conv.out_w() };
+        let conv = Conv2d::seeded(
+            &mut self.rng,
+            c,
+            h,
+            w,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            Init::HeNormal,
+        )?;
+        self.shape = BuilderShape::Image {
+            c: out_channels,
+            h: conv.out_h(),
+            w: conv.out_w(),
+        };
         self.layers.push(Layer::Conv2d(conv));
         if activation != Activation::Identity {
             self.layers.push(Layer::Activation(activation));
@@ -389,10 +477,16 @@ impl NetworkBuilder {
     /// the pooling geometry is invalid.
     pub fn maxpool(mut self, pool: usize, stride: usize) -> Result<Self, NnError> {
         let BuilderShape::Image { c, h, w } = self.shape else {
-            return Err(NnError::InvalidConfig("maxpool: running shape is flat, not an image".into()));
+            return Err(NnError::InvalidConfig(
+                "maxpool: running shape is flat, not an image".into(),
+            ));
         };
         let p = MaxPool2d::new(c, h, w, pool, stride)?;
-        self.shape = BuilderShape::Image { c, h: p.out_h(), w: p.out_w() };
+        self.shape = BuilderShape::Image {
+            c,
+            h: p.out_h(),
+            w: p.out_w(),
+        };
         self.layers.push(Layer::MaxPool2d(p));
         Ok(self)
     }
@@ -405,10 +499,16 @@ impl NetworkBuilder {
     /// the pooling geometry is invalid.
     pub fn avgpool(mut self, pool: usize, stride: usize) -> Result<Self, NnError> {
         let BuilderShape::Image { c, h, w } = self.shape else {
-            return Err(NnError::InvalidConfig("avgpool: running shape is flat, not an image".into()));
+            return Err(NnError::InvalidConfig(
+                "avgpool: running shape is flat, not an image".into(),
+            ));
         };
         let p = AvgPool2d::new(c, h, w, pool, stride)?;
-        self.shape = BuilderShape::Image { c, h: p.out_h(), w: p.out_w() };
+        self.shape = BuilderShape::Image {
+            c,
+            h: p.out_h(),
+            w: p.out_w(),
+        };
         self.layers.push(Layer::AvgPool2d(p));
         Ok(self)
     }
@@ -441,7 +541,11 @@ mod tests {
         let l2 = Dense::new(Matrix::from_rows(&[&[1.0, 1.0, 1.0]]), vec![0.25]).unwrap();
         Network::from_layers(
             2,
-            vec![Layer::Dense(l1), Layer::Activation(Activation::Relu), Layer::Dense(l2)],
+            vec![
+                Layer::Dense(l1),
+                Layer::Activation(Activation::Relu),
+                Layer::Dense(l2),
+            ],
         )
         .unwrap()
     }
@@ -512,8 +616,22 @@ mod tests {
 
     #[test]
     fn seeded_network_shapes_and_determinism() {
-        let a = Network::seeded(5, 4, &[LayerSpec::dense(8, Activation::Relu), LayerSpec::dense(3, Activation::Identity)]);
-        let b = Network::seeded(5, 4, &[LayerSpec::dense(8, Activation::Relu), LayerSpec::dense(3, Activation::Identity)]);
+        let a = Network::seeded(
+            5,
+            4,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(3, Activation::Identity),
+            ],
+        );
+        let b = Network::seeded(
+            5,
+            4,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(3, Activation::Identity),
+            ],
+        );
         assert_eq!(a, b);
         assert_eq!(a.dims(), vec![4, 8, 8, 3]);
         assert_eq!(a.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
@@ -578,7 +696,14 @@ impl std::fmt::Display for Network {
                 Layer::Activation(Activation::Sigmoid) => "sigmoid",
                 Layer::Activation(Activation::Tanh) => "tanh",
             };
-            writeln!(f, "  [{:>2}] {:<10} {:>5} -> {:<5}", i + 1, kind, dims[i], dims[i + 1])?;
+            writeln!(
+                f,
+                "  [{:>2}] {:<10} {:>5} -> {:<5}",
+                i + 1,
+                kind,
+                dims[i],
+                dims[i + 1]
+            )?;
         }
         Ok(())
     }
@@ -590,7 +715,14 @@ mod display_tests {
 
     #[test]
     fn display_lists_every_layer_and_param_count() {
-        let net = Network::seeded(1, 4, &[LayerSpec::dense(8, Activation::Relu), LayerSpec::dense(2, Activation::Identity)]);
+        let net = Network::seeded(
+            1,
+            4,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        );
         let s = net.to_string();
         assert!(s.contains("Network 4 -> 2"), "{s}");
         assert!(s.contains("dense"));

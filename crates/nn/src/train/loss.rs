@@ -25,14 +25,25 @@ impl Loss {
         match self {
             Loss::Mse => {
                 let d = prediction.len().max(1) as f64;
-                prediction.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / d
+                prediction
+                    .iter()
+                    .zip(target)
+                    .map(|(p, t)| (p - t) * (p - t))
+                    .sum::<f64>()
+                    / d
             }
             Loss::SoftmaxCrossEntropy => {
                 let probs = vector::softmax(prediction);
                 -target
                     .iter()
                     .zip(&probs)
-                    .map(|(t, p)| if *t == 0.0 { 0.0 } else { t * p.max(1e-300).ln() })
+                    .map(|(t, p)| {
+                        if *t == 0.0 {
+                            0.0
+                        } else {
+                            t * p.max(1e-300).ln()
+                        }
+                    })
                     .sum::<f64>()
             }
         }
@@ -49,7 +60,11 @@ impl Loss {
         match self {
             Loss::Mse => {
                 let d = prediction.len().max(1) as f64;
-                prediction.iter().zip(target).map(|(p, t)| 2.0 * (p - t) / d).collect()
+                prediction
+                    .iter()
+                    .zip(target)
+                    .map(|(p, t)| 2.0 * (p - t) / d)
+                    .collect()
             }
             Loss::SoftmaxCrossEntropy => {
                 let probs = vector::softmax(prediction);
@@ -96,7 +111,11 @@ mod tests {
                 let mut pm = p.to_vec();
                 pm[i] -= h;
                 let num = (loss.value(&pp, &t) - loss.value(&pm, &t)) / (2.0 * h);
-                assert!((num - g[i]).abs() < 1e-5, "{loss:?} grad[{i}]: {num} vs {}", g[i]);
+                assert!(
+                    (num - g[i]).abs() < 1e-5,
+                    "{loss:?} grad[{i}]: {num} vs {}",
+                    g[i]
+                );
             }
         }
     }

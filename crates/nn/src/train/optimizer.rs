@@ -35,7 +35,12 @@ impl Optimizer {
 
     /// Adam with default hyper-parameters and the given learning rate.
     pub fn adam(lr: f64) -> Self {
-        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -53,7 +58,12 @@ pub(crate) struct OptimizerState {
 
 impl OptimizerState {
     pub(crate) fn new(config: Optimizer, num_layers: usize) -> Self {
-        Self { config, t: 0, m: vec![None; num_layers], v: vec![None; num_layers] }
+        Self {
+            config,
+            t: 0,
+            m: vec![None; num_layers],
+            v: vec![None; num_layers],
+        }
     }
 
     /// Applies one optimizer step given the per-layer gradients (already
@@ -65,7 +75,11 @@ impl OptimizerState {
     /// Panics if `grads.len()` does not match the network's layer count or
     /// a gradient shape disagrees with its layer.
     pub(crate) fn step(&mut self, net: &mut Network, grads: &[Option<LayerGrad>]) {
-        assert_eq!(grads.len(), net.num_layers(), "optimizer step: gradient count");
+        assert_eq!(
+            grads.len(),
+            net.num_layers(),
+            "optimizer step: gradient count"
+        );
         self.t += 1;
         for (i, layer) in net.layers_mut().iter_mut().enumerate() {
             let Some(grad) = &grads[i] else { continue };
@@ -81,7 +95,10 @@ impl OptimizerState {
                         }
                     } else {
                         let (mw, mb) = self.m[i].get_or_insert_with(|| {
-                            (Matrix::zeros(grad.dw.rows(), grad.dw.cols()), vec![0.0; grad.db.len()])
+                            (
+                                Matrix::zeros(grad.dw.rows(), grad.dw.cols()),
+                                vec![0.0; grad.db.len()],
+                            )
                         });
                         mw.scale(momentum);
                         mw.axpy(1.0, &grad.dw);
@@ -94,12 +111,23 @@ impl OptimizerState {
                         }
                     }
                 }
-                Optimizer::Adam { lr, beta1, beta2, eps } => {
+                Optimizer::Adam {
+                    lr,
+                    beta1,
+                    beta2,
+                    eps,
+                } => {
                     let (mw, mb) = self.m[i].get_or_insert_with(|| {
-                        (Matrix::zeros(grad.dw.rows(), grad.dw.cols()), vec![0.0; grad.db.len()])
+                        (
+                            Matrix::zeros(grad.dw.rows(), grad.dw.cols()),
+                            vec![0.0; grad.db.len()],
+                        )
                     });
                     let (vw, vb) = self.v[i].get_or_insert_with(|| {
-                        (Matrix::zeros(grad.dw.rows(), grad.dw.cols()), vec![0.0; grad.db.len()])
+                        (
+                            Matrix::zeros(grad.dw.rows(), grad.dw.cols()),
+                            vec![0.0; grad.db.len()],
+                        )
                     });
                     let bc1 = 1.0 - beta1.powi(self.t as i32);
                     let bc2 = 1.0 - beta2.powi(self.t as i32);
@@ -138,7 +166,9 @@ mod tests {
     fn grad_of(net: &Network, idx: usize) -> Vec<Option<LayerGrad>> {
         // A unit gradient for one dense layer, zeros elsewhere.
         let mut grads: Vec<Option<LayerGrad>> = vec![None; net.num_layers()];
-        let Some(crate::layer::Layer::Dense(d)) = net.layers().get(idx) else { panic!() };
+        let Some(crate::layer::Layer::Dense(d)) = net.layers().get(idx) else {
+            panic!()
+        };
         grads[idx] = Some(LayerGrad {
             dw: Matrix::from_fn(d.out_dim(), d.in_dim(), |_, _| 1.0),
             db: vec![1.0; d.out_dim()],
@@ -153,8 +183,12 @@ mod tests {
         let mut st = OptimizerState::new(Optimizer::sgd(0.1), net.num_layers());
         let g = grad_of(&net, 0);
         st.step(&mut net, &g);
-        let crate::layer::Layer::Dense(b) = &before else { panic!() };
-        let crate::layer::Layer::Dense(a) = &net.layers()[0] else { panic!() };
+        let crate::layer::Layer::Dense(b) = &before else {
+            panic!()
+        };
+        let crate::layer::Layer::Dense(a) = &net.layers()[0] else {
+            panic!()
+        };
         for (pa, pb) in a.weights().as_slice().iter().zip(b.weights().as_slice()) {
             assert!((pa - (pb - 0.1)).abs() < 1e-12);
         }
@@ -165,16 +199,32 @@ mod tests {
     fn momentum_accelerates_repeated_steps() {
         let mut plain = Network::seeded(1, 2, &[LayerSpec::dense(2, Activation::Identity)]);
         let mut heavy = plain.clone();
-        let mut st_plain = OptimizerState::new(Optimizer::Sgd { lr: 0.1, momentum: 0.0 }, 1);
-        let mut st_heavy = OptimizerState::new(Optimizer::Sgd { lr: 0.1, momentum: 0.9 }, 1);
+        let mut st_plain = OptimizerState::new(
+            Optimizer::Sgd {
+                lr: 0.1,
+                momentum: 0.0,
+            },
+            1,
+        );
+        let mut st_heavy = OptimizerState::new(
+            Optimizer::Sgd {
+                lr: 0.1,
+                momentum: 0.9,
+            },
+            1,
+        );
         for _ in 0..5 {
             let g = grad_of(&plain, 0);
             st_plain.step(&mut plain, &g);
             let g = grad_of(&heavy, 0);
             st_heavy.step(&mut heavy, &g);
         }
-        let crate::layer::Layer::Dense(p) = &plain.layers()[0] else { panic!() };
-        let crate::layer::Layer::Dense(h) = &heavy.layers()[0] else { panic!() };
+        let crate::layer::Layer::Dense(p) = &plain.layers()[0] else {
+            panic!()
+        };
+        let crate::layer::Layer::Dense(h) = &heavy.layers()[0] else {
+            panic!()
+        };
         // Same gradient every step: momentum must have travelled further.
         assert!(h.weights()[(0, 0)] < p.weights()[(0, 0)]);
     }
@@ -186,8 +236,12 @@ mod tests {
         let mut st = OptimizerState::new(Optimizer::adam(0.01), 1);
         let g = grad_of(&net, 0);
         st.step(&mut net, &g);
-        let crate::layer::Layer::Dense(b) = &before else { panic!() };
-        let crate::layer::Layer::Dense(a) = &net.layers()[0] else { panic!() };
+        let crate::layer::Layer::Dense(b) = &before else {
+            panic!()
+        };
+        let crate::layer::Layer::Dense(a) = &net.layers()[0] else {
+            panic!()
+        };
         // With constant unit gradient, Adam's bias-corrected first step is
         // exactly lr (up to eps).
         let step = b.weights()[(0, 0)] - a.weights()[(0, 0)];
@@ -200,7 +254,10 @@ mod tests {
         let mut net = Network::seeded(1, 2, &[LayerSpec::dense(2, Activation::Relu)]);
         // Layer 1 is the ReLU activation.
         let mut grads: Vec<Option<LayerGrad>> = vec![None; net.num_layers()];
-        grads[1] = Some(LayerGrad { dw: Matrix::zeros(1, 1), db: vec![0.0] });
+        grads[1] = Some(LayerGrad {
+            dw: Matrix::zeros(1, 1),
+            db: vec![0.0],
+        });
         let mut st = OptimizerState::new(Optimizer::sgd(0.1), net.num_layers());
         st.step(&mut net, &grads);
     }

@@ -50,7 +50,12 @@ pub struct Trainer {
 impl Trainer {
     /// Creates a trainer with batch size 32 and 10 epochs.
     pub fn new(loss: Loss, optimizer: Optimizer) -> Self {
-        Self { loss, optimizer, batch_size: 32, epochs: 10 }
+        Self {
+            loss,
+            optimizer,
+            batch_size: 32,
+            epochs: 10,
+        }
     }
 
     /// Sets the mini-batch size.
@@ -82,8 +87,18 @@ impl Trainer {
     ///
     /// Panics if `inputs` and `targets` differ in length, are empty, or any
     /// sample has the wrong dimension.
-    pub fn run(&self, net: &mut Network, inputs: &[Vec<f64>], targets: &[Vec<f64>], seed: u64) -> TrainReport {
-        assert_eq!(inputs.len(), targets.len(), "trainer: inputs vs targets length");
+    pub fn run(
+        &self,
+        net: &mut Network,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        seed: u64,
+    ) -> TrainReport {
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "trainer: inputs vs targets length"
+        );
         assert!(!inputs.is_empty(), "trainer: empty training set");
         let mut rng = Prng::seed(seed);
         let mut state = OptimizerState::new(self.optimizer, net.num_layers());
@@ -140,7 +155,11 @@ impl Trainer {
     ///
     /// Panics if `inputs` and `targets` differ in length or are empty.
     pub fn evaluate(&self, net: &Network, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
-        assert_eq!(inputs.len(), targets.len(), "evaluate: inputs vs targets length");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "evaluate: inputs vs targets length"
+        );
         assert!(!inputs.is_empty(), "evaluate: empty set");
         inputs
             .iter()
@@ -157,7 +176,11 @@ impl Trainer {
 ///
 /// Panics if `inputs` and `targets` differ in length or are empty.
 pub fn accuracy(net: &Network, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
-    assert_eq!(inputs.len(), targets.len(), "accuracy: inputs vs targets length");
+    assert_eq!(
+        inputs.len(),
+        targets.len(),
+        "accuracy: inputs vs targets length"
+    );
     assert!(!inputs.is_empty(), "accuracy: empty set");
     let correct = inputs
         .iter()
@@ -179,7 +202,10 @@ mod tests {
         let mut net = Network::seeded(11, 1, &[LayerSpec::dense(1, Activation::Identity)]);
         let xs: Vec<Vec<f64>> = (0..32).map(|i| vec![(i as f64 - 16.0) / 16.0]).collect();
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![3.0 * x[0] - 1.0]).collect();
-        let report = Trainer::new(Loss::Mse, Optimizer::sgd(0.3)).batch_size(8).epochs(300).run(&mut net, &xs, &ys, 5);
+        let report = Trainer::new(Loss::Mse, Optimizer::sgd(0.3))
+            .batch_size(8)
+            .epochs(300)
+            .run(&mut net, &xs, &ys, 5);
         assert!(report.final_loss() < 1e-4, "loss {}", report.final_loss());
         let out = net.forward(&[0.5]);
         assert!((out[0] - 0.5).abs() < 0.05, "f(0.5) = {}", out[0]);
@@ -188,13 +214,20 @@ mod tests {
     #[test]
     fn nonlinear_regression_with_relu_converges() {
         // y = |x| is exactly representable with two ReLU units.
-        let mut net = Network::seeded(2, 1, &[
-            LayerSpec::dense(8, Activation::Relu),
-            LayerSpec::dense(1, Activation::Identity),
-        ]);
+        let mut net = Network::seeded(
+            2,
+            1,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(1, Activation::Identity),
+            ],
+        );
         let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![(i as f64 - 32.0) / 32.0]).collect();
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0].abs()]).collect();
-        let report = Trainer::new(Loss::Mse, Optimizer::adam(0.01)).batch_size(16).epochs(400).run(&mut net, &xs, &ys, 9);
+        let report = Trainer::new(Loss::Mse, Optimizer::adam(0.01))
+            .batch_size(16)
+            .epochs(400)
+            .run(&mut net, &xs, &ys, 9);
         assert!(report.final_loss() < 5e-4, "loss {}", report.final_loss());
     }
 
@@ -210,10 +243,14 @@ mod tests {
             xs.push(vec![rng.normal(1.0, 0.3)]);
             ys.push(vec![0.0, 1.0]);
         }
-        let mut net = Network::seeded(4, 1, &[
-            LayerSpec::dense(8, Activation::Relu),
-            LayerSpec::dense(2, Activation::Identity),
-        ]);
+        let mut net = Network::seeded(
+            4,
+            1,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        );
         Trainer::new(Loss::SoftmaxCrossEntropy, Optimizer::adam(0.02))
             .batch_size(16)
             .epochs(60)
@@ -223,12 +260,25 @@ mod tests {
 
     #[test]
     fn training_is_deterministic_under_seeds() {
-        let build = || Network::seeded(8, 2, &[LayerSpec::dense(4, Activation::Relu), LayerSpec::dense(1, Activation::Identity)]);
-        let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![(i % 4) as f64, (i / 4) as f64]).collect();
+        let build = || {
+            Network::seeded(
+                8,
+                2,
+                &[
+                    LayerSpec::dense(4, Activation::Relu),
+                    LayerSpec::dense(1, Activation::Identity),
+                ],
+            )
+        };
+        let xs: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i % 4) as f64, (i / 4) as f64])
+            .collect();
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] - x[1]]).collect();
         let mut a = build();
         let mut b = build();
-        let t = Trainer::new(Loss::Mse, Optimizer::adam(0.01)).batch_size(4).epochs(5);
+        let t = Trainer::new(Loss::Mse, Optimizer::adam(0.01))
+            .batch_size(4)
+            .epochs(5);
         let ra = t.run(&mut a, &xs, &ys, 3);
         let rb = t.run(&mut b, &xs, &ys, 3);
         assert_eq!(ra, rb);
@@ -259,8 +309,14 @@ mod tests {
             .unwrap();
         let mut rng = Prng::seed(2);
         let xs: Vec<Vec<f64>> = (0..8).map(|_| rng.uniform_vec(36, 0.0, 1.0)).collect();
-        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x.iter().sum::<f64>() / 36.0]).collect();
-        let report = Trainer::new(Loss::Mse, Optimizer::adam(0.01)).batch_size(4).epochs(20).run(&mut net, &xs, &ys, 1);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![x.iter().sum::<f64>() / 36.0])
+            .collect();
+        let report = Trainer::new(Loss::Mse, Optimizer::adam(0.01))
+            .batch_size(4)
+            .epochs(20)
+            .run(&mut net, &xs, &ys, 1);
         assert!(report.final_loss().is_finite());
         assert!(report.final_loss() < report.epoch_losses[0]);
     }

@@ -71,7 +71,10 @@ mod tests {
         let mut rng = Prng::seed(1);
         let small = Init::XavierUniform.matrix(&mut rng, 4, 4);
         let big = Init::XavierUniform.matrix(&mut rng, 512, 512);
-        let max_small = small.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let max_small = small
+            .as_slice()
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
         let max_big = big.as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
         assert!(max_small <= (6.0 / 8.0_f64).sqrt());
         assert!(max_big <= (6.0 / 1024.0_f64).sqrt());

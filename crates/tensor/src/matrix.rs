@@ -32,7 +32,11 @@ impl Matrix {
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows.checked_mul(cols).expect("matrix size overflow");
-        Self { rows, cols, data: vec![0.0; len] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)` for every entry.
@@ -56,10 +60,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), cols, "from_rows: row {i} has length {} != {cols}", row.len());
+            assert_eq!(
+                row.len(),
+                cols,
+                "from_rows: row {i} has length {} != {cols}",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix that owns `data`, interpreted row-major.
@@ -68,7 +81,12 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "from_vec: {} elements for {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: {} elements for {rows}x{cols}",
+            data.len()
+        );
         Self { rows, cols, data }
     }
 
@@ -78,21 +96,25 @@ impl Matrix {
     }
 
     /// Number of rows.
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Borrows the underlying row-major storage.
+    #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
 
     /// Mutably borrows the underlying row-major storage.
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
@@ -102,8 +124,13 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r >= self.rows()`.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -112,8 +139,13 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r >= self.rows()`.
+    #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -123,8 +155,14 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "col {c} out of bounds for {} cols", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "col {c} out of bounds for {} cols",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Matrix-vector product `A * x`.
@@ -133,17 +171,39 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: vector length {} != cols {}", x.len(), self.cols);
-        let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        let mut y = Vec::new();
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product `A * x` written into `y` (resized to
+    /// `self.rows()`); the allocation-free primitive behind the monitors'
+    /// batched query path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut Vec<f64>) {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec: vector length {} != cols {}",
+            x.len(),
+            self.cols
+        );
+        y.clear();
+        y.reserve(self.rows);
+        // Row slices are hoisted via chunks_exact so the inner dot product
+        // compiles without per-element bounds checks.
+        for row in self.data.chunks_exact(self.cols.max(1)) {
             let mut acc = 0.0;
             for (w, xv) in row.iter().zip(x) {
                 acc += w * xv;
             }
-            y[r] = acc;
+            y.push(acc);
         }
-        y
+        // chunks_exact yields nothing for 0-column matrices; pad explicitly.
+        y.resize(self.rows, 0.0);
     }
 
     /// Transposed matrix-vector product `A^T * x`.
@@ -152,11 +212,18 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_transposed: length {} != rows {}", x.len(), self.rows);
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "matvec_transposed: length {} != rows {}",
+            x.len(),
+            self.rows
+        );
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let xr = x[r];
+        if self.cols == 0 {
+            return y;
+        }
+        for (row, &xr) in self.data.chunks_exact(self.cols).zip(x) {
             for (yc, w) in y.iter_mut().zip(row) {
                 *yc += w * xr;
             }
@@ -166,20 +233,32 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Iterates i-k-j (row of `self`, then contraction index, then column
+    /// of `rhs`) with both inner slices hoisted, so the innermost loop is a
+    /// bounds-check-free axpy over contiguous memory.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul: {}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[r * self.cols + k];
+        if self.cols == 0 || rhs.cols == 0 {
+            return out; // degenerate shapes: chunks_exact needs width > 0
+        }
+        for (lhs_row, out_row) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(out.data.chunks_exact_mut(rhs.cols))
+        {
+            for (&a, rhs_row) in lhs_row.iter().zip(rhs.data.chunks_exact(rhs.cols)) {
                 if a == 0.0 {
                     continue;
                 }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
                 for (o, b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
                 }
@@ -195,7 +274,11 @@ impl Matrix {
 
     /// Applies `f` to every entry, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Adds `rhs` scaled by `alpha` in place (`self += alpha * rhs`).
@@ -204,7 +287,11 @@ impl Matrix {
     ///
     /// Panics if shapes differ.
     pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "axpy: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "axpy: shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += alpha * b;
         }
@@ -230,22 +317,37 @@ impl Matrix {
     /// Iterates over `(row, col, value)` triples in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         let cols = self.cols;
-        self.data.iter().enumerate().map(move |(i, &v)| (i / cols, i % cols, v))
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
     }
 }
 
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
+    #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -346,7 +448,10 @@ mod tests {
     fn iter_yields_row_major_triples() {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let triples: Vec<_> = m.iter().collect();
-        assert_eq!(triples, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]);
+        assert_eq!(
+            triples,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]
+        );
     }
 
     proptest! {

@@ -46,8 +46,16 @@ impl Prng {
     /// Creates a generator from a seed. Equal seeds yield equal streams.
     pub fn seed(seed: u64) -> Self {
         let mut sm = seed;
-        let state = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
-        Self { state, spare_normal: None }
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self {
+            state,
+            spare_normal: None,
+        }
     }
 
     /// Next raw 64-bit output (xoshiro256\*\*).
@@ -83,7 +91,10 @@ impl Prng {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "uniform: bad range [{lo}, {hi})");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "uniform: bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.unit()
     }
 
@@ -280,7 +291,11 @@ mod tests {
     fn chance_frequency_tracks_p() {
         let mut rng = Prng::seed(77);
         let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
-        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02, "rate {}", hits as f64 / 10_000.0);
+        assert!(
+            (hits as f64 / 10_000.0 - 0.25).abs() < 0.02,
+            "rate {}",
+            hits as f64 / 10_000.0
+        );
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 ///
 /// Panics if `xs` is empty.
 pub fn interior_quantiles(xs: &[f64], k: usize) -> Vec<f64> {
-    (1..=k).map(|i| quantile(xs, i as f64 / (k + 1) as f64)).collect()
+    (1..=k)
+        .map(|i| quantile(xs, i as f64 / (k + 1) as f64))
+        .collect()
 }
 
 /// Histogram of `xs` over `bins` equal-width buckets spanning `[lo, hi]`.

@@ -15,7 +15,13 @@
 /// assert_eq!(napmon_tensor::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
@@ -25,7 +31,13 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the lengths differ.
 pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "add: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "add: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x + y).collect()
 }
 
@@ -35,7 +47,13 @@ pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the lengths differ.
 pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "sub: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "sub: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x - y).collect()
 }
 
@@ -45,7 +63,13 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the lengths differ.
 pub fn axpy(a: &mut [f64], alpha: f64, b: &[f64]) {
-    assert_eq!(a.len(), b.len(), "axpy: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "axpy: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (x, y) in a.iter_mut().zip(b) {
         *x += alpha * y;
     }
@@ -77,7 +101,13 @@ pub fn norm_inf(a: &[f64]) -> f64 {
 ///
 /// Panics if the lengths differ.
 pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "linf_distance: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "linf_distance: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).fold(0.0, |m, (x, y)| m.max((x - y).abs()))
 }
 

@@ -13,16 +13,19 @@ use napmon::tensor::Prng;
 use std::time::Instant;
 
 fn main() {
-    let net = Network::seeded(3, 8, &[
-        LayerSpec::dense(24, Activation::Relu),
-        LayerSpec::dense(16, Activation::Relu),
-        LayerSpec::dense(2, Activation::Identity),
-    ]);
+    let net = Network::seeded(
+        3,
+        8,
+        &[
+            LayerSpec::dense(24, Activation::Relu),
+            LayerSpec::dense(16, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ],
+    );
     let mut rng = Prng::seed(1);
     let center = rng.uniform_vec(8, -0.5, 0.5);
     println!(
-        "perturbation estimate at the output of a {} network, Δ sweep at the input\n",
-        "8 -> 24 -> 16 -> 2"
+        "perturbation estimate at the output of a 8 -> 24 -> 16 -> 2 network, Δ sweep at the input\n"
     );
 
     let mut t = Table::new(vec![
@@ -60,5 +63,7 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("tighter bounds -> fewer don't-cares in robust monitors -> better detection at equal Δ.");
+    println!(
+        "tighter bounds -> fewer don't-cares in robust monitors -> better detection at equal Δ."
+    );
 }

@@ -35,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (0.5, 2.5),
         (-0.5, 2.5),
     ] {
-        let symbols: Vec<String> = monitor.symbol_range(0, l, u).map(|s| format!("{s:02b}")).collect();
-        t.row(vec![format!("[{l:+.1}, {u:+.1}]"), format!("{{{}}}", symbols.join(", "))]);
+        let symbols: Vec<String> = monitor
+            .symbol_range(0, l, u)
+            .map(|s| format!("{s:02b}"))
+            .collect();
+        t.row(vec![
+            format!("[{l:+.1}, {u:+.1}]"),
+            format!("{{{}}}", symbols.join(", ")),
+        ]);
     }
     println!("{t}");
 
@@ -50,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Footnote 3: multi-bit monitors generalize min-max and on-off.
-    println!("\ncoverage: {:.3e} of the 2-bit pattern space", monitor.coverage());
+    println!(
+        "\ncoverage: {:.3e} of the 2-bit pattern space",
+        monitor.coverage()
+    );
     Ok(())
 }

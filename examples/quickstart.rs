@@ -13,14 +13,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A regression task: y = sin(3x0) + x1, sampled on a small domain.
     let mut rng = Prng::seed(7);
     let inputs: Vec<Vec<f64>> = (0..512).map(|_| rng.uniform_vec(2, -1.0, 1.0)).collect();
-    let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![(3.0 * x[0]).sin() + x[1]]).collect();
+    let targets: Vec<Vec<f64>> = inputs
+        .iter()
+        .map(|x| vec![(3.0 * x[0]).sin() + x[1]])
+        .collect();
 
     // 2. Train a small feed-forward network on it.
-    let mut net = Network::seeded(42, 2, &[
-        LayerSpec::dense(24, Activation::Relu),
-        LayerSpec::dense(12, Activation::Relu),
-        LayerSpec::dense(1, Activation::Identity),
-    ]);
+    let mut net = Network::seeded(
+        42,
+        2,
+        &[
+            LayerSpec::dense(24, Activation::Relu),
+            LayerSpec::dense(12, Activation::Relu),
+            LayerSpec::dense(1, Activation::Identity),
+        ],
+    );
     let report = Trainer::new(Loss::Mse, Optimizer::adam(0.01))
         .batch_size(32)
         .epochs(120)
@@ -40,11 +47,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let near: Vec<f64> = vec![inputs[0][0] + 0.015, inputs[0][1] - 0.015];
     let far = vec![9.0, -9.0];
     println!("standard monitor:");
-    println!("  near training point -> warning: {}", standard.warns(&net, &near)?);
-    println!("  far from training   -> warning: {}", standard.warns(&net, &far)?);
+    println!(
+        "  near training point -> warning: {}",
+        standard.warns(&net, &near)?
+    );
+    println!(
+        "  far from training   -> warning: {}",
+        standard.warns(&net, &far)?
+    );
     println!("robust monitor (provably silent within Δ of the training set):");
-    println!("  near training point -> warning: {}", robust.warns(&net, &near)?);
-    println!("  far from training   -> warning: {}", robust.warns(&net, &far)?);
+    println!(
+        "  near training point -> warning: {}",
+        robust.warns(&net, &near)?
+    );
+    println!(
+        "  far from training   -> warning: {}",
+        robust.warns(&net, &far)?
+    );
 
     assert!(!robust.warns(&net, &near)?, "Lemma 1 guarantees this");
     Ok(())

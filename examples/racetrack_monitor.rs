@@ -10,8 +10,8 @@
 //! ```
 
 use napmon::absint::Domain;
-use napmon::core::{PatternBackend, RobustConfig, ThresholdPolicy};
 use napmon::core::MonitorKind;
+use napmon::core::{PatternBackend, RobustConfig, ThresholdPolicy};
 use napmon::data::ood::OodScenario;
 use napmon::data::racetrack::{TrackConfig, TrackSampler};
 use napmon::eval::experiment::{Experiment, RacetrackConfig};
@@ -21,9 +21,16 @@ fn main() {
     // Show the scenarios first (the synthetic Figure 2).
     let mut sampler = TrackSampler::new(TrackConfig::default(), 2021);
     let (nominal, waypoint, _) = sampler.sample();
-    println!("nominal in-ODD frame (waypoint x = {:+.2}):\n{}", waypoint[0], nominal.to_ascii());
+    println!(
+        "nominal in-ODD frame (waypoint x = {:+.2}):\n{}",
+        waypoint[0],
+        nominal.to_ascii()
+    );
     for scenario in OodScenario::PAPER {
-        println!("{scenario}:\n{}", scenario.apply(&nominal, sampler.rng_mut()).to_ascii());
+        println!(
+            "{scenario}:\n{}",
+            scenario.apply(&nominal, sampler.rng_mut()).to_ascii()
+        );
     }
 
     // Train the perception network and evaluate monitors (reduced scale so
@@ -37,14 +44,22 @@ fn main() {
         epochs: 10,
         ..RacetrackConfig::default()
     });
-    println!("train MSE {:.5}, test MSE {:.5}\n", exp.train_loss(), exp.test_loss());
+    println!(
+        "train MSE {:.5}, test MSE {:.5}\n",
+        exp.train_loss(),
+        exp.test_loss()
+    );
 
     let kind = MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::Bdd, 0);
     let standard = exp.run_monitor("standard", kind.clone(), None);
     let robust = exp.run_monitor(
         "robust Δ=0.001",
         kind,
-        Some(RobustConfig { delta: 0.001, kp: 0, domain: Domain::Box }),
+        Some(RobustConfig {
+            delta: 0.001,
+            kp: 0,
+            domain: Domain::Box,
+        }),
     );
 
     let mut t = Table::new(vec![
@@ -66,6 +81,10 @@ fn main() {
     println!("{t}");
     println!(
         "robust construction cut false positives by {:.0}% (the paper reports 80%).",
-        if standard.fp_rate > 0.0 { 100.0 * (1.0 - robust.fp_rate / standard.fp_rate) } else { 0.0 }
+        if standard.fp_rate > 0.0 {
+            100.0 * (1.0 - robust.fp_rate / standard.fp_rate)
+        } else {
+            0.0
+        }
     );
 }

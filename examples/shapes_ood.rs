@@ -20,23 +20,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ood = cfg.ood_inputs(400, &mut rng);
 
     // Train a 4-class glyph classifier.
-    let mut net = Network::seeded(5, cfg.input_dim(), &[
-        LayerSpec::dense(48, Activation::Relu),
-        LayerSpec::dense(24, Activation::Relu),
-        LayerSpec::dense(4, Activation::Identity),
-    ]);
+    let mut net = Network::seeded(
+        5,
+        cfg.input_dim(),
+        &[
+            LayerSpec::dense(48, Activation::Relu),
+            LayerSpec::dense(24, Activation::Relu),
+            LayerSpec::dense(4, Activation::Identity),
+        ],
+    );
     Trainer::new(Loss::SoftmaxCrossEntropy, Optimizer::adam(0.005))
         .batch_size(32)
         .epochs(25)
         .run(&mut net, &train.inputs, &train.targets, 17);
-    println!("test accuracy: {:.1}%", 100.0 * accuracy(&net, &test.inputs, &test.targets));
+    println!(
+        "test accuracy: {:.1}%",
+        100.0 * accuracy(&net, &test.inputs, &test.targets)
+    );
 
     // One pattern set per class, as in the DATE 2019 monitor; robust
     // construction with a small input Δ.
     let labels = train.labels.as_ref().expect("classification dataset");
     let layer = net.penultimate_boundary();
     let kind = MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::Bdd, 0);
-    let standard = MonitorBuilder::new(&net, layer).build_per_class(kind.clone(), &train.inputs, labels, 4)?;
+    let standard =
+        MonitorBuilder::new(&net, layer).build_per_class(kind.clone(), &train.inputs, labels, 4)?;
     let robust = MonitorBuilder::new(&net, layer)
         .robust(0.002, 0, Domain::Box)
         .build_per_class(kind, &train.inputs, labels, 4)?;
@@ -50,8 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "FP (in-dist test)".into(),
         "detection (star + inverted glyphs)".into(),
     ]);
-    t.row(vec!["standard".into(), percent(rate(&standard, &test.inputs)), percent(rate(&standard, &ood))]);
-    t.row(vec!["robust Δ=0.002".into(), percent(rate(&robust, &test.inputs)), percent(rate(&robust, &ood))]);
+    t.row(vec![
+        "standard".into(),
+        percent(rate(&standard, &test.inputs)),
+        percent(rate(&standard, &ood)),
+    ]);
+    t.row(vec![
+        "robust Δ=0.002".into(),
+        percent(rate(&robust, &test.inputs)),
+        percent(rate(&robust, &ood)),
+    ]);
     println!("{t}");
     Ok(())
 }

@@ -18,7 +18,11 @@ fn small_config() -> RacetrackConfig {
         ood_size: 40,
         hidden: vec![16, 8],
         epochs: 4,
-        track: TrackConfig { height: 8, width: 8, ..TrackConfig::default() },
+        track: TrackConfig {
+            height: 8,
+            width: 8,
+            ..TrackConfig::default()
+        },
         ..RacetrackConfig::default()
     }
 }
@@ -30,7 +34,11 @@ fn racetrack_pipeline_standard_vs_robust() {
     assert_eq!(rows.len(), 6);
     // The robust construction can only widen the abstraction: FP never up.
     for pair in rows.chunks(2) {
-        assert!(pair[1].fp_rate <= pair[0].fp_rate + 1e-12, "{}", pair[1].name);
+        assert!(
+            pair[1].fp_rate <= pair[0].fp_rate + 1e-12,
+            "{}",
+            pair[1].name
+        );
     }
     // Rates are well-formed probabilities.
     for row in &rows {
@@ -48,11 +56,17 @@ fn lemma_1_holds_on_the_racetrack_pipeline() {
     let delta = 0.004;
     let monitor = MonitorBuilder::new(net, exp.monitored_boundary())
         .robust(delta, 0, Domain::Box)
-        .build(MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::Bdd, 0), &exp.train_data().inputs)
+        .build(
+            MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::Bdd, 0),
+            &exp.train_data().inputs,
+        )
         .expect("build robust monitor");
     let mut rng = Prng::seed(404);
     for base in exp.train_data().inputs.iter().take(30) {
-        let perturbed: Vec<f64> = base.iter().map(|&v| v + rng.uniform(-delta, delta)).collect();
+        let perturbed: Vec<f64> = base
+            .iter()
+            .map(|&v| v + rng.uniform(-delta, delta))
+            .collect();
         assert!(
             !monitor.warns(net, &perturbed).unwrap(),
             "robust monitor warned within its Δ guarantee"
@@ -64,15 +78,25 @@ fn lemma_1_holds_on_the_racetrack_pipeline() {
 fn ood_scenarios_shift_activations_measurably() {
     // Substrate sanity behind E1: the corruptions must move feature vectors
     // (otherwise detection rates would be vacuous).
-    let cfg = TrackConfig { height: 8, width: 8, ..TrackConfig::default() };
+    let cfg = TrackConfig {
+        height: 8,
+        width: 8,
+        ..TrackConfig::default()
+    };
     let mut sampler = TrackSampler::new(cfg, 7);
     let train = sampler.dataset(100);
 
-    let mut net = Network::seeded(3, cfg.input_dim(), &[
-        LayerSpec::dense(16, Activation::Relu),
-        LayerSpec::dense(2, Activation::Identity),
-    ]);
-    Trainer::new(Loss::Mse, Optimizer::adam(0.005)).epochs(4).run(&mut net, &train.inputs, &train.targets, 9);
+    let mut net = Network::seeded(
+        3,
+        cfg.input_dim(),
+        &[
+            LayerSpec::dense(16, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ],
+    );
+    Trainer::new(Loss::Mse, Optimizer::adam(0.005))
+        .epochs(4)
+        .run(&mut net, &train.inputs, &train.targets, 9);
 
     let boundary = net.penultimate_boundary();
     let feature_mean = |inputs: &[Vec<f64>]| -> Vec<f64> {
@@ -100,7 +124,10 @@ fn ood_scenarios_shift_activations_measurably() {
             .map(|(a, b)| (a - b).abs())
             .sum::<f64>()
             / nominal_mean.len() as f64;
-        assert!(shift > 1e-3, "{scenario} produced no feature shift ({shift})");
+        assert!(
+            shift > 1e-3,
+            "{scenario} produced no feature shift ({shift})"
+        );
     }
 }
 
@@ -110,7 +137,14 @@ fn monitors_survive_model_save_load() {
     // identically — parameters round-trip bit-exactly through JSON.
     let mut rng = Prng::seed(21);
     let inputs: Vec<Vec<f64>> = (0..64).map(|_| rng.uniform_vec(4, -1.0, 1.0)).collect();
-    let net = Network::seeded(33, 4, &[LayerSpec::dense(12, Activation::Relu), LayerSpec::dense(2, Activation::Identity)]);
+    let net = Network::seeded(
+        33,
+        4,
+        &[
+            LayerSpec::dense(12, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ],
+    );
 
     let dir = std::env::temp_dir().join("napmon_root_integration");
     let path = dir.join("model.json");
@@ -118,11 +152,18 @@ fn monitors_survive_model_save_load() {
     let reloaded = napmon::nn::io::load(&path).unwrap();
     std::fs::remove_dir_all(&dir).ok();
 
-    let m1 = MonitorBuilder::new(&net, 2).build(MonitorKind::interval(2), &inputs).unwrap();
-    let m2 = MonitorBuilder::new(&reloaded, 2).build(MonitorKind::interval(2), &inputs).unwrap();
+    let m1 = MonitorBuilder::new(&net, 2)
+        .build(MonitorKind::interval(2), &inputs)
+        .unwrap();
+    let m2 = MonitorBuilder::new(&reloaded, 2)
+        .build(MonitorKind::interval(2), &inputs)
+        .unwrap();
     for _ in 0..200 {
         let probe = rng.uniform_vec(4, -2.0, 2.0);
-        assert_eq!(m1.warns(&net, &probe).unwrap(), m2.warns(&reloaded, &probe).unwrap());
+        assert_eq!(
+            m1.warns(&net, &probe).unwrap(),
+            m2.warns(&reloaded, &probe).unwrap()
+        );
     }
 }
 
@@ -137,6 +178,10 @@ fn warn_rate_composes_with_any_family() {
         let fp = warn_rate(&monitor, net, &exp.test_data().inputs);
         assert!((0.0..=1.0).contains(&fp), "{name}: fp {fp}");
         // A monitor never warns on its own training data.
-        assert_eq!(warn_rate(&monitor, net, &exp.train_data().inputs), 0.0, "{name}");
+        assert_eq!(
+            warn_rate(&monitor, net, &exp.train_data().inputs),
+            0.0,
+            "{name}"
+        );
     }
 }

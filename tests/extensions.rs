@@ -2,19 +2,22 @@
 //! quantitative scores with ROC analysis, and multi-layer voting monitors.
 
 use napmon::absint::Domain;
-use napmon::core::{
-    Monitor, MonitorBuilder, MonitorKind, MultiLayerMonitor, ScoredMonitor, Vote,
-};
+use napmon::core::{Monitor, MonitorBuilder, MonitorKind, MultiLayerMonitor, ScoredMonitor, Vote};
 use napmon::eval::{auc, roc, scores};
 use napmon::nn::{Activation, LayerSpec, Network};
 use napmon::tensor::Prng;
 
+#[allow(clippy::type_complexity)]
 fn setup() -> (Network, Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
-    let net = Network::seeded(91, 3, &[
-        LayerSpec::dense(12, Activation::Relu),
-        LayerSpec::dense(6, Activation::Relu),
-        LayerSpec::dense(2, Activation::Identity),
-    ]);
+    let net = Network::seeded(
+        91,
+        3,
+        &[
+            LayerSpec::dense(12, Activation::Relu),
+            LayerSpec::dense(6, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ],
+    );
     let mut rng = Prng::seed(92);
     let train: Vec<Vec<f64>> = (0..128).map(|_| rng.uniform_vec(3, -0.5, 0.5)).collect();
     let test: Vec<Vec<f64>> = (0..64).map(|_| rng.uniform_vec(3, -0.5, 0.5)).collect();
@@ -25,7 +28,11 @@ fn setup() -> (Network, Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
 #[test]
 fn monitors_round_trip_through_json() {
     let (net, train, test, _) = setup();
-    for kind in [MonitorKind::min_max(), MonitorKind::pattern(), MonitorKind::interval(2)] {
+    for kind in [
+        MonitorKind::min_max(),
+        MonitorKind::pattern(),
+        MonitorKind::interval(2),
+    ] {
         let monitor = MonitorBuilder::new(&net, 4)
             .robust(0.02, 0, Domain::Box)
             .build(kind, &train)
@@ -33,7 +40,10 @@ fn monitors_round_trip_through_json() {
         let json = serde_json::to_string(&monitor).unwrap();
         let back: napmon::core::AnyMonitor = serde_json::from_str(&json).unwrap();
         for x in train.iter().chain(&test) {
-            assert_eq!(monitor.warns(&net, x).unwrap(), back.warns(&net, x).unwrap());
+            assert_eq!(
+                monitor.warns(&net, x).unwrap(),
+                back.warns(&net, x).unwrap()
+            );
         }
     }
 }
@@ -43,7 +53,9 @@ fn deserialized_pattern_monitor_keeps_absorbing() {
     // The rebuilt BDD unique table must stay consistent: inserting after a
     // round trip behaves like inserting into the original.
     let (net, train, _, _) = setup();
-    let monitor = MonitorBuilder::new(&net, 4).build(MonitorKind::pattern(), &train[..64].to_vec()).unwrap();
+    let monitor = MonitorBuilder::new(&net, 4)
+        .build(MonitorKind::pattern(), &train[..64])
+        .unwrap();
     let json = serde_json::to_string(&monitor).unwrap();
     let back: napmon::core::AnyMonitor = serde_json::from_str(&json).unwrap();
     let (mut orig, mut copy) = (
@@ -71,7 +83,9 @@ fn quantitative_scores_yield_high_auc_on_far_ood() {
         (pattern, 0.55),
         (MonitorKind::interval(2), 0.55),
     ] {
-        let monitor = MonitorBuilder::new(&net, 4).build(kind.clone(), &train).unwrap();
+        let monitor = MonitorBuilder::new(&net, 4)
+            .build(kind.clone(), &train)
+            .unwrap();
         let neg = scores(&monitor, &net, &test);
         let pos = scores(&monitor, &net, &ood);
         let curve = roc(&neg, &pos);
@@ -83,20 +97,29 @@ fn quantitative_scores_yield_high_auc_on_far_ood() {
 #[test]
 fn scores_refine_the_binary_verdict() {
     let (net, train, _, _) = setup();
-    let monitor = MonitorBuilder::new(&net, 4).build(MonitorKind::min_max(), &train).unwrap();
+    let monitor = MonitorBuilder::new(&net, 4)
+        .build(MonitorKind::min_max(), &train)
+        .unwrap();
     let mut rng = Prng::seed(93);
     for _ in 0..200 {
         let probe = rng.uniform_vec(3, -2.0, 2.0);
         let features = monitor.extractor().features(&net, &probe).unwrap();
-        assert_eq!(monitor.warns_features(&features), monitor.score_features(&features) > 0.0);
+        assert_eq!(
+            monitor.warns_features(&features),
+            monitor.score_features(&features) > 0.0
+        );
     }
 }
 
 #[test]
 fn multi_layer_vote_reduces_false_positives() {
     let (net, train, test, ood) = setup();
-    let m2 = MonitorBuilder::new(&net, 2).build(MonitorKind::pattern(), &train).unwrap();
-    let m4 = MonitorBuilder::new(&net, 4).build(MonitorKind::pattern(), &train).unwrap();
+    let m2 = MonitorBuilder::new(&net, 2)
+        .build(MonitorKind::pattern(), &train)
+        .unwrap();
+    let m4 = MonitorBuilder::new(&net, 4)
+        .build(MonitorKind::pattern(), &train)
+        .unwrap();
     let any = MultiLayerMonitor::new(vec![m2.clone(), m4.clone()], Vote::Any);
     let all = MultiLayerMonitor::new(vec![m2, m4], Vote::All);
 
@@ -113,8 +136,12 @@ fn multi_layer_vote_reduces_false_positives() {
 #[test]
 fn multi_layer_serde_round_trip() {
     let (net, train, test, _) = setup();
-    let m2 = MonitorBuilder::new(&net, 2).build(MonitorKind::min_max(), &train).unwrap();
-    let m4 = MonitorBuilder::new(&net, 4).build(MonitorKind::interval(2), &train).unwrap();
+    let m2 = MonitorBuilder::new(&net, 2)
+        .build(MonitorKind::min_max(), &train)
+        .unwrap();
+    let m4 = MonitorBuilder::new(&net, 4)
+        .build(MonitorKind::interval(2), &train)
+        .unwrap();
     let mm = MultiLayerMonitor::new(vec![m2, m4], Vote::AtLeast(1));
     let json = serde_json::to_string(&mm).unwrap();
     let back: MultiLayerMonitor = serde_json::from_str(&json).unwrap();

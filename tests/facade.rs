@@ -7,7 +7,10 @@ use napmon::core::{
     perturbation_estimate, FeatureExtractor, IntervalPatternMonitor, MinMaxMonitor, Monitor,
     MonitorBuilder, MonitorKind, PatternMonitor, ThresholdPolicy,
 };
-use napmon::data::{gaussian::GaussianClusters, shapes::ShapesConfig, Dataset, Image, OodScenario, TrackConfig, TrackSampler};
+use napmon::data::{
+    gaussian::GaussianClusters, shapes::ShapesConfig, Dataset, Image, OodScenario, TrackConfig,
+    TrackSampler,
+};
 use napmon::eval::{warn_rate, Table};
 use napmon::nn::{Activation, Conv2d, Dense, Layer, LayerSpec, MaxPool2d, Network};
 use napmon::tensor::{vector, Matrix, Prng};
@@ -22,8 +25,12 @@ fn every_major_type_is_reachable_through_the_facade() {
     // nn
     let net = Network::seeded(1, 2, &[LayerSpec::dense(3, Activation::Relu)]);
     assert_eq!(net.output_dim(), 3);
-    let _: (&[Layer], Option<&Dense>, Option<&Conv2d>, Option<&MaxPool2d>) =
-        (net.layers(), None, None, None);
+    let _: (
+        &[Layer],
+        Option<&Dense>,
+        Option<&Conv2d>,
+        Option<&MaxPool2d>,
+    ) = (net.layers(), None, None, None);
 
     // absint
     let iv = Interval::new(0.0, 1.0);
@@ -44,7 +51,8 @@ fn every_major_type_is_reachable_through_the_facade() {
     // core
     let fx = FeatureExtractor::new(&net, 1).unwrap();
     let _mm = MinMaxMonitor::empty(fx.clone());
-    let _pm = PatternMonitor::empty(fx.clone(), vec![0.0; 3], napmon::core::PatternBackend::Bdd).unwrap();
+    let _pm =
+        PatternMonitor::empty(fx.clone(), vec![0.0; 3], napmon::core::PatternBackend::Bdd).unwrap();
     let _im = IntervalPatternMonitor::empty(fx, 2, vec![vec![0.0, 1.0, 2.0]; 3]).unwrap();
     let pe = perturbation_estimate(&net, &[0.1, 0.2], 0, 1, 0.05, Domain::Box).unwrap();
     assert_eq!(pe.dim(), 3);
@@ -64,7 +72,10 @@ fn every_major_type_is_reachable_through_the_facade() {
     // eval
     let data: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0, 0.1]).collect();
     let monitor = MonitorBuilder::new(&net, 1)
-        .build(MonitorKind::pattern_with(ThresholdPolicy::Mean, napmon::core::PatternBackend::Bdd, 0), &data)
+        .build(
+            MonitorKind::pattern_with(ThresholdPolicy::Mean, napmon::core::PatternBackend::Bdd, 0),
+            &data,
+        )
         .unwrap();
     assert_eq!(warn_rate(&monitor, &net, &data), 0.0);
     let mut table = Table::new(vec!["k".into(), "v".into()]);
@@ -85,10 +96,14 @@ fn gaussian_per_class_monitoring_detects_phantom_cluster() {
     let test = g.dataset(40, &mut rng);
     let ood = g.ood_inputs(120, &mut rng);
 
-    let mut net = Network::seeded(8, 2, &[
-        LayerSpec::dense(16, Activation::Relu),
-        LayerSpec::dense(3, Activation::Identity),
-    ]);
+    let mut net = Network::seeded(
+        8,
+        2,
+        &[
+            LayerSpec::dense(16, Activation::Relu),
+            LayerSpec::dense(3, Activation::Identity),
+        ],
+    );
     Trainer::new(Loss::SoftmaxCrossEntropy, Optimizer::adam(0.01))
         .epochs(30)
         .run(&mut net, &train.inputs, &train.targets, 3);
@@ -98,7 +113,9 @@ fn gaussian_per_class_monitoring_detects_phantom_cluster() {
         .build_per_class(MonitorKind::min_max(), &train.inputs, labels, 3)
         .unwrap();
 
-    let rate = |xs: &[Vec<f64>]| xs.iter().filter(|x| pc.warns(&net, x).unwrap()).count() as f64 / xs.len() as f64;
+    let rate = |xs: &[Vec<f64>]| {
+        xs.iter().filter(|x| pc.warns(&net, x).unwrap()).count() as f64 / xs.len() as f64
+    };
     let fp = rate(&test.inputs);
     let det = rate(&ood);
     assert!(det > fp, "detection {det} should exceed FP {fp}");

@@ -1,0 +1,249 @@
+//! Minimal in-tree stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! benchmark groups with `sample_size`/`bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros — over a simple wall-clock measurement loop:
+//! each benchmark is auto-calibrated to a target time, run `sample_size`
+//! times, and the mean/min per-iteration latency is printed. No statistics,
+//! no HTML reports.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `group/name/parameter` style id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+trait IntoBenchName {
+    fn into_bench_name(self) -> String;
+}
+
+impl IntoBenchName for BenchmarkId {
+    fn into_bench_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchName for &str {
+    fn into_bench_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchName for String {
+    fn into_bench_name(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-calibrating the iteration count.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that fills ~1/sample_count of
+        // the target measurement time.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target / (self.sample_count as u32) || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per_iter = |d: &Duration| d.as_nanos() as f64 / self.iters_per_sample as f64;
+        let mean = self.samples.iter().map(per_iter).sum::<f64>() / self.samples.len() as f64;
+        let min = self
+            .samples
+            .iter()
+            .map(per_iter)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{name:<40} mean {:>12} min {:>12}",
+            fmt_nanos(mean),
+            fmt_nanos(min)
+        );
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    sample_size: usize,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            target: self.target,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, self.target, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    target: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchNameSealed,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id.into_bench_name_sealed());
+        run_bench(&name, self.sample_size, self.target, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id.name);
+        run_bench(&name, self.sample_size, self.target, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reports are emitted eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Sealed name conversion so `&str`, `String`, and [`BenchmarkId`] all work
+/// as `bench_function` ids, as in real criterion.
+pub trait IntoBenchNameSealed {
+    #[doc(hidden)]
+    fn into_bench_name_sealed(self) -> String;
+}
+
+impl<T: IntoBenchName> IntoBenchNameSealed for T {
+    fn into_bench_name_sealed(self) -> String {
+        self.into_bench_name()
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, target: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_count: sample_size,
+        target,
+    };
+    f(&mut bencher);
+    bencher.report(name);
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

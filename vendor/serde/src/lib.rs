@@ -1,0 +1,673 @@
+//! Minimal in-tree stand-in for the `serde` serialization framework.
+//!
+//! The real `serde` streams values through a visitor-based data model; this
+//! stub routes everything through an owned in-memory [`Value`] tree instead,
+//! which is all the napmon workspace needs (small JSON documents: model
+//! files, monitor snapshots, experiment reports). The public trait shapes —
+//! `Serialize`, `Deserialize<'de>`, `Serializer`, `Deserializer<'de>`,
+//! `ser::Error`, `de::Error` — match the real crate closely enough that the
+//! workspace's hand-written impls (e.g. the BDD manager's) compile
+//! unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+/// Map type used for JSON objects (ordered, so output is deterministic).
+pub type Map = BTreeMap<String, Value>;
+
+/// An exact-precision JSON number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer (preserves full `u64` range exactly).
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point (includes non-finite values).
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for 64-bit integers beyond 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(u) => u as f64,
+            Number::NegInt(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(u) => Some(u),
+            Number::NegInt(i) => u64::try_from(i).ok(),
+            Number::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::NegInt(i) => Some(i),
+            Number::Float(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+            {
+                Some(f as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// An owned, self-describing value — the interchange format between
+/// `Serialize` and `Deserialize` in this stub (re-exported by `serde_json`
+/// as its `Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// `value["key"]` / `value[index]` access, as in `serde_json`.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(n) if n.as_f64() == *other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        matches!(self, Value::Number(n) if n.as_i64() == Some(i64::from(*other)))
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+/// Error raised while converting to or from a [`Value`].
+#[derive(Debug, Clone)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serialization-side machinery.
+pub mod ser {
+    use std::fmt;
+
+    /// Errors a [`crate::Serializer`] can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side machinery.
+pub mod de {
+    use std::fmt;
+
+    /// Errors a [`crate::Deserializer`] can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can consume any [`Value`].
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of the format.
+    type Error: ser::Error;
+
+    /// Consumes one fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce a [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: de::Error;
+
+    /// Produces one fully-parsed value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Identity serializer: yields the value tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Identity deserializer: hands out a pre-built value tree.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Propagates errors from custom `Serialize` impls (the built-in impls are
+/// infallible).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Builds any deserializable type from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`ValueError`] when the tree does not match the target type.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+fn unexpected<T>(expected: &str, got: &Value) -> Result<T, ValueError> {
+    Err(ValueError(format!(
+        "expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Number(Number::PosInt(*self as u64)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                match &v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| de::Error::custom(format!(
+                            "number out of range for {}", stringify!($t)
+                        ))),
+                    _ => Err(de::Error::custom(format!(
+                        "expected number, found {}", v.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let number = if v >= 0 {
+                    Number::PosInt(v as u64)
+                } else {
+                    Number::NegInt(v)
+                };
+                s.serialize_value(Value::Number(number))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                match &v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| de::Error::custom(format!(
+                            "number out of range for {}", stringify!($t)
+                        ))),
+                    _ => Err(de::Error::custom(format!(
+                        "expected number, found {}", v.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_uint!(u8, u16, u32, u64, usize);
+serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Number(Number::Float(f64::from(*self))))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                match &v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    _ => Err(de::Error::custom(format!(
+                        "expected number, found {}", v.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => {
+                let inner = to_value(v).map_err(ser::Error::custom)?;
+                s.serialize_value(inner)
+            }
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, ValueError> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_value(item)?);
+    }
+    Ok(Value::Array(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter()).map_err(ser::Error::custom)?;
+        s.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter()).map_err(ser::Error::custom)?;
+        s.serialize_value(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter()).map_err(ser::Error::custom)?;
+        s.serialize_value(v)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Deserialize::deserialize(d)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S2: BuildHasher> Serialize for HashSet<T, S2> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter()).map_err(ser::Error::custom)?;
+        s.serialize_value(v)
+    }
+}
+
+impl<'de, T, S2> Deserialize<'de> for HashSet<T, S2>
+where
+    T: for<'a> Deserialize<'a> + Eq + Hash,
+    S2: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+fn key_to_string<K: Serialize>(key: &K) -> Result<String, ValueError> {
+    match to_value(key)? {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => Ok(match n {
+            Number::PosInt(u) => u.to_string(),
+            Number::NegInt(i) => i.to_string(),
+            Number::Float(f) => f.to_string(),
+        }),
+        other => Err(ValueError(format!(
+            "map key must be a string, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = Map::new();
+        for (k, v) in self {
+            let key = key_to_string(k).map_err(ser::Error::custom)?;
+            map.insert(key, to_value(v).map_err(ser::Error::custom)?);
+        }
+        s.serialize_value(Value::Object(map))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Ord,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Object(m) => m
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = from_value(Value::String(k)).map_err(de::Error::custom)?;
+                    let value = from_value(v).map_err(de::Error::custom)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S2: BuildHasher> Serialize for HashMap<K, V, S2> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = Map::new();
+        for (k, v) in self {
+            let key = key_to_string(k).map_err(ser::Error::custom)?;
+            map.insert(key, to_value(v).map_err(ser::Error::custom)?);
+        }
+        s.serialize_value(Value::Object(map))
+    }
+}
+
+impl<'de, K, V, S2> Deserialize<'de> for HashMap<K, V, S2>
+where
+    K: for<'a> Deserialize<'a> + Eq + Hash,
+    V: for<'a> Deserialize<'a>,
+    S2: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Object(m) => m
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = from_value(Value::String(k)).map_err(de::Error::custom)?;
+                    let value = from_value(v).map_err(de::Error::custom)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_value(&self.$idx).map_err(|e| ser::Error::custom(e))?,)+
+                ];
+                s.serialize_value(Value::Array(items))
+            }
+        }
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match d.deserialize_value()? {
+                    Value::Array(items) if items.len() == ARITY => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            {
+                                let _ = $idx;
+                                let item = it.next().expect("length checked");
+                                from_value::<$name>(item).map_err(|e| de::Error::custom(e))?
+                            },
+                        )+))
+                    }
+                    other => Err(de::Error::custom(format!(
+                        "expected array of length {}, found {}", ARITY, other.kind()
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+serialize_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}
+
+/// Internal support used by `serde_derive`-generated code. Not part of the
+/// public API contract.
+#[doc(hidden)]
+pub mod __private {
+    pub use super::{
+        from_value, to_value, unexpected_for_derive as unexpected, Map, Value, ValueError,
+    };
+
+    /// Extracts a required field from an object, with a typed error.
+    pub fn take_field(
+        map: &mut super::Map,
+        ty: &str,
+        field: &str,
+    ) -> Result<super::Value, super::ValueError> {
+        map.remove(field)
+            .ok_or_else(|| super::ValueError(format!("missing field `{field}` in {ty}")))
+    }
+}
+
+#[doc(hidden)]
+pub fn unexpected_for_derive(expected: &str, got: &Value) -> ValueError {
+    unexpected::<()>(expected, got).unwrap_err()
+}

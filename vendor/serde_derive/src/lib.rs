@@ -1,0 +1,467 @@
+//! Derive macros for the in-tree `serde` stub.
+//!
+//! A deliberately small, dependency-free implementation: the input item is
+//! parsed with a hand-rolled scanner over `proc_macro::TokenTree`s (no
+//! `syn`/`quote`), and the generated impls are assembled as source strings.
+//! Supported shapes — which cover everything in this workspace:
+//!
+//! - non-generic structs with named fields, tuple structs, unit structs;
+//! - non-generic enums with unit, tuple (incl. newtype), and struct
+//!   variants.
+//!
+//! Field/variant attributes (`#[serde(...)]`) are not supported and the
+//! macro panics on generics, so misuse fails at compile time rather than
+//! silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Item {
+    is_enum: bool,
+    name: String,
+    /// For structs: single entry keyed by the struct name.
+    variants: Vec<(String, Fields)>,
+}
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item {
+                is_enum: false,
+                name: name.clone(),
+                variants: vec![(name, fields)],
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item {
+                is_enum: true,
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    *i += 1;
+                }
+                *i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on top-level commas, tracking `<...>` depth
+/// so commas inside generic arguments don't count. `->`/`>>` sequences are
+/// plain puncts, so `-` immediately before `>` is ignored for depth.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash && angle > 0 => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0usize;
+            skip_attrs_and_vis(&tokens, &mut i);
+            match &tokens[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0usize;
+            skip_attrs_and_vis(&tokens, &mut i);
+            let name = match &tokens[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other}"),
+            };
+            i += 1;
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                None => Fields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("serde_derive stub: explicit discriminants are not supported")
+                }
+                other => panic!("serde_derive: unexpected variant body {other:?}"),
+            };
+            (name, fields)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "<S::Error as ::serde::ser::Error>::custom";
+
+fn value_expr(var: &str) -> String {
+    format!("match ::serde::to_value({var}) {{ Ok(v) => v, Err(e) => return Err({SER_ERR}(e)) }}")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if item.is_enum {
+        let arms: Vec<String> = item
+            .variants
+            .iter()
+            .map(|(vname, fields)| match fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => serializer.serialize_value(\
+                     ::serde::Value::String(\"{vname}\".to_string())),"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => {{\
+                       let mut m = ::serde::Map::new();\
+                       m.insert(\"{vname}\".to_string(), {val});\
+                       serializer.serialize_value(::serde::Value::Object(m))\
+                     }},",
+                    val = value_expr("f0"),
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = binds.iter().map(|b| value_expr(b)).collect();
+                    format!(
+                        "{name}::{vname}({binds}) => {{\
+                           let mut m = ::serde::Map::new();\
+                           m.insert(\"{vname}\".to_string(), \
+                                    ::serde::Value::Array(vec![{items}]));\
+                           serializer.serialize_value(::serde::Value::Object(m))\
+                         }},",
+                        binds = binds.join(", "),
+                        items = items.join(", "),
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let inserts: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "inner.insert(\"{f}\".to_string(), {val});",
+                                val = value_expr(f)
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => {{\
+                           let mut inner = ::serde::Map::new();\
+                           {inserts}\
+                           let mut m = ::serde::Map::new();\
+                           m.insert(\"{vname}\".to_string(), ::serde::Value::Object(inner));\
+                           serializer.serialize_value(::serde::Value::Object(m))\
+                         }},",
+                        inserts = inserts.join(""),
+                    )
+                }
+            })
+            .collect();
+        format!("match self {{ {} }}", arms.join(" "))
+    } else {
+        match &item.variants[0].1 {
+            Fields::Unit => "serializer.serialize_value(::serde::Value::Null)".to_string(),
+            Fields::Tuple(1) => format!("serializer.serialize_value({})", value_expr("&self.0")),
+            Fields::Tuple(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| value_expr(&format!("&self.{i}"))).collect();
+                format!(
+                    "serializer.serialize_value(::serde::Value::Array(vec![{}]))",
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let inserts: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "m.insert(\"{f}\".to_string(), {val});",
+                            val = value_expr(&format!("&self.{f}"))
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let mut m = ::serde::Map::new(); {} \
+                     serializer.serialize_value(::serde::Value::Object(m))",
+                    inserts.join("")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\
+         impl ::serde::Serialize for {name} {{\
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S)\
+             -> ::std::result::Result<S::Ok, S::Error> {{ {body} }}\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+fn from_expr(var: &str, context: &str) -> String {
+    format!(
+        "match ::serde::from_value({var}) {{ Ok(v) => v, \
+         Err(e) => return Err({DE_ERR}(format!(\"{context}: {{e}}\"))) }}"
+    )
+}
+
+fn named_struct_body(path: &str, fields: &[String], map_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: {{ let v = match {map_var}.remove(\"{f}\") {{ Some(v) => v, \
+                 None => return Err({DE_ERR}(\"missing field `{f}` in {path}\")) }}; \
+                 {from} }},",
+                from = from_expr("v", &format!("field `{f}` of {path}"))
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(" "))
+}
+
+fn tuple_body(path: &str, n: usize, items_var: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "{{ let v = it.next().expect(\"length checked\"); {from} }},",
+                from = from_expr("v", &format!("field {i} of {path}"))
+            )
+        })
+        .collect();
+    format!(
+        "{{ if {items_var}.len() != {n} {{ \
+           return Err({DE_ERR}(format!(\"expected {n} fields for {path}, found {{}}\", \
+           {items_var}.len()))); }} \
+           let mut it = {items_var}.into_iter(); {path}({inits}) }}",
+        inits = inits.join(" ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if item.is_enum {
+        let unit_arms: Vec<String> = item
+            .variants
+            .iter()
+            .filter(|(_, f)| matches!(f, Fields::Unit))
+            .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+            .collect();
+        let data_arms: Vec<String> = item
+            .variants
+            .iter()
+            .filter(|(_, f)| !matches!(f, Fields::Unit))
+            .map(|(vname, fields)| {
+                let path = format!("{name}::{vname}");
+                match fields {
+                    Fields::Unit => unreachable!(),
+                    Fields::Tuple(1) => format!(
+                        "\"{vname}\" => Ok({path}({})),",
+                        from_expr("payload", &format!("variant {path}"))
+                    ),
+                    Fields::Tuple(n) => format!(
+                        "\"{vname}\" => match payload {{\
+                           ::serde::Value::Array(items) => Ok({body}),\
+                           other => Err({DE_ERR}(format!(\
+                             \"expected array for {path}, found {{:?}}\", other))),\
+                         }},",
+                        body = tuple_body(&path, *n, "items"),
+                    ),
+                    Fields::Named(fields) => format!(
+                        "\"{vname}\" => match payload {{\
+                           ::serde::Value::Object(mut inner) => Ok({body}),\
+                           other => Err({DE_ERR}(format!(\
+                             \"expected object for {path}, found {{:?}}\", other))),\
+                         }},",
+                        body = named_struct_body(&path, fields, "inner"),
+                    ),
+                }
+            })
+            .collect();
+        format!(
+            "match value {{\
+               ::serde::Value::String(s) => match s.as_str() {{\
+                 {unit_arms}\
+                 other => Err({DE_ERR}(format!(\"unknown variant `{{other}}` of {name}\"))),\
+               }},\
+               ::serde::Value::Object(mut map) => {{\
+                 let (variant, payload) = match map.pop_first() {{\
+                   Some(kv) if map.is_empty() => kv,\
+                   _ => return Err({DE_ERR}(\
+                     \"expected single-key object for enum {name}\")),\
+                 }};\
+                 match variant.as_str() {{\
+                   {data_arms}\
+                   other => Err({DE_ERR}(format!(\"unknown variant `{{other}}` of {name}\"))),\
+                 }}\
+               }},\
+               other => Err({DE_ERR}(format!(\
+                 \"expected string or object for enum {name}, found {{:?}}\", other))),\
+             }}",
+            unit_arms = unit_arms.join(" "),
+            data_arms = data_arms.join(" "),
+        )
+    } else {
+        match &item.variants[0].1 {
+            Fields::Unit => format!(
+                "match value {{\
+                   ::serde::Value::Null => Ok({name}),\
+                   other => Err({DE_ERR}(format!(\
+                     \"expected null for unit struct {name}, found {{:?}}\", other))),\
+                 }}"
+            ),
+            Fields::Tuple(1) => format!(
+                "Ok({name}({}))",
+                from_expr("value", &format!("newtype struct {name}"))
+            ),
+            Fields::Tuple(n) => format!(
+                "match value {{\
+                   ::serde::Value::Array(items) => Ok({body}),\
+                   other => Err({DE_ERR}(format!(\
+                     \"expected array for {name}, found {{:?}}\", other))),\
+                 }}",
+                body = tuple_body(name, *n, "items"),
+            ),
+            Fields::Named(fields) => format!(
+                "match value {{\
+                   ::serde::Value::Object(mut map) => Ok({body}),\
+                   other => Err({DE_ERR}(format!(\
+                     \"expected object for {name}, found {{:?}}\", other))),\
+                 }}",
+                body = named_struct_body(name, fields, "map"),
+            ),
+        }
+    };
+    format!(
+        "#[automatically_derived]\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\
+           fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\
+             -> ::std::result::Result<Self, D::Error> {{\
+             let value = deserializer.deserialize_value()?;\
+             {body}\
+           }}\
+         }}"
+    )
+}
