@@ -13,7 +13,9 @@
 //! - `end_to_end_parallel`: the same through `query_batch_parallel`.
 //!
 //! Results are written to `BENCH_query.json` at the workspace root so later
-//! PRs can track the trajectory.
+//! PRs can track the trajectory. Set `NAPMON_BENCH_SMOKE=1` for a
+//! seconds-long smoke pass that still writes the full JSON schema (CI
+//! validates it).
 
 use napmon_bdd::{Bdd, NodeId};
 use napmon_core::{
@@ -91,6 +93,15 @@ impl NaiveMonitor {
             NaiveStore::Hash(set) => set.contains(&word),
             NaiveStore::Bdd { bdd, root } => bdd.eval(*root, &word),
         }
+    }
+}
+
+/// Wall-clock budget per measured path (shrunk under `NAPMON_BENCH_SMOKE`).
+fn measure_secs(full: f64) -> f64 {
+    if std::env::var_os("NAPMON_BENCH_SMOKE").is_some() {
+        0.02
+    } else {
+        full
     }
 }
 
@@ -202,7 +213,7 @@ fn bench_config(neurons: usize, backend: PatternBackend, results: &mut Vec<Backe
     // Zero heap allocation per call.
     let mut word = napmon_bdd::BitWord::default();
     let mut i = 0usize;
-    let membership_qps_packed = throughput(0.4, || {
+    let membership_qps_packed = throughput(measure_secs(0.4), || {
         let f = &probe_features[i % PROBE_COUNT];
         i += 1;
         monitor.abstract_into(black_box(f), &mut word);
@@ -212,7 +223,7 @@ fn bench_config(neurons: usize, backend: PatternBackend, results: &mut Vec<Backe
     // Membership path, naive: Vec<bool> per query (alloc + byte-per-bit
     // hashing / unpacked walk) — the seed's shape.
     let mut i = 0usize;
-    let membership_qps_naive = throughput(0.4, || {
+    let membership_qps_naive = throughput(measure_secs(0.4), || {
         let f = &probe_features[i % PROBE_COUNT];
         i += 1;
         black_box(naive.contains(black_box(f)));
@@ -221,7 +232,7 @@ fn bench_config(neurons: usize, backend: PatternBackend, results: &mut Vec<Backe
     // End-to-end batched query throughput.
     let batch_start = Instant::now();
     let mut batches = 0u32;
-    while batch_start.elapsed().as_secs_f64() < 0.5 {
+    while batch_start.elapsed().as_secs_f64() < measure_secs(0.5) {
         black_box(built.query_batch(&net, &probes).unwrap());
         batches += 1;
     }
@@ -230,7 +241,7 @@ fn bench_config(neurons: usize, backend: PatternBackend, results: &mut Vec<Backe
 
     let par_start = Instant::now();
     let mut batches = 0u32;
-    while par_start.elapsed().as_secs_f64() < 0.5 {
+    while par_start.elapsed().as_secs_f64() < measure_secs(0.5) {
         black_box(built.query_batch_parallel(&net, &probes).unwrap());
         batches += 1;
     }

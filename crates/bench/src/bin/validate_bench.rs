@@ -1,0 +1,122 @@
+//! CI gate for the benchmark reports.
+//!
+//! Parses `BENCH_query.json` and `BENCH_serve.json` at the workspace root
+//! and fails (non-zero exit) unless both carry the expected schema with
+//! sane values. Run after the throughput benches (smoke mode suffices):
+//!
+//! ```text
+//! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench query_throughput
+//! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench serve_throughput
+//! cargo run -p napmon-bench --bin validate_bench
+//! ```
+
+use serde_json::Value;
+
+/// Reads `name` from the workspace root and parses it.
+fn load(name: &str) -> Value {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run the benches first)"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"))
+}
+
+/// Asserts `value[key]` exists (is not null) and returns it.
+fn field<'a>(name: &str, value: &'a Value, key: &str) -> &'a Value {
+    let v = &value[key];
+    assert!(!matches!(v, Value::Null), "{name}: missing key `{key}`");
+    v
+}
+
+/// Asserts `value[key]` is a strictly positive number.
+fn positive(name: &str, value: &Value, key: &str) -> f64 {
+    let v = field(name, value, key);
+    let Value::Number(n) = v else {
+        panic!("{name}: `{key}` is not a number");
+    };
+    let x = n.as_f64();
+    assert!(
+        x.is_finite() && x > 0.0,
+        "{name}: `{key}` should be positive, got {x}"
+    );
+    x
+}
+
+fn validate_query() {
+    let name = "BENCH_query.json";
+    let report = load(name);
+    for key in ["train_size", "probe_count", "input_dim", "threads"] {
+        positive(name, &report, key);
+    }
+    positive(name, &report, "min_speedup_vs_naive_vec_bool");
+    positive(name, &report, "min_bdd_membership_speedup");
+    let Value::Array(results) = field(name, &report, "results") else {
+        panic!("{name}: `results` is not an array");
+    };
+    assert!(!results.is_empty(), "{name}: `results` is empty");
+    for row in results {
+        field(name, row, "neurons");
+        field(name, row, "backend");
+        for key in [
+            "membership_qps_packed",
+            "membership_qps_naive",
+            "membership_speedup",
+            "end_to_end_qps",
+            "end_to_end_parallel_qps",
+        ] {
+            positive(name, row, key);
+        }
+    }
+    println!("{name}: ok ({} result rows)", results.len());
+}
+
+fn validate_serve() {
+    let name = "BENCH_serve.json";
+    let report = load(name);
+    for key in ["threads", "train_size", "batch_size", "micro_batch"] {
+        positive(name, &report, key);
+    }
+    positive(name, &report, "direct_qps");
+    let speedup = positive(name, &report, "speedup_4shard_vs_1shard");
+    // Shard scaling is hardware-bound: a single-core container is ~1.0x by
+    // construction, so the acceptance threshold is only enforceable where
+    // the 4 shards can actually run in parallel.
+    let threads = positive(name, &report, "threads");
+    if threads >= 4.0 {
+        assert!(
+            speedup >= 1.5,
+            "{name}: 4-shard speedup {speedup:.2}x < 1.5x on a {threads}-thread machine \
+             — shard scaling has regressed"
+        );
+    } else {
+        println!(
+            "{name}: note: 4-shard speedup threshold not enforced \
+             ({threads} thread(s) on this machine)"
+        );
+    }
+    field(name, &report, "notes");
+    let Value::Array(rows) = field(name, &report, "rows") else {
+        panic!("{name}: `rows` is not an array");
+    };
+    let shard_counts: Vec<u64> = rows
+        .iter()
+        .map(|row| {
+            positive(name, row, "qps");
+            positive(name, row, "speedup_vs_1shard");
+            positive(name, row, "mean_latency_ns");
+            field(name, row, "warn_rate");
+            positive(name, row, "shards") as u64
+        })
+        .collect();
+    assert_eq!(
+        shard_counts,
+        vec![1, 2, 4],
+        "{name}: expected 1/2/4-shard rows"
+    );
+    println!("{name}: ok ({} shard rows)", rows.len());
+}
+
+fn main() {
+    validate_query();
+    validate_serve();
+    println!("benchmark reports validated");
+}

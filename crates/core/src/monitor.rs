@@ -211,25 +211,59 @@ pub trait Monitor {
     where
         Self: Sync,
     {
-        fan_out_batch(inputs, |chunk| self.query_batch(net, chunk))
+        self.query_batch_parallel_with(net, inputs, available_threads())
+    }
+
+    /// Like [`Monitor::query_batch_parallel`] but with a pinned worker
+    /// count, for callers that need the fan-out width under their own
+    /// control rather than the machine's — the differential tests pin it
+    /// to 1/2/4 to prove scheduling cannot change verdicts. (The
+    /// `napmon-serve` engine does its own sharding over long-lived
+    /// workers; each shard runs the sequential [`Monitor::verdict_scratch`]
+    /// loop this method is proven identical to.)
+    ///
+    /// `threads == 0` is treated as `1`. Results keep input order and are
+    /// bit-identical to a sequential [`Monitor::verdict_scratch`] loop for
+    /// every worker count (each worker runs that exact loop on a
+    /// contiguous chunk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if any input is
+    /// malformed.
+    fn query_batch_parallel_with(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<Vec<Verdict>, MonitorError>
+    where
+        Self: Sync,
+    {
+        fan_out_batch(inputs, threads, |chunk| self.query_batch(net, chunk))
     }
 }
 
+/// Worker count used by the parallelism-defaulted batch APIs.
+pub(crate) fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(4)
+}
+
 /// Shared fan-out behind every `query_batch_parallel`: chunks `inputs`
-/// across the available cores via `std::thread::scope`, runs `query_chunk`
+/// across `threads` workers via `std::thread::scope`, runs `query_chunk`
 /// per worker (each call gets a contiguous sub-slice and allocates its own
 /// scratch inside), and restitches results in input order. Falls back to
 /// one direct call when parallelism cannot pay for the thread spawns.
 pub(crate) fn fan_out_batch<F>(
     inputs: &[Vec<f64>],
+    threads: usize,
     query_chunk: F,
 ) -> Result<Vec<Verdict>, MonitorError>
 where
     F: Fn(&[Vec<f64>]) -> Result<Vec<Verdict>, MonitorError> + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(4);
     if threads <= 1 || inputs.len() < 2 * threads {
         return query_chunk(inputs);
     }
@@ -251,6 +285,24 @@ where
     }
     Ok(out)
 }
+
+/// Compile-time proof that every monitor (and the verdict machinery) can
+/// be shared across the shard threads of a long-lived serving engine: the
+/// `napmon-serve` workers hold monitors behind `Arc` and query them
+/// concurrently, which is only sound because queries never mutate the
+/// abstraction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<crate::builder::AnyMonitor>();
+    assert_send_sync::<crate::minmax::MinMaxMonitor>();
+    assert_send_sync::<crate::pattern::PatternMonitor>();
+    assert_send_sync::<crate::interval_pattern::IntervalPatternMonitor>();
+    assert_send_sync::<crate::multi::MultiLayerMonitor>();
+    assert_send_sync::<crate::per_class::PerClassMonitor>();
+    assert_send_sync::<Verdict>();
+    assert_send_sync::<QueryScratch>();
+    assert_send_sync::<MonitorError>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -141,7 +141,22 @@ impl PerClassMonitor {
         net: &Network,
         inputs: &[Vec<f64>],
     ) -> Result<Vec<Verdict>, MonitorError> {
-        crate::monitor::fan_out_batch(inputs, |chunk| self.query_batch(net, chunk))
+        self.query_batch_parallel_with(net, inputs, crate::monitor::available_threads())
+    }
+
+    /// Like [`PerClassMonitor::query_batch_parallel`] with a pinned worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PerClassMonitor::verdict`].
+    pub fn query_batch_parallel_with(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<Vec<Verdict>, MonitorError> {
+        crate::monitor::fan_out_batch(inputs, threads, |chunk| self.query_batch(net, chunk))
     }
 }
 

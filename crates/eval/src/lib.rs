@@ -9,6 +9,9 @@
 //! - [`sweep`] — the ablations: Δ sweeps (A1), perturbation boundary `kp`
 //!   (A2), bits per neuron (A3), abstract-domain tightness/runtime (A4).
 //! - [`metrics`] — warning-rate measurement.
+//! - [`online`] — streaming (operation-time) statistics: Welford
+//!   accumulators and hit rates that merge across the shards of the
+//!   `napmon-serve` engine.
 //! - [`table`] — fixed-width ASCII tables matching the output of the
 //!   `paper_tables` binary.
 //! - [`report`] — JSON export of experiment results.
@@ -19,6 +22,7 @@
 
 pub mod experiment;
 pub mod metrics;
+pub mod online;
 pub mod report;
 pub mod shapes_experiment;
 pub mod sweep;
@@ -26,5 +30,6 @@ pub mod table;
 
 pub use experiment::{Experiment, MonitorRow, RacetrackConfig};
 pub use metrics::{auc, roc, scores, warn_rate, RocPoint};
+pub use online::{OnlineRate, OnlineStats};
 pub use shapes_experiment::{ShapesExperiment, ShapesExperimentConfig};
 pub use table::Table;

@@ -1,0 +1,270 @@
+//! Online (streaming) metrics for long-lived monitoring.
+//!
+//! The batch harness in [`crate::metrics`] assumes the whole input set is
+//! in hand; an *operation-time* monitor instead sees an unbounded stream
+//! and must keep its statistics incrementally. [`OnlineStats`] maintains
+//! count/min/max/mean/variance in O(1) memory via Welford's algorithm, and
+//! merges across shards with the parallel-variance formula of Chan et al.,
+//! so a sharded engine can aggregate per-worker statistics without ever
+//! replaying the stream. [`OnlineRate`] is the streaming counterpart of
+//! [`crate::metrics::warn_rate`].
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming count/min/max/mean/variance accumulator (Welford).
+///
+/// ```
+/// use napmon_eval::online::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!((s.min(), s.max()), (1.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's `M2`).
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Absorbs everything another accumulator has seen (Chan et al.'s
+    /// parallel merge) — the cross-shard aggregation primitive.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count = total;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (`0.0` while empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation (`0.0` while empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`0.0` while empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population variance (`0.0` with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Streaming hit rate: the operation-time counterpart of
+/// [`crate::metrics::warn_rate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineRate {
+    trials: u64,
+    hits: u64,
+}
+
+impl OnlineRate {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one trial.
+    pub fn record(&mut self, hit: bool) {
+        self.trials += 1;
+        self.hits += u64::from(hit);
+    }
+
+    /// Absorbs another accumulator (cross-shard aggregation).
+    pub fn merge(&mut self, other: &Self) {
+        self.trials += other.trials;
+        self.hits += other.hits;
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Number of hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hit fraction (`0.0` while empty).
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_stats(xs: &[f64]) -> (f64, f64, f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (mean, var, min, max)
+    }
+
+    #[test]
+    fn streaming_matches_batch_formulas() {
+        let xs: Vec<f64> = (0..257)
+            .map(|i| ((i * 37) % 101) as f64 / 7.0 - 3.0)
+            .collect();
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let (mean, var, min, max) = batch_stats(&xs);
+        assert_eq!(s.count(), xs.len() as u64);
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.variance() - var).abs() < 1e-9);
+        assert_eq!(s.min(), min);
+        assert_eq!(s.max(), max);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        // Split into uneven shards, merge back.
+        let mut merged = OnlineStats::new();
+        for chunk in [&xs[..13], &xs[13..70], &xs[70..]] {
+            let mut shard = OnlineStats::new();
+            for &x in chunk {
+                shard.record(x);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.record(2.0);
+        a.merge(&b); // empty <- nonempty
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 2.0);
+        let empty = OnlineStats::new();
+        a.merge(&empty); // nonempty <- empty
+        assert_eq!(a.count(), 1);
+        assert_eq!((a.min(), a.max()), (2.0, 2.0));
+    }
+
+    #[test]
+    fn empty_stats_read_as_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn rate_counts_and_merges() {
+        let mut r = OnlineRate::new();
+        for i in 0..10 {
+            r.record(i % 4 == 0);
+        }
+        assert_eq!(r.trials(), 10);
+        assert_eq!(r.hits(), 3);
+        assert!((r.rate() - 0.3).abs() < 1e-12);
+        let mut other = OnlineRate::new();
+        other.record(true);
+        r.merge(&other);
+        assert_eq!(r.trials(), 11);
+        assert_eq!(r.hits(), 4);
+        assert_eq!(OnlineRate::new().rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_serialize_round_trip() {
+        let mut s = OnlineStats::new();
+        s.record(1.5);
+        s.record(-2.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: OnlineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,425 @@
+//! The sharded online monitoring engine.
+
+use crate::report::{ServeReport, ShardReport};
+use napmon_core::{AnyMonitor, Monitor, MonitorError, QueryScratch, Verdict};
+use napmon_nn::Network;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Serving error: either the monitor rejected an input, or the target
+/// shard is gone (its thread panicked — queries themselves never panic on
+/// well-formed inputs).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The monitor rejected the input (dimension mismatch).
+    Monitor(MonitorError),
+    /// The shard's worker thread is no longer running.
+    ShardDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Monitor(e) => write!(f, "monitor error: {e}"),
+            ServeError::ShardDown => write!(f, "shard worker is no longer running"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Monitor(e) => Some(e),
+            ServeError::ShardDown => None,
+        }
+    }
+}
+
+impl From<MonitorError> for ServeError {
+    fn from(e: MonitorError) -> Self {
+        ServeError::Monitor(e)
+    }
+}
+
+/// Engine sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of worker shards (threads). Zero is treated as one.
+    pub shards: usize,
+    /// Largest per-shard chunk a [`MonitorEngine::submit_batch`] call is
+    /// split into. Zero is treated as one.
+    pub micro_batch: usize,
+}
+
+impl Default for EngineConfig {
+    /// One shard per available core, 64-request micro-batches.
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            micro_batch: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default micro-batch size with an explicit shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    fn normalized(self) -> Self {
+        Self {
+            shards: self.shards.max(1),
+            micro_batch: self.micro_batch.max(1),
+        }
+    }
+}
+
+/// One unit of shard work.
+///
+/// Submissions carry their reply channel, so the worker loop is a plain
+/// request/response server; `Stats` rides the same queue, which means a
+/// snapshot observes a consistent point in the shard's stream.
+enum Job {
+    /// A contiguous chunk of a shared batch.
+    Batch {
+        inputs: Arc<[Vec<f64>]>,
+        range: Range<usize>,
+        reply: mpsc::Sender<BatchReply>,
+    },
+    /// One owned input.
+    Single {
+        input: Vec<f64>,
+        reply: mpsc::Sender<Result<Verdict, MonitorError>>,
+    },
+    /// Metrics snapshot request.
+    Stats { reply: mpsc::Sender<ShardReport> },
+}
+
+struct BatchReply {
+    start: usize,
+    result: Result<Vec<Verdict>, MonitorError>,
+}
+
+struct Shard {
+    tx: mpsc::Sender<Job>,
+    handle: JoinHandle<ShardReport>,
+}
+
+/// A long-lived, sharded monitoring engine.
+///
+/// Construction spawns the worker shards; they stay hot until
+/// [`MonitorEngine::shutdown`] (or drop, which also stops them after
+/// draining). The engine is `Sync`: any number of client threads may
+/// submit concurrently, and jobs are distributed round-robin.
+///
+/// Generic over the monitor so purpose-built monitors serve through the
+/// same engine; [`AnyMonitor`] (the builder's product) is the default.
+pub struct MonitorEngine<M: Monitor + Send + Sync + 'static = AnyMonitor> {
+    net: Arc<Network>,
+    monitor: Arc<M>,
+    config: EngineConfig,
+    shards: Vec<Shard>,
+    round_robin: AtomicUsize,
+}
+
+impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
+    /// Spawns `config.shards` worker threads serving `monitor` over `net`.
+    ///
+    /// `net` and `monitor` are accepted owned or already shared
+    /// (`Arc<...>`) — each shard holds one clone of each `Arc`.
+    pub fn new(
+        net: impl Into<Arc<Network>>,
+        monitor: impl Into<Arc<M>>,
+        config: EngineConfig,
+    ) -> Self {
+        let net = net.into();
+        let monitor = monitor.into();
+        let config = config.normalized();
+        let shards = (0..config.shards)
+            .map(|id| {
+                let (tx, rx) = mpsc::channel();
+                let net = Arc::clone(&net);
+                let monitor = Arc::clone(&monitor);
+                let handle = std::thread::Builder::new()
+                    .name(format!("napmon-shard-{id}"))
+                    .spawn(move || run_shard(id, net.as_ref(), monitor.as_ref(), &rx))
+                    .expect("spawn shard worker");
+                Shard { tx, handle }
+            })
+            .collect();
+        Self {
+            net,
+            monitor,
+            config,
+            shards,
+            round_robin: AtomicUsize::new(0),
+        }
+    }
+
+    /// The served network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The served monitor.
+    pub fn monitor(&self) -> &M {
+        &self.monitor
+    }
+
+    /// The (normalized) configuration the engine runs with.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Number of live worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn next_shard(&self) -> usize {
+        self.round_robin.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+
+    /// Per-shard chunk length for a batch of `n` requests: even across
+    /// shards, capped by the configured micro-batch.
+    fn chunk_len(&self, n: usize) -> usize {
+        n.div_ceil(self.shards.len())
+            .clamp(1, self.config.micro_batch)
+    }
+
+    /// Serves one input synchronously on the next shard (round-robin).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Monitor`] if the input does not match the network,
+    /// [`ServeError::ShardDown`] if the target worker died.
+    pub fn submit(&self, input: Vec<f64>) -> Result<Verdict, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.shards[self.next_shard()]
+            .tx
+            .send(Job::Single { input, reply })
+            .map_err(|_| ServeError::ShardDown)?;
+        rx.recv()
+            .map_err(|_| ServeError::ShardDown)?
+            .map_err(Into::into)
+    }
+
+    /// Serves a whole batch synchronously: micro-batches it across the
+    /// shards and blocks until every verdict is back, in input order.
+    ///
+    /// Accepts an owned `Vec<Vec<f64>>` or an already-shared
+    /// `Arc<[Vec<f64>]>` — repeated submissions of the same batch (load
+    /// replay, benchmarking) should share one `Arc` so no input data is
+    /// copied per call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MonitorEngine::submit`]; on a malformed input
+    /// the whole containing chunk is rejected.
+    pub fn submit_batch(
+        &self,
+        inputs: impl Into<Arc<[Vec<f64>]>>,
+    ) -> Result<Vec<Verdict>, ServeError> {
+        self.submit_batch_async(inputs).wait()
+    }
+
+    /// Enqueues a whole batch and returns immediately; the verdicts are
+    /// collected with [`PendingBatch::wait`]. Jobs enqueued here are
+    /// guaranteed to be served even if the engine is shut down before
+    /// `wait` is called — shutdown drains, it does not cancel.
+    pub fn submit_batch_async(&self, inputs: impl Into<Arc<[Vec<f64>]>>) -> PendingBatch {
+        let inputs: Arc<[Vec<f64>]> = inputs.into();
+        let n = inputs.len();
+        let (reply, rx) = mpsc::channel();
+        if n == 0 {
+            return PendingBatch {
+                total: 0,
+                jobs: 0,
+                rx,
+            };
+        }
+        let chunk = self.chunk_len(n);
+        let mut jobs = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let mut job = Job::Batch {
+                inputs: Arc::clone(&inputs),
+                range: start..end,
+                reply: reply.clone(),
+            };
+            // A dead shard bounces the send; offer the chunk to every
+            // shard once, probing from a single round-robin snapshot so
+            // concurrent submitters cannot make the probe revisit the
+            // same dead shard. A chunk nobody accepts is dropped here and
+            // surfaces as a shortfall in `wait` (ShardDown) — never
+            // busy-loop on a fully-dead engine.
+            let base = self.next_shard();
+            let mut dispatched = false;
+            for offset in 0..self.shards.len() {
+                let shard = (base + offset) % self.shards.len();
+                match self.shards[shard].tx.send(job) {
+                    Ok(()) => {
+                        dispatched = true;
+                        break;
+                    }
+                    Err(mpsc::SendError(bounced)) => job = bounced,
+                }
+            }
+            if dispatched {
+                jobs += 1;
+            }
+            start = end;
+        }
+        PendingBatch { total: n, jobs, rx }
+    }
+
+    /// A consistent snapshot of every shard's metrics, aggregated. Rides
+    /// the job queues, so it reflects all work enqueued before it.
+    pub fn report(&self) -> ServeReport {
+        let (reply, rx) = mpsc::channel();
+        let mut expected = 0usize;
+        for shard in &self.shards {
+            if shard
+                .tx
+                .send(Job::Stats {
+                    reply: reply.clone(),
+                })
+                .is_ok()
+            {
+                expected += 1;
+            }
+        }
+        drop(reply);
+        ServeReport::aggregate(rx.iter().take(expected).collect())
+    }
+
+    /// Graceful shutdown: closes every job channel, lets each shard drain
+    /// its queue, joins the workers, and returns the final aggregated
+    /// report. In-flight [`PendingBatch`]es remain collectable afterwards.
+    pub fn shutdown(self) -> ServeReport {
+        let (txs, handles): (Vec<_>, Vec<_>) =
+            self.shards.into_iter().map(|s| (s.tx, s.handle)).unzip();
+        drop(txs);
+        ServeReport::aggregate(handles.into_iter().filter_map(|h| h.join().ok()).collect())
+    }
+}
+
+/// An in-flight batch: a handle on the verdicts still being computed.
+pub struct PendingBatch {
+    total: usize,
+    jobs: usize,
+    rx: mpsc::Receiver<BatchReply>,
+}
+
+impl PendingBatch {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Blocks until every chunk is served and returns the verdicts in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input order) [`ServeError::Monitor`] if any chunk was
+    /// rejected, [`ServeError::ShardDown`] if a worker died mid-batch.
+    pub fn wait(self) -> Result<Vec<Verdict>, ServeError> {
+        let mut replies: Vec<BatchReply> = Vec::with_capacity(self.jobs);
+        for _ in 0..self.jobs {
+            replies.push(self.rx.recv().map_err(|_| ServeError::ShardDown)?);
+        }
+        replies.sort_by_key(|r| r.start);
+        let mut out = Vec::with_capacity(self.total);
+        for reply in replies {
+            out.extend(reply.result?);
+        }
+        if out.len() != self.total {
+            // A dead shard dropped a chunk at submit time.
+            return Err(ServeError::ShardDown);
+        }
+        Ok(out)
+    }
+}
+
+/// The shard worker loop: one scratch, one metrics accumulator, jobs until
+/// the engine closes the channel — then the final report is returned to
+/// `shutdown` through the join handle.
+fn run_shard<M: Monitor>(
+    id: usize,
+    net: &Network,
+    monitor: &M,
+    rx: &mpsc::Receiver<Job>,
+) -> ShardReport {
+    let mut scratch = QueryScratch::new();
+    let mut report = ShardReport::empty(id);
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Batch {
+                inputs,
+                range,
+                reply,
+            } => {
+                let start = range.start;
+                let result = serve_chunk(net, monitor, &inputs[range], &mut scratch, &mut report);
+                let _ = reply.send(BatchReply { start, result });
+            }
+            Job::Single { input, reply } => {
+                let _ = reply.send(serve_one(net, monitor, &input, &mut scratch, &mut report));
+            }
+            Job::Stats { reply } => {
+                let _ = reply.send(report.clone());
+            }
+        }
+    }
+    report
+}
+
+fn serve_one<M: Monitor>(
+    net: &Network,
+    monitor: &M,
+    input: &[f64],
+    scratch: &mut QueryScratch,
+    report: &mut ShardReport,
+) -> Result<Verdict, MonitorError> {
+    let started = Instant::now();
+    let verdict = monitor.verdict_scratch(net, input, scratch)?;
+    report.record(started.elapsed().as_nanos() as f64, verdict.warning);
+    Ok(verdict)
+}
+
+fn serve_chunk<M: Monitor>(
+    net: &Network,
+    monitor: &M,
+    inputs: &[Vec<f64>],
+    scratch: &mut QueryScratch,
+    report: &mut ShardReport,
+) -> Result<Vec<Verdict>, MonitorError> {
+    let mut verdicts = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        verdicts.push(serve_one(net, monitor, input, scratch, report)?);
+    }
+    Ok(verdicts)
+}
+
+/// The engine is shared across client threads; submissions only need `&self`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MonitorEngine>();
+};

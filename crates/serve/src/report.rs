@@ -1,0 +1,157 @@
+//! Online serving metrics: per-shard accumulators and the engine-wide
+//! aggregate.
+
+use napmon_eval::{OnlineRate, OnlineStats};
+use serde::{Deserialize, Serialize};
+
+/// Metrics one worker shard accumulates over its lifetime.
+///
+/// Owned by the shard thread (no locks on the hot path); snapshots travel
+/// to the caller over the shard's job channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index (`0..shards`).
+    pub shard: usize,
+    /// Warning rate over every request this shard served.
+    pub warnings: OnlineRate,
+    /// Per-request latency in nanoseconds (forward pass + abstraction +
+    /// membership, measured inside the shard).
+    pub latency_ns: OnlineStats,
+}
+
+impl ShardReport {
+    /// A fresh report for shard `shard`.
+    pub fn empty(shard: usize) -> Self {
+        Self {
+            shard,
+            warnings: OnlineRate::new(),
+            latency_ns: OnlineStats::new(),
+        }
+    }
+
+    /// Absorbs one served request.
+    pub fn record(&mut self, latency_ns: f64, warned: bool) {
+        self.warnings.record(warned);
+        self.latency_ns.record(latency_ns);
+    }
+
+    /// Number of requests this shard served.
+    pub fn requests(&self) -> u64 {
+        self.warnings.trials()
+    }
+}
+
+/// Engine-wide aggregate of every shard's [`ShardReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Per-shard rows, ordered by shard index.
+    pub shards: Vec<ShardReport>,
+    /// Total requests served.
+    pub requests: u64,
+    /// Total requests that raised a warning.
+    pub warnings: u64,
+    /// Fraction of requests that warned (`0.0` while idle).
+    pub warn_rate: f64,
+    /// Cross-shard latency distribution (merged without replaying the
+    /// stream — see [`OnlineStats::merge`]).
+    pub latency_ns: OnlineStats,
+}
+
+impl ServeReport {
+    /// Merges per-shard reports into the engine-wide view.
+    pub fn aggregate(mut shards: Vec<ShardReport>) -> Self {
+        shards.sort_by_key(|r| r.shard);
+        let mut warnings = OnlineRate::new();
+        let mut latency = OnlineStats::new();
+        for shard in &shards {
+            warnings.merge(&shard.warnings);
+            latency.merge(&shard.latency_ns);
+        }
+        Self {
+            shards,
+            requests: warnings.trials(),
+            warnings: warnings.hits(),
+            warn_rate: warnings.rate(),
+            latency_ns: latency,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    /// A compact operations card: totals first, one line per shard.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve report: {} requests, warn rate {:.4}, latency mean {:.0}ns (min {:.0}, max {:.0})",
+            self.requests,
+            self.warn_rate,
+            self.latency_ns.mean(),
+            self.latency_ns.min(),
+            self.latency_ns.max(),
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: {} requests, warn rate {:.4}, latency mean {:.0}ns",
+                s.shard,
+                s.requests(),
+                s.warnings.rate(),
+                s.latency_ns.mean(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_merges_and_orders_shards() {
+        let mut a = ShardReport::empty(1);
+        a.record(100.0, false);
+        a.record(300.0, true);
+        let mut b = ShardReport::empty(0);
+        b.record(200.0, false);
+        let report = ServeReport::aggregate(vec![a, b]);
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.warnings, 1);
+        assert!((report.warn_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.latency_ns.min(), 100.0);
+        assert_eq!(report.latency_ns.max(), 300.0);
+        assert!((report.latency_ns.mean() - 200.0).abs() < 1e-9);
+        assert_eq!(report.shards[0].shard, 0);
+        assert_eq!(report.shards[1].shard, 1);
+    }
+
+    #[test]
+    fn empty_aggregate_is_idle() {
+        let report = ServeReport::aggregate(vec![ShardReport::empty(0)]);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.warn_rate, 0.0);
+        let none = ServeReport::aggregate(Vec::new());
+        assert_eq!(none.requests, 0);
+    }
+
+    #[test]
+    fn display_lists_totals_and_shards() {
+        let mut s = ShardReport::empty(0);
+        s.record(50.0, true);
+        let text = ServeReport::aggregate(vec![s, ShardReport::empty(1)]).to_string();
+        assert!(text.contains("1 requests"), "{text}");
+        assert!(text.contains("shard 0"), "{text}");
+        assert!(text.contains("shard 1"), "{text}");
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut s = ShardReport::empty(0);
+        s.record(10.0, false);
+        let report = ServeReport::aggregate(vec![s]);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"warn_rate\""));
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -14,7 +14,9 @@
 //! - [`core`] — the monitors themselves: min-max, Boolean on-off patterns and
 //!   multi-bit interval patterns, each with standard and robust construction,
 //! - [`data`] — synthetic datasets standing in for the paper's race-track lab,
-//! - [`eval`] — the experiment harness regenerating the paper's evaluation.
+//! - [`eval`] — the experiment harness regenerating the paper's evaluation,
+//! - [`serve`] — the long-lived sharded serving engine keeping a monitor hot
+//!   next to a deployed network.
 //!
 //! ## Quickstart
 //!
@@ -50,4 +52,5 @@ pub use napmon_core as core;
 pub use napmon_data as data;
 pub use napmon_eval as eval;
 pub use napmon_nn as nn;
+pub use napmon_serve as serve;
 pub use napmon_tensor as tensor;
