@@ -1,0 +1,119 @@
+//! The unified error surface of the artifact pipeline.
+
+use napmon_core::MonitorError;
+use napmon_nn::NnError;
+use std::fmt;
+
+/// Errors raised while building, saving, loading, or validating a
+/// [`MonitorArtifact`](crate::MonitorArtifact).
+///
+/// Marked `#[non_exhaustive]`: future format versions may add variants
+/// without breaking downstream matches.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// Reading or writing an artifact file failed.
+    Io(std::io::Error),
+    /// The file is not valid JSON, or does not decode to an artifact.
+    Serde(serde_json::Error),
+    /// The file was written by a different (incompatible) format version.
+    UnsupportedVersion {
+        /// The `format_version` found in the file.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The embedded spec or monitor violates a monitor-level invariant.
+    Monitor(MonitorError),
+    /// The embedded network is malformed.
+    Nn(NnError),
+    /// The artifact's parts disagree with each other (e.g. the monitor
+    /// watches a boundary width the embedded network does not have).
+    Mismatch(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact i/o failed: {e}"),
+            ArtifactError::Serde(e) => write!(f, "artifact (de)serialization failed: {e}"),
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported artifact format version {found} (this build reads version {supported})"
+            ),
+            ArtifactError::Monitor(e) => write!(f, "artifact monitor invalid: {e}"),
+            ArtifactError::Nn(e) => write!(f, "artifact network invalid: {e}"),
+            ArtifactError::Mismatch(msg) => write!(f, "artifact inconsistent: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            ArtifactError::Serde(e) => Some(e),
+            ArtifactError::Monitor(e) => Some(e),
+            ArtifactError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ArtifactError {
+    fn from(e: serde_json::Error) -> Self {
+        ArtifactError::Serde(e)
+    }
+}
+
+impl From<MonitorError> for ArtifactError {
+    fn from(e: MonitorError) -> Self {
+        ArtifactError::Monitor(e)
+    }
+}
+
+impl From<NnError> for ArtifactError {
+    fn from(e: NnError) -> Self {
+        ArtifactError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArtifactError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(e.to_string().contains("version 1"));
+        let e = ArtifactError::from(MonitorError::EmptyTrainingSet);
+        assert!(e.to_string().contains("monitor"));
+        let e = ArtifactError::Mismatch("widths disagree".into());
+        assert!(e.to_string().contains("widths disagree"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error as _;
+        let e = ArtifactError::from(MonitorError::EmptyTrainingSet);
+        assert!(e.source().is_some());
+        let e = ArtifactError::Mismatch("x".into());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArtifactError>();
+    }
+}

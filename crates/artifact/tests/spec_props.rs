@@ -1,0 +1,109 @@
+//! Property tests: arbitrary (often malformed) specs deserialized from
+//! untrusted data must always answer with `Ok`/`Err` — never panic —
+//! through validation, build, and artifact load.
+
+use napmon_absint::Domain;
+use napmon_artifact::MonitorArtifact;
+use napmon_core::{Monitor, MonitorKind, MonitorSpec, ThresholdPolicy};
+use napmon_nn::{Activation, LayerSpec, Network};
+use napmon_tensor::Prng;
+use proptest::prelude::*;
+
+fn net() -> Network {
+    Network::seeded(
+        3,
+        3,
+        &[
+            LayerSpec::dense(6, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ],
+    )
+}
+
+fn train_data(n: usize) -> Vec<Vec<f64>> {
+    let mut rng = Prng::seed(11);
+    (0..n).map(|_| rng.uniform_vec(3, -0.5, 0.5)).collect()
+}
+
+/// Decodes the fuzzed integers into a (frequently invalid) spec.
+#[allow(clippy::too_many_arguments)]
+fn assemble_spec(
+    version: u32,
+    layer: usize,
+    family: u8,
+    bits: usize,
+    delta_milli: i64,
+    kp: usize,
+    robust_on: bool,
+    classes: usize,
+) -> MonitorSpec {
+    let kind = match family % 4 {
+        0 => MonitorKind::min_max(),
+        1 => MonitorKind::pattern(),
+        2 => MonitorKind::interval(bits),
+        _ => MonitorKind::interval_with(bits, ThresholdPolicy::Sign),
+    };
+    let mut spec = MonitorSpec::new(layer, kind);
+    spec.version = version;
+    if robust_on {
+        spec = spec.robust(delta_milli as f64 / 1000.0, kp, Domain::Box);
+    }
+    if classes > 0 {
+        spec = spec.per_class(classes);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_specs_never_panic_through_validate_and_build(
+        version in 0u32..3,
+        layer in 0usize..6,
+        family in 0u8..4,
+        bits in 0usize..10,
+        delta_milli in -100i64..100,
+        kp in 0usize..4,
+        robust_on in 0u32..2,
+        classes in 0usize..4,
+    ) {
+        let net = net();
+        let data = train_data(12);
+        let spec = assemble_spec(
+            version, layer, family, bits, delta_milli, kp, robust_on == 1, classes,
+        );
+        // None of these may panic; a Result either way is the contract.
+        let _ = spec.validate();
+        let _ = spec.validate_for(&net);
+        if let Ok(monitor) = spec.build(&net, &data) {
+            // Anything that *does* build must be queryable and must
+            // survive an artifact round trip bit-identically.
+            let artifact =
+                MonitorArtifact::from_parts(spec, net.clone(), monitor, data.len()).unwrap();
+            let json = artifact.to_json_string().unwrap();
+            let loaded = MonitorArtifact::from_json_str(&json).unwrap();
+            let mut rng = Prng::seed(29);
+            for _ in 0..8 {
+                let probe = rng.uniform_vec(3, -2.0, 2.0);
+                prop_assert_eq!(
+                    artifact.monitor().verdict(artifact.network(), &probe).unwrap(),
+                    loaded.monitor().verdict(loaded.network(), &probe).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trip_is_exact(
+        layer in 1usize..3,
+        family in 0u8..3,
+        bits in 1usize..4,
+        robust_on in 0u32..2,
+    ) {
+        let spec = assemble_spec(1, layer * 2, family, bits, 20, 0, robust_on == 1, 0);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: MonitorSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(spec, back);
+    }
+}

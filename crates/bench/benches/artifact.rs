@@ -1,0 +1,171 @@
+//! Artifact pipeline cost: save/load latency and on-disk size per monitor
+//! kind and backend.
+//!
+//! The artifact file is the deployment unit, so its costs are operational
+//! costs: save latency bounds how often a build pipeline can snapshot,
+//! load latency bounds cold-start time of a serving replica, and on-disk
+//! size bounds artifact registry traffic. Results land in
+//! `BENCH_artifact.json` at the workspace root (schema-checked by
+//! `validate_bench` in CI). Set `NAPMON_BENCH_SMOKE=1` for a seconds-long
+//! smoke pass that still writes the full schema.
+
+use napmon_artifact::MonitorArtifact;
+use napmon_core::{Monitor, MonitorKind, MonitorSpec, PatternBackend, ThresholdPolicy};
+use napmon_nn::{Activation, LayerSpec, Network};
+use napmon_tensor::Prng;
+use serde::Serialize;
+use std::time::Instant;
+
+const TRAIN_SIZE: usize = 256;
+const INPUT_DIM: usize = 16;
+const NEURONS: usize = 48;
+
+fn smoke() -> bool {
+    std::env::var_os("NAPMON_BENCH_SMOKE").is_some()
+}
+
+/// Save/load repetitions per row (medians are overkill for a report whose
+/// job is catching order-of-magnitude regressions).
+fn reps() -> usize {
+    if smoke() {
+        2
+    } else {
+        8
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    kind: String,
+    backend: String,
+    robust: bool,
+    /// Monitor construction (spec build) wall clock, seconds.
+    build_seconds: f64,
+    /// Mean serialize-and-write latency, milliseconds.
+    save_ms: f64,
+    /// Mean read-validate-deserialize latency, milliseconds.
+    load_ms: f64,
+    /// Artifact size on disk, bytes.
+    bytes: u64,
+    /// Whether the reloaded monitor answered the probe corpus
+    /// bit-identically (must always be true).
+    roundtrip_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    train_size: usize,
+    input_dim: usize,
+    neurons: usize,
+    save_load_reps: usize,
+    rows: Vec<Row>,
+    notes: String,
+}
+
+fn configs() -> Vec<(&'static str, &'static str, MonitorKind)> {
+    vec![
+        ("min-max", "none", MonitorKind::min_max()),
+        (
+            "pattern",
+            "bdd",
+            MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::Bdd, 0),
+        ),
+        (
+            "pattern",
+            "hash",
+            MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::HashSet, 0),
+        ),
+        ("interval-2bit", "bdd", MonitorKind::interval(2)),
+        ("interval-3bit", "bdd", MonitorKind::interval(3)),
+    ]
+}
+
+fn main() {
+    let net = Network::seeded(
+        2024,
+        INPUT_DIM,
+        &[
+            LayerSpec::dense(NEURONS, Activation::Relu),
+            LayerSpec::dense(2, Activation::Identity),
+        ],
+    );
+    let mut rng = Prng::seed(55);
+    let train: Vec<Vec<f64>> = (0..TRAIN_SIZE)
+        .map(|_| rng.uniform_vec(INPUT_DIM, -1.0, 1.0))
+        .collect();
+    let probes: Vec<Vec<f64>> = (0..128)
+        .map(|_| rng.uniform_vec(INPUT_DIM, -2.0, 2.0))
+        .collect();
+
+    let dir = std::env::temp_dir().join("napmon_bench_artifact");
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    let mut rows = Vec::new();
+    for (kind_name, backend, kind) in configs() {
+        for robust in [false, true] {
+            let mut spec = MonitorSpec::new(2, kind.clone());
+            if robust {
+                spec = spec.robust(0.02, 0, napmon_absint::Domain::Box);
+            }
+            let build_start = Instant::now();
+            let artifact = MonitorArtifact::build(spec, &net, &train).expect("bench spec builds");
+            let build_seconds = build_start.elapsed().as_secs_f64();
+            let expected = artifact.monitor().query_batch(&net, &probes).unwrap();
+
+            let path = dir.join(format!("{kind_name}-{backend}-{robust}.json"));
+            let mut save_ns = 0u128;
+            let mut load_ns = 0u128;
+            let mut identical = true;
+            for _ in 0..reps() {
+                let t = Instant::now();
+                artifact.save_json(&path).expect("save artifact");
+                save_ns += t.elapsed().as_nanos();
+                let t = Instant::now();
+                let loaded = MonitorArtifact::load_json(&path).expect("load artifact");
+                load_ns += t.elapsed().as_nanos();
+                identical &= loaded
+                    .monitor()
+                    .query_batch(loaded.network(), &probes)
+                    .unwrap()
+                    == expected;
+            }
+            let bytes = std::fs::metadata(&path).expect("artifact written").len();
+            let row = Row {
+                kind: kind_name.to_string(),
+                backend: backend.to_string(),
+                robust,
+                build_seconds,
+                save_ms: save_ns as f64 / reps() as f64 / 1e6,
+                load_ms: load_ns as f64 / reps() as f64 / 1e6,
+                bytes,
+                roundtrip_identical: identical,
+            };
+            println!(
+                "{:<14} {:<5} robust={:<5} build {:>7.3}s save {:>8.3}ms load {:>8.3}ms {:>9} B identical={}",
+                row.kind, row.backend, row.robust, row.build_seconds, row.save_ms, row.load_ms,
+                row.bytes, row.roundtrip_identical
+            );
+            assert!(
+                row.roundtrip_identical,
+                "{kind_name}/{backend} robust={robust}: round trip drifted"
+            );
+            rows.push(row);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let report = Report {
+        train_size: TRAIN_SIZE,
+        input_dim: INPUT_DIM,
+        neurons: NEURONS,
+        save_load_reps: reps(),
+        rows,
+        notes: "save_ms = serialize+write; load_ms = read+validate+deserialize; \
+                bytes = artifact JSON on disk (spec + network + monitor + stats). \
+                roundtrip_identical must be true for every row."
+            .to_string(),
+    };
+    let out = format!("{}/../../BENCH_artifact.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).expect("write report");
+    println!("wrote {out}");
+}

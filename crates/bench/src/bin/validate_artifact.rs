@@ -1,0 +1,95 @@
+//! CI gate for the committed golden artifact.
+//!
+//! Loads `tests/golden_artifact.json` from the workspace root with the
+//! full typed validation path (`MonitorArtifact::load_json`), rebuilds the
+//! same deterministic fixture from source, and fails (non-zero exit)
+//! unless
+//!
+//! 1. the committed file still loads under the current
+//!    `FORMAT_VERSION` and validation rules, and
+//! 2. the loaded monitor's verdicts on the golden probe corpus are
+//!    **bit-identical** to the freshly built monitor's.
+//!
+//! Together these catch both accidental format breaks (a schema change
+//! that silently orphans deployed artifacts) and semantic drift (a
+//! construction change that would make reloaded monitors disagree with
+//! newly built ones).
+//!
+//! After an *intentional* format bump, regenerate the file:
+//!
+//! ```text
+//! NAPMON_REGEN_GOLDEN=1 cargo run -p napmon-bench --bin validate_artifact
+//! ```
+
+use napmon_bench::golden;
+use napmon_core::Monitor;
+
+fn golden_path() -> String {
+    format!(
+        "{}/../../tests/golden_artifact.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn main() {
+    let path = golden_path();
+    let fresh = golden::build();
+
+    if std::env::var_os("NAPMON_REGEN_GOLDEN").is_some() {
+        fresh.save_json(&path).expect("write golden artifact");
+        println!("regenerated {path}");
+        println!("  {fresh}");
+        return;
+    }
+
+    let loaded = napmon_artifact::MonitorArtifact::load_json(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden artifact at {path} no longer loads: {e}\n\
+             (if the format changed intentionally, bump FORMAT_VERSION and \
+             regenerate with NAPMON_REGEN_GOLDEN=1)"
+        )
+    });
+
+    assert_eq!(
+        loaded.spec(),
+        fresh.spec(),
+        "golden spec drifted from the fixture"
+    );
+    assert_eq!(
+        loaded.network(),
+        fresh.network(),
+        "golden network drifted from the fixture"
+    );
+    assert_eq!(
+        loaded.stats(),
+        fresh.stats(),
+        "golden build stats drifted from the fixture"
+    );
+
+    let probes = golden::probes();
+    let expected = fresh
+        .monitor()
+        .query_batch(fresh.network(), &probes)
+        .expect("fresh golden monitor queries");
+    let got = loaded
+        .monitor()
+        .query_batch(loaded.network(), &probes)
+        .expect("loaded golden monitor queries");
+    assert_eq!(
+        got, expected,
+        "golden artifact verdicts drifted from a fresh build"
+    );
+    let warnings = expected.iter().filter(|v| v.warning).count();
+    assert!(
+        warnings > 0 && warnings < probes.len(),
+        "golden probe corpus must exercise both verdict branches \
+         ({warnings}/{} warned)",
+        probes.len()
+    );
+
+    println!(
+        "golden artifact ok: {} probes bit-identical ({warnings} warnings), {}",
+        probes.len(),
+        loaded
+    );
+}

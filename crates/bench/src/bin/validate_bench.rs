@@ -1,12 +1,14 @@
 //! CI gate for the benchmark reports.
 //!
-//! Parses `BENCH_query.json` and `BENCH_serve.json` at the workspace root
-//! and fails (non-zero exit) unless both carry the expected schema with
-//! sane values. Run after the throughput benches (smoke mode suffices):
+//! Parses `BENCH_query.json`, `BENCH_serve.json`, and `BENCH_artifact.json`
+//! at the workspace root and fails (non-zero exit) unless all carry the
+//! expected schema with sane values. Run after the benches (smoke mode
+//! suffices):
 //!
 //! ```text
 //! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench query_throughput
 //! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench serve_throughput
+//! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench artifact
 //! cargo run -p napmon-bench --bin validate_bench
 //! ```
 
@@ -115,8 +117,51 @@ fn validate_serve() {
     println!("{name}: ok ({} shard rows)", rows.len());
 }
 
+fn validate_artifact_report() {
+    let name = "BENCH_artifact.json";
+    let report = load(name);
+    for key in ["train_size", "input_dim", "neurons", "save_load_reps"] {
+        positive(name, &report, key);
+    }
+    field(name, &report, "notes");
+    let Value::Array(rows) = field(name, &report, "rows") else {
+        panic!("{name}: `rows` is not an array");
+    };
+    assert!(!rows.is_empty(), "{name}: `rows` is empty");
+    let mut backends = std::collections::BTreeSet::new();
+    for row in rows {
+        field(name, row, "kind");
+        let Value::String(backend) = field(name, row, "backend") else {
+            panic!("{name}: `backend` is not a string");
+        };
+        backends.insert(backend.clone());
+        field(name, row, "robust");
+        for key in ["save_ms", "load_ms", "bytes"] {
+            positive(name, row, key);
+        }
+        // build_seconds may round to 0 for min-max; only require presence
+        // and non-negativity.
+        let Value::Number(n) = field(name, row, "build_seconds") else {
+            panic!("{name}: `build_seconds` is not a number");
+        };
+        assert!(n.as_f64() >= 0.0, "{name}: negative build_seconds");
+        assert_eq!(
+            field(name, row, "roundtrip_identical"),
+            &Value::Bool(true),
+            "{name}: a save->load round trip drifted"
+        );
+    }
+    // The matrix must cover both pattern stores (hash *and* BDD arenas).
+    assert!(
+        backends.contains("bdd") && backends.contains("hash"),
+        "{name}: rows must cover both the BDD and hash backends, got {backends:?}"
+    );
+    println!("{name}: ok ({} rows)", rows.len());
+}
+
 fn main() {
     validate_query();
     validate_serve();
+    validate_artifact_report();
     println!("benchmark reports validated");
 }

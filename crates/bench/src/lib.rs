@@ -47,6 +47,63 @@ pub fn random_inputs(seed: u64, net: &Network, n: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// The golden-artifact fixture: one deterministic monitor deployment,
+/// committed as `tests/golden_artifact.json` at the workspace root.
+///
+/// The committed file is the compatibility contract for
+/// [`napmon_artifact::FORMAT_VERSION`]: `validate_artifact` (run in CI)
+/// rebuilds this fixture, loads the committed file, and fails if the
+/// current reader can no longer parse it or its verdicts drift from the
+/// freshly built monitor. Regenerate (after an intentional format bump)
+/// with `NAPMON_REGEN_GOLDEN=1 cargo run -p napmon-bench --bin
+/// validate_artifact`.
+pub mod golden {
+    use napmon_absint::Domain;
+    use napmon_artifact::MonitorArtifact;
+    use napmon_core::{MonitorKind, MonitorSpec};
+    use napmon_nn::{Activation, LayerSpec, Network};
+    use napmon_tensor::Prng;
+
+    /// The network the golden monitor is built against.
+    pub fn network() -> Network {
+        Network::seeded(
+            2021,
+            8,
+            &[
+                LayerSpec::dense(12, Activation::Relu),
+                LayerSpec::dense(3, Activation::Identity),
+            ],
+        )
+    }
+
+    /// The golden training set.
+    pub fn train() -> Vec<Vec<f64>> {
+        let mut rng = Prng::seed(77);
+        (0..64).map(|_| rng.uniform_vec(8, -1.0, 1.0)).collect()
+    }
+
+    /// The golden spec: a robust 2-bit interval monitor (BDD-backed, so
+    /// the arena serializer is part of the contract) at the last hidden
+    /// boundary.
+    pub fn spec() -> MonitorSpec {
+        MonitorSpec::new(2, MonitorKind::interval(2)).robust(0.05, 0, Domain::Box)
+    }
+
+    /// Builds the golden artifact from scratch (deterministic).
+    pub fn build() -> MonitorArtifact {
+        MonitorArtifact::build(spec(), &network(), &train()).expect("golden fixture builds")
+    }
+
+    /// The probe corpus the golden verdicts are pinned on: near-training
+    /// and far-OOD inputs.
+    pub fn probes() -> Vec<Vec<f64>> {
+        let mut rng = Prng::seed(4242);
+        let mut probes: Vec<Vec<f64>> = (0..48).map(|_| rng.uniform_vec(8, -1.0, 1.0)).collect();
+        probes.extend((0..16).map(|_| rng.uniform_vec(8, -6.0, 6.0)));
+        probes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

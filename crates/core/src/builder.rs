@@ -1,4 +1,4 @@
-//! Monitor construction: the generic algorithms of §III-A/B.
+//! Monitor construction: the imperative shim over the spec pipeline.
 //!
 //! The paper's construction loop is
 //!
@@ -8,9 +8,13 @@
 //! for v_tr ∈ Dtr:  M ← M ⊎_R ab_R(pe^G_k(v_tr, kp, Δ))   (robust)
 //! ```
 //!
-//! [`MonitorBuilder`] runs that loop for any monitor family
-//! ([`MonitorKind`]), optionally computing the per-sample work (forward
-//! passes / perturbation estimates — the expensive part) on all cores.
+//! That loop now lives in [`crate::spec`]: the declarative
+//! [`MonitorSpec`](crate::spec::MonitorSpec) is the primary construction
+//! API, because a spec can be serialized, shipped, and rebuilt — the
+//! deployment story an imperative call chain cannot provide.
+//! [`MonitorBuilder`] remains as a thin convenience shim that *lowers to a
+//! spec* ([`MonitorBuilder::to_spec`]) and builds it, so existing callers
+//! keep compiling; new code should start from `MonitorSpec`.
 
 use crate::error::MonitorError;
 use crate::feature::FeatureExtractor;
@@ -19,13 +23,14 @@ use crate::minmax::MinMaxMonitor;
 use crate::monitor::{Monitor, QueryScratch, Verdict};
 use crate::pattern::{PatternBackend, PatternMonitor};
 use crate::per_class::PerClassMonitor;
-use crate::perturb::perturbation_estimate_with;
-use napmon_absint::{propagate::Propagator, BoxBounds, Domain};
+use crate::spec::{ComposedMonitor, MonitorSpec};
+use napmon_absint::Domain;
 use napmon_nn::Network;
+use serde::{Deserialize, Serialize};
 
 /// Robust-construction parameters: perturbation budget `Δ`, injection
 /// boundary `kp`, and the abstract domain computing Definition 1.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RobustConfig {
     /// Per-dimension perturbation bound `Δ ≥ 0`.
     pub delta: f64,
@@ -36,7 +41,12 @@ pub struct RobustConfig {
 }
 
 /// Which monitor family to build.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Marked `#[non_exhaustive]`: future format versions may add families
+/// without breaking downstream matches, which is what lets a serialized
+/// [`MonitorSpec`] stay forward-compatible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum MonitorKind {
     /// Per-neuron min/max bounds, optionally bloated by `gamma` (the
     /// baseline enlargement of Henzinger et al.).
@@ -150,6 +160,25 @@ impl AnyMonitor {
             AnyMonitor::Interval(m) => Some(m.coverage()),
         }
     }
+
+    /// Number of training samples absorbed during construction.
+    pub fn samples(&self) -> usize {
+        match self {
+            AnyMonitor::MinMax(m) => m.samples(),
+            AnyMonitor::Pattern(m) => m.samples(),
+            AnyMonitor::Interval(m) => m.samples(),
+        }
+    }
+
+    /// Number of distinct abstract patterns admitted, when the family
+    /// counts patterns (pattern families only).
+    pub fn pattern_count(&self) -> Option<f64> {
+        match self {
+            AnyMonitor::MinMax(_) => None,
+            AnyMonitor::Pattern(m) => Some(m.pattern_count()),
+            AnyMonitor::Interval(m) => Some(m.pattern_count()),
+        }
+    }
 }
 
 impl Monitor for AnyMonitor {
@@ -180,8 +209,15 @@ impl Monitor for AnyMonitor {
 
 /// Builds monitors over one network boundary.
 ///
-/// See the crate-level example. The builder borrows the network only for
-/// construction; built monitors are self-contained values.
+/// This is the imperative convenience layer: every call chain lowers to a
+/// declarative [`MonitorSpec`] ([`MonitorBuilder::to_spec`]) and
+/// [`MonitorSpec::build`] does the actual work. Prefer starting from
+/// `MonitorSpec` directly in new code — a spec is serializable data that
+/// can be saved, reviewed, and rebuilt elsewhere (see `napmon-artifact`),
+/// while a builder lives only as long as the borrow of its network.
+///
+/// The builder borrows the network only for construction; built monitors
+/// are self-contained values.
 #[derive(Debug, Clone)]
 pub struct MonitorBuilder<'a> {
     net: &'a Network,
@@ -228,125 +264,18 @@ impl<'a> MonitorBuilder<'a> {
         self
     }
 
-    fn extractor(&self) -> Result<FeatureExtractor, MonitorError> {
-        let fx = FeatureExtractor::new(self.net, self.layer)?;
-        match &self.neurons {
-            None => Ok(fx),
-            Some(n) => fx.with_neurons(n.clone()),
+    /// Lowers the builder state to the declarative [`MonitorSpec`] it is a
+    /// shim for. The returned spec (plus the training data) reproduces
+    /// exactly what [`MonitorBuilder::build`] would construct.
+    pub fn to_spec(&self, kind: MonitorKind) -> MonitorSpec {
+        let mut spec = MonitorSpec::new(self.layer, kind);
+        if let Some(neurons) = &self.neurons {
+            spec = spec.with_neurons(neurons.clone());
         }
-    }
-
-    fn validate(&self, data: &[Vec<f64>]) -> Result<(), MonitorError> {
-        if data.is_empty() {
-            return Err(MonitorError::EmptyTrainingSet);
+        if let Some(robust) = self.robust {
+            spec = spec.robust_config(robust);
         }
-        for (i, v) in data.iter().enumerate() {
-            if v.len() != self.net.input_dim() {
-                return Err(MonitorError::DimensionMismatch {
-                    context: format!("training sample {i}"),
-                    expected: self.net.input_dim(),
-                    actual: v.len(),
-                });
-            }
-        }
-        if let Some(r) = &self.robust {
-            if r.kp >= self.layer {
-                return Err(MonitorError::InvalidConfig(format!(
-                    "robust config needs kp < monitored layer: kp={}, layer={}",
-                    r.kp, self.layer
-                )));
-            }
-            if r.delta < 0.0 || !r.delta.is_finite() {
-                return Err(MonitorError::InvalidConfig(format!(
-                    "delta must be finite and non-negative, got {}",
-                    r.delta
-                )));
-            }
-        }
-        Ok(())
-    }
-
-    /// Per-sample features and (when robust) perturbation estimates, both
-    /// projected to the monitored neurons.
-    fn compute_samples(
-        &self,
-        fx: &FeatureExtractor,
-        data: &[Vec<f64>],
-    ) -> (Vec<Vec<f64>>, Option<Vec<BoxBounds>>) {
-        let robust = self.robust;
-        let net = self.net;
-        let layer = self.layer;
-        let results: Vec<(Vec<f64>, Option<BoxBounds>)> = if !self.parallel || data.len() < 64 {
-            // Serial path reuses one propagator across samples.
-            let prop = robust.map(|r| Propagator::new(net, r.domain));
-            data.iter()
-                .map(|sample| {
-                    let features = fx.project(&net.forward_prefix(sample, layer));
-                    let bounds = robust.map(|r| {
-                        let pe = perturbation_estimate_with(
-                            prop.as_ref().expect("propagator exists when robust"),
-                            sample,
-                            r.kp,
-                            layer,
-                            r.delta,
-                        )
-                        .expect("validated robust config");
-                        fx.project_bounds(&pe)
-                    });
-                    (features, bounds)
-                })
-                .collect()
-        } else {
-            let threads = std::thread::available_parallelism()
-                .map(usize::from)
-                .unwrap_or(4);
-            let chunk_size = data.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = data
-                    .chunks(chunk_size)
-                    .map(|chunk| {
-                        s.spawn(move || {
-                            // One cached propagator per worker.
-                            let prop = robust.map(|r| Propagator::new(net, r.domain));
-                            chunk
-                                .iter()
-                                .map(|sample| {
-                                    let features = fx.project(&net.forward_prefix(sample, layer));
-                                    let bounds = robust.map(|r| {
-                                        let pe = perturbation_estimate_with(
-                                            prop.as_ref().expect("propagator exists when robust"),
-                                            sample,
-                                            r.kp,
-                                            layer,
-                                            r.delta,
-                                        )
-                                        .expect("validated robust config");
-                                        fx.project_bounds(&pe)
-                                    });
-                                    (features, bounds)
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
-        };
-        let (features, bounds): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-        let bounds: Option<Vec<BoxBounds>> = if self.robust.is_some() {
-            Some(
-                bounds
-                    .into_iter()
-                    .map(|b| b.expect("robust bounds computed"))
-                    .collect(),
-            )
-        } else {
-            None
-        };
-        (features, bounds)
+        spec.parallel(self.parallel)
     }
 
     /// Runs the construction loop and returns the monitor.
@@ -358,50 +287,9 @@ impl<'a> MonitorBuilder<'a> {
     /// [`MonitorError::InvalidConfig`] for invalid layer / robust / policy
     /// configurations.
     pub fn build(&self, kind: MonitorKind, data: &[Vec<f64>]) -> Result<AnyMonitor, MonitorError> {
-        let fx = self.extractor()?;
-        self.validate(data)?;
-        let (features, bounds) = self.compute_samples(&fx, data);
-        match kind {
-            MonitorKind::MinMax { gamma } => {
-                if gamma < 0.0 {
-                    return Err(MonitorError::InvalidConfig(format!(
-                        "gamma must be non-negative, got {gamma}"
-                    )));
-                }
-                let mut m = MinMaxMonitor::empty(fx);
-                match &bounds {
-                    Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
-                    None => features.iter().for_each(|f| m.absorb_point(f)),
-                }
-                if gamma > 0.0 {
-                    m.enlarge(gamma);
-                }
-                Ok(AnyMonitor::MinMax(m))
-            }
-            MonitorKind::Pattern {
-                policy,
-                backend,
-                hamming,
-            } => {
-                let lists = policy.resolve(fx.dim(), 1, &features)?;
-                let thresholds: Vec<f64> = lists.into_iter().map(|l| l[0]).collect();
-                let mut m = PatternMonitor::empty(fx, thresholds, backend)?;
-                m.set_hamming_tolerance(hamming);
-                match &bounds {
-                    Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
-                    None => features.iter().for_each(|f| m.absorb_point(f)),
-                }
-                Ok(AnyMonitor::Pattern(m))
-            }
-            MonitorKind::IntervalPattern { bits, policy } => {
-                let lists = policy.resolve(fx.dim(), bits, &features)?;
-                let mut m = IntervalPatternMonitor::empty(fx, bits, lists)?;
-                match &bounds {
-                    Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
-                    None => features.iter().for_each(|f| m.absorb_point(f)),
-                }
-                Ok(AnyMonitor::Interval(m))
-            }
+        match self.to_spec(kind).build(self.net, data)? {
+            ComposedMonitor::Single(m) => Ok(m),
+            other => unreachable!("single spec built {other}"),
         }
     }
 
@@ -421,37 +309,11 @@ impl<'a> MonitorBuilder<'a> {
         labels: &[usize],
         num_classes: usize,
     ) -> Result<PerClassMonitor, MonitorError> {
-        if labels.len() != data.len() {
-            return Err(MonitorError::DimensionMismatch {
-                context: "per-class labels".into(),
-                expected: data.len(),
-                actual: labels.len(),
-            });
+        let spec = self.to_spec(kind).per_class(num_classes);
+        match spec.build_with_labels(self.net, data, labels)? {
+            ComposedMonitor::PerClass(m) => Ok(m),
+            other => unreachable!("per-class spec built {other}"),
         }
-        if num_classes == 0 {
-            return Err(MonitorError::InvalidConfig(
-                "num_classes must be positive".into(),
-            ));
-        }
-        let mut partitions: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_classes];
-        for (v, &c) in data.iter().zip(labels) {
-            if c >= num_classes {
-                return Err(MonitorError::InvalidConfig(format!(
-                    "label {c} out of range 0..{num_classes}"
-                )));
-            }
-            partitions[c].push(v.clone());
-        }
-        let mut monitors = Vec::with_capacity(num_classes);
-        for (c, part) in partitions.iter().enumerate() {
-            if part.is_empty() {
-                return Err(MonitorError::InvalidConfig(format!(
-                    "class {c} has no training samples"
-                )));
-            }
-            monitors.push(self.build(kind.clone(), part)?);
-        }
-        Ok(PerClassMonitor::new(monitors))
     }
 }
 

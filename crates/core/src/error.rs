@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors returned by fallible monitor operations.
+///
+/// Marked `#[non_exhaustive]`: future spec/artifact format versions may
+/// add variants without breaking downstream matches.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum MonitorError {
     /// A vector has the wrong dimension for the network or monitor.
     DimensionMismatch {

@@ -37,8 +37,14 @@
 //!
 //! # Example
 //!
+//! Construction is *spec-first*: a [`MonitorSpec`] declares the whole
+//! build as serializable data (family, boundary, robustness, composition),
+//! and [`MonitorSpec::build`] runs the paper's construction loop. The
+//! imperative [`MonitorBuilder`] remains as a thin shim that lowers to a
+//! spec.
+//!
 //! ```
-//! use napmon_core::{Monitor, MonitorBuilder, MonitorKind};
+//! use napmon_core::{Monitor, MonitorKind, MonitorSpec};
 //! use napmon_absint::Domain;
 //! use napmon_nn::{Activation, LayerSpec, Network};
 //!
@@ -52,10 +58,9 @@
 //!     .collect();
 //!
 //! // Robust on-off monitor at the post-ReLU boundary (layer 2),
-//! // tolerating Δ=0.05 input perturbation.
-//! let monitor = MonitorBuilder::new(&net, 2)
-//!     .robust(0.05, 0, Domain::Box)
-//!     .build(MonitorKind::pattern(), &train)?;
+//! // tolerating Δ=0.05 input perturbation — declared as data.
+//! let spec = MonitorSpec::new(2, MonitorKind::pattern()).robust(0.05, 0, Domain::Box);
+//! let monitor = spec.build(&net, &train)?;
 //!
 //! // Lemma 1: training inputs (and anything Δ-close) never warn.
 //! for v in &train {
@@ -76,6 +81,7 @@ pub mod pattern;
 pub mod per_class;
 pub mod perturb;
 pub mod score;
+pub mod spec;
 
 pub use builder::{AnyMonitor, MonitorBuilder, MonitorKind, RobustConfig};
 pub use error::MonitorError;
@@ -88,3 +94,4 @@ pub use pattern::{PatternBackend, PatternMonitor};
 pub use per_class::PerClassMonitor;
 pub use perturb::perturbation_estimate;
 pub use score::ScoredMonitor;
+pub use spec::{ComposedMonitor, Composition, MonitorSpec, WatchedLayer, MONITOR_SPEC_VERSION};

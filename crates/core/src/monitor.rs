@@ -299,6 +299,8 @@ const _: () = {
     assert_send_sync::<crate::interval_pattern::IntervalPatternMonitor>();
     assert_send_sync::<crate::multi::MultiLayerMonitor>();
     assert_send_sync::<crate::per_class::PerClassMonitor>();
+    assert_send_sync::<crate::spec::ComposedMonitor>();
+    assert_send_sync::<crate::spec::MonitorSpec>();
     assert_send_sync::<Verdict>();
     assert_send_sync::<QueryScratch>();
     assert_send_sync::<MonitorError>();

@@ -282,6 +282,19 @@ impl PatternMonitor {
     pub fn thresholds(&self) -> &[f64] {
         &self.thresholds
     }
+
+    /// The storage backend the pattern set lives in.
+    pub fn backend(&self) -> PatternBackend {
+        match &self.store {
+            Store::Bdd { .. } => PatternBackend::Bdd,
+            Store::Hash(_) => PatternBackend::HashSet,
+        }
+    }
+
+    /// The configured query-time Hamming tolerance `τ`.
+    pub fn hamming_tolerance(&self) -> usize {
+        self.hamming_tolerance
+    }
 }
 
 impl PatternMonitor {

@@ -9,9 +9,10 @@ use crate::builder::AnyMonitor;
 use crate::error::MonitorError;
 use crate::monitor::{Monitor, QueryScratch, Verdict};
 use napmon_nn::Network;
+use serde::{Deserialize, Serialize};
 
 /// One monitor per class; queries dispatch on the predicted class.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerClassMonitor {
     monitors: Vec<AnyMonitor>,
 }

@@ -1,0 +1,1126 @@
+//! Declarative monitor specifications: the spec-first build pipeline.
+//!
+//! A [`MonitorSpec`] is a fully serializable, versioned description of an
+//! entire monitor build — which boundary (or boundaries) of the network to
+//! watch, which monitor family ([`MonitorKind`]), whether to use the robust
+//! construction of §III-B ([`RobustConfig`]), how members compose
+//! ([`Composition`]), and whether construction may use all cores. Where the
+//! imperative [`MonitorBuilder`](crate::builder::MonitorBuilder) chain
+//! lives only as long as the process that ran it, a spec is *data*: it can
+//! be written to disk, reviewed, diffed, shipped to another machine, and
+//! rebuilt — or embedded in a `napmon-artifact` file next to the monitor it
+//! produced, so the deployed abstraction is always traceable to the exact
+//! configuration that built it.
+//!
+//! [`MonitorSpec::build`] runs the paper's construction loop and returns a
+//! [`ComposedMonitor`] — single-boundary, multi-layer voted, or per-class —
+//! which is itself serializable and mountable on the `napmon-serve` engine.
+//!
+//! Every invariant of a spec is checked *up front* by
+//! [`MonitorSpec::validate`] / [`MonitorSpec::validate_for`]: a spec
+//! deserialized from an untrusted file fails with a typed
+//! [`MonitorError`] instead of panicking deep inside construction.
+//!
+//! # Example
+//!
+//! ```
+//! use napmon_core::{Monitor, MonitorKind, MonitorSpec};
+//! use napmon_absint::Domain;
+//! use napmon_nn::{Activation, LayerSpec, Network};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Network::seeded(7, 4, &[
+//!     LayerSpec::dense(8, Activation::Relu),
+//!     LayerSpec::dense(2, Activation::Identity),
+//! ]);
+//! let train: Vec<Vec<f64>> = (0..32)
+//!     .map(|i| (0..4).map(|j| ((i + j) % 8) as f64 / 8.0).collect())
+//!     .collect();
+//!
+//! // The whole build, declared as data.
+//! let spec = MonitorSpec::new(2, MonitorKind::pattern()).robust(0.05, 0, Domain::Box);
+//! let monitor = spec.build(&net, &train)?;
+//! for v in &train {
+//!     assert!(!monitor.warns(&net, v)?);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::builder::{AnyMonitor, MonitorKind, RobustConfig};
+use crate::error::MonitorError;
+use crate::feature::FeatureExtractor;
+use crate::interval_pattern::{IntervalPatternMonitor, ThresholdPolicy};
+use crate::minmax::MinMaxMonitor;
+use crate::monitor::{Monitor, QueryScratch, Verdict};
+use crate::multi::{MultiLayerMonitor, Vote};
+use crate::pattern::PatternMonitor;
+use crate::per_class::PerClassMonitor;
+use crate::perturb::perturbation_estimate_with;
+use napmon_absint::{propagate::Propagator, BoxBounds, Domain};
+use napmon_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// The spec schema version this crate reads and writes.
+pub const MONITOR_SPEC_VERSION: u32 = 1;
+
+/// One watched network boundary: the paper's `G^k`, optionally restricted
+/// to a neuron subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchedLayer {
+    /// Monitored boundary index (`1..=net.num_layers()`).
+    pub layer: usize,
+    /// Monitored neuron indices; `None` watches the whole boundary.
+    pub neurons: Option<Vec<usize>>,
+}
+
+impl WatchedLayer {
+    /// Watches every neuron of boundary `layer`.
+    pub fn whole(layer: usize) -> Self {
+        Self {
+            layer,
+            neurons: None,
+        }
+    }
+
+    /// Watches only the given neuron indices of boundary `layer`.
+    pub fn subset(layer: usize, neurons: Vec<usize>) -> Self {
+        Self {
+            layer,
+            neurons: Some(neurons),
+        }
+    }
+}
+
+/// How member monitors compose into the deployed decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Composition {
+    /// One monitor over one boundary (the paper's default setup).
+    Single,
+    /// One member per watched boundary, combined by a [`Vote`].
+    MultiLayer {
+        /// The voting rule combining per-boundary verdicts.
+        vote: Vote,
+    },
+    /// One member per output class; queries dispatch on the predicted
+    /// class (the DATE 2019 setup).
+    PerClass {
+        /// Number of classes (one member monitor each).
+        num_classes: usize,
+    },
+}
+
+/// A declarative, versioned description of an entire monitor build.
+///
+/// See the [module docs](self) for the deployment story. Construct with
+/// [`MonitorSpec::new`] (or [`MonitorSpec::multi_layer`]) and refine with
+/// the chainable setters; every field is also public, so a spec can be
+/// assembled literally or deserialized from JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSpec {
+    /// Spec schema version ([`MONITOR_SPEC_VERSION`]).
+    pub version: u32,
+    /// The watched boundary (or boundaries, for multi-layer composition).
+    pub layers: Vec<WatchedLayer>,
+    /// The monitor family and its parameters.
+    pub kind: MonitorKind,
+    /// Robust-construction parameters; `None` builds the standard monitor.
+    pub robust: Option<RobustConfig>,
+    /// How members compose into the deployed decision.
+    pub composition: Composition,
+    /// Parallelism hint: compute per-sample forward passes / perturbation
+    /// estimates on all cores during construction.
+    pub parallel: bool,
+}
+
+impl MonitorSpec {
+    /// A single-boundary spec watching all of boundary `layer`.
+    pub fn new(layer: usize, kind: MonitorKind) -> Self {
+        Self {
+            version: MONITOR_SPEC_VERSION,
+            layers: vec![WatchedLayer::whole(layer)],
+            kind,
+            robust: None,
+            composition: Composition::Single,
+            parallel: false,
+        }
+    }
+
+    /// A multi-layer spec: one member per watched boundary, combined by
+    /// `vote`.
+    pub fn multi_layer(layers: Vec<WatchedLayer>, kind: MonitorKind, vote: Vote) -> Self {
+        Self {
+            version: MONITOR_SPEC_VERSION,
+            layers,
+            kind,
+            robust: None,
+            composition: Composition::MultiLayer { vote },
+            parallel: false,
+        }
+    }
+
+    /// Restricts the (single) watched boundary to the given neurons.
+    pub fn with_neurons(mut self, neurons: Vec<usize>) -> Self {
+        if let Some(first) = self.layers.first_mut() {
+            first.neurons = Some(neurons);
+        }
+        self
+    }
+
+    /// Switches to the robust construction of §III-B.
+    pub fn robust(mut self, delta: f64, kp: usize, domain: Domain) -> Self {
+        self.robust = Some(RobustConfig { delta, kp, domain });
+        self
+    }
+
+    /// Same as [`MonitorSpec::robust`] with a pre-assembled config.
+    pub fn robust_config(mut self, config: RobustConfig) -> Self {
+        self.robust = Some(config);
+        self
+    }
+
+    /// Switches to per-class composition with `num_classes` classes.
+    pub fn per_class(mut self, num_classes: usize) -> Self {
+        self.composition = Composition::PerClass { num_classes };
+        self
+    }
+
+    /// Sets the construction parallelism hint.
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    /// Checks every network-independent invariant of the spec.
+    ///
+    /// This is the guard that makes deserialized specs safe: a malformed
+    /// file — unknown version, zero watched layers, interval `bits` out of
+    /// range, explicit thresholds whose count disagrees with `2^bits − 1`,
+    /// negative or non-finite `delta`, `kp` not below every watched layer,
+    /// a vote demanding more members than exist — fails here with a typed
+    /// [`MonitorError`] instead of panicking inside construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidConfig`] describing the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), MonitorError> {
+        if self.version != MONITOR_SPEC_VERSION {
+            return Err(MonitorError::InvalidConfig(format!(
+                "unsupported spec version {} (this build reads version {MONITOR_SPEC_VERSION})",
+                self.version
+            )));
+        }
+        if self.layers.is_empty() {
+            return Err(MonitorError::InvalidConfig("spec watches no layers".into()));
+        }
+        for watched in &self.layers {
+            if watched.layer == 0 {
+                return Err(MonitorError::InvalidConfig(
+                    "boundary 0 (the raw input) cannot be monitored".into(),
+                ));
+            }
+            if let Some(neurons) = &watched.neurons {
+                if neurons.is_empty() {
+                    return Err(MonitorError::InvalidConfig(format!(
+                        "boundary {}: neuron subset is empty",
+                        watched.layer
+                    )));
+                }
+            }
+        }
+        match &self.composition {
+            Composition::Single | Composition::PerClass { .. } => {
+                if self.layers.len() != 1 {
+                    return Err(MonitorError::InvalidConfig(format!(
+                        "{} composition watches exactly one boundary, got {}",
+                        match self.composition {
+                            Composition::PerClass { .. } => "per-class",
+                            _ => "single",
+                        },
+                        self.layers.len()
+                    )));
+                }
+                if let Composition::PerClass { num_classes } = self.composition {
+                    if num_classes == 0 {
+                        return Err(MonitorError::InvalidConfig(
+                            "per-class composition needs num_classes >= 1".into(),
+                        ));
+                    }
+                }
+            }
+            Composition::MultiLayer { vote } => {
+                if let Vote::AtLeast(k) = vote {
+                    if *k == 0 || *k > self.layers.len() {
+                        return Err(MonitorError::InvalidConfig(format!(
+                            "vote AtLeast({k}) with {} watched layers",
+                            self.layers.len()
+                        )));
+                    }
+                }
+            }
+        }
+        self.validate_kind()?;
+        if let Some(r) = &self.robust {
+            if r.delta < 0.0 || !r.delta.is_finite() {
+                return Err(MonitorError::InvalidConfig(format!(
+                    "delta must be finite and non-negative, got {}",
+                    r.delta
+                )));
+            }
+            if let Some(min_layer) = self.layers.iter().map(|w| w.layer).min() {
+                if r.kp >= min_layer {
+                    return Err(MonitorError::InvalidConfig(format!(
+                        "robust config needs kp < monitored layer: kp={}, layer={min_layer}",
+                        r.kp
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The family-specific half of [`MonitorSpec::validate`].
+    fn validate_kind(&self) -> Result<(), MonitorError> {
+        match &self.kind {
+            MonitorKind::MinMax { gamma } => {
+                if *gamma < 0.0 || !gamma.is_finite() {
+                    return Err(MonitorError::InvalidConfig(format!(
+                        "gamma must be finite and non-negative, got {gamma}"
+                    )));
+                }
+            }
+            MonitorKind::Pattern { policy, .. } => {
+                validate_policy(policy, 1)?;
+            }
+            MonitorKind::IntervalPattern { bits, policy } => {
+                if *bits == 0 || *bits > 8 {
+                    return Err(MonitorError::InvalidConfig(format!(
+                        "bits per neuron must be in 1..=8, got {bits}"
+                    )));
+                }
+                validate_policy(policy, *bits)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the spec against a concrete network: boundary indices in
+    /// range, neuron subsets within the boundary width, explicit threshold
+    /// lists matching the monitored dimension.
+    ///
+    /// Runs [`MonitorSpec::validate`] first, so one call covers both
+    /// halves — this is what `napmon-artifact` calls on load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidConfig`] or
+    /// [`MonitorError::DimensionMismatch`] describing the first violated
+    /// invariant.
+    pub fn validate_for(&self, net: &Network) -> Result<(), MonitorError> {
+        self.validate()?;
+        for watched in &self.layers {
+            if watched.layer > net.num_layers() {
+                return Err(MonitorError::InvalidConfig(format!(
+                    "monitored boundary {} out of range 1..={}",
+                    watched.layer,
+                    net.num_layers()
+                )));
+            }
+            let width = net.dim_at(watched.layer);
+            let dim = match &watched.neurons {
+                None => width,
+                Some(neurons) => {
+                    for &n in neurons {
+                        if n >= width {
+                            return Err(MonitorError::InvalidConfig(format!(
+                                "neuron {n} out of range for layer width {width}"
+                            )));
+                        }
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    neurons.iter().filter(|n| seen.insert(**n)).count()
+                }
+            };
+            let explicit = match &self.kind {
+                MonitorKind::Pattern {
+                    policy: ThresholdPolicy::Explicit(lists),
+                    ..
+                }
+                | MonitorKind::IntervalPattern {
+                    policy: ThresholdPolicy::Explicit(lists),
+                    ..
+                } => Some(lists),
+                _ => None,
+            };
+            if let Some(lists) = explicit {
+                if lists.len() != dim {
+                    return Err(MonitorError::DimensionMismatch {
+                        context: format!("explicit thresholds at boundary {}", watched.layer),
+                        expected: dim,
+                        actual: lists.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the construction loop of §III-A/B and returns the composed
+    /// monitor.
+    ///
+    /// Per-class composition labels each training sample with the
+    /// network's *predicted* class (the deployment-faithful choice: in
+    /// operation the dispatch uses predictions too); use
+    /// [`MonitorSpec::build_with_labels`] to train against ground-truth
+    /// labels instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::EmptyTrainingSet`] for empty data,
+    /// [`MonitorError::DimensionMismatch`] for malformed samples, and
+    /// [`MonitorError::InvalidConfig`] for any violated spec invariant.
+    pub fn build(&self, net: &Network, data: &[Vec<f64>]) -> Result<ComposedMonitor, MonitorError> {
+        match self.composition {
+            Composition::PerClass { .. } => {
+                // Validate before predicting labels: predict_class panics
+                // on wrong-dimension samples, and malformed input must
+                // surface as the typed error this method documents.
+                self.validate_for(net)?;
+                check_training_data(net, data)?;
+                let labels: Vec<usize> = data.iter().map(|x| net.predict_class(x)).collect();
+                self.build_with_labels(net, data, &labels)
+            }
+            _ => self.build_unlabeled(net, data),
+        }
+    }
+
+    /// Like [`MonitorSpec::build`], with explicit per-sample class labels
+    /// for per-class composition (`labels[i]` is the class of `data[i]`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MonitorSpec::build`], plus
+    /// [`MonitorError::InvalidConfig`] when labels are out of range or a
+    /// class has no samples.
+    pub fn build_with_labels(
+        &self,
+        net: &Network,
+        data: &[Vec<f64>],
+        labels: &[usize],
+    ) -> Result<ComposedMonitor, MonitorError> {
+        let Composition::PerClass { num_classes } = self.composition else {
+            return self.build_unlabeled(net, data);
+        };
+        self.validate_for(net)?;
+        check_training_data(net, data)?;
+        if labels.len() != data.len() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "per-class labels".into(),
+                expected: data.len(),
+                actual: labels.len(),
+            });
+        }
+        let mut partitions: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_classes];
+        for (v, &c) in data.iter().zip(labels) {
+            if c >= num_classes {
+                return Err(MonitorError::InvalidConfig(format!(
+                    "label {c} out of range 0..{num_classes}"
+                )));
+            }
+            partitions[c].push(v.clone());
+        }
+        let watched = &self.layers[0];
+        let mut monitors = Vec::with_capacity(num_classes);
+        for (c, part) in partitions.iter().enumerate() {
+            if part.is_empty() {
+                return Err(MonitorError::InvalidConfig(format!(
+                    "class {c} has no training samples"
+                )));
+            }
+            monitors.push(build_member(
+                net,
+                watched,
+                &self.kind,
+                self.robust,
+                self.parallel,
+                part,
+            )?);
+        }
+        Ok(ComposedMonitor::PerClass(PerClassMonitor::new(monitors)))
+    }
+
+    /// Single and multi-layer builds (the compositions without labels).
+    fn build_unlabeled(
+        &self,
+        net: &Network,
+        data: &[Vec<f64>],
+    ) -> Result<ComposedMonitor, MonitorError> {
+        self.validate_for(net)?;
+        check_training_data(net, data)?;
+        match &self.composition {
+            Composition::Single => Ok(ComposedMonitor::Single(build_member(
+                net,
+                &self.layers[0],
+                &self.kind,
+                self.robust,
+                self.parallel,
+                data,
+            )?)),
+            Composition::MultiLayer { vote } => {
+                let members = self
+                    .layers
+                    .iter()
+                    .map(|watched| {
+                        build_member(net, watched, &self.kind, self.robust, self.parallel, data)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ComposedMonitor::MultiLayer(MultiLayerMonitor::new(
+                    members, *vote,
+                )))
+            }
+            Composition::PerClass { .. } => {
+                unreachable!("per-class goes through build_with_labels")
+            }
+        }
+    }
+}
+
+/// Static validity of a threshold policy for a given bit width.
+fn validate_policy(policy: &ThresholdPolicy, bits: usize) -> Result<(), MonitorError> {
+    let per_neuron = (1usize << bits) - 1;
+    match policy {
+        ThresholdPolicy::Sign | ThresholdPolicy::Mean => {
+            if bits != 1 {
+                return Err(MonitorError::InvalidConfig(format!(
+                    "{policy:?} policy requires bits = 1, got {bits}"
+                )));
+            }
+        }
+        ThresholdPolicy::Quantiles => {}
+        ThresholdPolicy::Explicit(lists) => {
+            for (j, list) in lists.iter().enumerate() {
+                if list.len() != per_neuron {
+                    return Err(MonitorError::InvalidConfig(format!(
+                        "neuron {j}: expected {per_neuron} thresholds for {bits}-bit \
+                         patterns, got {}",
+                        list.len()
+                    )));
+                }
+                if list.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(MonitorError::InvalidConfig(format!(
+                        "neuron {j}: thresholds not ascending"
+                    )));
+                }
+                if list.iter().any(|c| !c.is_finite()) {
+                    return Err(MonitorError::InvalidConfig(format!(
+                        "neuron {j}: thresholds must be finite"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shared training-data checks: non-empty, every sample matching the
+/// network input dimension.
+fn check_training_data(net: &Network, data: &[Vec<f64>]) -> Result<(), MonitorError> {
+    if data.is_empty() {
+        return Err(MonitorError::EmptyTrainingSet);
+    }
+    for (i, v) in data.iter().enumerate() {
+        if v.len() != net.input_dim() {
+            return Err(MonitorError::DimensionMismatch {
+                context: format!("training sample {i}"),
+                expected: net.input_dim(),
+                actual: v.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Builds one member monitor over one watched boundary: the §III-A/B
+/// construction loop the spec (and therefore the builder shim) lowers to.
+pub(crate) fn build_member(
+    net: &Network,
+    watched: &WatchedLayer,
+    kind: &MonitorKind,
+    robust: Option<RobustConfig>,
+    parallel: bool,
+    data: &[Vec<f64>],
+) -> Result<AnyMonitor, MonitorError> {
+    let fx = FeatureExtractor::new(net, watched.layer)?;
+    let fx = match &watched.neurons {
+        None => fx,
+        Some(neurons) => fx.with_neurons(neurons.clone())?,
+    };
+    let (features, bounds) = compute_samples(net, &fx, watched.layer, robust, parallel, data);
+    match kind {
+        MonitorKind::MinMax { gamma } => {
+            let mut m = MinMaxMonitor::empty(fx);
+            match &bounds {
+                Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
+                None => features.iter().for_each(|f| m.absorb_point(f)),
+            }
+            if *gamma > 0.0 {
+                m.enlarge(*gamma);
+            }
+            Ok(AnyMonitor::MinMax(m))
+        }
+        MonitorKind::Pattern {
+            policy,
+            backend,
+            hamming,
+        } => {
+            let lists = policy.resolve(fx.dim(), 1, &features)?;
+            let thresholds: Vec<f64> = lists.into_iter().map(|l| l[0]).collect();
+            let mut m = PatternMonitor::empty(fx, thresholds, *backend)?;
+            m.set_hamming_tolerance(*hamming);
+            match &bounds {
+                Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
+                None => features.iter().for_each(|f| m.absorb_point(f)),
+            }
+            Ok(AnyMonitor::Pattern(m))
+        }
+        MonitorKind::IntervalPattern { bits, policy } => {
+            let lists = policy.resolve(fx.dim(), *bits, &features)?;
+            let mut m = IntervalPatternMonitor::empty(fx, *bits, lists)?;
+            match &bounds {
+                Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
+                None => features.iter().for_each(|f| m.absorb_point(f)),
+            }
+            Ok(AnyMonitor::Interval(m))
+        }
+    }
+}
+
+/// Per-sample features and (when robust) perturbation estimates, both
+/// projected to the monitored neurons.
+fn compute_samples(
+    net: &Network,
+    fx: &FeatureExtractor,
+    layer: usize,
+    robust: Option<RobustConfig>,
+    parallel: bool,
+    data: &[Vec<f64>],
+) -> (Vec<Vec<f64>>, Option<Vec<BoxBounds>>) {
+    let results: Vec<(Vec<f64>, Option<BoxBounds>)> = if !parallel || data.len() < 64 {
+        // Serial path reuses one propagator across samples.
+        let prop = robust.map(|r| Propagator::new(net, r.domain));
+        data.iter()
+            .map(|sample| sample_one(net, fx, layer, robust, prop.as_ref(), sample))
+            .collect()
+    } else {
+        let threads = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(4);
+        let chunk_size = data.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        // One cached propagator per worker.
+                        let prop = robust.map(|r| Propagator::new(net, r.domain));
+                        chunk
+                            .iter()
+                            .map(|sample| sample_one(net, fx, layer, robust, prop.as_ref(), sample))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+    let (features, bounds): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let bounds: Option<Vec<BoxBounds>> = if robust.is_some() {
+        Some(
+            bounds
+                .into_iter()
+                .map(|b| b.expect("robust bounds computed"))
+                .collect(),
+        )
+    } else {
+        None
+    };
+    (features, bounds)
+}
+
+/// One sample of the construction loop: projected features plus (when
+/// robust) the projected perturbation estimate.
+fn sample_one(
+    net: &Network,
+    fx: &FeatureExtractor,
+    layer: usize,
+    robust: Option<RobustConfig>,
+    prop: Option<&Propagator<'_>>,
+    sample: &[f64],
+) -> (Vec<f64>, Option<BoxBounds>) {
+    let features = fx.project(&net.forward_prefix(sample, layer));
+    let bounds = robust.map(|r| {
+        let pe = perturbation_estimate_with(
+            prop.expect("propagator exists when robust"),
+            sample,
+            r.kp,
+            layer,
+            r.delta,
+        )
+        .expect("validated robust config");
+        fx.project_bounds(&pe)
+    });
+    (features, bounds)
+}
+
+/// A deployable monitor of any composition, as produced by
+/// [`MonitorSpec::build`]: single-boundary, multi-layer voted, or
+/// per-class dispatched. Serializable as a unit, so a whole deployment —
+/// not just one member abstraction — round-trips through a
+/// `napmon-artifact` file.
+// One `ComposedMonitor` exists per deployment (not per request), so the
+// size skew between a composite's `Vec` indirection and an inline
+// single-boundary monitor is irrelevant; boxing would only add a pointer
+// chase to the query hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ComposedMonitor {
+    /// One monitor over one boundary.
+    Single(AnyMonitor),
+    /// One member per boundary, combined by a vote.
+    MultiLayer(MultiLayerMonitor),
+    /// One member per output class, dispatched on the predicted class.
+    PerClass(PerClassMonitor),
+}
+
+impl ComposedMonitor {
+    /// The single-boundary monitor, if that is what was built.
+    pub fn as_single(&self) -> Option<&AnyMonitor> {
+        match self {
+            ComposedMonitor::Single(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The multi-layer monitor, if that is what was built.
+    pub fn as_multi_layer(&self) -> Option<&MultiLayerMonitor> {
+        match self {
+            ComposedMonitor::MultiLayer(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The per-class monitor, if that is what was built.
+    pub fn as_per_class(&self) -> Option<&PerClassMonitor> {
+        match self {
+            ComposedMonitor::PerClass(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The member monitors, flattened: one for `Single`, one per boundary
+    /// for `MultiLayer`, one per class for `PerClass`.
+    pub fn members(&self) -> Vec<&AnyMonitor> {
+        match self {
+            ComposedMonitor::Single(m) => vec![m],
+            ComposedMonitor::MultiLayer(m) => m.members().iter().collect(),
+            ComposedMonitor::PerClass(m) => {
+                (0..m.num_classes()).map(|c| m.class_monitor(c)).collect()
+            }
+        }
+    }
+}
+
+impl Monitor for ComposedMonitor {
+    /// The *primary* extractor: the single member's, the first boundary's
+    /// (multi-layer), or class 0's (per-class). Composite monitors watch
+    /// more than this one extractor describes — use
+    /// [`ComposedMonitor::members`] for the full picture.
+    fn extractor(&self) -> &FeatureExtractor {
+        match self {
+            ComposedMonitor::Single(m) => m.extractor(),
+            ComposedMonitor::MultiLayer(m) => m.members()[0].extractor(),
+            ComposedMonitor::PerClass(m) => m.class_monitor(0).extractor(),
+        }
+    }
+
+    /// Feature-level verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics for composite (multi-layer / per-class) monitors: their
+    /// decision needs the full network input, not one feature vector. Use
+    /// [`Monitor::verdict`] / [`Monitor::verdict_scratch`], which work for
+    /// every composition.
+    fn verdict_features(&self, features: &[f64]) -> Verdict {
+        match self {
+            ComposedMonitor::Single(m) => m.verdict_features(features),
+            _ => panic!(
+                "composite monitors have no single feature vector; \
+                 query with verdict()/verdict_scratch() on the network input"
+            ),
+        }
+    }
+
+    fn verdict_features_scratch(&self, features: &[f64], scratch: &mut QueryScratch) -> Verdict {
+        match self {
+            ComposedMonitor::Single(m) => m.verdict_features_scratch(features, scratch),
+            _ => self.verdict_features(features),
+        }
+    }
+
+    fn verdict(&self, net: &Network, input: &[f64]) -> Result<Verdict, MonitorError> {
+        match self {
+            ComposedMonitor::Single(m) => m.verdict(net, input),
+            ComposedMonitor::MultiLayer(m) => m.verdict(net, input),
+            ComposedMonitor::PerClass(m) => m.verdict(net, input),
+        }
+    }
+
+    fn verdict_scratch(
+        &self,
+        net: &Network,
+        input: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Result<Verdict, MonitorError> {
+        match self {
+            ComposedMonitor::Single(m) => m.verdict_scratch(net, input, scratch),
+            ComposedMonitor::MultiLayer(m) => m.verdict_scratch(net, input, scratch),
+            ComposedMonitor::PerClass(m) => m.verdict_scratch(net, input, scratch),
+        }
+    }
+
+    fn query_batch(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+    ) -> Result<Vec<Verdict>, MonitorError> {
+        match self {
+            ComposedMonitor::Single(m) => m.query_batch(net, inputs),
+            ComposedMonitor::MultiLayer(m) => m.query_batch(net, inputs),
+            ComposedMonitor::PerClass(m) => m.query_batch(net, inputs),
+        }
+    }
+
+    fn query_batch_parallel_with(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<Vec<Verdict>, MonitorError> {
+        match self {
+            ComposedMonitor::Single(m) => m.query_batch_parallel_with(net, inputs, threads),
+            ComposedMonitor::MultiLayer(m) => m.query_batch_parallel_with(net, inputs, threads),
+            ComposedMonitor::PerClass(m) => m.query_batch_parallel_with(net, inputs, threads),
+        }
+    }
+}
+
+impl std::fmt::Display for ComposedMonitor {
+    /// A one-line composition card wrapping the member cards.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposedMonitor::Single(m) => write!(f, "{m}"),
+            ComposedMonitor::MultiLayer(m) => write!(
+                f,
+                "multi-layer monitor ({} members, vote {:?})",
+                m.num_members(),
+                m.vote()
+            ),
+            ComposedMonitor::PerClass(m) => {
+                write!(f, "per-class monitor ({} classes)", m.num_classes())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternBackend;
+    use napmon_nn::{Activation, LayerSpec};
+    use napmon_tensor::Prng;
+
+    fn net() -> Network {
+        Network::seeded(
+            23,
+            3,
+            &[
+                LayerSpec::dense(8, Activation::Relu),
+                LayerSpec::dense(4, Activation::Relu),
+                LayerSpec::dense(2, Activation::Identity),
+            ],
+        )
+    }
+
+    fn train_data(n: usize) -> Vec<Vec<f64>> {
+        let mut rng = Prng::seed(99);
+        (0..n).map(|_| rng.uniform_vec(3, -0.5, 0.5)).collect()
+    }
+
+    #[test]
+    fn spec_builds_match_builder_builds() {
+        let net = net();
+        let data = train_data(48);
+        for kind in [
+            MonitorKind::min_max(),
+            MonitorKind::pattern(),
+            MonitorKind::interval(2),
+        ] {
+            let from_spec = MonitorSpec::new(4, kind.clone())
+                .build(&net, &data)
+                .unwrap();
+            let from_builder = crate::builder::MonitorBuilder::new(&net, 4)
+                .build(kind, &data)
+                .unwrap();
+            let mut rng = Prng::seed(5);
+            for _ in 0..64 {
+                let probe = rng.uniform_vec(3, -2.0, 2.0);
+                assert_eq!(
+                    from_spec.verdict(&net, &probe).unwrap(),
+                    from_builder.verdict(&net, &probe).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_serde_round_trip_preserves_build() {
+        let net = net();
+        let data = train_data(32);
+        let spec = MonitorSpec::new(4, MonitorKind::interval(2))
+            .robust(0.03, 0, Domain::Box)
+            .with_neurons(vec![0, 2]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: MonitorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        let a = spec.build(&net, &data).unwrap();
+        let b = back.build(&net, &data).unwrap();
+        let mut rng = Prng::seed(6);
+        for _ in 0..32 {
+            let probe = rng.uniform_vec(3, -2.0, 2.0);
+            assert_eq!(
+                a.verdict(&net, &probe).unwrap(),
+                b.verdict(&net, &probe).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_specs() {
+        // Unknown version.
+        let mut spec = MonitorSpec::new(2, MonitorKind::pattern());
+        spec.version = 99;
+        assert!(spec.validate().is_err());
+        // No layers.
+        let mut spec = MonitorSpec::new(2, MonitorKind::pattern());
+        spec.layers.clear();
+        assert!(spec.validate().is_err());
+        // Boundary 0.
+        assert!(MonitorSpec::new(0, MonitorKind::pattern())
+            .validate()
+            .is_err());
+        // Empty neuron subset.
+        assert!(MonitorSpec::new(2, MonitorKind::pattern())
+            .with_neurons(vec![])
+            .validate()
+            .is_err());
+        // Interval bits out of range.
+        assert!(MonitorSpec::new(2, MonitorKind::interval(0))
+            .validate()
+            .is_err());
+        assert!(MonitorSpec::new(2, MonitorKind::interval(9))
+            .validate()
+            .is_err());
+        // Explicit thresholds disagreeing with bits.
+        let bad = MonitorKind::interval_with(
+            2,
+            ThresholdPolicy::Explicit(vec![vec![0.0]]), // needs 3 per neuron
+        );
+        assert!(MonitorSpec::new(2, bad).validate().is_err());
+        // Sign policy on a multi-bit monitor.
+        let bad = MonitorKind::interval_with(2, ThresholdPolicy::Sign);
+        assert!(MonitorSpec::new(2, bad).validate().is_err());
+        // Negative / non-finite delta.
+        assert!(MonitorSpec::new(2, MonitorKind::pattern())
+            .robust(-0.1, 0, Domain::Box)
+            .validate()
+            .is_err());
+        assert!(MonitorSpec::new(2, MonitorKind::pattern())
+            .robust(f64::NAN, 0, Domain::Box)
+            .validate()
+            .is_err());
+        // kp not below the watched layer.
+        assert!(MonitorSpec::new(2, MonitorKind::pattern())
+            .robust(0.1, 2, Domain::Box)
+            .validate()
+            .is_err());
+        // Vote arity.
+        let spec = MonitorSpec::multi_layer(
+            vec![WatchedLayer::whole(2), WatchedLayer::whole(4)],
+            MonitorKind::min_max(),
+            Vote::AtLeast(3),
+        );
+        assert!(spec.validate().is_err());
+        // Per-class with zero classes.
+        assert!(MonitorSpec::new(2, MonitorKind::pattern())
+            .per_class(0)
+            .validate()
+            .is_err());
+        // Negative gamma.
+        assert!(MonitorSpec::new(2, MonitorKind::min_max_enlarged(-1.0))
+            .validate()
+            .is_err());
+        // The good spec still validates.
+        assert!(MonitorSpec::new(2, MonitorKind::pattern())
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_for_checks_network_dimensions() {
+        let net = net();
+        // Boundary out of range (network has 5 layers incl. activations).
+        let spec = MonitorSpec::new(99, MonitorKind::pattern());
+        assert!(spec.validate_for(&net).is_err());
+        // Neuron index out of range for the boundary width.
+        let spec = MonitorSpec::new(4, MonitorKind::pattern()).with_neurons(vec![99]);
+        assert!(spec.validate_for(&net).is_err());
+        // Explicit threshold count vs monitored dimension.
+        let spec = MonitorSpec::new(
+            4,
+            MonitorKind::pattern_with(
+                ThresholdPolicy::Explicit(vec![vec![0.0]]),
+                PatternBackend::Bdd,
+                0,
+            ),
+        );
+        assert!(spec.validate_for(&net).is_err());
+        // A good spec passes.
+        assert!(MonitorSpec::new(4, MonitorKind::pattern())
+            .validate_for(&net)
+            .is_ok());
+    }
+
+    #[test]
+    fn deserialized_malformed_spec_fails_with_typed_error_not_panic() {
+        let json = r#"{
+            "version": 1,
+            "layers": [{"layer": 2, "neurons": null}],
+            "kind": {"IntervalPattern": {"bits": 3, "policy": {"Explicit": [[0.0, 1.0]]}}},
+            "robust": null,
+            "composition": "Single",
+            "parallel": false
+        }"#;
+        let spec: MonitorSpec = serde_json::from_str(json).unwrap();
+        let net = net();
+        let err = spec.build(&net, &train_data(8)).unwrap_err();
+        assert!(matches!(err, MonitorError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn multi_layer_spec_builds_voted_monitor() {
+        let net = net();
+        let data = train_data(40);
+        let spec = MonitorSpec::multi_layer(
+            vec![WatchedLayer::whole(2), WatchedLayer::whole(4)],
+            MonitorKind::min_max(),
+            Vote::Any,
+        );
+        let m = spec.build(&net, &data).unwrap();
+        assert_eq!(m.as_multi_layer().unwrap().num_members(), 2);
+        for x in &data {
+            assert!(!m.warns(&net, x).unwrap());
+        }
+        assert!(m.warns(&net, &[100.0, -100.0, 100.0]).unwrap());
+    }
+
+    #[test]
+    fn per_class_build_returns_typed_error_on_malformed_samples() {
+        let net = net(); // 3-dimensional input
+        let spec = MonitorSpec::new(4, MonitorKind::pattern()).per_class(2);
+        // Wrong-dimension sample must be the documented typed error, not a
+        // panic inside predict_class.
+        let err = spec.build(&net, &[vec![0.0; 5]]).unwrap_err();
+        assert!(
+            matches!(err, MonitorError::DimensionMismatch { .. }),
+            "{err}"
+        );
+        assert!(matches!(
+            spec.build(&net, &[]),
+            Err(MonitorError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn per_class_spec_builds_with_predicted_labels() {
+        let net = net();
+        let data = train_data(60);
+        let spec = MonitorSpec::new(4, MonitorKind::pattern()).per_class(2);
+        let m = spec.build(&net, &data).unwrap();
+        assert_eq!(m.as_per_class().unwrap().num_classes(), 2);
+        for x in &data {
+            assert!(!m.warns(&net, x).unwrap());
+        }
+    }
+
+    #[test]
+    fn composed_monitor_batch_matches_sequential() {
+        let net = net();
+        let data = train_data(40);
+        let spec = MonitorSpec::multi_layer(
+            vec![WatchedLayer::whole(2), WatchedLayer::whole(4)],
+            MonitorKind::pattern(),
+            Vote::Any,
+        );
+        let m = spec.build(&net, &data).unwrap();
+        let mut rng = Prng::seed(17);
+        let probes: Vec<Vec<f64>> = (0..50).map(|_| rng.uniform_vec(3, -2.0, 2.0)).collect();
+        let batch = m.query_batch(&net, &probes).unwrap();
+        let parallel = m.query_batch_parallel_with(&net, &probes, 2).unwrap();
+        assert_eq!(batch, parallel);
+        for (p, v) in probes.iter().zip(&batch) {
+            assert_eq!(m.verdict(&net, p).unwrap(), *v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no single feature vector")]
+    fn composite_feature_level_query_panics_with_guidance() {
+        let net = net();
+        let data = train_data(16);
+        let spec = MonitorSpec::multi_layer(
+            vec![WatchedLayer::whole(2), WatchedLayer::whole(4)],
+            MonitorKind::min_max(),
+            Vote::Any,
+        );
+        let m = spec.build(&net, &data).unwrap();
+        m.verdict_features(&[0.0; 8]);
+    }
+
+    #[test]
+    fn display_names_the_composition() {
+        let net = net();
+        let data = train_data(24);
+        let single = MonitorSpec::new(4, MonitorKind::min_max())
+            .build(&net, &data)
+            .unwrap();
+        assert!(single.to_string().contains("min-max"));
+        let multi = MonitorSpec::multi_layer(
+            vec![WatchedLayer::whole(2), WatchedLayer::whole(4)],
+            MonitorKind::min_max(),
+            Vote::All,
+        )
+        .build(&net, &data)
+        .unwrap();
+        assert!(multi.to_string().contains("multi-layer"));
+        let pc = MonitorSpec::new(4, MonitorKind::min_max())
+            .per_class(2)
+            .build(&net, &data)
+            .unwrap();
+        assert!(pc.to_string().contains("per-class"));
+    }
+}

@@ -2,7 +2,8 @@
 
 use crate::metrics::{mean_query_nanos, warn_rate};
 use napmon_absint::Domain;
-use napmon_core::{MonitorBuilder, MonitorKind, RobustConfig};
+use napmon_artifact::{ArtifactError, MonitorArtifact};
+use napmon_core::{MonitorBuilder, MonitorKind, MonitorSpec, RobustConfig};
 use napmon_data::ood::OodScenario;
 use napmon_data::racetrack::{TrackConfig, TrackSampler};
 use napmon_data::Dataset;
@@ -253,6 +254,55 @@ impl Experiment {
         }
     }
 
+    /// The spec an experiment monitor build corresponds to: the declarative
+    /// form of what [`Experiment::run_monitor`] constructs imperatively.
+    pub fn monitor_spec(&self, kind: MonitorKind, robust: Option<RobustConfig>) -> MonitorSpec {
+        let mut spec = MonitorSpec::new(self.monitored_boundary(), kind).parallel(true);
+        if let Some(r) = robust {
+            spec = spec.robust_config(r);
+        }
+        spec
+    }
+
+    /// Packages one evaluated monitor as a deployable artifact: the
+    /// trained perception network, the spec, and the monitor built from
+    /// the experiment's training set — ready for
+    /// `MonitorEngine::from_artifact` in a fresh process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] if the spec is invalid for the trained
+    /// network (does not happen for the kinds in
+    /// [`Experiment::monitor_families`]).
+    pub fn build_artifact(
+        &self,
+        kind: MonitorKind,
+        robust: Option<RobustConfig>,
+    ) -> Result<MonitorArtifact, ArtifactError> {
+        MonitorArtifact::build(
+            self.monitor_spec(kind, robust),
+            &self.net,
+            &self.train.inputs,
+        )
+    }
+
+    /// Builds an artifact and writes it to `path` in one step.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Experiment::build_artifact`], plus
+    /// [`ArtifactError::Io`] on filesystem failure.
+    pub fn export_artifact(
+        &self,
+        kind: MonitorKind,
+        robust: Option<RobustConfig>,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<MonitorArtifact, ArtifactError> {
+        let artifact = self.build_artifact(kind, robust)?;
+        artifact.save_json(path)?;
+        Ok(artifact)
+    }
+
     /// The monitor families evaluated in Section IV, with the threshold
     /// choices that make each family meaningful on a post-ReLU feature
     /// layer: sign thresholds degenerate there (all values are
@@ -309,6 +359,25 @@ mod tests {
             },
             ..RacetrackConfig::default()
         })
+    }
+
+    #[test]
+    fn artifact_export_round_trips_through_disk() {
+        use napmon_core::Monitor;
+        let e = tiny();
+        let dir = std::env::temp_dir().join("napmon_eval_artifact_test");
+        let path = dir.join("monitor.artifact.json");
+        let (_, kind) = &Experiment::monitor_families()[1];
+        let artifact = e.export_artifact(kind.clone(), None, &path).unwrap();
+        let loaded = MonitorArtifact::load_json(&path).unwrap();
+        assert_eq!(loaded.network(), e.network());
+        for x in e.test_data().inputs.iter().take(32) {
+            assert_eq!(
+                artifact.monitor().verdict(e.network(), x).unwrap(),
+                loaded.monitor().verdict(loaded.network(), x).unwrap()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

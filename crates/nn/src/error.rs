@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors returned by fallible `napmon-nn` operations.
+///
+/// Marked `#[non_exhaustive]`: future model-format revisions may add
+/// variants without breaking downstream matches.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum NnError {
     /// Two layer dimensions that must agree do not.
     ShapeMismatch {

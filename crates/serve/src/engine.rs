@@ -1,9 +1,11 @@
 //! The sharded online monitoring engine.
 
 use crate::report::{ServeReport, ShardReport};
-use napmon_core::{AnyMonitor, Monitor, MonitorError, QueryScratch, Verdict};
+use napmon_artifact::{ArtifactError, MonitorArtifact};
+use napmon_core::{AnyMonitor, ComposedMonitor, Monitor, MonitorError, QueryScratch, Verdict};
 use napmon_nn::Network;
 use std::ops::Range;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -312,6 +314,37 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
             self.shards.into_iter().map(|s| (s.tx, s.handle)).unzip();
         drop(txs);
         ServeReport::aggregate(handles.into_iter().filter_map(|h| h.join().ok()).collect())
+    }
+}
+
+impl MonitorEngine<ComposedMonitor> {
+    /// Boots an engine straight from a deployment artifact: the embedded
+    /// network and monitor are mounted as-is, so the served verdicts are
+    /// bit-identical to what the artifact's builder measured.
+    ///
+    /// The artifact should come from [`MonitorArtifact::load_json`] (which
+    /// validates it) or [`MonitorArtifact::build`]; this constructor does
+    /// not re-validate.
+    pub fn from_artifact(artifact: MonitorArtifact, config: EngineConfig) -> Self {
+        let (net, monitor) = artifact.into_parts();
+        Self::new(net, monitor, config)
+    }
+
+    /// Loads, validates, and mounts an artifact file in one step — the
+    /// whole "boot a monitor next to its network in a fresh process" path.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MonitorArtifact::load_json`] error: unreadable file, foreign
+    /// format version, or an artifact whose parts disagree.
+    pub fn from_artifact_file(
+        path: impl AsRef<Path>,
+        config: EngineConfig,
+    ) -> Result<Self, ArtifactError> {
+        Ok(Self::from_artifact(
+            MonitorArtifact::load_json(path)?,
+            config,
+        ))
     }
 }
 

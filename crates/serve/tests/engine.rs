@@ -249,3 +249,35 @@ fn shared_arcs_are_accepted_and_exposed() {
     assert_eq!(v, monitor.verdict(&net, &[0.0; 6]).unwrap());
     engine.shutdown();
 }
+
+#[test]
+fn engine_boots_from_artifact_file_with_identical_verdicts() {
+    use napmon_artifact::{ArtifactError, MonitorArtifact};
+    use napmon_core::MonitorSpec;
+
+    let (net, _, train) = fixture(MonitorKind::min_max());
+    let spec = MonitorSpec::new(2, MonitorKind::interval(2));
+    let artifact = MonitorArtifact::build(spec, &net, &train).unwrap();
+    let expected = artifact
+        .monitor()
+        .query_batch(artifact.network(), &probes(40))
+        .unwrap();
+
+    let dir = std::env::temp_dir().join("napmon_serve_artifact_test");
+    let path = dir.join("monitor.artifact.json");
+    artifact.save_json(&path).unwrap();
+
+    // Fresh mount: only the file crosses the boundary.
+    let engine = MonitorEngine::from_artifact_file(&path, EngineConfig::with_shards(2)).unwrap();
+    let got = engine.submit_batch(probes(40)).unwrap();
+    assert_eq!(got, expected);
+    let report = engine.shutdown();
+    assert_eq!(report.requests, 40);
+
+    // A missing file is a typed error, not a panic.
+    assert!(matches!(
+        MonitorEngine::from_artifact_file(dir.join("nope.json"), EngineConfig::with_shards(1)),
+        Err(ArtifactError::Io(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

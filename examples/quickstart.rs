@@ -1,11 +1,16 @@
-//! Quickstart: train a tiny network, build a robust monitor, query it.
+//! Quickstart: train a tiny network, declare a monitor spec, build, query.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Construction is spec-first: the whole monitor build is declared as a
+//! serializable `MonitorSpec` value, so the exact configuration that
+//! produced a deployed monitor can be saved, diffed, and rebuilt (see
+//! `examples/artifact_roundtrip.rs` for the full deployment pipeline).
 
 use napmon::absint::Domain;
-use napmon::core::{Monitor, MonitorBuilder, MonitorKind};
+use napmon::core::{Monitor, MonitorKind, MonitorSpec};
 use napmon::nn::{Activation, LayerSpec, Loss, Network, Optimizer, Trainer};
 use napmon::tensor::Prng;
 
@@ -34,13 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run(&mut net, &inputs, &targets, 11);
     println!("trained: final MSE = {:.5}", report.final_loss());
 
-    // 3. Build monitors at the last hidden layer: one standard, one robust
-    //    (Definition 1 with Δ = 0.02 at the input, box domain).
+    // 3. Declare monitor builds at the last hidden layer: one standard,
+    //    one robust (Definition 1 with Δ = 0.02 at the input, box domain).
+    //    A spec is plain data — `serde_json::to_string(&spec)` is the
+    //    reviewable record of exactly what was built.
     let layer = net.penultimate_boundary();
-    let standard = MonitorBuilder::new(&net, layer).build(MonitorKind::pattern(), &inputs)?;
-    let robust = MonitorBuilder::new(&net, layer)
+    let standard = MonitorSpec::new(layer, MonitorKind::pattern()).build(&net, &inputs)?;
+    let robust = MonitorSpec::new(layer, MonitorKind::pattern())
         .robust(0.02, 0, Domain::Box)
-        .build(MonitorKind::pattern(), &inputs)?;
+        .build(&net, &inputs)?;
 
     // 4. Query: in-distribution points and their small perturbations never
     //    warn under the robust monitor (Lemma 1); far-away points do.

@@ -13,17 +13,27 @@
 //! - [`bdd`] — reduced ordered binary decision diagrams storing pattern sets,
 //! - [`core`] — the monitors themselves: min-max, Boolean on-off patterns and
 //!   multi-bit interval patterns, each with standard and robust construction,
+//!   built from a declarative [`MonitorSpec`](core::MonitorSpec),
+//! - [`artifact`] — versioned deployment artifacts: spec + network + built
+//!   monitor in one validated file (build → save → load → serve),
 //! - [`data`] — synthetic datasets standing in for the paper's race-track lab,
 //! - [`eval`] — the experiment harness regenerating the paper's evaluation,
 //! - [`serve`] — the long-lived sharded serving engine keeping a monitor hot
-//!   next to a deployed network.
+//!   next to a deployed network (bootable straight from an artifact file).
 //!
-//! ## Quickstart
+//! ## Quickstart: spec-first
+//!
+//! The construction API is *spec-first*: describe the whole monitor build
+//! as data ([`MonitorSpec`](core::MonitorSpec)), build it, and — when it is
+//! time to deploy — package it as a versioned
+//! [`MonitorArtifact`](artifact::MonitorArtifact) that a fresh process can
+//! load and mount.
 //!
 //! ```
-//! use napmon::nn::{Network, LayerSpec, Activation};
-//! use napmon::core::{MonitorBuilder, MonitorKind, Monitor};
 //! use napmon::absint::Domain;
+//! use napmon::artifact::MonitorArtifact;
+//! use napmon::core::{Monitor, MonitorKind, MonitorSpec};
+//! use napmon::nn::{Activation, LayerSpec, Network};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A tiny trained-elsewhere network: 4 -> 8 -> 2 with ReLU.
@@ -35,18 +45,29 @@
 //! let train: Vec<Vec<f64>> = (0..64)
 //!     .map(|i| (0..4).map(|j| ((i * 7 + j * 3) % 10) as f64 / 10.0).collect())
 //!     .collect();
-//! // Build a robust on-off pattern monitor at the last hidden layer,
-//! // tolerating input perturbations up to 0.05 per dimension.
-//! let monitor = MonitorBuilder::new(&net, 1)
-//!     .robust(0.05, 0, Domain::Box)
-//!     .build(MonitorKind::pattern(), &train)?;
+//!
+//! // The whole build, declared as data: a robust on-off pattern monitor
+//! // at the last hidden layer, tolerating input perturbations up to 0.05
+//! // per dimension.
+//! let spec = MonitorSpec::new(1, MonitorKind::pattern()).robust(0.05, 0, Domain::Box);
+//! let monitor = spec.build(&net, &train)?;
 //! // Inputs near the training data never warn (Lemma 1)...
 //! assert!(!monitor.warns(&net, &train[0])?);
+//!
+//! // ...and the deployment unit is one validated, versioned file:
+//! let artifact = MonitorArtifact::build(spec, &net, &train)?;
+//! let json = artifact.to_json_string()?;
+//! let reloaded = MonitorArtifact::from_json_str(&json)?;
+//! assert!(!reloaded.monitor().warns(reloaded.network(), &train[0])?);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! See `examples/artifact_roundtrip.rs` for the full build → save → load →
+//! serve pipeline, including `MonitorEngine::from_artifact`.
 
 pub use napmon_absint as absint;
+pub use napmon_artifact as artifact;
 pub use napmon_bdd as bdd;
 pub use napmon_core as core;
 pub use napmon_data as data;

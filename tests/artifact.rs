@@ -1,0 +1,66 @@
+//! Facade-level artifact tests: the committed golden file loads, matches a
+//! fresh deterministic build bit-for-bit, and mounts on the serving
+//! engine; malformed files fail typed at every entry point.
+
+use napmon::artifact::{ArtifactError, MonitorArtifact, FORMAT_VERSION};
+use napmon::core::Monitor;
+use napmon::serve::{EngineConfig, MonitorEngine};
+use napmon_bench::golden;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_artifact.json");
+
+#[test]
+fn committed_golden_artifact_loads_and_matches_fresh_build() {
+    let loaded = MonitorArtifact::load_json(GOLDEN_PATH)
+        .expect("committed golden artifact must load under the current format version");
+    assert_eq!(loaded.format_version, FORMAT_VERSION);
+    let fresh = golden::build();
+    assert_eq!(loaded.spec(), fresh.spec());
+    assert_eq!(loaded.network(), fresh.network());
+    assert_eq!(loaded.stats(), fresh.stats());
+
+    let probes = golden::probes();
+    assert_eq!(
+        loaded
+            .monitor()
+            .query_batch(loaded.network(), &probes)
+            .unwrap(),
+        fresh
+            .monitor()
+            .query_batch(fresh.network(), &probes)
+            .unwrap(),
+        "golden verdicts must be bit-identical to a fresh build"
+    );
+}
+
+#[test]
+fn golden_artifact_serves_through_the_engine() {
+    let loaded = MonitorArtifact::load_json(GOLDEN_PATH).unwrap();
+    let probes = golden::probes();
+    let expected = loaded
+        .monitor()
+        .query_batch(loaded.network(), &probes)
+        .unwrap();
+    let engine = MonitorEngine::from_artifact(loaded, EngineConfig::with_shards(2));
+    let served = engine.submit_batch(probes).unwrap();
+    assert_eq!(served, expected);
+    engine.shutdown();
+}
+
+#[test]
+fn golden_artifact_with_bumped_version_is_rejected() {
+    let json = std::fs::read_to_string(GOLDEN_PATH).unwrap();
+    let bumped = json.replacen(
+        &format!("\"format_version\":{FORMAT_VERSION}"),
+        &format!("\"format_version\":{}", FORMAT_VERSION + 41),
+        1,
+    );
+    assert_ne!(json, bumped);
+    match MonitorArtifact::from_json_str(&bumped) {
+        Err(ArtifactError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 41);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
