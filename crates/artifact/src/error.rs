@@ -30,6 +30,9 @@ pub enum ArtifactError {
     /// The artifact's parts disagree with each other (e.g. the monitor
     /// watches a boundary width the embedded network does not have).
     Mismatch(String),
+    /// The artifact references an external pattern store that cannot be
+    /// reopened (missing directory, corrupt segment, wrong word width).
+    Store(napmon_store::StoreError),
 }
 
 impl fmt::Display for ArtifactError {
@@ -44,6 +47,7 @@ impl fmt::Display for ArtifactError {
             ArtifactError::Monitor(e) => write!(f, "artifact monitor invalid: {e}"),
             ArtifactError::Nn(e) => write!(f, "artifact network invalid: {e}"),
             ArtifactError::Mismatch(msg) => write!(f, "artifact inconsistent: {msg}"),
+            ArtifactError::Store(e) => write!(f, "artifact pattern store unusable: {e}"),
         }
     }
 }
@@ -55,6 +59,7 @@ impl std::error::Error for ArtifactError {
             ArtifactError::Serde(e) => Some(e),
             ArtifactError::Monitor(e) => Some(e),
             ArtifactError::Nn(e) => Some(e),
+            ArtifactError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -75,6 +80,12 @@ impl From<serde_json::Error> for ArtifactError {
 impl From<MonitorError> for ArtifactError {
     fn from(e: MonitorError) -> Self {
         ArtifactError::Monitor(e)
+    }
+}
+
+impl From<napmon_store::StoreError> for ArtifactError {
+    fn from(e: napmon_store::StoreError) -> Self {
+        ArtifactError::Store(e)
     }
 }
 

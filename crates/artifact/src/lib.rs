@@ -81,8 +81,11 @@ pub struct BuildStats {
     pub monitored_dims: Vec<usize>,
     /// Samples absorbed by each member monitor.
     pub member_samples: Vec<usize>,
-    /// Distinct patterns admitted by each member monitor (`None` for the
-    /// min-max family, which has no pattern count).
+    /// Distinct patterns admitted by each member monitor. `None` for the
+    /// min-max family (no pattern count) and for store-backed members:
+    /// their live count moves with operation-time absorption, so a figure
+    /// frozen at build time would go stale — scrape the store itself
+    /// instead.
     pub pattern_counts: Vec<Option<f64>>,
 }
 
@@ -95,7 +98,16 @@ impl BuildStats {
             layer_widths: net.dims(),
             monitored_dims: members.iter().map(|m| m.extractor().dim()).collect(),
             member_samples: members.iter().map(|m| m.samples()).collect(),
-            pattern_counts: members.iter().map(|m| m.pattern_count()).collect(),
+            pattern_counts: members
+                .iter()
+                .map(|m| {
+                    if m.external_descriptor().is_some() {
+                        None
+                    } else {
+                        m.pattern_count()
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -149,6 +161,27 @@ impl MonitorArtifact {
         labels: &[usize],
     ) -> Result<Self, ArtifactError> {
         let monitor = spec.build_with_labels(net, train, labels)?;
+        Ok(Self::assemble(spec, net.clone(), monitor, train.len()))
+    }
+
+    /// Builds a *store-backed* artifact: the pattern sets are absorbed
+    /// into external sources from `provider` (see
+    /// [`MonitorSpec::build_with_sources`]), and the artifact records only
+    /// the source descriptors — the file stays small no matter how many
+    /// patterns the store holds, and loading it reattaches to the same
+    /// store (with dimension cross-checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Monitor`] for any spec, training-data, or
+    /// source problem.
+    pub fn build_with_sources(
+        spec: MonitorSpec,
+        net: &Network,
+        train: &[Vec<f64>],
+        provider: &mut dyn napmon_core::SourceProvider,
+    ) -> Result<Self, ArtifactError> {
+        let monitor = spec.build_with_sources(net, train, provider)?;
         Ok(Self::assemble(spec, net.clone(), monitor, train.len()))
     }
 
@@ -344,8 +377,74 @@ impl MonitorArtifact {
                     )));
                 }
             }
+            // External sources must be dimensioned for exactly this
+            // member's packed word width — a store swapped in from a
+            // different monitor fails here instead of answering nonsense.
+            if let Some(descriptor) = member.external_descriptor() {
+                let word_bits = match member {
+                    napmon_core::AnyMonitor::Interval(m) => m.extractor().dim() * m.bits(),
+                    _ => member.extractor().dim(),
+                };
+                if descriptor.word_bits != word_bits {
+                    return Err(ArtifactError::Mismatch(format!(
+                        "member {i} needs {word_bits}-bit pattern words but its external \
+                         source `{}` holds {}-bit words",
+                        descriptor.path, descriptor.word_bits
+                    )));
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Reopens and reattaches the external pattern store behind every
+    /// store-backed member, cross-checking word widths. Called
+    /// automatically by [`MonitorArtifact::from_json_str`] /
+    /// [`MonitorArtifact::load_json`]; useful directly only for monitors
+    /// deserialized by hand. Returns the number of members reattached.
+    ///
+    /// Store paths are reopened exactly as recorded (relative paths
+    /// resolve against the current working directory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Store`] if a store cannot be reopened,
+    /// and [`ArtifactError::Monitor`] for non-persistent source kinds or
+    /// width mismatches.
+    pub fn reattach_stores(&mut self) -> Result<usize, ArtifactError> {
+        if !self.monitor.needs_sources() {
+            return Ok(0);
+        }
+        // Open every referenced store first, so store failures surface as
+        // the typed [`ArtifactError::Store`] rather than being flattened
+        // through the attach callback's monitor-level error type.
+        let mut sources = Vec::new();
+        for (member, descriptor) in self.monitor.external_descriptors().iter().enumerate() {
+            let Some(descriptor) = descriptor else {
+                sources.push(None);
+                continue;
+            };
+            if descriptor.kind != "napmon-store" {
+                return Err(ArtifactError::Mismatch(format!(
+                    "member {member} references source kind `{}`, which is not \
+                     persistent and cannot be reopened",
+                    descriptor.kind
+                )));
+            }
+            let store = napmon_store::PatternStore::open(&descriptor.path)?;
+            sources.push(Some(store.into_shared()));
+        }
+        let attached = self
+            .monitor
+            .attach_external_sources(&mut |member, descriptor| {
+                sources[member].take().ok_or_else(|| {
+                    napmon_core::MonitorError::ExternalSource(format!(
+                        "no store opened for member {member} (`{}`)",
+                        descriptor.path
+                    ))
+                })
+            })?;
+        Ok(attached)
     }
 
     /// Serializes the artifact to a JSON string.
@@ -399,8 +498,12 @@ impl MonitorArtifact {
         // Decode from the already-parsed tree: artifacts carry whole BDD
         // arenas, and a second text parse would double the replica
         // cold-start cost that `load_json` exists to bound.
-        let artifact: Self = serde::from_value(value)
+        let mut artifact: Self = serde::from_value(value)
             .map_err(|e| ArtifactError::Serde(serde::de::Error::custom(e)))?;
+        // Store-backed members decode detached; reopen their stores from
+        // the recorded paths before validating, so validation exercises
+        // the live word sets too.
+        artifact.reattach_stores()?;
         artifact.validate()?;
         Ok(artifact)
     }
@@ -418,6 +521,10 @@ impl MonitorArtifact {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        // A store-backed artifact is only as durable as its store: flush
+        // buffered appends so the file never references words that a
+        // crash could still lose.
+        self.monitor.commit_external_sources()?;
         std::fs::write(path, self.to_json_string()?)?;
         Ok(())
     }
@@ -585,6 +692,75 @@ mod tests {
         let json = artifact.to_json_string().unwrap();
         let err = MonitorArtifact::from_json_str(&json).unwrap_err();
         assert!(matches!(err, ArtifactError::Mismatch(_)), "{err:?}");
+    }
+
+    #[test]
+    fn store_backed_artifact_round_trips_through_the_store() {
+        use napmon_core::{PatternBackend, ThresholdPolicy};
+        let dir =
+            std::env::temp_dir().join(format!("napmon_artifact_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let net = net();
+        let data = train_data(40);
+        let spec = MonitorSpec::new(
+            4,
+            MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Store, 0),
+        );
+        let mut provider = napmon_store::StoreProvider::new(dir.join("stores"));
+        let artifact =
+            MonitorArtifact::build_with_sources(spec, &net, &data, &mut provider).unwrap();
+        // Store-backed members record no frozen pattern count.
+        assert_eq!(artifact.stats.pattern_counts, vec![None]);
+        let path = dir.join("artifact.json");
+        artifact.save_json(&path).unwrap();
+        // The artifact itself is small: it references the store, it does
+        // not embed the word set.
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("napmon-store"), "{json}");
+
+        let mut rng = Prng::seed(9);
+        let probes: Vec<Vec<f64>> = (0..64).map(|_| rng.uniform_vec(3, -2.0, 2.0)).collect();
+        let expected: Vec<_> = probes
+            .iter()
+            .map(|p| artifact.monitor.verdict(&artifact.network, p).unwrap())
+            .collect();
+        // Store opens are exclusive: a second handle on a live store is a
+        // typed error, not silent aliasing.
+        match MonitorArtifact::load_json(&path) {
+            Err(ArtifactError::Store(napmon_store::StoreError::Locked(_))) => {}
+            other => panic!("expected Locked while the builder holds the store, got {other:?}"),
+        }
+        // Drop the builder's handle ("process exit") and reload: the
+        // artifact reattaches the segments and answers bit-identically.
+        drop(artifact);
+        let loaded = MonitorArtifact::load_json(&path).unwrap();
+        assert!(!loaded.monitor().needs_sources(), "load reattaches");
+        for (p, want) in probes.iter().zip(&expected) {
+            assert_eq!(loaded.monitor.verdict(&loaded.network, p).unwrap(), *want);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_store_fails_load_typed() {
+        use napmon_core::{PatternBackend, ThresholdPolicy};
+        let dir = std::env::temp_dir().join(format!(
+            "napmon_artifact_missing_store_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let net = net();
+        let spec = MonitorSpec::new(
+            4,
+            MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Store, 0),
+        );
+        let mut provider = napmon_store::StoreProvider::new(dir.join("stores"));
+        let artifact =
+            MonitorArtifact::build_with_sources(spec, &net, &train_data(8), &mut provider).unwrap();
+        let json = artifact.to_json_string().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = MonitorArtifact::from_json_str(&json).unwrap_err();
+        assert!(matches!(err, ArtifactError::Store(_)), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Snapshot tests for the Graphviz export: the DOT text of a small,
+//! fully-understood BDD is pinned — node and edge counts, terminal
+//! declarations, and structural stability across identical builds.
+
+use napmon_bdd::{to_dot, Bdd};
+
+/// Counts lines matching a predicate.
+fn lines(dot: &str, pred: impl Fn(&str) -> bool) -> usize {
+    dot.lines().filter(|l| pred(l)).count()
+}
+
+/// Decision-node declarations (`nXXX [label="xK"];`).
+fn node_count(dot: &str) -> usize {
+    lines(dot, |l| l.contains("[label=\"x"))
+}
+
+/// Edges (`->`), excluding the synthetic `root ->` marker for terminals.
+fn edge_count(dot: &str) -> usize {
+    lines(dot, |l| {
+        l.contains("->") && !l.trim_start().starts_with("root")
+    })
+}
+
+#[test]
+fn single_variable_snapshot() {
+    let mut bdd = Bdd::new(2);
+    let x0 = bdd.var(0);
+    let dot = to_dot(&bdd, x0);
+    // Shape: digraph header, both terminals as boxes, one decision node
+    // with a dashed else-edge and a solid then-edge.
+    assert!(dot.starts_with("digraph bdd {"), "{dot}");
+    assert!(dot.trim_end().ends_with('}'), "{dot}");
+    assert_eq!(lines(&dot, |l| l.contains("shape=box")), 2, "{dot}");
+    assert_eq!(node_count(&dot), 1, "{dot}");
+    assert_eq!(edge_count(&dot), 2, "{dot}");
+    assert_eq!(lines(&dot, |l| l.contains("style=dashed")), 1, "{dot}");
+}
+
+/// The conjunction x0 ∧ x1 ∧ x2 is a chain: one decision node per
+/// variable, two edges each.
+#[test]
+fn conjunction_chain_has_one_node_per_variable() {
+    let mut bdd = Bdd::new(3);
+    let mut f = Bdd::TRUE;
+    for v in (0..3).rev() {
+        let x = bdd.var(v);
+        f = bdd.and(f, x);
+    }
+    let dot = to_dot(&bdd, f);
+    assert_eq!(node_count(&dot), 3, "{dot}");
+    assert_eq!(edge_count(&dot), 6, "{dot}");
+    for v in 0..3 {
+        assert!(dot.contains(&format!("label=\"x{v}\"")), "{dot}");
+    }
+}
+
+/// A single inserted word visits every variable; reduction keeps the
+/// graph a path of `n` nodes with `2n` edges.
+#[test]
+fn inserted_word_renders_as_a_path() {
+    let mut bdd = Bdd::new(4);
+    let set = bdd.insert_word(Bdd::FALSE, &[true, false, true, false]);
+    let dot = to_dot(&bdd, set);
+    assert_eq!(node_count(&dot), 4, "{dot}");
+    assert_eq!(edge_count(&dot), 8, "{dot}");
+}
+
+/// Terminal roots render as the synthetic `root -> t` / `root -> f`
+/// marker with no decision nodes.
+#[test]
+fn terminal_roots_render_markers() {
+    let bdd = Bdd::new(1);
+    let t = to_dot(&bdd, Bdd::TRUE);
+    assert!(t.contains("root -> t"), "{t}");
+    assert_eq!(node_count(&t), 0, "{t}");
+    let f = to_dot(&bdd, Bdd::FALSE);
+    assert!(f.contains("root -> f"), "{f}");
+    assert_eq!(edge_count(&f), 0, "{f}");
+}
+
+/// The export is deterministic: identical builds produce identical text
+/// (the property that makes committing DOT snapshots meaningful).
+#[test]
+fn identical_builds_snapshot_identically() {
+    let build = || {
+        let mut bdd = Bdd::new(3);
+        let mut set = Bdd::FALSE;
+        set = bdd.insert_word(set, &[true, false, true]);
+        set = bdd.insert_word(set, &[false, true, true]);
+        (bdd, set)
+    };
+    let (bdd_a, root_a) = build();
+    let (bdd_b, root_b) = build();
+    let dot_a = to_dot(&bdd_a, root_a);
+    assert_eq!(dot_a, to_dot(&bdd_b, root_b));
+    // And the pinned shape of this two-word set: the shared x2 suffix is
+    // merged by reduction, so two 3-bit words cost 4 nodes, not 6.
+    assert_eq!(node_count(&dot_a), 4, "{dot_a}");
+    assert_eq!(edge_count(&dot_a), 2 * node_count(&dot_a), "{dot_a}");
+}

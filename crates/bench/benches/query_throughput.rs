@@ -77,6 +77,8 @@ impl NaiveMonitor {
                 }
                 NaiveStore::Bdd { bdd, root }
             }
+            // The persistent store has its own bench (store_throughput).
+            PatternBackend::Store => unreachable!("query bench covers in-memory backends"),
         };
         Self { thresholds, store }
     }
@@ -251,6 +253,7 @@ fn bench_config(neurons: usize, backend: PatternBackend, results: &mut Vec<Backe
     let backend_name = match backend {
         PatternBackend::Bdd => "bdd",
         PatternBackend::HashSet => "hashset",
+        PatternBackend::Store => unreachable!("query bench covers in-memory backends"),
     };
     let speedup = membership_qps_packed / membership_qps_naive;
     println!(

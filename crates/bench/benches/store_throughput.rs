@@ -1,0 +1,174 @@
+//! Pattern-store cost model: append throughput, exact and Hamming lookup
+//! latency (in-memory reference vs the on-disk store), and on-disk bytes
+//! per monitor kind.
+//!
+//! The store is the persistence layer every scaling PR builds on, so its
+//! costs are operational costs: append throughput bounds how fast
+//! operation-time absorption can run, lookup latency sits on the serving
+//! hot path of store-backed monitors, and on-disk bytes bound what a
+//! million-input pattern set costs to keep. Results land in
+//! `BENCH_store.json` at the workspace root (schema-checked by
+//! `validate_bench` in CI). Set `NAPMON_BENCH_SMOKE=1` for a seconds-long
+//! smoke pass that still writes the full schema.
+
+use napmon_bdd::BitWord;
+use napmon_core::{MemoryPatternSource, PatternSource};
+use napmon_store::{PatternStore, StoreConfig};
+use napmon_tensor::Prng;
+use serde::Serialize;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("NAPMON_BENCH_SMOKE").is_some()
+}
+
+/// Words appended per kind row.
+fn appends() -> usize {
+    if smoke() {
+        4_000
+    } else {
+        100_000
+    }
+}
+
+/// Membership probes per lookup measurement.
+fn probes() -> usize {
+    if smoke() {
+        1_000
+    } else {
+        20_000
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    /// Monitor kind the word width models (on-off = 1 bit/neuron,
+    /// interval-2bit = 2 bits/neuron, …).
+    kind: String,
+    /// Packed word width in bits.
+    word_bits: usize,
+    /// Distinct words the store ended up holding.
+    words: u64,
+    /// Append throughput into the store (dedup + tail log + auto-seal),
+    /// words per second.
+    append_qps: f64,
+    /// Mean exact-membership latency, nanoseconds: in-memory hash set.
+    exact_ns_memory: f64,
+    /// Mean exact-membership latency, nanoseconds: store (bloom + binary
+    /// search over sealed segments + tail index).
+    exact_ns_store: f64,
+    /// Mean Hamming-ball (tau = 2) latency, nanoseconds: in-memory scan.
+    hamming_ns_memory: f64,
+    /// Mean Hamming-ball (tau = 2) latency, nanoseconds: store scan.
+    hamming_ns_store: f64,
+    /// Bytes on disk after commit + seal (manifest + segments + tail).
+    disk_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    appends: usize,
+    probes: usize,
+    hamming_tau: usize,
+    smoke: bool,
+    rows: Vec<Row>,
+    notes: String,
+}
+
+fn random_words(seed: u64, n: usize, bits: usize) -> Vec<BitWord> {
+    let mut rng = Prng::seed(seed);
+    (0..n)
+        .map(|_| {
+            let v = rng.uniform_vec(bits, -1.0, 1.0);
+            BitWord::from_fn(bits, |i| v[i] > 0.25)
+        })
+        .collect()
+}
+
+fn mean_lookup_ns(mut probe: impl FnMut(&BitWord) -> bool, words: &[BitWord]) -> f64 {
+    let start = Instant::now();
+    let mut hits = 0usize;
+    for w in words {
+        hits += usize::from(probe(w));
+    }
+    let nanos = start.elapsed().as_nanos() as f64 / words.len() as f64;
+    // Keep the hit count observable so the loop cannot be optimized out.
+    assert!(hits <= words.len());
+    nanos
+}
+
+fn main() {
+    const TAU: usize = 2;
+    // Word widths modeling the monitor kinds: 48 monitored neurons at
+    // 1/2/3 bits per neuron.
+    let kinds: Vec<(&str, usize)> = vec![
+        ("pattern-1bit", 48),
+        ("interval-2bit", 96),
+        ("interval-3bit", 144),
+    ];
+    let dir = std::env::temp_dir().join(format!("napmon_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut rows = Vec::new();
+    for (kind, word_bits) in kinds {
+        let words = random_words(0xA11CE, appends(), word_bits);
+        let lookups = random_words(0xB0B, probes(), word_bits);
+
+        // In-memory reference.
+        let mut memory = MemoryPatternSource::new(word_bits);
+        for w in &words {
+            memory.insert(w).unwrap();
+        }
+
+        // The store: measure the batched append path end to end.
+        let store_dir = dir.join(kind);
+        let mut store = PatternStore::create(&store_dir, StoreConfig::new(word_bits)).unwrap();
+        let start = Instant::now();
+        store.append_batch(&words).unwrap();
+        let append_seconds = start.elapsed().as_secs_f64();
+        store.seal().unwrap();
+
+        let row = Row {
+            kind: kind.to_string(),
+            word_bits,
+            words: store.len(),
+            append_qps: words.len() as f64 / append_seconds,
+            exact_ns_memory: mean_lookup_ns(|w| memory.contains(w), &lookups),
+            exact_ns_store: mean_lookup_ns(|w| store.contains(w), &lookups),
+            hamming_ns_memory: mean_lookup_ns(|w| memory.contains_within(w, TAU), &lookups),
+            hamming_ns_store: mean_lookup_ns(|w| store.contains_within(w, TAU), &lookups),
+            disk_bytes: store.disk_bytes().unwrap(),
+        };
+        println!(
+            "{:<14} {:>3} bits {:>8} words  append {:>10.0}/s  exact mem/store {:>7.0}/{:>7.0}ns  \
+             hamming mem/store {:>9.0}/{:>9.0}ns  {:>9} B",
+            row.kind,
+            row.word_bits,
+            row.words,
+            row.append_qps,
+            row.exact_ns_memory,
+            row.exact_ns_store,
+            row.hamming_ns_memory,
+            row.hamming_ns_store,
+            row.disk_bytes
+        );
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = Report {
+        appends: appends(),
+        probes: probes(),
+        hamming_tau: TAU,
+        smoke: smoke(),
+        rows,
+        notes: "append_qps = deduplicating batched appends through the tail log; \
+                exact_ns = bloom + binary search (store) vs hash probe (memory); \
+                hamming_ns = XOR-popcount scan, tau = 2; disk_bytes = manifest + \
+                sealed segments + tail after seal."
+            .to_string(),
+    };
+    let out = format!("{}/../../BENCH_store.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).expect("write report");
+    println!("wrote {out}");
+}

@@ -1,14 +1,15 @@
 //! CI gate for the benchmark reports.
 //!
-//! Parses `BENCH_query.json`, `BENCH_serve.json`, and `BENCH_artifact.json`
-//! at the workspace root and fails (non-zero exit) unless all carry the
-//! expected schema with sane values. Run after the benches (smoke mode
-//! suffices):
+//! Parses `BENCH_query.json`, `BENCH_serve.json`, `BENCH_artifact.json`,
+//! and `BENCH_store.json` at the workspace root and fails (non-zero exit)
+//! unless all carry the expected schema with sane values. Run after the
+//! benches (smoke mode suffices):
 //!
 //! ```text
 //! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench query_throughput
 //! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench serve_throughput
 //! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench artifact
+//! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench store_throughput
 //! cargo run -p napmon-bench --bin validate_bench
 //! ```
 
@@ -159,9 +160,58 @@ fn validate_artifact_report() {
     println!("{name}: ok ({} rows)", rows.len());
 }
 
+fn validate_store_report() {
+    let name = "BENCH_store.json";
+    let report = load(name);
+    for key in ["appends", "probes", "hamming_tau"] {
+        positive(name, &report, key);
+    }
+    field(name, &report, "smoke");
+    field(name, &report, "notes");
+    let Value::Array(rows) = field(name, &report, "rows") else {
+        panic!("{name}: `rows` is not an array");
+    };
+    assert!(!rows.is_empty(), "{name}: `rows` is empty");
+    let mut kinds = std::collections::BTreeSet::new();
+    for row in rows {
+        let Value::String(kind) = field(name, row, "kind") else {
+            panic!("{name}: `kind` is not a string");
+        };
+        kinds.insert(kind.clone());
+        for key in [
+            "word_bits",
+            "words",
+            "append_qps",
+            "exact_ns_memory",
+            "exact_ns_store",
+            "hamming_ns_memory",
+            "hamming_ns_store",
+            "disk_bytes",
+        ] {
+            positive(name, row, key);
+        }
+        // A store holding N words of W bits cannot occupy fewer than
+        // N·W/8 bytes — catches a bench that silently stopped writing.
+        let words = positive(name, row, "words");
+        let bits = positive(name, row, "word_bits");
+        let bytes = positive(name, row, "disk_bytes");
+        assert!(
+            bytes >= words * bits / 8.0,
+            "{name}: {kind}: {bytes} disk bytes cannot hold {words} words of {bits} bits"
+        );
+    }
+    // The matrix must cover the on-off and at least one interval width.
+    assert!(
+        kinds.contains("pattern-1bit") && kinds.iter().any(|k| k.starts_with("interval")),
+        "{name}: rows must cover pattern and interval kinds, got {kinds:?}"
+    );
+    println!("{name}: ok ({} rows)", rows.len());
+}
+
 fn main() {
     validate_query();
     validate_serve();
     validate_artifact_report();
+    validate_store_report();
     println!("benchmark reports validated");
 }

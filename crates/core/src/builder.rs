@@ -9,7 +9,7 @@
 //! ```
 //!
 //! That loop now lives in [`crate::spec`]: the declarative
-//! [`MonitorSpec`](crate::spec::MonitorSpec) is the primary construction
+//! [`MonitorSpec`] is the primary construction
 //! API, because a spec can be serialized, shipped, and rebuilt — the
 //! deployment story an imperative call chain cannot provide.
 //! [`MonitorBuilder`] remains as a thin convenience shim that *lowers to a
@@ -177,6 +177,129 @@ impl AnyMonitor {
             AnyMonitor::MinMax(_) => None,
             AnyMonitor::Pattern(m) => Some(m.pattern_count()),
             AnyMonitor::Interval(m) => Some(m.pattern_count()),
+        }
+    }
+
+    /// The descriptor of the monitor's external pattern source, when its
+    /// word set is store-backed.
+    pub fn external_descriptor(&self) -> Option<&crate::source::SourceDescriptor> {
+        match self {
+            AnyMonitor::MinMax(_) => None,
+            AnyMonitor::Pattern(m) => m.external_descriptor(),
+            AnyMonitor::Interval(m) => m.external_descriptor(),
+        }
+    }
+
+    /// Whether the monitor is store-backed but detached (fresh from
+    /// deserialization).
+    pub fn needs_source(&self) -> bool {
+        match self {
+            AnyMonitor::MinMax(_) => false,
+            AnyMonitor::Pattern(m) => m.needs_source(),
+            AnyMonitor::Interval(m) => m.needs_source(),
+        }
+    }
+
+    /// Reattaches a live source to a store-backed monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] for a non-store-backed
+    /// monitor, or [`MonitorError::DimensionMismatch`] on word-width
+    /// disagreement.
+    pub fn attach_source(
+        &mut self,
+        source: crate::source::SharedPatternSource,
+    ) -> Result<(), MonitorError> {
+        match self {
+            AnyMonitor::MinMax(_) => Err(MonitorError::ExternalSource(
+                "min-max monitors have no pattern source".into(),
+            )),
+            AnyMonitor::Pattern(m) => m.attach_source(source),
+            AnyMonitor::Interval(m) => m.attach_source(source),
+        }
+    }
+
+    /// Flushes a store-backed monitor's buffered writes (no-op otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if the store fails.
+    pub fn commit_source(&self) -> Result<(), MonitorError> {
+        match self {
+            AnyMonitor::MinMax(_) => Ok(()),
+            AnyMonitor::Pattern(m) => m.commit_source(),
+            AnyMonitor::Interval(m) => m.commit_source(),
+        }
+    }
+
+    /// Runs `net` on `input` and absorbs the resulting pattern into the
+    /// monitor's external source through `&self` (operation-time
+    /// enlargement; store-backed monitors only). Returns `true` if the
+    /// pattern was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] for a malformed input
+    /// and [`MonitorError::ExternalSource`] for in-memory backends or
+    /// store failures.
+    pub fn absorb_input_shared(&self, net: &Network, input: &[f64]) -> Result<bool, MonitorError> {
+        let features = self.extractor().features(net, input)?;
+        self.absorb_features_shared(&features)
+    }
+
+    /// Feature-level form of [`AnyMonitor::absorb_input_shared`], for
+    /// callers that already ran the forward pass (multi-layer absorption
+    /// shares one pass across members, exactly like the query path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] for in-memory backends or
+    /// store failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn absorb_features_shared(&self, features: &[f64]) -> Result<bool, MonitorError> {
+        match self {
+            AnyMonitor::MinMax(_) => Err(MonitorError::ExternalSource(
+                "min-max monitors have no pattern source to absorb into".into(),
+            )),
+            AnyMonitor::Pattern(m) => m.absorb_features_shared(features),
+            AnyMonitor::Interval(m) => m.absorb_features_shared(features),
+        }
+    }
+
+    /// Runs `net` on `input` and absorbs the resulting pattern through
+    /// `&mut self`, for any backend (min-max widens its bounds, pattern
+    /// families fold the word into their set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] for a malformed input
+    /// and [`MonitorError::ExternalSource`] for store failures.
+    pub fn absorb_input_mut(&mut self, net: &Network, input: &[f64]) -> Result<(), MonitorError> {
+        let features = self.extractor().features(net, input)?;
+        self.absorb_features_mut(&features)
+    }
+
+    /// Feature-level form of [`AnyMonitor::absorb_input_mut`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] for store failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn absorb_features_mut(&mut self, features: &[f64]) -> Result<(), MonitorError> {
+        match self {
+            AnyMonitor::MinMax(m) => {
+                m.absorb_point(features);
+                Ok(())
+            }
+            AnyMonitor::Pattern(m) => m.absorb_point_checked(features),
+            AnyMonitor::Interval(m) => m.absorb_point_checked(features),
         }
     }
 }

@@ -22,6 +22,9 @@ pub enum MonitorError {
     EmptyTrainingSet,
     /// A configuration value is invalid (layer out of range, kp ≥ k, …).
     InvalidConfig(String),
+    /// An external pattern source (e.g. an on-disk store) failed or is
+    /// unusable in the requested role.
+    ExternalSource(String),
 }
 
 impl fmt::Display for MonitorError {
@@ -41,6 +44,7 @@ impl fmt::Display for MonitorError {
                 write!(f, "monitor construction needs a non-empty training set")
             }
             MonitorError::InvalidConfig(msg) => write!(f, "invalid monitor configuration: {msg}"),
+            MonitorError::ExternalSource(msg) => write!(f, "external pattern source: {msg}"),
         }
     }
 }

@@ -19,10 +19,11 @@
 use crate::error::MonitorError;
 use crate::feature::FeatureExtractor;
 use crate::monitor::{Monitor, QueryScratch, Verdict, Violation};
+use crate::source::{ExternalHandle, SharedPatternSource, SourceDescriptor};
 use napmon_absint::BoxBounds;
 use napmon_bdd::{Bdd, BitWord, NodeId};
 use napmon_tensor::stats;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 /// How per-neuron thresholds are chosen from the training features.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -129,17 +130,94 @@ impl ThresholdPolicy {
     }
 }
 
-/// A multi-bit interval activation-pattern monitor, stored in a BDD with
-/// `B` variables per neuron (most-significant bit first).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Where an interval monitor's symbol-word set lives: the paper's BDD, or
+/// an external [`crate::PatternSource`] over the packed `B·d`-bit
+/// encoding.
+#[derive(Debug, Clone)]
+enum IntervalStore {
+    Bdd { bdd: Bdd, root: NodeId },
+    External(ExternalHandle),
+}
+
+/// A multi-bit interval activation-pattern monitor with `B` variables per
+/// neuron (most-significant bit first), stored in a BDD (the paper's
+/// choice) or delegated to an external pattern source
+/// ([`IntervalPatternMonitor::with_source`]).
+#[derive(Debug, Clone)]
 pub struct IntervalPatternMonitor {
     extractor: FeatureExtractor,
     bits: usize,
     /// Per neuron: `2^B − 1` ascending thresholds.
     thresholds: Vec<Vec<f64>>,
-    bdd: Bdd,
-    root: NodeId,
+    store: IntervalStore,
     samples: usize,
+}
+
+/// Serialization stays field-compatible with the historical BDD-only
+/// struct (`bdd` + `root` fields inline), so existing artifacts keep
+/// loading; store-backed monitors write an `external` descriptor field
+/// instead of the arena. Hand-written because the vendored serde derive
+/// cannot express either the enum flattening or field defaults.
+impl Serialize for IntervalPatternMonitor {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::Error;
+        let mut map = serde::Map::new();
+        let mut put = |key: &str, value: Result<serde::Value, serde::ValueError>| {
+            value.map(|v| map.insert(key.to_string(), v))
+        };
+        put("extractor", serde::to_value(&self.extractor)).map_err(S::Error::custom)?;
+        put("bits", serde::to_value(&self.bits)).map_err(S::Error::custom)?;
+        put("thresholds", serde::to_value(&self.thresholds)).map_err(S::Error::custom)?;
+        put("samples", serde::to_value(&self.samples)).map_err(S::Error::custom)?;
+        match &self.store {
+            IntervalStore::Bdd { bdd, root } => {
+                put("bdd", serde::to_value(bdd)).map_err(S::Error::custom)?;
+                put("root", serde::to_value(root)).map_err(S::Error::custom)?;
+            }
+            IntervalStore::External(handle) => {
+                put("external", serde::to_value(handle)).map_err(S::Error::custom)?;
+            }
+        }
+        serializer.serialize_value(serde::Value::Object(map))
+    }
+}
+
+impl<'de> Deserialize<'de> for IntervalPatternMonitor {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        let serde::Value::Object(mut map) = deserializer.deserialize_value()? else {
+            return Err(D::Error::custom(
+                "expected object for IntervalPatternMonitor",
+            ));
+        };
+        fn take<E: Error>(map: &mut serde::Map, key: &str) -> Result<serde::Value, E> {
+            map.remove(key).ok_or_else(|| {
+                E::custom(format!("missing field `{key}` in IntervalPatternMonitor"))
+            })
+        }
+        let extractor: FeatureExtractor =
+            serde::from_value(take(&mut map, "extractor")?).map_err(D::Error::custom)?;
+        let bits: usize = serde::from_value(take(&mut map, "bits")?).map_err(D::Error::custom)?;
+        let thresholds: Vec<Vec<f64>> =
+            serde::from_value(take(&mut map, "thresholds")?).map_err(D::Error::custom)?;
+        let samples: usize =
+            serde::from_value(take(&mut map, "samples")?).map_err(D::Error::custom)?;
+        let store = if let Some(external) = map.remove("external") {
+            IntervalStore::External(serde::from_value(external).map_err(D::Error::custom)?)
+        } else {
+            IntervalStore::Bdd {
+                bdd: serde::from_value(take(&mut map, "bdd")?).map_err(D::Error::custom)?,
+                root: serde::from_value(take(&mut map, "root")?).map_err(D::Error::custom)?,
+            }
+        };
+        Ok(Self {
+            extractor,
+            bits,
+            thresholds,
+            store,
+            samples,
+        })
+    }
 }
 
 impl IntervalPatternMonitor {
@@ -185,10 +263,43 @@ impl IntervalPatternMonitor {
             extractor,
             bits,
             thresholds,
-            bdd,
-            root: Bdd::FALSE,
+            store: IntervalStore::Bdd {
+                bdd,
+                root: Bdd::FALSE,
+            },
             samples: 0,
         })
+    }
+
+    /// Creates a monitor whose symbol-word set lives in an external
+    /// [`crate::PatternSource`] over the packed `B·d`-bit encoding.
+    ///
+    /// The source may already hold words (warm start from a store on
+    /// disk); they are members immediately.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IntervalPatternMonitor::empty`], plus
+    /// [`MonitorError::DimensionMismatch`] if the source's word width is
+    /// not `extractor.dim() * bits`.
+    pub fn with_source(
+        extractor: FeatureExtractor,
+        bits: usize,
+        thresholds: Vec<Vec<f64>>,
+        source: SharedPatternSource,
+    ) -> Result<Self, MonitorError> {
+        let mut monitor = Self::empty(extractor, bits, thresholds)?;
+        let handle = ExternalHandle::attached(source);
+        let expected = monitor.extractor.dim() * bits;
+        if handle.descriptor().word_bits != expected {
+            return Err(MonitorError::DimensionMismatch {
+                context: "interval pattern source word width".into(),
+                expected,
+                actual: handle.descriptor().word_bits,
+            });
+        }
+        monitor.store = IntervalStore::External(handle);
+        Ok(monitor)
     }
 
     /// Bits per neuron `B`.
@@ -280,11 +391,59 @@ impl IntervalPatternMonitor {
     ///
     /// # Panics
     ///
-    /// Panics if `features.len()` differs from the monitor dimension.
+    /// Panics if `features.len()` differs from the monitor dimension, or
+    /// if an external source fails (construction loops use
+    /// [`IntervalPatternMonitor::absorb_point_checked`]).
     pub fn absorb_point(&mut self, features: &[f64]) {
+        self.absorb_point_checked(features)
+            .expect("pattern source append failed");
+    }
+
+    /// Fallible form of [`IntervalPatternMonitor::absorb_point`]:
+    /// external sources can fail on the backing medium.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if the backing store
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn absorb_point_checked(&mut self, features: &[f64]) -> Result<(), MonitorError> {
         let word = self.abstract_bitword(features);
-        self.root = self.bdd.insert_word(self.root, &word);
+        match &mut self.store {
+            IntervalStore::Bdd { bdd, root } => *root = bdd.insert_word(*root, &word),
+            IntervalStore::External(handle) => {
+                handle.insert(&word)?;
+            }
+        }
         self.samples += 1;
+        Ok(())
+    }
+
+    /// Absorbs one feature vector through `&self` — the operation-time
+    /// enlargement path for store-backed monitors; see
+    /// [`crate::PatternMonitor::absorb_features_shared`] for the
+    /// semantics (shared visibility, `samples` untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] for a BDD-backed monitor
+    /// or a failing store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn absorb_features_shared(&self, features: &[f64]) -> Result<bool, MonitorError> {
+        let IntervalStore::External(handle) = &self.store else {
+            return Err(MonitorError::ExternalSource(
+                "operation-time absorption needs a store-backed monitor \
+                 (IntervalPatternMonitor::with_source)"
+                    .into(),
+            ));
+        };
+        handle.insert(&self.abstract_bitword(features))
     }
 
     /// Folds one perturbation estimate (robust construction): per neuron
@@ -292,8 +451,32 @@ impl IntervalPatternMonitor {
     ///
     /// # Panics
     ///
-    /// Panics if `bounds.dim()` differs from the monitor dimension.
+    /// Panics if `bounds.dim()` differs from the monitor dimension, if a
+    /// store-backed monitor would expand more than `2^24` words, or if an
+    /// external source fails (see
+    /// [`IntervalPatternMonitor::absorb_bounds_checked`]).
     pub fn absorb_bounds(&mut self, bounds: &BoxBounds) {
+        self.absorb_bounds_checked(bounds)
+            .expect("pattern source append failed");
+    }
+
+    /// Fallible form of [`IntervalPatternMonitor::absorb_bounds`].
+    ///
+    /// With the BDD store the symbol-set product inserts in time linear in
+    /// the word length; an external store must materialize the product —
+    /// the same footnote-2 blow-up as the hash-set on-off backend, capped
+    /// at `2^24` words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if the backing store
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.dim()` differs from the monitor dimension or the
+    /// external product would exceed `2^24` words.
+    pub fn absorb_bounds_checked(&mut self, bounds: &BoxBounds) -> Result<(), MonitorError> {
         assert_eq!(
             bounds.dim(),
             self.thresholds.len(),
@@ -305,15 +488,54 @@ impl IntervalPatternMonitor {
                     .collect()
             })
             .collect();
-        let cube = self.bdd.product_of_blocks(&blocks, self.bits);
-        self.root = self.bdd.or(self.root, cube);
+        let bits = self.bits;
+        match &mut self.store {
+            IntervalStore::Bdd { bdd, root } => {
+                let cube = bdd.product_of_blocks(&blocks, bits);
+                *root = bdd.or(*root, cube);
+            }
+            IntervalStore::External(handle) => {
+                // Overflow-proof product: bail out the moment the running
+                // expansion passes the cap, so a 2^64-word product can
+                // neither wrap past the check nor hang the enumeration.
+                let expansion = blocks
+                    .iter()
+                    .try_fold(1u64, |acc, b| acc.checked_mul(b.len() as u64))
+                    .filter(|&n| n <= 1 << 24);
+                assert!(
+                    expansion.is_some(),
+                    "store word2set would expand more than 2^24 words; use the BDD store"
+                );
+                // Mixed-radix enumeration of the symbol product.
+                let mut indices = vec![0usize; blocks.len()];
+                'product: loop {
+                    let word = BitWord::from_fn(blocks.len() * bits, |i| {
+                        let symbol = blocks[i / bits][indices[i / bits]];
+                        (symbol >> (bits - 1 - i % bits)) & 1 == 1
+                    });
+                    handle.insert(&word)?;
+                    let mut j = blocks.len();
+                    loop {
+                        if j == 0 {
+                            break 'product;
+                        }
+                        j -= 1;
+                        indices[j] += 1;
+                        if indices[j] < blocks[j].len() {
+                            break;
+                        }
+                        indices[j] = 0;
+                    }
+                }
+            }
+        }
         self.samples += 1;
+        Ok(())
     }
 
     /// Whether the symbol word of `features` is in the recorded set.
     pub fn contains(&self, features: &[f64]) -> bool {
-        let word = self.abstract_bitword(features);
-        self.bdd.eval(self.root, &word)
+        self.contains_packed(&self.abstract_bitword(features))
     }
 
     /// Packed membership against a pre-abstracted word.
@@ -323,7 +545,10 @@ impl IntervalPatternMonitor {
     /// Panics if `word.len() != dim * bits`.
     #[inline]
     pub fn contains_packed(&self, word: &BitWord) -> bool {
-        self.bdd.eval(self.root, word)
+        match &self.store {
+            IntervalStore::Bdd { bdd, root } => bdd.eval(*root, word),
+            IntervalStore::External(handle) => handle.contains(word),
+        }
     }
 
     /// Whether some recorded bit word is within Hamming distance `tau` of
@@ -338,7 +563,13 @@ impl IntervalPatternMonitor {
         word: &W,
         tau: usize,
     ) -> bool {
-        self.bdd.contains_within_hamming(self.root, word, tau)
+        match &self.store {
+            IntervalStore::Bdd { bdd, root } => bdd.contains_within_hamming(*root, word, tau),
+            IntervalStore::External(handle) => {
+                let packed = BitWord::from_fn(word.bit_len(), |i| word.bit(i));
+                handle.contains_within(&packed, tau)
+            }
+        }
     }
 
     /// Number of absorbed samples.
@@ -346,25 +577,83 @@ impl IntervalPatternMonitor {
         self.samples
     }
 
-    /// Number of distinct symbol words admitted.
+    /// Number of distinct symbol words admitted. Live for store-backed
+    /// monitors: operation-time absorptions move it.
     pub fn pattern_count(&self) -> f64 {
-        self.bdd.satcount(self.root)
+        match &self.store {
+            IntervalStore::Bdd { bdd, root } => bdd.satcount(*root),
+            IntervalStore::External(handle) => handle.word_count() as f64,
+        }
     }
 
     /// Fraction of the `2^{B·d}` pattern space admitted (monitor
     /// "efficiency" in the sense of the paper's conclusion).
     pub fn coverage(&self) -> f64 {
-        self.bdd.coverage(self.root)
+        match &self.store {
+            IntervalStore::Bdd { bdd, root } => bdd.coverage(*root),
+            IntervalStore::External(handle) => {
+                let dim_bits = (self.thresholds.len() * self.bits) as i32;
+                handle.word_count() as f64 / 2f64.powi(dim_bits)
+            }
+        }
     }
 
-    /// BDD nodes reachable from the root (memory proxy).
+    /// Memory proxy: BDD nodes reachable from the root, or external-store
+    /// words.
     pub fn store_size(&self) -> usize {
-        self.bdd.reachable_nodes(self.root)
+        match &self.store {
+            IntervalStore::Bdd { bdd, root } => bdd.reachable_nodes(*root),
+            IntervalStore::External(handle) => handle.store_size(),
+        }
     }
 
     /// Per-neuron thresholds.
     pub fn thresholds(&self) -> &[Vec<f64>] {
         &self.thresholds
+    }
+
+    /// The descriptor of the external source, if the monitor is
+    /// store-backed.
+    pub fn external_descriptor(&self) -> Option<&SourceDescriptor> {
+        match &self.store {
+            IntervalStore::External(handle) => Some(handle.descriptor()),
+            _ => None,
+        }
+    }
+
+    /// Whether the monitor is store-backed but its handle is detached
+    /// (fresh from deserialization).
+    pub fn needs_source(&self) -> bool {
+        matches!(&self.store, IntervalStore::External(h) if !h.is_attached())
+    }
+
+    /// Reattaches (or replaces) the external source behind a store-backed
+    /// monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if the monitor is
+    /// BDD-backed, or [`MonitorError::DimensionMismatch`] on word-width
+    /// disagreement.
+    pub fn attach_source(&mut self, source: SharedPatternSource) -> Result<(), MonitorError> {
+        match &mut self.store {
+            IntervalStore::External(handle) => handle.attach(source),
+            _ => Err(MonitorError::ExternalSource(
+                "monitor is not store-backed; nothing to attach".into(),
+            )),
+        }
+    }
+
+    /// Flushes the external source's buffered writes, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if the store fails.
+    pub fn commit_source(&self) -> Result<(), MonitorError> {
+        match &self.store {
+            IntervalStore::External(handle) => handle.commit(),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -543,6 +832,97 @@ mod tests {
         assert!(wrong_len.resolve(1, 2, &[]).is_err());
         let not_ascending = ThresholdPolicy::Explicit(vec![vec![1.0, 0.5, 2.0]]);
         assert!(not_ascending.resolve(1, 2, &[]).is_err());
+    }
+
+    #[test]
+    fn external_store_matches_bdd_semantics() {
+        use crate::source::{shared_source, MemoryPatternSource};
+        let thresholds = vec![vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]];
+        let mut bdd_backed =
+            IntervalPatternMonitor::empty(extractor(2), 2, thresholds.clone()).unwrap();
+        let mut store_backed = IntervalPatternMonitor::with_source(
+            extractor(2),
+            2,
+            thresholds,
+            shared_source(MemoryPatternSource::new(4)),
+        )
+        .unwrap();
+        for m in [&mut bdd_backed, &mut store_backed] {
+            m.absorb_point(&[1.5, 0.5]);
+            m.absorb_bounds(&BoxBounds::new(vec![0.5, -1.0], vec![1.5, 0.5]));
+        }
+        assert_eq!(bdd_backed.pattern_count(), store_backed.pattern_count());
+        assert_eq!(bdd_backed.samples(), store_backed.samples());
+        assert!((bdd_backed.coverage() - store_backed.coverage()).abs() < 1e-12);
+        for a in [-1.0, 0.5, 1.2, 1.5, 2.5, 3.0] {
+            for b in [-1.0, 0.5, 1.2, 2.5] {
+                assert_eq!(
+                    bdd_backed.contains(&[a, b]),
+                    store_backed.contains(&[a, b]),
+                    "features [{a}, {b}]"
+                );
+                let word = bdd_backed.abstract_bitword(&[a, b]);
+                assert_eq!(
+                    bdd_backed.contains_word_within(&word, 1),
+                    store_backed.contains_word_within(&word, 1),
+                    "hamming around [{a}, {b}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn external_serde_is_descriptor_only_and_bdd_form_is_compatible() {
+        use crate::source::{shared_source, MemoryPatternSource};
+        // BDD-backed: field layout unchanged (bdd + root inline).
+        let mut m = two_bit_monitor();
+        m.absorb_point(&[1.5]);
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(
+            json.contains("\"bdd\"") && json.contains("\"root\""),
+            "{json}"
+        );
+        let back: IntervalPatternMonitor = serde_json::from_str(&json).unwrap();
+        assert!(back.contains(&[1.2]));
+        assert_eq!(back.samples(), 1);
+        // Store-backed: descriptor only, reattachable after decode.
+        let ext = IntervalPatternMonitor::with_source(
+            extractor(1),
+            2,
+            vec![vec![0.0, 1.0, 2.0]],
+            shared_source(MemoryPatternSource::new(2)),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&ext).unwrap();
+        assert!(
+            json.contains("\"external\"") && !json.contains("\"bdd\""),
+            "{json}"
+        );
+        let mut back: IntervalPatternMonitor = serde_json::from_str(&json).unwrap();
+        assert!(back.needs_source());
+        back.attach_source(shared_source(MemoryPatternSource::new(2)))
+            .unwrap();
+        assert!(!back.needs_source());
+        assert!(back
+            .attach_source(shared_source(MemoryPatternSource::new(5)))
+            .is_err());
+    }
+
+    #[test]
+    fn shared_absorption_is_external_only() {
+        use crate::source::{shared_source, MemoryPatternSource};
+        let m = two_bit_monitor();
+        assert!(m.absorb_features_shared(&[1.5]).is_err());
+        let ext = IntervalPatternMonitor::with_source(
+            extractor(1),
+            2,
+            vec![vec![0.0, 1.0, 2.0]],
+            shared_source(MemoryPatternSource::new(2)),
+        )
+        .unwrap();
+        assert!(ext.absorb_features_shared(&[1.5]).unwrap());
+        assert!(ext.contains(&[1.2]));
+        assert_eq!(ext.samples(), 0);
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub mod pattern;
 pub mod per_class;
 pub mod perturb;
 pub mod score;
+pub mod source;
 pub mod spec;
 
 pub use builder::{AnyMonitor, MonitorBuilder, MonitorKind, RobustConfig};
@@ -94,4 +95,8 @@ pub use pattern::{PatternBackend, PatternMonitor};
 pub use per_class::PerClassMonitor;
 pub use perturb::perturbation_estimate;
 pub use score::ScoredMonitor;
+pub use source::{
+    shared_source, ExternalHandle, MemoryPatternSource, PatternSource, SharedPatternSource,
+    SourceDescriptor, SourceProvider,
+};
 pub use spec::{ComposedMonitor, Composition, MonitorSpec, WatchedLayer, MONITOR_SPEC_VERSION};

@@ -78,6 +78,12 @@ impl MultiLayerMonitor {
         &self.members
     }
 
+    /// Mutable access to the member monitors (source reattachment and
+    /// `&mut` absorption paths).
+    pub(crate) fn members_mut(&mut self) -> &mut [AnyMonitor] {
+        &mut self.members
+    }
+
     /// Runs the network once per member boundary and combines verdicts.
     ///
     /// The underlying forward pass is shared up to each monitored

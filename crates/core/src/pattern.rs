@@ -3,6 +3,7 @@
 use crate::error::MonitorError;
 use crate::feature::FeatureExtractor;
 use crate::monitor::{Monitor, QueryScratch, Verdict, Violation};
+use crate::source::{ExternalHandle, SharedPatternSource, SourceDescriptor};
 use napmon_absint::BoxBounds;
 use napmon_bdd::{Bdd, BitCube, BitWord, FxBuildHasher, NodeId};
 use serde::{Deserialize, Serialize};
@@ -13,13 +14,20 @@ use std::collections::HashSet;
 /// The paper stores pattern sets in BDDs so that the robust construction's
 /// `word2set` (don't-care expansion) stays linear; the hash-set backend
 /// materializes every word and exists for the storage ablation (experiment
-/// A5) and as a differential-testing oracle.
+/// A5) and as a differential-testing oracle. The `Store` backend delegates
+/// the word set to an external [`crate::PatternSource`] (e.g. the
+/// persistent log-structured store in `napmon-store`), which is what lets
+/// a monitor survive restarts and absorb operation-time patterns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PatternBackend {
     /// Binary decision diagram (default; matches the paper).
     Bdd,
     /// Explicit hash set of packed words.
     HashSet,
+    /// An external pattern source attached at build/mount time
+    /// ([`PatternMonitor::with_source`]); specs declaring this backend
+    /// build via `MonitorSpec::build_with_sources`.
+    Store,
 }
 
 /// Words are stored packed ([`BitWord`]) and hashed with the same FxHash
@@ -28,8 +36,15 @@ pub enum PatternBackend {
 /// query side never materializes a `Vec<bool>`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Store {
-    Bdd { bdd: Bdd, root: NodeId },
+    Bdd {
+        bdd: Bdd,
+        root: NodeId,
+    },
     Hash(HashSet<BitWord, FxBuildHasher>),
+    /// Externally-held word set; serializes as a [`SourceDescriptor`]
+    /// (the words stay in the store), so this variant is what makes
+    /// store-backed artifacts small and warm-startable.
+    External(ExternalHandle),
 }
 
 /// A Boolean on-off pattern monitor (Cheng et al., DATE 2019; §III-A/B of
@@ -79,11 +94,58 @@ impl PatternMonitor {
                 root: Bdd::FALSE,
             },
             PatternBackend::HashSet => Store::Hash(HashSet::default()),
+            PatternBackend::Store => {
+                return Err(MonitorError::InvalidConfig(
+                    "the Store backend needs an attached source; build with \
+                     PatternMonitor::with_source (or MonitorSpec::build_with_sources)"
+                        .into(),
+                ))
+            }
         };
         Ok(Self {
             extractor,
             thresholds,
             store,
+            hamming_tolerance: 0,
+            samples: 0,
+        })
+    }
+
+    /// Creates a monitor whose word set lives in an external
+    /// [`crate::PatternSource`] (backend [`PatternBackend::Store`]).
+    ///
+    /// The source may already hold words (warm start from a store on
+    /// disk); they become members immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if
+    /// `thresholds.len() != extractor.dim()` or the source's word width
+    /// disagrees with the monitor dimension.
+    pub fn with_source(
+        extractor: FeatureExtractor,
+        thresholds: Vec<f64>,
+        source: SharedPatternSource,
+    ) -> Result<Self, MonitorError> {
+        if thresholds.len() != extractor.dim() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "pattern thresholds".into(),
+                expected: extractor.dim(),
+                actual: thresholds.len(),
+            });
+        }
+        let handle = ExternalHandle::attached(source);
+        if handle.descriptor().word_bits != extractor.dim() {
+            return Err(MonitorError::DimensionMismatch {
+                context: "pattern source word width".into(),
+                expected: extractor.dim(),
+                actual: handle.descriptor().word_bits,
+            });
+        }
+        Ok(Self {
+            extractor,
+            thresholds,
+            store: Store::External(handle),
             hamming_tolerance: 0,
             samples: 0,
         })
@@ -169,16 +231,70 @@ impl PatternMonitor {
     ///
     /// # Panics
     ///
-    /// Panics if `features.len()` differs from the monitor dimension.
+    /// Panics if `features.len()` differs from the monitor dimension, or
+    /// if an external source fails; construction loops use
+    /// [`PatternMonitor::absorb_point_checked`] to surface source failures
+    /// as typed errors instead.
     pub fn absorb_point(&mut self, features: &[f64]) {
+        self.absorb_point_checked(features)
+            .expect("pattern source append failed");
+    }
+
+    /// Fallible form of [`PatternMonitor::absorb_point`]: external sources
+    /// can fail on the backing medium.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if the backing store
+    /// fails (in-memory backends are infallible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn absorb_point_checked(&mut self, features: &[f64]) -> Result<(), MonitorError> {
         let word = self.abstract_bitword(features);
         match &mut self.store {
             Store::Bdd { bdd, root } => *root = bdd.insert_word(*root, &word),
             Store::Hash(set) => {
                 set.insert(word);
             }
+            Store::External(handle) => {
+                handle.insert(&word)?;
+            }
         }
         self.samples += 1;
+        Ok(())
+    }
+
+    /// Absorbs one feature vector through `&self` — the operation-time
+    /// enlargement path. Only external sources support this (their word
+    /// set sits behind a shared lock, so every clone of the monitor — in
+    /// particular every serving shard — observes the new pattern
+    /// immediately); in-memory backends need `&mut` via
+    /// [`PatternMonitor::absorb_point`].
+    ///
+    /// Does not bump [`PatternMonitor::samples`], which counts
+    /// construction-time training samples only.
+    ///
+    /// Returns `true` if the pattern was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] for a non-external backend
+    /// or a failing store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the monitor dimension.
+    pub fn absorb_features_shared(&self, features: &[f64]) -> Result<bool, MonitorError> {
+        let Store::External(handle) = &self.store else {
+            return Err(MonitorError::ExternalSource(
+                "operation-time absorption needs a store-backed monitor \
+                 (backend PatternBackend::Store)"
+                    .into(),
+            ));
+        };
+        handle.insert(&self.abstract_bitword(features))
     }
 
     /// Folds one perturbation estimate (robust construction, `⊎_R` with
@@ -191,29 +307,42 @@ impl PatternMonitor {
     ///
     /// # Panics
     ///
-    /// Panics if `bounds.dim()` differs from the monitor dimension.
+    /// Panics if `bounds.dim()` differs from the monitor dimension, if a
+    /// non-BDD backend would expand more than `2^24` words, or if an
+    /// external source fails (see
+    /// [`PatternMonitor::absorb_bounds_checked`]).
     pub fn absorb_bounds(&mut self, bounds: &BoxBounds) {
+        self.absorb_bounds_checked(bounds)
+            .expect("pattern source append failed");
+    }
+
+    /// Fallible form of [`PatternMonitor::absorb_bounds`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if the backing store
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.dim()` differs from the monitor dimension or a
+    /// non-BDD backend would expand more than `2^24` words.
+    pub fn absorb_bounds_checked(&mut self, bounds: &BoxBounds) -> Result<(), MonitorError> {
         let cube = self.abstract_cube(bounds);
         match &mut self.store {
             Store::Bdd { bdd, root } => *root = bdd.insert_cube_packed(*root, &cube),
             Store::Hash(set) => {
-                let free: Vec<usize> = (0..cube.len()).filter(|&i| cube.get(i).is_none()).collect();
-                assert!(
-                    free.len() <= 24,
-                    "hash-set word2set would expand 2^{} words; use the BDD backend",
-                    free.len()
-                );
-                let base = BitWord::from_fn(cube.len(), |i| cube.get(i).unwrap_or(false));
-                for mask in 0u64..(1u64 << free.len()) {
-                    let mut w = base.clone();
-                    for (bit, &pos) in free.iter().enumerate() {
-                        w.set(pos, (mask >> bit) & 1 == 1);
-                    }
+                expand_cube(&cube, |w| {
                     set.insert(w);
-                }
+                    Ok(())
+                })?;
+            }
+            Store::External(handle) => {
+                expand_cube(&cube, |w| handle.insert(&w).map(drop))?;
             }
         }
         self.samples += 1;
+        Ok(())
     }
 
     /// Sets the query-time Hamming tolerance `τ`: a word is accepted when
@@ -233,6 +362,7 @@ impl PatternMonitor {
         match &self.store {
             Store::Bdd { bdd, root } => bdd.eval(*root, word),
             Store::Hash(set) => set.contains(word),
+            Store::External(handle) => handle.contains(word),
         }
     }
 
@@ -247,6 +377,7 @@ impl PatternMonitor {
         match &self.store {
             Store::Bdd { bdd, root } => bdd.contains_within_hamming(*root, word, tau),
             Store::Hash(set) => set.iter().any(|w| w.hamming(word) as usize <= tau),
+            Store::External(handle) => handle.contains_within(word, tau),
         }
     }
 
@@ -255,11 +386,14 @@ impl PatternMonitor {
         self.samples
     }
 
-    /// Number of distinct words admitted by the monitor.
+    /// Number of distinct words admitted by the monitor. For store-backed
+    /// monitors this is a *live* figure: operation-time absorptions move
+    /// it.
     pub fn pattern_count(&self) -> f64 {
         match &self.store {
             Store::Bdd { bdd, root } => bdd.satcount(*root),
             Store::Hash(set) => set.len() as f64,
+            Store::External(handle) => handle.word_count() as f64,
         }
     }
 
@@ -270,11 +404,13 @@ impl PatternMonitor {
         self.pattern_count() / 2f64.powi(self.thresholds.len() as i32)
     }
 
-    /// Memory proxy: BDD nodes or hash-set words currently stored.
+    /// Memory proxy: BDD nodes, hash-set words, or external-store words
+    /// currently stored.
     pub fn store_size(&self) -> usize {
         match &self.store {
             Store::Bdd { bdd, root } => bdd.reachable_nodes(*root),
             Store::Hash(set) => set.len(),
+            Store::External(handle) => handle.store_size(),
         }
     }
 
@@ -288,6 +424,7 @@ impl PatternMonitor {
         match &self.store {
             Store::Bdd { .. } => PatternBackend::Bdd,
             Store::Hash(_) => PatternBackend::HashSet,
+            Store::External(_) => PatternBackend::Store,
         }
     }
 
@@ -295,6 +432,77 @@ impl PatternMonitor {
     pub fn hamming_tolerance(&self) -> usize {
         self.hamming_tolerance
     }
+
+    /// The descriptor of the external source, if the monitor is
+    /// store-backed.
+    pub fn external_descriptor(&self) -> Option<&SourceDescriptor> {
+        match &self.store {
+            Store::External(handle) => Some(handle.descriptor()),
+            _ => None,
+        }
+    }
+
+    /// Whether the monitor is store-backed but its handle is detached
+    /// (fresh from deserialization, awaiting
+    /// [`PatternMonitor::attach_source`]).
+    pub fn needs_source(&self) -> bool {
+        matches!(&self.store, Store::External(h) if !h.is_attached())
+    }
+
+    /// Reattaches (or replaces) the external source behind a store-backed
+    /// monitor — the deserialization counterpart of
+    /// [`PatternMonitor::with_source`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if the monitor is not
+    /// store-backed, or [`MonitorError::DimensionMismatch`] if the
+    /// source's word width disagrees with the recorded descriptor.
+    pub fn attach_source(&mut self, source: SharedPatternSource) -> Result<(), MonitorError> {
+        match &mut self.store {
+            Store::External(handle) => handle.attach(source),
+            _ => Err(MonitorError::ExternalSource(
+                "monitor is not store-backed; nothing to attach".into(),
+            )),
+        }
+    }
+
+    /// Flushes the external source's buffered writes, if any (no-op for
+    /// in-memory backends).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if the store fails.
+    pub fn commit_source(&self) -> Result<(), MonitorError> {
+        match &self.store {
+            Store::External(handle) => handle.commit(),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Enumerates every concrete word of `cube` (don't-cares expanded) into
+/// `sink` — the `word2set` materialization non-BDD backends pay, capped at
+/// `2^24` words (the paper's footnote-2 blow-up, reproduced deliberately).
+fn expand_cube(
+    cube: &BitCube,
+    mut sink: impl FnMut(BitWord) -> Result<(), MonitorError>,
+) -> Result<(), MonitorError> {
+    let free: Vec<usize> = (0..cube.len()).filter(|&i| cube.get(i).is_none()).collect();
+    assert!(
+        free.len() <= 24,
+        "hash-set word2set would expand 2^{} words; use the BDD backend",
+        free.len()
+    );
+    let base = BitWord::from_fn(cube.len(), |i| cube.get(i).unwrap_or(false));
+    for mask in 0u64..(1u64 << free.len()) {
+        let mut w = base.clone();
+        for (bit, &pos) in free.iter().enumerate() {
+            w.set(pos, (mask >> bit) & 1 == 1);
+        }
+        sink(w)?;
+    }
+    Ok(())
 }
 
 impl PatternMonitor {
@@ -453,6 +661,82 @@ mod tests {
         for x in &train {
             assert!(!m.warns(&net, x).unwrap());
         }
+    }
+
+    #[test]
+    fn store_backend_requires_a_source() {
+        let (_, _) = setup(PatternBackend::Bdd);
+        let net = Network::seeded(3, 2, &[LayerSpec::dense(4, Activation::Relu)]);
+        let fx = FeatureExtractor::new(&net, 2).unwrap();
+        let err = PatternMonitor::empty(fx, vec![0.0; 4], PatternBackend::Store).unwrap_err();
+        assert!(matches!(err, MonitorError::InvalidConfig(_)), "{err}");
+    }
+
+    fn external_setup() -> (Network, PatternMonitor) {
+        use crate::source::{shared_source, MemoryPatternSource};
+        let net = Network::seeded(3, 2, &[LayerSpec::dense(4, Activation::Relu)]);
+        let fx = FeatureExtractor::new(&net, 2).unwrap();
+        let source = shared_source(MemoryPatternSource::new(4));
+        let m = PatternMonitor::with_source(fx, vec![0.0; 4], source).unwrap();
+        (net, m)
+    }
+
+    #[test]
+    fn external_backend_matches_hash_semantics() {
+        let (_, mut ext) = external_setup();
+        let (_, mut hash) = setup(PatternBackend::HashSet);
+        assert_eq!(ext.backend(), PatternBackend::Store);
+        for m in [&mut ext, &mut hash] {
+            m.absorb_point(&[1.0, -1.0, 1.0, -1.0]);
+            m.absorb_bounds(&BoxBounds::new(
+                vec![0.5, -1.0, -0.1, -1.0],
+                vec![1.0, -0.5, 0.1, -0.5],
+            ));
+        }
+        assert_eq!(ext.pattern_count(), hash.pattern_count());
+        assert_eq!(ext.samples(), hash.samples());
+        for bits in 0..16u32 {
+            let w: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(ext.contains_word(&w), hash.contains_word(&w), "word {w:?}");
+            assert_eq!(ext.contains_within(&w, 1), hash.contains_within(&w, 1));
+        }
+    }
+
+    #[test]
+    fn shared_absorption_needs_external_backend() {
+        let (_, m) = setup(PatternBackend::Bdd);
+        assert!(m.absorb_features_shared(&[1.0, 1.0, 1.0, 1.0]).is_err());
+        let (_, ext) = external_setup();
+        assert!(ext.absorb_features_shared(&[1.0, 1.0, 1.0, 1.0]).unwrap());
+        assert!(!ext.absorb_features_shared(&[1.0, 1.0, 1.0, 1.0]).unwrap());
+        assert!(ext.contains_word(&[true, true, true, true]));
+        assert_eq!(
+            ext.samples(),
+            0,
+            "shared absorption is not a training sample"
+        );
+    }
+
+    #[test]
+    fn external_monitor_serializes_as_descriptor_and_reattaches() {
+        use crate::source::{shared_source, MemoryPatternSource};
+        let (_, ext) = external_setup();
+        ext.absorb_features_shared(&[1.0, 1.0, -1.0, -1.0]).unwrap();
+        let json = serde_json::to_string(&ext).unwrap();
+        // The word set stays in the source: only the descriptor travels.
+        assert!(json.contains("\"memory\""), "{json}");
+        let mut back: PatternMonitor = serde_json::from_str(&json).unwrap();
+        assert!(back.needs_source());
+        assert!(back
+            .attach_source(shared_source(MemoryPatternSource::new(4)))
+            .is_ok());
+        assert!(!back.needs_source());
+        // The memory source is non-persistent, so the fresh one is empty —
+        // persistence is napmon-store's job.
+        assert_eq!(back.pattern_count(), 0.0);
+        assert!(back
+            .attach_source(shared_source(MemoryPatternSource::new(3)))
+            .is_err());
     }
 
     #[test]

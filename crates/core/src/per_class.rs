@@ -45,6 +45,12 @@ impl PerClassMonitor {
         &self.monitors[class]
     }
 
+    /// Mutable access to the per-class monitors (source reattachment and
+    /// `&mut` absorption paths).
+    pub(crate) fn monitors_mut(&mut self) -> &mut [AnyMonitor] {
+        &mut self.monitors
+    }
+
     /// Runs the network, picks the predicted class, and returns that
     /// class's verdict.
     ///

@@ -54,9 +54,10 @@ use crate::interval_pattern::{IntervalPatternMonitor, ThresholdPolicy};
 use crate::minmax::MinMaxMonitor;
 use crate::monitor::{Monitor, QueryScratch, Verdict};
 use crate::multi::{MultiLayerMonitor, Vote};
-use crate::pattern::PatternMonitor;
+use crate::pattern::{PatternBackend, PatternMonitor};
 use crate::per_class::PerClassMonitor;
 use crate::perturb::perturbation_estimate_with;
+use crate::source::{SharedPatternSource, SourceDescriptor, SourceProvider};
 use napmon_absint::{propagate::Propagator, BoxBounds, Domain};
 use napmon_nn::Network;
 use serde::{Deserialize, Serialize};
@@ -381,18 +382,7 @@ impl MonitorSpec {
     /// [`MonitorError::DimensionMismatch`] for malformed samples, and
     /// [`MonitorError::InvalidConfig`] for any violated spec invariant.
     pub fn build(&self, net: &Network, data: &[Vec<f64>]) -> Result<ComposedMonitor, MonitorError> {
-        match self.composition {
-            Composition::PerClass { .. } => {
-                // Validate before predicting labels: predict_class panics
-                // on wrong-dimension samples, and malformed input must
-                // surface as the typed error this method documents.
-                self.validate_for(net)?;
-                check_training_data(net, data)?;
-                let labels: Vec<usize> = data.iter().map(|x| net.predict_class(x)).collect();
-                self.build_with_labels(net, data, &labels)
-            }
-            _ => self.build_unlabeled(net, data),
-        }
+        self.build_impl(net, data, None, None)
     }
 
     /// Like [`MonitorSpec::build`], with explicit per-sample class labels
@@ -409,52 +399,92 @@ impl MonitorSpec {
         data: &[Vec<f64>],
         labels: &[usize],
     ) -> Result<ComposedMonitor, MonitorError> {
-        let Composition::PerClass { num_classes } = self.composition else {
-            return self.build_unlabeled(net, data);
-        };
-        self.validate_for(net)?;
-        check_training_data(net, data)?;
-        if labels.len() != data.len() {
-            return Err(MonitorError::DimensionMismatch {
-                context: "per-class labels".into(),
-                expected: data.len(),
-                actual: labels.len(),
-            });
-        }
-        let mut partitions: Vec<Vec<Vec<f64>>> = vec![Vec::new(); num_classes];
-        for (v, &c) in data.iter().zip(labels) {
-            if c >= num_classes {
-                return Err(MonitorError::InvalidConfig(format!(
-                    "label {c} out of range 0..{num_classes}"
-                )));
-            }
-            partitions[c].push(v.clone());
-        }
-        let watched = &self.layers[0];
-        let mut monitors = Vec::with_capacity(num_classes);
-        for (c, part) in partitions.iter().enumerate() {
-            if part.is_empty() {
-                return Err(MonitorError::InvalidConfig(format!(
-                    "class {c} has no training samples"
-                )));
-            }
-            monitors.push(build_member(
-                net,
-                watched,
-                &self.kind,
-                self.robust,
-                self.parallel,
-                part,
-            )?);
-        }
-        Ok(ComposedMonitor::PerClass(PerClassMonitor::new(monitors)))
+        self.build_impl(net, data, Some(labels), None)
     }
 
-    /// Single and multi-layer builds (the compositions without labels).
-    fn build_unlabeled(
+    /// Runs the construction loop with every pattern-set member backed by
+    /// an external [`crate::PatternSource`] from `provider` — the
+    /// store-backed build.
+    ///
+    /// The provider is asked for one source per member (member index `0`
+    /// for single composition, the boundary position for multi-layer, the
+    /// class index for per-class), at the member's packed word width; the
+    /// training patterns are absorbed *into the sources*, so the monitor's
+    /// word set lives wherever the provider put it (e.g. the
+    /// `napmon-store` segments on disk). Pattern-kind specs must declare
+    /// [`PatternBackend::Store`] so the spec stays an honest description
+    /// of the deployment; interval monitors are store-backed whenever a
+    /// provider is given (their `MonitorKind` carries no backend field).
+    /// Min-max specs have no pattern set and are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MonitorSpec::build`], plus
+    /// [`MonitorError::InvalidConfig`] for kind/backend disagreements and
+    /// [`MonitorError::ExternalSource`] for provider or store failures.
+    pub fn build_with_sources(
         &self,
         net: &Network,
         data: &[Vec<f64>],
+        provider: &mut dyn SourceProvider,
+    ) -> Result<ComposedMonitor, MonitorError> {
+        self.build_impl(net, data, None, Some(provider))
+    }
+
+    /// Mounts the spec over *already-populated* external sources without
+    /// any training data: the warm-start path, where every pattern the
+    /// monitor admits comes from the store segments the provider opens.
+    ///
+    /// Because there is no data to resolve data-dependent thresholds
+    /// from, the spec's policy must be data-free
+    /// ([`ThresholdPolicy::Sign`] or [`ThresholdPolicy::Explicit`]);
+    /// min-max specs cannot mount (their bounds have no external store).
+    /// Member `samples()` counters start at zero — provenance lives with
+    /// the artifact that built the store, not the mount.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidConfig`] for invalid specs,
+    /// data-dependent policies, or min-max kinds, and
+    /// [`MonitorError::ExternalSource`] for provider failures.
+    pub fn mount_with_sources(
+        &self,
+        net: &Network,
+        provider: &mut dyn SourceProvider,
+    ) -> Result<ComposedMonitor, MonitorError> {
+        self.validate_for(net)?;
+        let mounts: Vec<(usize, &WatchedLayer)> = match &self.composition {
+            Composition::Single => vec![(0, &self.layers[0])],
+            Composition::MultiLayer { .. } => self.layers.iter().enumerate().collect(),
+            Composition::PerClass { num_classes } => {
+                (0..*num_classes).map(|c| (c, &self.layers[0])).collect()
+            }
+        };
+        let mut members = Vec::with_capacity(mounts.len());
+        for (member, watched) in mounts {
+            members.push(mount_member(net, watched, &self.kind, member, provider)?);
+        }
+        Ok(match &self.composition {
+            Composition::Single => {
+                ComposedMonitor::Single(members.pop().expect("one member mounted"))
+            }
+            Composition::MultiLayer { vote } => {
+                ComposedMonitor::MultiLayer(MultiLayerMonitor::new(members, *vote))
+            }
+            Composition::PerClass { .. } => {
+                ComposedMonitor::PerClass(PerClassMonitor::new(members))
+            }
+        })
+    }
+
+    /// The shared construction path behind `build*`: optional explicit
+    /// labels (per-class), optional external sources.
+    fn build_impl(
+        &self,
+        net: &Network,
+        data: &[Vec<f64>],
+        labels: Option<&[usize]>,
+        mut provider: Option<&mut dyn SourceProvider>,
     ) -> Result<ComposedMonitor, MonitorError> {
         self.validate_for(net)?;
         check_training_data(net, data)?;
@@ -466,21 +496,76 @@ impl MonitorSpec {
                 self.robust,
                 self.parallel,
                 data,
+                0,
+                provider.as_deref_mut(),
             )?)),
             Composition::MultiLayer { vote } => {
-                let members = self
-                    .layers
-                    .iter()
-                    .map(|watched| {
-                        build_member(net, watched, &self.kind, self.robust, self.parallel, data)
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
+                let mut members = Vec::with_capacity(self.layers.len());
+                for (i, watched) in self.layers.iter().enumerate() {
+                    members.push(build_member(
+                        net,
+                        watched,
+                        &self.kind,
+                        self.robust,
+                        self.parallel,
+                        data,
+                        i,
+                        provider.as_deref_mut(),
+                    )?);
+                }
                 Ok(ComposedMonitor::MultiLayer(MultiLayerMonitor::new(
                     members, *vote,
                 )))
             }
-            Composition::PerClass { .. } => {
-                unreachable!("per-class goes through build_with_labels")
+            Composition::PerClass { num_classes } => {
+                // Validation above ran before predicting labels:
+                // predict_class panics on wrong-dimension samples, and
+                // malformed input must surface as the typed error the
+                // build methods document.
+                let predicted: Vec<usize>;
+                let labels = match labels {
+                    Some(labels) => labels,
+                    None => {
+                        predicted = data.iter().map(|x| net.predict_class(x)).collect();
+                        &predicted
+                    }
+                };
+                if labels.len() != data.len() {
+                    return Err(MonitorError::DimensionMismatch {
+                        context: "per-class labels".into(),
+                        expected: data.len(),
+                        actual: labels.len(),
+                    });
+                }
+                let mut partitions: Vec<Vec<Vec<f64>>> = vec![Vec::new(); *num_classes];
+                for (v, &c) in data.iter().zip(labels) {
+                    if c >= *num_classes {
+                        return Err(MonitorError::InvalidConfig(format!(
+                            "label {c} out of range 0..{num_classes}"
+                        )));
+                    }
+                    partitions[c].push(v.clone());
+                }
+                let watched = &self.layers[0];
+                let mut monitors = Vec::with_capacity(*num_classes);
+                for (c, part) in partitions.iter().enumerate() {
+                    if part.is_empty() {
+                        return Err(MonitorError::InvalidConfig(format!(
+                            "class {c} has no training samples"
+                        )));
+                    }
+                    monitors.push(build_member(
+                        net,
+                        watched,
+                        &self.kind,
+                        self.robust,
+                        self.parallel,
+                        part,
+                        c,
+                        provider.as_deref_mut(),
+                    )?);
+                }
+                Ok(ComposedMonitor::PerClass(PerClassMonitor::new(monitors)))
             }
         }
     }
@@ -541,23 +626,79 @@ fn check_training_data(net: &Network, data: &[Vec<f64>]) -> Result<(), MonitorEr
     Ok(())
 }
 
+/// Resolves the external source backing one member, if the kind/provider
+/// combination calls for one; rejects the combinations that cannot work.
+fn member_source<P: SourceProvider + ?Sized>(
+    kind: &MonitorKind,
+    member: usize,
+    word_bits: usize,
+    provider: Option<&mut P>,
+) -> Result<Option<SharedPatternSource>, MonitorError> {
+    match (kind, provider) {
+        (MonitorKind::MinMax { .. }, Some(_)) => Err(MonitorError::InvalidConfig(
+            "min-max monitors have no pattern set to externalize; \
+             remove the source provider or change the kind"
+                .into(),
+        )),
+        (MonitorKind::Pattern { backend, .. }, Some(provider)) => {
+            if *backend != PatternBackend::Store {
+                return Err(MonitorError::InvalidConfig(format!(
+                    "sources were provided but the spec declares backend {backend:?}; \
+                     declare PatternBackend::Store"
+                )));
+            }
+            provider.open_source(member, word_bits).map(Some)
+        }
+        (
+            MonitorKind::Pattern {
+                backend: PatternBackend::Store,
+                ..
+            },
+            None,
+        ) => Err(MonitorError::InvalidConfig(
+            "PatternBackend::Store needs a source provider; build with \
+             MonitorSpec::build_with_sources (or mount_with_sources)"
+                .into(),
+        )),
+        (MonitorKind::IntervalPattern { .. }, Some(provider)) => {
+            provider.open_source(member, word_bits).map(Some)
+        }
+        _ => Ok(None),
+    }
+}
+
+/// The packed word width of a member's pattern set (1 bit per neuron for
+/// on-off patterns, `bits` per neuron for interval patterns).
+fn member_word_bits(kind: &MonitorKind, dim: usize) -> usize {
+    match kind {
+        MonitorKind::IntervalPattern { bits, .. } => dim * bits,
+        _ => dim,
+    }
+}
+
 /// Builds one member monitor over one watched boundary: the §III-A/B
 /// construction loop the spec (and therefore the builder shim) lowers to.
-pub(crate) fn build_member(
+/// `member` indexes the member within its composition; `provider`, when
+/// given, supplies the external source its pattern set is absorbed into.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_member<P: SourceProvider + ?Sized>(
     net: &Network,
     watched: &WatchedLayer,
     kind: &MonitorKind,
     robust: Option<RobustConfig>,
     parallel: bool,
     data: &[Vec<f64>],
+    member: usize,
+    provider: Option<&mut P>,
 ) -> Result<AnyMonitor, MonitorError> {
     let fx = FeatureExtractor::new(net, watched.layer)?;
     let fx = match &watched.neurons {
         None => fx,
         Some(neurons) => fx.with_neurons(neurons.clone())?,
     };
+    let source = member_source(kind, member, member_word_bits(kind, fx.dim()), provider)?;
     let (features, bounds) = compute_samples(net, &fx, watched.layer, robust, parallel, data);
-    match kind {
+    let monitor = match kind {
         MonitorKind::MinMax { gamma } => {
             let mut m = MinMaxMonitor::empty(fx);
             match &bounds {
@@ -567,7 +708,7 @@ pub(crate) fn build_member(
             if *gamma > 0.0 {
                 m.enlarge(*gamma);
             }
-            Ok(AnyMonitor::MinMax(m))
+            AnyMonitor::MinMax(m)
         }
         MonitorKind::Pattern {
             policy,
@@ -576,22 +717,102 @@ pub(crate) fn build_member(
         } => {
             let lists = policy.resolve(fx.dim(), 1, &features)?;
             let thresholds: Vec<f64> = lists.into_iter().map(|l| l[0]).collect();
-            let mut m = PatternMonitor::empty(fx, thresholds, *backend)?;
+            let mut m = match source {
+                Some(source) => PatternMonitor::with_source(fx, thresholds, source)?,
+                None => PatternMonitor::empty(fx, thresholds, *backend)?,
+            };
             m.set_hamming_tolerance(*hamming);
             match &bounds {
-                Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
-                None => features.iter().for_each(|f| m.absorb_point(f)),
+                Some(bs) => {
+                    for b in bs {
+                        m.absorb_bounds_checked(b)?;
+                    }
+                }
+                None => {
+                    for f in &features {
+                        m.absorb_point_checked(f)?;
+                    }
+                }
             }
-            Ok(AnyMonitor::Pattern(m))
+            m.commit_source()?;
+            AnyMonitor::Pattern(m)
         }
         MonitorKind::IntervalPattern { bits, policy } => {
             let lists = policy.resolve(fx.dim(), *bits, &features)?;
-            let mut m = IntervalPatternMonitor::empty(fx, *bits, lists)?;
+            let mut m = match source {
+                Some(source) => IntervalPatternMonitor::with_source(fx, *bits, lists, source)?,
+                None => IntervalPatternMonitor::empty(fx, *bits, lists)?,
+            };
             match &bounds {
-                Some(bs) => bs.iter().for_each(|b| m.absorb_bounds(b)),
-                None => features.iter().for_each(|f| m.absorb_point(f)),
+                Some(bs) => {
+                    for b in bs {
+                        m.absorb_bounds_checked(b)?;
+                    }
+                }
+                None => {
+                    for f in &features {
+                        m.absorb_point_checked(f)?;
+                    }
+                }
             }
-            Ok(AnyMonitor::Interval(m))
+            m.commit_source()?;
+            AnyMonitor::Interval(m)
+        }
+    };
+    Ok(monitor)
+}
+
+/// Mounts one member over an already-populated external source (no
+/// training data; see [`MonitorSpec::mount_with_sources`]).
+fn mount_member(
+    net: &Network,
+    watched: &WatchedLayer,
+    kind: &MonitorKind,
+    member: usize,
+    provider: &mut dyn SourceProvider,
+) -> Result<AnyMonitor, MonitorError> {
+    let fx = FeatureExtractor::new(net, watched.layer)?;
+    let fx = match &watched.neurons {
+        None => fx,
+        Some(neurons) => fx.with_neurons(neurons.clone())?,
+    };
+    let data_free = |policy: &ThresholdPolicy, bits: usize| {
+        policy.resolve(fx.dim(), bits, &[]).map_err(|e| match e {
+            MonitorError::EmptyTrainingSet => MonitorError::InvalidConfig(format!(
+                "{policy:?} thresholds need training data; warm starts require a \
+                 data-free policy (Sign or Explicit)"
+            )),
+            other => other,
+        })
+    };
+    match kind {
+        MonitorKind::MinMax { .. } => Err(MonitorError::InvalidConfig(
+            "min-max monitors keep their bounds in the artifact, not a pattern \
+             store; load them through napmon-artifact instead of mounting"
+                .into(),
+        )),
+        MonitorKind::Pattern {
+            policy,
+            backend,
+            hamming,
+        } => {
+            if *backend != PatternBackend::Store {
+                return Err(MonitorError::InvalidConfig(format!(
+                    "mounting needs backend PatternBackend::Store, spec declares {backend:?}"
+                )));
+            }
+            let thresholds: Vec<f64> = data_free(policy, 1)?.into_iter().map(|l| l[0]).collect();
+            let source = provider.open_source(member, fx.dim())?;
+            let mut m = PatternMonitor::with_source(fx, thresholds, source)?;
+            m.set_hamming_tolerance(*hamming);
+            Ok(AnyMonitor::Pattern(m))
+        }
+        MonitorKind::IntervalPattern { bits, policy } => {
+            let lists = data_free(policy, *bits)?;
+            let source = provider.open_source(member, fx.dim() * *bits)?;
+            Ok(AnyMonitor::Interval(IntervalPatternMonitor::with_source(
+                fx, *bits, lists, source,
+            )?))
         }
     }
 }
@@ -729,6 +950,185 @@ impl ComposedMonitor {
             ComposedMonitor::MultiLayer(m) => m.members().iter().collect(),
             ComposedMonitor::PerClass(m) => {
                 (0..m.num_classes()).map(|c| m.class_monitor(c)).collect()
+            }
+        }
+    }
+
+    /// Mutable access to the member monitors, in [`ComposedMonitor::members`]
+    /// order.
+    fn members_mut(&mut self) -> Vec<&mut AnyMonitor> {
+        match self {
+            ComposedMonitor::Single(m) => vec![m],
+            ComposedMonitor::MultiLayer(m) => m.members_mut().iter_mut().collect(),
+            ComposedMonitor::PerClass(m) => m.monitors_mut().iter_mut().collect(),
+        }
+    }
+
+    /// Per member (in [`ComposedMonitor::members`] order): the descriptor
+    /// of its external pattern source, or `None` for in-memory members.
+    /// This is how an artifact (and an operator) reads the store-backed
+    /// composition off a deployed monitor.
+    pub fn external_descriptors(&self) -> Vec<Option<SourceDescriptor>> {
+        self.members()
+            .iter()
+            .map(|m| m.external_descriptor().cloned())
+            .collect()
+    }
+
+    /// Whether any member is store-backed but detached (fresh from
+    /// deserialization, awaiting
+    /// [`ComposedMonitor::attach_external_sources`]).
+    pub fn needs_sources(&self) -> bool {
+        self.members().iter().any(|m| m.needs_source())
+    }
+
+    /// Reattaches live sources to every store-backed member: `resolve` is
+    /// called once per such member with its index (in
+    /// [`ComposedMonitor::members`] order) and recorded descriptor, and
+    /// must reopen the source it points to. Returns the number of members
+    /// attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `resolve` failures and word-width mismatches.
+    pub fn attach_external_sources(
+        &mut self,
+        resolve: &mut dyn FnMut(
+            usize,
+            &SourceDescriptor,
+        ) -> Result<SharedPatternSource, MonitorError>,
+    ) -> Result<usize, MonitorError> {
+        let mut attached = 0;
+        for (i, member) in self.members_mut().into_iter().enumerate() {
+            if let Some(descriptor) = member.external_descriptor().cloned() {
+                member.attach_source(resolve(i, &descriptor)?)?;
+                attached += 1;
+            }
+        }
+        Ok(attached)
+    }
+
+    /// Flushes every store-backed member's buffered writes (no-op for
+    /// in-memory members) — the durability point after operation-time
+    /// absorption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if a store fails.
+    pub fn commit_external_sources(&self) -> Result<(), MonitorError> {
+        for member in self.members() {
+            member.commit_source()?;
+        }
+        Ok(())
+    }
+
+    /// Absorbs one operational input into the store-backed members through
+    /// `&self` — the serving engine's enlargement path. Single and
+    /// multi-layer compositions absorb into every member; per-class
+    /// absorbs into the predicted class's member (matching the query-time
+    /// dispatch). The new patterns are visible to every subsequent query
+    /// on any clone of the monitor, with no rebuild.
+    ///
+    /// Returns the number of members that stored a *new* pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::ExternalSource`] if no touched member is
+    /// store-backed (in-memory monitors need
+    /// [`ComposedMonitor::absorb_mut`]), plus any extraction or store
+    /// error.
+    pub fn absorb_operation(&self, net: &Network, input: &[f64]) -> Result<usize, MonitorError> {
+        let mut fresh = 0;
+        match self {
+            ComposedMonitor::Single(m) => {
+                fresh += usize::from(m.absorb_input_shared(net, input)?);
+            }
+            ComposedMonitor::MultiLayer(m) => {
+                if input.len() != net.input_dim() {
+                    return Err(MonitorError::DimensionMismatch {
+                        context: "multi-layer absorb input".into(),
+                        expected: net.input_dim(),
+                        actual: input.len(),
+                    });
+                }
+                // One forward pass shared across members, exactly like
+                // the multi-layer query path.
+                let boundaries = net.boundary_values(input);
+                for member in m.members() {
+                    let fx = member.extractor();
+                    let features = fx.project(&boundaries[fx.layer()]);
+                    fresh += usize::from(member.absorb_features_shared(&features)?);
+                }
+            }
+            ComposedMonitor::PerClass(m) => {
+                if input.len() != net.input_dim() {
+                    return Err(MonitorError::DimensionMismatch {
+                        context: "per-class absorb input".into(),
+                        expected: net.input_dim(),
+                        actual: input.len(),
+                    });
+                }
+                let class = net.predict_class(input);
+                let member = (class < m.num_classes())
+                    .then(|| m.class_monitor(class))
+                    .ok_or_else(|| {
+                        MonitorError::InvalidConfig(format!(
+                            "predicted class {class} has no monitor ({} classes)",
+                            m.num_classes()
+                        ))
+                    })?;
+                fresh += usize::from(member.absorb_input_shared(net, input)?);
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Absorbs one operational input through `&mut self`, for any backend:
+    /// in-memory members fold the pattern into their BDD/hash set (and
+    /// count it as a sample), store-backed members append to their source.
+    /// The `&self` counterpart for serving is
+    /// [`ComposedMonitor::absorb_operation`].
+    ///
+    /// # Errors
+    ///
+    /// Any extraction or store error.
+    pub fn absorb_mut(&mut self, net: &Network, input: &[f64]) -> Result<(), MonitorError> {
+        match self {
+            ComposedMonitor::Single(m) => m.absorb_input_mut(net, input),
+            ComposedMonitor::MultiLayer(m) => {
+                if input.len() != net.input_dim() {
+                    return Err(MonitorError::DimensionMismatch {
+                        context: "multi-layer absorb input".into(),
+                        expected: net.input_dim(),
+                        actual: input.len(),
+                    });
+                }
+                let boundaries = net.boundary_values(input);
+                for member in m.members_mut() {
+                    let fx = member.extractor();
+                    let features = fx.project(&boundaries[fx.layer()]);
+                    member.absorb_features_mut(&features)?;
+                }
+                Ok(())
+            }
+            ComposedMonitor::PerClass(m) => {
+                if input.len() != net.input_dim() {
+                    return Err(MonitorError::DimensionMismatch {
+                        context: "per-class absorb input".into(),
+                        expected: net.input_dim(),
+                        actual: input.len(),
+                    });
+                }
+                let class = net.predict_class(input);
+                let num_classes = m.num_classes();
+                m.monitors_mut()
+                    .get_mut(class)
+                    .ok_or_else(|| {
+                        MonitorError::InvalidConfig(format!(
+                            "predicted class {class} has no monitor ({num_classes} classes)"
+                        ))
+                    })?
+                    .absorb_input_mut(net, input)
             }
         }
     }
@@ -1099,6 +1499,163 @@ mod tests {
         );
         let m = spec.build(&net, &data).unwrap();
         m.verdict_features(&[0.0; 8]);
+    }
+
+    fn memory_provider() -> impl SourceProvider {
+        |_member: usize, word_bits: usize| {
+            Ok(crate::source::shared_source(
+                crate::source::MemoryPatternSource::new(word_bits),
+            ))
+        }
+    }
+
+    #[test]
+    fn store_backed_builds_match_in_memory_bit_for_bit() {
+        let net = net();
+        let data = train_data(48);
+        let probes: Vec<Vec<f64>> = {
+            let mut rng = Prng::seed(41);
+            (0..64).map(|_| rng.uniform_vec(3, -2.0, 2.0)).collect()
+        };
+        for robust in [false, true] {
+            for (in_mem_kind, stored_kind) in [
+                (
+                    MonitorKind::pattern(),
+                    MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Store, 0),
+                ),
+                (MonitorKind::interval(2), MonitorKind::interval(2)),
+            ] {
+                let mut reference = MonitorSpec::new(4, in_mem_kind);
+                let mut stored = MonitorSpec::new(4, stored_kind);
+                if robust {
+                    reference = reference.robust(0.02, 0, Domain::Box);
+                    stored = stored.robust(0.02, 0, Domain::Box);
+                }
+                let a = reference.build(&net, &data).unwrap();
+                let b = stored
+                    .build_with_sources(&net, &data, &mut memory_provider())
+                    .unwrap();
+                assert_eq!(
+                    a.query_batch(&net, &probes).unwrap(),
+                    b.query_batch(&net, &probes).unwrap(),
+                    "robust={robust}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_backed_multi_layer_and_per_class_compose() {
+        let net = net();
+        let data = train_data(60);
+        let multi = MonitorSpec::multi_layer(
+            vec![WatchedLayer::whole(2), WatchedLayer::whole(4)],
+            MonitorKind::interval(2),
+            Vote::Any,
+        )
+        .build_with_sources(&net, &data, &mut memory_provider())
+        .unwrap();
+        assert_eq!(
+            multi.external_descriptors().iter().flatten().count(),
+            2,
+            "both members are store-backed"
+        );
+        let per_class = MonitorSpec::new(
+            4,
+            MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Store, 0),
+        )
+        .per_class(2)
+        .build_with_sources(&net, &data, &mut memory_provider())
+        .unwrap();
+        assert_eq!(per_class.external_descriptors().iter().flatten().count(), 2);
+        for x in &data {
+            assert!(!multi.warns(&net, x).unwrap());
+            assert!(!per_class.warns(&net, x).unwrap());
+        }
+    }
+
+    #[test]
+    fn source_kind_mismatches_are_typed() {
+        let net = net();
+        let data = train_data(16);
+        // Store backend without sources.
+        let spec = MonitorSpec::new(
+            4,
+            MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Store, 0),
+        );
+        assert!(matches!(
+            spec.build(&net, &data).unwrap_err(),
+            MonitorError::InvalidConfig(_)
+        ));
+        // Sources with a non-store pattern backend.
+        let spec = MonitorSpec::new(4, MonitorKind::pattern());
+        assert!(spec
+            .build_with_sources(&net, &data, &mut memory_provider())
+            .is_err());
+        // Sources with min-max.
+        let spec = MonitorSpec::new(4, MonitorKind::min_max());
+        assert!(spec
+            .build_with_sources(&net, &data, &mut memory_provider())
+            .is_err());
+    }
+
+    #[test]
+    fn mount_requires_data_free_policies() {
+        let net = net();
+        // Quantile thresholds need data: mount must refuse.
+        let spec = MonitorSpec::new(4, MonitorKind::interval(2));
+        let err = spec
+            .mount_with_sources(&net, &mut memory_provider())
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::InvalidConfig(_)), "{err}");
+        // Sign thresholds mount fine (empty set: everything warns).
+        let spec = MonitorSpec::new(
+            4,
+            MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Store, 0),
+        );
+        let m = spec
+            .mount_with_sources(&net, &mut memory_provider())
+            .unwrap();
+        assert!(m.warns(&net, &[0.1, 0.2, 0.3]).unwrap());
+        // Min-max cannot mount.
+        let spec = MonitorSpec::new(4, MonitorKind::min_max());
+        assert!(spec
+            .mount_with_sources(&net, &mut memory_provider())
+            .is_err());
+    }
+
+    #[test]
+    fn operation_time_absorption_enlarges_the_monitor() {
+        let net = net();
+        let data = train_data(32);
+        let spec = MonitorSpec::new(
+            4,
+            MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Store, 0),
+        );
+        let m = spec
+            .build_with_sources(&net, &data, &mut memory_provider())
+            .unwrap();
+        // Find an input the monitor warns on.
+        let mut rng = Prng::seed(77);
+        let novel = loop {
+            let probe = rng.uniform_vec(3, -3.0, 3.0);
+            if m.warns(&net, &probe).unwrap() {
+                break probe;
+            }
+        };
+        // Shared absorption (through &self, as the serving engine does)
+        // makes it a member without a rebuild.
+        assert_eq!(m.absorb_operation(&net, &novel).unwrap(), 1);
+        assert!(!m.warns(&net, &novel).unwrap());
+        assert_eq!(m.absorb_operation(&net, &novel).unwrap(), 0, "dedup");
+        m.commit_external_sources().unwrap();
+        // In-memory monitors take the &mut path instead.
+        let mut in_mem = MonitorSpec::new(4, MonitorKind::pattern())
+            .build(&net, &data)
+            .unwrap();
+        assert!(in_mem.absorb_operation(&net, &novel).is_err());
+        in_mem.absorb_mut(&net, &novel).unwrap();
+        assert!(!in_mem.warns(&net, &novel).unwrap());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use crate::report::{ServeReport, ShardReport};
 use napmon_artifact::{ArtifactError, MonitorArtifact};
-use napmon_core::{AnyMonitor, ComposedMonitor, Monitor, MonitorError, QueryScratch, Verdict};
+use napmon_core::{
+    AnyMonitor, ComposedMonitor, Monitor, MonitorError, MonitorSpec, QueryScratch, Verdict,
+};
 use napmon_nn::Network;
 use std::ops::Range;
 use std::path::Path;
@@ -114,6 +116,10 @@ struct BatchReply {
 struct Shard {
     tx: mpsc::Sender<Job>,
     handle: JoinHandle<ShardReport>,
+    /// Work jobs (batch chunks / singles, not metrics snapshots) enqueued
+    /// but not yet picked up by the worker. Incremented before send,
+    /// decremented by the worker on receive, so it never underflows.
+    depth: Arc<AtomicUsize>,
 }
 
 /// A long-lived, sharded monitoring engine.
@@ -151,11 +157,15 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
                 let (tx, rx) = mpsc::channel();
                 let net = Arc::clone(&net);
                 let monitor = Arc::clone(&monitor);
+                let depth = Arc::new(AtomicUsize::new(0));
+                let worker_depth = Arc::clone(&depth);
                 let handle = std::thread::Builder::new()
                     .name(format!("napmon-shard-{id}"))
-                    .spawn(move || run_shard(id, net.as_ref(), monitor.as_ref(), &rx))
+                    .spawn(move || {
+                        run_shard(id, net.as_ref(), monitor.as_ref(), &rx, &worker_depth)
+                    })
                     .expect("spawn shard worker");
-                Shard { tx, handle }
+                Shard { tx, handle, depth }
             })
             .collect();
         Self {
@@ -207,10 +217,12 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
     /// [`ServeError::ShardDown`] if the target worker died.
     pub fn submit(&self, input: Vec<f64>) -> Result<Verdict, ServeError> {
         let (reply, rx) = mpsc::channel();
-        self.shards[self.next_shard()]
-            .tx
-            .send(Job::Single { input, reply })
-            .map_err(|_| ServeError::ShardDown)?;
+        let shard = &self.shards[self.next_shard()];
+        shard.depth.fetch_add(1, Ordering::Relaxed);
+        shard.tx.send(Job::Single { input, reply }).map_err(|_| {
+            shard.depth.fetch_sub(1, Ordering::Relaxed);
+            ServeError::ShardDown
+        })?;
         rx.recv()
             .map_err(|_| ServeError::ShardDown)?
             .map_err(Into::into)
@@ -269,13 +281,17 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
             let base = self.next_shard();
             let mut dispatched = false;
             for offset in 0..self.shards.len() {
-                let shard = (base + offset) % self.shards.len();
-                match self.shards[shard].tx.send(job) {
+                let shard = &self.shards[(base + offset) % self.shards.len()];
+                shard.depth.fetch_add(1, Ordering::Relaxed);
+                match shard.tx.send(job) {
                     Ok(()) => {
                         dispatched = true;
                         break;
                     }
-                    Err(mpsc::SendError(bounced)) => job = bounced,
+                    Err(mpsc::SendError(bounced)) => {
+                        shard.depth.fetch_sub(1, Ordering::Relaxed);
+                        job = bounced;
+                    }
                 }
             }
             if dispatched {
@@ -332,11 +348,14 @@ impl MonitorEngine<ComposedMonitor> {
 
     /// Loads, validates, and mounts an artifact file in one step — the
     /// whole "boot a monitor next to its network in a fresh process" path.
+    /// Store-backed artifacts reattach to their segments on disk during
+    /// the load, so this is also a warm start for them.
     ///
     /// # Errors
     ///
     /// Any [`MonitorArtifact::load_json`] error: unreadable file, foreign
-    /// format version, or an artifact whose parts disagree.
+    /// format version, an artifact whose parts disagree, or a missing /
+    /// mismatched pattern store.
     pub fn from_artifact_file(
         path: impl AsRef<Path>,
         config: EngineConfig,
@@ -345,6 +364,83 @@ impl MonitorEngine<ComposedMonitor> {
             MonitorArtifact::load_json(path)?,
             config,
         ))
+    }
+
+    /// Warm-starts an engine straight from pattern-store segments on disk:
+    /// the spec is mounted over the member stores under `store_root`
+    /// (the `member-NNNN/` layout `napmon-store`'s `StoreProvider`
+    /// writes), with **no training data and no rebuild** — every pattern
+    /// the monitor admits is read back from the log-structured store.
+    ///
+    /// The spec must use data-free thresholds (see
+    /// [`MonitorSpec::mount_with_sources`]); pattern kinds declare
+    /// `PatternBackend::Store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::InvalidConfig`] for specs that cannot
+    /// mount and [`MonitorError::ExternalSource`] for missing or
+    /// mismatched member stores.
+    pub fn from_store(
+        spec: &MonitorSpec,
+        net: impl Into<Arc<Network>>,
+        store_root: impl AsRef<Path>,
+        config: EngineConfig,
+    ) -> Result<Self, MonitorError> {
+        let net = net.into();
+        let root = store_root.as_ref().to_path_buf();
+        let monitor = spec.mount_with_sources(&net, &mut |member: usize, word_bits: usize| {
+            napmon_store::open_member_source(&root, member, word_bits)
+        })?;
+        Ok(Self::new(net, monitor, config))
+    }
+
+    /// Absorbs one operational input into the monitor's store-backed
+    /// members (see `ComposedMonitor::absorb_operation`): the pattern
+    /// becomes a member of the abstraction immediately, visible to every
+    /// shard's subsequent queries, with no rebuild — the operation-time
+    /// monitor enlargement the original activation-pattern work proposes.
+    ///
+    /// Runs on the calling thread (absorption is a store write, not shard
+    /// work); call [`MonitorEngine::sync_store`] to make a batch of
+    /// absorptions durable.
+    ///
+    /// Returns the number of members that stored a new pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Monitor`] if the input is malformed, the monitor is
+    /// not store-backed, or the store fails.
+    pub fn absorb(&self, input: &[f64]) -> Result<usize, ServeError> {
+        self.monitor
+            .absorb_operation(&self.net, input)
+            .map_err(Into::into)
+    }
+
+    /// Absorbs a batch of operational inputs ([`MonitorEngine::absorb`])
+    /// and syncs the stores once at the end. Returns the number of new
+    /// patterns stored.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MonitorEngine::absorb`].
+    pub fn absorb_batch(&self, inputs: &[Vec<f64>]) -> Result<usize, ServeError> {
+        let mut fresh = 0;
+        for input in inputs {
+            fresh += self.absorb(input)?;
+        }
+        self.sync_store()?;
+        Ok(fresh)
+    }
+
+    /// Flushes every store-backed member's buffered writes — the
+    /// durability point after operation-time absorption.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Monitor`] if a store fails.
+    pub fn sync_store(&self) -> Result<(), ServeError> {
+        self.monitor.commit_external_sources().map_err(Into::into)
     }
 }
 
@@ -399,6 +495,7 @@ fn run_shard<M: Monitor>(
     net: &Network,
     monitor: &M,
     rx: &mpsc::Receiver<Job>,
+    depth: &AtomicUsize,
 ) -> ShardReport {
     let mut scratch = QueryScratch::new();
     let mut report = ShardReport::empty(id);
@@ -409,18 +506,26 @@ fn run_shard<M: Monitor>(
                 range,
                 reply,
             } => {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 let start = range.start;
                 let result = serve_chunk(net, monitor, &inputs[range], &mut scratch, &mut report);
                 let _ = reply.send(BatchReply { start, result });
             }
             Job::Single { input, reply } => {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 let _ = reply.send(serve_one(net, monitor, &input, &mut scratch, &mut report));
             }
             Job::Stats { reply } => {
+                // Work enqueued behind this snapshot request is, by queue
+                // order, work enqueued before the snapshot was taken.
+                report.queue_depth = depth.load(Ordering::Relaxed) as u64;
                 let _ = reply.send(report.clone());
             }
         }
     }
+    // The channel is closed and drained: the queue is empty by
+    // construction, and the final report must say so.
+    report.queue_depth = depth.load(Ordering::Relaxed) as u64;
     report
 }
 

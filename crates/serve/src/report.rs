@@ -17,6 +17,10 @@ pub struct ShardReport {
     /// Per-request latency in nanoseconds (forward pass + abstraction +
     /// membership, measured inside the shard).
     pub latency_ns: OnlineStats,
+    /// Jobs sitting in the shard's queue at snapshot time (work enqueued
+    /// but not yet picked up). Zero in the final report of a graceful
+    /// shutdown — the drain guarantee, asserted in the e2e tests.
+    pub queue_depth: u64,
 }
 
 impl ShardReport {
@@ -26,6 +30,7 @@ impl ShardReport {
             shard,
             warnings: OnlineRate::new(),
             latency_ns: OnlineStats::new(),
+            queue_depth: 0,
         }
     }
 
@@ -55,6 +60,9 @@ pub struct ServeReport {
     /// Cross-shard latency distribution (merged without replaying the
     /// stream — see [`OnlineStats::merge`]).
     pub latency_ns: OnlineStats,
+    /// Jobs queued across all shards at snapshot time (backlog gauge for
+    /// ops; zero after a graceful shutdown).
+    pub queue_depth: u64,
 }
 
 impl ServeReport {
@@ -63,9 +71,11 @@ impl ServeReport {
         shards.sort_by_key(|r| r.shard);
         let mut warnings = OnlineRate::new();
         let mut latency = OnlineStats::new();
+        let mut queue_depth = 0u64;
         for shard in &shards {
             warnings.merge(&shard.warnings);
             latency.merge(&shard.latency_ns);
+            queue_depth += shard.queue_depth;
         }
         Self {
             shards,
@@ -73,6 +83,7 @@ impl ServeReport {
             warnings: warnings.hits(),
             warn_rate: warnings.rate(),
             latency_ns: latency,
+            queue_depth,
         }
     }
 }
@@ -82,21 +93,24 @@ impl std::fmt::Display for ServeReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "serve report: {} requests, warn rate {:.4}, latency mean {:.0}ns (min {:.0}, max {:.0})",
+            "serve report: {} requests, warn rate {:.4}, latency mean {:.0}ns \
+             (min {:.0}, max {:.0}), {} queued",
             self.requests,
             self.warn_rate,
             self.latency_ns.mean(),
             self.latency_ns.min(),
             self.latency_ns.max(),
+            self.queue_depth,
         )?;
         for s in &self.shards {
             writeln!(
                 f,
-                "  shard {}: {} requests, warn rate {:.4}, latency mean {:.0}ns",
+                "  shard {}: {} requests, warn rate {:.4}, latency mean {:.0}ns, {} queued",
                 s.shard,
                 s.requests(),
                 s.warnings.rate(),
                 s.latency_ns.mean(),
+                s.queue_depth,
             )?;
         }
         Ok(())
@@ -144,14 +158,39 @@ mod tests {
         assert!(text.contains("shard 1"), "{text}");
     }
 
+    /// Ops scrape reports as JSON: the whole report (shards, rates,
+    /// latency stats, queue depths) must survive a serde round trip
+    /// bit-identically.
     #[test]
     fn report_serializes_to_json() {
         let mut s = ShardReport::empty(0);
         s.record(10.0, false);
-        let report = ServeReport::aggregate(vec![s]);
+        s.record(25.0, true);
+        s.queue_depth = 3;
+        let report = ServeReport::aggregate(vec![s, ShardReport::empty(1)]);
         let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("\"warn_rate\""));
+        for key in [
+            "\"warn_rate\"",
+            "\"queue_depth\"",
+            "\"latency_ns\"",
+            "\"shards\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
         let back: ServeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+        assert_eq!(back.queue_depth, 3);
+        assert_eq!(back.shards[0].queue_depth, 3);
+    }
+
+    #[test]
+    fn aggregate_sums_queue_depths() {
+        let mut a = ShardReport::empty(0);
+        a.queue_depth = 2;
+        let mut b = ShardReport::empty(1);
+        b.queue_depth = 5;
+        let report = ServeReport::aggregate(vec![a, b]);
+        assert_eq!(report.queue_depth, 7);
+        assert!(report.to_string().contains("7 queued"), "{report}");
     }
 }

@@ -281,3 +281,88 @@ fn engine_boots_from_artifact_file_with_identical_verdicts() {
     ));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The full persistence loop on the engine: build store-backed, serve,
+/// absorb operation-time traffic, shut down, warm-start a second engine
+/// from the segments on disk, and observe identical (enlarged) verdicts —
+/// no rebuild anywhere.
+#[test]
+fn store_backed_engine_absorbs_and_warm_starts() {
+    use napmon_core::MonitorSpec;
+    use napmon_store::StoreProvider;
+
+    let dir = std::env::temp_dir().join(format!("napmon_serve_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let net = Network::seeded(
+        42,
+        6,
+        &[
+            LayerSpec::dense(16, Activation::Relu),
+            LayerSpec::dense(3, Activation::Identity),
+        ],
+    );
+    let mut rng = Prng::seed(7);
+    let train: Vec<Vec<f64>> = (0..96).map(|_| rng.uniform_vec(6, -1.0, 1.0)).collect();
+    let spec = MonitorSpec::new(
+        2,
+        MonitorKind::pattern_with(ThresholdPolicy::Sign, PatternBackend::Store, 0),
+    );
+    let monitor = spec
+        .build_with_sources(&net, &train, &mut StoreProvider::new(&dir))
+        .unwrap();
+
+    let engine = MonitorEngine::new(net.clone(), monitor, EngineConfig::with_shards(2));
+    // Training traffic is clean; find some warning traffic.
+    let ood: Vec<Vec<f64>> = {
+        let mut rng = Prng::seed(99);
+        (0..32).map(|_| rng.uniform_vec(6, -3.0, 3.0)).collect()
+    };
+    let before = engine.submit_batch(ood.clone()).unwrap();
+    assert!(before.iter().any(|v| v.warning), "need some novel traffic");
+
+    // Absorb the novel traffic: every shard sees the enlargement at once.
+    let fresh = engine.absorb_batch(&ood).unwrap();
+    assert!(fresh > 0);
+    let after = engine.submit_batch(ood.clone()).unwrap();
+    assert!(
+        after.iter().all(|v| !v.warning),
+        "absorbed traffic is clean"
+    );
+    let expected: Vec<bool> = engine
+        .submit_batch(probes(64))
+        .unwrap()
+        .iter()
+        .map(|v| v.warning)
+        .collect();
+    engine.shutdown();
+
+    // A fresh process: warm start from the segments, zero training data.
+    let warm = MonitorEngine::from_store(&spec, net, &dir, EngineConfig::with_shards(2)).unwrap();
+    let served: Vec<bool> = warm
+        .submit_batch(probes(64))
+        .unwrap()
+        .iter()
+        .map(|v| v.warning)
+        .collect();
+    assert_eq!(served, expected, "warm start drifted from the live engine");
+    let absorbed = warm.submit_batch(ood).unwrap();
+    assert!(absorbed.iter().all(|v| !v.warning), "absorptions persisted");
+    warm.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Queue depth: visible while jobs wait, zero after a draining shutdown.
+#[test]
+fn queue_depth_reports_and_drains_to_zero() {
+    let (net, monitor, _) = fixture(MonitorKind::pattern_with(
+        ThresholdPolicy::Mean,
+        PatternBackend::Bdd,
+        0,
+    ));
+    let engine = MonitorEngine::new(net, monitor, EngineConfig::with_shards(2));
+    let pending = engine.submit_batch_async(probes(200));
+    let report = engine.shutdown();
+    assert_eq!(report.queue_depth, 0, "shutdown must drain the queues");
+    assert!(report.shards.iter().all(|s| s.queue_depth == 0));
+    assert_eq!(pending.wait().unwrap().len(), 200);
+}

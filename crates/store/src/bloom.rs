@@ -1,0 +1,149 @@
+//! Per-segment Bloom filters for fast negative membership.
+//!
+//! Every sealed segment carries a Bloom filter over its words, so an exact
+//! membership query touches a segment's sorted word block only when the
+//! filter says "maybe". Filters are sized at build time from the segment's
+//! word count ([`BloomFilter::with_capacity`]) and serialized inline in
+//! the segment file.
+
+use crate::checksum::fnv1a_limbs;
+
+/// A classic `k`-hash Bloom filter over packed word limbs.
+///
+/// The two base hashes come from one FNV-1a pass over the limbs plus a
+/// SplitMix64 finalizer; probe `i` uses the standard double-hashing scheme
+/// `h1 + i·h2`, which preserves the false-positive bound of `k`
+/// independent hashes (Kirsch & Mitzenmacher).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    /// Number of addressable bits (`m`).
+    m: u64,
+    /// Number of probes per key (`k`).
+    k: u32,
+}
+
+/// SplitMix64 finalizer: decorrelates the second probe hash from the first.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl BloomFilter {
+    /// A filter sized for `words` keys at `bits_per_word` bits each, with
+    /// the near-optimal probe count `k ≈ bits_per_word · ln 2`.
+    pub fn with_capacity(words: usize, bits_per_word: usize) -> Self {
+        let m = (words.max(1) * bits_per_word.max(1)).max(64) as u64;
+        let k = ((bits_per_word as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 16);
+        Self::new(m, k)
+    }
+
+    /// An empty filter with `m` bits and `k` probes.
+    pub fn new(m: u64, k: u32) -> Self {
+        Self {
+            bits: vec![0u64; (m as usize).div_ceil(64)],
+            m,
+            k,
+        }
+    }
+
+    /// Rebuilds a filter from its serialized parts (segment load path).
+    pub fn from_parts(bits: Vec<u64>, m: u64, k: u32) -> Self {
+        debug_assert_eq!(bits.len(), (m as usize).div_ceil(64));
+        Self { bits, m, k }
+    }
+
+    /// Number of addressable bits.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of probes per key.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The backing bit words (serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    #[inline]
+    fn probes(&self, limbs: &[u64]) -> (u64, u64) {
+        let h1 = fnv1a_limbs(limbs);
+        // An odd step hash cycles the full residue ring for power-of-two m
+        // and avoids the degenerate h2 = 0 orbit in general.
+        let h2 = mix64(h1) | 1;
+        (h1, h2)
+    }
+
+    /// Marks `limbs` present.
+    pub fn insert(&mut self, limbs: &[u64]) {
+        let (h1, h2) = self.probes(limbs);
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.m;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Whether `limbs` might be present (`false` is definitive).
+    #[inline]
+    pub fn might_contain(&self, limbs: &[u64]) -> bool {
+        let (h1, h2) = self.probes(limbs);
+        (0..self.k as u64).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.m;
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bloom = BloomFilter::with_capacity(128, 10);
+        let keys: Vec<Vec<u64>> = (0..128u64).map(|i| vec![i * 0x1234_5678, i]).collect();
+        for k in &keys {
+            bloom.insert(k);
+        }
+        for k in &keys {
+            assert!(bloom.might_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut bloom = BloomFilter::with_capacity(512, 10);
+        for i in 0..512u64 {
+            bloom.insert(&[i, i ^ 0xdead_beef]);
+        }
+        let false_positives = (10_000u64..20_000)
+            .filter(|&i| bloom.might_contain(&[i, i ^ 0xdead_beef]))
+            .count();
+        // Theoretical rate at 10 bits/key is ~1%; allow generous slack.
+        assert!(
+            false_positives < 500,
+            "false positive rate too high: {false_positives}/10000"
+        );
+    }
+
+    #[test]
+    fn round_trips_through_parts() {
+        let mut bloom = BloomFilter::with_capacity(16, 8);
+        bloom.insert(&[42]);
+        let rebuilt = BloomFilter::from_parts(bloom.words().to_vec(), bloom.m(), bloom.k());
+        assert_eq!(rebuilt, bloom);
+        assert!(rebuilt.might_contain(&[42]));
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bloom = BloomFilter::with_capacity(64, 10);
+        assert!(!bloom.might_contain(&[1, 2, 3]));
+    }
+}

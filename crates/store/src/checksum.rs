@@ -1,0 +1,64 @@
+//! FNV-1a checksums over bytes and packed limbs.
+//!
+//! Store files are guarded by 64-bit FNV-1a: cheap, dependency-free, and
+//! strong enough to catch the failure modes a local log store actually
+//! sees (torn writes, truncation, bit rot) — this is an integrity check,
+//! not a cryptographic one.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a over packed limbs, folding each limb a byte at a time in
+/// little-endian order — identical to [`fnv1a`] over the limbs'
+/// little-endian byte serialization, without materializing it.
+#[inline]
+pub fn fnv1a_limbs(limbs: &[u64]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &limb in limbs {
+        for shift in (0..64).step_by(8) {
+            hash ^= (limb >> shift) & 0xff;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limb_hash_matches_byte_hash() {
+        let limbs = [0x0123_4567_89ab_cdefu64, 0xdead_beef_0000_ffff];
+        let mut bytes = Vec::new();
+        for limb in limbs {
+            bytes.extend_from_slice(&limb.to_le_bytes());
+        }
+        assert_eq!(fnv1a_limbs(&limbs), fnv1a(&bytes));
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") from the reference specification.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let a = fnv1a_limbs(&[1, 2, 3]);
+        let b = fnv1a_limbs(&[1, 2, 2]);
+        assert_ne!(a, b);
+    }
+}

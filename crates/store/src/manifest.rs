@@ -1,0 +1,184 @@
+//! The store manifest: the atomic commit point.
+//!
+//! `MANIFEST.json` names every sealed segment (file, word count, checksum)
+//! plus the store's fixed parameters. It is replaced atomically — written
+//! to a temporary file, fsynced, renamed over the old manifest, directory
+//! fsynced — so a crash during seal or compaction leaves either the old
+//! or the new manifest, never a mix. Files not named by the manifest are
+//! simply ignored on open, which is what makes segment writes + manifest
+//! swap a crash-safe two-phase commit.
+
+use crate::error::StoreError;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The manifest schema version this crate reads and writes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Catalog entry for one sealed segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// File name within the store directory.
+    pub file: String,
+    /// Number of words the segment holds.
+    pub words: u64,
+    /// Whole-file FNV-1a checksum; must match the file on load.
+    pub checksum: u64,
+}
+
+/// The on-disk catalog of a pattern store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest schema version ([`MANIFEST_VERSION`]).
+    pub format_version: u32,
+    /// Width of every stored word, in bits.
+    pub word_bits: usize,
+    /// Words the tail may accumulate before it is auto-sealed.
+    pub segment_capacity: usize,
+    /// Bloom filter budget per word in sealed segments.
+    pub bloom_bits_per_word: usize,
+    /// Next unused segment id (segment file names never repeat, so a
+    /// crashed seal's orphan file can never be mistaken for a live one).
+    pub next_segment_id: u64,
+    /// Sealed segments, oldest first.
+    pub segments: Vec<SegmentMeta>,
+}
+
+/// `MANIFEST.json` within a store directory.
+pub(crate) fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST.json")
+}
+
+impl Manifest {
+    /// Reads and validates the manifest of the store at `dir`.
+    pub(crate) fn load(dir: &Path) -> Result<Self, StoreError> {
+        let path = manifest_path(dir);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::Missing(dir.to_path_buf())
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        let manifest: Manifest = serde_json::from_str(&text).map_err(|e| StoreError::Corrupt {
+            file: path.clone(),
+            detail: format!("manifest does not parse: {e}"),
+        })?;
+        if manifest.format_version != MANIFEST_VERSION {
+            return Err(StoreError::Mismatch(format!(
+                "manifest format version {} (this build reads {MANIFEST_VERSION})",
+                manifest.format_version
+            )));
+        }
+        if manifest.word_bits == 0 {
+            return Err(StoreError::Corrupt {
+                file: path,
+                detail: "word_bits is zero".into(),
+            });
+        }
+        Ok(manifest)
+    }
+
+    /// Writes the manifest atomically: tmp file + fsync + rename + dir
+    /// fsync.
+    pub(crate) fn store(&self, dir: &Path) -> Result<(), StoreError> {
+        let path = manifest_path(dir);
+        let tmp = dir.join("MANIFEST.json.tmp");
+        let text = serde_json::to_string_pretty(self).map_err(|e| StoreError::Corrupt {
+            file: tmp.clone(),
+            detail: format!("manifest does not serialize: {e}"),
+        })?;
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        // Make the rename itself durable.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("napmon_manifest_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            format_version: MANIFEST_VERSION,
+            word_bits: 48,
+            segment_capacity: 1 << 16,
+            bloom_bits_per_word: 10,
+            next_segment_id: 2,
+            segments: vec![SegmentMeta {
+                file: "segment-00000000.seg".into(),
+                words: 17,
+                checksum: 0xabcd,
+            }],
+        }
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let dir = tmp("roundtrip");
+        let manifest = sample();
+        manifest.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), manifest);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_typed() {
+        let dir = tmp("missing");
+        assert!(matches!(
+            Manifest::load(&dir).unwrap_err(),
+            StoreError::Missing(_)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_version_is_rejected() {
+        let dir = tmp("version");
+        let mut manifest = sample();
+        manifest.format_version = 99;
+        manifest.store(&dir).unwrap();
+        assert!(matches!(
+            Manifest::load(&dir).unwrap_err(),
+            StoreError::Mismatch(_)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_manifest_is_corrupt() {
+        let dir = tmp("garbage");
+        std::fs::write(manifest_path(&dir), "{not json").unwrap();
+        assert!(matches!(
+            Manifest::load(&dir).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_tmp_file_is_ignored() {
+        let dir = tmp("orphan");
+        sample().store(&dir).unwrap();
+        std::fs::write(dir.join("MANIFEST.json.tmp"), "torn write").unwrap();
+        assert!(Manifest::load(&dir).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,299 @@
+//! Sealed segment files: immutable, sorted, checksummed word blocks.
+//!
+//! A segment is written once (by seal or compaction) and never modified.
+//! Layout, all integers little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"NAPSEG01"
+//! 8       4     word_bits (u32)
+//! 12      4     bloom probe count k (u32)
+//! 16      8     word_count (u64)
+//! 24      8     bloom bit count m (u64)
+//! 32      8·⌈m/64⌉           bloom bit words
+//! …       8·word_count·limbs packed words, sorted ascending (limb-lex)
+//! end−8   8     FNV-1a checksum of every preceding byte
+//! ```
+//!
+//! Words are stored sorted so exact membership is one binary search; the
+//! inline Bloom filter short-circuits the common negative case without
+//! touching the word block at all.
+
+use crate::bloom::BloomFilter;
+use crate::checksum::fnv1a;
+use crate::error::StoreError;
+use std::io::Write;
+use std::path::Path;
+
+pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"NAPSEG01";
+
+/// One sealed segment, fully resident: metadata, Bloom filter, and the
+/// sorted packed word block.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// File name within the store directory.
+    pub(crate) file: String,
+    /// Number of words.
+    pub(crate) count: usize,
+    /// `u64` limbs per word.
+    pub(crate) limbs: usize,
+    /// The membership pre-filter.
+    pub(crate) bloom: BloomFilter,
+    /// `count · limbs` packed limbs, sorted ascending by word.
+    pub(crate) words: Vec<u64>,
+    /// Whole-file checksum, as recorded in the manifest.
+    pub(crate) checksum: u64,
+}
+
+impl Segment {
+    /// Number of words in the segment.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the segment holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The word at `index` as a limb slice.
+    #[inline]
+    pub(crate) fn word(&self, index: usize) -> &[u64] {
+        &self.words[index * self.limbs..(index + 1) * self.limbs]
+    }
+
+    /// Exact membership: Bloom pre-filter, then binary search over the
+    /// sorted word block.
+    #[inline]
+    pub(crate) fn contains(&self, limbs: &[u64]) -> bool {
+        if !self.bloom.might_contain(limbs) {
+            return false;
+        }
+        let (mut lo, mut hi) = (0usize, self.count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.word(mid).cmp(limbs) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Writes a segment atomically (`.tmp` + fsync + rename) and returns
+    /// its in-memory form. `sorted_words` must be `count · limbs` limbs in
+    /// ascending word order with no duplicates.
+    pub(crate) fn write(
+        dir: &Path,
+        file: &str,
+        word_bits: usize,
+        limbs: usize,
+        sorted_words: &[u64],
+        bloom_bits_per_word: usize,
+    ) -> Result<Self, StoreError> {
+        debug_assert_eq!(sorted_words.len() % limbs.max(1), 0);
+        let count = sorted_words.len().checked_div(limbs).unwrap_or(0);
+        let mut bloom = BloomFilter::with_capacity(count, bloom_bits_per_word);
+        for i in 0..count {
+            bloom.insert(&sorted_words[i * limbs..(i + 1) * limbs]);
+        }
+
+        let mut bytes = Vec::with_capacity(32 + 8 * (bloom.words().len() + sorted_words.len()) + 8);
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        bytes.extend_from_slice(&(word_bits as u32).to_le_bytes());
+        bytes.extend_from_slice(&bloom.k().to_le_bytes());
+        bytes.extend_from_slice(&(count as u64).to_le_bytes());
+        bytes.extend_from_slice(&bloom.m().to_le_bytes());
+        for &w in bloom.words() {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        for &w in sorted_words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let checksum = fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+
+        let path = dir.join(file);
+        let tmp = dir.join(format!("{file}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+
+        Ok(Self {
+            file: file.to_string(),
+            count,
+            limbs,
+            bloom,
+            words: sorted_words.to_vec(),
+            checksum,
+        })
+    }
+
+    /// Loads and fully verifies a sealed segment.
+    pub(crate) fn load(
+        dir: &Path,
+        file: &str,
+        expect_bits: usize,
+        limbs: usize,
+        expect_checksum: u64,
+    ) -> Result<Self, StoreError> {
+        let path = dir.join(file);
+        let corrupt = |detail: String| StoreError::Corrupt {
+            file: path.clone(),
+            detail,
+        };
+        let bytes = std::fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::Missing(path.clone())
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        if bytes.len() < 40 {
+            return Err(corrupt(format!("file too short ({} bytes)", bytes.len())));
+        }
+        if &bytes[0..8] != SEGMENT_MAGIC {
+            return Err(corrupt("bad magic".into()));
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let recorded = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+        if fnv1a(body) != recorded {
+            return Err(corrupt(
+                "checksum mismatch (torn or bit-rotted write)".into(),
+            ));
+        }
+        if recorded != expect_checksum {
+            return Err(corrupt(format!(
+                "checksum {recorded:#x} disagrees with manifest {expect_checksum:#x}"
+            )));
+        }
+        let word_bits = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        if word_bits != expect_bits {
+            return Err(StoreError::Mismatch(format!(
+                "segment {file} stores {word_bits}-bit words, store is {expect_bits}-bit"
+            )));
+        }
+        let k = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        let count = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+        let m = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+        let bloom_words = (m as usize).div_ceil(64);
+        let expected_len = 32 + 8 * (bloom_words + count * limbs) + 8;
+        if bytes.len() != expected_len {
+            return Err(corrupt(format!(
+                "length {} does not match header ({} expected)",
+                bytes.len(),
+                expected_len
+            )));
+        }
+        let read_limbs = |range: std::ops::Range<usize>| -> Vec<u64> {
+            bytes[range]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect()
+        };
+        let bloom = BloomFilter::from_parts(read_limbs(32..32 + 8 * bloom_words), m, k);
+        let words = read_limbs(32 + 8 * bloom_words..bytes.len() - 8);
+        Ok(Self {
+            file: file.to_string(),
+            count,
+            limbs,
+            bloom,
+            words,
+            checksum: recorded,
+        })
+    }
+}
+
+/// Sorts and deduplicates a flat limb buffer of `limbs`-wide words in
+/// place-ish, returning the canonical segment word block.
+pub(crate) fn sort_dedup_words(words: &[u64], limbs: usize) -> Vec<u64> {
+    if limbs == 0 || words.is_empty() {
+        return Vec::new();
+    }
+    let mut index: Vec<usize> = (0..words.len() / limbs).collect();
+    index.sort_unstable_by(|&a, &b| {
+        words[a * limbs..(a + 1) * limbs].cmp(&words[b * limbs..(b + 1) * limbs])
+    });
+    let mut out: Vec<u64> = Vec::with_capacity(words.len());
+    for &i in &index {
+        let w = &words[i * limbs..(i + 1) * limbs];
+        if out.len() >= limbs && &out[out.len() - limbs..] == w {
+            continue;
+        }
+        out.extend_from_slice(w);
+    }
+    out
+}
+
+/// The canonical file name of segment `id`.
+pub(crate) fn segment_file_name(id: u64) -> String {
+    format!("segment-{id:08}.seg")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("napmon_segment_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let words = sort_dedup_words(&[3, 1, 2, 1], 1);
+        assert_eq!(words, vec![1, 2, 3]);
+        let seg = Segment::write(&dir, "segment-00000000.seg", 40, 1, &words, 10).unwrap();
+        let loaded = Segment::load(&dir, "segment-00000000.seg", 40, 1, seg.checksum).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert!(loaded.contains(&[2]));
+        assert!(!loaded.contains(&[4]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_is_detected() {
+        let dir = tmp_dir("corrupt");
+        let seg = Segment::write(&dir, "s.seg", 64, 1, &[5, 9], 10).unwrap();
+        let path = dir.join("s.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Segment::load(&dir, "s.seg", 64, 1, seg.checksum).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_segment_is_detected() {
+        let dir = tmp_dir("truncated");
+        let seg = Segment::write(&dir, "s.seg", 64, 1, &[5, 9, 11], 10).unwrap();
+        let path = dir.join("s.seg");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let err = Segment::load(&dir, "s.seg", 64, 1, seg.checksum).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multi_limb_words_sort_lexicographically() {
+        let flat = [
+            1u64, 0, // word A = limbs [1, 0]
+            0, 1, // word B = limbs [0, 1]
+            1, 0, // duplicate of A
+        ];
+        let sorted = sort_dedup_words(&flat, 2);
+        assert_eq!(sorted, vec![0, 1, 1, 0]);
+    }
+}

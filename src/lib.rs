@@ -16,6 +16,9 @@
 //!   built from a declarative [`MonitorSpec`](core::MonitorSpec),
 //! - [`artifact`] — versioned deployment artifacts: spec + network + built
 //!   monitor in one validated file (build → save → load → serve),
+//! - [`store`] — the persistent log-structured pattern store: checksummed
+//!   segments + Bloom filters + atomic manifest, so pattern sets survive
+//!   restarts, scale past RAM budgets, and grow at operation time,
 //! - [`data`] — synthetic datasets standing in for the paper's race-track lab,
 //! - [`eval`] — the experiment harness regenerating the paper's evaluation,
 //! - [`serve`] — the long-lived sharded serving engine keeping a monitor hot
@@ -74,4 +77,5 @@ pub use napmon_data as data;
 pub use napmon_eval as eval;
 pub use napmon_nn as nn;
 pub use napmon_serve as serve;
+pub use napmon_store as store;
 pub use napmon_tensor as tensor;

@@ -74,5 +74,21 @@ fn two_shard_engine_matches_batch_evaluation_and_drains_on_shutdown() {
     assert_eq!(report.shards.len(), 2);
     for shard in &report.shards {
         assert!(shard.requests() > 0, "shard {} served nothing", shard.shard);
+        // The drain guarantee, per shard: nothing may still be queued
+        // after a graceful shutdown.
+        assert_eq!(
+            shard.queue_depth, 0,
+            "shard {} retired with queued work",
+            shard.shard
+        );
     }
+    assert_eq!(report.queue_depth, 0, "engine retired with queued work");
+
+    // Ops scrape these reports: the full aggregate (queue depths
+    // included) must survive a JSON round trip bit-identically.
+    let json = serde_json::to_string(&report).expect("report serializes");
+    assert!(json.contains("\"queue_depth\""), "{json}");
+    let scraped: napmon::serve::ServeReport =
+        serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(scraped, report);
 }
