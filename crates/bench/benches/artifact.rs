@@ -58,6 +58,8 @@ struct Report {
     input_dim: usize,
     neurons: usize,
     save_load_reps: usize,
+    threads: usize,
+    smoke: bool,
     rows: Vec<Row>,
     notes: String,
 }
@@ -159,6 +161,10 @@ fn main() {
         input_dim: INPUT_DIM,
         neurons: NEURONS,
         save_load_reps: reps(),
+        threads: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        smoke: smoke(),
         rows,
         notes: "save_ms = serialize+write; load_ms = read+validate+deserialize; \
                 bytes = artifact JSON on disk (spec + network + monitor + stats). \

@@ -171,10 +171,13 @@ fn main() {
         direct_qps,
         rows,
         speedup_4shard_vs_1shard,
+        // The machine shape lives in the structured `threads` field only —
+        // prose copies of it went stale whenever the file was regenerated
+        // on different hardware.
         notes: format!(
             "in-distribution workload (all probes hit the pattern set); \
              shard scaling is bounded by the measuring machine's cores \
-             (threads = {threads}); smoke = {}",
+             (see the `threads` field); smoke = {}",
             smoke()
         ),
     };

@@ -70,6 +70,7 @@ struct Report {
     appends: usize,
     probes: usize,
     hamming_tau: usize,
+    threads: usize,
     smoke: bool,
     rows: Vec<Row>,
     notes: String,
@@ -160,6 +161,9 @@ fn main() {
         appends: appends(),
         probes: probes(),
         hamming_tau: TAU,
+        threads: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
         smoke: smoke(),
         rows,
         notes: "append_qps = deduplicating batched appends through the tail log; \

@@ -32,6 +32,16 @@ fn golden_path() -> String {
 }
 
 fn main() {
+    // Both compatibility surfaces, on the record in every CI log: the
+    // artifact schema this build reads/writes, and the wire protocol it
+    // speaks. A bump in either must show up in this line (and in the
+    // README's versioning sections).
+    println!(
+        "compatibility: artifact format v{}, wire protocol v{}",
+        napmon_artifact::FORMAT_VERSION,
+        napmon_wire::WIRE_PROTOCOL_VERSION,
+    );
+
     let path = golden_path();
     let fresh = golden::build();
 

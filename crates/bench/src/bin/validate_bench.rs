@@ -1,7 +1,10 @@
 //! CI gate for the benchmark reports.
 //!
-//! Parses `BENCH_query.json`, `BENCH_serve.json`, `BENCH_artifact.json`,
-//! and `BENCH_store.json` at the workspace root and fails (non-zero exit)
+//! Two modes:
+//!
+//! **Schema mode** (default): parses `BENCH_query.json`,
+//! `BENCH_serve.json`, `BENCH_artifact.json`, `BENCH_store.json`, and
+//! `BENCH_wire.json` at the workspace root and fails (non-zero exit)
 //! unless all carry the expected schema with sane values. Run after the
 //! benches (smoke mode suffices):
 //!
@@ -10,17 +13,46 @@
 //! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench serve_throughput
 //! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench artifact
 //! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench store_throughput
+//! NAPMON_BENCH_SMOKE=1 cargo bench -p napmon-bench --bench wire_throughput
 //! cargo run -p napmon-bench --bin validate_bench
 //! ```
+//!
+//! **Compare mode** (`--compare <baseline-dir>`): additionally diffs the
+//! freshly generated reports against baseline copies in `<baseline-dir>`
+//! (CI copies the committed files aside before the smoke runs) and fails
+//! on
+//!
+//! - **schema drift** — a top-level or per-row key appearing or vanishing
+//!   relative to the baseline, or the row matrix changing shape; and
+//! - **throughput regression** — any qps-like figure dropping more than
+//!   the tolerance (default 30%; tune with `NAPMON_BENCH_TOLERANCE=0.5`
+//!   for 50%) below its baseline.
+//!
+//! Latency figures are only compared when *both* reports come from
+//! non-smoke runs — a 50 ms smoke measurement is noise, not a baseline.
+//! Absolute throughput is only compared when both reports were measured
+//! on the same machine shape (equal `threads`); cross-hardware, the gate
+//! falls back to *within-run ratios* (packed-vs-naive speedups, the wire
+//! overhead multiple), which divide two figures from the same run so the
+//! hardware cancels — the gate keeps teeth on any runner, and every skip
+//! is printed so the CI log records it.
 
 use serde_json::Value;
 
-/// Reads `name` from the workspace root and parses it.
-fn load(name: &str) -> Value {
-    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+/// Reads `name` from the given directory (workspace root by default).
+fn load_from(dir: &str, name: &str) -> Value {
+    let path = if dir.is_empty() {
+        format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"))
+    } else {
+        format!("{dir}/{name}")
+    };
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run the benches first)"));
     serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"))
+}
+
+fn load(name: &str) -> Value {
+    load_from("", name)
 }
 
 /// Asserts `value[key]` exists (is not null) and returns it.
@@ -121,9 +153,16 @@ fn validate_serve() {
 fn validate_artifact_report() {
     let name = "BENCH_artifact.json";
     let report = load(name);
-    for key in ["train_size", "input_dim", "neurons", "save_load_reps"] {
+    for key in [
+        "train_size",
+        "input_dim",
+        "neurons",
+        "save_load_reps",
+        "threads",
+    ] {
         positive(name, &report, key);
     }
+    field(name, &report, "smoke");
     field(name, &report, "notes");
     let Value::Array(rows) = field(name, &report, "rows") else {
         panic!("{name}: `rows` is not an array");
@@ -163,7 +202,7 @@ fn validate_artifact_report() {
 fn validate_store_report() {
     let name = "BENCH_store.json";
     let report = load(name);
-    for key in ["appends", "probes", "hamming_tau"] {
+    for key in ["appends", "probes", "hamming_tau", "threads"] {
         positive(name, &report, key);
     }
     field(name, &report, "smoke");
@@ -208,10 +247,377 @@ fn validate_store_report() {
     println!("{name}: ok ({} rows)", rows.len());
 }
 
+fn validate_wire_report() {
+    let name = "BENCH_wire.json";
+    let report = load(name);
+    for key in ["threads", "train_size", "batch_size", "input_dim", "shards"] {
+        positive(name, &report, key);
+    }
+    positive(name, &report, "direct_qps");
+    field(name, &report, "smoke");
+    field(name, &report, "notes");
+    // The network boundary must cost something, but not orders of
+    // magnitude: an overhead below 1.0x means the baseline broke, far
+    // above ~20x means the framing path regressed catastrophically.
+    let overhead = positive(name, &report, "wire_overhead_1client");
+    assert!(
+        (0.5..50.0).contains(&overhead),
+        "{name}: wire_overhead_1client {overhead:.2}x is implausible"
+    );
+    let Value::Array(rows) = field(name, &report, "rows") else {
+        panic!("{name}: `rows` is not an array");
+    };
+    let client_counts: Vec<u64> = rows
+        .iter()
+        .map(|row| {
+            positive(name, row, "qps");
+            positive(name, row, "speedup_vs_1client");
+            positive(name, row, "batch_rtt_us");
+            positive(name, row, "requests");
+            positive(name, row, "clients") as u64
+        })
+        .collect();
+    assert_eq!(
+        client_counts,
+        vec![1, 2, 4],
+        "{name}: expected 1/2/4-client rows"
+    );
+    println!("{name}: ok ({} client rows)", rows.len());
+}
+
+// ---- compare mode -------------------------------------------------------
+
+/// How one report file is diffed against its baseline.
+struct CompareSpec {
+    name: &'static str,
+    /// The row-array key (`rows` or `results`).
+    row_field: &'static str,
+    /// Fields identifying a row across runs (order-stable anyway, but the
+    /// identity makes drift messages precise).
+    row_identity: &'static [&'static str],
+    /// Top-level throughput figures (higher is better).
+    top_throughput: &'static [&'static str],
+    /// Per-row throughput figures (higher is better).
+    row_throughput: &'static [&'static str],
+    /// Per-row latency figures (lower is better; smoke runs skip these).
+    row_latency: &'static [&'static str],
+    /// Top-level *within-run ratios*, higher is better. A ratio divides
+    /// two figures measured in the same run on the same machine, so the
+    /// hardware cancels to first order — these are diffed even across
+    /// machine shapes, which is what keeps the gate non-vacuous when the
+    /// committed baseline and the CI runner differ.
+    top_ratio_floor: &'static [&'static str],
+    /// Top-level within-run ratios, lower is better (overheads).
+    top_ratio_ceiling: &'static [&'static str],
+    /// Per-row within-run ratios, higher is better.
+    row_ratio_floor: &'static [&'static str],
+}
+
+const COMPARE_SPECS: [CompareSpec; 5] = [
+    CompareSpec {
+        name: "BENCH_query.json",
+        row_field: "results",
+        row_identity: &["neurons", "backend"],
+        top_throughput: &[],
+        row_throughput: &["membership_qps_packed", "end_to_end_qps"],
+        row_latency: &[],
+        top_ratio_floor: &["min_speedup_vs_naive_vec_bool"],
+        top_ratio_ceiling: &[],
+        row_ratio_floor: &["membership_speedup"],
+    },
+    CompareSpec {
+        name: "BENCH_serve.json",
+        row_field: "rows",
+        row_identity: &["shards"],
+        top_throughput: &["direct_qps"],
+        row_throughput: &["qps"],
+        row_latency: &["mean_latency_ns"],
+        // speedup_vs_1shard is parallel *capacity*, not a within-run
+        // price ratio — it does not cancel hardware, so it lives in
+        // validate_serve's threads-aware check instead.
+        top_ratio_floor: &[],
+        top_ratio_ceiling: &[],
+        row_ratio_floor: &[],
+    },
+    CompareSpec {
+        name: "BENCH_artifact.json",
+        row_field: "rows",
+        row_identity: &["kind", "backend", "robust"],
+        top_throughput: &[],
+        row_throughput: &[],
+        row_latency: &["save_ms", "load_ms"],
+        top_ratio_floor: &[],
+        top_ratio_ceiling: &[],
+        row_ratio_floor: &[],
+    },
+    CompareSpec {
+        name: "BENCH_store.json",
+        row_field: "rows",
+        row_identity: &["kind"],
+        top_throughput: &[],
+        row_throughput: &["append_qps"],
+        row_latency: &["exact_ns_store", "hamming_ns_store"],
+        top_ratio_floor: &[],
+        top_ratio_ceiling: &[],
+        row_ratio_floor: &[],
+    },
+    CompareSpec {
+        name: "BENCH_wire.json",
+        row_field: "rows",
+        row_identity: &["clients"],
+        top_throughput: &["direct_qps"],
+        row_throughput: &["qps"],
+        row_latency: &["batch_rtt_us"],
+        top_ratio_floor: &[],
+        top_ratio_ceiling: &["wire_overhead_1client"],
+        row_ratio_floor: &[],
+    },
+];
+
+/// The regression tolerance: a figure may be at most this fraction worse
+/// than its baseline (`NAPMON_BENCH_TOLERANCE`, default 0.30).
+fn tolerance() -> f64 {
+    match std::env::var("NAPMON_BENCH_TOLERANCE") {
+        Ok(raw) => {
+            let t: f64 = raw
+                .parse()
+                .unwrap_or_else(|_| panic!("NAPMON_BENCH_TOLERANCE `{raw}` is not a number"));
+            assert!(
+                t.is_finite() && t > 0.0,
+                "NAPMON_BENCH_TOLERANCE must be a positive fraction, got {t}"
+            );
+            t
+        }
+        Err(_) => 0.30,
+    }
+}
+
+/// Whether a report came from a smoke run: the structured `smoke` field
+/// where the schema has one, the notes marker otherwise.
+fn is_smoke(report: &Value) -> bool {
+    match &report["smoke"] {
+        Value::Bool(b) => *b,
+        _ => matches!(&report["notes"], Value::String(s) if s.contains("smoke = true")),
+    }
+}
+
+fn sorted_keys(value: &Value) -> Vec<String> {
+    match value {
+        Value::Object(map) => {
+            let mut keys: Vec<String> = map.keys().cloned().collect();
+            keys.sort();
+            keys
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// A row's identity string, for drift messages.
+fn identity(spec: &CompareSpec, row: &Value) -> String {
+    spec.row_identity
+        .iter()
+        .map(|k| format!("{k}={:?}", row[*k]))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn number(name: &str, value: &Value, key: &str) -> f64 {
+    match &value[key] {
+        Value::Number(n) => n.as_f64(),
+        _ => panic!("{name}: `{key}` is not a number"),
+    }
+}
+
+/// Diffs one fresh report against its baseline. Returns the number of
+/// figures actually compared (so the caller can report coverage).
+fn compare_report(spec: &CompareSpec, baseline_dir: &str, tol: f64) -> usize {
+    let name = spec.name;
+    let fresh = load(name);
+    let baseline = load_from(baseline_dir, name);
+
+    // Schema drift: key sets must agree exactly, top-level and per row.
+    assert_eq!(
+        sorted_keys(&fresh),
+        sorted_keys(&baseline),
+        "{name}: top-level schema drifted from the baseline"
+    );
+    let (Value::Array(fresh_rows), Value::Array(base_rows)) =
+        (&fresh[spec.row_field], &baseline[spec.row_field])
+    else {
+        panic!(
+            "{name}: `{}` is not an array in both reports",
+            spec.row_field
+        );
+    };
+    assert_eq!(
+        fresh_rows.len(),
+        base_rows.len(),
+        "{name}: row count drifted from the baseline"
+    );
+    for (fresh_row, base_row) in fresh_rows.iter().zip(base_rows) {
+        assert_eq!(
+            identity(spec, fresh_row),
+            identity(spec, base_row),
+            "{name}: row identity drifted from the baseline"
+        );
+        assert_eq!(
+            sorted_keys(fresh_row),
+            sorted_keys(base_row),
+            "{name}: row schema drifted from the baseline ({})",
+            identity(spec, fresh_row)
+        );
+    }
+
+    let smoke = is_smoke(&fresh) || is_smoke(&baseline);
+    let mut compared = 0usize;
+
+    // Within-run ratios first: each divides two figures from the same run
+    // on the same machine, so the hardware cancels to first order and
+    // they are diffable across machine shapes — without them the gate
+    // would be vacuous whenever the CI runner differs from the machine
+    // that produced the committed baselines.
+    for key in spec.top_ratio_floor {
+        compared += 1;
+        let fresh_v = number(name, &fresh, key);
+        let base_v = number(name, &baseline, key);
+        assert!(
+            fresh_v >= base_v * (1.0 - tol),
+            "{name}: {key}: within-run ratio regressed {:.1}% (fresh {fresh_v:.2} vs \
+             baseline {base_v:.2}, tolerance {:.0}%)",
+            (1.0 - fresh_v / base_v) * 100.0,
+            tol * 100.0
+        );
+    }
+    for key in spec.top_ratio_ceiling {
+        compared += 1;
+        let fresh_v = number(name, &fresh, key);
+        let base_v = number(name, &baseline, key);
+        assert!(
+            fresh_v <= base_v * (1.0 + tol),
+            "{name}: {key}: within-run overhead regressed {:.1}% (fresh {fresh_v:.2} vs \
+             baseline {base_v:.2}, tolerance {:.0}%)",
+            (fresh_v / base_v - 1.0) * 100.0,
+            tol * 100.0
+        );
+    }
+    for (fresh_row, base_row) in fresh_rows.iter().zip(base_rows) {
+        for key in spec.row_ratio_floor {
+            compared += 1;
+            let fresh_v = number(name, fresh_row, key);
+            let base_v = number(name, base_row, key);
+            assert!(
+                fresh_v >= base_v * (1.0 - tol),
+                "{name}: {} {key}: within-run ratio regressed {:.1}% (fresh {fresh_v:.2} \
+                 vs baseline {base_v:.2}, tolerance {:.0}%)",
+                identity(spec, fresh_row),
+                (1.0 - fresh_v / base_v) * 100.0,
+                tol * 100.0
+            );
+        }
+    }
+
+    // Absolute figures only mean something on the same machine shape:
+    // every report records `threads`, and a report missing it (a stale
+    // baseline) has an unknown shape, which is as incomparable as a
+    // different one.
+    let comparable_hw = match (&fresh["threads"], &baseline["threads"]) {
+        (Value::Number(a), Value::Number(b)) => a.as_f64() == b.as_f64(),
+        _ => false,
+    };
+    if !comparable_hw {
+        println!(
+            "{name}: schema + ratios ok ({compared} ratio figures); absolute diff skipped \
+             (baseline measured on {:?} thread(s), this machine has {:?})",
+            baseline["threads"], fresh["threads"]
+        );
+        return compared;
+    }
+    let mut check_throughput = |label: String, fresh_v: f64, base_v: f64| {
+        compared += 1;
+        let floor = base_v * (1.0 - tol);
+        assert!(
+            fresh_v >= floor,
+            "{name}: {label}: throughput regressed {:.1}% (fresh {fresh_v:.0} vs \
+             baseline {base_v:.0}, tolerance {:.0}%)",
+            (1.0 - fresh_v / base_v) * 100.0,
+            tol * 100.0
+        );
+    };
+    for key in spec.top_throughput {
+        check_throughput(
+            (*key).to_string(),
+            number(name, &fresh, key),
+            number(name, &baseline, key),
+        );
+    }
+    for (fresh_row, base_row) in fresh_rows.iter().zip(base_rows) {
+        for key in spec.row_throughput {
+            check_throughput(
+                format!("{} {key}", identity(spec, fresh_row)),
+                number(name, fresh_row, key),
+                number(name, base_row, key),
+            );
+        }
+    }
+
+    if smoke {
+        if !spec.row_latency.is_empty() {
+            println!("{name}: latency diff skipped (smoke run)");
+        }
+    } else {
+        for (fresh_row, base_row) in fresh_rows.iter().zip(base_rows) {
+            for key in spec.row_latency {
+                compared += 1;
+                let fresh_v = number(name, fresh_row, key);
+                let base_v = number(name, base_row, key);
+                let ceiling = base_v * (1.0 + tol);
+                assert!(
+                    fresh_v <= ceiling,
+                    "{name}: {} {key}: latency regressed {:.1}% (fresh {fresh_v:.0} vs \
+                     baseline {base_v:.0}, tolerance {:.0}%)",
+                    identity(spec, fresh_row),
+                    (fresh_v / base_v - 1.0) * 100.0,
+                    tol * 100.0
+                );
+            }
+        }
+    }
+    println!(
+        "{name}: compare ok ({compared} figures within {:.0}%)",
+        tol * 100.0
+    );
+    compared
+}
+
+fn compare_all(baseline_dir: &str) {
+    let tol = tolerance();
+    println!(
+        "comparing against baselines in {baseline_dir} (tolerance {:.0}%)",
+        tol * 100.0
+    );
+    let mut compared = 0usize;
+    for spec in &COMPARE_SPECS {
+        compared += compare_report(spec, baseline_dir, tol);
+    }
+    println!("bench regression gate passed ({compared} figures diffed)");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     validate_query();
     validate_serve();
     validate_artifact_report();
     validate_store_report();
+    validate_wire_report();
     println!("benchmark reports validated");
+    match args.get(1).map(String::as_str) {
+        Some("--compare") => {
+            let dir = args
+                .get(2)
+                .expect("usage: validate_bench [--compare <baseline-dir>]");
+            compare_all(dir);
+        }
+        Some(other) => panic!("unknown argument `{other}` (expected --compare <baseline-dir>)"),
+        None => {}
+    }
 }

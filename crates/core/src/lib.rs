@@ -83,6 +83,7 @@ pub mod perturb;
 pub mod score;
 pub mod source;
 pub mod spec;
+pub mod wirefmt;
 
 pub use builder::{AnyMonitor, MonitorBuilder, MonitorKind, RobustConfig};
 pub use error::MonitorError;

@@ -302,6 +302,18 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
         PendingBatch { total: n, jobs, rx }
     }
 
+    /// Jobs enqueued but not yet picked up, summed across all shards —
+    /// the backlog gauge, read straight from the shard counters without
+    /// riding the job queues. Serving layers use it for cheap
+    /// backpressure decisions on every request; for a queue-consistent
+    /// snapshot use [`MonitorEngine::report`].
+    pub fn queue_depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.depth.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// A consistent snapshot of every shard's metrics, aggregated. Rides
     /// the job queues, so it reflects all work enqueued before it.
     pub fn report(&self) -> ServeReport {
@@ -330,6 +342,22 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
             self.shards.into_iter().map(|s| (s.tx, s.handle)).unzip();
         drop(txs);
         ServeReport::aggregate(handles.into_iter().filter_map(|h| h.join().ok()).collect())
+    }
+
+    /// [`MonitorEngine::shutdown`] through a shared handle: succeeds once
+    /// the caller holds the last clone of the `Arc` (every serving thread
+    /// has been joined), and hands the still-shared engine back otherwise
+    /// — shutting down under a live submitter would strand its requests.
+    ///
+    /// This is the shutdown path for serving layers (like `napmon-wire`)
+    /// that clone one engine handle per connection thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(engine)` if other clones of the handle are still
+    /// alive.
+    pub fn shutdown_shared(engine: Arc<Self>) -> Result<ServeReport, Arc<Self>> {
+        Arc::try_unwrap(engine).map(Self::shutdown)
     }
 }
 

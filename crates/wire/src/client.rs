@@ -1,0 +1,255 @@
+//! The client side: a blocking connection with pipelined batches.
+//!
+//! [`WireClient`] wraps one TCP connection. Single-shot calls
+//! ([`WireClient::query`], [`WireClient::stats`], …) are plain
+//! request/response; [`WireClient::query_batch`] *pipelines* — it splits
+//! the batch into chunks, writes every chunk's frame before reading any
+//! response, and reassembles the verdicts in input order — so a large
+//! batch pays one round-trip of latency, not one per chunk. The server
+//! answers a connection's frames in arrival order; request ids are
+//! checked on every response, so a desynchronized stream fails typed
+//! ([`WireError::RequestIdMismatch`]) instead of mispairing verdicts.
+
+use crate::codec::{Request, Response, StatsSnapshot};
+use crate::frame::{Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use crate::WireError;
+use napmon_core::Verdict;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Requests per pipelined frame in [`WireClient::query_batch`] /
+/// [`WireClient::absorb_batch`].
+const PIPELINE_CHUNK: usize = 64;
+
+/// Maximum chunk frames written ahead of the responses read. Unbounded
+/// pipelining can deadlock on large batches: the server writes responses
+/// with no timeout, so once unread response bytes exceed the socket
+/// buffers, the server stops reading requests and both sides block on
+/// `write_all` forever. A small window keeps the un-drained response
+/// backlog far below any realistic socket buffer while still amortizing
+/// the round trip.
+const PIPELINE_WINDOW: usize = 8;
+
+/// A blocking client for one [`WireServer`](crate::WireServer).
+pub struct WireClient {
+    stream: TcpStream,
+    next_id: u64,
+    max_payload: u32,
+}
+
+impl WireClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            next_id: 1,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    fn send(&mut self, request: Request) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = request.into_frame(id);
+        self.stream.write_all(&frame.encode())?;
+        Ok(id)
+    }
+
+    /// Reads one response frame, checking it answers request `id`.
+    fn receive(&mut self, id: u64) -> Result<Response, WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                WireError::Truncated
+            } else {
+                WireError::Io(e)
+            }
+        })?;
+        let parsed = Frame::decode_header(&header, self.max_payload)?;
+        let mut payload = vec![0u8; parsed.payload_len as usize];
+        self.stream.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                WireError::Truncated
+            } else {
+                WireError::Io(e)
+            }
+        })?;
+        if parsed.request_id != id {
+            return Err(WireError::RequestIdMismatch {
+                sent: id,
+                got: parsed.request_id,
+            });
+        }
+        Response::decode(&Frame {
+            opcode: parsed.opcode,
+            request_id: parsed.request_id,
+            payload,
+        })
+    }
+
+    fn call(&mut self, request: Request) -> Result<Response, WireError> {
+        let id = self.send(request)?;
+        match self.receive(id)? {
+            Response::Busy { in_flight, budget } => Err(WireError::Busy { in_flight, budget }),
+            Response::Error { code, message } => Err(WireError::Remote { code, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Serves one input.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Busy`] under backpressure, [`WireError::Remote`] for
+    /// server-side failures, and transport/protocol errors otherwise.
+    pub fn query(&mut self, input: &[f64]) -> Result<Verdict, WireError> {
+        match self.call(Request::Query(input.to_vec()))? {
+            Response::Verdict(verdict) => Ok(verdict),
+            other => Err(unexpected("verdict", &other)),
+        }
+    }
+
+    /// Serves a whole batch with pipelined chunked submission; verdicts
+    /// come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// The first failing chunk's error, after the stream has been fully
+    /// drained (the connection stays usable).
+    pub fn query_batch(&mut self, inputs: &[Vec<f64>]) -> Result<Vec<Verdict>, WireError> {
+        let responses = self.pipeline(inputs, |chunk| Request::QueryBatch(chunk.to_vec()))?;
+        let mut verdicts = Vec::with_capacity(inputs.len());
+        for response in responses {
+            match response {
+                Response::Verdicts(mut chunk) => verdicts.append(&mut chunk),
+                other => return Err(unexpected("verdict batch", &other)),
+            }
+        }
+        if verdicts.len() != inputs.len() {
+            return Err(WireError::Malformed(format!(
+                "server answered {} verdicts for {} inputs",
+                verdicts.len(),
+                inputs.len()
+            )));
+        }
+        Ok(verdicts)
+    }
+
+    /// Absorbs a batch of inputs into the server's store-backed members
+    /// (operation-time monitor enlargement over the wire). Returns the
+    /// number of new patterns stored.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] with [`ErrorCode::Monitor`] if the served
+    /// monitor is not store-backed, plus the usual transport errors.
+    ///
+    /// [`ErrorCode::Monitor`]: crate::ErrorCode::Monitor
+    pub fn absorb_batch(&mut self, inputs: &[Vec<f64>]) -> Result<u64, WireError> {
+        let responses = self.pipeline(inputs, |chunk| Request::Absorb(chunk.to_vec()))?;
+        let mut fresh = 0u64;
+        for response in responses {
+            match response {
+                Response::Absorbed(n) => fresh += n,
+                other => return Err(unexpected("absorbed count", &other)),
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Snapshots the server's metrics: the engine's [`ServeReport`] plus
+    /// the wire layer's in-flight/budget/busy gauges.
+    ///
+    /// [`ServeReport`]: napmon_serve::ServeReport
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors; stats are never refused as busy.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
+        match self.call(Request::Stats)? {
+            Response::Stats(snapshot) => Ok(*snapshot),
+            other => Err(unexpected("stats report", &other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully (drain, then close).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn shutdown_server(&mut self) -> Result<(), WireError> {
+        match self.call(Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown acknowledgement", &other)),
+        }
+    }
+
+    /// Writes chunk frames ahead of the responses read, up to
+    /// [`PIPELINE_WINDOW`] outstanding, then drains the rest. All
+    /// responses are read even when one is an error, so a failure leaves
+    /// the stream framed and the connection usable.
+    fn pipeline(
+        &mut self,
+        inputs: &[Vec<f64>],
+        request: impl Fn(&[Vec<f64>]) -> Request,
+    ) -> Result<Vec<Response>, WireError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut outstanding = std::collections::VecDeque::with_capacity(PIPELINE_WINDOW);
+        let mut responses = Vec::with_capacity(inputs.len().div_ceil(PIPELINE_CHUNK));
+        let mut first_error: Option<WireError> = None;
+        for chunk in inputs.chunks(PIPELINE_CHUNK) {
+            if outstanding.len() >= PIPELINE_WINDOW {
+                let id = outstanding.pop_front().expect("non-empty window");
+                self.collect(id, &mut responses, &mut first_error)?;
+            }
+            outstanding.push_back(self.send(request(chunk))?);
+        }
+        while let Some(id) = outstanding.pop_front() {
+            self.collect(id, &mut responses, &mut first_error)?;
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(responses),
+        }
+    }
+
+    /// Reads the response to request `id`, recording the first
+    /// server-side refusal without ending the drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors only — those desynchronize the stream,
+    /// so they fail immediately.
+    fn collect(
+        &mut self,
+        id: u64,
+        responses: &mut Vec<Response>,
+        first_error: &mut Option<WireError>,
+    ) -> Result<(), WireError> {
+        match self.receive(id)? {
+            Response::Busy { in_flight, budget } => {
+                first_error.get_or_insert(WireError::Busy { in_flight, budget });
+            }
+            Response::Error { code, message } => {
+                first_error.get_or_insert(WireError::Remote { code, message });
+            }
+            response => responses.push(response),
+        }
+        Ok(())
+    }
+}
+
+fn unexpected(expected: &'static str, got: &Response) -> WireError {
+    WireError::UnexpectedResponse {
+        expected,
+        got: got.opcode() as u8,
+    }
+}

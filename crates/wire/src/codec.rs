@@ -1,0 +1,369 @@
+//! Typed payloads: what each opcode's frame body means.
+//!
+//! Requests and responses are plain enums; `encode` produces the payload
+//! bytes for a [`Frame`], `decode` interprets a received frame. Input
+//! vectors and verdicts use the shared binary helpers in
+//! [`napmon_core::wirefmt`]; the stats report rides as JSON (it is an
+//! ops-facing document, not a hot-path value).
+//!
+//! Decoding is strict: a payload must spell exactly one value of the
+//! opcode's type, with no trailing bytes — anything else is a typed
+//! [`WireError::Malformed`].
+
+use crate::error::{ErrorCode, WireError};
+use crate::frame::{Frame, Opcode};
+use napmon_core::wirefmt;
+use napmon_core::Verdict;
+use napmon_serve::ServeReport;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Serve one input.
+    Query(Vec<f64>),
+    /// Serve a batch of inputs.
+    QueryBatch(Vec<Vec<f64>>),
+    /// Absorb a batch of inputs into the store-backed members.
+    Absorb(Vec<Vec<f64>>),
+    /// Snapshot serving metrics.
+    Stats,
+    /// Begin a graceful shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// The opcode carrying this request.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Query(_) => Opcode::Query,
+            Request::QueryBatch(_) => Opcode::QueryBatch,
+            Request::Absorb(_) => Opcode::Absorb,
+            Request::Stats => Opcode::Stats,
+            Request::Shutdown => Opcode::Shutdown,
+        }
+    }
+
+    /// Packages the request as a frame with `request_id`.
+    pub fn into_frame(self, request_id: u64) -> Frame {
+        let mut payload = Vec::new();
+        match &self {
+            Request::Query(input) => wirefmt::put_features(&mut payload, input),
+            Request::QueryBatch(inputs) | Request::Absorb(inputs) => {
+                encode_inputs(&mut payload, inputs)
+            }
+            Request::Stats | Request::Shutdown => {}
+        }
+        Frame {
+            opcode: self.opcode(),
+            request_id,
+            payload,
+        }
+    }
+
+    /// Interprets a received frame as a request.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownOpcode`] for response opcodes (a server only
+    /// accepts requests) and [`WireError::Malformed`] /
+    /// [`WireError::Truncated`] for payloads that do not spell the
+    /// opcode's type exactly.
+    pub fn decode(frame: &Frame) -> Result<Self, WireError> {
+        let mut bytes = frame.payload.as_slice();
+        let request = match frame.opcode {
+            Opcode::Query => Request::Query(wirefmt::get_features(&mut bytes)?),
+            Opcode::QueryBatch => Request::QueryBatch(decode_inputs(&mut bytes)?),
+            Opcode::Absorb => Request::Absorb(decode_inputs(&mut bytes)?),
+            Opcode::Stats => Request::Stats,
+            Opcode::Shutdown => Request::Shutdown,
+            other => return Err(WireError::UnknownOpcode(other as u8)),
+        };
+        if !bytes.is_empty() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after a {:?} payload",
+                bytes.len(),
+                frame.opcode
+            )));
+        }
+        Ok(request)
+    }
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One verdict ([`Request::Query`]).
+    Verdict(Verdict),
+    /// A verdict batch ([`Request::QueryBatch`]).
+    Verdicts(Vec<Verdict>),
+    /// New patterns stored ([`Request::Absorb`]).
+    Absorbed(u64),
+    /// Metrics snapshot ([`Request::Stats`]).
+    Stats(Box<StatsSnapshot>),
+    /// Shutdown acknowledged; the server is draining.
+    ShuttingDown,
+    /// The in-flight budget is exhausted; the request was not served.
+    Busy {
+        /// Requests in flight when the server refused.
+        in_flight: u32,
+        /// The configured budget.
+        budget: u32,
+    },
+    /// The request failed.
+    Error {
+        /// Error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// The stats payload: the engine's own report plus wire-level gauges.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatsSnapshot {
+    /// The sharded engine's aggregated metrics.
+    pub engine: ServeReport,
+    /// The engine's shard backlog at snapshot time, sampled from the
+    /// lock-free counters (`MonitorEngine::queue_depth`) — unlike
+    /// `engine.queue_depth`, this does not ride the job queues, so it is
+    /// the instantaneous figure an operator's scrape sees.
+    pub engine_queue_depth: u64,
+    /// Requests the wire layer is serving right now.
+    pub wire_in_flight: u32,
+    /// The server's in-flight budget.
+    pub wire_budget: u32,
+    /// Requests refused with `Busy` since the server started.
+    pub wire_busy_rejections: u64,
+}
+
+impl Response {
+    /// The opcode carrying this response.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Response::Verdict(_) => Opcode::Verdict,
+            Response::Verdicts(_) => Opcode::Verdicts,
+            Response::Absorbed(_) => Opcode::Absorbed,
+            Response::Stats(_) => Opcode::StatsReport,
+            Response::ShuttingDown => Opcode::ShuttingDown,
+            Response::Busy { .. } => Opcode::Busy,
+            Response::Error { .. } => Opcode::Error,
+        }
+    }
+
+    /// Packages the response as a frame echoing `request_id`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] if the stats report fails to serialize
+    /// (never expected; surfaced rather than panicking in the server).
+    pub fn into_frame(self, request_id: u64) -> Result<Frame, WireError> {
+        let opcode = self.opcode();
+        let mut payload = Vec::new();
+        match self {
+            Response::Verdict(v) => wirefmt::put_verdict(&mut payload, &v),
+            Response::Verdicts(vs) => wirefmt::put_verdicts(&mut payload, &vs),
+            Response::Absorbed(n) => wirefmt::put_u64(&mut payload, n),
+            Response::Stats(snapshot) => {
+                payload = serde_json::to_string(&*snapshot)
+                    .map_err(|e| WireError::Malformed(format!("stats serialization: {e}")))?
+                    .into_bytes();
+            }
+            Response::ShuttingDown => {}
+            Response::Busy { in_flight, budget } => {
+                wirefmt::put_u32(&mut payload, in_flight);
+                wirefmt::put_u32(&mut payload, budget);
+            }
+            Response::Error { code, message } => {
+                payload.push(code as u8);
+                wirefmt::put_u32(&mut payload, message.len() as u32);
+                payload.extend_from_slice(message.as_bytes());
+            }
+        }
+        Ok(Frame {
+            opcode,
+            request_id,
+            payload,
+        })
+    }
+
+    /// Interprets a received frame as a response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownOpcode`] for request opcodes and
+    /// [`WireError::Malformed`] / [`WireError::Truncated`] for payloads
+    /// that do not spell the opcode's type exactly.
+    pub fn decode(frame: &Frame) -> Result<Self, WireError> {
+        let mut bytes = frame.payload.as_slice();
+        let response = match frame.opcode {
+            Opcode::Verdict => Response::Verdict(wirefmt::get_verdict(&mut bytes)?),
+            Opcode::Verdicts => Response::Verdicts(wirefmt::get_verdicts(&mut bytes)?),
+            Opcode::Absorbed => Response::Absorbed(wirefmt::get_u64(&mut bytes)?),
+            Opcode::StatsReport => {
+                let snapshot: StatsSnapshot =
+                    serde_json::from_str(std::str::from_utf8(bytes).map_err(|_| {
+                        WireError::Malformed("stats payload is not UTF-8".to_string())
+                    })?)
+                    .map_err(|e| WireError::Malformed(format!("stats payload: {e}")))?;
+                bytes = &[];
+                Response::Stats(Box::new(snapshot))
+            }
+            Opcode::ShuttingDown => Response::ShuttingDown,
+            Opcode::Busy => Response::Busy {
+                in_flight: wirefmt::get_u32(&mut bytes)?,
+                budget: wirefmt::get_u32(&mut bytes)?,
+            },
+            Opcode::Error => {
+                let raw = *bytes.first().ok_or(WireError::Truncated)?;
+                bytes = &bytes[1..];
+                let code = ErrorCode::from_wire(raw)
+                    .ok_or_else(|| WireError::Malformed(format!("unknown error code {raw}")))?;
+                let len = wirefmt::get_u32(&mut bytes)? as usize;
+                if bytes.len() < len {
+                    return Err(WireError::Truncated);
+                }
+                let message = std::str::from_utf8(&bytes[..len])
+                    .map_err(|_| WireError::Malformed("error message is not UTF-8".to_string()))?
+                    .to_string();
+                bytes = &bytes[len..];
+                Response::Error { code, message }
+            }
+            other => return Err(WireError::UnknownOpcode(other as u8)),
+        };
+        if !bytes.is_empty() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after a {:?} payload",
+                bytes.len(),
+                frame.opcode
+            )));
+        }
+        Ok(response)
+    }
+}
+
+/// Protocol-level cap on inputs per batch frame. A `Vec<Vec<f64>>`
+/// spends ~24 bytes of header per element, so a forged count costing only
+/// 4 payload bytes each would amplify a frame ~6x into allocator
+/// pressure; the cap bounds that before admission or decoding. Clients
+/// chunk far below this ([`crate::WireClient`] uses 64-input chunks).
+pub const MAX_BATCH_INPUTS: usize = 1 << 16;
+
+/// Encodes a batch of input vectors: `u32` count, then each vector with
+/// its own length prefix (members of a composed monitor may disagree on
+/// dimension only at the engine, which rejects them with a typed error).
+fn encode_inputs(out: &mut Vec<u8>, inputs: &[Vec<f64>]) {
+    wirefmt::put_u32(out, inputs.len() as u32);
+    for input in inputs {
+        wirefmt::put_features(out, input);
+    }
+}
+
+fn decode_inputs(bytes: &mut &[u8]) -> Result<Vec<Vec<f64>>, WireError> {
+    let count = wirefmt::get_u32(bytes)? as usize;
+    if count > MAX_BATCH_INPUTS {
+        return Err(WireError::Malformed(format!(
+            "batch of {count} inputs exceeds the {MAX_BATCH_INPUTS}-input frame cap"
+        )));
+    }
+    // Each vector costs at least its 4-byte length prefix.
+    if bytes.len() / 4 < count {
+        return Err(WireError::Truncated);
+    }
+    let mut inputs = Vec::with_capacity(count);
+    for _ in 0..count {
+        inputs.push(wirefmt::get_features(bytes)?);
+    }
+    Ok(inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use napmon_core::Violation;
+
+    fn round_trip_request(request: Request) {
+        let frame = request.clone().into_frame(77);
+        assert_eq!(frame.request_id, 77);
+        assert!(frame.opcode.is_request());
+        assert_eq!(Request::decode(&frame).unwrap(), request);
+    }
+
+    fn round_trip_response(response: Response) {
+        let frame = response.clone().into_frame(78).unwrap();
+        assert_eq!(frame.request_id, 78);
+        assert!(!frame.opcode.is_request());
+        assert_eq!(Response::decode(&frame).unwrap(), response);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Query(vec![1.0, -2.5]));
+        round_trip_request(Request::QueryBatch(vec![vec![0.0; 3], vec![9.0; 3]]));
+        round_trip_request(Request::Absorb(vec![vec![1.5; 2]]));
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Verdict(Verdict::ok()));
+        round_trip_response(Response::Verdicts(vec![
+            Verdict::ok(),
+            Verdict::warn(vec![Violation::UnknownPattern {
+                word: vec![true, false, true],
+            }]),
+        ]));
+        round_trip_response(Response::Absorbed(42));
+        round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Busy {
+            in_flight: 64,
+            budget: 64,
+        });
+        round_trip_response(Response::Error {
+            code: ErrorCode::Monitor,
+            message: "dimension mismatch".to_string(),
+        });
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let snapshot = StatsSnapshot {
+            engine: ServeReport::aggregate(Vec::new()),
+            engine_queue_depth: 1,
+            wire_in_flight: 2,
+            wire_budget: 16,
+            wire_busy_rejections: 5,
+        };
+        round_trip_response(Response::Stats(Box::new(snapshot)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = Request::Stats.into_frame(1);
+        frame.payload.push(0);
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(WireError::Malformed(_))
+        ));
+        let mut frame = Response::Absorbed(1).into_frame(1).unwrap();
+        frame.payload.push(0);
+        assert!(matches!(
+            Response::decode(&frame),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_direction_opcodes_are_rejected() {
+        let frame = Response::ShuttingDown.into_frame(1).unwrap();
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(WireError::UnknownOpcode(_))
+        ));
+        let frame = Request::Shutdown.into_frame(1);
+        assert!(matches!(
+            Response::decode(&frame),
+            Err(WireError::UnknownOpcode(_))
+        ));
+    }
+}

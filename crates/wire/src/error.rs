@@ -1,0 +1,198 @@
+//! The typed error surface of the wire protocol.
+//!
+//! Every way a peer, the network, or a byte stream can misbehave maps to
+//! one [`WireError`] variant — malformed frames, short reads, version
+//! mismatches, and overload are *values*, never panics. The frame-decoder
+//! property tests feed arbitrary byte strings through the decoder to pin
+//! exactly that.
+
+use napmon_core::wirefmt::WireDecodeError;
+use napmon_serve::ServeError;
+
+/// Error categories a server reports back to a client inside an `Error`
+/// response frame. The numeric value is the on-wire code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The monitor rejected the input (dimension mismatch, not
+    /// store-backed, store failure…).
+    Monitor = 1,
+    /// A shard worker died; the request was not served.
+    ShardDown = 2,
+    /// The request payload did not decode.
+    Malformed = 3,
+    /// The request opcode is not one this server serves.
+    UnsupportedOpcode = 4,
+    /// The frame's protocol version is not the one this server speaks.
+    UnsupportedVersion = 5,
+}
+
+impl ErrorCode {
+    /// Decodes an on-wire error code.
+    pub fn from_wire(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(Self::Monitor),
+            2 => Some(Self::ShardDown),
+            3 => Some(Self::Malformed),
+            4 => Some(Self::UnsupportedOpcode),
+            5 => Some(Self::UnsupportedVersion),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Monitor => "monitor",
+            ErrorCode::ShardDown => "shard-down",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnsupportedOpcode => "unsupported-opcode",
+            ErrorCode::UnsupportedVersion => "unsupported-version",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Anything that can go wrong on the wire.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The frame does not start with the protocol magic.
+    BadMagic([u8; 4]),
+    /// The frame speaks a different protocol version.
+    UnsupportedVersion {
+        /// Version in the received frame.
+        found: u16,
+        /// The single version this build speaks.
+        supported: u16,
+    },
+    /// The frame's opcode byte names no known operation.
+    UnknownOpcode(u8),
+    /// The frame declares a payload larger than the configured limit.
+    PayloadTooLarge {
+        /// Declared payload length.
+        declared: u32,
+        /// Configured limit.
+        limit: u32,
+    },
+    /// The stream ended (or the buffer ran out) mid-frame.
+    Truncated,
+    /// The frame or payload is structurally invalid.
+    Malformed(String),
+    /// The server is at its in-flight budget; retry later.
+    Busy {
+        /// Requests in flight when the server refused.
+        in_flight: u32,
+        /// The server's configured budget.
+        budget: u32,
+    },
+    /// The server answered with a typed error response.
+    Remote {
+        /// The error category the server reported.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The server answered with a frame the request cannot accept.
+    UnexpectedResponse {
+        /// What the client was waiting for.
+        expected: &'static str,
+        /// The opcode byte that arrived instead.
+        got: u8,
+    },
+    /// A response carried a request id the client never sent (pipelining
+    /// desynchronized).
+    RequestIdMismatch {
+        /// The id the client was waiting on.
+        sent: u64,
+        /// The id that arrived.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "peer speaks protocol v{found}, this build speaks v{supported}"
+                )
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::PayloadTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "declared payload of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::Busy { in_flight, budget } => {
+                write!(
+                    f,
+                    "server busy: {in_flight} requests in flight (budget {budget})"
+                )
+            }
+            WireError::Remote { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
+            WireError::UnexpectedResponse { expected, got } => {
+                write!(f, "expected a {expected} response, got opcode {got:#04x}")
+            }
+            WireError::RequestIdMismatch { sent, got } => {
+                write!(f, "response for request {got} while waiting on {sent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<WireDecodeError> for WireError {
+    fn from(e: WireDecodeError) -> Self {
+        match e {
+            WireDecodeError::Truncated => WireError::Truncated,
+            WireDecodeError::Malformed(what) => WireError::Malformed(what.to_string()),
+            other => WireError::Malformed(other.to_string()),
+        }
+    }
+}
+
+impl WireError {
+    /// The error-response code a server uses to report this failure.
+    pub(crate) fn as_code(&self) -> ErrorCode {
+        match self {
+            WireError::UnsupportedVersion { .. } => ErrorCode::UnsupportedVersion,
+            WireError::UnknownOpcode(_) => ErrorCode::UnsupportedOpcode,
+            _ => ErrorCode::Malformed,
+        }
+    }
+}
+
+/// Maps an engine-side serving failure onto its wire error code.
+pub(crate) fn serve_error_code(e: &ServeError) -> ErrorCode {
+    match e {
+        ServeError::Monitor(_) => ErrorCode::Monitor,
+        ServeError::ShardDown => ErrorCode::ShardDown,
+    }
+}

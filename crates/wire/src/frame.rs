@@ -1,0 +1,333 @@
+//! The framed binary protocol: one fixed header per message.
+//!
+//! Every message — request or response, either direction — is one frame:
+//!
+//! ```text
+//! offset size field
+//!      0    4 magic            b"NAPW"
+//!      4    2 protocol version u16 LE (this build: [`WIRE_PROTOCOL_VERSION`])
+//!      6    1 opcode           [`Opcode`]
+//!      7    1 reserved         must be 0 (future flags)
+//!      8    8 request id       u64 LE; responses echo the request's id
+//!     16    4 payload length   u32 LE
+//!     20    n payload          opcode-specific (see `codec`)
+//! ```
+//!
+//! The header is fixed-size and self-describing, so a reader always knows
+//! how many bytes the frame still owes before interpreting any of them.
+//! Decoding is total: any byte string yields either a frame or a typed
+//! [`WireError`] — never a panic, and never a read past the declared
+//! length (pinned against arbitrary inputs by `tests/frame_props.rs`).
+//!
+//! **Version negotiation policy:** there is no negotiation — each protocol
+//! epoch has exactly one version, carried in every frame. A server
+//! receiving a foreign version answers with a typed `Error` response
+//! naming the version it speaks and closes the connection; the client
+//! surfaces that as [`WireError::UnsupportedVersion`]. Mixed-version
+//! deployments upgrade the servers first (a new client never talks down).
+
+use crate::error::WireError;
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"NAPW";
+
+/// The single protocol version this build speaks (see the
+/// [module docs](self) for the policy).
+pub const WIRE_PROTOCOL_VERSION: u16 = 1;
+
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 20;
+
+/// Default cap on a frame's declared payload length (32 MiB): large enough
+/// for a several-thousand-input batch, small enough that a forged length
+/// cannot balloon server memory.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 32 << 20;
+
+/// Every operation the protocol knows, requests and responses.
+///
+/// Requests occupy the low range, responses have the top bit set; `Busy`
+/// and `Error` are responses any request may receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Request: one input vector, answer one verdict.
+    Query = 0x01,
+    /// Request: a batch of input vectors, answer a verdict batch.
+    QueryBatch = 0x02,
+    /// Request: absorb a batch of inputs into the store-backed members.
+    Absorb = 0x03,
+    /// Request: snapshot the engine's serving metrics.
+    Stats = 0x04,
+    /// Request: begin a graceful server shutdown (drain, then close).
+    Shutdown = 0x05,
+    /// Response to [`Opcode::Query`]: one encoded verdict.
+    Verdict = 0x81,
+    /// Response to [`Opcode::QueryBatch`]: an encoded verdict batch.
+    Verdicts = 0x82,
+    /// Response to [`Opcode::Absorb`]: `u64` count of new patterns.
+    Absorbed = 0x83,
+    /// Response to [`Opcode::Stats`]: a JSON [`ServeReport`] plus wire
+    /// gauges.
+    ///
+    /// [`ServeReport`]: napmon_serve::ServeReport
+    StatsReport = 0x84,
+    /// Response to [`Opcode::Shutdown`]: acknowledged, draining.
+    ShuttingDown = 0x85,
+    /// Response: the in-flight budget is exhausted; retry later.
+    Busy = 0x90,
+    /// Response: the request failed; payload carries code + message.
+    Error = 0xFF,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownOpcode`] for bytes naming no operation.
+    pub fn from_wire(byte: u8) -> Result<Self, WireError> {
+        Ok(match byte {
+            0x01 => Opcode::Query,
+            0x02 => Opcode::QueryBatch,
+            0x03 => Opcode::Absorb,
+            0x04 => Opcode::Stats,
+            0x05 => Opcode::Shutdown,
+            0x81 => Opcode::Verdict,
+            0x82 => Opcode::Verdicts,
+            0x83 => Opcode::Absorbed,
+            0x84 => Opcode::StatsReport,
+            0x85 => Opcode::ShuttingDown,
+            0x90 => Opcode::Busy,
+            0xFF => Opcode::Error,
+            other => return Err(WireError::UnknownOpcode(other)),
+        })
+    }
+
+    /// Whether this opcode is a request (client → server).
+    pub fn is_request(self) -> bool {
+        matches!(
+            self,
+            Opcode::Query | Opcode::QueryBatch | Opcode::Absorb | Opcode::Stats | Opcode::Shutdown
+        )
+    }
+}
+
+/// One decoded frame: the header fields plus the owned payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The operation (or response kind).
+    pub opcode: Opcode,
+    /// Correlates responses with requests across pipelining.
+    pub request_id: u64,
+    /// Opcode-specific payload bytes (see `codec`).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with no payload.
+    pub fn empty(opcode: Opcode, request_id: u64) -> Self {
+        Self {
+            opcode,
+            request_id,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Encodes the frame (header + payload) into one buffer, ready for a
+    /// single write.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&WIRE_PROTOCOL_VERSION.to_le_bytes());
+        out.push(self.opcode as u8);
+        out.push(0); // reserved
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// Pure and total: arbitrary inputs yield a frame or a typed error,
+    /// and no more than `HEADER_LEN + declared length` bytes are ever
+    /// examined.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when `bytes` holds less than one whole
+    /// frame, [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`]
+    /// / [`WireError::UnknownOpcode`] / [`WireError::Malformed`] for
+    /// invalid header fields, and [`WireError::PayloadTooLarge`] when the
+    /// declared length exceeds `max_payload`.
+    pub fn decode(bytes: &[u8], max_payload: u32) -> Result<(Self, usize), WireError> {
+        let Some(header) = bytes.first_chunk::<HEADER_LEN>() else {
+            return Err(WireError::Truncated);
+        };
+        let declared = Self::decode_header(header, max_payload)?;
+        let total = HEADER_LEN + declared.payload_len as usize;
+        if bytes.len() < total {
+            return Err(WireError::Truncated);
+        }
+        Ok((
+            Self {
+                opcode: declared.opcode,
+                request_id: declared.request_id,
+                payload: bytes[HEADER_LEN..total].to_vec(),
+            },
+            total,
+        ))
+    }
+
+    /// Validates a fixed-size header and returns its fields; the payload
+    /// is read separately (streaming readers need the length before the
+    /// bytes exist).
+    ///
+    /// # Errors
+    ///
+    /// Same header conditions as [`Frame::decode`].
+    pub fn decode_header(
+        header: &[u8; HEADER_LEN],
+        max_payload: u32,
+    ) -> Result<FrameHeader, WireError> {
+        let magic: [u8; 4] = header[0..4].try_into().expect("fixed slice");
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(header[4..6].try_into().expect("fixed slice"));
+        if version != WIRE_PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                found: version,
+                supported: WIRE_PROTOCOL_VERSION,
+            });
+        }
+        let opcode = Opcode::from_wire(header[6])?;
+        if header[7] != 0 {
+            return Err(WireError::Malformed(format!(
+                "reserved header byte is {:#04x}, must be 0",
+                header[7]
+            )));
+        }
+        let request_id = u64::from_le_bytes(header[8..16].try_into().expect("fixed slice"));
+        let payload_len = u32::from_le_bytes(header[16..20].try_into().expect("fixed slice"));
+        if payload_len > max_payload {
+            return Err(WireError::PayloadTooLarge {
+                declared: payload_len,
+                limit: max_payload,
+            });
+        }
+        Ok(FrameHeader {
+            opcode,
+            request_id,
+            payload_len,
+        })
+    }
+}
+
+/// The validated fields of a frame header, before the payload arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The operation (or response kind).
+    pub opcode: Opcode,
+    /// Correlation id.
+    pub request_id: u64,
+    /// Declared payload length, already checked against the cap.
+    pub payload_len: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frame = Frame {
+            opcode: Opcode::QueryBatch,
+            request_id: 0xDEAD_BEEF_0042,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = frame.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + 5);
+        let (back, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let bytes = Frame {
+            opcode: Opcode::Query,
+            request_id: 9,
+            payload: vec![7; 16],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD),
+                Err(WireError::Truncated)
+            ));
+        }
+    }
+
+    #[test]
+    fn header_corruption_is_typed() {
+        let good = Frame::empty(Opcode::Stats, 1).encode();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99; // version
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::UnsupportedVersion { found: 99, .. })
+        ));
+
+        let mut bad = good.clone();
+        bad[6] = 0x7E; // opcode
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::UnknownOpcode(0x7E))
+        ));
+
+        let mut bad = good.clone();
+        bad[7] = 1; // reserved
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Malformed(_))
+        ));
+
+        let mut bad = good;
+        bad[16..20].copy_from_slice(&u32::MAX.to_le_bytes()); // length
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_for_the_next_frame() {
+        let mut bytes = Frame::empty(Opcode::Stats, 4).encode();
+        let second = Frame::empty(Opcode::Shutdown, 5).encode();
+        bytes.extend_from_slice(&second);
+        let (first, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(first.opcode, Opcode::Stats);
+        let (next, _) = Frame::decode(&bytes[consumed..], DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(next.opcode, Opcode::Shutdown);
+    }
+
+    #[test]
+    fn request_and_response_opcodes_partition() {
+        for byte in 0..=u8::MAX {
+            if let Ok(op) = Opcode::from_wire(byte) {
+                assert_eq!(op as u8, byte);
+                assert_eq!(op.is_request(), byte < 0x80, "{op:?}");
+            }
+        }
+    }
+}

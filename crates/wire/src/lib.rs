@@ -1,0 +1,81 @@
+//! Networked monitoring: the sharded engine behind a TCP boundary.
+//!
+//! The paper's monitors run *in operation* beside a deployed DNN; after
+//! `napmon-serve` they run hot and sharded — but only inside the process
+//! that mounted them. This crate is the network boundary that turns the
+//! library into a deployable service: a length-prefixed, versioned binary
+//! frame protocol (pure `std::net`, no async runtime) carrying the
+//! engine's whole serving surface — `Query`, `QueryBatch`, `Absorb`
+//! (operation-time monitor enlargement over the wire), `Stats`, and
+//! graceful `Shutdown`.
+//!
+//! ```text
+//! clients (any host)                      monitoring service
+//! ┌───────────────┐  framed TCP  ┌─────────────────────────────────┐
+//! │ WireClient    │ ───────────► │ WireServer                      │
+//! │  query_batch  │   NAPW v1    │  thread per connection          │
+//! │  absorb_batch │ ◄─────────── │  global in-flight budget (Busy) │
+//! │  stats        │              │  MonitorEngine: N shards        │
+//! └───────────────┘              └─────────────────────────────────┘
+//! ```
+//!
+//! Design invariants, pinned by this crate's tests:
+//!
+//! - **No panic on any byte string.** The frame decoder and every payload
+//!   decoder are total: arbitrary input yields a value or a typed
+//!   [`WireError`] (`tests/frame_props.rs` fuzzes this).
+//! - **Backpressure is typed.** Over-budget requests get a `Busy`
+//!   response with the budget figures; bytes are never dropped and the
+//!   connection stays framed.
+//! - **Wire verdicts are bit-identical** to direct
+//!   [`MonitorEngine::submit_batch`](napmon_serve::MonitorEngine::submit_batch)
+//!   calls on the same engine — the wire encoding of a
+//!   [`Verdict`](napmon_core::Verdict) is lossless (`tests/e2e.rs`).
+//! - **Shutdown drains.** In-flight requests are served and answered
+//!   before the engine's final report (queue depth zero) comes back.
+//!
+//! # Example
+//!
+//! ```
+//! use napmon_core::{MonitorKind, MonitorSpec};
+//! use napmon_nn::{Activation, LayerSpec, Network};
+//! use napmon_serve::{EngineConfig, MonitorEngine};
+//! use napmon_wire::{WireClient, WireConfig, WireServer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Network::seeded(7, 4, &[
+//!     LayerSpec::dense(8, Activation::Relu),
+//!     LayerSpec::dense(2, Activation::Identity),
+//! ]);
+//! let train: Vec<Vec<f64>> = (0..32)
+//!     .map(|i| (0..4).map(|j| ((i + j) % 8) as f64 / 8.0).collect())
+//!     .collect();
+//! let spec = MonitorSpec::new(2, MonitorKind::pattern());
+//! let monitor = spec.build(&net, &train)?;
+//!
+//! let engine = MonitorEngine::new(net, monitor, EngineConfig::with_shards(2));
+//! let server = WireServer::bind("127.0.0.1:0", engine, WireConfig::default())?;
+//!
+//! let mut client = WireClient::connect(server.local_addr())?;
+//! let verdicts = client.query_batch(&train)?;
+//! assert!(verdicts.iter().all(|v| !v.warning));
+//! client.shutdown_server()?;
+//! let report = server.wait();
+//! assert_eq!(report.queue_depth, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod server;
+
+pub use client::WireClient;
+pub use codec::{Request, Response, StatsSnapshot, MAX_BATCH_INPUTS};
+pub use error::{ErrorCode, WireError};
+pub use frame::{
+    Frame, FrameHeader, Opcode, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, WIRE_PROTOCOL_VERSION,
+};
+pub use server::{WireConfig, WireServer};

@@ -1,0 +1,542 @@
+//! The serving side: a TCP listener over a sharded [`MonitorEngine`].
+//!
+//! One OS thread accepts connections; each connection gets its own
+//! handler thread holding a clone of the engine handle (the engine is
+//! `Sync` — shards are shared, not per-connection). Requests on one
+//! connection are served in arrival order, so a pipelining client reads
+//! responses in the order it wrote requests; concurrency comes from
+//! connections, parallelism from the engine's shards.
+//!
+//! **Backpressure is a typed response, not dropped bytes.** A global
+//! in-flight budget bounds the work admitted across all connections;
+//! a request over budget is answered with a `Busy` frame carrying the
+//! budget figures, and the bytes already read stay framed — the
+//! connection remains usable.
+//!
+//! **Shutdown drains.** A `Shutdown` request (or [`WireServer::shutdown`])
+//! stops the accept loop and lets every connection finish the frames it
+//! has started — in-flight requests are served, responses written — before
+//! the engine itself drains its shard queues and reports final metrics.
+//! A client that disconnects mid-request costs nothing: its work completes
+//! in the engine and the unsendable reply is dropped.
+
+use crate::codec::{Request, Response, StatsSnapshot};
+use crate::error::{serve_error_code, WireError};
+use crate::frame::{Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use napmon_artifact::ArtifactError;
+use napmon_core::ComposedMonitor;
+use napmon_serve::{EngineConfig, MonitorEngine, ServeReport};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for a [`WireServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Global budget of requests being served at once (work opcodes:
+    /// `Query`, `QueryBatch`, `Absorb`). A request arriving over budget is
+    /// answered `Busy`. Zero is treated as one.
+    pub max_in_flight: usize,
+    /// Cap on live connections — the bound on the server's dominant
+    /// resource (one OS thread per connection, budget or not). An accept
+    /// over the cap is answered with a `Busy` frame and closed. Zero is
+    /// treated as one.
+    pub max_connections: usize,
+    /// Largest payload a frame may declare; a larger declaration fails
+    /// typed before any allocation.
+    pub max_payload: u32,
+    /// How often blocked reads and the accept loop re-check the shutdown
+    /// flag. Also the granularity of drain waits.
+    pub poll_interval: Duration,
+    /// How long a mid-frame read may stall during shutdown before the
+    /// connection is abandoned as dead.
+    pub drain_grace: Duration,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 256,
+            max_connections: 1024,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            poll_interval: Duration::from_millis(10),
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+impl WireConfig {
+    fn normalized(self) -> Self {
+        Self {
+            max_in_flight: self.max_in_flight.max(1),
+            max_connections: self.max_connections.max(1),
+            poll_interval: self.poll_interval.max(Duration::from_millis(1)),
+            ..self
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    engine: Arc<MonitorEngine<ComposedMonitor>>,
+    config: WireConfig,
+    shutting_down: AtomicBool,
+    in_flight: AtomicUsize,
+    busy_rejections: AtomicU64,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Admits one work request against the in-flight budget. The guard
+    /// releases the slot on drop.
+    ///
+    /// The budget is counted in wire requests only — the engine's shard
+    /// backlog is measured in micro-batch *jobs*, a different unit, and
+    /// every queued job already belongs to a request holding a slot here,
+    /// so gating on it again would refuse legal traffic.
+    fn try_admit(&self) -> Result<InFlightGuard<'_>, (u32, u32)> {
+        let budget = self.config.max_in_flight;
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= budget {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err((prev as u32, budget as u32));
+        }
+        Ok(InFlightGuard { shared: self })
+    }
+}
+
+struct InFlightGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A live TCP monitoring service over one [`MonitorEngine`].
+///
+/// Construction binds and starts accepting; the server runs until a
+/// client sends `Shutdown` or the owner calls [`WireServer::shutdown`].
+/// Either way the same drain runs: connections finish their started
+/// frames, the engine drains its shard queues, and the final
+/// [`ServeReport`] comes back to the owner.
+pub struct WireServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl WireServer {
+    /// Binds `addr` and starts serving `engine`.
+    ///
+    /// Bind to port 0 for an OS-assigned port ([`WireServer::local_addr`]
+    /// reports it).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the address cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: MonitorEngine<ComposedMonitor>,
+        config: WireConfig,
+    ) -> Result<Self, WireError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // The accept loop polls, so the shutdown flag can stop it without
+        // a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            engine: Arc::new(engine),
+            config: config.normalized(),
+            shutting_down: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            busy_rejections: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("napmon-wire-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept loop");
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// Cold start: loads and validates a [`MonitorArtifact`] file, mounts
+    /// it on a fresh engine, and serves it — the whole "deploy a monitor
+    /// from one file" path. Store-backed artifacts reattach to their
+    /// on-disk segments, so this is also the warm-restart entry point.
+    ///
+    /// [`MonitorArtifact`]: napmon_artifact::MonitorArtifact
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] from the load, or [`WireError::Io`] (inside
+    /// `ArtifactError::Io`) if the address cannot be bound.
+    pub fn serve_artifact_file(
+        path: impl AsRef<Path>,
+        addr: impl ToSocketAddrs,
+        engine_config: EngineConfig,
+        wire_config: WireConfig,
+    ) -> Result<Self, ArtifactError> {
+        let engine = MonitorEngine::from_artifact_file(path, engine_config)?;
+        Self::bind(addr, engine, wire_config).map_err(|e| match e {
+            WireError::Io(io) => ArtifactError::Io(io),
+            other => ArtifactError::Io(std::io::Error::other(other.to_string())),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served engine (shared with the connection threads).
+    pub fn engine(&self) -> &MonitorEngine<ComposedMonitor> {
+        &self.shared.engine
+    }
+
+    /// Whether a shutdown has been initiated (by a client or the owner).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Blocks until a client initiates shutdown, then drains and returns
+    /// the engine's final report (see [`WireServer::shutdown`]).
+    pub fn wait(self) -> ServeReport {
+        while !self.shared.shutting_down() {
+            std::thread::sleep(self.shared.config.poll_interval);
+        }
+        self.drain()
+    }
+
+    /// Graceful shutdown from the owning side: stops accepting, lets every
+    /// connection finish its started frames, drains the engine's shard
+    /// queues, and returns the final aggregated report (its
+    /// `queue_depth` is zero — the drain guarantee).
+    pub fn shutdown(self) -> ServeReport {
+        self.drain()
+    }
+
+    fn drain(mut self) -> ServeReport {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        if let Some(accept) = self.accept.take() {
+            for conn in accept.join().unwrap_or_default() {
+                let _ = conn.join();
+            }
+        }
+        // Every serving thread has been joined, so this owner holds the
+        // last handle at both levels and neither unwrap can fail; the
+        // fallbacks snapshot rather than panic in a shutdown path.
+        let WireServer { shared, .. } = self;
+        match Arc::try_unwrap(shared) {
+            Ok(shared) => match MonitorEngine::shutdown_shared(shared.engine) {
+                Ok(report) => report,
+                Err(engine) => engine.report(),
+            },
+            Err(shared) => shared.engine.report(),
+        }
+    }
+}
+
+/// Joins (and drops) every handle whose thread has already exited, so a
+/// long-lived server's bookkeeping scales with *concurrent* connections,
+/// not with every connection ever accepted.
+fn reap_finished(connections: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < connections.len() {
+        if connections[i].is_finished() {
+            let _ = connections.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Accepts until shutdown; returns the live connection handles for
+/// joining.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn = 0usize;
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                reap_finished(&mut connections);
+                // The thread-per-connection model makes live connections
+                // the server's dominant resource; over the cap, the
+                // refusal is a typed Busy frame, not a silent drop.
+                if connections.len() >= shared.config.max_connections {
+                    let refusal = Response::Busy {
+                        in_flight: connections.len() as u32,
+                        budget: shared.config.max_connections as u32,
+                    };
+                    if let Ok(frame) = refusal.into_frame(0) {
+                        let _ = stream.write_all(&frame.encode());
+                    }
+                    shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let conn_shared = Arc::clone(shared);
+                let id = next_conn;
+                next_conn += 1;
+                let handle = std::thread::Builder::new()
+                    .name(format!("napmon-wire-conn-{id}"))
+                    .spawn(move || handle_connection(stream, &conn_shared))
+                    .expect("spawn connection handler");
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                reap_finished(&mut connections);
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // A failed accept (fd pressure, transient network error)
+            // affects that one connection attempt, not the server.
+            Err(_) => std::thread::sleep(shared.config.poll_interval),
+        }
+    }
+    connections
+}
+
+/// What one attempt to read a fixed number of bytes produced.
+enum ReadOutcome<T> {
+    /// The buffer is full.
+    Full(T),
+    /// The peer closed (or shutdown fired) before the first byte.
+    Closed,
+}
+
+/// Serves one connection until EOF, a fatal frame error, or drained
+/// shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    loop {
+        let header = match read_header(&mut stream, shared) {
+            Ok(ReadOutcome::Full(header)) => header,
+            Ok(ReadOutcome::Closed) => return,
+            Err(e) => {
+                // The stream is unframed from here; report and close.
+                respond_error_raw(&mut stream, 0, &e);
+                return;
+            }
+        };
+        // The request id is at a fixed offset, so even a frame that fails
+        // validation gets its error correlated — unless the magic itself
+        // is wrong, in which case the offset means nothing.
+        let raw_id = u64::from_le_bytes(header[8..16].try_into().expect("fixed slice"));
+        let parsed = match Frame::decode_header(&header, shared.config.max_payload) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                let id = if header[0..4] == crate::frame::MAGIC {
+                    raw_id
+                } else {
+                    0
+                };
+                respond_error_raw(&mut stream, id, &e);
+                return;
+            }
+        };
+        let payload = match read_payload(&mut stream, shared, parsed.payload_len as usize) {
+            Ok(payload) => payload,
+            Err(_) => return, // peer died mid-frame; nothing to answer
+        };
+        let frame = Frame {
+            opcode: parsed.opcode,
+            request_id: parsed.request_id,
+            payload,
+        };
+        let (response, initiated_shutdown) = serve_frame(&frame, shared);
+        match response.into_frame(parsed.request_id) {
+            Ok(reply) => {
+                if stream.write_all(&reply.encode()).is_err() {
+                    // Disconnected client: the work is done (the engine
+                    // served it); only the reply is lost.
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+        if initiated_shutdown {
+            shared.shutting_down.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
+/// Serves one decoded frame; the bool reports whether it asked for
+/// shutdown.
+fn serve_frame(frame: &Frame, shared: &Arc<Shared>) -> (Response, bool) {
+    let request = match Request::decode(frame) {
+        Ok(request) => request,
+        Err(e) => {
+            return (
+                Response::Error {
+                    code: e.as_code(),
+                    message: e.to_string(),
+                },
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Query(input) => with_admission(shared, |engine| {
+            engine
+                .submit(input)
+                .map(Response::Verdict)
+                .unwrap_or_else(|e| serve_error_response(&e))
+        }),
+        Request::QueryBatch(inputs) => with_admission(shared, |engine| {
+            engine
+                .submit_batch(inputs)
+                .map(Response::Verdicts)
+                .unwrap_or_else(|e| serve_error_response(&e))
+        }),
+        Request::Absorb(inputs) => with_admission(shared, |engine| {
+            engine
+                .absorb_batch(&inputs)
+                .map(|fresh| Response::Absorbed(fresh as u64))
+                .unwrap_or_else(|e| serve_error_response(&e))
+        }),
+        Request::Stats => (
+            Response::Stats(Box::new(StatsSnapshot {
+                engine: shared.engine.report(),
+                engine_queue_depth: shared.engine.queue_depth() as u64,
+                wire_in_flight: shared.in_flight.load(Ordering::Acquire) as u32,
+                wire_budget: shared.config.max_in_flight as u32,
+                wire_busy_rejections: shared.busy_rejections.load(Ordering::Relaxed),
+            })),
+            false,
+        ),
+        Request::Shutdown => (Response::ShuttingDown, true),
+    }
+}
+
+/// Runs a work request under the in-flight budget, or answers `Busy`.
+fn with_admission(
+    shared: &Arc<Shared>,
+    work: impl FnOnce(&MonitorEngine<ComposedMonitor>) -> Response,
+) -> (Response, bool) {
+    match shared.try_admit() {
+        Ok(_guard) => (work(&shared.engine), false),
+        Err((in_flight, budget)) => (Response::Busy { in_flight, budget }, false),
+    }
+}
+
+fn serve_error_response(e: &napmon_serve::ServeError) -> Response {
+    Response::Error {
+        code: serve_error_code(e),
+        message: e.to_string(),
+    }
+}
+
+/// Best-effort typed error reply on a stream that may already be broken,
+/// followed by a polite hangup: half-close the write side, then drain
+/// whatever the peer already sent. Closing with unread bytes would reset
+/// the connection and could discard the error frame before the peer reads
+/// it.
+fn respond_error_raw(stream: &mut TcpStream, request_id: u64, e: &WireError) {
+    let response = Response::Error {
+        code: e.as_code(),
+        message: e.to_string(),
+    };
+    if let Ok(frame) = response.into_frame(request_id) {
+        let _ = stream.write_all(&frame.encode());
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    let deadline = std::time::Instant::now() + Duration::from_secs(1);
+    while std::time::Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads a whole header, tolerating read timeouts. Between frames a
+/// shutdown (with no bytes read yet) closes cleanly; once a frame has
+/// started it is read to completion so it can be served — the drain
+/// guarantee.
+fn read_header(
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> Result<ReadOutcome<[u8; HEADER_LEN]>, WireError> {
+    let mut buf = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    let mut stalled = Duration::ZERO;
+    while filled < HEADER_LEN {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(ReadOutcome::Closed)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                stalled = Duration::ZERO;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutting_down() {
+                    if filled == 0 {
+                        return Ok(ReadOutcome::Closed);
+                    }
+                    stalled += shared.config.poll_interval;
+                    if stalled >= shared.config.drain_grace {
+                        // A peer that started a frame but stopped sending
+                        // cannot hold the drain hostage.
+                        return Err(WireError::Truncated);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Full(buf))
+}
+
+/// Reads a declared payload to completion (the frame has started; it will
+/// be served), subject to the same drain grace as headers.
+fn read_payload(stream: &mut TcpStream, shared: &Shared, len: usize) -> Result<Vec<u8>, WireError> {
+    let mut buf = vec![0u8; len];
+    let mut filled = 0usize;
+    let mut stalled = Duration::ZERO;
+    while filled < len {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => {
+                filled += n;
+                stalled = Duration::ZERO;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutting_down() {
+                    stalled += shared.config.poll_interval;
+                    if stalled >= shared.config.drain_grace {
+                        return Err(WireError::Truncated);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(buf)
+}

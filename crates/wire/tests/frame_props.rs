@@ -1,0 +1,148 @@
+//! Property tests: the frame and payload decoders are *total*.
+//!
+//! A network peer controls every byte a server reads, so the decoding
+//! pipeline must map **any** byte string to either a value or a typed
+//! [`WireError`] — never a panic, never an out-of-bounds read, never an
+//! attacker-sized allocation. These properties feed arbitrary bytes (and
+//! adversarially mutated valid frames, which get past the header checks
+//! and stress the payload decoders) through every decoding entry point.
+
+use napmon_core::wirefmt;
+use napmon_wire::{Frame, Opcode, Request, Response, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use proptest::prelude::*;
+
+/// A tight payload cap so forged-length checks are reachable from small
+/// generated inputs.
+const SMALL_MAX_PAYLOAD: u32 = 1 << 16;
+
+/// Every opcode, for building valid-header frames around arbitrary
+/// payloads.
+const OPCODES: [Opcode; 12] = [
+    Opcode::Query,
+    Opcode::QueryBatch,
+    Opcode::Absorb,
+    Opcode::Stats,
+    Opcode::Shutdown,
+    Opcode::Verdict,
+    Opcode::Verdicts,
+    Opcode::Absorbed,
+    Opcode::StatsReport,
+    Opcode::ShuttingDown,
+    Opcode::Busy,
+    Opcode::Error,
+];
+
+/// Decoding must not read past the end, allocate per forged counts, or
+/// panic; on success it must consume within bounds.
+fn check_frame_decode(bytes: &[u8], max_payload: u32) {
+    match Frame::decode(bytes, max_payload) {
+        Ok((frame, consumed)) => {
+            assert!(consumed <= bytes.len());
+            assert_eq!(consumed, HEADER_LEN + frame.payload.len());
+            // A decoded frame re-encodes to exactly the bytes consumed.
+            assert_eq!(frame.encode(), bytes[..consumed]);
+            // The payload decoders are total too, whatever the opcode.
+            let _ = Request::decode(&frame);
+            let _ = Response::decode(&frame);
+        }
+        Err(e) => drop(e), // typed failure is the other legal outcome
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte strings: most fail the magic check, some get deeper.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(0u8..=255, 0..96)) {
+        check_frame_decode(&bytes, DEFAULT_MAX_PAYLOAD);
+        check_frame_decode(&bytes, SMALL_MAX_PAYLOAD);
+    }
+
+    /// Byte strings opening with the protocol magic: these exercise the
+    /// version/opcode/reserved/length checks rather than dying at byte 0.
+    #[test]
+    fn magic_prefixed_bytes_never_panic(tail in collection::vec(0u8..=255, 0..96)) {
+        let mut bytes = napmon_wire::MAGIC.to_vec();
+        bytes.extend_from_slice(&tail);
+        check_frame_decode(&bytes, SMALL_MAX_PAYLOAD);
+    }
+
+    /// Structurally valid frames around arbitrary payload bytes: the
+    /// header decodes clean, so the payload decoders see every input.
+    #[test]
+    fn valid_frames_with_arbitrary_payloads_never_panic(
+        opcode_index in 0usize..12,
+        request_id in 0u64..u64::MAX,
+        payload in collection::vec(0u8..=255, 0..80),
+    ) {
+        let frame = Frame {
+            opcode: OPCODES[opcode_index],
+            request_id,
+            payload,
+        };
+        let bytes = frame.encode();
+        let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD)
+            .expect("a well-formed frame must decode");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&decoded, &frame);
+        let _ = Request::decode(&decoded);
+        let _ = Response::decode(&decoded);
+        // Every strict prefix is a typed Truncated, nothing else.
+        for cut in [0, 1, HEADER_LEN.min(bytes.len() - 1), bytes.len() - 1] {
+            prop_assert!(matches!(
+                Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD),
+                Err(WireError::Truncated)
+            ));
+        }
+    }
+
+    /// Mutating one byte of a valid frame yields a frame or a typed
+    /// error — and the verdict payload decoder in particular stays total
+    /// under corruption of a real verdict encoding.
+    #[test]
+    fn mutated_verdict_payloads_never_panic(
+        flip_at in 0usize..1000,
+        flip_to in 0u8..=255,
+    ) {
+        use napmon_core::{Verdict, Violation};
+        let mut payload = Vec::new();
+        wirefmt::put_verdicts(&mut payload, &[
+            Verdict::ok(),
+            Verdict::warn(vec![
+                Violation::BelowMin { neuron: 2, value: -0.5, bound: 0.0 },
+                Violation::UnknownPattern { word: (0..19).map(|i| i % 2 == 0).collect() },
+            ]),
+        ]);
+        let mut frame = Frame {
+            opcode: Opcode::Verdicts,
+            request_id: 1,
+            payload,
+        };
+        let index = flip_at % frame.payload.len();
+        frame.payload[index] = flip_to;
+        let _ = Response::decode(&frame); // value or typed error, no panic
+    }
+
+    /// The low-level value decoders never read past their buffer: after a
+    /// successful decode the remaining slice is a suffix of the input.
+    #[test]
+    fn value_decoders_respect_bounds(bytes in collection::vec(0u8..=255, 0..64)) {
+        let mut cursor = bytes.as_slice();
+        if let Ok(features) = wirefmt::get_features(&mut cursor) {
+            prop_assert!(cursor.len() <= bytes.len());
+            prop_assert_eq!(
+                bytes.len() - cursor.len(),
+                4 + 8 * features.len()
+            );
+        }
+        let mut cursor = bytes.as_slice();
+        if wirefmt::get_verdict(&mut cursor).is_ok() {
+            prop_assert!(cursor.len() <= bytes.len());
+        }
+        let mut cursor = bytes.as_slice();
+        if wirefmt::get_verdicts(&mut cursor).is_ok() {
+            prop_assert!(cursor.len() <= bytes.len());
+        }
+    }
+}

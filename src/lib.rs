@@ -22,7 +22,9 @@
 //! - [`data`] — synthetic datasets standing in for the paper's race-track lab,
 //! - [`eval`] — the experiment harness regenerating the paper's evaluation,
 //! - [`serve`] — the long-lived sharded serving engine keeping a monitor hot
-//!   next to a deployed network (bootable straight from an artifact file).
+//!   next to a deployed network (bootable straight from an artifact file),
+//! - [`wire`] — the network boundary: a framed binary TCP protocol serving
+//!   the engine to remote clients (query, absorb, stats, graceful shutdown).
 //!
 //! ## Quickstart: spec-first
 //!
@@ -79,3 +81,4 @@ pub use napmon_nn as nn;
 pub use napmon_serve as serve;
 pub use napmon_store as store;
 pub use napmon_tensor as tensor;
+pub use napmon_wire as wire;
