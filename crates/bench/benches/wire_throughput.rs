@@ -54,6 +54,14 @@ struct ClientRow {
     batch_rtt_us: f64,
     /// Requests served during measurement.
     requests: u64,
+    /// `Busy`-shaped refusals during the row (budget + watermark +
+    /// connection cap). Zero on a healthy run: the bench never
+    /// oversubscribes the default budget.
+    degraded_busy: u64,
+    /// Requests shed at the queue watermark during the row.
+    degraded_shed: u64,
+    /// Connections evicted (idle or stalled) during the row.
+    degraded_evicted: u64,
 }
 
 #[derive(Serialize)]
@@ -158,6 +166,13 @@ fn main() {
             batches += b;
             elapsed = elapsed.max(e.as_secs_f64());
         }
+        // The degradation ledger for the row: a healthy saturation run
+        // sheds nothing, and the committed report pins that.
+        let degraded = WireClient::connect(addr)
+            .expect("stats connect")
+            .stats()
+            .expect("stats")
+            .degraded;
         server.shutdown();
         let qps = served as f64 / elapsed;
         let batch_rtt_us = if batches == 0 {
@@ -178,6 +193,9 @@ fn main() {
             speedup_vs_1client: speedup,
             batch_rtt_us,
             requests: served,
+            degraded_busy: degraded.busy_total(),
+            degraded_shed: degraded.shed_watermark,
+            degraded_evicted: degraded.evicted_total(),
         });
     }
 

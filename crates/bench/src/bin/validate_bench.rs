@@ -274,6 +274,14 @@ fn validate_wire_report() {
             positive(name, row, "speedup_vs_1client");
             positive(name, row, "batch_rtt_us");
             positive(name, row, "requests");
+            // Degradation counters are legitimately zero on a healthy
+            // run, so they are required but only bounded below.
+            for key in WIRE_DEGRADED_KEYS {
+                let Value::Number(n) = field(name, row, key) else {
+                    panic!("{name}: `{key}` is not a number");
+                };
+                assert!(n.as_f64() >= 0.0, "{name}: `{key}` is negative");
+            }
             positive(name, row, "clients") as u64
         })
         .collect();
@@ -311,7 +319,19 @@ struct CompareSpec {
     top_ratio_ceiling: &'static [&'static str],
     /// Per-row within-run ratios, higher is better.
     row_ratio_floor: &'static [&'static str],
+    /// Per-row keys that may appear in the fresh report without existing
+    /// in the baseline — a one-way tolerance for *additive* schema
+    /// growth, so a PR introducing new counters does not trip the drift
+    /// gate against the pre-PR baseline. A key *vanishing* is still
+    /// drift, and once the baseline carries the key it is compared like
+    /// any other.
+    row_tolerated_new: &'static [&'static str],
 }
+
+/// The degradation counters `BENCH_wire.json` rows grew with the
+/// graceful-degradation work; shared by schema validation and the
+/// compare-mode tolerance.
+const WIRE_DEGRADED_KEYS: [&str; 3] = ["degraded_busy", "degraded_shed", "degraded_evicted"];
 
 const COMPARE_SPECS: [CompareSpec; 5] = [
     CompareSpec {
@@ -324,6 +344,7 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         top_ratio_floor: &["min_speedup_vs_naive_vec_bool"],
         top_ratio_ceiling: &[],
         row_ratio_floor: &["membership_speedup"],
+        row_tolerated_new: &[],
     },
     CompareSpec {
         name: "BENCH_serve.json",
@@ -338,6 +359,7 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         top_ratio_floor: &[],
         top_ratio_ceiling: &[],
         row_ratio_floor: &[],
+        row_tolerated_new: &[],
     },
     CompareSpec {
         name: "BENCH_artifact.json",
@@ -349,6 +371,7 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         top_ratio_floor: &[],
         top_ratio_ceiling: &[],
         row_ratio_floor: &[],
+        row_tolerated_new: &[],
     },
     CompareSpec {
         name: "BENCH_store.json",
@@ -360,6 +383,7 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         top_ratio_floor: &[],
         top_ratio_ceiling: &[],
         row_ratio_floor: &[],
+        row_tolerated_new: &[],
     },
     CompareSpec {
         name: "BENCH_wire.json",
@@ -371,6 +395,7 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         top_ratio_floor: &[],
         top_ratio_ceiling: &["wire_overhead_1client"],
         row_ratio_floor: &[],
+        row_tolerated_new: &WIRE_DEGRADED_KEYS,
     },
 ];
 
@@ -460,8 +485,26 @@ fn compare_report(spec: &CompareSpec, baseline_dir: &str, tol: f64) -> usize {
             identity(spec, base_row),
             "{name}: row identity drifted from the baseline"
         );
+        // Additive tolerance: a key on the allowlist may exist in the
+        // fresh row while the (older) baseline lacks it. Everything else
+        // — including a tolerated key *vanishing* — is still drift.
+        let tolerated_only_fresh = |key: &String| {
+            spec.row_tolerated_new.contains(&key.as_str())
+                && matches!(base_row[key.as_str()], Value::Null)
+        };
+        let fresh_keys: Vec<String> = sorted_keys(fresh_row)
+            .into_iter()
+            .filter(|k| !tolerated_only_fresh(k))
+            .collect();
+        let skipped = sorted_keys(fresh_row).len() - fresh_keys.len();
+        if skipped > 0 {
+            println!(
+                "{name}: {} tolerating {skipped} new key(s) absent from the baseline",
+                identity(spec, fresh_row)
+            );
+        }
         assert_eq!(
-            sorted_keys(fresh_row),
+            fresh_keys,
             sorted_keys(base_row),
             "{name}: row schema drifted from the baseline ({})",
             identity(spec, fresh_row)

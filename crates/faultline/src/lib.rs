@@ -1,0 +1,37 @@
+//! Deterministic, seed-replayable fault injection for napmon's
+//! persistence and network layers.
+//!
+//! The monitors this workspace serves are pitched at *safety-critical*
+//! operation — which makes the serving stack's behavior under failure a
+//! correctness surface, not an ops afterthought. This crate provides the
+//! machinery to exercise that surface deterministically, on pure `std`:
+//!
+//! - [`FaultInjector`]: named injection sites compiled into an I/O path
+//!   (the store's append/commit/seal/compact steps, behind its
+//!   `fault-injection` feature). A *recorder* pass enumerates every site a
+//!   workload hits; a *rule* pass then fires a chosen fault — a failed
+//!   operation, a torn (short) write, or a hard simulated crash — at
+//!   exactly one `(site, occurrence)` and nowhere else. Driving the same
+//!   workload once per recorded site yields a **crash-point matrix**:
+//!   proof that recovery holds no matter where the process dies.
+//! - [`SplitMix64`]: the seeded PRNG behind every randomized decision, so
+//!   any failing schedule replays from its printed seed.
+//! - [`FaultProxy`]: a socket-level fault proxy that sits between a real
+//!   client and server and injects network faults — connection kills,
+//!   truncated streams, delays — on a deterministic, seeded, byte-offset
+//!   schedule. End-to-end tests replay fault schedules by seed and assert
+//!   the serving contract (verdicts bit-identical to the direct engine)
+//!   survives every survivable schedule.
+//!
+//! Nothing here touches production paths: the store compiles its sites
+//! only under its `fault-injection` feature, and the proxy is a test-side
+//! process object. Determinism is the design center — every decision
+//! derives from a caller-provided seed, never from wall-clock entropy.
+
+mod plan;
+mod proxy;
+mod rng;
+
+pub use plan::{FaultAction, FaultInjector, InjectedFault, SiteHit};
+pub use proxy::{FaultProxy, ProxyPlan, ProxyStats};
+pub use rng::SplitMix64;

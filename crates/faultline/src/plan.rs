@@ -1,0 +1,392 @@
+//! Named fault-injection sites and the deterministic plans that fire them.
+//!
+//! An I/O path under test calls [`FaultInjector::check`] (or
+//! [`FaultInjector::write_fault`] for writes that can tear) at each named
+//! site — `seal.manifest.rename`, `tail.append.write`, … — and the
+//! injector decides, deterministically, whether that exact step fails.
+//!
+//! The workflow is two passes:
+//!
+//! 1. **Record.** Run the workload with [`FaultInjector::recorder`]; the
+//!    injector fires nothing and returns the full [`SiteHit`] trace —
+//!    every site the workload crossed, with per-site occurrence indices.
+//! 2. **Replay with one fault.** For each recorded `(site, occurrence)`,
+//!    re-run the workload with [`FaultInjector::rule`] armed to fire one
+//!    [`FaultAction`] there. Everything before the fault runs untouched;
+//!    the fault itself surfaces as an [`InjectedFault`] (convertible to
+//!    `std::io::Error`); and for [`FaultAction::Crash`] the injector is
+//!    *poisoned* — every later site errors too, modeling a process that is
+//!    simply gone. The caller then drops its handles and re-opens from
+//!    disk, asserting recovery invariants.
+//!
+//! Determinism: the only randomized quantity is how many bytes a torn
+//! write keeps, drawn from a [`SplitMix64`](crate::SplitMix64) seeded at
+//! construction — so a failing matrix entry replays exactly from
+//! `(site, occurrence, action, seed)`.
+
+use crate::rng::SplitMix64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What an armed rule does when its site comes around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The operation fails with an injected error; the handle stays
+    /// usable (models a transient I/O failure, e.g. a failed fsync).
+    Fail,
+    /// The operation fails and the injector is poisoned: every subsequent
+    /// site errors as well, and buffered state must be treated as lost
+    /// (models the process dying at this exact step).
+    Crash,
+    /// A write-capable site persists only a prefix of its bytes, then the
+    /// injector is poisoned (models a torn write at the moment of death).
+    /// At a non-write site this degrades to [`FaultAction::Crash`].
+    ShortWrite,
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultAction::Fail => "fail",
+            FaultAction::Crash => "crash",
+            FaultAction::ShortWrite => "short-write",
+        })
+    }
+}
+
+/// One crossing of a named site, as recorded in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteHit {
+    /// The site's name.
+    pub site: String,
+    /// Which crossing of this site it was (0-based, per site).
+    pub occurrence: u64,
+    /// Whether the site came through [`FaultInjector::write_fault`] (so a
+    /// [`FaultAction::ShortWrite`] there can actually tear bytes).
+    pub writeable: bool,
+}
+
+/// The error an armed fault surfaces as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: String,
+    /// The occurrence that fired.
+    pub occurrence: u64,
+    /// What fired.
+    pub action: FaultAction,
+    /// Whether this error is the original fault (`false`) or a fail-fast
+    /// echo on a handle already poisoned by a crash (`true`).
+    pub after_crash: bool,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.after_crash {
+            write!(
+                f,
+                "injected fault: operation at {} after a simulated crash",
+                self.site
+            )
+        } else {
+            write!(
+                f,
+                "injected fault: {} at {}#{}",
+                self.action, self.site, self.occurrence
+            )
+        }
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+impl From<InjectedFault> for std::io::Error {
+    fn from(fault: InjectedFault) -> Self {
+        std::io::Error::other(fault)
+    }
+}
+
+#[derive(Debug)]
+struct Rule {
+    site: String,
+    occurrence: u64,
+    action: FaultAction,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rule: Option<Rule>,
+    crashed: AtomicBool,
+    state: Mutex<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Per-site occurrence counters.
+    counts: std::collections::HashMap<String, u64>,
+    /// Every site crossing, in order.
+    trace: Vec<SiteHit>,
+    /// The fault that fired, if one did (fail-fast echoes excluded).
+    fired: Option<InjectedFault>,
+    /// Torn-write prefix draws.
+    rng: SplitMix64,
+}
+
+/// A shareable handle deciding, at every named site, whether to inject a
+/// fault. Cloning shares state — the store hands clones to its tail /
+/// segment / manifest internals and they all consult one plan.
+#[derive(Debug, Clone)]
+pub struct FaultInjector(Arc<Inner>);
+
+impl FaultInjector {
+    fn with_rule(rule: Option<Rule>, seed: u64) -> Self {
+        Self(Arc::new(Inner {
+            rule,
+            crashed: AtomicBool::new(false),
+            state: Mutex::new(State {
+                counts: std::collections::HashMap::new(),
+                trace: Vec::new(),
+                fired: None,
+                rng: SplitMix64::seed(seed),
+            }),
+        }))
+    }
+
+    /// An injector that fires nothing and records every site crossing —
+    /// the matrix driver's first pass.
+    pub fn recorder() -> Self {
+        Self::with_rule(None, 0)
+    }
+
+    /// An injector armed to fire `action` at the `occurrence`-th crossing
+    /// of `site` (0-based), with `seed` driving any torn-write prefix
+    /// draw.
+    pub fn rule(site: impl Into<String>, occurrence: u64, action: FaultAction, seed: u64) -> Self {
+        Self::with_rule(
+            Some(Rule {
+                site: site.into(),
+                occurrence,
+                action,
+            }),
+            seed,
+        )
+    }
+
+    /// Whether a [`FaultAction::Crash`] / [`FaultAction::ShortWrite`] has
+    /// fired: the simulated process is dead, buffered state is lost.
+    pub fn crashed(&self) -> bool {
+        self.0.crashed.load(Ordering::Acquire)
+    }
+
+    /// The full site trace so far (every crossing, fired or not).
+    pub fn trace(&self) -> Vec<SiteHit> {
+        self.0.state.lock().expect("faultline state").trace.clone()
+    }
+
+    /// The fault that fired, if any (fail-fast echoes after a crash are
+    /// not separate firings).
+    pub fn fired(&self) -> Option<InjectedFault> {
+        self.0.state.lock().expect("faultline state").fired.clone()
+    }
+
+    /// Records a crossing of `site` and decides its fate. `writeable`
+    /// tells the trace whether a short write could tear here.
+    fn arrive(&self, site: &str, writeable: bool) -> Result<Option<InjectedFault>, InjectedFault> {
+        if self.crashed() {
+            return Err(InjectedFault {
+                site: site.to_string(),
+                occurrence: 0,
+                action: FaultAction::Crash,
+                after_crash: true,
+            });
+        }
+        let mut state = self.0.state.lock().expect("faultline state");
+        let occurrence = {
+            let counter = state.counts.entry(site.to_string()).or_insert(0);
+            let now = *counter;
+            *counter += 1;
+            now
+        };
+        state.trace.push(SiteHit {
+            site: site.to_string(),
+            occurrence,
+            writeable,
+        });
+        let Some(rule) = &self.0.rule else {
+            return Ok(None);
+        };
+        if rule.site != site || rule.occurrence != occurrence {
+            return Ok(None);
+        }
+        let fault = InjectedFault {
+            site: site.to_string(),
+            occurrence,
+            action: rule.action,
+            after_crash: false,
+        };
+        state.fired = Some(fault.clone());
+        Ok(Some(fault))
+    }
+
+    /// Consults the plan at a non-write site.
+    ///
+    /// # Errors
+    ///
+    /// The armed [`InjectedFault`] when this exact `(site, occurrence)`
+    /// fires, and a fail-fast echo for every site after a crash.
+    pub fn check(&self, site: &str) -> Result<(), InjectedFault> {
+        match self.arrive(site, false)? {
+            None => Ok(()),
+            Some(fault) => {
+                if matches!(fault.action, FaultAction::Crash | FaultAction::ShortWrite) {
+                    self.0.crashed.store(true, Ordering::Release);
+                }
+                Err(fault)
+            }
+        }
+    }
+
+    /// Consults the plan at a write site about to persist `len` bytes.
+    ///
+    /// Returns `Ok(None)` to proceed with the full write, or
+    /// `Ok(Some(keep))` when a [`FaultAction::ShortWrite`] fired: the
+    /// caller must persist exactly the first `keep < len` bytes, then
+    /// treat the operation as crashed (the injector is already poisoned;
+    /// [`FaultInjector::torn`] builds the error to surface).
+    ///
+    /// # Errors
+    ///
+    /// As [`FaultInjector::check`], for [`FaultAction::Fail`] /
+    /// [`FaultAction::Crash`] rules and post-crash echoes.
+    pub fn write_fault(&self, site: &str, len: usize) -> Result<Option<usize>, InjectedFault> {
+        match self.arrive(site, true)? {
+            None => Ok(None),
+            Some(fault) => match fault.action {
+                FaultAction::Fail => Err(fault),
+                FaultAction::Crash => {
+                    self.0.crashed.store(true, Ordering::Release);
+                    Err(fault)
+                }
+                FaultAction::ShortWrite => {
+                    self.0.crashed.store(true, Ordering::Release);
+                    let keep = {
+                        let mut state = self.0.state.lock().expect("faultline state");
+                        state.rng.below(len as u64) as usize
+                    };
+                    Ok(Some(keep))
+                }
+            },
+        }
+    }
+
+    /// The error a caller surfaces after honoring a torn-write
+    /// instruction from [`FaultInjector::write_fault`].
+    pub fn torn(&self, site: &str) -> InjectedFault {
+        InjectedFault {
+            site: site.to_string(),
+            occurrence: self
+                .0
+                .state
+                .lock()
+                .expect("faultline state")
+                .fired
+                .as_ref()
+                .map_or(0, |f| f.occurrence),
+            action: FaultAction::ShortWrite,
+            after_crash: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_records_and_never_fires() {
+        let faults = FaultInjector::recorder();
+        faults.check("a").unwrap();
+        faults.check("a").unwrap();
+        assert_eq!(faults.write_fault("b", 100).unwrap(), None);
+        let trace = faults.trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].site, "a");
+        assert_eq!(trace[0].occurrence, 0);
+        assert_eq!(trace[1].occurrence, 1);
+        assert!(trace[2].writeable);
+        assert!(faults.fired().is_none());
+        assert!(!faults.crashed());
+    }
+
+    #[test]
+    fn rule_fires_at_exactly_one_occurrence() {
+        let faults = FaultInjector::rule("a", 1, FaultAction::Fail, 0);
+        faults.check("a").unwrap();
+        let err = faults.check("a").unwrap_err();
+        assert_eq!(err.site, "a");
+        assert_eq!(err.occurrence, 1);
+        assert!(!err.after_crash);
+        // A Fail does not poison: later sites proceed.
+        faults.check("a").unwrap();
+        faults.check("b").unwrap();
+        assert!(!faults.crashed());
+        assert!(faults.fired().is_some());
+    }
+
+    #[test]
+    fn crash_poisons_every_later_site() {
+        let faults = FaultInjector::rule("x", 0, FaultAction::Crash, 0);
+        let err = faults.check("x").unwrap_err();
+        assert_eq!(err.action, FaultAction::Crash);
+        assert!(faults.crashed());
+        let echo = faults.check("y").unwrap_err();
+        assert!(echo.after_crash);
+        let echo = faults.write_fault("z", 10).unwrap_err();
+        assert!(echo.after_crash);
+        // The echo is not a second firing.
+        assert_eq!(faults.fired().unwrap().site, "x");
+    }
+
+    #[test]
+    fn short_write_keeps_a_strict_prefix_and_poisons() {
+        for seed in 0..32 {
+            let faults = FaultInjector::rule("w", 0, FaultAction::ShortWrite, seed);
+            let keep = faults.write_fault("w", 64).unwrap().expect("torn");
+            assert!(keep < 64, "seed {seed}: keep {keep} not a strict prefix");
+            assert!(faults.crashed());
+            let torn = faults.torn("w");
+            assert_eq!(torn.action, FaultAction::ShortWrite);
+        }
+        // Deterministic per seed.
+        let a = FaultInjector::rule("w", 0, FaultAction::ShortWrite, 7);
+        let b = FaultInjector::rule("w", 0, FaultAction::ShortWrite, 7);
+        assert_eq!(
+            a.write_fault("w", 1000).unwrap(),
+            b.write_fault("w", 1000).unwrap()
+        );
+    }
+
+    #[test]
+    fn short_write_at_a_plain_site_degrades_to_crash() {
+        let faults = FaultInjector::rule("p", 0, FaultAction::ShortWrite, 0);
+        let err = faults.check("p").unwrap_err();
+        assert_eq!(err.action, FaultAction::ShortWrite);
+        assert!(faults.crashed());
+    }
+
+    #[test]
+    fn injected_fault_converts_to_io_error() {
+        let faults = FaultInjector::rule("io", 0, FaultAction::Fail, 0);
+        let err: std::io::Error = faults.check("io").unwrap_err().into();
+        assert!(err.to_string().contains("io#0"), "{err}");
+    }
+
+    #[test]
+    fn clones_share_one_plan() {
+        let faults = FaultInjector::rule("s", 1, FaultAction::Fail, 0);
+        let clone = faults.clone();
+        faults.check("s").unwrap();
+        assert!(clone.check("s").is_err(), "clone must see occurrence 1");
+        assert_eq!(faults.trace().len(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Feature-gated fault-injection hooks on the store's write path.
+//!
+//! With the `fault-injection` feature off (the default), [`Faults`] is a
+//! zero-sized pass-through and every hook compiles to nothing. With it
+//! on, a [`napmon_faultline::FaultInjector`] threaded in via
+//! [`PatternStore::create_with_faults`](crate::PatternStore::create_with_faults)
+//! or [`PatternStore::open_with_faults`](crate::PatternStore::open_with_faults)
+//! is consulted at every named site of the durability path:
+//!
+//! | site | step |
+//! |---|---|
+//! | `tail.append.write` | tail-log record write (can tear) |
+//! | `tail.commit.flush` / `tail.commit.sync` | the durability point |
+//! | `tail.reset.truncate` / `tail.reset.sync` | post-seal tail reset |
+//! | `tail.rewrite.write` / `.sync` / `.rename` | recovery reconciliation (can tear) |
+//! | `segment.write` / `segment.sync` / `segment.rename` | sealed-segment two-phase write (can tear) |
+//! | `manifest.write` / `manifest.sync` / `manifest.rename` | the atomic commit point (can tear) |
+//!
+//! Site names are structural, not per-operation: `seal()` and `compact()`
+//! both cross `segment.write`, distinguished by occurrence index — which
+//! is exactly how the crash-point matrix test enumerates them.
+
+use crate::error::StoreError;
+use std::io::Write;
+
+/// The injector handle the store threads through its internals. Default
+/// (and the only state without the `fault-injection` feature) is inert.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Faults {
+    #[cfg(feature = "fault-injection")]
+    injector: Option<napmon_faultline::FaultInjector>,
+}
+
+impl Faults {
+    /// Wraps a live injector (feature-gated constructors only).
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fn new(injector: napmon_faultline::FaultInjector) -> Self {
+        Self {
+            injector: Some(injector),
+        }
+    }
+
+    /// Consults the plan at a non-write site.
+    #[inline]
+    pub(crate) fn check(&self, _site: &str) -> Result<(), StoreError> {
+        #[cfg(feature = "fault-injection")]
+        if let Some(injector) = &self.injector {
+            injector
+                .check(_site)
+                .map_err(|fault| StoreError::Io(fault.into()))?;
+        }
+        Ok(())
+    }
+
+    /// Writes `bytes` to `out` under the plan: all of them normally, or —
+    /// when a short-write rule fires — only the scheduled prefix, followed
+    /// by the injected error. The caller must treat that error like any
+    /// I/O failure; the injector is already poisoned (crashed).
+    #[inline]
+    pub(crate) fn write_all(
+        &self,
+        _site: &str,
+        out: &mut impl Write,
+        bytes: &[u8],
+    ) -> Result<(), StoreError> {
+        #[cfg(feature = "fault-injection")]
+        if let Some(injector) = &self.injector {
+            return match injector
+                .write_fault(_site, bytes.len())
+                .map_err(|fault| StoreError::Io(fault.into()))?
+            {
+                None => {
+                    out.write_all(bytes)?;
+                    Ok(())
+                }
+                Some(keep) => {
+                    // Land the torn prefix for real, so a reopen sees
+                    // exactly what a mid-write crash would have left.
+                    out.write_all(&bytes[..keep])?;
+                    out.flush()?;
+                    Err(StoreError::Io(injector.torn(_site).into()))
+                }
+            };
+        }
+        out.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Whether a crash fault has fired: buffered user-space state must be
+    /// discarded, not flushed, to model the process dying.
+    #[inline]
+    pub(crate) fn crashed(&self) -> bool {
+        #[cfg(feature = "fault-injection")]
+        if let Some(injector) = &self.injector {
+            return injector.crashed();
+        }
+        false
+    }
+}

@@ -67,6 +67,7 @@
 pub mod bloom;
 mod checksum;
 pub mod error;
+mod faults;
 pub mod manifest;
 pub mod segment;
 mod store;

@@ -9,8 +9,8 @@
 //! swap a crash-safe two-phase commit.
 
 use crate::error::StoreError;
+use crate::faults::Faults;
 use serde::{Deserialize, Serialize};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// The manifest schema version this crate reads and writes.
@@ -82,7 +82,7 @@ impl Manifest {
 
     /// Writes the manifest atomically: tmp file + fsync + rename + dir
     /// fsync.
-    pub(crate) fn store(&self, dir: &Path) -> Result<(), StoreError> {
+    pub(crate) fn store(&self, dir: &Path, faults: &Faults) -> Result<(), StoreError> {
         let path = manifest_path(dir);
         let tmp = dir.join("MANIFEST.json.tmp");
         let text = serde_json::to_string_pretty(self).map_err(|e| StoreError::Corrupt {
@@ -91,9 +91,11 @@ impl Manifest {
         })?;
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(text.as_bytes())?;
+            faults.write_all("manifest.write", &mut f, text.as_bytes())?;
+            faults.check("manifest.sync")?;
             f.sync_all()?;
         }
+        faults.check("manifest.rename")?;
         std::fs::rename(&tmp, &path)?;
         // Make the rename itself durable.
         if let Ok(d) = std::fs::File::open(dir) {
@@ -134,7 +136,7 @@ mod tests {
     fn store_load_round_trip() {
         let dir = tmp("roundtrip");
         let manifest = sample();
-        manifest.store(&dir).unwrap();
+        manifest.store(&dir, &Faults::default()).unwrap();
         assert_eq!(Manifest::load(&dir).unwrap(), manifest);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -154,7 +156,7 @@ mod tests {
         let dir = tmp("version");
         let mut manifest = sample();
         manifest.format_version = 99;
-        manifest.store(&dir).unwrap();
+        manifest.store(&dir, &Faults::default()).unwrap();
         assert!(matches!(
             Manifest::load(&dir).unwrap_err(),
             StoreError::Mismatch(_)
@@ -176,7 +178,7 @@ mod tests {
     #[test]
     fn orphan_tmp_file_is_ignored() {
         let dir = tmp("orphan");
-        sample().store(&dir).unwrap();
+        sample().store(&dir, &Faults::default()).unwrap();
         std::fs::write(dir.join("MANIFEST.json.tmp"), "torn write").unwrap();
         assert!(Manifest::load(&dir).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();

@@ -22,7 +22,7 @@
 use crate::bloom::BloomFilter;
 use crate::checksum::fnv1a;
 use crate::error::StoreError;
-use std::io::Write;
+use crate::faults::Faults;
 use std::path::Path;
 
 pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"NAPSEG01";
@@ -91,6 +91,7 @@ impl Segment {
         limbs: usize,
         sorted_words: &[u64],
         bloom_bits_per_word: usize,
+        faults: &Faults,
     ) -> Result<Self, StoreError> {
         debug_assert_eq!(sorted_words.len() % limbs.max(1), 0);
         let count = sorted_words.len().checked_div(limbs).unwrap_or(0);
@@ -118,9 +119,11 @@ impl Segment {
         let tmp = dir.join(format!("{file}.tmp"));
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
+            faults.write_all("segment.write", &mut f, &bytes)?;
+            faults.check("segment.sync")?;
             f.sync_all()?;
         }
+        faults.check("segment.rename")?;
         std::fs::rename(&tmp, &path)?;
 
         Ok(Self {
@@ -252,7 +255,16 @@ mod tests {
         let dir = tmp_dir("roundtrip");
         let words = sort_dedup_words(&[3, 1, 2, 1], 1);
         assert_eq!(words, vec![1, 2, 3]);
-        let seg = Segment::write(&dir, "segment-00000000.seg", 40, 1, &words, 10).unwrap();
+        let seg = Segment::write(
+            &dir,
+            "segment-00000000.seg",
+            40,
+            1,
+            &words,
+            10,
+            &Faults::default(),
+        )
+        .unwrap();
         let loaded = Segment::load(&dir, "segment-00000000.seg", 40, 1, seg.checksum).unwrap();
         assert_eq!(loaded.len(), 3);
         assert!(loaded.contains(&[2]));
@@ -263,7 +275,7 @@ mod tests {
     #[test]
     fn corrupt_byte_is_detected() {
         let dir = tmp_dir("corrupt");
-        let seg = Segment::write(&dir, "s.seg", 64, 1, &[5, 9], 10).unwrap();
+        let seg = Segment::write(&dir, "s.seg", 64, 1, &[5, 9], 10, &Faults::default()).unwrap();
         let path = dir.join("s.seg");
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
@@ -277,7 +289,8 @@ mod tests {
     #[test]
     fn truncated_segment_is_detected() {
         let dir = tmp_dir("truncated");
-        let seg = Segment::write(&dir, "s.seg", 64, 1, &[5, 9, 11], 10).unwrap();
+        let seg =
+            Segment::write(&dir, "s.seg", 64, 1, &[5, 9, 11], 10, &Faults::default()).unwrap();
         let path = dir.join("s.seg");
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();

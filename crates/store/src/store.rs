@@ -1,6 +1,7 @@
 //! The log-structured pattern store.
 
 use crate::error::StoreError;
+use crate::faults::Faults;
 use crate::manifest::{Manifest, SegmentMeta, MANIFEST_VERSION};
 use crate::segment::{segment_file_name, sort_dedup_words, Segment};
 use crate::tail::{tail_path, TailLog};
@@ -110,6 +111,9 @@ pub struct PatternStore {
     /// [`StoreError::Locked`]); released automatically on drop or process
     /// death.
     _lock: std::fs::File,
+    /// Fault-injection hooks (inert unless the `fault-injection` feature
+    /// is on and an injector was threaded in).
+    faults: Faults,
 }
 
 #[inline]
@@ -126,7 +130,10 @@ impl PatternStore {
     /// Returns [`StoreError::Mismatch`] if a manifest already exists, or
     /// [`StoreError::Io`] on filesystem failure.
     pub fn create(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<Self, StoreError> {
-        let dir = dir.into();
+        Self::create_inner(dir.into(), config, Faults::default())
+    }
+
+    fn create_inner(dir: PathBuf, config: StoreConfig, faults: Faults) -> Result<Self, StoreError> {
         if config.word_bits == 0 {
             return Err(StoreError::Mismatch("word_bits must be positive".into()));
         }
@@ -145,8 +152,8 @@ impl PatternStore {
             next_segment_id: 0,
             segments: Vec::new(),
         };
-        manifest.store(&dir)?;
-        Self::from_manifest(dir, manifest)
+        manifest.store(&dir, &faults)?;
+        Self::from_manifest(dir, manifest, faults)
     }
 
     /// Opens the store at `dir`, verifying every sealed segment's checksum
@@ -160,7 +167,41 @@ impl PatternStore {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         let manifest = Manifest::load(&dir)?;
-        Self::from_manifest(dir, manifest)
+        Self::from_manifest(dir, manifest, Faults::default())
+    }
+
+    /// Like [`PatternStore::create`], with `injector` consulted at every
+    /// named fault site of the durability path (see the site table in the
+    /// crate's `faults` module docs). Test-only machinery behind the
+    /// `fault-injection` feature.
+    ///
+    /// # Errors
+    ///
+    /// As [`PatternStore::create`], plus the injector's planned faults.
+    #[cfg(feature = "fault-injection")]
+    pub fn create_with_faults(
+        dir: impl Into<PathBuf>,
+        config: StoreConfig,
+        injector: napmon_faultline::FaultInjector,
+    ) -> Result<Self, StoreError> {
+        Self::create_inner(dir.into(), config, Faults::new(injector))
+    }
+
+    /// Like [`PatternStore::open`], with `injector` consulted at every
+    /// named fault site of the durability path. Test-only machinery behind
+    /// the `fault-injection` feature.
+    ///
+    /// # Errors
+    ///
+    /// As [`PatternStore::open`], plus the injector's planned faults.
+    #[cfg(feature = "fault-injection")]
+    pub fn open_with_faults(
+        dir: impl Into<PathBuf>,
+        injector: napmon_faultline::FaultInjector,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let manifest = Manifest::load(&dir)?;
+        Self::from_manifest(dir, manifest, Faults::new(injector))
     }
 
     /// Opens the store at `dir` if one exists, creating it with `config`
@@ -192,7 +233,7 @@ impl PatternStore {
         }
     }
 
-    fn from_manifest(dir: PathBuf, manifest: Manifest) -> Result<Self, StoreError> {
+    fn from_manifest(dir: PathBuf, manifest: Manifest, faults: Faults) -> Result<Self, StoreError> {
         let lock = acquire_lock(&dir)?;
         let limbs = limbs_for(manifest.word_bits);
         let mut segments = Vec::with_capacity(manifest.segments.len());
@@ -205,7 +246,8 @@ impl PatternStore {
                 meta.checksum,
             )?);
         }
-        let (tail, recovered) = TailLog::open(tail_path(&dir), manifest.word_bits, limbs)?;
+        let (tail, recovered) =
+            TailLog::open(tail_path(&dir), manifest.word_bits, limbs, faults.clone())?;
         let mut store = Self {
             dir,
             config: StoreConfig {
@@ -222,6 +264,7 @@ impl PatternStore {
             appended: 0,
             deduplicated: 0,
             _lock: lock,
+            faults,
         };
         // Rebuild the tail's in-memory index from the recovered records,
         // dropping words a sealed segment already holds: a crash between
@@ -365,6 +408,7 @@ impl PatternStore {
             self.limbs,
             &sorted,
             self.config.bloom_bits_per_word,
+            &self.faults,
         )?;
         // Two-phase commit: the segment file exists but is invisible until
         // the manifest swap below; a crash in between leaves an ignored
@@ -378,7 +422,7 @@ impl PatternStore {
         let mut manifest = self.manifest();
         manifest.segments.push(meta);
         manifest.next_segment_id = self.next_segment_id;
-        manifest.store(&self.dir)?;
+        manifest.store(&self.dir, &self.faults)?;
         self.segments.push(segment);
         self.tail.reset()?;
         self.tail_words.clear();
@@ -412,6 +456,7 @@ impl PatternStore {
             self.limbs,
             &sorted,
             self.config.bloom_bits_per_word,
+            &self.faults,
         )?;
         self.next_segment_id = id + 1;
         let manifest = Manifest {
@@ -423,7 +468,7 @@ impl PatternStore {
             }],
             ..self.manifest()
         };
-        manifest.store(&self.dir)?;
+        manifest.store(&self.dir, &self.faults)?;
         // The old files are dead the moment the manifest swap lands;
         // removal is cleanup, not correctness.
         let old: Vec<String> = self.segments.iter().map(|s| s.file.clone()).collect();
@@ -454,6 +499,23 @@ impl PatternStore {
                 })
                 .collect(),
         }
+    }
+
+    /// Every distinct word the store holds, sealed segments first (oldest
+    /// to newest) then the tail in append order. Materializes the full
+    /// set — meant for audits and recovery oracles, not the query path.
+    pub fn words(&self) -> Vec<BitWord> {
+        let limbs = self.limbs.max(1);
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for segment in &self.segments {
+            for chunk in segment.words.chunks_exact(limbs) {
+                out.push(word_from_limbs(chunk, self.config.word_bits));
+            }
+        }
+        for chunk in self.tail_words.chunks_exact(limbs) {
+            out.push(word_from_limbs(chunk, self.config.word_bits));
+        }
+        out
     }
 
     /// Exact membership: the tail's hash index, then per segment (newest

@@ -18,6 +18,7 @@
 
 use crate::checksum::fnv1a_limbs;
 use crate::error::StoreError;
+use crate::faults::Faults;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
@@ -29,8 +30,11 @@ pub(crate) const TAIL_HEADER_LEN: u64 = 16;
 #[derive(Debug)]
 pub(crate) struct TailLog {
     path: PathBuf,
-    writer: BufWriter<std::fs::File>,
+    /// `Some` for the log's whole life; taken only in `drop`, where a
+    /// simulated crash must discard the buffer instead of flushing it.
+    writer: Option<BufWriter<std::fs::File>>,
     limbs: usize,
+    faults: Faults,
 }
 
 impl TailLog {
@@ -41,6 +45,7 @@ impl TailLog {
         path: PathBuf,
         word_bits: usize,
         limbs: usize,
+        faults: Faults,
     ) -> Result<(Self, Vec<u64>), StoreError> {
         let record_len = 8 * (limbs + 1);
         let mut recovered: Vec<u64> = Vec::new();
@@ -97,40 +102,53 @@ impl TailLog {
         Ok((
             Self {
                 path,
-                writer,
+                writer: Some(writer),
                 limbs,
+                faults,
             },
             recovered,
         ))
+    }
+
+    fn writer(&mut self) -> &mut BufWriter<std::fs::File> {
+        self.writer.as_mut().expect("tail writer live until drop")
     }
 
     /// Buffers one word record (write-batched; call [`TailLog::commit`]
     /// for durability).
     pub(crate) fn append(&mut self, limbs: &[u64]) -> Result<(), StoreError> {
         debug_assert_eq!(limbs.len(), self.limbs);
+        let mut record = Vec::with_capacity(8 * (limbs.len() + 1));
         for &limb in limbs {
-            self.writer.write_all(&limb.to_le_bytes())?;
+            record.extend_from_slice(&limb.to_le_bytes());
         }
-        self.writer.write_all(&fnv1a_limbs(limbs).to_le_bytes())?;
-        Ok(())
+        record.extend_from_slice(&fnv1a_limbs(limbs).to_le_bytes());
+        let faults = self.faults.clone();
+        faults.write_all("tail.append.write", self.writer(), &record)
     }
 
     /// Flushes buffered records to the OS and fsyncs: the durability point.
     pub(crate) fn commit(&mut self) -> Result<(), StoreError> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.faults.check("tail.commit.flush")?;
+        self.writer().flush()?;
+        self.faults.check("tail.commit.sync")?;
+        self.writer().get_ref().sync_data()?;
         Ok(())
     }
 
     /// Resets the log to its bare header (after sealing its words into a
     /// segment).
     pub(crate) fn reset(&mut self) -> Result<(), StoreError> {
-        self.writer.flush()?;
+        self.writer().flush()?;
+        self.faults.check("tail.reset.truncate")?;
         let file = std::fs::OpenOptions::new().write(true).open(&self.path)?;
         file.set_len(TAIL_HEADER_LEN)?;
+        self.faults.check("tail.reset.sync")?;
         file.sync_all()?;
         drop(file);
-        self.writer = BufWriter::new(std::fs::OpenOptions::new().append(true).open(&self.path)?);
+        self.writer = Some(BufWriter::new(
+            std::fs::OpenOptions::new().append(true).open(&self.path)?,
+        ));
         Ok(())
     }
 
@@ -142,7 +160,7 @@ impl TailLog {
     /// reconciliation, where the surviving words were already committed
     /// and must not re-enter a loss window.
     pub(crate) fn rewrite(&mut self, word_bits: usize, words: &[u64]) -> Result<(), StoreError> {
-        self.writer.flush()?;
+        self.writer().flush()?;
         let tmp = self.path.with_extension("log.tmp");
         {
             let mut bytes =
@@ -157,32 +175,49 @@ impl TailLog {
                 bytes.extend_from_slice(&fnv1a_limbs(chunk).to_le_bytes());
             }
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
+            self.faults
+                .write_all("tail.rewrite.write", &mut f, &bytes)?;
+            self.faults.check("tail.rewrite.sync")?;
             f.sync_all()?;
         }
+        self.faults.check("tail.rewrite.rename")?;
         std::fs::rename(&tmp, &self.path)?;
         if let Some(dir) = self.path.parent() {
             if let Ok(d) = std::fs::File::open(dir) {
                 let _ = d.sync_all();
             }
         }
-        self.writer = BufWriter::new(std::fs::OpenOptions::new().append(true).open(&self.path)?);
+        self.writer = Some(BufWriter::new(
+            std::fs::OpenOptions::new().append(true).open(&self.path)?,
+        ));
         Ok(())
     }
 
     /// Current size of the log file on disk (flushing first so the figure
     /// reflects buffered appends).
     pub(crate) fn disk_bytes(&mut self) -> Result<u64, StoreError> {
-        self.writer.flush()?;
+        self.writer().flush()?;
         Ok(std::fs::metadata(&self.path)?.len())
     }
 }
 
 impl Drop for TailLog {
     /// Best-effort flush: durability is only guaranteed after an explicit
-    /// commit, but there is no reason to discard buffered records on drop.
+    /// commit, but there is no reason to discard buffered records on drop —
+    /// *unless* a simulated crash has fired, in which case the buffer is
+    /// exactly the user-space state a real crash would lose, and flushing
+    /// it would grant the test store durability the real one never had.
     fn drop(&mut self) {
-        let _ = self.writer.flush();
+        let Some(writer) = self.writer.take() else {
+            return;
+        };
+        if self.faults.crashed() {
+            // Unwrap the File out of the BufWriter so its Drop cannot
+            // flush the buffered bytes.
+            let _ = writer.into_parts();
+        } else {
+            drop(writer); // BufWriter's Drop flushes, best-effort.
+        }
     }
 }
 
@@ -206,13 +241,13 @@ mod tests {
     fn append_commit_reopen_recovers_all_words() {
         let dir = tmp("recover");
         let path = tail_path(&dir);
-        let (mut log, recovered) = TailLog::open(path.clone(), 70, 2).unwrap();
+        let (mut log, recovered) = TailLog::open(path.clone(), 70, 2, Faults::default()).unwrap();
         assert!(recovered.is_empty());
         log.append(&[1, 2]).unwrap();
         log.append(&[3, 4]).unwrap();
         log.commit().unwrap();
         drop(log);
-        let (_, recovered) = TailLog::open(path, 70, 2).unwrap();
+        let (_, recovered) = TailLog::open(path, 70, 2, Faults::default()).unwrap();
         assert_eq!(recovered, vec![1, 2, 3, 4]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -221,7 +256,7 @@ mod tests {
     fn torn_record_is_dropped_and_truncated() {
         let dir = tmp("torn");
         let path = tail_path(&dir);
-        let (mut log, _) = TailLog::open(path.clone(), 70, 2).unwrap();
+        let (mut log, _) = TailLog::open(path.clone(), 70, 2, Faults::default()).unwrap();
         log.append(&[1, 2]).unwrap();
         log.append(&[3, 4]).unwrap();
         log.commit().unwrap();
@@ -231,7 +266,7 @@ mod tests {
         let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
         file.set_len(len - 5).unwrap();
         drop(file);
-        let (_, recovered) = TailLog::open(path.clone(), 70, 2).unwrap();
+        let (_, recovered) = TailLog::open(path.clone(), 70, 2, Faults::default()).unwrap();
         assert_eq!(recovered, vec![1, 2], "only the intact record survives");
         // The file was truncated to the last valid record.
         assert_eq!(
@@ -245,9 +280,9 @@ mod tests {
     fn word_width_mismatch_is_typed() {
         let dir = tmp("mismatch");
         let path = tail_path(&dir);
-        let (log, _) = TailLog::open(path.clone(), 70, 2).unwrap();
+        let (log, _) = TailLog::open(path.clone(), 70, 2, Faults::default()).unwrap();
         drop(log);
-        let err = TailLog::open(path, 71, 2).unwrap_err();
+        let err = TailLog::open(path, 71, 2, Faults::default()).unwrap_err();
         assert!(matches!(err, StoreError::Mismatch(_)), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -256,13 +291,13 @@ mod tests {
     fn reset_empties_the_log() {
         let dir = tmp("reset");
         let path = tail_path(&dir);
-        let (mut log, _) = TailLog::open(path.clone(), 64, 1).unwrap();
+        let (mut log, _) = TailLog::open(path.clone(), 64, 1, Faults::default()).unwrap();
         log.append(&[9]).unwrap();
         log.reset().unwrap();
         log.append(&[7]).unwrap();
         log.commit().unwrap();
         drop(log);
-        let (_, recovered) = TailLog::open(path, 64, 1).unwrap();
+        let (_, recovered) = TailLog::open(path, 64, 1, Faults::default()).unwrap();
         assert_eq!(recovered, vec![7]);
         std::fs::remove_dir_all(&dir).unwrap();
     }

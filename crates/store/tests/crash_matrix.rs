@@ -1,0 +1,285 @@
+//! The crash-point matrix: every named fault site of the store's
+//! durability path, crossed with every fault shape, and recovery
+//! invariants asserted after each.
+//!
+//! Protocol (see `napmon_faultline`):
+//!
+//! 1. A recorder pass runs a fixed workload — appends, commits, an
+//!    auto-seal, an explicit [`PatternStore::seal`], a
+//!    [`PatternStore::compact`], more appends — and enumerates every
+//!    `(site, occurrence)` the workload crosses.
+//! 2. For each trace entry × each [`FaultAction`] (failed operation, hard
+//!    crash, torn write), the same workload re-runs on a fresh copy of
+//!    the base store with exactly that fault armed. The run aborts at the
+//!    fault; simulated-crash semantics discard user-space buffers.
+//! 3. The store is reopened *without* faults and checked against an
+//!    in-memory oracle: every word committed before the fault is present,
+//!    every present word was at least attempted, and no word appears
+//!    twice (a crashed seal must not double-count).
+//!
+//! Any failure message carries the `(site, occurrence, action, seed)`
+//! tuple, which is everything needed to replay that exact cell. The seed
+//! is fixed for CI reproducibility; override with `NAPMON_FAULT_SEED`.
+
+#![cfg(feature = "fault-injection")]
+
+use napmon_bdd::BitWord;
+use napmon_faultline::{FaultAction, FaultInjector};
+use napmon_store::{PatternStore, StoreConfig};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+const WORD_BITS: usize = 48;
+/// Small enough that the workload crosses an auto-seal.
+const SEGMENT_CAPACITY: usize = 4;
+/// Committed default so CI failures reproduce; override via env.
+const DEFAULT_SEED: u64 = 0xC0FF_EE00_0000_0006;
+
+fn seed() -> u64 {
+    std::env::var("NAPMON_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn word(i: u64) -> BitWord {
+    BitWord::from_fn(WORD_BITS, |bit| {
+        (i >> (bit % 48)) & 1 == 1 || bit as u64 == i % 17
+    })
+}
+
+/// Tracks what the workload has done, from outside the store: `attempted`
+/// grows at every append *call* (the word may or may not have reached
+/// disk), `committed` snapshots `attempted` only when a durability point
+/// — commit, seal, compact — *returns* successfully.
+#[derive(Default)]
+struct Oracle {
+    attempted: HashSet<BitWord>,
+    committed: HashSet<BitWord>,
+}
+
+impl Oracle {
+    fn attempt(&mut self, w: &BitWord) {
+        self.attempted.insert(w.clone());
+    }
+
+    fn durable_point(&mut self) {
+        self.committed = self.attempted.clone();
+    }
+}
+
+/// The fixed workload. Aborts at the first store error (the injected
+/// fault), leaving the oracle describing exactly the pre-fault state.
+fn run_workload(
+    store: &mut PatternStore,
+    oracle: &mut Oracle,
+) -> Result<(), napmon_store::StoreError> {
+    // Batch 1: enough to cross the auto-seal at capacity 4.
+    for i in 0..6 {
+        let w = word(i);
+        oracle.attempt(&w);
+        store.append(&w)?;
+    }
+    store.commit()?;
+    oracle.durable_point();
+    // Batch 2 + explicit seal: the two-phase commit under test.
+    for i in 6..9 {
+        let w = word(i);
+        oracle.attempt(&w);
+        store.append(&w)?;
+    }
+    store.seal()?;
+    oracle.durable_point();
+    // Batch 3 + compaction: merge every segment plus the tail.
+    for i in 9..12 {
+        let w = word(i);
+        oracle.attempt(&w);
+        store.append(&w)?;
+    }
+    store.compact()?;
+    oracle.durable_point();
+    // Post-compaction appends, committed.
+    for i in 12..14 {
+        let w = word(i);
+        oracle.attempt(&w);
+        store.append(&w)?;
+    }
+    store.commit()?;
+    oracle.durable_point();
+    // And two appends left uncommitted: allowed to survive or vanish.
+    for i in 14..16 {
+        let w = word(i);
+        oracle.attempt(&w);
+        store.append(&w)?;
+    }
+    Ok(())
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("napmon_crash_matrix_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn copy_store_dir(from: &Path, to: &Path) {
+    let _ = std::fs::remove_dir_all(to);
+    std::fs::create_dir_all(to).expect("create copy dir");
+    for entry in std::fs::read_dir(from).expect("read base dir") {
+        let entry = entry.expect("dir entry");
+        if entry.file_type().expect("file type").is_file() {
+            std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy store file");
+        }
+    }
+}
+
+/// Reopens `dir` plain and asserts the recovery invariants against the
+/// oracle. `context` identifies the matrix cell for the failure message.
+fn assert_reopen_invariants(dir: &Path, oracle: &Oracle, context: &str) {
+    let store = PatternStore::open(dir)
+        .unwrap_or_else(|e| panic!("{context}: post-fault reopen must succeed, got {e}"));
+    let words = store.words();
+    let present: HashSet<BitWord> = words.iter().cloned().collect();
+    assert_eq!(
+        present.len(),
+        words.len(),
+        "{context}: reopened store double-counts a word"
+    );
+    for w in &oracle.committed {
+        assert!(
+            present.contains(w),
+            "{context}: committed word lost after reopen"
+        );
+    }
+    for w in &present {
+        assert!(
+            oracle.attempted.contains(w),
+            "{context}: phantom word present that was never appended"
+        );
+    }
+    // The store's own membership structures must agree with words().
+    for w in &present {
+        assert!(store.contains(w), "{context}: words()/contains() disagree");
+    }
+}
+
+/// Builds the pristine base store every matrix cell starts from.
+fn build_base(tag: &str) -> PathBuf {
+    let base = fresh_dir(tag);
+    let store = PatternStore::create(
+        &base,
+        StoreConfig::new(WORD_BITS).segment_capacity(SEGMENT_CAPACITY),
+    )
+    .expect("create base store");
+    drop(store);
+    base
+}
+
+#[test]
+fn crash_point_matrix_preserves_recovery_invariants() {
+    let seed = seed();
+    let base = build_base("base");
+
+    // Pass 1: record the full site trace of a fault-free run.
+    let trace = {
+        let dir = fresh_dir("recorder");
+        copy_store_dir(&base, &dir);
+        let recorder = FaultInjector::recorder();
+        let mut store =
+            PatternStore::open_with_faults(&dir, recorder.clone()).expect("open recorder store");
+        let mut oracle = Oracle::default();
+        run_workload(&mut store, &mut oracle).expect("recorder workload must not fault");
+        drop(store);
+        // The fault-free end state is itself a reopen fixture.
+        assert_reopen_invariants(&dir, &oracle, "recorder");
+        let _ = std::fs::remove_dir_all(&dir);
+        recorder.trace()
+    };
+    assert!(
+        trace.len() >= 30,
+        "workload must cross the full site set, got {} hits",
+        trace.len()
+    );
+    // Sanity: the trace covers every step family of the durability path.
+    for family in [
+        "tail.append.write",
+        "tail.commit.flush",
+        "tail.commit.sync",
+        "tail.reset.truncate",
+        "tail.reset.sync",
+        "segment.write",
+        "segment.sync",
+        "segment.rename",
+        "manifest.write",
+        "manifest.sync",
+        "manifest.rename",
+    ] {
+        assert!(
+            trace.iter().any(|h| h.site == family),
+            "workload never crossed site {family}"
+        );
+    }
+
+    // Pass 2: the matrix. One run per (site, occurrence) × action.
+    let dir = fresh_dir("cell");
+    let mut cells = 0usize;
+    for hit in &trace {
+        for action in [
+            FaultAction::Fail,
+            FaultAction::Crash,
+            FaultAction::ShortWrite,
+        ] {
+            let context = format!(
+                "site={}#{} action={action} seed={seed:#x}",
+                hit.site, hit.occurrence
+            );
+            copy_store_dir(&base, &dir);
+            let injector = FaultInjector::rule(&hit.site, hit.occurrence, action, seed);
+            let mut store = PatternStore::open_with_faults(&dir, injector.clone())
+                .unwrap_or_else(|e| panic!("{context}: pre-fault open failed: {e}"));
+            let mut oracle = Oracle::default();
+            let outcome = run_workload(&mut store, &mut oracle);
+            assert!(
+                outcome.is_err(),
+                "{context}: armed fault never surfaced from the workload"
+            );
+            assert!(
+                injector.fired().is_some(),
+                "{context}: workload errored but the fault never fired"
+            );
+            drop(store); // crash semantics: buffered state is discarded
+            assert_reopen_invariants(&dir, &oracle, &context);
+            cells += 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&base);
+    assert!(cells >= 90, "matrix unexpectedly small: {cells} cells");
+}
+
+/// A fault on one cell must leave the *handle* in a state where dropping
+/// and reopening works even when the fault was transient (`Fail`), i.e.
+/// a failed fsync does not poison an otherwise healthy store.
+#[test]
+fn transient_fail_then_reopen_retains_committed_words() {
+    let seed = seed();
+    let base = build_base("transient");
+    let injector = FaultInjector::rule("tail.commit.sync", 0, FaultAction::Fail, seed);
+    let mut store =
+        PatternStore::open_with_faults(&base, injector).expect("open with transient fault");
+    let w = word(1);
+    store.append(&w).expect("append");
+    let err = store
+        .commit()
+        .expect_err("first commit hits the failed fsync");
+    assert!(err.to_string().contains("tail.commit.sync"), "{err}");
+    // The handle survives a transient failure: retrying succeeds.
+    store
+        .commit()
+        .expect("second commit retries past the fault");
+    drop(store);
+    let reopened = PatternStore::open(&base).expect("reopen");
+    assert!(reopened.contains(&w), "retried commit must be durable");
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1,4 +1,5 @@
-//! The client side: a blocking connection with pipelined batches.
+//! The client side: a blocking connection with pipelined batches,
+//! deadlines, and opt-in retry.
 //!
 //! [`WireClient`] wraps one TCP connection. Single-shot calls
 //! ([`WireClient::query`], [`WireClient::stats`], …) are plain
@@ -9,13 +10,35 @@
 //! answers a connection's frames in arrival order; request ids are
 //! checked on every response, so a desynchronized stream fails typed
 //! ([`WireError::RequestIdMismatch`]) instead of mispairing verdicts.
+//!
+//! # Deadlines and retry
+//!
+//! Every socket operation runs under [`ClientConfig`] deadlines — a dead
+//! or stalled server surfaces as [`WireError::TimedOut`] instead of a
+//! hang. A [`RetryPolicy`] (off by default, [`RetryPolicy::standard`] to
+//! opt in) transparently retries two classes of failure with jittered
+//! exponential backoff:
+//!
+//! - **`Busy`** — always retryable: the server refused *before* admitting
+//!   the request, so nothing happened.
+//! - **Transient transport failures** (I/O errors, timeouts, truncation) —
+//!   retried only for idempotent requests (`Query`, `QueryBatch`,
+//!   `Stats`), because the request may have been half-delivered. The
+//!   client reconnects first, resetting the request-id window, so a
+//!   connection dropped mid-pipeline never strands the stream.
+//!
+//! `Absorb` is *not* idempotent at the counting level (re-absorbing
+//! deduplicates, but the fresh-pattern count would lie), so it is retried
+//! on `Busy` only. When the budget runs out the last error comes back
+//! wrapped in [`WireError::RetriesExhausted`].
 
 use crate::codec::{Request, Response, StatsSnapshot};
 use crate::frame::{Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
 use crate::WireError;
 use napmon_core::Verdict;
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Requests per pipelined frame in [`WireClient::query_batch`] /
 /// [`WireClient::absorb_batch`].
@@ -30,56 +53,248 @@ const PIPELINE_CHUNK: usize = 64;
 /// the round trip.
 const PIPELINE_WINDOW: usize = 8;
 
+/// SplitMix64 step — the jitter source behind [`RetryPolicy`]. Inlined
+/// (not a dependency on the faultline test crate) so production clients
+/// carry no test machinery.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Budget-capped, jittered exponential backoff for retryable failures.
+///
+/// Attempt `n`'s backoff is drawn uniformly from the upper half of
+/// `initial_backoff · 2ⁿ` (capped at `max_backoff`) — "equal jitter",
+/// which decorrelates a fleet of clients without ever sleeping near
+/// zero. Retrying stops when `max_attempts` or the wall-clock `budget`
+/// is exhausted, whichever comes first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first. `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Hard cap on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Wall-clock cap across all attempts and sleeps.
+    pub budget: Duration,
+    /// Seed for the jitter draws; `None` derives a per-client seed, a
+    /// fixed value makes the backoff schedule fully reproducible.
+    pub jitter_seed: Option<u64>,
+}
+
+impl RetryPolicy {
+    /// No retry at all: every failure surfaces immediately. The default.
+    pub fn disabled() -> Self {
+        Self {
+            max_attempts: 1,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            budget: Duration::ZERO,
+            jitter_seed: None,
+        }
+    }
+
+    /// The recommended client loop: up to 6 attempts, 10 ms doubling to
+    /// 500 ms, 10 s total budget.
+    pub fn standard() -> Self {
+        Self {
+            max_attempts: 6,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            budget: Duration::from_secs(10),
+            jitter_seed: None,
+        }
+    }
+
+    /// [`RetryPolicy::standard`] with a fixed jitter seed, for
+    /// deterministic tests.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            jitter_seed: Some(seed),
+            ..Self::standard()
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// The jittered sleep before retry number `retry_index` (0-based).
+    fn backoff(&self, retry_index: u32, jitter: &mut u64) -> Duration {
+        let doubling = 1u32.checked_shl(retry_index.min(20)).unwrap_or(u32::MAX);
+        let cap = self
+            .initial_backoff
+            .saturating_mul(doubling)
+            .min(self.max_backoff);
+        let nanos = cap.as_nanos().min(u64::MAX as u128) as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        let half = nanos / 2;
+        let draw = ((splitmix_next(jitter) as u128 * (half + 1) as u128) >> 64) as u64;
+        Duration::from_nanos(half + draw)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Connection-level knobs of a [`WireClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection (and re-establishing
+    /// it on retry).
+    pub connect_timeout: Duration,
+    /// Deadline for each socket read; `None` blocks forever (the
+    /// pre-deadline behavior — not recommended against remote servers).
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each socket write; `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+    /// Largest response payload the client will accept.
+    pub max_payload: u32,
+    /// Retry policy for `Busy` and transient transport failures.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    /// Deadlines on (5 s connect, 30 s read/write), retry off.
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            retry: RetryPolicy::disabled(),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Overrides the connect deadline.
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Overrides the per-read deadline (`None` blocks forever).
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Overrides the per-write deadline (`None` blocks forever).
+    pub fn write_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Installs a retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+}
+
+fn map_read_err(e: std::io::Error) -> WireError {
+    match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => WireError::Truncated,
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::TimedOut,
+        _ => WireError::Io(e),
+    }
+}
+
+fn map_write_err(e: std::io::Error) -> WireError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::TimedOut,
+        _ => WireError::Io(e),
+    }
+}
+
 /// A blocking client for one [`WireServer`](crate::WireServer).
 pub struct WireClient {
     stream: TcpStream,
+    /// The resolved address actually connected to; reconnects re-dial it.
+    addr: SocketAddr,
     next_id: u64,
-    max_payload: u32,
+    config: ClientConfig,
+    /// Jitter generator state for the retry backoff schedule.
+    jitter: u64,
 }
 
 impl WireClient {
-    /// Connects to a server.
+    /// Connects with [`ClientConfig::default`]: deadlines on, retry off.
     ///
     /// # Errors
     ///
-    /// [`WireError::Io`] if the connection fails.
+    /// [`WireError::Io`] if every resolved address refuses, or
+    /// [`WireError::TimedOut`] if connecting exceeds the deadline.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Self {
-            stream,
-            next_id: 1,
-            max_payload: DEFAULT_MAX_PAYLOAD,
-        })
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::connect`].
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, WireError> {
+        let mut last: Option<WireError> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match dial(candidate, &config) {
+                Ok(stream) => {
+                    let jitter = config.retry.jitter_seed.unwrap_or_else(derived_jitter_seed);
+                    return Ok(Self {
+                        stream,
+                        addr: candidate,
+                        next_id: 1,
+                        config,
+                        jitter,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            ))
+        }))
+    }
+
+    /// Drops the current connection and dials the same address again,
+    /// resetting the request-id window — the resync step that makes a
+    /// retried pipelined batch start from a clean stream.
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        self.stream = dial(self.addr, &self.config)?;
+        self.next_id = 1;
+        Ok(())
     }
 
     fn send(&mut self, request: Request) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;
         let frame = request.into_frame(id);
-        self.stream.write_all(&frame.encode())?;
+        self.stream
+            .write_all(&frame.encode())
+            .map_err(map_write_err)?;
         Ok(id)
     }
 
     /// Reads one response frame, checking it answers request `id`.
     fn receive(&mut self, id: u64) -> Result<Response, WireError> {
         let mut header = [0u8; HEADER_LEN];
-        self.stream.read_exact(&mut header).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                WireError::Truncated
-            } else {
-                WireError::Io(e)
-            }
-        })?;
-        let parsed = Frame::decode_header(&header, self.max_payload)?;
+        self.stream.read_exact(&mut header).map_err(map_read_err)?;
+        let parsed = Frame::decode_header(&header, self.config.max_payload)?;
         let mut payload = vec![0u8; parsed.payload_len as usize];
-        self.stream.read_exact(&mut payload).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                WireError::Truncated
-            } else {
-                WireError::Io(e)
-            }
-        })?;
+        self.stream.read_exact(&mut payload).map_err(map_read_err)?;
         if parsed.request_id != id {
             return Err(WireError::RequestIdMismatch {
                 sent: id,
@@ -102,48 +317,108 @@ impl WireClient {
         }
     }
 
-    /// Serves one input.
+    /// Runs `op` under the retry policy. `Busy` refusals always retry;
+    /// transient transport failures retry (after a reconnect) only when
+    /// `idempotent`. Exhaustion surfaces as
+    /// [`WireError::RetriesExhausted`].
+    fn with_retry<T>(
+        &mut self,
+        idempotent: bool,
+        mut op: impl FnMut(&mut Self) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let policy = self.config.retry.clone();
+        if !policy.enabled() {
+            return op(self);
+        }
+        let start = Instant::now();
+        let mut attempts = 0u32;
+        let mut needs_reconnect = false;
+        loop {
+            attempts += 1;
+            let result = if needs_reconnect {
+                self.reconnect().and_then(|()| {
+                    needs_reconnect = false;
+                    op(self)
+                })
+            } else {
+                op(self)
+            };
+            let err = match result {
+                Ok(value) => return Ok(value),
+                Err(e) => e,
+            };
+            let transport = err.is_transient_transport();
+            let retryable = matches!(err, WireError::Busy { .. }) || (transport && idempotent);
+            if !retryable {
+                return Err(err);
+            }
+            needs_reconnect |= transport;
+            let backoff = policy.backoff(attempts - 1, &mut self.jitter);
+            if attempts >= policy.max_attempts || start.elapsed() + backoff > policy.budget {
+                return Err(WireError::RetriesExhausted {
+                    attempts,
+                    last: Box::new(err),
+                });
+            }
+            std::thread::sleep(backoff);
+        }
+    }
+
+    /// Serves one input (idempotent; retried under the policy).
     ///
     /// # Errors
     ///
     /// [`WireError::Busy`] under backpressure, [`WireError::Remote`] for
-    /// server-side failures, and transport/protocol errors otherwise.
+    /// server-side failures, [`WireError::TimedOut`] past a deadline,
+    /// [`WireError::RetriesExhausted`] when a policy gives up, and
+    /// transport/protocol errors otherwise.
     pub fn query(&mut self, input: &[f64]) -> Result<Verdict, WireError> {
-        match self.call(Request::Query(input.to_vec()))? {
-            Response::Verdict(verdict) => Ok(verdict),
-            other => Err(unexpected("verdict", &other)),
-        }
+        self.with_retry(true, |client| {
+            match client.call(Request::Query(input.to_vec()))? {
+                Response::Verdict(verdict) => Ok(verdict),
+                other => Err(unexpected("verdict", &other)),
+            }
+        })
     }
 
     /// Serves a whole batch with pipelined chunked submission; verdicts
-    /// come back in input order.
+    /// come back in input order. Idempotent: a retry policy re-submits
+    /// the whole batch (reconnecting first after a transport failure).
     ///
     /// # Errors
     ///
     /// The first failing chunk's error, after the stream has been fully
-    /// drained (the connection stays usable).
+    /// drained (the connection stays usable); retry/deadline errors as
+    /// [`WireClient::query`].
     pub fn query_batch(&mut self, inputs: &[Vec<f64>]) -> Result<Vec<Verdict>, WireError> {
-        let responses = self.pipeline(inputs, |chunk| Request::QueryBatch(chunk.to_vec()))?;
-        let mut verdicts = Vec::with_capacity(inputs.len());
-        for response in responses {
-            match response {
-                Response::Verdicts(mut chunk) => verdicts.append(&mut chunk),
-                other => return Err(unexpected("verdict batch", &other)),
+        self.with_retry(true, |client| {
+            let responses = client.pipeline(inputs, |chunk| Request::QueryBatch(chunk.to_vec()))?;
+            let mut verdicts = Vec::with_capacity(inputs.len());
+            for response in responses {
+                match response {
+                    Response::Verdicts(mut chunk) => verdicts.append(&mut chunk),
+                    other => return Err(unexpected("verdict batch", &other)),
+                }
             }
-        }
-        if verdicts.len() != inputs.len() {
-            return Err(WireError::Malformed(format!(
-                "server answered {} verdicts for {} inputs",
-                verdicts.len(),
-                inputs.len()
-            )));
-        }
-        Ok(verdicts)
+            if verdicts.len() != inputs.len() {
+                return Err(WireError::Malformed(format!(
+                    "server answered {} verdicts for {} inputs",
+                    verdicts.len(),
+                    inputs.len()
+                )));
+            }
+            Ok(verdicts)
+        })
     }
 
     /// Absorbs a batch of inputs into the server's store-backed members
     /// (operation-time monitor enlargement over the wire). Returns the
     /// number of new patterns stored.
+    ///
+    /// Retried on `Busy` only: a `Busy` refusal admitted nothing, so
+    /// re-submitting is safe. Transport failures are *not* retried —
+    /// the batch may have been half-absorbed, and although re-absorbing
+    /// deduplicates, the returned fresh-pattern count would undercount.
     ///
     /// # Errors
     ///
@@ -152,19 +427,22 @@ impl WireClient {
     ///
     /// [`ErrorCode::Monitor`]: crate::ErrorCode::Monitor
     pub fn absorb_batch(&mut self, inputs: &[Vec<f64>]) -> Result<u64, WireError> {
-        let responses = self.pipeline(inputs, |chunk| Request::Absorb(chunk.to_vec()))?;
-        let mut fresh = 0u64;
-        for response in responses {
-            match response {
-                Response::Absorbed(n) => fresh += n,
-                other => return Err(unexpected("absorbed count", &other)),
+        self.with_retry(false, |client| {
+            let responses = client.pipeline(inputs, |chunk| Request::Absorb(chunk.to_vec()))?;
+            let mut fresh = 0u64;
+            for response in responses {
+                match response {
+                    Response::Absorbed(n) => fresh += n,
+                    other => return Err(unexpected("absorbed count", &other)),
+                }
             }
-        }
-        Ok(fresh)
+            Ok(fresh)
+        })
     }
 
     /// Snapshots the server's metrics: the engine's [`ServeReport`] plus
-    /// the wire layer's in-flight/budget/busy gauges.
+    /// the wire layer's in-flight/budget/busy gauges and degradation
+    /// counters. Idempotent; retried under the policy.
     ///
     /// [`ServeReport`]: napmon_serve::ServeReport
     ///
@@ -172,13 +450,15 @@ impl WireClient {
     ///
     /// Transport/protocol errors; stats are never refused as busy.
     pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
-        match self.call(Request::Stats)? {
+        self.with_retry(true, |client| match client.call(Request::Stats)? {
             Response::Stats(snapshot) => Ok(*snapshot),
             other => Err(unexpected("stats report", &other)),
-        }
+        })
     }
 
     /// Asks the server to shut down gracefully (drain, then close).
+    /// Never retried: a transport error may mean the request landed and
+    /// the server is already draining.
     ///
     /// # Errors
     ///
@@ -247,9 +527,78 @@ impl WireClient {
     }
 }
 
+/// One TCP dial under the config's deadlines.
+fn dial(addr: SocketAddr, config: &ClientConfig) -> Result<TcpStream, WireError> {
+    let stream = TcpStream::connect_timeout(&addr, config.connect_timeout).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::TimedOut || e.kind() == std::io::ErrorKind::WouldBlock {
+            WireError::TimedOut
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    Ok(stream)
+}
+
+/// A per-client jitter seed when the policy does not fix one: the process
+/// id mixed with a client counter, so concurrent clients (and restarted
+/// processes) never share a backoff schedule.
+fn derived_jitter_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut state = (std::process::id() as u64) << 32 | COUNTER.fetch_add(1, Ordering::Relaxed);
+    splitmix_next(&mut state)
+}
+
 fn unexpected(expected: &'static str, got: &Response) -> WireError {
     WireError::UnexpectedResponse {
         expected,
         got: got.opcode() as u8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_within_bounds() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            budget: Duration::from_secs(10),
+            jitter_seed: Some(1),
+        };
+        let mut jitter = 1u64;
+        for retry in 0..8 {
+            let nominal =
+                Duration::from_millis(10 * (1u64 << retry.min(3))).min(Duration::from_millis(80));
+            let sleep = policy.backoff(retry, &mut jitter);
+            assert!(
+                sleep >= nominal / 2 && sleep <= nominal,
+                "retry {retry}: {sleep:?} outside [{:?}, {nominal:?}]",
+                nominal / 2
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_replays_from_seed() {
+        let policy = RetryPolicy::seeded(42);
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for retry in 0..6 {
+            assert_eq!(policy.backoff(retry, &mut a), policy.backoff(retry, &mut b));
+        }
+    }
+
+    #[test]
+    fn disabled_policy_is_single_attempt() {
+        assert!(!RetryPolicy::disabled().enabled());
+        assert!(RetryPolicy::standard().enabled());
+        assert_eq!(ClientConfig::default().retry, RetryPolicy::disabled());
     }
 }

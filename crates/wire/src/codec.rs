@@ -132,8 +132,50 @@ pub struct StatsSnapshot {
     pub wire_in_flight: u32,
     /// The server's in-flight budget.
     pub wire_budget: u32,
-    /// Requests refused with `Busy` since the server started.
+    /// Requests refused with `Busy` since the server started — the sum of
+    /// every `Busy`-shaped refusal in [`DegradedStats`] (budget, watermark,
+    /// and connection-cap), kept as one headline figure for dashboards.
     pub wire_busy_rejections: u64,
+    /// The split degradation ledger: which defense refused or evicted what.
+    pub degraded: DegradedStats,
+}
+
+/// Counters for every load-shedding and eviction decision the server has
+/// made — the audit trail of its graceful-degradation ladder. Each counter
+/// is one defense; together they account for every request or connection
+/// the server turned away rather than served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DegradedStats {
+    /// Work requests answered `Busy` because the in-flight budget was
+    /// exhausted (the request was fully read; the connection stays open).
+    pub busy_budget: u64,
+    /// Work requests answered `Busy` because the engine's shard backlog
+    /// stood above the queue watermark — shed *before* saturating the
+    /// engine, again without disconnecting.
+    pub shed_watermark: u64,
+    /// Connections refused at accept because the connection cap was
+    /// reached (answered with one `Busy` frame, then closed).
+    pub refused_connections: u64,
+    /// Connections evicted for sitting idle between frames past the idle
+    /// deadline (each got a typed `Evicted` error frame first).
+    pub evicted_idle: u64,
+    /// Connections evicted for stalling mid-frame past the frame deadline
+    /// — the slow-loris defense — or for not draining their responses past
+    /// the write deadline.
+    pub evicted_stalled: u64,
+}
+
+impl DegradedStats {
+    /// Total `Busy`-shaped refusals: what [`StatsSnapshot`] reports as the
+    /// headline `wire_busy_rejections`.
+    pub fn busy_total(&self) -> u64 {
+        self.busy_budget + self.shed_watermark + self.refused_connections
+    }
+
+    /// Total connections evicted for stalling (idle or mid-frame).
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_idle + self.evicted_stalled
+    }
 }
 
 impl Response {
@@ -327,13 +369,23 @@ mod tests {
 
     #[test]
     fn stats_round_trip() {
+        let degraded = DegradedStats {
+            busy_budget: 3,
+            shed_watermark: 1,
+            refused_connections: 1,
+            evicted_idle: 2,
+            evicted_stalled: 1,
+        };
         let snapshot = StatsSnapshot {
             engine: ServeReport::aggregate(Vec::new()),
             engine_queue_depth: 1,
             wire_in_flight: 2,
             wire_budget: 16,
-            wire_busy_rejections: 5,
+            wire_busy_rejections: degraded.busy_total(),
+            degraded,
         };
+        assert_eq!(degraded.busy_total(), 5);
+        assert_eq!(degraded.evicted_total(), 3);
         round_trip_response(Response::Stats(Box::new(snapshot)));
     }
 

@@ -26,6 +26,10 @@ pub enum ErrorCode {
     UnsupportedOpcode = 4,
     /// The frame's protocol version is not the one this server speaks.
     UnsupportedVersion = 5,
+    /// The server evicted this connection for stalling past its deadline
+    /// (idle between frames, or mid-frame past the frame deadline). The
+    /// connection closes after this frame; reconnect to continue.
+    Evicted = 6,
 }
 
 impl ErrorCode {
@@ -37,6 +41,7 @@ impl ErrorCode {
             3 => Some(Self::Malformed),
             4 => Some(Self::UnsupportedOpcode),
             5 => Some(Self::UnsupportedVersion),
+            6 => Some(Self::Evicted),
             _ => None,
         }
     }
@@ -50,6 +55,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Malformed => "malformed",
             ErrorCode::UnsupportedOpcode => "unsupported-opcode",
             ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::Evicted => "evicted",
         };
         f.write_str(name)
     }
@@ -112,6 +118,20 @@ pub enum WireError {
         /// The id that arrived.
         got: u64,
     },
+    /// A client-side deadline expired (connect, read, or write timeout;
+    /// see [`ClientConfig`](crate::ClientConfig)). The stream may hold a
+    /// partial frame, so the connection must be re-established before
+    /// reuse — [`RetryPolicy`](crate::RetryPolicy) does this
+    /// automatically for idempotent requests.
+    TimedOut,
+    /// A [`RetryPolicy`](crate::RetryPolicy) gave up: every attempt
+    /// failed and the attempt or time budget ran out.
+    RetriesExhausted {
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// The error the final attempt died with.
+        last: Box<WireError>,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -149,6 +169,10 @@ impl std::fmt::Display for WireError {
             WireError::RequestIdMismatch { sent, got } => {
                 write!(f, "response for request {got} while waiting on {sent}")
             }
+            WireError::TimedOut => write!(f, "client-side deadline expired"),
+            WireError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -157,8 +181,23 @@ impl std::error::Error for WireError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WireError::Io(e) => Some(e),
+            WireError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
+    }
+}
+
+impl WireError {
+    /// Whether this is a transient *transport* failure — the kind a fresh
+    /// connection plus a retry can heal, but one that may have left a
+    /// request half-delivered (so only idempotent requests should be
+    /// retried across it). `Busy` is not a transport failure: the server
+    /// explicitly did *not* admit the request, so retrying is always safe.
+    pub fn is_transient_transport(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(_) | WireError::Truncated | WireError::TimedOut
+        )
     }
 }
 

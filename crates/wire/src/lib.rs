@@ -72,8 +72,8 @@ pub mod error;
 pub mod frame;
 pub mod server;
 
-pub use client::WireClient;
-pub use codec::{Request, Response, StatsSnapshot, MAX_BATCH_INPUTS};
+pub use client::{ClientConfig, RetryPolicy, WireClient};
+pub use codec::{DegradedStats, Request, Response, StatsSnapshot, MAX_BATCH_INPUTS};
 pub use error::{ErrorCode, WireError};
 pub use frame::{
     Frame, FrameHeader, Opcode, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, WIRE_PROTOCOL_VERSION,

@@ -19,8 +19,20 @@
 //! the engine itself drains its shard queues and reports final metrics.
 //! A client that disconnects mid-request costs nothing: its work completes
 //! in the engine and the unsendable reply is dropped.
+//!
+//! **Degradation is graceful and accounted.** Under pressure the server
+//! walks a fixed shedding ladder rather than falling over: connections
+//! over the cap are refused with one `Busy` frame; fully-read requests are
+//! shed with `Busy` when the engine's backlog crosses the queue watermark
+//! or the in-flight budget is exhausted (never mid-frame — a shed request
+//! leaves the connection framed and usable); and peers that stall — idle
+//! between frames past [`WireConfig::idle_timeout`], or mid-frame past
+//! [`WireConfig::frame_deadline`] (the slow-loris defense) — are evicted
+//! with a typed `Evicted` error frame so their threads come back. Every
+//! one of these decisions increments a counter in
+//! [`DegradedStats`], reported by `Stats`.
 
-use crate::codec::{Request, Response, StatsSnapshot};
+use crate::codec::{DegradedStats, Request, Response, StatsSnapshot};
 use crate::error::{serve_error_code, WireError};
 use crate::frame::{Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
 use napmon_artifact::ArtifactError;
@@ -55,6 +67,22 @@ pub struct WireConfig {
     /// How long a mid-frame read may stall during shutdown before the
     /// connection is abandoned as dead.
     pub drain_grace: Duration,
+    /// How long a connection may sit idle *between* frames before it is
+    /// evicted (typed `Evicted` error frame, then close). Bounds how long
+    /// a silent peer can hold one of the capped connection slots.
+    pub idle_timeout: Duration,
+    /// How long a peer may stall *mid-frame* — header or payload started
+    /// but not finished — before eviction. This is the slow-loris defense:
+    /// trickling one byte per deadline no longer holds a thread forever.
+    /// Also the per-write deadline, so a peer that stops draining its
+    /// responses is evicted rather than wedging the handler in `write`.
+    pub frame_deadline: Duration,
+    /// Engine shard-backlog level (in queued micro-batch jobs, the unit
+    /// of `MonitorEngine::queue_depth`) above which fully-read work
+    /// requests are shed with `Busy` instead of queued. Shedding at the
+    /// wire keeps the engine below saturation, so already-admitted work
+    /// keeps its latency. Zero disables watermark shedding.
+    pub queue_watermark: usize,
 }
 
 impl Default for WireConfig {
@@ -65,17 +93,46 @@ impl Default for WireConfig {
             max_payload: DEFAULT_MAX_PAYLOAD,
             poll_interval: Duration::from_millis(10),
             drain_grace: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            frame_deadline: Duration::from_secs(10),
+            queue_watermark: 4096,
         }
     }
 }
 
 impl WireConfig {
     fn normalized(self) -> Self {
+        let poll_interval = self.poll_interval.max(Duration::from_millis(1));
         Self {
             max_in_flight: self.max_in_flight.max(1),
             max_connections: self.max_connections.max(1),
-            poll_interval: self.poll_interval.max(Duration::from_millis(1)),
+            poll_interval,
+            // Deadlines below the poll granularity cannot be observed.
+            idle_timeout: self.idle_timeout.max(poll_interval),
+            frame_deadline: self.frame_deadline.max(poll_interval),
             ..self
+        }
+    }
+}
+
+/// The [`DegradedStats`] ledger as live atomics.
+#[derive(Default)]
+struct DegradedCounters {
+    busy_budget: AtomicU64,
+    shed_watermark: AtomicU64,
+    refused_connections: AtomicU64,
+    evicted_idle: AtomicU64,
+    evicted_stalled: AtomicU64,
+}
+
+impl DegradedCounters {
+    fn snapshot(&self) -> DegradedStats {
+        DegradedStats {
+            busy_budget: self.busy_budget.load(Ordering::Relaxed),
+            shed_watermark: self.shed_watermark.load(Ordering::Relaxed),
+            refused_connections: self.refused_connections.load(Ordering::Relaxed),
+            evicted_idle: self.evicted_idle.load(Ordering::Relaxed),
+            evicted_stalled: self.evicted_stalled.load(Ordering::Relaxed),
         }
     }
 }
@@ -86,7 +143,7 @@ struct Shared {
     config: WireConfig,
     shutting_down: AtomicBool,
     in_flight: AtomicUsize,
-    busy_rejections: AtomicU64,
+    degraded: DegradedCounters,
 }
 
 impl Shared {
@@ -100,13 +157,15 @@ impl Shared {
     /// The budget is counted in wire requests only — the engine's shard
     /// backlog is measured in micro-batch *jobs*, a different unit, and
     /// every queued job already belongs to a request holding a slot here,
-    /// so gating on it again would refuse legal traffic.
+    /// so gating on it again would refuse legal traffic. Saturation of
+    /// the backlog itself is the queue watermark's job (see
+    /// [`with_admission`]).
     fn try_admit(&self) -> Result<InFlightGuard<'_>, (u32, u32)> {
         let budget = self.config.max_in_flight;
         let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
         if prev >= budget {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
-            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            self.degraded.busy_budget.fetch_add(1, Ordering::Relaxed);
             return Err((prev as u32, budget as u32));
         }
         Ok(InFlightGuard { shared: self })
@@ -160,7 +219,7 @@ impl WireServer {
             config: config.normalized(),
             shutting_down: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
-            busy_rejections: AtomicU64::new(0),
+            degraded: DegradedCounters::default(),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -285,7 +344,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<JoinHandle<(
                     if let Ok(frame) = refusal.into_frame(0) {
                         let _ = stream.write_all(&frame.encode());
                     }
-                    shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .degraded
+                        .refused_connections
+                        .fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 let conn_shared = Arc::clone(shared);
@@ -318,16 +380,45 @@ enum ReadOutcome<T> {
     Closed,
 }
 
-/// Serves one connection until EOF, a fatal frame error, or drained
-/// shutdown.
+/// Why a blocking read gave up on a connection.
+enum ReadError {
+    /// The stream itself failed or desynchronized.
+    Wire(WireError),
+    /// The peer sat idle between frames past the idle deadline.
+    EvictIdle,
+    /// The peer stalled mid-frame past the frame deadline.
+    EvictStalled,
+}
+
+impl From<WireError> for ReadError {
+    fn from(e: WireError) -> Self {
+        ReadError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Wire(e.into())
+    }
+}
+
+/// Serves one connection until EOF, a fatal frame error, eviction, or
+/// drained shutdown.
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    // A peer that stops draining responses is evicted by the write
+    // deadline instead of wedging this thread in `write_all`.
+    let _ = stream.set_write_timeout(Some(shared.config.frame_deadline));
     loop {
         let header = match read_header(&mut stream, shared) {
             Ok(ReadOutcome::Full(header)) => header,
             Ok(ReadOutcome::Closed) => return,
-            Err(e) => {
+            Err(evict @ (ReadError::EvictIdle | ReadError::EvictStalled)) => {
+                evict_connection(&mut stream, shared, &evict, 0);
+                return;
+            }
+            Err(ReadError::Wire(e)) => {
                 // The stream is unframed from here; report and close.
                 respond_error_raw(&mut stream, 0, &e);
                 return;
@@ -351,7 +442,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         };
         let payload = match read_payload(&mut stream, shared, parsed.payload_len as usize) {
             Ok(payload) => payload,
-            Err(_) => return, // peer died mid-frame; nothing to answer
+            Err(evict @ (ReadError::EvictIdle | ReadError::EvictStalled)) => {
+                evict_connection(&mut stream, shared, &evict, parsed.request_id);
+                return;
+            }
+            Err(ReadError::Wire(_)) => return, // peer died mid-frame; nothing to answer
         };
         let frame = Frame {
             opcode: parsed.opcode,
@@ -361,9 +456,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         let (response, initiated_shutdown) = serve_frame(&frame, shared);
         match response.into_frame(parsed.request_id) {
             Ok(reply) => {
-                if stream.write_all(&reply.encode()).is_err() {
-                    // Disconnected client: the work is done (the engine
-                    // served it); only the reply is lost.
+                if let Err(e) = stream.write_all(&reply.encode()) {
+                    // A write deadline means the peer stopped draining —
+                    // that is an eviction, and it is accounted as one.
+                    // Otherwise it is a disconnected client: the work is
+                    // done (the engine served it); only the reply is lost.
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut {
+                        shared
+                            .degraded
+                            .evicted_stalled
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                     return;
                 }
             }
@@ -410,25 +513,51 @@ fn serve_frame(frame: &Frame, shared: &Arc<Shared>) -> (Response, bool) {
                 .map(|fresh| Response::Absorbed(fresh as u64))
                 .unwrap_or_else(|e| serve_error_response(&e))
         }),
-        Request::Stats => (
-            Response::Stats(Box::new(StatsSnapshot {
-                engine: shared.engine.report(),
-                engine_queue_depth: shared.engine.queue_depth() as u64,
-                wire_in_flight: shared.in_flight.load(Ordering::Acquire) as u32,
-                wire_budget: shared.config.max_in_flight as u32,
-                wire_busy_rejections: shared.busy_rejections.load(Ordering::Relaxed),
-            })),
-            false,
-        ),
+        Request::Stats => {
+            let degraded = shared.degraded.snapshot();
+            (
+                Response::Stats(Box::new(StatsSnapshot {
+                    engine: shared.engine.report(),
+                    engine_queue_depth: shared.engine.queue_depth() as u64,
+                    wire_in_flight: shared.in_flight.load(Ordering::Acquire) as u32,
+                    wire_budget: shared.config.max_in_flight as u32,
+                    wire_busy_rejections: degraded.busy_total(),
+                    degraded,
+                })),
+                false,
+            )
+        }
         Request::Shutdown => (Response::ShuttingDown, true),
     }
 }
 
-/// Runs a work request under the in-flight budget, or answers `Busy`.
+/// Runs a work request under the admission ladder, or answers `Busy`.
+///
+/// Two gates, both *after* the frame is fully read (a shed never leaves
+/// the stream mid-frame): the engine's shard backlog against the queue
+/// watermark — shedding at the wire before the engine saturates, so work
+/// already queued keeps its latency — then the wire in-flight budget.
 fn with_admission(
     shared: &Arc<Shared>,
     work: impl FnOnce(&MonitorEngine<ComposedMonitor>) -> Response,
 ) -> (Response, bool) {
+    let watermark = shared.config.queue_watermark;
+    if watermark > 0 {
+        let backlog = shared.engine.queue_depth();
+        if backlog > watermark {
+            shared
+                .degraded
+                .shed_watermark
+                .fetch_add(1, Ordering::Relaxed);
+            return (
+                Response::Busy {
+                    in_flight: backlog.min(u32::MAX as usize) as u32,
+                    budget: watermark.min(u32::MAX as usize) as u32,
+                },
+                false,
+            );
+        }
+    }
     match shared.try_admit() {
         Ok(_guard) => (work(&shared.engine), false),
         Err((in_flight, budget)) => (Response::Busy { in_flight, budget }, false),
@@ -440,6 +569,32 @@ fn serve_error_response(e: &napmon_serve::ServeError) -> Response {
         code: serve_error_code(e),
         message: e.to_string(),
     }
+}
+
+/// Evicts a stalled connection: count it, tell the peer why with a typed
+/// `Evicted` error frame, and hang up politely (half-close + drain) so
+/// the frame survives long enough to be read.
+fn evict_connection(stream: &mut TcpStream, shared: &Arc<Shared>, why: &ReadError, id: u64) {
+    let (counter, message) = match why {
+        ReadError::EvictIdle => (
+            &shared.degraded.evicted_idle,
+            "connection idle past the deadline; reconnect to continue",
+        ),
+        ReadError::EvictStalled => (
+            &shared.degraded.evicted_stalled,
+            "frame stalled past the deadline; reconnect to continue",
+        ),
+        ReadError::Wire(_) => return, // not an eviction
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    let response = Response::Error {
+        code: crate::ErrorCode::Evicted,
+        message: message.to_string(),
+    };
+    if let Ok(frame) = response.into_frame(id) {
+        let _ = stream.write_all(&frame.encode());
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
 }
 
 /// Best-effort typed error reply on a stream that may already be broken,
@@ -472,11 +627,12 @@ fn respond_error_raw(stream: &mut TcpStream, request_id: u64, e: &WireError) {
 /// Reads a whole header, tolerating read timeouts. Between frames a
 /// shutdown (with no bytes read yet) closes cleanly; once a frame has
 /// started it is read to completion so it can be served — the drain
-/// guarantee.
+/// guarantee. A peer idle past the idle deadline, or stalled mid-header
+/// past the frame deadline, is evicted instead of holding the thread.
 fn read_header(
     stream: &mut TcpStream,
     shared: &Shared,
-) -> Result<ReadOutcome<[u8; HEADER_LEN]>, WireError> {
+) -> Result<ReadOutcome<[u8; HEADER_LEN]>, ReadError> {
     let mut buf = [0u8; HEADER_LEN];
     let mut filled = 0usize;
     let mut stalled = Duration::ZERO;
@@ -486,7 +642,7 @@ fn read_header(
                 return if filled == 0 {
                     Ok(ReadOutcome::Closed)
                 } else {
-                    Err(WireError::Truncated)
+                    Err(WireError::Truncated.into())
                 };
             }
             Ok(n) => {
@@ -494,16 +650,22 @@ fn read_header(
                 stalled = Duration::ZERO;
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                stalled += shared.config.poll_interval;
                 if shared.shutting_down() {
                     if filled == 0 {
                         return Ok(ReadOutcome::Closed);
                     }
-                    stalled += shared.config.poll_interval;
                     if stalled >= shared.config.drain_grace {
                         // A peer that started a frame but stopped sending
                         // cannot hold the drain hostage.
-                        return Err(WireError::Truncated);
+                        return Err(WireError::Truncated.into());
                     }
+                } else if filled == 0 {
+                    if stalled >= shared.config.idle_timeout {
+                        return Err(ReadError::EvictIdle);
+                    }
+                } else if stalled >= shared.config.frame_deadline {
+                    return Err(ReadError::EvictStalled);
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -514,24 +676,27 @@ fn read_header(
 }
 
 /// Reads a declared payload to completion (the frame has started; it will
-/// be served), subject to the same drain grace as headers.
-fn read_payload(stream: &mut TcpStream, shared: &Shared, len: usize) -> Result<Vec<u8>, WireError> {
+/// be served), subject to the same drain grace and frame deadline as
+/// headers.
+fn read_payload(stream: &mut TcpStream, shared: &Shared, len: usize) -> Result<Vec<u8>, ReadError> {
     let mut buf = vec![0u8; len];
     let mut filled = 0usize;
     let mut stalled = Duration::ZERO;
     while filled < len {
         match stream.read(&mut buf[filled..]) {
-            Ok(0) => return Err(WireError::Truncated),
+            Ok(0) => return Err(WireError::Truncated.into()),
             Ok(n) => {
                 filled += n;
                 stalled = Duration::ZERO;
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                stalled += shared.config.poll_interval;
                 if shared.shutting_down() {
-                    stalled += shared.config.poll_interval;
                     if stalled >= shared.config.drain_grace {
-                        return Err(WireError::Truncated);
+                        return Err(WireError::Truncated.into());
                     }
+                } else if stalled >= shared.config.frame_deadline {
+                    return Err(ReadError::EvictStalled);
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}

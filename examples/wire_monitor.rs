@@ -22,10 +22,20 @@ use napmon::nn::{Activation, LayerSpec, Network};
 use napmon::serve::{EngineConfig, MonitorEngine};
 use napmon::store::StoreProvider;
 use napmon::tensor::Prng;
-use napmon::wire::{WireClient, WireConfig, WireServer, WIRE_PROTOCOL_VERSION};
+use napmon::wire::{
+    ClientConfig, RetryPolicy, WireClient, WireConfig, WireServer, WIRE_PROTOCOL_VERSION,
+};
 
 const CLIENTS: usize = 4;
 const INPUT_DIM: usize = 4;
+
+/// Every client in this example speaks through the standard retry
+/// policy: a transient `Busy` from an over-budget server (or a dropped
+/// connection) is backed off and retried, not treated as fatal — only a
+/// `RetriesExhausted` would surface.
+fn resilient_client(addr: std::net::SocketAddr) -> Result<WireClient, napmon::wire::WireError> {
+    WireClient::connect_with(addr, ClientConfig::default().retry(RetryPolicy::standard()))
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("napmon_wire_example_{}", std::process::id()));
@@ -92,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let probes = probes.clone();
             let reference = reference.clone();
             std::thread::spawn(move || -> Result<(), String> {
-                let mut client = WireClient::connect(addr).map_err(|e| e.to_string())?;
+                let mut client = resilient_client(addr).map_err(|e| e.to_string())?;
                 let verdicts = client.query_batch(&probes).map_err(|e| e.to_string())?;
                 if verdicts != reference {
                     return Err(format!("client {id}: wire verdicts drifted"));
@@ -110,7 +120,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Absorb over the wire -------------------------------------------
-    let mut operator = WireClient::connect(addr)?;
+    let mut operator = resilient_client(addr)?;
     let novel: Vec<Vec<f64>> = (0..48)
         .map(|_| rng.uniform_vec(INPUT_DIM, -2.5, 2.5))
         .collect();
@@ -131,11 +141,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Stats + graceful shutdown, both over the wire ------------------
     let stats = operator.stats()?;
     println!(
-        "stats    {} requests served, warn rate {:.4}, wire budget {} (busy rejections: {})",
+        "stats    {} requests served, warn rate {:.4}, wire budget {} \
+         (busy rejections: {}, shed: {}, evicted: {})",
         stats.engine.requests,
         stats.engine.warn_rate,
         stats.wire_budget,
-        stats.wire_busy_rejections
+        stats.degraded.busy_total(),
+        stats.degraded.shed_watermark,
+        stats.degraded.evicted_total()
     );
     operator.shutdown_server()?;
     let report = server.wait();
@@ -155,7 +168,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         EngineConfig::with_shards(2),
         WireConfig::default(),
     )?;
-    let mut client = WireClient::connect(warm.local_addr())?;
+    let mut client = resilient_client(warm.local_addr())?;
     let served = client.query_batch(&novel)?;
     assert!(
         served.iter().all(|v| !v.warning),
