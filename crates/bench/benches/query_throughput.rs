@@ -17,7 +17,7 @@
 //! seconds-long smoke pass that still writes the full JSON schema (CI
 //! validates it).
 
-use napmon_bdd::{Bdd, NodeId};
+use napmon_bdd::{Bdd, BitSliceSet, BitWord, NodeId};
 use napmon_core::{
     FeatureExtractor, Monitor, MonitorBuilder, MonitorKind, PatternBackend, PatternMonitor,
     ThresholdPolicy,
@@ -33,6 +33,15 @@ const NEURON_COUNTS: [usize; 3] = [10, 40, 100];
 const TRAIN_SIZE: usize = 256;
 const PROBE_COUNT: usize = 512;
 const INPUT_DIM: usize = 16;
+
+/// Hamming-ball matrix: word widths model the store's monitor kinds
+/// (48 monitored neurons at 1/2/3 bits per neuron) — the regime where
+/// tolerance queries scan large pattern sets rather than saturating the
+/// pattern space.
+const HAMMING_WIDTHS: [usize; 3] = [48, 96, 144];
+const HAMMING_PATTERNS: usize = 8192;
+const HAMMING_TAU: usize = 2;
+const HAMMING_BATCH: usize = 256;
 
 /// Naive membership baseline: the seed's exact query shape. One heap
 /// `Vec<bool>` per query, std SipHash for the set backend, unpacked BDD
@@ -152,12 +161,37 @@ struct BackendResult {
 }
 
 #[derive(Serialize)]
+struct HammingResult {
+    /// Packed word width in bits.
+    word_bits: usize,
+    /// Distinct patterns in the scanned set.
+    patterns: usize,
+    /// Hamming-ball radius of every query.
+    tau: usize,
+    /// Per-query packed scan: `BitWord::hamming` over a `Vec<BitWord>`
+    /// with first-hit early exit — the pre-index query shape.
+    hamming_qps_packed: f64,
+    /// Bit-sliced batch kernel: `BitSliceSet::contains_within_batch`
+    /// over `HAMMING_BATCH`-query batches, queries/sec.
+    hamming_qps_sliced_batch: f64,
+    /// Within-run ratio sliced-batch / packed (hardware cancels).
+    sliced_hamming_speedup: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     train_size: usize,
     probe_count: usize,
     input_dim: usize,
     threads: usize,
+    smoke: bool,
     results: Vec<BackendResult>,
+    /// Hamming-ball tolerance queries: packed per-query scan vs the
+    /// bit-sliced batch kernel, per word width.
+    hamming_results: Vec<HammingResult>,
+    /// Minimum `sliced_hamming_speedup` across the Hamming matrix — the
+    /// batch-kernel headline. Full (non-smoke) runs must clear 3x.
+    min_sliced_hamming_speedup: f64,
     /// Minimum membership speedup over the naive `Vec<bool>` baseline
     /// across the hash-set configurations — the headline number. The hash
     /// store is where membership cost itself (hashing + equality +
@@ -273,6 +307,78 @@ fn bench_config(neurons: usize, backend: PatternBackend, results: &mut Vec<Backe
     });
 }
 
+/// One row of the Hamming-ball matrix: the same pattern set queried
+/// through the packed per-query scan (the shape the store used before the
+/// partition index) and through the bit-sliced batch kernel.
+fn bench_hamming(word_bits: usize) -> HammingResult {
+    let mut rng = Prng::seed(0xB17 + word_bits as u64);
+    let mut word = |bits: usize| -> BitWord {
+        let v = rng.uniform_vec(bits, -1.0, 1.0);
+        BitWord::from_fn(bits, |i| v[i] > 0.0)
+    };
+    // Random draws at >= 48 bits collide with negligible probability, so
+    // the set is distinct without an explicit dedup pass.
+    let words: Vec<BitWord> = (0..HAMMING_PATTERNS).map(|_| word(word_bits)).collect();
+    let mut sliced = BitSliceSet::with_bits(word_bits);
+    for w in &words {
+        sliced.insert(w);
+    }
+
+    // Probe mix: half near-misses (flip tau bits of a stored word, a hit
+    // both engines can early-exit on) and half fresh random words, which
+    // at these widths are misses — the case that forces a full scan and
+    // bounds out-of-distribution detection cost.
+    let probes: Vec<BitWord> = (0..HAMMING_BATCH)
+        .map(|i| {
+            if i % 2 == 0 {
+                let base = words[(i * 37) % words.len()].to_bools();
+                BitWord::from_fn(
+                    word_bits,
+                    |j| {
+                        if j < HAMMING_TAU {
+                            !base[j]
+                        } else {
+                            base[j]
+                        }
+                    },
+                )
+            } else {
+                word(word_bits)
+            }
+        })
+        .collect();
+
+    let tau32 = HAMMING_TAU as u32;
+    let mut i = 0usize;
+    let hamming_qps_packed = throughput(measure_secs(0.4), || {
+        let q = &probes[i % HAMMING_BATCH];
+        i += 1;
+        black_box(words.iter().any(|w| w.hamming(q) <= tau32));
+    });
+
+    let mut out = vec![false; HAMMING_BATCH];
+    let batch_qps = throughput(measure_secs(0.4), || {
+        sliced.contains_within_batch(black_box(&probes), HAMMING_TAU, &mut out);
+        black_box(&out);
+    });
+    let hamming_qps_sliced_batch = batch_qps * HAMMING_BATCH as f64;
+
+    let speedup = hamming_qps_sliced_batch / hamming_qps_packed;
+    println!(
+        "{word_bits:>4} bits  hamming tau={HAMMING_TAU} over {HAMMING_PATTERNS} patterns: \
+         packed scan {hamming_qps_packed:>12.0}/s  sliced batch {hamming_qps_sliced_batch:>12.0}/s \
+         ({speedup:>5.2}x)",
+    );
+    HammingResult {
+        word_bits,
+        patterns: HAMMING_PATTERNS,
+        tau: HAMMING_TAU,
+        hamming_qps_packed,
+        hamming_qps_sliced_batch,
+        sliced_hamming_speedup: speedup,
+    }
+}
+
 fn main() {
     let mut results = Vec::new();
     for &neurons in &NEURON_COUNTS {
@@ -280,6 +386,12 @@ fn main() {
             bench_config(neurons, backend, &mut results);
         }
     }
+    let hamming_results: Vec<HammingResult> =
+        HAMMING_WIDTHS.iter().map(|&w| bench_hamming(w)).collect();
+    let min_sliced_hamming_speedup = hamming_results
+        .iter()
+        .map(|r| r.sliced_hamming_speedup)
+        .fold(f64::MAX, f64::min);
     let min_over = |backend: &str| {
         results
             .iter()
@@ -296,13 +408,19 @@ fn main() {
         threads: std::thread::available_parallelism()
             .map(usize::from)
             .unwrap_or(1),
+        smoke: std::env::var_os("NAPMON_BENCH_SMOKE").is_some(),
         results,
+        hamming_results,
+        min_sliced_hamming_speedup,
         min_speedup_vs_naive_vec_bool,
         min_bdd_membership_speedup,
         notes: "membership = abstraction + store lookup on precomputed features; \
                 naive baseline reproduces the seed's Vec<bool>-per-query path in the \
                 same run. BDD rows share the identical node walk with the baseline, \
-                so their gain is bounded to the abstraction/allocation share."
+                so their gain is bounded to the abstraction/allocation share. \
+                hamming_results = tau-tolerance queries over one pattern set: packed \
+                per-query XOR-popcount scan vs the bit-sliced batch kernel, half \
+                near-miss hits / half random misses per batch."
             .to_string(),
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
@@ -314,5 +432,6 @@ fn main() {
     println!(
         "min BDD membership speedup (walk shared with baseline): {min_bdd_membership_speedup:.2}x"
     );
+    println!("min sliced-batch hamming speedup vs packed scan: {min_sliced_hamming_speedup:.2}x");
     println!("wrote {path}");
 }

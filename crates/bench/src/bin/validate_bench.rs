@@ -82,6 +82,7 @@ fn validate_query() {
     for key in ["train_size", "probe_count", "input_dim", "threads"] {
         positive(name, &report, key);
     }
+    field(name, &report, "smoke");
     positive(name, &report, "min_speedup_vs_naive_vec_bool");
     positive(name, &report, "min_bdd_membership_speedup");
     let Value::Array(results) = field(name, &report, "results") else {
@@ -101,7 +102,40 @@ fn validate_query() {
             positive(name, row, key);
         }
     }
-    println!("{name}: ok ({} result rows)", results.len());
+    // The Hamming-ball matrix: packed per-query scan vs the bit-sliced
+    // batch kernel, one row per word width.
+    let Value::Array(hamming) = field(name, &report, "hamming_results") else {
+        panic!("{name}: `hamming_results` is not an array");
+    };
+    assert!(!hamming.is_empty(), "{name}: `hamming_results` is empty");
+    for row in hamming {
+        for key in [
+            "word_bits",
+            "patterns",
+            "tau",
+            "hamming_qps_packed",
+            "hamming_qps_sliced_batch",
+            "sliced_hamming_speedup",
+        ] {
+            positive(name, row, key);
+        }
+    }
+    let min_sliced = positive(name, &report, "min_sliced_hamming_speedup");
+    // The batch-kernel acceptance bar. Only enforced on full runs: a
+    // smoke window is tens of milliseconds and its ratios are diffed (with
+    // tolerance) by compare mode instead of hard-gated here.
+    if !is_smoke(&report) {
+        assert!(
+            min_sliced >= 3.0,
+            "{name}: sliced batch kernel is only {min_sliced:.2}x the packed scan \
+             (full runs must clear 3x)"
+        );
+    }
+    println!(
+        "{name}: ok ({} result rows, {} hamming rows)",
+        results.len(),
+        hamming.len()
+    );
 }
 
 fn validate_serve() {
@@ -225,6 +259,7 @@ fn validate_store_report() {
             "exact_ns_store",
             "hamming_ns_memory",
             "hamming_ns_store",
+            "hamming_store_speedup",
             "disk_bytes",
         ] {
             positive(name, row, key);
@@ -326,6 +361,11 @@ struct CompareSpec {
     /// drift, and once the baseline carries the key it is compared like
     /// any other.
     row_tolerated_new: &'static [&'static str],
+    /// Same one-way tolerance for *top-level* keys. If the spec's own
+    /// `row_field` is listed here and absent from the baseline, the whole
+    /// spec is skipped (with a printed note) instead of failing — that is
+    /// how a brand-new row matrix rides past a pre-PR baseline.
+    top_tolerated_new: &'static [&'static str],
 }
 
 /// The degradation counters `BENCH_wire.json` rows grew with the
@@ -333,7 +373,12 @@ struct CompareSpec {
 /// compare-mode tolerance.
 const WIRE_DEGRADED_KEYS: [&str; 3] = ["degraded_busy", "degraded_shed", "degraded_evicted"];
 
-const COMPARE_SPECS: [CompareSpec; 5] = [
+/// Top-level keys `BENCH_query.json` grew with the bit-sliced batch
+/// kernel; tolerated one-way against pre-kernel baselines. Shared by both
+/// query specs so their top-level drift checks agree.
+const QUERY_TOP_TOLERATED: [&str; 3] = ["hamming_results", "min_sliced_hamming_speedup", "smoke"];
+
+const COMPARE_SPECS: [CompareSpec; 6] = [
     CompareSpec {
         name: "BENCH_query.json",
         row_field: "results",
@@ -345,6 +390,26 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         top_ratio_ceiling: &[],
         row_ratio_floor: &["membership_speedup"],
         row_tolerated_new: &[],
+        top_tolerated_new: &QUERY_TOP_TOLERATED,
+    },
+    // Second view of the same file: the Hamming-ball matrix added with
+    // the bit-sliced batch kernel. Its row array did not exist in older
+    // baselines, so the whole spec is tolerated-new.
+    CompareSpec {
+        name: "BENCH_query.json",
+        row_field: "hamming_results",
+        row_identity: &["word_bits"],
+        top_throughput: &[],
+        row_throughput: &["hamming_qps_packed", "hamming_qps_sliced_batch"],
+        row_latency: &[],
+        // Gate on the *minimum* speedup only: per-row speedups shift with
+        // the measurement regime (smoke windows run cold), but the min —
+        // the narrowest-width row — is stable across both.
+        top_ratio_floor: &["min_sliced_hamming_speedup"],
+        top_ratio_ceiling: &[],
+        row_ratio_floor: &[],
+        row_tolerated_new: &[],
+        top_tolerated_new: &QUERY_TOP_TOLERATED,
     },
     CompareSpec {
         name: "BENCH_serve.json",
@@ -360,6 +425,7 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         top_ratio_ceiling: &[],
         row_ratio_floor: &[],
         row_tolerated_new: &[],
+        top_tolerated_new: &[],
     },
     CompareSpec {
         name: "BENCH_artifact.json",
@@ -372,6 +438,7 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         top_ratio_ceiling: &[],
         row_ratio_floor: &[],
         row_tolerated_new: &[],
+        top_tolerated_new: &[],
     },
     CompareSpec {
         name: "BENCH_store.json",
@@ -379,11 +446,16 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         row_identity: &["kind"],
         top_throughput: &[],
         row_throughput: &["append_qps"],
+        // hamming_ns_store (the partition-pruned kernel) regresses are
+        // caught here on full-vs-full runs; hamming_store_speedup itself
+        // scales with store size (a 4k-word smoke store prunes less than
+        // a 100k-word one), so it is schema-checked but not ratio-gated.
         row_latency: &["exact_ns_store", "hamming_ns_store"],
         top_ratio_floor: &[],
         top_ratio_ceiling: &[],
         row_ratio_floor: &[],
-        row_tolerated_new: &[],
+        row_tolerated_new: &["hamming_store_speedup"],
+        top_tolerated_new: &[],
     },
     CompareSpec {
         name: "BENCH_wire.json",
@@ -396,6 +468,7 @@ const COMPARE_SPECS: [CompareSpec; 5] = [
         top_ratio_ceiling: &["wire_overhead_1client"],
         row_ratio_floor: &[],
         row_tolerated_new: &WIRE_DEGRADED_KEYS,
+        top_tolerated_new: &[],
     },
 ];
 
@@ -461,11 +534,34 @@ fn compare_report(spec: &CompareSpec, baseline_dir: &str, tol: f64) -> usize {
     let baseline = load_from(baseline_dir, name);
 
     // Schema drift: key sets must agree exactly, top-level and per row.
+    // Top-level keys get the same one-way additive tolerance as row keys.
+    let top_tolerated_only_fresh = |key: &String| {
+        spec.top_tolerated_new.contains(&key.as_str())
+            && matches!(baseline[key.as_str()], Value::Null)
+    };
+    let fresh_top_keys: Vec<String> = sorted_keys(&fresh)
+        .into_iter()
+        .filter(|k| !top_tolerated_only_fresh(k))
+        .collect();
+    let top_skipped = sorted_keys(&fresh).len() - fresh_top_keys.len();
+    if top_skipped > 0 {
+        println!("{name}: tolerating {top_skipped} new top-level key(s) absent from the baseline");
+    }
     assert_eq!(
-        sorted_keys(&fresh),
+        fresh_top_keys,
         sorted_keys(&baseline),
         "{name}: top-level schema drifted from the baseline"
     );
+    // A tolerated-new row matrix has nothing to diff against yet.
+    if matches!(baseline[spec.row_field], Value::Null)
+        && spec.top_tolerated_new.contains(&spec.row_field)
+    {
+        println!(
+            "{name}: `{}` diff skipped (matrix absent from the baseline)",
+            spec.row_field
+        );
+        return 0;
+    }
     let (Value::Array(fresh_rows), Value::Array(base_rows)) =
         (&fresh[spec.row_field], &baseline[spec.row_field])
     else {
@@ -520,6 +616,10 @@ fn compare_report(spec: &CompareSpec, baseline_dir: &str, tol: f64) -> usize {
     // would be vacuous whenever the CI runner differs from the machine
     // that produced the committed baselines.
     for key in spec.top_ratio_floor {
+        if matches!(baseline[*key], Value::Null) && spec.top_tolerated_new.contains(key) {
+            println!("{name}: {key} diff skipped (figure absent from the baseline)");
+            continue;
+        }
         compared += 1;
         let fresh_v = number(name, &fresh, key);
         let base_v = number(name, &baseline, key);
@@ -545,6 +645,13 @@ fn compare_report(spec: &CompareSpec, baseline_dir: &str, tol: f64) -> usize {
     }
     for (fresh_row, base_row) in fresh_rows.iter().zip(base_rows) {
         for key in spec.row_ratio_floor {
+            if matches!(base_row[*key], Value::Null) && spec.row_tolerated_new.contains(key) {
+                println!(
+                    "{name}: {} {key} diff skipped (figure absent from the baseline)",
+                    identity(spec, fresh_row)
+                );
+                continue;
+            }
             compared += 1;
             let fresh_v = number(name, fresh_row, key);
             let base_v = number(name, base_row, key);

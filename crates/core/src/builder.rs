@@ -328,6 +328,20 @@ impl Monitor for AnyMonitor {
             AnyMonitor::Interval(m) => m.verdict_features_scratch(features, scratch),
         }
     }
+
+    fn verdict_batch_scratch(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), MonitorError> {
+        match self {
+            AnyMonitor::MinMax(m) => m.verdict_batch_scratch(net, inputs, scratch, out),
+            AnyMonitor::Pattern(m) => m.verdict_batch_scratch(net, inputs, scratch, out),
+            AnyMonitor::Interval(m) => m.verdict_batch_scratch(net, inputs, scratch, out),
+        }
+    }
 }
 
 /// Builds monitors over one network boundary.

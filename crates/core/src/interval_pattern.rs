@@ -22,6 +22,7 @@ use crate::monitor::{Monitor, QueryScratch, Verdict, Violation};
 use crate::source::{ExternalHandle, SharedPatternSource, SourceDescriptor};
 use napmon_absint::BoxBounds;
 use napmon_bdd::{Bdd, BitWord, NodeId};
+use napmon_nn::Network;
 use napmon_tensor::stats;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
@@ -682,6 +683,62 @@ impl Monitor for IntervalPatternMonitor {
                 word: scratch.word.to_bools(),
             }])
         }
+    }
+
+    /// The batched query path: abstract the whole batch, then answer the
+    /// exact memberships together — store-backed monitors take one read
+    /// lock (and one store kernel pass) for the batch instead of one per
+    /// input. Verdicts are bit-identical to the per-input loop.
+    fn verdict_batch_scratch(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), MonitorError> {
+        out.clear();
+        if scratch.batch_words.len() < inputs.len() {
+            scratch.batch_words.resize(inputs.len(), BitWord::default());
+        }
+        let mut features = std::mem::take(&mut scratch.features);
+        for (input, word) in inputs.iter().zip(scratch.batch_words.iter_mut()) {
+            let extracted =
+                self.extractor
+                    .features_into(net, input, &mut scratch.forward, &mut features);
+            if let Err(e) = extracted {
+                scratch.features = features;
+                return Err(e);
+            }
+            self.abstract_into(&features, word);
+        }
+        scratch.features = features;
+
+        let words = &scratch.batch_words[..inputs.len()];
+        scratch.batch_hits.clear();
+        scratch.batch_hits.resize(inputs.len(), false);
+        match &self.store {
+            IntervalStore::Bdd { bdd, root } => {
+                for (word, hit) in words.iter().zip(scratch.batch_hits.iter_mut()) {
+                    *hit = bdd.eval(*root, word);
+                }
+            }
+            // Interval monitors are exact-membership only (tau = 0).
+            IntervalStore::External(handle) => {
+                handle.contains_within_batch(words, 0, &mut scratch.batch_hits)
+            }
+        }
+
+        out.reserve(inputs.len());
+        for (word, &hit) in words.iter().zip(&scratch.batch_hits) {
+            out.push(if hit {
+                Verdict::ok()
+            } else {
+                Verdict::warn(vec![Violation::UnknownPattern {
+                    word: word.to_bools(),
+                }])
+            });
+        }
+        Ok(())
     }
 }
 

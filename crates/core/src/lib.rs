@@ -81,6 +81,7 @@ pub mod pattern;
 pub mod per_class;
 pub mod perturb;
 pub mod score;
+mod sliced;
 pub mod source;
 pub mod spec;
 pub mod wirefmt;

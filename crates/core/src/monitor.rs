@@ -75,6 +75,12 @@ pub struct QueryScratch {
     pub(crate) forward: ForwardScratch,
     pub(crate) features: Vec<f64>,
     pub(crate) word: BitWord,
+    /// Per-input abstraction words for [`Monitor::verdict_batch_scratch`]:
+    /// pattern monitors abstract the whole batch first, then answer all
+    /// memberships against each pattern block while it is cache-hot.
+    pub(crate) batch_words: Vec<BitWord>,
+    /// Membership answers of the batched kernel, one per input.
+    pub(crate) batch_hits: Vec<bool>,
 }
 
 impl QueryScratch {
@@ -172,6 +178,38 @@ pub trait Monitor {
         result
     }
 
+    /// Verdicts for a whole batch of inputs through one scratch, appended
+    /// to `out` (cleared first). This is the entry point that lets a
+    /// backend answer the batch's membership queries *together*: pattern
+    /// monitors override it to abstract every input first and then run
+    /// the bit-sliced batch kernel, which walks each pattern block once
+    /// per batch instead of once per query. The default simply loops
+    /// [`Monitor::verdict_scratch`].
+    ///
+    /// Verdicts are bit-identical to the sequential loop for every
+    /// monitor kind and backend (pinned by the differential suites in
+    /// `tests/`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::DimensionMismatch`] if any input is
+    /// malformed; `out` is left empty or partially filled and must not be
+    /// interpreted.
+    fn verdict_batch_scratch(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), MonitorError> {
+        out.clear();
+        out.reserve(inputs.len());
+        for input in inputs {
+            out.push(self.verdict_scratch(net, input, scratch)?);
+        }
+        Ok(())
+    }
+
     /// Verdicts for a whole batch of inputs, sharing one scratch across
     /// the batch (single-threaded).
     ///
@@ -186,9 +224,7 @@ pub trait Monitor {
     ) -> Result<Vec<Verdict>, MonitorError> {
         let mut scratch = QueryScratch::new();
         let mut out = Vec::with_capacity(inputs.len());
-        for input in inputs {
-            out.push(self.verdict_scratch(net, input, &mut scratch)?);
-        }
+        self.verdict_batch_scratch(net, inputs, &mut scratch, &mut out)?;
         Ok(out)
     }
 

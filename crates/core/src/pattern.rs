@@ -3,11 +3,12 @@
 use crate::error::MonitorError;
 use crate::feature::FeatureExtractor;
 use crate::monitor::{Monitor, QueryScratch, Verdict, Violation};
+use crate::sliced::SlicedPatternSet;
 use crate::source::{ExternalHandle, SharedPatternSource, SourceDescriptor};
 use napmon_absint::BoxBounds;
-use napmon_bdd::{Bdd, BitCube, BitWord, FxBuildHasher, NodeId};
+use napmon_bdd::{Bdd, BitCube, BitWord, NodeId};
+use napmon_nn::Network;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Storage backend for the pattern set.
 ///
@@ -33,14 +34,17 @@ pub enum PatternBackend {
 /// Words are stored packed ([`BitWord`]) and hashed with the same FxHash
 /// scheme as the BDD tables: membership hashes one `u64` limb per 64
 /// monitored neurons instead of SipHashing one byte per neuron, and the
-/// query side never materializes a `Vec<bool>`.
+/// query side never materializes a `Vec<bool>`. The hash backend also
+/// keeps a bit-sliced mirror of the set ([`SlicedPatternSet`]) so
+/// Hamming-tolerant queries run the block-transposed kernel instead of a
+/// per-word scan; the serialized shape is unchanged (a seq of words).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Store {
     Bdd {
         bdd: Bdd,
         root: NodeId,
     },
-    Hash(HashSet<BitWord, FxBuildHasher>),
+    Hash(SlicedPatternSet),
     /// Externally-held word set; serializes as a [`SourceDescriptor`]
     /// (the words stay in the store), so this variant is what makes
     /// store-backed artifacts small and warm-startable.
@@ -93,7 +97,7 @@ impl PatternMonitor {
                 bdd: Bdd::new(extractor.dim()),
                 root: Bdd::FALSE,
             },
-            PatternBackend::HashSet => Store::Hash(HashSet::default()),
+            PatternBackend::HashSet => Store::Hash(SlicedPatternSet::default()),
             PatternBackend::Store => {
                 return Err(MonitorError::InvalidConfig(
                     "the Store backend needs an attached source; build with \
@@ -371,12 +375,13 @@ impl PatternMonitor {
         self.contains_within_packed(&BitWord::from_bools(word), tau)
     }
 
-    /// Packed Hamming-tolerant membership. The hash-set scan is a popcount
-    /// per stored word; the BDD walk explores `O(nodes · tau)` states.
+    /// Packed Hamming-tolerant membership. The hash backend runs the
+    /// bit-sliced kernel (a batch of one); the BDD walk explores
+    /// `O(nodes · tau)` states.
     pub fn contains_within_packed(&self, word: &BitWord, tau: usize) -> bool {
         match &self.store {
             Store::Bdd { bdd, root } => bdd.contains_within_hamming(*root, word, tau),
-            Store::Hash(set) => set.iter().any(|w| w.hamming(word) as usize <= tau),
+            Store::Hash(set) => set.contains_within(word, tau),
             Store::External(handle) => handle.contains_within(word, tau),
         }
     }
@@ -535,6 +540,69 @@ impl Monitor for PatternMonitor {
     fn verdict_features_scratch(&self, features: &[f64], scratch: &mut QueryScratch) -> Verdict {
         self.abstract_into(features, &mut scratch.word);
         self.verdict_packed(&scratch.word)
+    }
+
+    /// The batched query path: abstract every input first, then answer all
+    /// memberships together — the hash backend runs the bit-sliced batch
+    /// kernel and store-backed monitors take one read lock for the whole
+    /// batch. Verdicts are bit-identical to the per-input loop.
+    fn verdict_batch_scratch(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), MonitorError> {
+        out.clear();
+        if scratch.batch_words.len() < inputs.len() {
+            scratch.batch_words.resize(inputs.len(), BitWord::default());
+        }
+        let mut features = std::mem::take(&mut scratch.features);
+        for (input, word) in inputs.iter().zip(scratch.batch_words.iter_mut()) {
+            let extracted =
+                self.extractor
+                    .features_into(net, input, &mut scratch.forward, &mut features);
+            if let Err(e) = extracted {
+                scratch.features = features;
+                return Err(e);
+            }
+            self.abstract_into(&features, word);
+        }
+        scratch.features = features;
+
+        let words = &scratch.batch_words[..inputs.len()];
+        scratch.batch_hits.clear();
+        scratch.batch_hits.resize(inputs.len(), false);
+        let tau = self.hamming_tolerance;
+        match &self.store {
+            // The BDD holds no sliced layout; its walk is already
+            // sublinear in the set, so the batch is a plain loop.
+            Store::Bdd { bdd, root } => {
+                for (word, hit) in words.iter().zip(scratch.batch_hits.iter_mut()) {
+                    *hit = if tau == 0 {
+                        bdd.eval(*root, word)
+                    } else {
+                        bdd.contains_within_hamming(*root, word, tau)
+                    };
+                }
+            }
+            Store::Hash(set) => set.contains_within_batch(words, tau, &mut scratch.batch_hits),
+            Store::External(handle) => {
+                handle.contains_within_batch(words, tau, &mut scratch.batch_hits)
+            }
+        }
+
+        out.reserve(inputs.len());
+        for (word, &hit) in words.iter().zip(&scratch.batch_hits) {
+            out.push(if hit {
+                Verdict::ok()
+            } else {
+                Verdict::warn(vec![Violation::UnknownPattern {
+                    word: word.to_bools(),
+                }])
+            });
+        }
+        Ok(())
     }
 }
 

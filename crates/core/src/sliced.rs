@@ -1,0 +1,148 @@
+//! The hash backend's pattern set: exact membership by hashing, Hamming
+//! membership by the bit-sliced kernel.
+//!
+//! [`SlicedPatternSet`] pairs the packed word hash set (one FxHash probe
+//! per exact query) with a [`BitSliceSet`] mirror of the same words, so
+//! Hamming-tolerant queries stop being a per-word XOR+popcount scan and
+//! run the block-transposed kernel instead — one XOR answers a whole
+//! 64-pattern block per query bit, and batches reuse each block while it
+//! is hot in cache (see `napmon_bdd::bitslice`).
+//!
+//! Serialization is exactly the word sequence the plain
+//! `HashSet<BitWord>` emitted before the mirror existed: artifacts and
+//! golden files are unchanged, and the mirror is rebuilt on load.
+
+use napmon_bdd::{BitSliceSet, BitWord, FxBuildHasher};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::HashSet;
+
+/// A deduplicated set of fixed-width packed words, held twice: hashed for
+/// exact membership and bit-sliced for Hamming-ball membership. The two
+/// views always hold the same words.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SlicedPatternSet {
+    set: HashSet<BitWord, FxBuildHasher>,
+    slices: BitSliceSet,
+}
+
+impl SlicedPatternSet {
+    /// Inserts a word into both views; returns whether it was new.
+    pub(crate) fn insert(&mut self, word: BitWord) -> bool {
+        if self.set.contains(&word) {
+            return false;
+        }
+        self.slices.insert(&word);
+        self.set.insert(word);
+        true
+    }
+
+    /// Exact membership: one hash probe.
+    #[inline]
+    pub(crate) fn contains(&self, word: &BitWord) -> bool {
+        self.set.contains(word)
+    }
+
+    /// Whether some stored word is within Hamming distance `tau` of
+    /// `word`. Exact queries take the hash probe; tolerant ones run the
+    /// sliced kernel.
+    #[inline]
+    pub(crate) fn contains_within(&self, word: &BitWord, tau: usize) -> bool {
+        if tau == 0 {
+            self.set.contains(word)
+        } else {
+            self.slices.contains_within(word, tau)
+        }
+    }
+
+    /// Batched [`SlicedPatternSet::contains_within`]:
+    /// `out[i] = contains_within(&queries[i], tau)`. The tolerant path is
+    /// where batching pays — the sliced kernel walks blocks outer,
+    /// queries inner.
+    pub(crate) fn contains_within_batch(&self, queries: &[BitWord], tau: usize, out: &mut [bool]) {
+        if tau == 0 {
+            for (query, slot) in queries.iter().zip(out.iter_mut()) {
+                *slot = self.set.contains(query);
+            }
+        } else {
+            self.slices.contains_within_batch(queries, tau, out);
+        }
+    }
+
+    /// Number of distinct stored words.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.set.len()
+    }
+}
+
+impl Serialize for SlicedPatternSet {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // The wire shape is the inner hash set's — a seq of bool-array
+        // words — so artifacts predating the sliced mirror stay valid and
+        // new ones are readable by the old shape.
+        self.set.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for SlicedPatternSet {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let set = HashSet::<BitWord, FxBuildHasher>::deserialize(deserializer)?;
+        let mut slices = BitSliceSet::new();
+        for word in &set {
+            slices.insert(word);
+        }
+        Ok(Self { set, slices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(bits: &[bool]) -> BitWord {
+        BitWord::from_bools(bits)
+    }
+
+    #[test]
+    fn views_stay_in_lockstep() {
+        let mut set = SlicedPatternSet::default();
+        assert!(set.insert(word(&[true, false, true])));
+        assert!(!set.insert(word(&[true, false, true])), "dedup");
+        assert!(set.insert(word(&[false, false, false])));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&word(&[true, false, true])));
+        assert!(!set.contains(&word(&[true, true, true])));
+        // distance 1 from a stored word, via the sliced kernel.
+        assert!(set.contains_within(&word(&[true, true, true]), 1));
+        assert!(!set.contains_within(&word(&[true, true, true]), 0));
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let mut set = SlicedPatternSet::default();
+        set.insert(word(&[true, false, true, false]));
+        set.insert(word(&[false, true, false, true]));
+        let queries: Vec<BitWord> = (0..16u32)
+            .map(|bits| BitWord::from_fn(4, |i| (bits >> i) & 1 == 1))
+            .collect();
+        for tau in 0..3 {
+            let mut out = vec![false; queries.len()];
+            set.contains_within_batch(&queries, tau, &mut out);
+            for (q, &hit) in queries.iter().zip(&out) {
+                assert_eq!(hit, set.contains_within(q, tau), "tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_shape_is_the_plain_word_seq() {
+        let mut set = SlicedPatternSet::default();
+        set.insert(word(&[true, false]));
+        let json = serde_json::to_string(&set).unwrap();
+        let plain: HashSet<BitWord, FxBuildHasher> = serde_json::from_str(&json).unwrap();
+        assert!(plain.contains(&word(&[true, false])));
+        let back: SlicedPatternSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back.contains_within(&word(&[true, true]), 1));
+    }
+}

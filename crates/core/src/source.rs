@@ -49,6 +49,21 @@ pub trait PatternSource: std::fmt::Debug + Send + Sync {
     /// `word` in at most `tau` positions.
     fn contains_within(&self, word: &BitWord, tau: usize) -> bool;
 
+    /// Batched Hamming-ball membership:
+    /// `out[i] = contains_within(&words[i], tau)`. The default loops the
+    /// single-query form; sources holding a bit-sliced layout (the
+    /// persistent store) override it to answer the whole batch per block
+    /// of patterns, which is where the batch-query throughput comes from.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `out.len() < words.len()`.
+    fn contains_within_batch(&self, words: &[BitWord], tau: usize, out: &mut [bool]) {
+        for (word, slot) in words.iter().zip(out.iter_mut()) {
+            *slot = self.contains_within(word, tau);
+        }
+    }
+
     /// Number of distinct words stored.
     fn word_count(&self) -> u64;
 
@@ -284,6 +299,12 @@ impl ExternalHandle {
     /// Hamming-ball membership (read lock).
     pub fn contains_within(&self, word: &BitWord, tau: usize) -> bool {
         read_lock(self.live()).contains_within(word, tau)
+    }
+
+    /// Batched Hamming-ball membership — one read-lock acquisition for
+    /// the whole batch, then the source's own batch kernel.
+    pub fn contains_within_batch(&self, words: &[BitWord], tau: usize, out: &mut [bool]) {
+        read_lock(self.live()).contains_within_batch(words, tau, out);
     }
 
     /// Absorbs one word (write lock); shared absorption is what lets a

@@ -1172,6 +1172,29 @@ impl Monitor for ComposedMonitor {
         }
     }
 
+    fn verdict_batch_scratch(
+        &self,
+        net: &Network,
+        inputs: &[Vec<f64>],
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), MonitorError> {
+        match self {
+            // Single members get the bit-sliced batch kernel; composites
+            // keep the default per-input loop (their verdict depends on
+            // full-network routing, not one feature vector).
+            ComposedMonitor::Single(m) => m.verdict_batch_scratch(net, inputs, scratch, out),
+            _ => {
+                out.clear();
+                out.reserve(inputs.len());
+                for input in inputs {
+                    out.push(self.verdict_scratch(net, input, scratch)?);
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn verdict(&self, net: &Network, input: &[f64]) -> Result<Verdict, MonitorError> {
         match self {
             ComposedMonitor::Single(m) => m.verdict(net, input),

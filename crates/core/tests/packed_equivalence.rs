@@ -348,6 +348,41 @@ fn query_batch_agrees_with_sequential_verdicts() {
     }
 }
 
+/// The bit-sliced batch kernel engages for hash-backed monitors with
+/// `tau > 0`; pin it against per-input verdicts at widths that cross the
+/// 64-bit limb boundary and at every tau the kernel's counter planes cover.
+#[test]
+fn sliced_batch_kernel_agrees_with_sequential_across_limb_boundary() {
+    let mut rng = Prng::seed(1009);
+    for width in [63, 64, 65, 100] {
+        let net = Network::seeded(
+            60 + width as u64,
+            4,
+            &[
+                LayerSpec::dense(width, Activation::Relu),
+                LayerSpec::dense(3, Activation::Identity),
+            ],
+        );
+        let train: Vec<Vec<f64>> = (0..300).map(|_| rng.uniform_vec(4, -0.5, 0.5)).collect();
+        let probes: Vec<Vec<f64>> = (0..150).map(|_| rng.uniform_vec(4, -1.5, 1.5)).collect();
+        for tau in 1..4usize {
+            let m = MonitorBuilder::new(&net, 2)
+                .build(
+                    MonitorKind::pattern_with(
+                        napmon_core::ThresholdPolicy::Mean,
+                        PatternBackend::HashSet,
+                        tau,
+                    ),
+                    &train,
+                )
+                .unwrap();
+            let sequential: Vec<_> = probes.iter().map(|x| m.verdict(&net, x).unwrap()).collect();
+            let batch = m.query_batch(&net, &probes).unwrap();
+            assert_eq!(batch, sequential, "width {width} tau {tau}");
+        }
+    }
+}
+
 #[test]
 fn batch_apis_propagate_dimension_errors() {
     let net = Network::seeded(51, 4, &[LayerSpec::dense(8, Activation::Relu)]);

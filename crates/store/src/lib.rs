@@ -26,8 +26,10 @@
 //! ([`PatternStore::commit`] is the durability point), and auto-seal into
 //! sorted segments; [`PatternStore::compact`] merges everything into one
 //! segment. Exact membership is Bloom-filter → binary search; Hamming-ball
-//! membership reuses the XOR-popcount kernel of the packed in-memory
-//! tables. Crash safety comes from the two-phase commit: segment files are
+//! membership runs through a prefix-partitioned index over each sealed
+//! segment (per-partition AND/OR masks prune by a distance lower bound)
+//! into the bit-sliced batch kernel of [`napmon_bdd::BitSliceSet`].
+//! Crash safety comes from the two-phase commit: segment files are
 //! written and fsynced *before* the manifest swap makes them visible, and
 //! files the manifest does not name are ignored.
 //!
@@ -58,7 +60,7 @@
 //! // A fresh process reopens the same set from disk.
 //! let store = PatternStore::open(&dir)?;
 //! assert!(store.contains(&BitWord::from_bools(&[true, false, true])));
-//! assert!(store.contains_within(&BitWord::from_bools(&[true, true, true]), 1));
+//! assert!(store.contains_within(&BitWord::from_bools(&[true, true, true]), 1)?);
 //! # std::fs::remove_dir_all(&dir).ok();
 //! # Ok(())
 //! # }

@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 pub const MANIFEST_VERSION: u32 = 1;
 
 /// Catalog entry for one sealed segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentMeta {
     /// File name within the store directory.
     pub file: String,
@@ -25,6 +25,70 @@ pub struct SegmentMeta {
     pub words: u64,
     /// Whole-file FNV-1a checksum; must match the file on load.
     pub checksum: u64,
+    /// FNV-1a checksum of the segment's partition index (the per-partition
+    /// AND/OR masks derived from the sorted word block; see
+    /// `crate::segment`). `None` in manifests written before the index
+    /// existed — the index is rebuilt from the word block either way, this
+    /// only pins the rebuild against drift.
+    pub masks_checksum: Option<u64>,
+}
+
+// Hand-written serde: `masks_checksum` must be *optional* on read so
+// pre-index manifests keep loading, and the in-tree serde derive treats
+// every field as required.
+impl Serialize for SegmentMeta {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut m = serde::Map::new();
+        let field =
+            |v: Result<serde::Value, serde::ValueError>| v.map_err(serde::ser::Error::custom);
+        m.insert("file".to_string(), field(serde::to_value(&self.file))?);
+        m.insert("words".to_string(), field(serde::to_value(&self.words))?);
+        m.insert(
+            "checksum".to_string(),
+            field(serde::to_value(&self.checksum))?,
+        );
+        if let Some(masks) = self.masks_checksum {
+            m.insert(
+                "masks_checksum".to_string(),
+                field(serde::to_value(&masks))?,
+            );
+        }
+        serializer.serialize_value(serde::Value::Object(m))
+    }
+}
+
+impl<'de> Deserialize<'de> for SegmentMeta {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut map = match deserializer.deserialize_value()? {
+            serde::Value::Object(map) => map,
+            _ => {
+                return Err(serde::de::Error::custom(
+                    "SegmentMeta: expected object".to_string(),
+                ))
+            }
+        };
+        fn required<T: for<'a> serde::Deserialize<'a>>(
+            map: &mut serde::Map,
+            name: &str,
+        ) -> Result<T, String> {
+            map.remove(name)
+                .ok_or_else(|| format!("SegmentMeta: missing field `{name}`"))
+                .and_then(|v| serde::from_value(v).map_err(|e| format!("SegmentMeta.{name}: {e}")))
+        }
+        let file: String = required(&mut map, "file").map_err(serde::de::Error::custom)?;
+        let words: u64 = required(&mut map, "words").map_err(serde::de::Error::custom)?;
+        let checksum: u64 = required(&mut map, "checksum").map_err(serde::de::Error::custom)?;
+        let masks_checksum = match map.remove("masks_checksum") {
+            None | Some(serde::Value::Null) => None,
+            Some(v) => Some(serde::from_value(v).map_err(serde::de::Error::custom)?),
+        };
+        Ok(Self {
+            file,
+            words,
+            checksum,
+            masks_checksum,
+        })
+    }
 }
 
 /// The on-disk catalog of a pattern store.
@@ -128,6 +192,7 @@ mod tests {
                 file: "segment-00000000.seg".into(),
                 words: 17,
                 checksum: 0xabcd,
+                masks_checksum: Some(0x1234),
             }],
         }
     }
@@ -172,6 +237,29 @@ mod tests {
             Manifest::load(&dir).unwrap_err(),
             StoreError::Corrupt { .. }
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_index_manifest_without_masks_checksum_still_loads() {
+        let dir = tmp("preindex");
+        // A manifest as written before the partition index existed: the
+        // segment entry has no `masks_checksum` key at all.
+        let text = r#"{
+            "format_version": 1,
+            "word_bits": 48,
+            "segment_capacity": 65536,
+            "bloom_bits_per_word": 10,
+            "next_segment_id": 1,
+            "segments": [
+                {"file": "segment-00000000.seg", "words": 17, "checksum": 43981}
+            ]
+        }"#;
+        std::fs::write(manifest_path(&dir), text).unwrap();
+        let manifest = Manifest::load(&dir).unwrap();
+        assert_eq!(manifest.segments.len(), 1);
+        assert_eq!(manifest.segments[0].masks_checksum, None);
+        assert_eq!(manifest.segments[0].checksum, 43981);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -20,12 +20,18 @@
 //! touching the word block at all.
 
 use crate::bloom::BloomFilter;
-use crate::checksum::fnv1a;
+use crate::checksum::{fnv1a, fnv1a_limbs};
 use crate::error::StoreError;
 use crate::faults::Faults;
+use napmon_bdd::{BitSliceSet, BitWord, SUPERBLOCK_PATTERNS};
 use std::path::Path;
 
 pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"NAPSEG01";
+
+/// Words per prefix partition of the Hamming index: two bit-slice
+/// superblocks, so a partition that survives mask pruning maps exactly
+/// onto a superblock range of the sliced kernel.
+pub(crate) const PARTITION_WORDS: usize = 2 * SUPERBLOCK_PATTERNS;
 
 /// One sealed segment, fully resident: metadata, Bloom filter, and the
 /// sorted packed word block.
@@ -43,6 +49,51 @@ pub struct Segment {
     pub(crate) words: Vec<u64>,
     /// Whole-file checksum, as recorded in the manifest.
     pub(crate) checksum: u64,
+    /// Block-transposed mirror of `words` for the batch Hamming kernel.
+    pub(crate) slices: BitSliceSet,
+    /// Per-partition AND of every word's limbs: partition `p` owns
+    /// `and_masks[p·limbs..(p+1)·limbs]`. Because `words` is sorted
+    /// limb-lexicographically, consecutive words share leading-limb
+    /// prefixes, which keeps these masks tight exactly where pruning pays.
+    pub(crate) and_masks: Vec<u64>,
+    /// Per-partition OR of every word's limbs, same layout.
+    pub(crate) or_masks: Vec<u64>,
+    /// FNV-1a over the partition masks, recorded in the manifest so a
+    /// rebuilt index can be pinned against drift.
+    pub(crate) masks_checksum: u64,
+}
+
+/// Builds the Hamming index over a sorted word block: the bit-sliced
+/// mirror plus the per-partition AND/OR masks and their checksum.
+fn build_index(
+    word_bits: usize,
+    limbs: usize,
+    count: usize,
+    words: &[u64],
+) -> (BitSliceSet, Vec<u64>, Vec<u64>, u64) {
+    let lw = limbs.max(1);
+    debug_assert!(
+        words.len().is_multiple_of(lw),
+        "segment word block is not word-aligned"
+    );
+    let mut slices = BitSliceSet::with_bits(word_bits.max(1));
+    let partitions = count.div_ceil(PARTITION_WORDS);
+    let mut and_masks = vec![!0u64; partitions * lw];
+    let mut or_masks = vec![0u64; partitions * lw];
+    for i in 0..count {
+        let word = &words[i * lw..(i + 1) * lw];
+        slices.insert_limbs(word);
+        let base = (i / PARTITION_WORDS) * lw;
+        for (l, &limb) in word.iter().enumerate() {
+            and_masks[base + l] &= limb;
+            or_masks[base + l] |= limb;
+        }
+    }
+    let mut checksum_input = Vec::with_capacity(and_masks.len() + or_masks.len());
+    checksum_input.extend_from_slice(&and_masks);
+    checksum_input.extend_from_slice(&or_masks);
+    let masks_checksum = fnv1a_limbs(&checksum_input);
+    (slices, and_masks, or_masks, masks_checksum)
 }
 
 impl Segment {
@@ -76,6 +127,52 @@ impl Segment {
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
                 std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Hamming-ball membership over the sealed block, pruned by the
+    /// partition index: a partition whose AND/OR masks already force more
+    /// than `tau` mismatches cannot contain a hit and is skipped without
+    /// touching its words; survivors run the bit-sliced kernel over
+    /// exactly their two superblocks.
+    ///
+    /// The mask bound is sound: for any stored word `w` in the partition,
+    /// a query bit set where no word has it set (`q & !or`), or clear
+    /// where every word has it set (`!q & and`), differs from `w` at that
+    /// position, so the popcount of those two sets lower-bounds
+    /// `hamming(q, w)`.
+    pub(crate) fn contains_within(&self, query: &BitWord, tau: usize) -> bool {
+        if self.count == 0 {
+            return false;
+        }
+        let q = query.limbs();
+        let lw = self.limbs.max(1);
+        let partitions = self.count.div_ceil(PARTITION_WORDS);
+        let sb_per_partition = PARTITION_WORDS / SUPERBLOCK_PATTERNS;
+        let sb_total = self.slices.superblocks();
+        for p in 0..partitions {
+            let and = &self.and_masks[p * lw..(p + 1) * lw];
+            let or = &self.or_masks[p * lw..(p + 1) * lw];
+            let mut lower_bound = 0usize;
+            for l in 0..lw {
+                let forced = (q[l] & !or[l]) | (!q[l] & and[l]);
+                lower_bound += forced.count_ones() as usize;
+                if lower_bound > tau {
+                    break;
+                }
+            }
+            if lower_bound > tau {
+                continue;
+            }
+            let sb_start = p * sb_per_partition;
+            let sb_end = ((p + 1) * sb_per_partition).min(sb_total);
+            if self
+                .slices
+                .contains_within_range(query, tau, sb_start, sb_end)
+            {
+                return true;
             }
         }
         false
@@ -126,6 +223,8 @@ impl Segment {
         faults.check("segment.rename")?;
         std::fs::rename(&tmp, &path)?;
 
+        let (slices, and_masks, or_masks, masks_checksum) =
+            build_index(word_bits, limbs, count, sorted_words);
         Ok(Self {
             file: file.to_string(),
             count,
@@ -133,16 +232,23 @@ impl Segment {
             bloom,
             words: sorted_words.to_vec(),
             checksum,
+            slices,
+            and_masks,
+            or_masks,
+            masks_checksum,
         })
     }
 
-    /// Loads and fully verifies a sealed segment.
+    /// Loads and fully verifies a sealed segment. `expect_masks` is the
+    /// manifest's recorded partition-index checksum; `None` (a pre-index
+    /// manifest) accepts the freshly rebuilt index as-is.
     pub(crate) fn load(
         dir: &Path,
         file: &str,
         expect_bits: usize,
         limbs: usize,
         expect_checksum: u64,
+        expect_masks: Option<u64>,
     ) -> Result<Self, StoreError> {
         let path = dir.join(file);
         let corrupt = |detail: String| StoreError::Corrupt {
@@ -200,6 +306,16 @@ impl Segment {
         };
         let bloom = BloomFilter::from_parts(read_limbs(32..32 + 8 * bloom_words), m, k);
         let words = read_limbs(32 + 8 * bloom_words..bytes.len() - 8);
+        let (slices, and_masks, or_masks, masks_checksum) =
+            build_index(word_bits, limbs, count, &words);
+        if let Some(expected) = expect_masks {
+            if masks_checksum != expected {
+                return Err(corrupt(format!(
+                    "partition index checksum {masks_checksum:#x} disagrees with \
+                     manifest {expected:#x}"
+                )));
+            }
+        }
         Ok(Self {
             file: file.to_string(),
             count,
@@ -207,6 +323,10 @@ impl Segment {
             bloom,
             words,
             checksum: recorded,
+            slices,
+            and_masks,
+            or_masks,
+            masks_checksum,
         })
     }
 }
@@ -265,10 +385,99 @@ mod tests {
             &Faults::default(),
         )
         .unwrap();
-        let loaded = Segment::load(&dir, "segment-00000000.seg", 40, 1, seg.checksum).unwrap();
+        let loaded = Segment::load(
+            &dir,
+            "segment-00000000.seg",
+            40,
+            1,
+            seg.checksum,
+            Some(seg.masks_checksum),
+        )
+        .unwrap();
         assert_eq!(loaded.len(), 3);
         assert!(loaded.contains(&[2]));
         assert!(!loaded.contains(&[4]));
+        // The rebuilt partition index matches the one computed at write.
+        assert_eq!(loaded.masks_checksum, seg.masks_checksum);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_masks_checksum_is_corrupt() {
+        let dir = tmp_dir("maskdrift");
+        let seg = Segment::write(&dir, "s.seg", 64, 1, &[5, 9], 10, &Faults::default()).unwrap();
+        let err = Segment::load(
+            &dir,
+            "s.seg",
+            64,
+            1,
+            seg.checksum,
+            Some(seg.masks_checksum ^ 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partition_pruned_hamming_matches_linear_scan() {
+        let dir = tmp_dir("hamming");
+        // Enough words to span several partitions, clustered so the
+        // AND/OR masks actually prune (sorted order groups the clusters).
+        let bits = 100usize;
+        let limbs = 2usize;
+        let mut flat = Vec::new();
+        for cluster in 0u64..5 {
+            let hi = cluster << 30;
+            for i in 0u64..300 {
+                flat.extend_from_slice(&[hi | (i * 3), cluster]);
+            }
+        }
+        let sorted = sort_dedup_words(&flat, limbs);
+        let seg = Segment::write(
+            &dir,
+            "s.seg",
+            bits as u32 as usize,
+            limbs,
+            &sorted,
+            10,
+            &Faults::default(),
+        )
+        .unwrap();
+        let count = sorted.len() / limbs;
+        let probe = |limb0: u64, limb1: u64| {
+            BitWord::from_fn(bits, |i| {
+                let l = [limb0, limb1][i / 64];
+                (l >> (i % 64)) & 1 == 1
+            })
+        };
+        let mut checked = 0;
+        for &(a, b) in &[
+            (0u64, 0u64),
+            (3, 0),
+            (7, 0),
+            ((3 << 30) | 9, 3),
+            ((3 << 30) | 8, 3),
+            ((9 << 30) | 1, 9),
+            (u64::MAX >> 10, 2),
+        ] {
+            let q = probe(a, b);
+            let ql = q.limbs();
+            for tau in 0..4usize {
+                let naive = (0..count).any(|i| {
+                    let w = &sorted[i * limbs..(i + 1) * limbs];
+                    let d: u32 = w.iter().zip(ql).map(|(x, y)| (x ^ y).count_ones()).sum();
+                    d as usize <= tau
+                });
+                assert_eq!(
+                    seg.contains_within(&q, tau),
+                    naive,
+                    "probe {a:#x}/{b:#x} tau {tau}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -281,7 +490,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
-        let err = Segment::load(&dir, "s.seg", 64, 1, seg.checksum).unwrap_err();
+        let err = Segment::load(&dir, "s.seg", 64, 1, seg.checksum, None).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -294,7 +503,7 @@ mod tests {
         let path = dir.join("s.seg");
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
-        let err = Segment::load(&dir, "s.seg", 64, 1, seg.checksum).unwrap_err();
+        let err = Segment::load(&dir, "s.seg", 64, 1, seg.checksum, None).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }

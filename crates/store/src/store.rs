@@ -5,7 +5,7 @@ use crate::faults::Faults;
 use crate::manifest::{Manifest, SegmentMeta, MANIFEST_VERSION};
 use crate::segment::{segment_file_name, sort_dedup_words, Segment};
 use crate::tail::{tail_path, TailLog};
-use napmon_bdd::{BitWord, FxBuildHasher};
+use napmon_bdd::{BitSliceSet, BitWord, FxBuildHasher};
 use napmon_core::{MonitorError, PatternSource, SharedPatternSource, SourceDescriptor};
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
@@ -90,9 +90,13 @@ pub struct StoreStats {
 ///
 /// Queries serve from memory-resident structures loaded at open (Bloom
 /// filters + sorted word blocks + a hash index over the tail), so exact
-/// membership is `O(segments · log words)` with Bloom-filtered negatives,
-/// and Hamming-ball membership is the same XOR-popcount scan the packed
-/// in-memory tables use (see [`BitWord::hamming`]).
+/// membership is `O(segments · log words)` with Bloom-filtered negatives.
+/// Hamming-ball membership runs a prefix-partitioned bit-sliced kernel:
+/// each sealed segment carries per-partition AND/OR masks that prune
+/// whole partitions by a distance lower bound, and surviving partitions
+/// are scanned in the block-transposed layout of
+/// [`napmon_bdd::BitSliceSet`] rather than word-at-a-time (see
+/// [`PatternStore::contains_within`]).
 #[derive(Debug)]
 pub struct PatternStore {
     dir: PathBuf,
@@ -105,6 +109,9 @@ pub struct PatternStore {
     tail_words: Vec<u64>,
     /// Exact-membership index over the tail.
     tail_index: HashSet<BitWord, FxBuildHasher>,
+    /// Block-transposed mirror of the tail for the batch Hamming kernel;
+    /// kept in lockstep with `tail_index` (fresh words only).
+    tail_slices: BitSliceSet,
     appended: u64,
     deduplicated: u64,
     /// Held OS advisory lock on `LOCK`: opens are exclusive (see
@@ -244,6 +251,7 @@ impl PatternStore {
                 manifest.word_bits,
                 limbs,
                 meta.checksum,
+                meta.masks_checksum,
             )?);
         }
         let (tail, recovered) =
@@ -261,6 +269,7 @@ impl PatternStore {
             tail,
             tail_words: Vec::new(),
             tail_index: HashSet::default(),
+            tail_slices: BitSliceSet::with_bits(manifest.word_bits),
             appended: 0,
             deduplicated: 0,
             _lock: lock,
@@ -272,6 +281,20 @@ impl PatternStore {
         // words still in tail.log, and replaying them would double-count
         // the set (and re-seal the duplicates later).
         let mut stale = false;
+        // The recovery buffer must hold whole words; a fractional trailing
+        // chunk would otherwise vanish in `chunks_exact` below, silently
+        // shrinking the recovered set.
+        if !recovered.len().is_multiple_of(limbs.max(1)) {
+            return Err(StoreError::Corrupt {
+                file: tail_path(&store.dir),
+                detail: format!(
+                    "recovered tail block of {} limbs is not a multiple of the \
+                     {}-limb word width",
+                    recovered.len(),
+                    limbs.max(1)
+                ),
+            });
+        }
         for chunk in recovered.chunks_exact(limbs.max(1)) {
             if store.segments.iter().rev().any(|s| s.contains(chunk)) {
                 stale = true;
@@ -280,6 +303,7 @@ impl PatternStore {
             let word = word_from_limbs(chunk, store.config.word_bits);
             if store.tail_index.insert(word) {
                 store.tail_words.extend_from_slice(chunk);
+                store.tail_slices.insert_limbs(chunk);
             }
         }
         if stale {
@@ -351,6 +375,7 @@ impl PatternStore {
         self.tail.append(word.limbs())?;
         self.tail_words.extend_from_slice(word.limbs());
         self.tail_index.insert(word.clone());
+        self.tail_slices.insert_limbs(word.limbs());
         self.appended += 1;
         if self.tail_index.len() >= self.config.segment_capacity {
             self.seal()?;
@@ -418,6 +443,7 @@ impl PatternStore {
             file,
             words: segment.len() as u64,
             checksum: segment.checksum,
+            masks_checksum: Some(segment.masks_checksum),
         };
         let mut manifest = self.manifest();
         manifest.segments.push(meta);
@@ -427,6 +453,7 @@ impl PatternStore {
         self.tail.reset()?;
         self.tail_words.clear();
         self.tail_index.clear();
+        self.tail_slices = BitSliceSet::with_bits(self.config.word_bits);
         Ok(())
     }
 
@@ -465,6 +492,7 @@ impl PatternStore {
                 file,
                 words: segment.len() as u64,
                 checksum: segment.checksum,
+                masks_checksum: Some(segment.masks_checksum),
             }],
             ..self.manifest()
         };
@@ -476,6 +504,7 @@ impl PatternStore {
         self.tail.reset()?;
         self.tail_words.clear();
         self.tail_index.clear();
+        self.tail_slices = BitSliceSet::with_bits(self.config.word_bits);
         for file in old {
             let _ = std::fs::remove_file(self.dir.join(file));
         }
@@ -496,6 +525,7 @@ impl PatternStore {
                     file: s.file.clone(),
                     words: s.len() as u64,
                     checksum: s.checksum,
+                    masks_checksum: Some(s.masks_checksum),
                 })
                 .collect(),
         }
@@ -506,6 +536,10 @@ impl PatternStore {
     /// set — meant for audits and recovery oracles, not the query path.
     pub fn words(&self) -> Vec<BitWord> {
         let limbs = self.limbs.max(1);
+        debug_assert!(
+            self.tail_words.len().is_multiple_of(limbs),
+            "tail word block is not word-aligned"
+        );
         let mut out = Vec::with_capacity(self.len() as usize);
         for segment in &self.segments {
             for chunk in segment.words.chunks_exact(limbs) {
@@ -529,27 +563,35 @@ impl PatternStore {
     }
 
     /// Hamming-ball membership: whether some stored word differs from
-    /// `word` in at most `tau` positions. A linear XOR-popcount scan over
-    /// the packed blocks — the same popcount kernel as
-    /// [`BitWord::hamming`], run directly over the resident limb arrays.
-    pub fn contains_within(&self, word: &BitWord, tau: usize) -> bool {
-        if tau == 0 {
-            return self.contains(word);
+    /// `word` in at most `tau` positions.
+    ///
+    /// Sealed segments answer through their prefix-partitioned index —
+    /// per-partition AND/OR masks lower-bound the distance to every word
+    /// in the partition, so partitions that cannot hold a hit are skipped
+    /// without touching their words, and survivors run the bit-sliced
+    /// batch kernel over exactly their superblocks (see
+    /// [`napmon_bdd::BitSliceSet`]). The unsealed tail keeps a sliced
+    /// mirror and scans it the same way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Mismatch`] if `word`'s width differs from the
+    /// store's. (An earlier revision compared only the overlapping limbs
+    /// of a wrong-width query — a silently-truncated answer; the width is
+    /// now part of the contract.)
+    pub fn contains_within(&self, word: &BitWord, tau: usize) -> Result<bool, StoreError> {
+        if word.len() != self.config.word_bits {
+            return Err(StoreError::Mismatch(format!(
+                "Hamming query with a {}-bit word against a {}-bit store",
+                word.len(),
+                self.config.word_bits
+            )));
         }
-        let query = word.limbs();
-        let within = |block: &[u64]| -> bool {
-            block.chunks_exact(self.limbs.max(1)).any(|stored| {
-                let mut distance = 0u32;
-                for (a, b) in stored.iter().zip(query) {
-                    distance += (a ^ b).count_ones();
-                    if distance as usize > tau {
-                        return false;
-                    }
-                }
-                distance as usize <= tau
-            })
-        };
-        within(&self.tail_words) || self.segments.iter().any(|s| within(&s.words))
+        if tau == 0 {
+            return Ok(self.contains(word));
+        }
+        Ok(self.tail_slices.contains_within(word, tau)
+            || self.segments.iter().any(|s| s.contains_within(word, tau)))
     }
 
     /// A live snapshot of the store's shape and history.
@@ -633,7 +675,11 @@ impl PatternSource for PatternStore {
     }
 
     fn contains_within(&self, word: &BitWord, tau: usize) -> bool {
+        // The only failure mode is a width mismatch, and monitors validate
+        // word width when the source is attached — reaching it here is a
+        // bug in the caller, not a runtime condition.
         PatternStore::contains_within(self, word, tau)
+            .expect("query width is validated when the source is attached to a monitor")
     }
 
     fn word_count(&self) -> u64 {

@@ -1,0 +1,173 @@
+//! Property tests pinning the store's partition-pruned Hamming kernel to
+//! a naive per-bit oracle, at widths straddling the u64 limb boundary and
+//! across tail-resident vs. sealed residency.
+//!
+//! The oracle deliberately compares *bits*, not limbs: the bug this
+//! guards against was a limb-level `zip` that silently ignored trailing
+//! limbs of wider words, so the reference must not share that shape.
+
+use napmon_bdd::BitWord;
+use napmon_store::{PatternStore, StoreConfig, StoreError};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("napmon_store_oracle_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic pseudo-random words from a splitmix-style stream.
+fn pseudo_words(bits: usize, count: usize, mut state: u64) -> Vec<BitWord> {
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| {
+            let limbs: Vec<u64> = (0..bits.div_ceil(64)).map(|_| next()).collect();
+            BitWord::from_fn(bits, |i| (limbs[i / 64] >> (i % 64)) & 1 == 1)
+        })
+        .collect()
+}
+
+/// Per-bit Hamming oracle: true iff some stored word is within `tau`.
+fn oracle(stored: &[BitWord], probe: &BitWord, tau: usize) -> bool {
+    stored.iter().any(|w| {
+        let a = w.to_bools();
+        let b = probe.to_bools();
+        a.iter().zip(&b).filter(|(x, y)| x != y).count() <= tau
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Widths 63/64/65/128/129 cross the limb boundary both ways; small
+    /// segment capacity forces part of the set into sealed segments while
+    /// the remainder stays tail-resident, so both kernels are exercised
+    /// in one store.
+    #[test]
+    fn store_hamming_matches_per_bit_oracle(
+        width_pick in 0usize..5,
+        count in 1usize..120,
+        seal_at in 8usize..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let bits = [63usize, 64, 65, 128, 129][width_pick];
+        let dir = tmp(&format!("prop_{bits}_{count}_{seal_at}"));
+        let mut store = PatternStore::create(
+            &dir,
+            StoreConfig::new(bits).segment_capacity(seal_at),
+        )
+        .unwrap();
+        let words = pseudo_words(bits, count, seed | 1);
+        store.append_batch(&words).unwrap();
+
+        // Probes: fresh random words plus near-misses of stored words
+        // (flip 1..=4 bits), so hits at every tau are actually reachable.
+        let mut probes = pseudo_words(bits, 6, seed.rotate_left(21) | 1);
+        for (i, w) in words.iter().take(4).enumerate() {
+            let flips = i + 1;
+            probes.push(BitWord::from_fn(bits, |j| {
+                let bit = w.to_bools()[j];
+                if j < flips { !bit } else { bit }
+            }));
+        }
+        for probe in &probes {
+            for tau in 0..5usize {
+                let expect = oracle(&words, probe, tau);
+                prop_assert_eq!(store.contains_within(probe, tau).unwrap(), expect);
+            }
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The satellite bugfix itself: a wrong-width Hamming query is a typed
+/// error, never a silently-truncated limb comparison.
+#[test]
+fn wrong_width_hamming_query_is_a_typed_mismatch() {
+    let dir = tmp("width_mismatch");
+    let mut store = PatternStore::create(&dir, StoreConfig::new(64)).unwrap();
+    let stored = BitWord::from_fn(64, |i| i % 3 == 0);
+    store.append(&stored).unwrap();
+
+    // A 65-bit query whose first 64 bits match a stored word exactly: the
+    // old limb-zip scan would have answered `true` for tau >= 1 by
+    // ignoring the trailing limb entirely.
+    let wide = BitWord::from_fn(65, |i| i < 64 && i % 3 == 0);
+    for tau in 0..3usize {
+        let err = store.contains_within(&wide, tau).unwrap_err();
+        assert!(matches!(err, StoreError::Mismatch(_)), "tau={tau}: {err}");
+    }
+    // Narrower queries are rejected the same way.
+    let narrow = BitWord::from_fn(63, |i| i % 3 == 0);
+    assert!(matches!(
+        store.contains_within(&narrow, 2).unwrap_err(),
+        StoreError::Mismatch(_)
+    ));
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sealing and compaction move words from the tail kernel to the
+/// partition-indexed segment kernel; answers must not change.
+#[test]
+fn answers_stable_across_seal_and_compact() {
+    let dir = tmp("residency");
+    let bits = 129;
+    let mut store = PatternStore::create(&dir, StoreConfig::new(bits)).unwrap();
+    let words = pseudo_words(bits, 700, 0x5eed);
+    store.append_batch(&words).unwrap();
+
+    let probes = pseudo_words(bits, 10, 0x0dd5);
+    let baseline: Vec<Vec<bool>> = probes
+        .iter()
+        .map(|p| {
+            (0..5)
+                .map(|tau| store.contains_within(p, tau).unwrap())
+                .collect()
+        })
+        .collect();
+    for (p, b) in probes.iter().zip(&baseline) {
+        for (tau, &expect) in b.iter().enumerate() {
+            assert_eq!(oracle(&words, p, tau), expect, "tail baseline tau={tau}");
+        }
+    }
+
+    store.seal().unwrap();
+    for (p, b) in probes.iter().zip(&baseline) {
+        for (tau, &expect) in b.iter().enumerate() {
+            assert_eq!(
+                store.contains_within(p, tau).unwrap(),
+                expect,
+                "sealed tau={tau}"
+            );
+        }
+    }
+
+    // More appends, then compact everything into one segment.
+    store
+        .append_batch(&pseudo_words(bits, 300, 0xbeef))
+        .unwrap();
+    store.compact().unwrap();
+    for (p, b) in probes.iter().zip(&baseline) {
+        for (tau, &expect) in b.iter().enumerate() {
+            // Compaction only adds words, so an existing hit must survive.
+            if expect {
+                assert!(
+                    store.contains_within(p, tau).unwrap(),
+                    "compacted tau={tau}"
+                );
+            }
+        }
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}

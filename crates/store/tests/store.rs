@@ -64,7 +64,7 @@ fn matches_memory_source_exactly_and_within_hamming() {
         assert_eq!(store.contains(&probe), memory.contains(&probe));
         for tau in [0usize, 1, 3, 8] {
             assert_eq!(
-                store.contains_within(&probe, tau),
+                store.contains_within(&probe, tau).unwrap(),
                 memory.contains_within(&probe, tau),
                 "tau={tau} probe={probe:?}"
             );

@@ -281,9 +281,9 @@ impl WireClient {
     fn send(&mut self, request: Request) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;
-        let frame = request.into_frame(id);
+        let frame = request.into_frame(id)?;
         self.stream
-            .write_all(&frame.encode())
+            .write_all(&frame.encode()?)
             .map_err(map_write_err)?;
         Ok(id)
     }

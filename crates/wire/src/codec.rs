@@ -44,20 +44,36 @@ impl Request {
     }
 
     /// Packages the request as a frame with `request_id`.
-    pub fn into_frame(self, request_id: u64) -> Frame {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLarge`] for a batch over [`MAX_BATCH_INPUTS`]: the
+    /// decode side has always refused such frames, so encoding one only
+    /// manufactured a guaranteed rejection — and the old `len as u32`
+    /// count prefix silently wrapped past `u32::MAX`, corrupting the
+    /// payload outright. The same frame cap is now checked before any
+    /// bytes are written.
+    pub fn into_frame(self, request_id: u64) -> Result<Frame, WireError> {
         let mut payload = Vec::new();
         match &self {
             Request::Query(input) => wirefmt::put_features(&mut payload, input),
             Request::QueryBatch(inputs) | Request::Absorb(inputs) => {
+                if inputs.len() > MAX_BATCH_INPUTS {
+                    return Err(WireError::TooLarge {
+                        what: "batch inputs",
+                        len: inputs.len() as u64,
+                        limit: MAX_BATCH_INPUTS as u64,
+                    });
+                }
                 encode_inputs(&mut payload, inputs)
             }
             Request::Stats | Request::Shutdown => {}
         }
-        Frame {
+        Ok(Frame {
             opcode: self.opcode(),
             request_id,
             payload,
-        }
+        })
     }
 
     /// Interprets a received frame as a request.
@@ -197,7 +213,11 @@ impl Response {
     /// # Errors
     ///
     /// [`WireError::Malformed`] if the stats report fails to serialize
-    /// (never expected; surfaced rather than panicking in the server).
+    /// (never expected; surfaced rather than panicking in the server), and
+    /// [`WireError::TooLarge`] for an error message over
+    /// [`MAX_ERROR_MESSAGE_BYTES`] — previously `message.len() as u32`
+    /// silently wrapped for absurd messages, emitting a corrupt length
+    /// prefix.
     pub fn into_frame(self, request_id: u64) -> Result<Frame, WireError> {
         let opcode = self.opcode();
         let mut payload = Vec::new();
@@ -216,6 +236,13 @@ impl Response {
                 wirefmt::put_u32(&mut payload, budget);
             }
             Response::Error { code, message } => {
+                if message.len() > MAX_ERROR_MESSAGE_BYTES {
+                    return Err(WireError::TooLarge {
+                        what: "error message bytes",
+                        len: message.len() as u64,
+                        limit: MAX_ERROR_MESSAGE_BYTES as u64,
+                    });
+                }
                 payload.push(code as u8);
                 wirefmt::put_u32(&mut payload, message.len() as u32);
                 payload.extend_from_slice(message.as_bytes());
@@ -290,6 +317,12 @@ impl Response {
 /// chunk far below this ([`crate::WireClient`] uses 64-input chunks).
 pub const MAX_BATCH_INPUTS: usize = 1 << 16;
 
+/// Cap on an error response's message, far below where `len as u32` would
+/// wrap: an error detail is a diagnostic sentence, not a document, and a
+/// server echoing unbounded attacker-influenced text back into frames
+/// would hand out payload amplification.
+pub const MAX_ERROR_MESSAGE_BYTES: usize = 64 << 10;
+
 /// Encodes a batch of input vectors: `u32` count, then each vector with
 /// its own length prefix (members of a composed monitor may disagree on
 /// dimension only at the engine, which rejects them with a typed error).
@@ -324,7 +357,7 @@ mod tests {
     use napmon_core::Violation;
 
     fn round_trip_request(request: Request) {
-        let frame = request.clone().into_frame(77);
+        let frame = request.clone().into_frame(77).unwrap();
         assert_eq!(frame.request_id, 77);
         assert!(frame.opcode.is_request());
         assert_eq!(Request::decode(&frame).unwrap(), request);
@@ -391,7 +424,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut frame = Request::Stats.into_frame(1);
+        let mut frame = Request::Stats.into_frame(1).unwrap();
         frame.payload.push(0);
         assert!(matches!(
             Request::decode(&frame),
@@ -412,10 +445,67 @@ mod tests {
             Request::decode(&frame),
             Err(WireError::UnknownOpcode(_))
         ));
-        let frame = Request::Shutdown.into_frame(1);
+        let frame = Request::Shutdown.into_frame(1).unwrap();
         assert!(matches!(
             Response::decode(&frame),
             Err(WireError::UnknownOpcode(_))
         ));
+    }
+
+    #[test]
+    fn batch_at_the_input_cap_encodes_and_round_trips() {
+        let inputs = vec![Vec::new(); MAX_BATCH_INPUTS];
+        let frame = Request::QueryBatch(inputs.clone()).into_frame(3).unwrap();
+        assert_eq!(
+            Request::decode(&frame).unwrap(),
+            Request::QueryBatch(inputs)
+        );
+    }
+
+    #[test]
+    fn batch_one_past_the_input_cap_is_too_large() {
+        // Before the guard, `inputs.len() as u32` was fine here but the
+        // frame was guaranteed to be refused on decode; past u32::MAX the
+        // count prefix silently wrapped. Both are now one typed refusal
+        // at encode time.
+        let inputs = vec![Vec::new(); MAX_BATCH_INPUTS + 1];
+        for request in [Request::QueryBatch(inputs.clone()), Request::Absorb(inputs)] {
+            let err = request.into_frame(3).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::TooLarge {
+                        what: "batch inputs",
+                        len,
+                        limit,
+                    } if len == (MAX_BATCH_INPUTS + 1) as u64 && limit == MAX_BATCH_INPUTS as u64
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_message_at_the_cap_encodes_one_past_is_too_large() {
+        let at_cap = Response::Error {
+            code: ErrorCode::Monitor,
+            message: "x".repeat(MAX_ERROR_MESSAGE_BYTES),
+        };
+        round_trip_response(at_cap);
+        let over = Response::Error {
+            code: ErrorCode::Monitor,
+            message: "x".repeat(MAX_ERROR_MESSAGE_BYTES + 1),
+        };
+        let err = over.into_frame(4).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::TooLarge {
+                    what: "error message bytes",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 }

@@ -85,6 +85,20 @@ pub enum WireError {
         /// Configured limit.
         limit: u32,
     },
+    /// An outgoing value exceeds what the protocol can represent — a
+    /// payload longer than the `u32` length prefix can carry, or a batch
+    /// over the per-frame input cap. Refusing to encode beats emitting a
+    /// silently wrapped length prefix (a corrupt frame the peer would
+    /// misparse).
+    TooLarge {
+        /// What was oversized (`"frame payload bytes"`, `"batch inputs"`,
+        /// `"error message bytes"`).
+        what: &'static str,
+        /// The actual size, in the unit `what` names.
+        len: u64,
+        /// The largest size the protocol can carry.
+        limit: u64,
+    },
     /// The stream ended (or the buffer ran out) mid-frame.
     Truncated,
     /// The frame or payload is structurally invalid.
@@ -151,6 +165,9 @@ impl std::fmt::Display for WireError {
                     f,
                     "declared payload of {declared} bytes exceeds the {limit}-byte limit"
                 )
+            }
+            WireError::TooLarge { what, len, limit } => {
+                write!(f, "{what}: {len} exceeds the wire limit of {limit}")
             }
             WireError::Truncated => write!(f, "stream ended mid-frame"),
             WireError::Malformed(what) => write!(f, "malformed frame: {what}"),

@@ -135,16 +135,24 @@ impl Frame {
 
     /// Encodes the frame (header + payload) into one buffer, ready for a
     /// single write.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLarge`] when the payload is longer than the `u32`
+    /// length prefix can carry. The old behavior — `len as u32` — silently
+    /// wrapped, emitting a frame whose declared length disagreed with its
+    /// bytes; a peer would misparse the remainder of the stream.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let declared = declared_payload_len(self.payload.len())?;
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&WIRE_PROTOCOL_VERSION.to_le_bytes());
         out.push(self.opcode as u8);
         out.push(0); // reserved
         out.extend_from_slice(&self.request_id.to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&declared.to_le_bytes());
         out.extend_from_slice(&self.payload);
-        out
+        Ok(out)
     }
 
     /// Decodes one frame from the front of `bytes`, returning it and the
@@ -225,6 +233,17 @@ impl Frame {
     }
 }
 
+/// Checks that a payload length fits the frame header's `u32` length
+/// prefix — the seam [`Frame::encode`] refuses oversized payloads through
+/// (kept separate so the refusal is testable without allocating 4 GiB).
+pub(crate) fn declared_payload_len(len: usize) -> Result<u32, WireError> {
+    u32::try_from(len).map_err(|_| WireError::TooLarge {
+        what: "frame payload bytes",
+        len: len as u64,
+        limit: u64::from(u32::MAX),
+    })
+}
+
 /// The validated fields of a frame header, before the payload arrives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
@@ -247,7 +266,7 @@ mod tests {
             request_id: 0xDEAD_BEEF_0042,
             payload: vec![1, 2, 3, 4, 5],
         };
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         assert_eq!(bytes.len(), HEADER_LEN + 5);
         let (back, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
         assert_eq!(back, frame);
@@ -261,7 +280,8 @@ mod tests {
             request_id: 9,
             payload: vec![7; 16],
         }
-        .encode();
+        .encode()
+        .unwrap();
         for cut in 0..bytes.len() {
             assert!(matches!(
                 Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD),
@@ -272,7 +292,7 @@ mod tests {
 
     #[test]
     fn header_corruption_is_typed() {
-        let good = Frame::empty(Opcode::Stats, 1).encode();
+        let good = Frame::empty(Opcode::Stats, 1).encode().unwrap();
 
         let mut bad = good.clone();
         bad[0] = b'X';
@@ -312,13 +332,33 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_left_for_the_next_frame() {
-        let mut bytes = Frame::empty(Opcode::Stats, 4).encode();
-        let second = Frame::empty(Opcode::Shutdown, 5).encode();
+        let mut bytes = Frame::empty(Opcode::Stats, 4).encode().unwrap();
+        let second = Frame::empty(Opcode::Shutdown, 5).encode().unwrap();
         bytes.extend_from_slice(&second);
         let (first, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
         assert_eq!(first.opcode, Opcode::Stats);
         let (next, _) = Frame::decode(&bytes[consumed..], DEFAULT_MAX_PAYLOAD).unwrap();
         assert_eq!(next.opcode, Opcode::Shutdown);
+    }
+
+    #[test]
+    fn oversized_payload_length_is_too_large_not_wrapped() {
+        // At the boundary: u32::MAX fits, one past does not. The wrap bug
+        // this replaces would have declared a one-past-u32::MAX payload as
+        // 0 bytes — a corrupt prefix desynchronizing the whole stream.
+        assert_eq!(declared_payload_len(u32::MAX as usize).unwrap(), u32::MAX);
+        let err = declared_payload_len(u32::MAX as usize + 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::TooLarge {
+                    what: "frame payload bytes",
+                    len,
+                    limit,
+                } if len == u64::from(u32::MAX) + 1 && limit == u64::from(u32::MAX)
+            ),
+            "{err}"
+        );
     }
 
     #[test]

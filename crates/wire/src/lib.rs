@@ -73,7 +73,9 @@ pub mod frame;
 pub mod server;
 
 pub use client::{ClientConfig, RetryPolicy, WireClient};
-pub use codec::{DegradedStats, Request, Response, StatsSnapshot, MAX_BATCH_INPUTS};
+pub use codec::{
+    DegradedStats, Request, Response, StatsSnapshot, MAX_BATCH_INPUTS, MAX_ERROR_MESSAGE_BYTES,
+};
 pub use error::{ErrorCode, WireError};
 pub use frame::{
     Frame, FrameHeader, Opcode, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, WIRE_PROTOCOL_VERSION,

@@ -341,8 +341,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<JoinHandle<(
                         in_flight: connections.len() as u32,
                         budget: shared.config.max_connections as u32,
                     };
-                    if let Ok(frame) = refusal.into_frame(0) {
-                        let _ = stream.write_all(&frame.encode());
+                    if let Ok(bytes) = refusal.into_frame(0).and_then(|f| f.encode()) {
+                        let _ = stream.write_all(&bytes);
                     }
                     shared
                         .degraded
@@ -454,9 +454,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             payload,
         };
         let (response, initiated_shutdown) = serve_frame(&frame, shared);
-        match response.into_frame(parsed.request_id) {
+        match response
+            .into_frame(parsed.request_id)
+            .and_then(|f| f.encode())
+        {
             Ok(reply) => {
-                if let Err(e) = stream.write_all(&reply.encode()) {
+                if let Err(e) = stream.write_all(&reply) {
                     // A write deadline means the peer stopped draining —
                     // that is an eviction, and it is accounted as one.
                     // Otherwise it is a disconnected client: the work is
@@ -591,8 +594,8 @@ fn evict_connection(stream: &mut TcpStream, shared: &Arc<Shared>, why: &ReadErro
         code: crate::ErrorCode::Evicted,
         message: message.to_string(),
     };
-    if let Ok(frame) = response.into_frame(id) {
-        let _ = stream.write_all(&frame.encode());
+    if let Ok(bytes) = response.into_frame(id).and_then(|f| f.encode()) {
+        let _ = stream.write_all(&bytes);
     }
     let _ = stream.shutdown(std::net::Shutdown::Write);
 }
@@ -607,8 +610,8 @@ fn respond_error_raw(stream: &mut TcpStream, request_id: u64, e: &WireError) {
         code: e.as_code(),
         message: e.to_string(),
     };
-    if let Ok(frame) = response.into_frame(request_id) {
-        let _ = stream.write_all(&frame.encode());
+    if let Ok(bytes) = response.into_frame(request_id).and_then(|f| f.encode()) {
+        let _ = stream.write_all(&bytes);
     }
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let mut sink = [0u8; 1024];

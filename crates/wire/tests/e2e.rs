@@ -200,7 +200,7 @@ fn malformed_peers_get_typed_errors_not_a_dead_server() {
     assert_eq!(frame.opcode, Opcode::Error);
 
     // A version from the future: typed rejection naming the supported one.
-    let mut future = Frame::empty(Opcode::Stats, 9).encode();
+    let mut future = Frame::empty(Opcode::Stats, 9).encode().unwrap();
     future[4..6].copy_from_slice(&7u16.to_le_bytes());
     let mut raw = std::net::TcpStream::connect(addr).expect("connect");
     raw.write_all(&future).expect("write");

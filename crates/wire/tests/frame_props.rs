@@ -40,7 +40,7 @@ fn check_frame_decode(bytes: &[u8], max_payload: u32) {
             assert!(consumed <= bytes.len());
             assert_eq!(consumed, HEADER_LEN + frame.payload.len());
             // A decoded frame re-encodes to exactly the bytes consumed.
-            assert_eq!(frame.encode(), bytes[..consumed]);
+            assert_eq!(frame.encode().unwrap(), bytes[..consumed]);
             // The payload decoders are total too, whatever the opcode.
             let _ = Request::decode(&frame);
             let _ = Response::decode(&frame);
@@ -81,7 +81,7 @@ proptest! {
             request_id,
             payload,
         };
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD)
             .expect("a well-formed frame must decode");
         prop_assert_eq!(consumed, bytes.len());
