@@ -13,8 +13,11 @@
 //! `NAPMON_BENCH_SMOKE=1` to run a seconds-long smoke pass that still
 //! writes the full JSON schema (CI validates it).
 
-use napmon_core::{Monitor, MonitorBuilder, MonitorKind, PatternBackend, ThresholdPolicy};
+use napmon_core::{
+    Monitor, MonitorBuilder, MonitorKind, MonitorSpec, PatternBackend, ThresholdPolicy,
+};
 use napmon_nn::{Activation, LayerSpec, Network};
+use napmon_registry::{MonitorRegistry, RegistryConfig};
 use napmon_serve::{EngineConfig, MonitorEngine};
 use napmon_tensor::Prng;
 use serde::Serialize;
@@ -27,6 +30,8 @@ const BATCH_SIZE: usize = 512;
 const INPUT_DIM: usize = 16;
 const NEURONS: usize = 64;
 const MICRO_BATCH: usize = 64;
+/// Hot-swap flips measured for the registry flip-latency figure.
+const FLIP_COUNT: usize = 16;
 
 fn smoke() -> bool {
     std::env::var_os("NAPMON_BENCH_SMOKE").is_some()
@@ -70,7 +75,43 @@ struct Report {
     direct_qps: f64,
     rows: Vec<ShardRow>,
     speedup_4shard_vs_1shard: f64,
+    /// Requests/sec through `MonitorRegistry::query_batch` (tenant lookup
+    /// + pointer load on top of a 1-shard engine, no shadow attached).
+    registry_dispatch_qps: f64,
+    /// 1-shard engine qps over `registry_dispatch_qps`: the price of the
+    /// registry's routing layer as a within-run ratio (~1.0 expected).
+    registry_dispatch_overhead: f64,
+    /// 1-shard engine qps over the registry's qps *with one shadow
+    /// candidate attached and mirroring*. The shadow contract is ≤ 1.10
+    /// where the mirror can run on its own core; `validate_bench` gates
+    /// it threads-aware.
+    registry_shadow_overhead: f64,
+    /// Mean `promote()` wall time (µs) over hot-swap flips: detach the
+    /// mirror, flush it, flip the active pointer, hand the old engine to
+    /// the background drainer.
+    registry_flip_latency_us: f64,
+    smoke: bool,
     notes: String,
+}
+
+/// Measures `registry.query_batch` throughput over the shared batch for
+/// the configured window, subtracting `warmup` requests already counted.
+fn measure_registry_qps(registry: &MonitorRegistry, shared: &std::sync::Arc<[Vec<f64>]>) -> f64 {
+    // Warm-up batch grows shard scratch buffers, same as the engine rows.
+    registry
+        .query_batch("bench", std::sync::Arc::clone(shared))
+        .unwrap();
+    let start = Instant::now();
+    let mut served = 0u64;
+    while start.elapsed().as_secs_f64() < measure_secs() {
+        black_box(
+            registry
+                .query_batch("bench", std::sync::Arc::clone(shared))
+                .unwrap(),
+        );
+        served += BATCH_SIZE as u64;
+    }
+    served as f64 / start.elapsed().as_secs_f64()
 }
 
 fn main() {
@@ -158,6 +199,82 @@ fn main() {
         .iter()
         .find(|r| r.shards == 4)
         .map_or(0.0, |r| r.speedup_vs_1shard);
+
+    // Registry dispatch: the same workload behind a `MonitorRegistry`,
+    // so the delta prices the routing layer (tenant lookup +
+    // active-pointer load) and then the shadow mirror. The registry
+    // serves `ComposedMonitor` engines, so the overhead baseline is a
+    // fresh 1-shard engine over the composed build of the same spec —
+    // like-for-like, measured in the same run; both overheads are
+    // within-run ratios and survive hardware changes in compare mode.
+    let shard_config = EngineConfig {
+        shards: 1,
+        micro_batch: MICRO_BATCH,
+    };
+    let composed = MonitorSpec::new(
+        2,
+        MonitorKind::pattern_with(ThresholdPolicy::Mean, PatternBackend::HashSet, 0),
+    )
+    .build(&net, &train)
+    .unwrap();
+    let fresh_engine = || MonitorEngine::new(net.clone(), composed.clone(), shard_config);
+    let baseline_engine = fresh_engine();
+    baseline_engine
+        .submit_batch(std::sync::Arc::clone(&shared))
+        .unwrap();
+    let start = Instant::now();
+    let mut served = 0u64;
+    while start.elapsed().as_secs_f64() < measure_secs() {
+        black_box(
+            baseline_engine
+                .submit_batch(std::sync::Arc::clone(&shared))
+                .unwrap(),
+        );
+        served += BATCH_SIZE as u64;
+    }
+    let engine_1shard_qps = served as f64 / start.elapsed().as_secs_f64();
+    baseline_engine.shutdown();
+    let registry = MonitorRegistry::new(RegistryConfig::with_engine(shard_config));
+    registry.mount_engine("bench", 1, fresh_engine()).unwrap();
+    let registry_dispatch_qps = measure_registry_qps(&registry, &shared);
+    let registry_dispatch_overhead = engine_1shard_qps / registry_dispatch_qps;
+    println!(
+        "registry dispatch     {registry_dispatch_qps:>12.0} req/s  \
+         ({registry_dispatch_overhead:>5.2}x the 1-shard engine)"
+    );
+
+    registry
+        .mount_shadow_engine("bench", 2, fresh_engine())
+        .unwrap();
+    let shadow_qps = measure_registry_qps(&registry, &shared);
+    let registry_shadow_overhead = engine_1shard_qps / shadow_qps;
+    println!(
+        "registry + 1 shadow   {shadow_qps:>12.0} req/s  \
+         ({registry_shadow_overhead:>5.2}x the 1-shard engine)"
+    );
+
+    // Flip latency: promote the standing shadow, then keep re-shadowing
+    // and promoting. Each `promote` detaches + flushes the mirror, flips
+    // the active pointer, and hands the retiree to the background
+    // drainer; retirees are reaped as we go so the flip mill does not
+    // stack idle engines.
+    let mut flip_ns = 0u128;
+    for flip in 0..FLIP_COUNT {
+        if flip > 0 {
+            registry
+                .mount_shadow_engine("bench", flip as u32 + 2, fresh_engine())
+                .unwrap();
+        }
+        let start = Instant::now();
+        black_box(registry.promote("bench").unwrap());
+        flip_ns += start.elapsed().as_nanos();
+        registry.reap_retired();
+    }
+    let registry_flip_latency_us = flip_ns as f64 / FLIP_COUNT as f64 / 1_000.0;
+    println!(
+        "hot-swap flip latency {registry_flip_latency_us:>12.1} us mean over {FLIP_COUNT} promotes"
+    );
+    registry.shutdown();
     let threads = std::thread::available_parallelism()
         .map(usize::from)
         .unwrap_or(1);
@@ -171,13 +288,18 @@ fn main() {
         direct_qps,
         rows,
         speedup_4shard_vs_1shard,
+        registry_dispatch_qps,
+        registry_dispatch_overhead,
+        registry_shadow_overhead,
+        registry_flip_latency_us,
+        smoke: smoke(),
         // The machine shape lives in the structured `threads` field only —
         // prose copies of it went stale whenever the file was regenerated
         // on different hardware.
         notes: format!(
             "in-distribution workload (all probes hit the pattern set); \
-             shard scaling is bounded by the measuring machine's cores \
-             (see the `threads` field); smoke = {}",
+             shard scaling and shadow-mirror overhead are bounded by the \
+             measuring machine's cores (see the `threads` field); smoke = {}",
             smoke()
         ),
     };

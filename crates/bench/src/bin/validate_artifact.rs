@@ -33,13 +33,21 @@ fn golden_path() -> String {
 
 fn main() {
     // Both compatibility surfaces, on the record in every CI log: the
-    // artifact schema this build reads/writes, and the wire protocol it
-    // speaks. A bump in either must show up in this line (and in the
-    // README's versioning sections).
+    // artifact schema this build reads/writes, and the full set of wire
+    // protocol versions it accepts. The set is read from the wire crate
+    // rather than hardcoded — a hardcoded "v1" survived the v2 bump here
+    // once already — and the rejected legacy epoch is named so a log
+    // reader knows what v1 peers will be told.
+    let supported = napmon_wire::SUPPORTED_WIRE_PROTOCOL_VERSIONS
+        .iter()
+        .map(|v| format!("v{v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     println!(
-        "compatibility: artifact format v{}, wire protocol v{}",
+        "compatibility: artifact format v{}, wire protocol versions [{supported}] \
+         (v{} peers get a typed UnsupportedVersion rejection)",
         napmon_artifact::FORMAT_VERSION,
-        napmon_wire::WIRE_PROTOCOL_VERSION,
+        napmon_wire::LEGACY_WIRE_PROTOCOL_VERSION,
     );
 
     let path = golden_path();

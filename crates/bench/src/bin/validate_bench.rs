@@ -163,6 +163,33 @@ fn validate_serve() {
         );
     }
     field(name, &report, "notes");
+    field(name, &report, "smoke");
+    // The registry-dispatch figures: the routing layer's price and the
+    // shadow mirror's, both as within-run ratios against the 1-shard
+    // engine row, plus the hot-swap flip latency.
+    positive(name, &report, "registry_dispatch_qps");
+    positive(name, &report, "registry_dispatch_overhead");
+    positive(name, &report, "registry_flip_latency_us");
+    let shadow_overhead = positive(name, &report, "registry_shadow_overhead");
+    // The shadow contract — candidate traffic stays off the hot path, so
+    // one attached shadow costs ≤ 10% — only holds where the mirror and
+    // the shadow engine can run on their own core; on a single-core box
+    // they time-share with the hot path by construction. Same
+    // hardware-awareness as the shard-scaling threshold above.
+    if threads >= 2.0 && !is_smoke(&report) {
+        assert!(
+            shadow_overhead <= 1.10,
+            "{name}: one attached shadow costs {:.1}% on a {threads}-thread machine \
+             — the mirror has leaked onto the hot path",
+            (shadow_overhead - 1.0) * 100.0
+        );
+    } else {
+        println!(
+            "{name}: note: shadow-overhead threshold not enforced \
+             ({threads} thread(s), smoke = {})",
+            is_smoke(&report)
+        );
+    }
     let Value::Array(rows) = field(name, &report, "rows") else {
         panic!("{name}: `rows` is not an array");
     };
@@ -378,6 +405,17 @@ const WIRE_DEGRADED_KEYS: [&str; 3] = ["degraded_busy", "degraded_shed", "degrad
 /// query specs so their top-level drift checks agree.
 const QUERY_TOP_TOLERATED: [&str; 3] = ["hamming_results", "min_sliced_hamming_speedup", "smoke"];
 
+/// Top-level keys `BENCH_serve.json` grew with the multi-tenant registry
+/// (dispatch/shadow overheads, flip latency, structured smoke flag);
+/// tolerated one-way against pre-registry baselines.
+const SERVE_TOP_TOLERATED: [&str; 5] = [
+    "registry_dispatch_qps",
+    "registry_dispatch_overhead",
+    "registry_shadow_overhead",
+    "registry_flip_latency_us",
+    "smoke",
+];
+
 const COMPARE_SPECS: [CompareSpec; 6] = [
     CompareSpec {
         name: "BENCH_query.json",
@@ -420,12 +458,15 @@ const COMPARE_SPECS: [CompareSpec; 6] = [
         row_latency: &["mean_latency_ns"],
         // speedup_vs_1shard is parallel *capacity*, not a within-run
         // price ratio — it does not cancel hardware, so it lives in
-        // validate_serve's threads-aware check instead.
+        // validate_serve's threads-aware check instead. The registry
+        // overheads *are* within-run price ratios (both sides of each
+        // division come from the same run), so they gate here; flip
+        // latency is absolute wall time and stays schema-only.
         top_ratio_floor: &[],
-        top_ratio_ceiling: &[],
+        top_ratio_ceiling: &["registry_dispatch_overhead", "registry_shadow_overhead"],
         row_ratio_floor: &[],
         row_tolerated_new: &[],
-        top_tolerated_new: &[],
+        top_tolerated_new: &SERVE_TOP_TOLERATED,
     },
     CompareSpec {
         name: "BENCH_artifact.json",
@@ -632,6 +673,12 @@ fn compare_report(spec: &CompareSpec, baseline_dir: &str, tol: f64) -> usize {
         );
     }
     for key in spec.top_ratio_ceiling {
+        // Same one-way tolerance as the floor loop above: a ceiling ratio
+        // introduced by this PR has no baseline figure to diff against.
+        if matches!(baseline[*key], Value::Null) && spec.top_tolerated_new.contains(key) {
+            println!("{name}: {key} diff skipped (figure absent from the baseline)");
+            continue;
+        }
         compared += 1;
         let fresh_v = number(name, &fresh, key);
         let base_v = number(name, &baseline, key);

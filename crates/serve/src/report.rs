@@ -66,6 +66,23 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// Merges whole engine reports into one fleet-wide view — the
+    /// registry-level aggregate across every mounted engine. Shard rows
+    /// are renumbered sequentially so the merged report keeps one row per
+    /// underlying worker.
+    pub fn merge(reports: impl IntoIterator<Item = ServeReport>) -> Self {
+        let shards = reports
+            .into_iter()
+            .flat_map(|report| report.shards)
+            .enumerate()
+            .map(|(i, mut shard)| {
+                shard.shard = i;
+                shard
+            })
+            .collect();
+        Self::aggregate(shards)
+    }
+
     /// Merges per-shard reports into the engine-wide view.
     pub fn aggregate(mut shards: Vec<ShardReport>) -> Self {
         shards.sort_by_key(|r| r.shard);
@@ -181,6 +198,31 @@ mod tests {
         assert_eq!(back, report);
         assert_eq!(back.queue_depth, 3);
         assert_eq!(back.shards[0].queue_depth, 3);
+    }
+
+    #[test]
+    fn merge_renumbers_shards_and_sums_totals() {
+        let mut a = ShardReport::empty(0);
+        a.record(100.0, true);
+        a.queue_depth = 1;
+        let mut b = ShardReport::empty(0);
+        b.record(300.0, false);
+        b.queue_depth = 2;
+        let merged = ServeReport::merge(vec![
+            ServeReport::aggregate(vec![a]),
+            ServeReport::aggregate(vec![b]),
+        ]);
+        assert_eq!(merged.requests, 2);
+        assert_eq!(merged.warnings, 1);
+        assert_eq!(merged.queue_depth, 3);
+        assert_eq!(
+            merged.shards.iter().map(|s| s.shard).collect::<Vec<_>>(),
+            vec![0, 1],
+            "shard rows are renumbered, not collapsed"
+        );
+        assert_eq!(merged.latency_ns.min(), 100.0);
+        assert_eq!(merged.latency_ns.max(), 300.0);
+        assert_eq!(ServeReport::merge(Vec::new()).requests, 0);
     }
 
     #[test]

@@ -732,6 +732,17 @@ impl StoreProvider {
     pub fn member_dir(root: &Path, member: usize) -> PathBuf {
         root.join(format!("member-{member:04}"))
     }
+
+    /// The store namespace for one mounted tenant version:
+    /// `root/tenant-<id>/v<NNNN>/`, with the usual `member-NNNN/` layout
+    /// nested underneath. Namespacing by *version* (not just tenant) is
+    /// what lets a registry hot-swap a store-backed monitor: the candidate
+    /// version's stores live in their own directory, so its advisory locks
+    /// never alias the still-serving version's.
+    pub fn tenant_dir(root: &Path, tenant: &str, version: u32) -> PathBuf {
+        root.join(format!("tenant-{tenant}"))
+            .join(format!("v{version:04}"))
+    }
 }
 
 impl From<PathBuf> for StoreProvider {

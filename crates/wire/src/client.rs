@@ -31,11 +31,27 @@
 //! deduplicates, but the fresh-pattern count would lie), so it is retried
 //! on `Busy` only. When the budget runs out the last error comes back
 //! wrapped in [`WireError::RetriesExhausted`].
+//!
+//! # Tenant routing
+//!
+//! Against a registry server every work frame must name its tenant. The
+//! client carries a **sticky route** ([`WireClient::set_route`]): once
+//! set, every outgoing frame is stamped with it until it is changed or
+//! cleared. The registry admin calls ([`WireClient::mount_artifact`],
+//! [`WireClient::unmount`], [`WireClient::promote`],
+//! [`WireClient::shadow_stats`]) address the routed tenant too —
+//! `mount_artifact` reads the *version to mount* from the route, so it
+//! needs a pinned route, not an active one. `ListTenants` and `ShadowStats`
+//! are idempotent and retried like queries; `Mount`/`Unmount`/`Promote`
+//! retry on `Busy` only, since a transport error may mean the operation
+//! already landed.
 
 use crate::codec::{Request, Response, StatsSnapshot};
-use crate::frame::{Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use crate::frame::{Frame, TenantRoute, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
 use crate::WireError;
 use napmon_core::Verdict;
+use napmon_registry::{ShadowReport, TenantInfo};
+use napmon_serve::ServeReport;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -226,6 +242,8 @@ pub struct WireClient {
     config: ClientConfig,
     /// Jitter generator state for the retry backoff schedule.
     jitter: u64,
+    /// Sticky tenant route stamped on every outgoing frame when set.
+    route: Option<TenantRoute>,
 }
 
 impl WireClient {
@@ -256,6 +274,7 @@ impl WireClient {
                         next_id: 1,
                         config,
                         jitter,
+                        route: None,
                     });
                 }
                 Err(e) => last = Some(e),
@@ -278,10 +297,31 @@ impl WireClient {
         Ok(())
     }
 
+    /// Sets (or clears) the sticky tenant route; every subsequent frame
+    /// carries it. Routing against a single-engine server earns a typed
+    /// `UnknownTenant` error, so a misdirected client fails loudly.
+    pub fn set_route(&mut self, route: Option<TenantRoute>) {
+        self.route = route;
+    }
+
+    /// Builder form of [`WireClient::set_route`].
+    pub fn with_route(mut self, route: TenantRoute) -> Self {
+        self.route = Some(route);
+        self
+    }
+
+    /// The sticky route currently stamped on outgoing frames.
+    pub fn route(&self) -> Option<&TenantRoute> {
+        self.route.as_ref()
+    }
+
     fn send(&mut self, request: Request) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;
-        let frame = request.into_frame(id)?;
+        let mut frame = request.into_frame(id)?;
+        if let Some(route) = &self.route {
+            frame = frame.routed(route.clone());
+        }
         self.stream
             .write_all(&frame.encode()?)
             .map_err(map_write_err)?;
@@ -301,11 +341,7 @@ impl WireClient {
                 got: parsed.request_id,
             });
         }
-        Response::decode(&Frame {
-            opcode: parsed.opcode,
-            request_id: parsed.request_id,
-            payload,
-        })
+        Response::decode(&Frame::assemble(parsed, payload)?)
     }
 
     fn call(&mut self, request: Request) -> Result<Response, WireError> {
@@ -468,6 +504,96 @@ impl WireClient {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("shutdown acknowledgement", &other)),
         }
+    }
+
+    /// Mounts `artifact_json` (a serialized
+    /// [`MonitorArtifact`](napmon_artifact::MonitorArtifact)) on the
+    /// registry at the client's sticky route — the route's tenant id names
+    /// the tenant, its *pinned version* names the version to mount
+    /// (version 0 is reserved, so an active route is refused). With
+    /// `shadow`, the artifact mounts as a shadow candidate beside the
+    /// active engine instead of hot-swapping it.
+    ///
+    /// Retried on `Busy` only: after a transport failure the mount may
+    /// already have landed, and re-mounting the same version is a typed
+    /// `VersionInUse` refusal.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] with [`ErrorCode`](crate::ErrorCode)
+    /// `Registry`/`UnknownTenant` for registry refusals, plus the usual
+    /// transport errors.
+    pub fn mount_artifact(&mut self, shadow: bool, artifact_json: &str) -> Result<(), WireError> {
+        self.with_retry(false, |client| {
+            match client.call(Request::Mount {
+                shadow,
+                artifact_json: artifact_json.to_string(),
+            })? {
+                Response::Mounted => Ok(()),
+                other => Err(unexpected("mount acknowledgement", &other)),
+            }
+        })
+    }
+
+    /// Unmounts the routed tenant entirely (shadow first, then the active
+    /// engine, drained to an empty queue) and returns the retired active
+    /// engine's final report. Retried on `Busy` only.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] with `UnknownTenant` if nothing is mounted
+    /// there, plus transport errors.
+    pub fn unmount(&mut self) -> Result<ServeReport, WireError> {
+        self.with_retry(false, |client| match client.call(Request::Unmount)? {
+            Response::Unmounted(report) => Ok(*report),
+            other => Err(unexpected("unmount report", &other)),
+        })
+    }
+
+    /// Promotes the routed tenant's shadow candidate to active and
+    /// returns the final [`ShadowReport`] — the verdict-agreement account
+    /// that justified (or should have blocked) the flip. Retried on
+    /// `Busy` only: a transport failure may mean the flip already
+    /// happened, and re-promoting without a shadow is a typed `NoShadow`
+    /// refusal, not a double flip.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] with `Registry` (`NoShadow`) or
+    /// `UnknownTenant`, plus transport errors.
+    pub fn promote(&mut self) -> Result<ShadowReport, WireError> {
+        self.with_retry(false, |client| match client.call(Request::Promote)? {
+            Response::Promoted(report) => Ok(*report),
+            other => Err(unexpected("promotion report", &other)),
+        })
+    }
+
+    /// Lists every mounted tenant (id, active version, shadow version,
+    /// queue depth). Needs no route; idempotent and retried under the
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn list_tenants(&mut self) -> Result<Vec<TenantInfo>, WireError> {
+        self.with_retry(true, |client| match client.call(Request::ListTenants)? {
+            Response::TenantList(tenants) => Ok(tenants),
+            other => Err(unexpected("tenant list", &other)),
+        })
+    }
+
+    /// Snapshots the routed tenant's live shadow diff without touching
+    /// the deployment. Idempotent; retried under the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] with `Registry` (`NoShadow`) or
+    /// `UnknownTenant`, plus transport errors.
+    pub fn shadow_stats(&mut self) -> Result<ShadowReport, WireError> {
+        self.with_retry(true, |client| match client.call(Request::ShadowStats)? {
+            Response::ShadowReport(report) => Ok(*report),
+            other => Err(unexpected("shadow report", &other)),
+        })
     }
 
     /// Writes chunk frames ahead of the responses read, up to

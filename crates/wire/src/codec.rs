@@ -14,9 +14,14 @@ use crate::error::{ErrorCode, WireError};
 use crate::frame::{Frame, Opcode};
 use napmon_core::wirefmt;
 use napmon_core::Verdict;
+use napmon_registry::{ShadowReport, TenantInfo};
 use napmon_serve::ServeReport;
 
 /// A client → server message.
+///
+/// Work requests (`Query`/`QueryBatch`/`Absorb`) and the per-tenant admin
+/// requests carry their tenant in the **frame route**, not the payload —
+/// the route is addressing, the payload is content.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Serve one input.
@@ -29,6 +34,23 @@ pub enum Request {
     Stats,
     /// Begin a graceful shutdown.
     Shutdown,
+    /// Mount the carried artifact at the routed `(model_id, version)` —
+    /// as the shadow candidate when `shadow`, otherwise as active
+    /// (hot-swapping any current active).
+    Mount {
+        /// Mount beside the active engine instead of replacing it.
+        shadow: bool,
+        /// The serialized [`MonitorArtifact`](napmon_artifact::MonitorArtifact).
+        artifact_json: String,
+    },
+    /// Unmount the routed tenant entirely (drain, then final report).
+    Unmount,
+    /// Promote the routed tenant's shadow candidate to active.
+    Promote,
+    /// List every mounted tenant.
+    ListTenants,
+    /// Snapshot the routed tenant's live shadow diff.
+    ShadowStats,
 }
 
 impl Request {
@@ -40,6 +62,11 @@ impl Request {
             Request::Absorb(_) => Opcode::Absorb,
             Request::Stats => Opcode::Stats,
             Request::Shutdown => Opcode::Shutdown,
+            Request::Mount { .. } => Opcode::Mount,
+            Request::Unmount => Opcode::Unmount,
+            Request::Promote => Opcode::Promote,
+            Request::ListTenants => Opcode::ListTenants,
+            Request::ShadowStats => Opcode::ShadowStats,
         }
     }
 
@@ -67,11 +94,24 @@ impl Request {
                 }
                 encode_inputs(&mut payload, inputs)
             }
-            Request::Stats | Request::Shutdown => {}
+            Request::Mount {
+                shadow,
+                artifact_json,
+            } => {
+                payload.push(u8::from(*shadow));
+                payload.extend_from_slice(artifact_json.as_bytes());
+            }
+            Request::Stats
+            | Request::Shutdown
+            | Request::Unmount
+            | Request::Promote
+            | Request::ListTenants
+            | Request::ShadowStats => {}
         }
         Ok(Frame {
             opcode: self.opcode(),
             request_id,
+            route: None,
             payload,
         })
     }
@@ -92,6 +132,30 @@ impl Request {
             Opcode::Absorb => Request::Absorb(decode_inputs(&mut bytes)?),
             Opcode::Stats => Request::Stats,
             Opcode::Shutdown => Request::Shutdown,
+            Opcode::Mount => {
+                let raw = *bytes.first().ok_or(WireError::Truncated)?;
+                let shadow = match raw {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "unknown mount mode byte {other:#04x} (0 = active, 1 = shadow)"
+                        )))
+                    }
+                };
+                let artifact_json = std::str::from_utf8(&bytes[1..])
+                    .map_err(|_| WireError::Malformed("mount artifact is not UTF-8".to_string()))?
+                    .to_string();
+                bytes = &[];
+                Request::Mount {
+                    shadow,
+                    artifact_json,
+                }
+            }
+            Opcode::Unmount => Request::Unmount,
+            Opcode::Promote => Request::Promote,
+            Opcode::ListTenants => Request::ListTenants,
+            Opcode::ShadowStats => Request::ShadowStats,
             other => return Err(WireError::UnknownOpcode(other as u8)),
         };
         if !bytes.is_empty() {
@@ -118,6 +182,17 @@ pub enum Response {
     Stats(Box<StatsSnapshot>),
     /// Shutdown acknowledged; the server is draining.
     ShuttingDown,
+    /// Mount succeeded ([`Request::Mount`]).
+    Mounted,
+    /// Unmount succeeded; the retired engine's final report
+    /// ([`Request::Unmount`]).
+    Unmounted(Box<ServeReport>),
+    /// Promotion succeeded; the final shadow diff ([`Request::Promote`]).
+    Promoted(Box<ShadowReport>),
+    /// Every mounted tenant ([`Request::ListTenants`]).
+    TenantList(Vec<TenantInfo>),
+    /// A live shadow diff snapshot ([`Request::ShadowStats`]).
+    ShadowReport(Box<ShadowReport>),
     /// The in-flight budget is exhausted; the request was not served.
     Busy {
         /// Requests in flight when the server refused.
@@ -179,6 +254,12 @@ pub struct DegradedStats {
     /// — the slow-loris defense — or for not draining their responses past
     /// the write deadline.
     pub evicted_stalled: u64,
+    /// Requests refused with a typed error because their tenant route
+    /// named no mounted tenant or version (or was missing / present when
+    /// the backend cannot use one). Routing misses are client errors, not
+    /// load, but they are counted here so a misconfigured fleet shows up
+    /// on the same degradation dashboard.
+    pub unknown_tenant: u64,
 }
 
 impl DegradedStats {
@@ -203,6 +284,11 @@ impl Response {
             Response::Absorbed(_) => Opcode::Absorbed,
             Response::Stats(_) => Opcode::StatsReport,
             Response::ShuttingDown => Opcode::ShuttingDown,
+            Response::Mounted => Opcode::Mounted,
+            Response::Unmounted(_) => Opcode::Unmounted,
+            Response::Promoted(_) => Opcode::Promoted,
+            Response::TenantList(_) => Opcode::TenantList,
+            Response::ShadowReport(_) => Opcode::ShadowReport,
             Response::Busy { .. } => Opcode::Busy,
             Response::Error { .. } => Opcode::Error,
         }
@@ -230,7 +316,19 @@ impl Response {
                     .map_err(|e| WireError::Malformed(format!("stats serialization: {e}")))?
                     .into_bytes();
             }
-            Response::ShuttingDown => {}
+            Response::ShuttingDown | Response::Mounted => {}
+            Response::Unmounted(report) => {
+                payload = encode_json("unmount report", &*report)?;
+            }
+            Response::Promoted(report) => {
+                payload = encode_json("promotion report", &*report)?;
+            }
+            Response::TenantList(tenants) => {
+                payload = encode_json("tenant list", &tenants)?;
+            }
+            Response::ShadowReport(report) => {
+                payload = encode_json("shadow report", &*report)?;
+            }
             Response::Busy { in_flight, budget } => {
                 wirefmt::put_u32(&mut payload, in_flight);
                 wirefmt::put_u32(&mut payload, budget);
@@ -251,6 +349,7 @@ impl Response {
         Ok(Frame {
             opcode,
             request_id,
+            route: None,
             payload,
         })
     }
@@ -278,6 +377,27 @@ impl Response {
                 Response::Stats(Box::new(snapshot))
             }
             Opcode::ShuttingDown => Response::ShuttingDown,
+            Opcode::Mounted => Response::Mounted,
+            Opcode::Unmounted => {
+                let report = decode_json("unmount report", bytes)?;
+                bytes = &[];
+                Response::Unmounted(Box::new(report))
+            }
+            Opcode::Promoted => {
+                let report = decode_json("promotion report", bytes)?;
+                bytes = &[];
+                Response::Promoted(Box::new(report))
+            }
+            Opcode::TenantList => {
+                let tenants = decode_json("tenant list", bytes)?;
+                bytes = &[];
+                Response::TenantList(tenants)
+            }
+            Opcode::ShadowReport => {
+                let report = decode_json("shadow report", bytes)?;
+                bytes = &[];
+                Response::ShadowReport(Box::new(report))
+            }
             Opcode::Busy => Response::Busy {
                 in_flight: wirefmt::get_u32(&mut bytes)?,
                 budget: wirefmt::get_u32(&mut bytes)?,
@@ -322,6 +442,25 @@ pub const MAX_BATCH_INPUTS: usize = 1 << 16;
 /// server echoing unbounded attacker-influenced text back into frames
 /// would hand out payload amplification.
 pub const MAX_ERROR_MESSAGE_BYTES: usize = 64 << 10;
+
+/// Serializes an ops-facing JSON payload (reports, tenant lists).
+fn encode_json<T: serde::Serialize>(what: &str, value: &T) -> Result<Vec<u8>, WireError> {
+    Ok(serde_json::to_string(value)
+        .map_err(|e| WireError::Malformed(format!("{what} serialization: {e}")))?
+        .into_bytes())
+}
+
+/// Deserializes an ops-facing JSON payload with typed errors.
+fn decode_json<T: for<'de> serde::Deserialize<'de>>(
+    what: &str,
+    bytes: &[u8],
+) -> Result<T, WireError> {
+    serde_json::from_str(
+        std::str::from_utf8(bytes)
+            .map_err(|_| WireError::Malformed(format!("{what} payload is not UTF-8")))?,
+    )
+    .map_err(|e| WireError::Malformed(format!("{what} payload: {e}")))
+}
 
 /// Encodes a batch of input vectors: `u32` count, then each vector with
 /// its own length prefix (members of a composed monitor may disagree on
@@ -377,6 +516,33 @@ mod tests {
         round_trip_request(Request::Absorb(vec![vec![1.5; 2]]));
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Mount {
+            shadow: false,
+            artifact_json: "{\"format\":1}".to_string(),
+        });
+        round_trip_request(Request::Mount {
+            shadow: true,
+            artifact_json: String::new(),
+        });
+        round_trip_request(Request::Unmount);
+        round_trip_request(Request::Promote);
+        round_trip_request(Request::ListTenants);
+        round_trip_request(Request::ShadowStats);
+    }
+
+    #[test]
+    fn mount_mode_byte_is_validated() {
+        let mut frame = Request::Mount {
+            shadow: false,
+            artifact_json: "{}".to_string(),
+        }
+        .into_frame(1)
+        .unwrap();
+        frame.payload[0] = 7;
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -398,6 +564,36 @@ mod tests {
             code: ErrorCode::Monitor,
             message: "dimension mismatch".to_string(),
         });
+        round_trip_response(Response::Mounted);
+        round_trip_response(Response::Unmounted(Box::new(ServeReport::aggregate(
+            Vec::new(),
+        ))));
+        let shadow = ShadowReport {
+            model_id: "model-a".to_string(),
+            active_version: 1,
+            shadow_version: 2,
+            mirrored: 100,
+            dropped: 3,
+            agreements: 96,
+            warn_only_active: 1,
+            warn_only_shadow: 2,
+            detail_mismatch: 1,
+            shadow_errors: 0,
+            absorbed: 4,
+            agreement_rate: 0.96,
+            mean_active_ns: 1000.0,
+            mean_shadow_ns: 1200.0,
+            latency_delta_ns: 200.0,
+        };
+        round_trip_response(Response::Promoted(Box::new(shadow.clone())));
+        round_trip_response(Response::ShadowReport(Box::new(shadow)));
+        round_trip_response(Response::TenantList(vec![TenantInfo {
+            model_id: "model-a".to_string(),
+            active_version: 1,
+            shadow_version: Some(2),
+            queue_depth: 5,
+        }]));
+        round_trip_response(Response::TenantList(Vec::new()));
     }
 
     #[test]
@@ -408,6 +604,7 @@ mod tests {
             refused_connections: 1,
             evicted_idle: 2,
             evicted_stalled: 1,
+            unknown_tenant: 4,
         };
         let snapshot = StatsSnapshot {
             engine: ServeReport::aggregate(Vec::new()),

@@ -7,6 +7,7 @@
 //! exactly that.
 
 use napmon_core::wirefmt::WireDecodeError;
+use napmon_registry::RegistryError;
 use napmon_serve::ServeError;
 
 /// Error categories a server reports back to a client inside an `Error`
@@ -30,6 +31,13 @@ pub enum ErrorCode {
     /// (idle between frames, or mid-frame past the frame deadline). The
     /// connection closes after this frame; reconnect to continue.
     Evicted = 6,
+    /// The frame's tenant route resolved to no mounted tenant or version
+    /// — or a work frame arrived unrouted on a registry server (or routed
+    /// on a single-engine server).
+    UnknownTenant = 7,
+    /// The registry refused an admin operation (version in use, no shadow
+    /// attached, invalid tenant id, registry shut down, mount failure…).
+    Registry = 8,
 }
 
 impl ErrorCode {
@@ -42,6 +50,8 @@ impl ErrorCode {
             4 => Some(Self::UnsupportedOpcode),
             5 => Some(Self::UnsupportedVersion),
             6 => Some(Self::Evicted),
+            7 => Some(Self::UnknownTenant),
+            8 => Some(Self::Registry),
             _ => None,
         }
     }
@@ -56,6 +66,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::UnsupportedOpcode => "unsupported-opcode",
             ErrorCode::UnsupportedVersion => "unsupported-version",
             ErrorCode::Evicted => "evicted",
+            ErrorCode::UnknownTenant => "unknown-tenant",
+            ErrorCode::Registry => "registry",
         };
         f.write_str(name)
     }
@@ -250,5 +262,20 @@ pub(crate) fn serve_error_code(e: &ServeError) -> ErrorCode {
     match e {
         ServeError::Monitor(_) => ErrorCode::Monitor,
         ServeError::ShardDown => ErrorCode::ShardDown,
+    }
+}
+
+/// Maps a registry-side failure onto its wire error code. Routing misses
+/// get their own code (clients can distinguish "wrong address" from "the
+/// operation failed"); engine failures keep the codes the single-engine
+/// path uses; everything else is a registry refusal.
+pub(crate) fn registry_error_code(e: &RegistryError) -> ErrorCode {
+    match e {
+        RegistryError::UnknownTenant(_) | RegistryError::UnknownVersion { .. } => {
+            ErrorCode::UnknownTenant
+        }
+        RegistryError::Serve(serve) => serve_error_code(serve),
+        RegistryError::Monitor(_) => ErrorCode::Monitor,
+        _ => ErrorCode::Registry,
     }
 }

@@ -7,10 +7,13 @@
 //!      0    4 magic            b"NAPW"
 //!      4    2 protocol version u16 LE (this build: [`WIRE_PROTOCOL_VERSION`])
 //!      6    1 opcode           [`Opcode`]
-//!      7    1 reserved         must be 0 (future flags)
+//!      7    1 flags            bit 0: frame carries a tenant route
 //!      8    8 request id       u64 LE; responses echo the request's id
-//!     16    4 payload length   u32 LE
-//!     20    n payload          opcode-specific (see `codec`)
+//!     16    4 payload length   u32 LE (includes the route block, if any)
+//!     20    r tenant route     only when flag bit 0 is set: u8 id length,
+//!                              the id bytes (UTF-8, [`valid_tenant_id`]),
+//!                              u32 LE version (0 = the active version)
+//!   20+r    n payload          opcode-specific (see `codec`)
 //! ```
 //!
 //! The header is fixed-size and self-describing, so a reader always knows
@@ -22,21 +25,44 @@
 //! **Version negotiation policy:** there is no negotiation — each protocol
 //! epoch has exactly one version, carried in every frame. A server
 //! receiving a foreign version answers with a typed `Error` response
-//! naming the version it speaks and closes the connection; the client
-//! surfaces that as [`WireError::UnsupportedVersion`]. Mixed-version
-//! deployments upgrade the servers first (a new client never talks down).
+//! naming both the version it found and the version it speaks, then
+//! closes the connection; the client surfaces that as
+//! [`WireError::UnsupportedVersion`]. Mixed-version deployments upgrade
+//! the servers first (a new client never talks down). v2 turned the
+//! reserved header byte into a flags byte and added the tenant route —
+//! a v1 peer is rejected with the typed error either direction, which
+//! `tests/frame_props.rs` pins.
 
 use crate::error::WireError;
+pub use napmon_registry::{valid_tenant_id, TENANT_ID_MAX_BYTES};
 
 /// The four magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"NAPW";
 
 /// The single protocol version this build speaks (see the
-/// [module docs](self) for the policy).
-pub const WIRE_PROTOCOL_VERSION: u16 = 1;
+/// [module docs](self) for the policy). v2 added the flags byte and the
+/// tenant route for registry dispatch.
+pub const WIRE_PROTOCOL_VERSION: u16 = 2;
+
+/// The previous protocol epoch (single-tenant, reserved byte instead of
+/// flags). This build does not speak it — the constant exists so error
+/// paths, tests, and tooling can name the version being rejected.
+pub const LEGACY_WIRE_PROTOCOL_VERSION: u16 = 1;
+
+/// Every protocol version this build accepts on the wire, in ascending
+/// order. The strict-version policy keeps this a single-element set: a
+/// peer speaking anything else — including
+/// [`LEGACY_WIRE_PROTOCOL_VERSION`] — gets
+/// [`WireError::UnsupportedVersion`] naming both sides. Tooling that
+/// reports compatibility (CI banners, `validate_artifact`) iterates this
+/// set instead of hardcoding a version string.
+pub const SUPPORTED_WIRE_PROTOCOL_VERSIONS: [u16; 1] = [WIRE_PROTOCOL_VERSION];
 
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 20;
+
+/// Header flag bit 0: the payload region starts with a tenant route.
+pub const FLAG_ROUTED: u8 = 0x01;
 
 /// Default cap on a frame's declared payload length (32 MiB): large enough
 /// for a several-thousand-input batch, small enough that a forged length
@@ -60,6 +86,17 @@ pub enum Opcode {
     Stats = 0x04,
     /// Request: begin a graceful server shutdown (drain, then close).
     Shutdown = 0x05,
+    /// Request: mount an artifact for the routed tenant (active or
+    /// shadow; the payload says which).
+    Mount = 0x06,
+    /// Request: unmount the routed tenant entirely (drain, then report).
+    Unmount = 0x07,
+    /// Request: promote the routed tenant's shadow candidate to active.
+    Promote = 0x08,
+    /// Request: list every mounted tenant.
+    ListTenants = 0x09,
+    /// Request: snapshot the routed tenant's live shadow diff.
+    ShadowStats = 0x0A,
     /// Response to [`Opcode::Query`]: one encoded verdict.
     Verdict = 0x81,
     /// Response to [`Opcode::QueryBatch`]: an encoded verdict batch.
@@ -73,6 +110,21 @@ pub enum Opcode {
     StatsReport = 0x84,
     /// Response to [`Opcode::Shutdown`]: acknowledged, draining.
     ShuttingDown = 0x85,
+    /// Response to [`Opcode::Mount`]: mounted (hot-swapped if the tenant
+    /// already existed).
+    Mounted = 0x86,
+    /// Response to [`Opcode::Unmount`]: the drained engine's final JSON
+    /// [`ServeReport`](napmon_serve::ServeReport).
+    Unmounted = 0x87,
+    /// Response to [`Opcode::Promote`]: the final JSON
+    /// [`ShadowReport`](napmon_registry::ShadowReport).
+    Promoted = 0x88,
+    /// Response to [`Opcode::ListTenants`]: a JSON list of
+    /// [`TenantInfo`](napmon_registry::TenantInfo) rows.
+    TenantList = 0x89,
+    /// Response to [`Opcode::ShadowStats`]: a live JSON
+    /// [`ShadowReport`](napmon_registry::ShadowReport).
+    ShadowReport = 0x8A,
     /// Response: the in-flight budget is exhausted; retry later.
     Busy = 0x90,
     /// Response: the request failed; payload carries code + message.
@@ -92,11 +144,21 @@ impl Opcode {
             0x03 => Opcode::Absorb,
             0x04 => Opcode::Stats,
             0x05 => Opcode::Shutdown,
+            0x06 => Opcode::Mount,
+            0x07 => Opcode::Unmount,
+            0x08 => Opcode::Promote,
+            0x09 => Opcode::ListTenants,
+            0x0A => Opcode::ShadowStats,
             0x81 => Opcode::Verdict,
             0x82 => Opcode::Verdicts,
             0x83 => Opcode::Absorbed,
             0x84 => Opcode::StatsReport,
             0x85 => Opcode::ShuttingDown,
+            0x86 => Opcode::Mounted,
+            0x87 => Opcode::Unmounted,
+            0x88 => Opcode::Promoted,
+            0x89 => Opcode::TenantList,
+            0x8A => Opcode::ShadowReport,
             0x90 => Opcode::Busy,
             0xFF => Opcode::Error,
             other => return Err(WireError::UnknownOpcode(other)),
@@ -107,8 +169,123 @@ impl Opcode {
     pub fn is_request(self) -> bool {
         matches!(
             self,
-            Opcode::Query | Opcode::QueryBatch | Opcode::Absorb | Opcode::Stats | Opcode::Shutdown
+            Opcode::Query
+                | Opcode::QueryBatch
+                | Opcode::Absorb
+                | Opcode::Stats
+                | Opcode::Shutdown
+                | Opcode::Mount
+                | Opcode::Unmount
+                | Opcode::Promote
+                | Opcode::ListTenants
+                | Opcode::ShadowStats
         )
+    }
+}
+
+/// Route sentinel: version `0` resolves to the tenant's active version.
+pub const ACTIVE_VERSION: u32 = 0;
+
+/// The tenant route a v2 frame may carry: which mounted monitor a request
+/// is for. Rides at the front of the payload region when the header's
+/// [`FLAG_ROUTED`] bit is set, encoded as `u8` id length, the id bytes,
+/// and a `u32` LE version ([`ACTIVE_VERSION`] routes to whatever is
+/// currently active; a pinned version can also address a shadow
+/// candidate directly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRoute {
+    /// The tenant id (validated by [`valid_tenant_id`]).
+    pub model_id: String,
+    /// The target version; [`ACTIVE_VERSION`] for "whatever is active".
+    pub version: u32,
+}
+
+impl TenantRoute {
+    /// A route to `model_id`'s active version.
+    pub fn active(model_id: impl Into<String>) -> Self {
+        Self {
+            model_id: model_id.into(),
+            version: ACTIVE_VERSION,
+        }
+    }
+
+    /// A route pinned to one mounted version (active or shadow).
+    pub fn pinned(model_id: impl Into<String>, version: u32) -> Self {
+        Self {
+            model_id: model_id.into(),
+            version,
+        }
+    }
+
+    /// Bytes this route occupies on the wire.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.model_id.len() + 4
+    }
+
+    /// Appends the wire encoding to `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when the id fails [`valid_tenant_id`] —
+    /// an invalid id is refused at encode time, not shipped to the peer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        if !valid_tenant_id(&self.model_id) {
+            return Err(WireError::Malformed(format!(
+                "invalid tenant id {:?} in route",
+                self.model_id
+            )));
+        }
+        out.push(self.model_id.len() as u8);
+        out.extend_from_slice(self.model_id.as_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        Ok(())
+    }
+
+    /// Decodes a route from the front of `bytes`, returning it and the
+    /// bytes consumed. Total: any input yields a route or a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when the bytes run out mid-route (the
+    /// containing frame was complete, so this is corruption, not a short
+    /// read) or the id is not a valid tenant id.
+    pub fn decode_from(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        let Some((&id_len, rest)) = bytes.split_first() else {
+            return Err(WireError::Malformed(
+                "routed frame too short for route id length".into(),
+            ));
+        };
+        let id_len = id_len as usize;
+        if rest.len() < id_len + 4 {
+            return Err(WireError::Malformed(format!(
+                "routed frame too short for {id_len}-byte id plus version"
+            )));
+        }
+        let model_id = std::str::from_utf8(&rest[..id_len])
+            .map_err(|_| WireError::Malformed("tenant id is not UTF-8".into()))?;
+        if !valid_tenant_id(model_id) {
+            return Err(WireError::Malformed(format!(
+                "invalid tenant id {model_id:?} in route"
+            )));
+        }
+        let version = u32::from_le_bytes(rest[id_len..id_len + 4].try_into().expect("fixed"));
+        Ok((
+            Self {
+                model_id: model_id.to_string(),
+                version,
+            },
+            1 + id_len + 4,
+        ))
+    }
+}
+
+impl std::fmt::Display for TenantRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.version == ACTIVE_VERSION {
+            write!(f, "{}@active", self.model_id)
+        } else {
+            write!(f, "{}@v{}", self.model_id, self.version)
+        }
     }
 }
 
@@ -119,18 +296,27 @@ pub struct Frame {
     pub opcode: Opcode,
     /// Correlates responses with requests across pipelining.
     pub request_id: u64,
-    /// Opcode-specific payload bytes (see `codec`).
+    /// The tenant this frame addresses, when registry-routed.
+    pub route: Option<TenantRoute>,
+    /// Opcode-specific payload bytes (see `codec`), route excluded.
     pub payload: Vec<u8>,
 }
 
 impl Frame {
-    /// A frame with no payload.
+    /// A frame with no payload and no route.
     pub fn empty(opcode: Opcode, request_id: u64) -> Self {
         Self {
             opcode,
             request_id,
+            route: None,
             payload: Vec::new(),
         }
+    }
+
+    /// This frame with a tenant route attached.
+    pub fn routed(mut self, route: TenantRoute) -> Self {
+        self.route = Some(route);
+        self
     }
 
     /// Encodes the frame (header + payload) into one buffer, ready for a
@@ -143,14 +329,18 @@ impl Frame {
     /// wrapped, emitting a frame whose declared length disagreed with its
     /// bytes; a peer would misparse the remainder of the stream.
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
-        let declared = declared_payload_len(self.payload.len())?;
-        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        let route_len = self.route.as_ref().map_or(0, TenantRoute::encoded_len);
+        let declared = declared_payload_len(route_len + self.payload.len())?;
+        let mut out = Vec::with_capacity(HEADER_LEN + route_len + self.payload.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&WIRE_PROTOCOL_VERSION.to_le_bytes());
         out.push(self.opcode as u8);
-        out.push(0); // reserved
+        out.push(if self.route.is_some() { FLAG_ROUTED } else { 0 });
         out.extend_from_slice(&self.request_id.to_le_bytes());
         out.extend_from_slice(&declared.to_le_bytes());
+        if let Some(route) = &self.route {
+            route.encode_into(&mut out)?;
+        }
         out.extend_from_slice(&self.payload);
         Ok(out)
     }
@@ -178,14 +368,32 @@ impl Frame {
         if bytes.len() < total {
             return Err(WireError::Truncated);
         }
-        Ok((
-            Self {
-                opcode: declared.opcode,
-                request_id: declared.request_id,
-                payload: bytes[HEADER_LEN..total].to_vec(),
-            },
-            total,
-        ))
+        let frame = Self::assemble(declared, bytes[HEADER_LEN..total].to_vec())?;
+        Ok((frame, total))
+    }
+
+    /// Builds a frame from a validated header and the payload region it
+    /// declared, splitting the tenant route off the front when the header
+    /// says one is there. This is the seam streaming readers (which read
+    /// header and payload separately) share with [`Frame::decode`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when the declared route does not parse.
+    pub fn assemble(header: FrameHeader, mut payload: Vec<u8>) -> Result<Self, WireError> {
+        let route = if header.routed {
+            let (route, consumed) = TenantRoute::decode_from(&payload)?;
+            payload.drain(..consumed);
+            Some(route)
+        } else {
+            None
+        };
+        Ok(Self {
+            opcode: header.opcode,
+            request_id: header.request_id,
+            route,
+            payload,
+        })
     }
 
     /// Validates a fixed-size header and returns its fields; the payload
@@ -211,10 +419,11 @@ impl Frame {
             });
         }
         let opcode = Opcode::from_wire(header[6])?;
-        if header[7] != 0 {
+        let flags = header[7];
+        if flags & !FLAG_ROUTED != 0 {
             return Err(WireError::Malformed(format!(
-                "reserved header byte is {:#04x}, must be 0",
-                header[7]
+                "unknown header flag bits {:#04x} (known: {FLAG_ROUTED:#04x})",
+                flags & !FLAG_ROUTED
             )));
         }
         let request_id = u64::from_le_bytes(header[8..16].try_into().expect("fixed slice"));
@@ -228,6 +437,7 @@ impl Frame {
         Ok(FrameHeader {
             opcode,
             request_id,
+            routed: flags & FLAG_ROUTED != 0,
             payload_len,
         })
     }
@@ -251,7 +461,10 @@ pub struct FrameHeader {
     pub opcode: Opcode,
     /// Correlation id.
     pub request_id: u64,
-    /// Declared payload length, already checked against the cap.
+    /// Whether the payload region starts with a tenant route.
+    pub routed: bool,
+    /// Declared payload length (route included), already checked against
+    /// the cap.
     pub payload_len: u32,
 }
 
@@ -264,6 +477,7 @@ mod tests {
         let frame = Frame {
             opcode: Opcode::QueryBatch,
             request_id: 0xDEAD_BEEF_0042,
+            route: None,
             payload: vec![1, 2, 3, 4, 5],
         };
         let bytes = frame.encode().unwrap();
@@ -274,10 +488,73 @@ mod tests {
     }
 
     #[test]
+    fn routed_round_trip_preserves_route_and_payload() {
+        let frame = Frame {
+            opcode: Opcode::Query,
+            request_id: 7,
+            route: Some(TenantRoute::pinned("resnet50.v2", 3)),
+            payload: vec![9, 8, 7],
+        };
+        let bytes = frame.encode().unwrap();
+        assert_eq!(bytes[7], FLAG_ROUTED);
+        // Declared length covers the route block plus the payload.
+        let declared = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        assert_eq!(declared as usize, 1 + "resnet50.v2".len() + 4 + 3);
+        let (back, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back.payload, vec![9, 8, 7], "route split off the payload");
+    }
+
+    #[test]
+    fn route_corruption_is_typed() {
+        let good = Frame::empty(Opcode::Stats, 1)
+            .routed(TenantRoute::active("model-a"))
+            .encode()
+            .unwrap();
+
+        // Truncate the route mid-id: the frame itself stays complete by
+        // shrinking the declared length, so this is Malformed, not
+        // Truncated.
+        let mut bad = good[..HEADER_LEN + 4].to_vec();
+        let len = (bad.len() - HEADER_LEN) as u32;
+        bad[16..20].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Corrupt the id into an invalid tenant name.
+        let mut bad = good.clone();
+        bad[HEADER_LEN + 1] = b'/';
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Non-UTF-8 id bytes.
+        let mut bad = good;
+        bad[HEADER_LEN + 1] = 0xFF;
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Encoding refuses an invalid id before it ships.
+        assert!(matches!(
+            Frame::empty(Opcode::Query, 1)
+                .routed(TenantRoute::active("../escape"))
+                .encode(),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn every_truncation_is_typed() {
         let bytes = Frame {
             opcode: Opcode::Query,
             request_id: 9,
+            route: None,
             payload: vec![7; 16],
         }
         .encode()
@@ -308,6 +585,18 @@ mod tests {
             Err(WireError::UnsupportedVersion { found: 99, .. })
         ));
 
+        // A v1 frame is rejected with the typed error naming both
+        // versions — the strict cross-version policy, decoder side.
+        let mut v1 = good.clone();
+        v1[4..6].copy_from_slice(&LEGACY_WIRE_PROTOCOL_VERSION.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&v1, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::UnsupportedVersion {
+                found: LEGACY_WIRE_PROTOCOL_VERSION,
+                supported: WIRE_PROTOCOL_VERSION,
+            })
+        ));
+
         let mut bad = good.clone();
         bad[6] = 0x7E; // opcode
         assert!(matches!(
@@ -316,7 +605,14 @@ mod tests {
         ));
 
         let mut bad = good.clone();
-        bad[7] = 1; // reserved
+        bad[7] = 0x02; // unknown flag bit
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Malformed(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[7] = FLAG_ROUTED; // routed flag with no route bytes
         assert!(matches!(
             Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
             Err(WireError::Malformed(_))

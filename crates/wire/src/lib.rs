@@ -7,15 +7,20 @@
 //! frame protocol (pure `std::net`, no async runtime) carrying the
 //! engine's whole serving surface — `Query`, `QueryBatch`, `Absorb`
 //! (operation-time monitor enlargement over the wire), `Stats`, and
-//! graceful `Shutdown`.
+//! graceful `Shutdown` — plus, since protocol v2, tenant-routed frames
+//! and the registry control plane (`Mount`, `Unmount`, `Promote`,
+//! `ListTenants`, `ShadowStats`) over a
+//! [`MonitorRegistry`](napmon_registry::MonitorRegistry) backend
+//! ([`WireServer::bind_registry`]).
 //!
 //! ```text
 //! clients (any host)                      monitoring service
 //! ┌───────────────┐  framed TCP  ┌─────────────────────────────────┐
 //! │ WireClient    │ ───────────► │ WireServer                      │
-//! │  query_batch  │   NAPW v1    │  thread per connection          │
+//! │  query_batch  │   NAPW v2    │  thread per connection          │
 //! │  absorb_batch │ ◄─────────── │  global in-flight budget (Busy) │
-//! │  stats        │              │  MonitorEngine: N shards        │
+//! │  stats        │  [routed]    │  MonitorEngine: N shards        │
+//! │  mount/promote│              │  — or MonitorRegistry: tenants  │
 //! └───────────────┘              └─────────────────────────────────┘
 //! ```
 //!
@@ -78,6 +83,8 @@ pub use codec::{
 };
 pub use error::{ErrorCode, WireError};
 pub use frame::{
-    Frame, FrameHeader, Opcode, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, WIRE_PROTOCOL_VERSION,
+    valid_tenant_id, Frame, FrameHeader, Opcode, TenantRoute, ACTIVE_VERSION, DEFAULT_MAX_PAYLOAD,
+    FLAG_ROUTED, HEADER_LEN, LEGACY_WIRE_PROTOCOL_VERSION, MAGIC, SUPPORTED_WIRE_PROTOCOL_VERSIONS,
+    TENANT_ID_MAX_BYTES, WIRE_PROTOCOL_VERSION,
 };
 pub use server::{WireConfig, WireServer};

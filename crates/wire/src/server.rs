@@ -1,11 +1,24 @@
-//! The serving side: a TCP listener over a sharded [`MonitorEngine`].
+//! The serving side: a TCP listener over a sharded [`MonitorEngine`] or a
+//! multi-tenant [`MonitorRegistry`].
 //!
 //! One OS thread accepts connections; each connection gets its own
-//! handler thread holding a clone of the engine handle (the engine is
-//! `Sync` — shards are shared, not per-connection). Requests on one
-//! connection are served in arrival order, so a pipelining client reads
-//! responses in the order it wrote requests; concurrency comes from
+//! handler thread holding a clone of the backend handle (engines and the
+//! registry are `Sync` — shards are shared, not per-connection). Requests
+//! on one connection are served in arrival order, so a pipelining client
+//! reads responses in the order it wrote requests; concurrency comes from
 //! connections, parallelism from the engine's shards.
+//!
+//! **Two backends, one wire.** [`WireServer::bind`] serves a single
+//! engine; [`WireServer::bind_registry`] serves a [`MonitorRegistry`] and
+//! dispatches each work frame by its tenant route (see
+//! [`TenantRoute`]). On a registry server a work
+//! frame *must* carry a route — an unrouted one is answered with a typed
+//! `UnknownTenant` error, as is a routed frame on a single-engine server.
+//! Routing misses are accounted in [`DegradedStats::unknown_tenant`].
+//! Registry admin requests (`Mount`, `Unmount`, `Promote`, `ListTenants`,
+//! `ShadowStats`) are control plane: they bypass the in-flight work
+//! budget so operators can still flip traffic while the data plane is
+//! saturated.
 //!
 //! **Backpressure is a typed response, not dropped bytes.** A global
 //! in-flight budget bounds the work admitted across all connections;
@@ -16,14 +29,18 @@
 //! **Shutdown drains.** A `Shutdown` request (or [`WireServer::shutdown`])
 //! stops the accept loop and lets every connection finish the frames it
 //! has started — in-flight requests are served, responses written — before
-//! the engine itself drains its shard queues and reports final metrics.
+//! the backend itself drains and reports final metrics. On a registry
+//! backend the connection threads are joined *first*, then
+//! [`MonitorRegistry::shutdown`] runs — which also joins the background
+//! drainers of engines retired by earlier hot-swaps, so a shutdown that
+//! lands mid-swap cannot leak the outgoing engine's worker threads.
 //! A client that disconnects mid-request costs nothing: its work completes
 //! in the engine and the unsendable reply is dropped.
 //!
 //! **Degradation is graceful and accounted.** Under pressure the server
 //! walks a fixed shedding ladder rather than falling over: connections
 //! over the cap are refused with one `Busy` frame; fully-read requests are
-//! shed with `Busy` when the engine's backlog crosses the queue watermark
+//! shed with `Busy` when the backend's backlog crosses the queue watermark
 //! or the in-flight budget is exhausted (never mid-frame — a shed request
 //! leaves the connection framed and usable); and peers that stall — idle
 //! between frames past [`WireConfig::idle_timeout`], or mid-frame past
@@ -33,10 +50,11 @@
 //! [`DegradedStats`], reported by `Stats`.
 
 use crate::codec::{DegradedStats, Request, Response, StatsSnapshot};
-use crate::error::{serve_error_code, WireError};
-use crate::frame::{Frame, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
-use napmon_artifact::ArtifactError;
+use crate::error::{registry_error_code, serve_error_code, ErrorCode, WireError};
+use crate::frame::{Frame, TenantRoute, ACTIVE_VERSION, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use napmon_artifact::{ArtifactError, MonitorArtifact};
 use napmon_core::ComposedMonitor;
+use napmon_registry::{MonitorRegistry, RegistryError, RegistryReport};
 use napmon_serve::{EngineConfig, MonitorEngine, ServeReport};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -44,7 +62,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning for a [`WireServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,11 +95,12 @@ pub struct WireConfig {
     /// Also the per-write deadline, so a peer that stops draining its
     /// responses is evicted rather than wedging the handler in `write`.
     pub frame_deadline: Duration,
-    /// Engine shard-backlog level (in queued micro-batch jobs, the unit
-    /// of `MonitorEngine::queue_depth`) above which fully-read work
-    /// requests are shed with `Busy` instead of queued. Shedding at the
-    /// wire keeps the engine below saturation, so already-admitted work
-    /// keeps its latency. Zero disables watermark shedding.
+    /// Backend backlog level (in queued micro-batch jobs, the unit of
+    /// `MonitorEngine::queue_depth`; summed across tenants on a registry
+    /// backend) above which fully-read work requests are shed with `Busy`
+    /// instead of queued. Shedding at the wire keeps the engine below
+    /// saturation, so already-admitted work keeps its latency. Zero
+    /// disables watermark shedding.
     pub queue_watermark: usize,
 }
 
@@ -123,6 +142,7 @@ struct DegradedCounters {
     refused_connections: AtomicU64,
     evicted_idle: AtomicU64,
     evicted_stalled: AtomicU64,
+    unknown_tenant: AtomicU64,
 }
 
 impl DegradedCounters {
@@ -133,13 +153,34 @@ impl DegradedCounters {
             refused_connections: self.refused_connections.load(Ordering::Relaxed),
             evicted_idle: self.evicted_idle.load(Ordering::Relaxed),
             evicted_stalled: self.evicted_stalled.load(Ordering::Relaxed),
+            unknown_tenant: self.unknown_tenant.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What the server dispatches frames into.
+enum Backend {
+    /// One engine; every work frame goes to it (tenant routes refused).
+    Single(Arc<MonitorEngine<ComposedMonitor>>),
+    /// A multi-tenant registry; work frames dispatch by their route.
+    Registry(Arc<MonitorRegistry>),
+}
+
+impl Backend {
+    /// The backend's total shard backlog, the watermark gate's gauge.
+    fn backlog(&self) -> usize {
+        match self {
+            Backend::Single(engine) => engine.queue_depth(),
+            Backend::Registry(registry) => {
+                registry.list().iter().map(|t| t.queue_depth as usize).sum()
+            }
         }
     }
 }
 
 /// State shared by the accept loop and every connection thread.
 struct Shared {
-    engine: Arc<MonitorEngine<ComposedMonitor>>,
+    backend: Backend,
     config: WireConfig,
     shutting_down: AtomicBool,
     in_flight: AtomicUsize,
@@ -170,6 +211,15 @@ impl Shared {
         }
         Ok(InFlightGuard { shared: self })
     }
+
+    /// Counts a routing miss and builds its typed error response.
+    fn unknown_tenant_response(&self, message: String) -> Response {
+        self.degraded.unknown_tenant.fetch_add(1, Ordering::Relaxed);
+        Response::Error {
+            code: ErrorCode::UnknownTenant,
+            message,
+        }
+    }
 }
 
 struct InFlightGuard<'a> {
@@ -182,13 +232,14 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
-/// A live TCP monitoring service over one [`MonitorEngine`].
+/// A live TCP monitoring service over one [`MonitorEngine`] or a
+/// [`MonitorRegistry`].
 ///
 /// Construction binds and starts accepting; the server runs until a
 /// client sends `Shutdown` or the owner calls [`WireServer::shutdown`].
 /// Either way the same drain runs: connections finish their started
-/// frames, the engine drains its shard queues, and the final
-/// [`ServeReport`] comes back to the owner.
+/// frames, the backend drains, and the final [`ServeReport`] comes back
+/// to the owner.
 pub struct WireServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
@@ -209,13 +260,41 @@ impl WireServer {
         engine: MonitorEngine<ComposedMonitor>,
         config: WireConfig,
     ) -> Result<Self, WireError> {
+        Self::bind_backend(addr, Backend::Single(Arc::new(engine)), config)
+    }
+
+    /// Binds `addr` and serves `registry`: work frames dispatch by their
+    /// tenant route, and the registry admin opcodes (`Mount`, `Unmount`,
+    /// `Promote`, `ListTenants`, `ShadowStats`) come alive.
+    ///
+    /// The registry is shared — the caller keeps its `Arc` and may mount,
+    /// shadow, and promote concurrently with serving. Shutting the server
+    /// down shuts the registry down too (idempotently), after every
+    /// connection thread has been joined.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the address cannot be bound.
+    pub fn bind_registry(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MonitorRegistry>,
+        config: WireConfig,
+    ) -> Result<Self, WireError> {
+        Self::bind_backend(addr, Backend::Registry(registry), config)
+    }
+
+    fn bind_backend(
+        addr: impl ToSocketAddrs,
+        backend: Backend,
+        config: WireConfig,
+    ) -> Result<Self, WireError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // The accept loop polls, so the shutdown flag can stop it without
         // a wake-up connection.
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
-            engine: Arc::new(engine),
+            backend,
             config: config.normalized(),
             shutting_down: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
@@ -237,8 +316,6 @@ impl WireServer {
     /// it on a fresh engine, and serves it — the whole "deploy a monitor
     /// from one file" path. Store-backed artifacts reattach to their
     /// on-disk segments, so this is also the warm-restart entry point.
-    ///
-    /// [`MonitorArtifact`]: napmon_artifact::MonitorArtifact
     ///
     /// # Errors
     ///
@@ -262,9 +339,22 @@ impl WireServer {
         self.addr
     }
 
-    /// The served engine (shared with the connection threads).
-    pub fn engine(&self) -> &MonitorEngine<ComposedMonitor> {
-        &self.shared.engine
+    /// The served engine on a single-engine server; `None` on a registry
+    /// backend (use [`WireServer::registry`]).
+    pub fn engine(&self) -> Option<&MonitorEngine<ComposedMonitor>> {
+        match &self.shared.backend {
+            Backend::Single(engine) => Some(engine),
+            Backend::Registry(_) => None,
+        }
+    }
+
+    /// The served registry on a registry server; `None` on a
+    /// single-engine backend.
+    pub fn registry(&self) -> Option<&Arc<MonitorRegistry>> {
+        match &self.shared.backend {
+            Backend::Single(_) => None,
+            Backend::Registry(registry) => Some(registry),
+        }
     }
 
     /// Whether a shutdown has been initiated (by a client or the owner).
@@ -273,23 +363,51 @@ impl WireServer {
     }
 
     /// Blocks until a client initiates shutdown, then drains and returns
-    /// the engine's final report (see [`WireServer::shutdown`]).
+    /// the backend's final report (see [`WireServer::shutdown`]).
     pub fn wait(self) -> ServeReport {
         while !self.shared.shutting_down() {
             std::thread::sleep(self.shared.config.poll_interval);
         }
-        self.drain()
+        self.shutdown()
     }
 
     /// Graceful shutdown from the owning side: stops accepting, lets every
-    /// connection finish its started frames, drains the engine's shard
-    /// queues, and returns the final aggregated report (its
-    /// `queue_depth` is zero — the drain guarantee).
+    /// connection finish its started frames, drains the backend, and
+    /// returns the final aggregated report (its `queue_depth` is zero —
+    /// the drain guarantee). On a registry backend the report merges every
+    /// engine the registry ever ran — live tenants plus hot-swap retirees;
+    /// [`WireServer::shutdown_registry`] keeps the per-engine account.
     pub fn shutdown(self) -> ServeReport {
-        self.drain()
+        match self.drain() {
+            BackendReport::Single(report) => report,
+            BackendReport::Registry(report) => ServeReport::merge(
+                report
+                    .tenants
+                    .into_iter()
+                    .chain(report.retired)
+                    .map(|outcome| outcome.report),
+            ),
+        }
     }
 
-    fn drain(mut self) -> ServeReport {
+    /// [`WireServer::shutdown`] returning the registry's full structured
+    /// account (per-tenant and per-retiree drain outcomes). Returns
+    /// `None` on a single-engine server — *after* draining it; the server
+    /// is down either way.
+    pub fn shutdown_registry(self) -> Option<RegistryReport> {
+        match self.drain() {
+            BackendReport::Single(_) => None,
+            BackendReport::Registry(report) => Some(report),
+        }
+    }
+
+    /// The one drain path: joins the accept loop, then every connection
+    /// thread, and only then tears the backend down. The ordering is the
+    /// thread-leak guarantee for shutdown-during-hot-swap: once the
+    /// connections are joined no dispatcher can still be submitting into
+    /// an outgoing engine, and [`MonitorRegistry::shutdown`] joins the
+    /// background drainers of every retired engine before returning.
+    fn drain(mut self) -> BackendReport {
         self.shared.shutting_down.store(true, Ordering::Release);
         if let Some(accept) = self.accept.take() {
             for conn in accept.join().unwrap_or_default() {
@@ -298,16 +416,32 @@ impl WireServer {
         }
         // Every serving thread has been joined, so this owner holds the
         // last handle at both levels and neither unwrap can fail; the
-        // fallbacks snapshot rather than panic in a shutdown path.
+        // fallbacks snapshot rather than panic in a shutdown path. The
+        // registry arm needs no unwrap: `MonitorRegistry::shutdown` takes
+        // `&self` and is idempotent, so caller-held clones are fine.
         let WireServer { shared, .. } = self;
         match Arc::try_unwrap(shared) {
-            Ok(shared) => match MonitorEngine::shutdown_shared(shared.engine) {
-                Ok(report) => report,
-                Err(engine) => engine.report(),
+            Ok(shared) => match shared.backend {
+                Backend::Single(engine) => {
+                    BackendReport::Single(match MonitorEngine::shutdown_shared(engine) {
+                        Ok(report) => report,
+                        Err(engine) => engine.report(),
+                    })
+                }
+                Backend::Registry(registry) => BackendReport::Registry(registry.shutdown()),
             },
-            Err(shared) => shared.engine.report(),
+            Err(shared) => match &shared.backend {
+                Backend::Single(engine) => BackendReport::Single(engine.report()),
+                Backend::Registry(registry) => BackendReport::Registry(registry.shutdown()),
+            },
         }
     }
+}
+
+/// What [`WireServer::drain`] tore down.
+enum BackendReport {
+    Single(ServeReport),
+    Registry(RegistryReport),
 }
 
 /// Joins (and drops) every handle whose thread has already exited, so a
@@ -410,7 +544,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     // A peer that stops draining responses is evicted by the write
     // deadline instead of wedging this thread in `write_all`.
     let _ = stream.set_write_timeout(Some(shared.config.frame_deadline));
+    // Once a shutdown is observed, this connection serves what is already
+    // in flight for at most `drain_grace` more. Without the bound, a peer
+    // streaming new frames back-to-back never hits the read timeout where
+    // the shutdown flag is otherwise checked — and one busy client would
+    // pin `WireServer::drain` (and every worker behind it) forever.
+    let mut drain_deadline: Option<Instant> = None;
     loop {
+        if shared.shutting_down() {
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + shared.config.drain_grace);
+            if Instant::now() >= deadline {
+                // Grace spent: close instead of accepting new work. The
+                // peer reads EOF and gets a typed transport error.
+                return;
+            }
+        }
         let header = match read_header(&mut stream, shared) {
             Ok(ReadOutcome::Full(header)) => header,
             Ok(ReadOutcome::Closed) => return,
@@ -440,24 +589,30 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 return;
             }
         };
+        let request_id = parsed.request_id;
         let payload = match read_payload(&mut stream, shared, parsed.payload_len as usize) {
             Ok(payload) => payload,
             Err(evict @ (ReadError::EvictIdle | ReadError::EvictStalled)) => {
-                evict_connection(&mut stream, shared, &evict, parsed.request_id);
+                evict_connection(&mut stream, shared, &evict, request_id);
                 return;
             }
             Err(ReadError::Wire(_)) => return, // peer died mid-frame; nothing to answer
         };
-        let frame = Frame {
-            opcode: parsed.opcode,
-            request_id: parsed.request_id,
-            payload,
+        // A frame whose route block fails to decode is still a *complete*
+        // frame — the stream stays aligned — so the error is a typed
+        // response and the connection lives on, exactly like a payload
+        // that fails `Request::decode`.
+        let (response, initiated_shutdown) = match Frame::assemble(parsed, payload) {
+            Ok(frame) => serve_frame(&frame, shared),
+            Err(e) => (
+                Response::Error {
+                    code: e.as_code(),
+                    message: e.to_string(),
+                },
+                false,
+            ),
         };
-        let (response, initiated_shutdown) = serve_frame(&frame, shared);
-        match response
-            .into_frame(parsed.request_id)
-            .and_then(|f| f.encode())
-        {
+        match response.into_frame(request_id).and_then(|f| f.encode()) {
             Ok(reply) => {
                 if let Err(e) = stream.write_all(&reply) {
                     // A write deadline means the peer stopped draining —
@@ -497,56 +652,263 @@ fn serve_frame(frame: &Frame, shared: &Arc<Shared>) -> (Response, bool) {
             )
         }
     };
+    match &shared.backend {
+        Backend::Single(engine) => serve_single(engine, frame.route.as_ref(), request, shared),
+        Backend::Registry(registry) => {
+            serve_registry(registry, frame.route.as_ref(), request, shared)
+        }
+    }
+}
+
+/// Single-engine dispatch. Tenant routes have no meaning here: a routed
+/// frame gets a typed `UnknownTenant` error (accounted as a routing
+/// miss), so a client configured for a registry deployment fails loudly
+/// instead of silently landing on the wrong monitor.
+fn serve_single(
+    engine: &Arc<MonitorEngine<ComposedMonitor>>,
+    route: Option<&TenantRoute>,
+    request: Request,
+    shared: &Arc<Shared>,
+) -> (Response, bool) {
+    if let Some(route) = route {
+        return (
+            shared.unknown_tenant_response(format!(
+                "this server serves a single engine, not tenant {route}; \
+                 drop the route or connect to a registry server"
+            )),
+            false,
+        );
+    }
     match request {
-        Request::Query(input) => with_admission(shared, |engine| {
+        Request::Query(input) => with_admission(shared, || {
             engine
                 .submit(input)
                 .map(Response::Verdict)
                 .unwrap_or_else(|e| serve_error_response(&e))
         }),
-        Request::QueryBatch(inputs) => with_admission(shared, |engine| {
+        Request::QueryBatch(inputs) => with_admission(shared, || {
             engine
                 .submit_batch(inputs)
                 .map(Response::Verdicts)
                 .unwrap_or_else(|e| serve_error_response(&e))
         }),
-        Request::Absorb(inputs) => with_admission(shared, |engine| {
+        Request::Absorb(inputs) => with_admission(shared, || {
             engine
                 .absorb_batch(&inputs)
                 .map(|fresh| Response::Absorbed(fresh as u64))
                 .unwrap_or_else(|e| serve_error_response(&e))
         }),
-        Request::Stats => {
-            let degraded = shared.degraded.snapshot();
+        Request::Stats => (
+            stats_response(engine.report(), engine.queue_depth(), shared),
+            false,
+        ),
+        Request::Shutdown => (Response::ShuttingDown, true),
+        Request::Mount { .. }
+        | Request::Unmount
+        | Request::Promote
+        | Request::ListTenants
+        | Request::ShadowStats => (
+            Response::Error {
+                code: ErrorCode::UnsupportedOpcode,
+                message: "registry operation on a single-engine server; \
+                          mount/unmount/promote need a registry backend"
+                    .to_string(),
+            },
+            false,
+        ),
+    }
+}
+
+/// Registry dispatch. Work opcodes *require* a tenant route;
+/// [`ACTIVE_VERSION`] routes through the mirroring hot path, a pinned
+/// version addresses one mount (active or shadow) directly with no
+/// mirroring. Admin opcodes bypass the work budget — the control plane
+/// stays responsive while the data plane sheds.
+fn serve_registry(
+    registry: &Arc<MonitorRegistry>,
+    route: Option<&TenantRoute>,
+    request: Request,
+    shared: &Arc<Shared>,
+) -> (Response, bool) {
+    let require_route = |what: &str| -> Result<TenantRoute, Response> {
+        route.cloned().ok_or_else(|| {
+            shared.unknown_tenant_response(format!(
+                "{what} frame arrived unrouted on a registry server; \
+                 set a tenant route to name the target monitor"
+            ))
+        })
+    };
+    match request {
+        Request::Query(input) => {
+            let route = match require_route("query") {
+                Ok(route) => route,
+                Err(response) => return (response, false),
+            };
+            with_admission(shared, || {
+                let served = if route.version == ACTIVE_VERSION {
+                    registry.query(&route.model_id, input)
+                } else {
+                    registry
+                        .query_batch_version(&route.model_id, route.version, vec![input])
+                        .and_then(|mut verdicts| {
+                            verdicts
+                                .pop()
+                                .ok_or(RegistryError::Serve(napmon_serve::ServeError::ShardDown))
+                        })
+                };
+                served
+                    .map(Response::Verdict)
+                    .unwrap_or_else(|e| registry_error_response(shared, &e))
+            })
+        }
+        Request::QueryBatch(inputs) => {
+            let route = match require_route("query-batch") {
+                Ok(route) => route,
+                Err(response) => return (response, false),
+            };
+            with_admission(shared, || {
+                let served = if route.version == ACTIVE_VERSION {
+                    registry.query_batch(&route.model_id, inputs)
+                } else {
+                    registry.query_batch_version(&route.model_id, route.version, inputs)
+                };
+                served
+                    .map(Response::Verdicts)
+                    .unwrap_or_else(|e| registry_error_response(shared, &e))
+            })
+        }
+        Request::Absorb(inputs) => {
+            let route = match require_route("absorb") {
+                Ok(route) => route,
+                Err(response) => return (response, false),
+            };
+            with_admission(shared, || {
+                let absorbed = if route.version == ACTIVE_VERSION {
+                    registry.absorb_batch(&route.model_id, inputs)
+                } else {
+                    // A pinned absorb feeds one mount only; mirroring is
+                    // the active route's contract.
+                    registry
+                        .resolve(&route.model_id, route.version)
+                        .and_then(|mounted| {
+                            mounted.engine().absorb_batch(&inputs).map_err(Into::into)
+                        })
+                };
+                absorbed
+                    .map(|fresh| Response::Absorbed(fresh as u64))
+                    .unwrap_or_else(|e| registry_error_response(shared, &e))
+            })
+        }
+        Request::Stats => match route {
+            // A routed Stats reports one mount; unrouted merges every
+            // tenant's active engine.
+            Some(route) => match registry.resolve(&route.model_id, route.version) {
+                Ok(mounted) => (
+                    stats_response(
+                        mounted.engine().report(),
+                        mounted.engine().queue_depth(),
+                        shared,
+                    ),
+                    false,
+                ),
+                Err(e) => (registry_error_response(shared, &e), false),
+            },
+            None => (
+                stats_response(registry.stats(), shared.backend.backlog(), shared),
+                false,
+            ),
+        },
+        Request::Shutdown => (Response::ShuttingDown, true),
+        Request::Mount {
+            shadow,
+            artifact_json,
+        } => {
+            let route = match require_route("mount") {
+                Ok(route) => route,
+                Err(response) => return (response, false),
+            };
+            let mounted = MonitorArtifact::from_json_str(&artifact_json)
+                .map_err(RegistryError::from)
+                .and_then(|artifact| {
+                    if shadow {
+                        registry.mount_shadow(&route.model_id, route.version, artifact)
+                    } else {
+                        registry.mount(&route.model_id, route.version, artifact)
+                    }
+                });
             (
-                Response::Stats(Box::new(StatsSnapshot {
-                    engine: shared.engine.report(),
-                    engine_queue_depth: shared.engine.queue_depth() as u64,
-                    wire_in_flight: shared.in_flight.load(Ordering::Acquire) as u32,
-                    wire_budget: shared.config.max_in_flight as u32,
-                    wire_busy_rejections: degraded.busy_total(),
-                    degraded,
-                })),
+                mounted
+                    .map(|()| Response::Mounted)
+                    .unwrap_or_else(|e| registry_error_response(shared, &e)),
                 false,
             )
         }
-        Request::Shutdown => (Response::ShuttingDown, true),
+        Request::Unmount => {
+            let route = match require_route("unmount") {
+                Ok(route) => route,
+                Err(response) => return (response, false),
+            };
+            (
+                registry
+                    .unmount(&route.model_id)
+                    .map(|report| Response::Unmounted(Box::new(report)))
+                    .unwrap_or_else(|e| registry_error_response(shared, &e)),
+                false,
+            )
+        }
+        Request::Promote => {
+            let route = match require_route("promote") {
+                Ok(route) => route,
+                Err(response) => return (response, false),
+            };
+            (
+                registry
+                    .promote(&route.model_id)
+                    .map(|report| Response::Promoted(Box::new(report)))
+                    .unwrap_or_else(|e| registry_error_response(shared, &e)),
+                false,
+            )
+        }
+        Request::ListTenants => (Response::TenantList(registry.list()), false),
+        Request::ShadowStats => {
+            let route = match require_route("shadow-stats") {
+                Ok(route) => route,
+                Err(response) => return (response, false),
+            };
+            (
+                registry
+                    .shadow_stats(&route.model_id)
+                    .map(|report| Response::ShadowReport(Box::new(report)))
+                    .unwrap_or_else(|e| registry_error_response(shared, &e)),
+                false,
+            )
+        }
     }
+}
+
+/// Builds a `Stats` response around the given engine-side report.
+fn stats_response(engine: ServeReport, queue_depth: usize, shared: &Shared) -> Response {
+    let degraded = shared.degraded.snapshot();
+    Response::Stats(Box::new(StatsSnapshot {
+        engine,
+        engine_queue_depth: queue_depth as u64,
+        wire_in_flight: shared.in_flight.load(Ordering::Acquire) as u32,
+        wire_budget: shared.config.max_in_flight as u32,
+        wire_busy_rejections: degraded.busy_total(),
+        degraded,
+    }))
 }
 
 /// Runs a work request under the admission ladder, or answers `Busy`.
 ///
 /// Two gates, both *after* the frame is fully read (a shed never leaves
-/// the stream mid-frame): the engine's shard backlog against the queue
+/// the stream mid-frame): the backend's shard backlog against the queue
 /// watermark — shedding at the wire before the engine saturates, so work
 /// already queued keeps its latency — then the wire in-flight budget.
-fn with_admission(
-    shared: &Arc<Shared>,
-    work: impl FnOnce(&MonitorEngine<ComposedMonitor>) -> Response,
-) -> (Response, bool) {
+fn with_admission(shared: &Arc<Shared>, work: impl FnOnce() -> Response) -> (Response, bool) {
     let watermark = shared.config.queue_watermark;
     if watermark > 0 {
-        let backlog = shared.engine.queue_depth();
+        let backlog = shared.backend.backlog();
         if backlog > watermark {
             shared
                 .degraded
@@ -562,7 +924,7 @@ fn with_admission(
         }
     }
     match shared.try_admit() {
-        Ok(_guard) => (work(&shared.engine), false),
+        Ok(_guard) => (work(), false),
         Err((in_flight, budget)) => (Response::Busy { in_flight, budget }, false),
     }
 }
@@ -570,6 +932,22 @@ fn with_admission(
 fn serve_error_response(e: &napmon_serve::ServeError) -> Response {
     Response::Error {
         code: serve_error_code(e),
+        message: e.to_string(),
+    }
+}
+
+/// Builds the typed error for a registry refusal, counting routing misses
+/// in [`DegradedStats::unknown_tenant`].
+fn registry_error_response(shared: &Shared, e: &RegistryError) -> Response {
+    let code = registry_error_code(e);
+    if code == ErrorCode::UnknownTenant {
+        shared
+            .degraded
+            .unknown_tenant
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    Response::Error {
+        code,
         message: e.to_string(),
     }
 }

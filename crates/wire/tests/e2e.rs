@@ -212,7 +212,10 @@ fn malformed_peers_get_typed_errors_not_a_dead_server() {
     match napmon_wire::Response::decode(&frame).expect("decodes") {
         napmon_wire::Response::Error { code, message } => {
             assert_eq!(code, ErrorCode::UnsupportedVersion);
-            assert!(message.contains("v1"), "{message}");
+            assert!(
+                message.contains("v7") && message.contains("v2"),
+                "{message}"
+            );
         }
         other => panic!("expected an error response, got {other:?}"),
     }

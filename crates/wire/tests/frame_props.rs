@@ -8,7 +8,10 @@
 //! and stress the payload decoders) through every decoding entry point.
 
 use napmon_core::wirefmt;
-use napmon_wire::{Frame, Opcode, Request, Response, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use napmon_wire::{
+    Frame, Opcode, Request, Response, TenantRoute, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+    LEGACY_WIRE_PROTOCOL_VERSION, WIRE_PROTOCOL_VERSION,
+};
 use proptest::prelude::*;
 
 /// A tight payload cap so forged-length checks are reachable from small
@@ -17,20 +20,50 @@ const SMALL_MAX_PAYLOAD: u32 = 1 << 16;
 
 /// Every opcode, for building valid-header frames around arbitrary
 /// payloads.
-const OPCODES: [Opcode; 12] = [
+const OPCODES: [Opcode; 22] = [
     Opcode::Query,
     Opcode::QueryBatch,
     Opcode::Absorb,
     Opcode::Stats,
     Opcode::Shutdown,
+    Opcode::Mount,
+    Opcode::Unmount,
+    Opcode::Promote,
+    Opcode::ListTenants,
+    Opcode::ShadowStats,
     Opcode::Verdict,
     Opcode::Verdicts,
     Opcode::Absorbed,
     Opcode::StatsReport,
     Opcode::ShuttingDown,
+    Opcode::Mounted,
+    Opcode::Unmounted,
+    Opcode::Promoted,
+    Opcode::TenantList,
+    Opcode::ShadowReport,
     Opcode::Busy,
     Opcode::Error,
 ];
+
+/// A valid tenant id derived deterministically from integer draws: first
+/// byte alphanumeric, the rest from the id charset, 1..=64 bytes.
+fn tenant_id_from(seed: u64, len: usize) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+    let mut state = seed;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut id = String::new();
+    id.push(FIRST[next() % FIRST.len()] as char);
+    for _ in 1..len.clamp(1, 64) {
+        id.push(REST[next() % REST.len()] as char);
+    }
+    id
+}
 
 /// Decoding must not read past the end, allocate per forged counts, or
 /// panic; on success it must consume within bounds.
@@ -38,7 +71,8 @@ fn check_frame_decode(bytes: &[u8], max_payload: u32) {
     match Frame::decode(bytes, max_payload) {
         Ok((frame, consumed)) => {
             assert!(consumed <= bytes.len());
-            assert_eq!(consumed, HEADER_LEN + frame.payload.len());
+            let route_len = frame.route.as_ref().map_or(0, TenantRoute::encoded_len);
+            assert_eq!(consumed, HEADER_LEN + route_len + frame.payload.len());
             // A decoded frame re-encodes to exactly the bytes consumed.
             assert_eq!(frame.encode().unwrap(), bytes[..consumed]);
             // The payload decoders are total too, whatever the opcode.
@@ -72,13 +106,14 @@ proptest! {
     /// header decodes clean, so the payload decoders see every input.
     #[test]
     fn valid_frames_with_arbitrary_payloads_never_panic(
-        opcode_index in 0usize..12,
+        opcode_index in 0usize..22,
         request_id in 0u64..u64::MAX,
         payload in collection::vec(0u8..=255, 0..80),
     ) {
         let frame = Frame {
             opcode: OPCODES[opcode_index],
             request_id,
+            route: None,
             payload,
         };
         let bytes = frame.encode().unwrap();
@@ -117,11 +152,126 @@ proptest! {
         let mut frame = Frame {
             opcode: Opcode::Verdicts,
             request_id: 1,
+            route: None,
             payload,
         };
         let index = flip_at % frame.payload.len();
         frame.payload[index] = flip_to;
         let _ = Response::decode(&frame); // value or typed error, no panic
+    }
+
+    /// v2 tenant-routed frames round-trip — route preserved, payload
+    /// untouched, re-encode byte-identical — and both payload decoders
+    /// stay total over arbitrary payload bytes behind a route.
+    #[test]
+    fn routed_frames_round_trip_and_decoders_stay_total(
+        opcode_index in 0usize..22,
+        request_id in 0u64..u64::MAX,
+        id_seed in 0u64..u64::MAX,
+        id_len in 1usize..65,
+        version in 0u32..u32::MAX,
+        payload in collection::vec(0u8..=255, 0..80),
+    ) {
+        let route = TenantRoute {
+            model_id: tenant_id_from(id_seed, id_len),
+            version,
+        };
+        let frame = Frame {
+            opcode: OPCODES[opcode_index],
+            request_id,
+            route: Some(route.clone()),
+            payload,
+        };
+        let bytes = frame.encode().unwrap();
+        let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD)
+            .expect("a well-formed routed frame must decode");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(decoded.route.as_ref(), Some(&route));
+        let _ = Request::decode(&decoded);
+        let _ = Response::decode(&decoded);
+        // Every strict prefix is a typed Truncated, nothing else.
+        for cut in [0, HEADER_LEN.min(bytes.len() - 1), bytes.len() - 1] {
+            prop_assert!(matches!(
+                Frame::decode(&bytes[..cut], DEFAULT_MAX_PAYLOAD),
+                Err(WireError::Truncated)
+            ));
+        }
+    }
+
+    /// Mutating any one byte of a valid routed frame — header, flags,
+    /// route block, or payload — yields a frame or a typed error through
+    /// every decoding entry point. This is the adversarial leg for the
+    /// v2 route machinery specifically.
+    #[test]
+    fn mutated_routed_frames_never_panic(
+        id_seed in 0u64..u64::MAX,
+        id_len in 1usize..65,
+        version in 0u32..u32::MAX,
+        flip_at in 0usize..10_000,
+        flip_to in 0u8..=255,
+    ) {
+        let frame = Frame {
+            opcode: Opcode::Query,
+            request_id: 7,
+            route: Some(TenantRoute {
+                model_id: tenant_id_from(id_seed, id_len),
+                version,
+            }),
+            payload: {
+                let mut p = Vec::new();
+                wirefmt::put_features(&mut p, &[0.25, -1.5, 3.0]);
+                p
+            },
+        };
+        let mut bytes = frame.encode().unwrap();
+        let index = flip_at % bytes.len();
+        bytes[index] = flip_to;
+        check_frame_decode(&bytes, DEFAULT_MAX_PAYLOAD);
+    }
+
+    /// Cross-version peers fail typed in both directions: any frame whose
+    /// header names a version other than [`WIRE_PROTOCOL_VERSION`] — the
+    /// v1 legacy version included — is refused with
+    /// [`WireError::UnsupportedVersion`] naming both versions, so each
+    /// side of a v1↔v2 pairing can report exactly what the other speaks.
+    #[test]
+    fn cross_version_frames_fail_typed(
+        opcode_index in 0usize..22,
+        request_id in 0u64..u64::MAX,
+        version in 0u16..u16::MAX,
+        payload in collection::vec(0u8..=255, 0..32),
+    ) {
+        let frame = Frame {
+            opcode: OPCODES[opcode_index],
+            request_id,
+            route: None,
+            payload,
+        };
+        let mut bytes = frame.encode().unwrap();
+        // A v1 peer's frame: same layout, version field rewritten. (The
+        // layouts genuinely agree through the header: v1 frames carry a
+        // zero flags byte, which v2 reads as "unrouted".)
+        bytes[4..6].copy_from_slice(&LEGACY_WIRE_PROTOCOL_VERSION.to_le_bytes());
+        match Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD) {
+            Err(WireError::UnsupportedVersion { found, supported }) => {
+                prop_assert_eq!(found, LEGACY_WIRE_PROTOCOL_VERSION);
+                prop_assert_eq!(supported, WIRE_PROTOCOL_VERSION);
+            }
+            other => prop_assert!(false, "v1 frame must fail typed, got {other:?}"),
+        }
+        // And any foreign version at all — what a v1 server sees from a
+        // v2 client is the mirror image of this check.
+        if version != WIRE_PROTOCOL_VERSION {
+            bytes[4..6].copy_from_slice(&version.to_le_bytes());
+            match Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD) {
+                Err(WireError::UnsupportedVersion { found, supported }) => {
+                    prop_assert_eq!(found, version);
+                    prop_assert_eq!(supported, WIRE_PROTOCOL_VERSION);
+                }
+                other => prop_assert!(false, "foreign version must fail typed, got {other:?}"),
+            }
+        }
     }
 
     /// The low-level value decoders never read past their buffer: after a

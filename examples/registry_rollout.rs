@@ -1,0 +1,199 @@
+//! Multi-tenant serving and a shadow rollout, end to end:
+//!
+//! 1. an operator mounts monitors for **two tenants** over the wire —
+//!    every admin call is routed by the same `(model_id, version)` tenant
+//!    route that query traffic carries;
+//! 2. routed clients for both tenants get verdicts **bit-identical** to
+//!    the builder's own monitor;
+//! 3. a candidate monitor is mounted in **shadow mode** beside tenant
+//!    `resnet`'s active engine: live traffic keeps being answered by the
+//!    active engine while the mirror replays it on the candidate off the
+//!    hot path;
+//! 4. the accumulated [`ShadowReport`] (agreement rate, per-class
+//!    disagreement counts, latency delta) is printed — the evidence an
+//!    operator reads before committing;
+//! 5. `promote()` atomically flips the candidate to active (in-flight
+//!    requests finish on the old engine, which drains to queue depth zero
+//!    before teardown) and the post-promote verdicts prove the flip;
+//! 6. a legacy **v1 client is rejected** with a typed error naming both
+//!    its version and the server's.
+//!
+//! Run with `cargo run --release --example registry_rollout`.
+//!
+//! [`ShadowReport`]: napmon::registry::ShadowReport
+
+use napmon::artifact::MonitorArtifact;
+use napmon::core::{ComposedMonitor, Monitor, MonitorKind, MonitorSpec};
+use napmon::nn::{Activation, LayerSpec, Network};
+use napmon::registry::{MonitorRegistry, RegistryConfig};
+use napmon::serve::EngineConfig;
+use napmon::tensor::Prng;
+use napmon::wire::{
+    ErrorCode, Frame, Opcode, Response, TenantRoute, WireClient, WireConfig, WireServer,
+    DEFAULT_MAX_PAYLOAD, LEGACY_WIRE_PROTOCOL_VERSION, WIRE_PROTOCOL_VERSION,
+};
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+const INPUT_DIM: usize = 6;
+
+/// Builds one tenant's monitor and packages it as artifact JSON — the
+/// unit the Mount opcode carries over the wire.
+fn artifact_json(
+    spec: &MonitorSpec,
+    net: &Network,
+    monitor: ComposedMonitor,
+    trained_on: usize,
+) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(
+        MonitorArtifact::from_parts(spec.clone(), net.clone(), monitor, trained_on)?
+            .to_json_string()?,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Training side: two tenants and one candidate -------------------
+    let net = Network::seeded(
+        501,
+        INPUT_DIM,
+        &[
+            LayerSpec::dense(16, Activation::Relu),
+            LayerSpec::dense(3, Activation::Identity),
+        ],
+    );
+    let mut rng = Prng::seed(77);
+    let train: Vec<Vec<f64>> = (0..128)
+        .map(|_| rng.uniform_vec(INPUT_DIM, -1.0, 1.0))
+        .collect();
+    let probes: Vec<Vec<f64>> = (0..96)
+        .map(|i: usize| {
+            if i.is_multiple_of(3) {
+                rng.uniform_vec(INPUT_DIM, -2.5, 2.5)
+            } else {
+                train[i % train.len()].clone()
+            }
+        })
+        .collect();
+    let spec = MonitorSpec::new(2, MonitorKind::pattern());
+    // `resnet` v1 saw the full training set; the v2 candidate only half —
+    // a genuinely different abstraction, so the shadow report has real
+    // disagreements to count. `mobilenet` shares the network but not the
+    // monitor; the registry keys engines by tenant, not by model weights.
+    let resnet_v1 = spec.build(&net, &train)?;
+    let resnet_v2 = spec.build(&net, &train[..train.len() / 2])?;
+    let mobilenet = spec.build(&net, &train[train.len() / 4..])?;
+    let expected_v1 = resnet_v1.query_batch(&net, &probes)?;
+    let expected_v2 = resnet_v2.query_batch(&net, &probes)?;
+
+    // ---- One server, many tenants ---------------------------------------
+    let registry = Arc::new(MonitorRegistry::new(RegistryConfig::with_engine(
+        EngineConfig::with_shards(2),
+    )));
+    let server = WireServer::bind_registry("127.0.0.1:0", registry, WireConfig::default())?;
+    let addr = server.local_addr();
+    println!("serving  wire protocol v{WIRE_PROTOCOL_VERSION} registry on {addr}");
+
+    // Admin traffic is just routed frames: the pinned route names the
+    // (tenant, version) slot each Mount lands in.
+    let mut admin = WireClient::connect(addr)?;
+    admin.set_route(Some(TenantRoute::pinned("resnet", 1)));
+    admin.mount_artifact(false, &artifact_json(&spec, &net, resnet_v1, train.len())?)?;
+    admin.set_route(Some(TenantRoute::pinned("mobilenet", 1)));
+    admin.mount_artifact(
+        false,
+        &artifact_json(&spec, &net, mobilenet, train.len() * 3 / 4)?,
+    )?;
+    for tenant in admin.list_tenants()? {
+        println!(
+            "mounted  {} v{} (shadow: {:?})",
+            tenant.model_id, tenant.active_version, tenant.shadow_version
+        );
+    }
+
+    // Routed query traffic: each tenant's clients see exactly the
+    // verdicts its builder computed.
+    let mut resnet_client = WireClient::connect(addr)?.with_route(TenantRoute::active("resnet"));
+    let mut mobilenet_client =
+        WireClient::connect(addr)?.with_route(TenantRoute::active("mobilenet"));
+    assert_eq!(
+        resnet_client.query_batch(&probes)?,
+        expected_v1,
+        "routed verdicts must match the builder's"
+    );
+    mobilenet_client.query_batch(&probes)?;
+    println!(
+        "queried  2 tenants x {} probes — resnet bit-identical to its builder",
+        probes.len()
+    );
+
+    // ---- Shadow the candidate, read the evidence, promote ---------------
+    admin.set_route(Some(TenantRoute::pinned("resnet", 2)));
+    admin.mount_artifact(
+        true,
+        &artifact_json(&spec, &net, resnet_v2, train.len() / 2)?,
+    )?;
+    // Live traffic still answers from v1; the mirror replays it on v2.
+    assert_eq!(resnet_client.query_batch(&probes)?, expected_v1);
+    // The mirror runs off the hot path; let it settle before reading so
+    // the printed report covers the whole batch.
+    server
+        .registry()
+        .expect("registry backend")
+        .shadow_sync("resnet")?;
+    let report = admin.shadow_stats()?;
+    println!("shadow   {report}");
+    assert_eq!(report.mirrored, probes.len() as u64);
+    assert!(
+        report.disagreements() > 0,
+        "the half-trained candidate must disagree somewhere"
+    );
+
+    let promoted = admin.promote()?;
+    println!("promoted {promoted}");
+    assert_eq!(
+        resnet_client.query_batch(&probes)?,
+        expected_v2,
+        "post-promote traffic must answer from the candidate"
+    );
+    for tenant in admin.list_tenants()? {
+        if tenant.model_id == "resnet" {
+            assert_eq!(tenant.active_version, 2);
+            assert_eq!(tenant.shadow_version, None);
+        }
+    }
+    println!("flipped  resnet v1 -> v2: zero dropped requests, verdicts now the candidate's");
+
+    // ---- A v1 peer gets a typed rejection, not a hang -------------------
+    let mut v1_frame = Frame::empty(Opcode::Stats, 1).encode()?;
+    v1_frame[4..6].copy_from_slice(&LEGACY_WIRE_PROTOCOL_VERSION.to_le_bytes());
+    let mut raw = std::net::TcpStream::connect(addr)?;
+    raw.write_all(&v1_frame)?;
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply)?;
+    let (frame, _) = Frame::decode(&reply, DEFAULT_MAX_PAYLOAD)?;
+    match Response::decode(&frame)? {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::UnsupportedVersion);
+            println!("rejected v{LEGACY_WIRE_PROTOCOL_VERSION} peer with typed error: {message}");
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+
+    // ---- Drain everything ------------------------------------------------
+    let report = server
+        .shutdown_registry()
+        .expect("registry-backed server reports a registry drain");
+    for outcome in report.tenants.iter().chain(&report.retired) {
+        assert!(!outcome.timed_out, "shutdown drain timed out");
+        assert_eq!(outcome.report.queue_depth, 0, "drain left queued work");
+    }
+    println!(
+        "drained  {} engines ({} active, {} retired), {} requests total, every queue empty",
+        report.tenants.len() + report.retired.len(),
+        report.tenants.len(),
+        report.retired.len(),
+        report.total_requests()
+    );
+    println!("ok");
+    Ok(())
+}
