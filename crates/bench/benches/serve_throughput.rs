@@ -64,6 +64,22 @@ struct ShardRow {
 }
 
 #[derive(Serialize)]
+struct ObsOverhead {
+    /// Requests/sec through a 1-shard engine with tracing disarmed.
+    qps_uninstrumented: f64,
+    /// Requests/sec through the same engine with tracing armed and every
+    /// batch submitted under a minted trace id (the worst-case probe
+    /// path: clock reads + span records on every micro-batch).
+    qps_instrumented: f64,
+    /// `qps_uninstrumented / qps_instrumented` — 1.0 means free;
+    /// `validate_bench` gates this at ≤ 1.05 on non-smoke runs.
+    ratio: f64,
+    /// Whether the binary was built with the `obs` feature (probe shims
+    /// compile to no-ops otherwise, so the ratio prices nothing).
+    probes_enabled: bool,
+}
+
+#[derive(Serialize)]
 struct Report {
     threads: usize,
     train_size: usize,
@@ -90,6 +106,9 @@ struct Report {
     /// mirror, flush it, flip the active pointer, hand the old engine to
     /// the background drainer.
     registry_flip_latency_us: f64,
+    /// Cost of the observability probes on the serving hot path, measured
+    /// in one binary via the runtime tracing toggle.
+    obs_overhead: ObsOverhead,
     smoke: bool,
     notes: String,
 }
@@ -275,6 +294,60 @@ fn main() {
         "hot-swap flip latency {registry_flip_latency_us:>12.1} us mean over {FLIP_COUNT} promotes"
     );
     registry.shutdown();
+
+    // Obs-probe overhead: one engine, one workload, toggled at runtime.
+    // The uninstrumented leg runs with tracing disarmed (probes read the
+    // flag and fold away); the instrumented leg arms tracing and submits
+    // every batch under a minted trace id, so each micro-batch pays the
+    // queue-wait and verdict span records — the worst-case probe cost.
+    let obs_engine = fresh_engine();
+    obs_engine
+        .submit_batch(std::sync::Arc::clone(&shared))
+        .unwrap();
+    napmon_obs::set_tracing(false);
+    let start = Instant::now();
+    let mut served = 0u64;
+    while start.elapsed().as_secs_f64() < measure_secs() {
+        black_box(
+            obs_engine
+                .submit_batch(std::sync::Arc::clone(&shared))
+                .unwrap(),
+        );
+        served += BATCH_SIZE as u64;
+    }
+    let qps_uninstrumented = served as f64 / start.elapsed().as_secs_f64();
+    napmon_obs::set_tracing(true);
+    let start = Instant::now();
+    let mut served = 0u64;
+    while start.elapsed().as_secs_f64() < measure_secs() {
+        let trace_id = napmon_obs::mint_trace_id();
+        black_box(
+            obs_engine
+                .submit_batch_traced(std::sync::Arc::clone(&shared), trace_id)
+                .unwrap(),
+        );
+        served += BATCH_SIZE as u64;
+    }
+    let qps_instrumented = served as f64 / start.elapsed().as_secs_f64();
+    napmon_obs::set_tracing(false);
+    obs_engine.shutdown();
+    let obs_overhead = ObsOverhead {
+        qps_uninstrumented,
+        qps_instrumented,
+        ratio: qps_uninstrumented / qps_instrumented,
+        probes_enabled: cfg!(feature = "obs"),
+    };
+    println!(
+        "obs probes            {qps_instrumented:>12.0} req/s traced  \
+         ({:>5.3}x the untraced {qps_uninstrumented:>12.0} req/s, probes {})",
+        obs_overhead.ratio,
+        if obs_overhead.probes_enabled {
+            "on"
+        } else {
+            "off"
+        },
+    );
+
     let threads = std::thread::available_parallelism()
         .map(usize::from)
         .unwrap_or(1);
@@ -292,6 +365,7 @@ fn main() {
         registry_dispatch_overhead,
         registry_shadow_overhead,
         registry_flip_latency_us,
+        obs_overhead,
         smoke: smoke(),
         // The machine shape lives in the structured `threads` field only —
         // prose copies of it went stale whenever the file was regenerated

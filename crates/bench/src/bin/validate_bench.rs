@@ -190,6 +190,29 @@ fn validate_serve() {
             is_smoke(&report)
         );
     }
+    // The obs-probe overhead row: schema always, the ≤ 1.05 ceiling only
+    // where the measurement window is real (a 50 ms smoke window's ratio
+    // is noise) — and only where the probes were actually compiled in,
+    // since a no-op shim build prices nothing.
+    let obs = field(name, &report, "obs_overhead").clone();
+    positive(name, &obs, "qps_uninstrumented");
+    positive(name, &obs, "qps_instrumented");
+    let obs_ratio = positive(name, &obs, "ratio");
+    let probes_enabled = matches!(&obs["probes_enabled"], Value::Bool(true));
+    if probes_enabled && !is_smoke(&report) {
+        assert!(
+            obs_ratio <= 1.05,
+            "{name}: armed observability probes cost {:.1}% of serving throughput \
+             (ceiling 5%) — a probe has leaked into the hot path",
+            (obs_ratio - 1.0) * 100.0
+        );
+    } else {
+        println!(
+            "{name}: note: obs-overhead ceiling not enforced \
+             (probes_enabled = {probes_enabled}, smoke = {})",
+            is_smoke(&report)
+        );
+    }
     let Value::Array(rows) = field(name, &report, "rows") else {
         panic!("{name}: `rows` is not an array");
     };
@@ -406,13 +429,15 @@ const WIRE_DEGRADED_KEYS: [&str; 3] = ["degraded_busy", "degraded_shed", "degrad
 const QUERY_TOP_TOLERATED: [&str; 3] = ["hamming_results", "min_sliced_hamming_speedup", "smoke"];
 
 /// Top-level keys `BENCH_serve.json` grew with the multi-tenant registry
-/// (dispatch/shadow overheads, flip latency, structured smoke flag);
-/// tolerated one-way against pre-registry baselines.
-const SERVE_TOP_TOLERATED: [&str; 5] = [
+/// (dispatch/shadow overheads, flip latency, structured smoke flag) and
+/// the observability work (probe overhead row); tolerated one-way
+/// against older baselines.
+const SERVE_TOP_TOLERATED: [&str; 6] = [
     "registry_dispatch_qps",
     "registry_dispatch_overhead",
     "registry_shadow_overhead",
     "registry_flip_latency_us",
+    "obs_overhead",
     "smoke",
 ];
 

@@ -1,0 +1,121 @@
+//! The slow-request log: a threshold-gated, bounded last-N ring of
+//! requests that exceeded a latency budget.
+//!
+//! The hot path pays one relaxed atomic load per request (the threshold
+//! check); only requests actually over the threshold take the ring's
+//! mutex, so a healthy server never contends here.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One logged slow request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowRequest {
+    /// Trace id of the request (0 when it carried none).
+    pub trace_id: u64,
+    /// Opcode name as served (`"Query"`, `"Absorb"`, …).
+    pub opcode: String,
+    /// End-to-end service time, nanoseconds.
+    pub total_ns: u64,
+    /// The threshold in force when the request was logged, nanoseconds.
+    pub threshold_ns: u64,
+}
+
+/// A bounded log of the most recent requests slower than a configurable
+/// threshold.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_ns: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<SlowRequest>>,
+}
+
+impl SlowLog {
+    /// A log keeping the last `capacity` requests over `threshold_ns`.
+    /// A threshold of `u64::MAX` disables logging.
+    #[must_use]
+    pub fn new(capacity: usize, threshold_ns: u64) -> Self {
+        let capacity = capacity.max(1);
+        SlowLog {
+            threshold_ns: AtomicU64::new(threshold_ns),
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// The current threshold in nanoseconds.
+    #[must_use]
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Re-arms the log with a new threshold (effective immediately).
+    pub fn set_threshold_ns(&self, threshold_ns: u64) {
+        self.threshold_ns.store(threshold_ns, Ordering::Relaxed);
+    }
+
+    /// Considers one completed request; logs it if over the threshold.
+    /// Cheap when under: one atomic load, no lock.
+    #[inline]
+    pub fn observe(&self, trace_id: u64, opcode: &str, total_ns: u64) {
+        let threshold = self.threshold_ns.load(Ordering::Relaxed);
+        if total_ns < threshold {
+            return;
+        }
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(SlowRequest {
+            trace_id,
+            opcode: opcode.to_string(),
+            total_ns,
+            threshold_ns: threshold,
+        });
+    }
+
+    /// The retained entries, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SlowRequest> {
+        self.ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logs_only_over_threshold_and_keeps_last_n() {
+        let log = SlowLog::new(3, 100);
+        log.observe(1, "Query", 50); // under: dropped
+        for i in 0..5u64 {
+            log.observe(i, "Query", 100 + i);
+        }
+        let entries = log.snapshot();
+        assert_eq!(entries.len(), 3);
+        let ids: Vec<u64> = entries.iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert!(entries.iter().all(|e| e.total_ns >= e.threshold_ns));
+    }
+
+    #[test]
+    fn max_threshold_disables_logging() {
+        let log = SlowLog::new(4, u64::MAX);
+        log.observe(1, "Query", u64::MAX - 1);
+        assert!(log.snapshot().is_empty());
+        log.set_threshold_ns(10);
+        log.observe(2, "Stats", 11);
+        assert_eq!(log.snapshot().len(), 1);
+    }
+}

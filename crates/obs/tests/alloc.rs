@@ -1,0 +1,119 @@
+//! Proof that steady-state observability is **zero heap allocation**:
+//! recording a histogram sample, a trace-ring span, or an under-threshold
+//! slow-log observation never allocates once the structures exist.
+//!
+//! This extends the serving engine's counting-allocator test to the
+//! instrumentation layer itself — the probes ride the hottest paths in
+//! the system, so "drop-oldest, zero steady-state alloc" is a contract,
+//! not an aspiration.
+//!
+//! Own test binary so the allocator swap cannot perturb other tests.
+
+use napmon_obs::{
+    HistogramSnapshot, LatencyHistogram, MetricsRegistry, SlowLog, SpanKind, TraceEvent, TraceRing,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_recording_never_allocates() {
+    const EVENTS: usize = 10_000;
+
+    // Construction allocates (rings, bucket arrays, registry entries) —
+    // that all happens here, before the counter is armed.
+    let ring = TraceRing::with_capacity(256);
+    let mut plain = HistogramSnapshot::new();
+    let atomic = LatencyHistogram::new();
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("test.hits");
+    let gauge = registry.gauge("test.depth");
+    let shared_hist = registry.histogram("test.ns");
+    let slow = SlowLog::new(8, 1_000_000);
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for i in 0..EVENTS as u64 {
+        ring.record(TraceEvent {
+            trace_id: i,
+            kind: SpanKind::Verdict,
+            start_ns: i,
+            dur_ns: 3,
+            detail: i % 7,
+        });
+        plain.record(i * 37);
+        atomic.record(i * 37);
+        shared_hist.record(i * 37);
+        counter.inc();
+        gauge.set(i);
+        // Under threshold: the slow log's cheap path.
+        slow.observe(i, "Query", i % 1000);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let counted = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(ring.recorded(), EVENTS as u64);
+    assert_eq!(plain.count(), EVENTS as u64);
+    assert_eq!(atomic.count(), EVENTS as u64);
+    assert_eq!(counter.get(), EVENTS as u64);
+    assert!(slow.snapshot().is_empty());
+    assert_eq!(
+        counted, 0,
+        "steady-state observability recording performed {counted} allocations over \
+         {EVENTS} events; the record paths must be allocation-free"
+    );
+}
+
+// With probes compiled in, the full global probe surface (thread-local
+// ring lookup included) must also be allocation-free once the thread's
+// ring exists.
+#[cfg(feature = "probes")]
+#[test]
+fn global_probe_surface_is_allocation_free_once_warm() {
+    const EVENTS: usize = 10_000;
+
+    napmon_obs::set_tracing(true);
+    // Warm-up: allocates this thread's ring and registers it.
+    napmon_obs::record_span(1, SpanKind::Verdict, napmon_obs::now_ns(), 1, 0);
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for i in 0..EVENTS as u64 {
+        let t0 = napmon_obs::now_ns();
+        napmon_obs::record_span(i, SpanKind::QueueWait, t0, napmon_obs::now_ns() - t0, i);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let counted = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        counted, 0,
+        "warm global probe path performed {counted} allocations over {EVENTS} spans"
+    );
+}

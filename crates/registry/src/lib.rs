@@ -38,6 +38,8 @@
 //! v2 frames carry a tenant route and the admin opcodes map one-to-one
 //! onto the registry's mount/promote/unmount surface.
 
+#[cfg(feature = "obs")]
+mod obs;
 pub mod registry;
 pub mod shadow;
 

@@ -1,0 +1,58 @@
+//! Registry-side observability probes (compiled only with the `obs`
+//! feature).
+//!
+//! Metrics land in the process-wide [`napmon_obs::global`] registry under
+//! the `registry.` namespace:
+//!
+//! | metric                     | type      | meaning                                  |
+//! |----------------------------|-----------|------------------------------------------|
+//! | `registry.flip_ns`         | histogram | active-pointer swap latency (hot swap)   |
+//! | `registry.flips`           | counter   | hot swaps performed (mount + promote)    |
+//! | `registry.mirror_dropped`  | counter   | mirrored inputs dropped by a full queue  |
+//!
+//! Each flip additionally emits a [`SpanKind::HotSwapFlip`] trace span
+//! (trace id 0 — deployment control flow, not request flow) carrying the
+//! incoming version as its detail.
+//!
+//! [`SpanKind::HotSwapFlip`]: napmon_obs::SpanKind::HotSwapFlip
+
+use napmon_obs::{Counter, LatencyHistogram, SpanKind};
+use std::sync::{Arc, OnceLock};
+
+/// Handles into the global registry, resolved once per process.
+pub(crate) struct RegistryMetrics {
+    pub(crate) flip_ns: Arc<LatencyHistogram>,
+    pub(crate) flips: Counter,
+    pub(crate) mirror_dropped: Counter,
+}
+
+pub(crate) fn metrics() -> &'static RegistryMetrics {
+    static METRICS: OnceLock<RegistryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = napmon_obs::global();
+        RegistryMetrics {
+            flip_ns: registry.histogram("registry.flip_ns"),
+            flips: registry.counter("registry.flips"),
+            mirror_dropped: registry.counter("registry.mirror_dropped"),
+        }
+    })
+}
+
+/// Records one active-pointer flip: latency histogram, counter, and (when
+/// tracing is on) a [`SpanKind::HotSwapFlip`] span naming the version.
+#[inline]
+pub(crate) fn record_flip(started: std::time::Instant, started_ns: u64, version: u32) {
+    let metrics = metrics();
+    metrics.flip_ns.record(started.elapsed().as_nanos() as u64);
+    metrics.flips.inc();
+    if napmon_obs::tracing_enabled() {
+        let now = napmon_obs::now_ns();
+        napmon_obs::record_span(
+            0,
+            SpanKind::HotSwapFlip,
+            started_ns,
+            now.saturating_sub(started_ns),
+            u64::from(version),
+        );
+    }
+}

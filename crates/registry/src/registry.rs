@@ -304,8 +304,16 @@ impl MonitorRegistry {
                     version: mounted.version,
                 });
             }
+            #[cfg(feature = "obs")]
+            let (started, started_ns, version) = (
+                std::time::Instant::now(),
+                napmon_obs::now_ns(),
+                mounted.version,
+            );
             let old = std::mem::replace(&mut *active, mounted);
             drop(active);
+            #[cfg(feature = "obs")]
+            crate::obs::record_flip(started, started_ns, version);
             self.retire(old);
         }
         Ok(())
@@ -557,6 +565,12 @@ impl MonitorRegistry {
         // flush below only waits on jobs already queued.
         let active_version = tenant.active().version;
         let (report, candidate) = state.finish(model_id, active_version);
+        #[cfg(feature = "obs")]
+        let (started, started_ns, version) = (
+            std::time::Instant::now(),
+            napmon_obs::now_ns(),
+            candidate.version,
+        );
         let old = {
             let mut active = tenant
                 .active
@@ -564,6 +578,8 @@ impl MonitorRegistry {
                 .unwrap_or_else(PoisonError::into_inner);
             std::mem::replace(&mut *active, candidate)
         };
+        #[cfg(feature = "obs")]
+        crate::obs::record_flip(started, started_ns, version);
         self.retire(old);
         Ok(report)
     }

@@ -11,6 +11,7 @@
 
 use crate::registry::Mounted;
 use napmon_core::Verdict;
+use napmon_obs::HistogramSnapshot;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -56,6 +57,10 @@ struct ShadowAccum {
     absorbed: u64,
     active_ns_total: f64,
     shadow_ns_total: f64,
+    /// Per-item active-engine latency distribution over mirrored queries.
+    active_latency: HistogramSnapshot,
+    /// Per-item candidate latency distribution over the same queries.
+    shadow_latency: HistogramSnapshot,
 }
 
 /// A send-side handle on the mirror queue: cheap to clone out of the
@@ -74,6 +79,8 @@ impl MirrorHandle {
         let weight = job.weight();
         if self.tx.try_send(job).is_err() {
             self.dropped.fetch_add(weight, Ordering::Relaxed);
+            #[cfg(feature = "obs")]
+            crate::obs::metrics().mirror_dropped.add(weight);
         }
     }
 }
@@ -192,6 +199,7 @@ fn build_report(
     };
     let mean_active_ns = mean(accum.active_ns_total);
     let mean_shadow_ns = mean(accum.shadow_ns_total);
+    let delta = |q: f64| accum.shadow_latency.quantile(q) - accum.active_latency.quantile(q);
     ShadowReport {
         model_id: model_id.to_string(),
         active_version,
@@ -212,6 +220,12 @@ fn build_report(
         mean_active_ns,
         mean_shadow_ns,
         latency_delta_ns: mean_shadow_ns - mean_active_ns,
+        latency_delta_p50_ns: delta(0.50),
+        latency_delta_p90_ns: delta(0.90),
+        latency_delta_p99_ns: delta(0.99),
+        latency_delta_p999_ns: delta(0.999),
+        active_latency_ns: accum.active_latency.clone(),
+        shadow_latency_ns: accum.shadow_latency.clone(),
     }
 }
 
@@ -237,6 +251,8 @@ fn run_mirror(mounted: &Mounted, rx: &mpsc::Receiver<MirrorJob>, accum: &Mutex<S
                     Ok(shadow) => {
                         for (av, sv) in active.iter().zip(&shadow) {
                             a.mirrored += 1;
+                            a.active_latency.record_ns(active_ns);
+                            a.shadow_latency.record_ns(shadow_ns);
                             match (av.warning, sv.warning) {
                                 _ if av == sv => a.agreements += 1,
                                 (true, false) => a.warn_only_active += 1,
@@ -301,6 +317,20 @@ pub struct ShadowReport {
     pub mean_shadow_ns: f64,
     /// `mean_shadow_ns - mean_active_ns` (negative: candidate is faster).
     pub latency_delta_ns: f64,
+    /// Median latency delta, candidate minus active (quantile bracket
+    /// midpoints of the two per-item histograms below).
+    pub latency_delta_p50_ns: f64,
+    /// 90th-percentile latency delta, candidate minus active.
+    pub latency_delta_p90_ns: f64,
+    /// 99th-percentile latency delta, candidate minus active.
+    pub latency_delta_p99_ns: f64,
+    /// 99.9th-percentile latency delta, candidate minus active.
+    pub latency_delta_p999_ns: f64,
+    /// Per-item active-engine latency histogram over mirrored queries —
+    /// means hide tail regressions; the full distribution does not.
+    pub active_latency_ns: HistogramSnapshot,
+    /// Per-item candidate latency histogram over the same queries.
+    pub shadow_latency_ns: HistogramSnapshot,
 }
 
 impl ShadowReport {
@@ -316,7 +346,7 @@ impl std::fmt::Display for ShadowReport {
             f,
             "shadow report: {} v{} vs active v{}: {} mirrored ({} dropped), \
              agreement {:.4} ({} warn-only-active, {} warn-only-shadow, {} detail), \
-             latency delta {:+.0}ns",
+             latency delta {:+.0}ns mean / {:+.0}ns p50 / {:+.0}ns p99",
             self.model_id,
             self.shadow_version,
             self.active_version,
@@ -327,6 +357,8 @@ impl std::fmt::Display for ShadowReport {
             self.warn_only_shadow,
             self.detail_mismatch,
             self.latency_delta_ns,
+            self.latency_delta_p50_ns,
+            self.latency_delta_p99_ns,
         )
     }
 }

@@ -87,6 +87,36 @@ impl EngineConfig {
     }
 }
 
+/// Trace context riding a job: the request's trace id (0: untraced) and
+/// its enqueue timestamp, so the worker can emit a queue-wait span on
+/// pickup. Two plain `u64`s — free to carry when tracing is off.
+#[derive(Clone, Copy)]
+struct TraceCtx {
+    id: u64,
+    enqueued_ns: u64,
+}
+
+impl TraceCtx {
+    /// A context for `trace_id`, stamped with the enqueue time when the
+    /// request is actually traced (the clock is only read then).
+    #[inline]
+    fn for_id(trace_id: u64) -> Self {
+        TraceCtx {
+            id: trace_id,
+            enqueued_ns: if trace_id != 0 && napmon_obs::tracing_enabled() {
+                napmon_obs::now_ns()
+            } else {
+                0
+            },
+        }
+    }
+
+    #[inline]
+    fn active(self) -> bool {
+        self.id != 0 && napmon_obs::tracing_enabled()
+    }
+}
+
 /// One unit of shard work.
 ///
 /// Submissions carry their reply channel, so the worker loop is a plain
@@ -98,11 +128,13 @@ enum Job {
         inputs: Arc<[Vec<f64>]>,
         range: Range<usize>,
         reply: mpsc::Sender<BatchReply>,
+        trace: TraceCtx,
     },
     /// One owned input.
     Single {
         input: Vec<f64>,
         reply: mpsc::Sender<Result<Verdict, MonitorError>>,
+        trace: TraceCtx,
     },
     /// Metrics snapshot request.
     Stats { reply: mpsc::Sender<ShardReport> },
@@ -216,13 +248,33 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
     /// [`ServeError::Monitor`] if the input does not match the network,
     /// [`ServeError::ShardDown`] if the target worker died.
     pub fn submit(&self, input: Vec<f64>) -> Result<Verdict, ServeError> {
+        self.submit_traced(input, 0)
+    }
+
+    /// [`MonitorEngine::submit`] carrying a request trace id: when
+    /// tracing is armed (the `obs` feature plus
+    /// `napmon_obs::set_tracing`), the shard emits queue-wait and verdict
+    /// spans under `trace_id`. A zero id means untraced.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MonitorEngine::submit`].
+    pub fn submit_traced(&self, input: Vec<f64>, trace_id: u64) -> Result<Verdict, ServeError> {
         let (reply, rx) = mpsc::channel();
         let shard = &self.shards[self.next_shard()];
+        let trace = TraceCtx::for_id(trace_id);
         shard.depth.fetch_add(1, Ordering::Relaxed);
-        shard.tx.send(Job::Single { input, reply }).map_err(|_| {
-            shard.depth.fetch_sub(1, Ordering::Relaxed);
-            ServeError::ShardDown
-        })?;
+        shard
+            .tx
+            .send(Job::Single {
+                input,
+                reply,
+                trace,
+            })
+            .map_err(|_| {
+                shard.depth.fetch_sub(1, Ordering::Relaxed);
+                ServeError::ShardDown
+            })?;
         rx.recv()
             .map_err(|_| ServeError::ShardDown)?
             .map_err(Into::into)
@@ -247,11 +299,36 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
         self.submit_batch_async(inputs).wait()
     }
 
+    /// [`MonitorEngine::submit_batch`] carrying a request trace id (see
+    /// [`MonitorEngine::submit_traced`]); every chunk of the batch emits
+    /// spans under the same id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MonitorEngine::submit_batch`].
+    pub fn submit_batch_traced(
+        &self,
+        inputs: impl Into<Arc<[Vec<f64>]>>,
+        trace_id: u64,
+    ) -> Result<Vec<Verdict>, ServeError> {
+        self.submit_batch_async_traced(inputs, trace_id).wait()
+    }
+
     /// Enqueues a whole batch and returns immediately; the verdicts are
     /// collected with [`PendingBatch::wait`]. Jobs enqueued here are
     /// guaranteed to be served even if the engine is shut down before
     /// `wait` is called — shutdown drains, it does not cancel.
     pub fn submit_batch_async(&self, inputs: impl Into<Arc<[Vec<f64>]>>) -> PendingBatch {
+        self.submit_batch_async_traced(inputs, 0)
+    }
+
+    /// [`MonitorEngine::submit_batch_async`] carrying a request trace id
+    /// (see [`MonitorEngine::submit_traced`]).
+    pub fn submit_batch_async_traced(
+        &self,
+        inputs: impl Into<Arc<[Vec<f64>]>>,
+        trace_id: u64,
+    ) -> PendingBatch {
         let inputs: Arc<[Vec<f64>]> = inputs.into();
         let n = inputs.len();
         let (reply, rx) = mpsc::channel();
@@ -262,6 +339,7 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
                 rx,
             };
         }
+        let trace = TraceCtx::for_id(trace_id);
         let chunk = self.chunk_len(n);
         let mut jobs = 0usize;
         let mut start = 0usize;
@@ -271,6 +349,7 @@ impl<M: Monitor + Send + Sync + 'static> MonitorEngine<M> {
                 inputs: Arc::clone(&inputs),
                 range: start..end,
                 reply: reply.clone(),
+                trace,
             };
             // A dead shard bounces the send; offer the chunk to every
             // shard once, probing from a single round-robin snapshot so
@@ -533,15 +612,26 @@ fn run_shard<M: Monitor>(
                 inputs,
                 range,
                 reply,
+                trace,
             } => {
                 depth.fetch_sub(1, Ordering::Relaxed);
+                let started = queue_wait_span(trace, id);
                 let start = range.start;
+                let len = range.len() as u64;
                 let result = serve_chunk(net, monitor, &inputs[range], &mut scratch, &mut report);
+                verdict_span(trace, started, len);
                 let _ = reply.send(BatchReply { start, result });
             }
-            Job::Single { input, reply } => {
+            Job::Single {
+                input,
+                reply,
+                trace,
+            } => {
                 depth.fetch_sub(1, Ordering::Relaxed);
-                let _ = reply.send(serve_one(net, monitor, &input, &mut scratch, &mut report));
+                let started = queue_wait_span(trace, id);
+                let result = serve_one(net, monitor, &input, &mut scratch, &mut report);
+                verdict_span(trace, started, 1);
+                let _ = reply.send(result);
             }
             Job::Stats { reply } => {
                 // Work enqueued behind this snapshot request is, by queue
@@ -557,6 +647,41 @@ fn run_shard<M: Monitor>(
     report
 }
 
+/// Emits the queue-wait span for a just-dequeued job (detail = shard id)
+/// and returns the pickup timestamp for the matching verdict span. Folds
+/// to nothing when the `obs` feature is off.
+#[inline]
+fn queue_wait_span(trace: TraceCtx, shard: usize) -> u64 {
+    if !trace.active() {
+        return 0;
+    }
+    let now = napmon_obs::now_ns();
+    napmon_obs::record_span(
+        trace.id,
+        napmon_obs::SpanKind::QueueWait,
+        trace.enqueued_ns,
+        now.saturating_sub(trace.enqueued_ns),
+        shard as u64,
+    );
+    now
+}
+
+/// Emits the verdict span covering a serve call that started at
+/// `started_ns` (detail = number of inputs served).
+#[inline]
+fn verdict_span(trace: TraceCtx, started_ns: u64, items: u64) {
+    if !trace.active() {
+        return;
+    }
+    napmon_obs::record_span(
+        trace.id,
+        napmon_obs::SpanKind::Verdict,
+        started_ns,
+        napmon_obs::now_ns().saturating_sub(started_ns),
+        items,
+    );
+}
+
 fn serve_one<M: Monitor>(
     net: &Network,
     monitor: &M,
@@ -567,6 +692,7 @@ fn serve_one<M: Monitor>(
     let started = Instant::now();
     let verdict = monitor.verdict_scratch(net, input, scratch)?;
     report.record(started.elapsed().as_nanos() as f64, verdict.warning);
+    report.record_batch(1);
     Ok(verdict)
 }
 
@@ -582,9 +708,11 @@ fn serve_chunk<M: Monitor>(
     }
     // Whole-chunk batch path: hash-backed pattern monitors answer all
     // memberships through the bit-sliced kernel with the pattern blocks
-    // loaded once per chunk instead of once per input. Per-verdict
-    // latency is amortized batch time — individual timings do not exist
-    // on this path.
+    // loaded once per chunk instead of once per input. Individual timings
+    // do not exist on this path, so each verdict records its amortized
+    // share (`batch time / batch size`), and the chunk size itself goes
+    // into the batch-size histogram so the amortization is visible next
+    // to the latency it produced.
     let started = Instant::now();
     let mut verdicts = Vec::with_capacity(inputs.len());
     if monitor
@@ -606,6 +734,7 @@ fn serve_chunk<M: Monitor>(
     for verdict in &verdicts {
         report.record(per_verdict_ns, verdict.warning);
     }
+    report.record_batch(inputs.len());
     Ok(verdicts)
 }
 

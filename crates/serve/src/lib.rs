@@ -16,11 +16,15 @@
 //! [`MonitorEngine::submit_batch`] call is split into per-shard chunks so
 //! channel traffic is O(shards), not O(requests).
 //!
-//! Each shard keeps online metrics (request count, warning rate, latency
-//! min/mean/max via [`napmon_eval::OnlineStats`]); [`MonitorEngine::report`]
+//! Each shard keeps online metrics (request count, warning rate, per-item
+//! latency and micro-batch size histograms via
+//! [`napmon_obs::HistogramSnapshot`]); [`MonitorEngine::report`]
 //! aggregates them into a [`ServeReport`] without pausing the stream, and
 //! [`MonitorEngine::shutdown`] closes the channels, drains every queued
-//! job, and returns the final report.
+//! job, and returns the final report. With the `obs` feature enabled the
+//! `*_traced` submission entry points additionally emit queue-wait and
+//! verdict spans into `napmon-obs`'s per-thread trace rings under the
+//! caller's request trace id.
 //!
 //! # Example
 //!

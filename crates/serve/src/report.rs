@@ -1,7 +1,16 @@
 //! Online serving metrics: per-shard accumulators and the engine-wide
 //! aggregate.
+//!
+//! Latency is tracked as a log2-bucketed [`HistogramSnapshot`] (exact
+//! count/sum/min/max plus p50/p90/p99/p999 brackets), not just moments:
+//! the paper's operation-time monitoring story needs tail visibility, and
+//! a min/mean/max triple hides exactly the percentiles that regress
+//! first. Batched submissions additionally record their micro-batch sizes
+//! in a second histogram, so per-item latency percentiles can be read
+//! against the batching that produced them.
 
-use napmon_eval::{OnlineRate, OnlineStats};
+use napmon_eval::OnlineRate;
+use napmon_obs::HistogramSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Metrics one worker shard accumulates over its lifetime.
@@ -14,9 +23,13 @@ pub struct ShardReport {
     pub shard: usize,
     /// Warning rate over every request this shard served.
     pub warnings: OnlineRate,
-    /// Per-request latency in nanoseconds (forward pass + abstraction +
-    /// membership, measured inside the shard).
-    pub latency_ns: OnlineStats,
+    /// Per-request latency histogram in nanoseconds (forward pass +
+    /// abstraction + membership, measured inside the shard). Batched
+    /// requests record `batch time / batch size` per item.
+    pub latency_ns: HistogramSnapshot,
+    /// Sizes of the micro-batches this shard served (singles count as
+    /// size 1) — the denominator behind the per-item latency samples.
+    pub batch_sizes: HistogramSnapshot,
     /// Jobs sitting in the shard's queue at snapshot time (work enqueued
     /// but not yet picked up). Zero in the final report of a graceful
     /// shutdown — the drain guarantee, asserted in the e2e tests.
@@ -29,7 +42,8 @@ impl ShardReport {
         Self {
             shard,
             warnings: OnlineRate::new(),
-            latency_ns: OnlineStats::new(),
+            latency_ns: HistogramSnapshot::new(),
+            batch_sizes: HistogramSnapshot::new(),
             queue_depth: 0,
         }
     }
@@ -37,7 +51,12 @@ impl ShardReport {
     /// Absorbs one served request.
     pub fn record(&mut self, latency_ns: f64, warned: bool) {
         self.warnings.record(warned);
-        self.latency_ns.record(latency_ns);
+        self.latency_ns.record_ns(latency_ns);
+    }
+
+    /// Absorbs one served micro-batch of `size` items.
+    pub fn record_batch(&mut self, size: usize) {
+        self.batch_sizes.record(size as u64);
     }
 
     /// Number of requests this shard served.
@@ -57,9 +76,11 @@ pub struct ServeReport {
     pub warnings: u64,
     /// Fraction of requests that warned (`0.0` while idle).
     pub warn_rate: f64,
-    /// Cross-shard latency distribution (merged without replaying the
-    /// stream — see [`OnlineStats::merge`]).
-    pub latency_ns: OnlineStats,
+    /// Cross-shard per-item latency histogram (bucket-wise merge of the
+    /// shard histograms — associative, order-independent).
+    pub latency_ns: HistogramSnapshot,
+    /// Cross-shard micro-batch size histogram.
+    pub batch_sizes: HistogramSnapshot,
     /// Jobs queued across all shards at snapshot time (backlog gauge for
     /// ops; zero after a graceful shutdown).
     pub queue_depth: u64,
@@ -87,11 +108,13 @@ impl ServeReport {
     pub fn aggregate(mut shards: Vec<ShardReport>) -> Self {
         shards.sort_by_key(|r| r.shard);
         let mut warnings = OnlineRate::new();
-        let mut latency = OnlineStats::new();
+        let mut latency = HistogramSnapshot::new();
+        let mut batch_sizes = HistogramSnapshot::new();
         let mut queue_depth = 0u64;
         for shard in &shards {
             warnings.merge(&shard.warnings);
             latency.merge(&shard.latency_ns);
+            batch_sizes.merge(&shard.batch_sizes);
             queue_depth += shard.queue_depth;
         }
         Self {
@@ -100,6 +123,7 @@ impl ServeReport {
             warnings: warnings.hits(),
             warn_rate: warnings.rate(),
             latency_ns: latency,
+            batch_sizes,
             queue_depth,
         }
     }
@@ -111,22 +135,26 @@ impl std::fmt::Display for ServeReport {
         writeln!(
             f,
             "serve report: {} requests, warn rate {:.4}, latency mean {:.0}ns \
-             (min {:.0}, max {:.0}), {} queued",
+             (min {:.0}, p50 {:.0}, p99 {:.0}, max {:.0}), {} queued",
             self.requests,
             self.warn_rate,
             self.latency_ns.mean(),
             self.latency_ns.min(),
+            self.latency_ns.p50(),
+            self.latency_ns.p99(),
             self.latency_ns.max(),
             self.queue_depth,
         )?;
         for s in &self.shards {
             writeln!(
                 f,
-                "  shard {}: {} requests, warn rate {:.4}, latency mean {:.0}ns, {} queued",
+                "  shard {}: {} requests, warn rate {:.4}, latency mean {:.0}ns \
+                 (p99 {:.0}), {} queued",
                 s.shard,
                 s.requests(),
                 s.warnings.rate(),
                 s.latency_ns.mean(),
+                s.latency_ns.p99(),
                 s.queue_depth,
             )?;
         }
@@ -173,16 +201,18 @@ mod tests {
         assert!(text.contains("1 requests"), "{text}");
         assert!(text.contains("shard 0"), "{text}");
         assert!(text.contains("shard 1"), "{text}");
+        assert!(text.contains("p99"), "{text}");
     }
 
     /// Ops scrape reports as JSON: the whole report (shards, rates,
-    /// latency stats, queue depths) must survive a serde round trip
+    /// latency histograms, queue depths) must survive a serde round trip
     /// bit-identically.
     #[test]
     fn report_serializes_to_json() {
         let mut s = ShardReport::empty(0);
         s.record(10.0, false);
         s.record(25.0, true);
+        s.record_batch(2);
         s.queue_depth = 3;
         let report = ServeReport::aggregate(vec![s, ShardReport::empty(1)]);
         let json = serde_json::to_string(&report).unwrap();
@@ -190,6 +220,7 @@ mod tests {
             "\"warn_rate\"",
             "\"queue_depth\"",
             "\"latency_ns\"",
+            "\"batch_sizes\"",
             "\"shards\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
@@ -198,6 +229,7 @@ mod tests {
         assert_eq!(back, report);
         assert_eq!(back.queue_depth, 3);
         assert_eq!(back.shards[0].queue_depth, 3);
+        assert_eq!(back.batch_sizes.count(), 1);
     }
 
     #[test]
@@ -234,5 +266,24 @@ mod tests {
         let report = ServeReport::aggregate(vec![a, b]);
         assert_eq!(report.queue_depth, 7);
         assert!(report.to_string().contains("7 queued"), "{report}");
+    }
+
+    /// The latency histogram is a real distribution, not moments: after
+    /// skewed traffic the p99 bracket must sit far above the median.
+    #[test]
+    fn latency_percentiles_see_the_tail() {
+        let mut s = ShardReport::empty(0);
+        for _ in 0..99 {
+            s.record(100.0, false);
+        }
+        s.record(1_000_000.0, false);
+        let report = ServeReport::aggregate(vec![s]);
+        let (p50_lo, p50_hi) = report.latency_ns.quantile_bounds(0.5).unwrap();
+        assert!(p50_lo <= 100 && 100 <= p50_hi);
+        let (p999_lo, p999_hi) = report.latency_ns.quantile_bounds(0.999).unwrap();
+        assert!(
+            p999_lo <= 1_000_000 && 1_000_000 <= p999_hi,
+            "tail sample missing from p99.9 bracket [{p999_lo}, {p999_hi}]"
+        );
     }
 }

@@ -45,6 +45,16 @@
 //! [`StoreProvider`] maps composed monitors onto a `member-NNNN/`
 //! directory layout under one root.
 //!
+//! # Observability
+//!
+//! With the `obs` feature on, the store publishes `store.*` metrics into
+//! the process-wide [`napmon_obs::global`] registry — append/seal/compact
+//! latency histograms, fresh/duplicate counters, and Bloom-filter
+//! hit/miss/false-positive counters — and emits seal/compact trace spans
+//! when tracing is enabled (see the `obs` module). Without the feature no
+//! probe code is compiled at all, so the hot membership path carries zero
+//! instrumentation cost.
+//!
 //! ```
 //! use napmon_bdd::BitWord;
 //! use napmon_store::{PatternStore, StoreConfig};
@@ -71,6 +81,8 @@ mod checksum;
 pub mod error;
 mod faults;
 pub mod manifest;
+#[cfg(feature = "obs")]
+mod obs;
 pub mod segment;
 mod store;
 mod tail;

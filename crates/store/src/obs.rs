@@ -1,0 +1,69 @@
+//! Store-side observability probes (compiled only with the `obs` feature).
+//!
+//! All metrics land in the process-wide [`napmon_obs::global`] registry
+//! under the `store.` namespace, so a wire server's metrics scrape picks
+//! them up without any plumbing through the store API:
+//!
+//! | metric                      | type      | meaning                               |
+//! |-----------------------------|-----------|---------------------------------------|
+//! | `store.append_ns`           | histogram | per-word append latency               |
+//! | `store.seal_ns`             | histogram | tail → sorted-segment seal latency    |
+//! | `store.compact_ns`          | histogram | full-store compaction latency         |
+//! | `store.appended`            | counter   | fresh words accepted                  |
+//! | `store.deduplicated`        | counter   | appends skipped as duplicates         |
+//! | `store.bloom.hits`          | counter   | segment Bloom probes answering maybe  |
+//! | `store.bloom.misses`        | counter   | segment Bloom probes pruning a search |
+//! | `store.bloom.false_positives` | counter | maybes the binary search then refuted |
+//!
+//! Seal and compaction additionally emit [`SpanKind::StoreSeal`] /
+//! [`SpanKind::StoreCompact`] trace spans (and batched appends a
+//! [`SpanKind::StoreAppend`] span) when tracing is on. Store operations
+//! run below the wire layer's request plumbing, so the spans carry trace
+//! id 0 — the "background work" id — unless a traced request reaches
+//! them some other way.
+//!
+//! [`SpanKind::StoreSeal`]: napmon_obs::SpanKind::StoreSeal
+//! [`SpanKind::StoreCompact`]: napmon_obs::SpanKind::StoreCompact
+//! [`SpanKind::StoreAppend`]: napmon_obs::SpanKind::StoreAppend
+
+use napmon_obs::{Counter, LatencyHistogram, SpanKind};
+use std::sync::{Arc, OnceLock};
+
+/// Handles into the global registry, resolved once per process so the
+/// hot paths never take the registry lock.
+pub(crate) struct StoreMetrics {
+    pub(crate) append_ns: Arc<LatencyHistogram>,
+    pub(crate) seal_ns: Arc<LatencyHistogram>,
+    pub(crate) compact_ns: Arc<LatencyHistogram>,
+    pub(crate) appended: Counter,
+    pub(crate) deduplicated: Counter,
+    pub(crate) bloom_hits: Counter,
+    pub(crate) bloom_misses: Counter,
+    pub(crate) bloom_false_positives: Counter,
+}
+
+pub(crate) fn metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = napmon_obs::global();
+        StoreMetrics {
+            append_ns: registry.histogram("store.append_ns"),
+            seal_ns: registry.histogram("store.seal_ns"),
+            compact_ns: registry.histogram("store.compact_ns"),
+            appended: registry.counter("store.appended"),
+            deduplicated: registry.counter("store.deduplicated"),
+            bloom_hits: registry.counter("store.bloom.hits"),
+            bloom_misses: registry.counter("store.bloom.misses"),
+            bloom_false_positives: registry.counter("store.bloom.false_positives"),
+        }
+    })
+}
+
+/// Emits a store-maintenance span under trace id 0 when tracing is on.
+#[inline]
+pub(crate) fn maintenance_span(kind: SpanKind, start_ns: u64, detail: u64) {
+    if napmon_obs::tracing_enabled() {
+        let now = napmon_obs::now_ns();
+        napmon_obs::record_span(0, kind, start_ns, now.saturating_sub(start_ns), detail);
+    }
+}

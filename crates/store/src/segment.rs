@@ -118,8 +118,12 @@ impl Segment {
     #[inline]
     pub(crate) fn contains(&self, limbs: &[u64]) -> bool {
         if !self.bloom.might_contain(limbs) {
+            #[cfg(feature = "obs")]
+            crate::obs::metrics().bloom_misses.inc();
             return false;
         }
+        #[cfg(feature = "obs")]
+        crate::obs::metrics().bloom_hits.inc();
         let (mut lo, mut hi) = (0usize, self.count);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
@@ -129,6 +133,8 @@ impl Segment {
                 std::cmp::Ordering::Equal => return true,
             }
         }
+        #[cfg(feature = "obs")]
+        crate::obs::metrics().bloom_false_positives.inc();
         false
     }
 

@@ -368,8 +368,12 @@ impl PatternStore {
                 self.config.word_bits
             )));
         }
+        #[cfg(feature = "obs")]
+        let started = std::time::Instant::now();
         if self.contains(word) {
             self.deduplicated += 1;
+            #[cfg(feature = "obs")]
+            crate::obs::metrics().deduplicated.inc();
             return Ok(false);
         }
         self.tail.append(word.limbs())?;
@@ -379,6 +383,14 @@ impl PatternStore {
         self.appended += 1;
         if self.tail_index.len() >= self.config.segment_capacity {
             self.seal()?;
+        }
+        #[cfg(feature = "obs")]
+        {
+            let metrics = crate::obs::metrics();
+            metrics.appended.inc();
+            metrics
+                .append_ns
+                .record(started.elapsed().as_nanos() as u64);
         }
         Ok(true)
     }
@@ -393,6 +405,8 @@ impl PatternStore {
         &mut self,
         words: impl IntoIterator<Item = &'a BitWord>,
     ) -> Result<u64, StoreError> {
+        #[cfg(feature = "obs")]
+        let started_ns = napmon_obs::now_ns();
         let mut fresh = 0u64;
         for word in words {
             if self.append(word)? {
@@ -400,6 +414,8 @@ impl PatternStore {
             }
         }
         self.commit()?;
+        #[cfg(feature = "obs")]
+        crate::obs::maintenance_span(napmon_obs::SpanKind::StoreAppend, started_ns, fresh);
         Ok(fresh)
     }
 
@@ -423,6 +439,12 @@ impl PatternStore {
         if self.tail_index.is_empty() {
             return Ok(());
         }
+        #[cfg(feature = "obs")]
+        let (started, started_ns, sealed_words) = (
+            std::time::Instant::now(),
+            napmon_obs::now_ns(),
+            self.tail_index.len() as u64,
+        );
         let sorted = sort_dedup_words(&self.tail_words, self.limbs);
         let id = self.next_segment_id;
         let file = segment_file_name(id);
@@ -454,6 +476,13 @@ impl PatternStore {
         self.tail_words.clear();
         self.tail_index.clear();
         self.tail_slices = BitSliceSet::with_bits(self.config.word_bits);
+        #[cfg(feature = "obs")]
+        {
+            crate::obs::metrics()
+                .seal_ns
+                .record(started.elapsed().as_nanos() as u64);
+            crate::obs::maintenance_span(napmon_obs::SpanKind::StoreSeal, started_ns, sealed_words);
+        }
         Ok(())
     }
 
@@ -468,6 +497,9 @@ impl PatternStore {
         if self.is_empty() {
             return Ok(());
         }
+        #[cfg(feature = "obs")]
+        let (started, started_ns, live_words) =
+            (std::time::Instant::now(), napmon_obs::now_ns(), self.len());
         let mut all: Vec<u64> = Vec::with_capacity((self.len() as usize) * self.limbs);
         for segment in &self.segments {
             all.extend_from_slice(&segment.words);
@@ -507,6 +539,17 @@ impl PatternStore {
         self.tail_slices = BitSliceSet::with_bits(self.config.word_bits);
         for file in old {
             let _ = std::fs::remove_file(self.dir.join(file));
+        }
+        #[cfg(feature = "obs")]
+        {
+            crate::obs::metrics()
+                .compact_ns
+                .record(started.elapsed().as_nanos() as u64);
+            crate::obs::maintenance_span(
+                napmon_obs::SpanKind::StoreCompact,
+                started_ns,
+                live_words,
+            );
         }
         Ok(())
     }

@@ -50,6 +50,7 @@ use crate::codec::{Request, Response, StatsSnapshot};
 use crate::frame::{Frame, TenantRoute, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
 use crate::WireError;
 use napmon_core::Verdict;
+use napmon_obs::ObsReport;
 use napmon_registry::{ShadowReport, TenantInfo};
 use napmon_serve::ServeReport;
 use std::io::{Read, Write};
@@ -244,6 +245,11 @@ pub struct WireClient {
     jitter: u64,
     /// Sticky tenant route stamped on every outgoing frame when set.
     route: Option<TenantRoute>,
+    /// Sticky trace id stamped on every outgoing frame when set.
+    trace_id: Option<u64>,
+    /// Trace id echoed on the most recent response — the server-minted id
+    /// when the request went out untraced against a tracing server.
+    last_trace_id: Option<u64>,
 }
 
 impl WireClient {
@@ -275,6 +281,8 @@ impl WireClient {
                         config,
                         jitter,
                         route: None,
+                        trace_id: None,
+                        last_trace_id: None,
                     });
                 }
                 Err(e) => last = Some(e),
@@ -315,12 +323,39 @@ impl WireClient {
         self.route.as_ref()
     }
 
+    /// Sets (or clears) the sticky request trace id; every subsequent
+    /// frame carries it as a `FLAG_TRACED` header extension. A tracing
+    /// server threads the id through its internal spans, so one client-
+    /// chosen id stitches the whole request path together. Id `0` means
+    /// "untraced" server-side, so prefer nonzero ids (e.g. from
+    /// [`napmon_obs::mint_trace_id`]).
+    pub fn set_trace_id(&mut self, trace_id: Option<u64>) {
+        self.trace_id = trace_id;
+    }
+
+    /// Builder form of [`WireClient::set_trace_id`].
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = Some(trace_id);
+        self
+    }
+
+    /// The trace id echoed on the most recent response: the sticky id if
+    /// one was sent, or the server-minted id when the server traced an
+    /// untraced request on its own. `None` when the last response carried
+    /// no trace id (tracing disabled server-side).
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.last_trace_id
+    }
+
     fn send(&mut self, request: Request) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;
         let mut frame = request.into_frame(id)?;
         if let Some(route) = &self.route {
             frame = frame.routed(route.clone());
+        }
+        if let Some(trace_id) = self.trace_id {
+            frame = frame.traced(trace_id);
         }
         self.stream
             .write_all(&frame.encode()?)
@@ -341,7 +376,9 @@ impl WireClient {
                 got: parsed.request_id,
             });
         }
-        Response::decode(&Frame::assemble(parsed, payload)?)
+        let frame = Frame::assemble(parsed, payload)?;
+        self.last_trace_id = frame.trace_id;
+        Response::decode(&frame)
     }
 
     fn call(&mut self, request: Request) -> Result<Response, WireError> {
@@ -489,6 +526,23 @@ impl WireClient {
         self.with_retry(true, |client| match client.call(Request::Stats)? {
             Response::Stats(snapshot) => Ok(*snapshot),
             other => Err(unexpected("stats report", &other)),
+        })
+    }
+
+    /// Scrapes the server's observability surface: the full metrics
+    /// snapshot (counters, gauges, latency histograms) with a rendered
+    /// Prometheus-style text exposition, the slow-request log, and recent
+    /// trace spans. Control-plane: the server answers even under
+    /// backpressure, so this never comes back `Busy`. Idempotent; retried
+    /// under the policy.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn metrics(&mut self) -> Result<ObsReport, WireError> {
+        self.with_retry(true, |client| match client.call(Request::Metrics)? {
+            Response::Metrics(report) => Ok(*report),
+            other => Err(unexpected("metrics report", &other)),
         })
     }
 

@@ -14,6 +14,7 @@ use crate::error::{ErrorCode, WireError};
 use crate::frame::{Frame, Opcode};
 use napmon_core::wirefmt;
 use napmon_core::Verdict;
+use napmon_obs::ObsReport;
 use napmon_registry::{ShadowReport, TenantInfo};
 use napmon_serve::ServeReport;
 
@@ -51,6 +52,9 @@ pub enum Request {
     ListTenants,
     /// Snapshot the routed tenant's live shadow diff.
     ShadowStats,
+    /// Scrape the server's observability report (metrics registry, text
+    /// exposition, slow-request log, recent trace spans).
+    Metrics,
 }
 
 impl Request {
@@ -67,6 +71,7 @@ impl Request {
             Request::Promote => Opcode::Promote,
             Request::ListTenants => Opcode::ListTenants,
             Request::ShadowStats => Opcode::ShadowStats,
+            Request::Metrics => Opcode::Metrics,
         }
     }
 
@@ -106,11 +111,13 @@ impl Request {
             | Request::Unmount
             | Request::Promote
             | Request::ListTenants
-            | Request::ShadowStats => {}
+            | Request::ShadowStats
+            | Request::Metrics => {}
         }
         Ok(Frame {
             opcode: self.opcode(),
             request_id,
+            trace_id: None,
             route: None,
             payload,
         })
@@ -156,6 +163,7 @@ impl Request {
             Opcode::Promote => Request::Promote,
             Opcode::ListTenants => Request::ListTenants,
             Opcode::ShadowStats => Request::ShadowStats,
+            Opcode::Metrics => Request::Metrics,
             other => return Err(WireError::UnknownOpcode(other as u8)),
         };
         if !bytes.is_empty() {
@@ -193,6 +201,8 @@ pub enum Response {
     TenantList(Vec<TenantInfo>),
     /// A live shadow diff snapshot ([`Request::ShadowStats`]).
     ShadowReport(Box<ShadowReport>),
+    /// The observability report ([`Request::Metrics`]).
+    Metrics(Box<ObsReport>),
     /// The in-flight budget is exhausted; the request was not served.
     Busy {
         /// Requests in flight when the server refused.
@@ -289,6 +299,7 @@ impl Response {
             Response::Promoted(_) => Opcode::Promoted,
             Response::TenantList(_) => Opcode::TenantList,
             Response::ShadowReport(_) => Opcode::ShadowReport,
+            Response::Metrics(_) => Opcode::MetricsReport,
             Response::Busy { .. } => Opcode::Busy,
             Response::Error { .. } => Opcode::Error,
         }
@@ -329,6 +340,9 @@ impl Response {
             Response::ShadowReport(report) => {
                 payload = encode_json("shadow report", &*report)?;
             }
+            Response::Metrics(report) => {
+                payload = encode_json("metrics report", &*report)?;
+            }
             Response::Busy { in_flight, budget } => {
                 wirefmt::put_u32(&mut payload, in_flight);
                 wirefmt::put_u32(&mut payload, budget);
@@ -349,6 +363,7 @@ impl Response {
         Ok(Frame {
             opcode,
             request_id,
+            trace_id: None,
             route: None,
             payload,
         })
@@ -397,6 +412,11 @@ impl Response {
                 let report = decode_json("shadow report", bytes)?;
                 bytes = &[];
                 Response::ShadowReport(Box::new(report))
+            }
+            Opcode::MetricsReport => {
+                let report = decode_json("metrics report", bytes)?;
+                bytes = &[];
+                Response::Metrics(Box::new(report))
             }
             Opcode::Busy => Response::Busy {
                 in_flight: wirefmt::get_u32(&mut bytes)?,
@@ -528,6 +548,7 @@ mod tests {
         round_trip_request(Request::Promote);
         round_trip_request(Request::ListTenants);
         round_trip_request(Request::ShadowStats);
+        round_trip_request(Request::Metrics);
     }
 
     #[test]
@@ -584,6 +605,20 @@ mod tests {
             mean_active_ns: 1000.0,
             mean_shadow_ns: 1200.0,
             latency_delta_ns: 200.0,
+            latency_delta_p50_ns: 150.0,
+            latency_delta_p90_ns: 250.0,
+            latency_delta_p99_ns: 400.0,
+            latency_delta_p999_ns: 900.0,
+            active_latency_ns: {
+                let mut h = napmon_obs::HistogramSnapshot::new();
+                h.record(1000);
+                h
+            },
+            shadow_latency_ns: {
+                let mut h = napmon_obs::HistogramSnapshot::new();
+                h.record(1200);
+                h
+            },
         };
         round_trip_response(Response::Promoted(Box::new(shadow.clone())));
         round_trip_response(Response::ShadowReport(Box::new(shadow)));
@@ -594,6 +629,14 @@ mod tests {
             queue_depth: 5,
         }]));
         round_trip_response(Response::TenantList(Vec::new()));
+        let registry = napmon_obs::MetricsRegistry::new();
+        registry.counter("wire.requests.query").add(7);
+        registry.histogram("serve.latency_ns").record(1234);
+        let slow = napmon_obs::SlowLog::new(4, 10);
+        slow.observe(99, "Query", 25_000);
+        round_trip_response(Response::Metrics(Box::new(ObsReport::capture(
+            &registry, &slow,
+        ))));
     }
 
     #[test]

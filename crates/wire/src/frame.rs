@@ -7,13 +7,17 @@
 //!      0    4 magic            b"NAPW"
 //!      4    2 protocol version u16 LE (this build: [`WIRE_PROTOCOL_VERSION`])
 //!      6    1 opcode           [`Opcode`]
-//!      7    1 flags            bit 0: frame carries a tenant route
+//!      7    1 flags            bit 0: frame carries a tenant route,
+//!                              bit 1: frame carries a trace id
 //!      8    8 request id       u64 LE; responses echo the request's id
-//!     16    4 payload length   u32 LE (includes the route block, if any)
-//!     20    r tenant route     only when flag bit 0 is set: u8 id length,
+//!     16    4 payload length   u32 LE (includes the trace id and route
+//!                              blocks, if any)
+//!     20    t trace id         only when flag bit 1 is set: u64 LE
+//!                              request trace id; responses echo it
+//!   20+t    r tenant route     only when flag bit 0 is set: u8 id length,
 //!                              the id bytes (UTF-8, [`valid_tenant_id`]),
 //!                              u32 LE version (0 = the active version)
-//!   20+r    n payload          opcode-specific (see `codec`)
+//! 20+t+r    n payload          opcode-specific (see `codec`)
 //! ```
 //!
 //! The header is fixed-size and self-describing, so a reader always knows
@@ -64,6 +68,15 @@ pub const HEADER_LEN: usize = 20;
 /// Header flag bit 0: the payload region starts with a tenant route.
 pub const FLAG_ROUTED: u8 = 0x01;
 
+/// Header flag bit 1: the payload region starts with an 8-byte request
+/// trace id (before the tenant route, if both flags are set). Requests
+/// carry the id to correlate server-side spans; responses echo it.
+pub const FLAG_TRACED: u8 = 0x02;
+
+/// Every header flag bit this build understands; anything else in the
+/// flags byte is refused as [`WireError::Malformed`].
+pub const KNOWN_FLAGS: u8 = FLAG_ROUTED | FLAG_TRACED;
+
 /// Default cap on a frame's declared payload length (32 MiB): large enough
 /// for a several-thousand-input batch, small enough that a forged length
 /// cannot balloon server memory.
@@ -97,6 +110,9 @@ pub enum Opcode {
     ListTenants = 0x09,
     /// Request: snapshot the routed tenant's live shadow diff.
     ShadowStats = 0x0A,
+    /// Request: scrape the server's observability surface (metrics
+    /// registry, text exposition, slow-request log, recent trace spans).
+    Metrics = 0x0B,
     /// Response to [`Opcode::Query`]: one encoded verdict.
     Verdict = 0x81,
     /// Response to [`Opcode::QueryBatch`]: an encoded verdict batch.
@@ -125,6 +141,9 @@ pub enum Opcode {
     /// Response to [`Opcode::ShadowStats`]: a live JSON
     /// [`ShadowReport`](napmon_registry::ShadowReport).
     ShadowReport = 0x8A,
+    /// Response to [`Opcode::Metrics`]: a JSON
+    /// [`ObsReport`](napmon_obs::ObsReport).
+    MetricsReport = 0x8B,
     /// Response: the in-flight budget is exhausted; retry later.
     Busy = 0x90,
     /// Response: the request failed; payload carries code + message.
@@ -149,6 +168,7 @@ impl Opcode {
             0x08 => Opcode::Promote,
             0x09 => Opcode::ListTenants,
             0x0A => Opcode::ShadowStats,
+            0x0B => Opcode::Metrics,
             0x81 => Opcode::Verdict,
             0x82 => Opcode::Verdicts,
             0x83 => Opcode::Absorbed,
@@ -159,10 +179,42 @@ impl Opcode {
             0x88 => Opcode::Promoted,
             0x89 => Opcode::TenantList,
             0x8A => Opcode::ShadowReport,
+            0x8B => Opcode::MetricsReport,
             0x90 => Opcode::Busy,
             0xFF => Opcode::Error,
             other => return Err(WireError::UnknownOpcode(other)),
         })
+    }
+
+    /// The opcode's stable wire-facing name, used in metric keys
+    /// (`wire.requests.<name>`) and slow-request log rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Query => "Query",
+            Opcode::QueryBatch => "QueryBatch",
+            Opcode::Absorb => "Absorb",
+            Opcode::Stats => "Stats",
+            Opcode::Shutdown => "Shutdown",
+            Opcode::Mount => "Mount",
+            Opcode::Unmount => "Unmount",
+            Opcode::Promote => "Promote",
+            Opcode::ListTenants => "ListTenants",
+            Opcode::ShadowStats => "ShadowStats",
+            Opcode::Metrics => "Metrics",
+            Opcode::Verdict => "Verdict",
+            Opcode::Verdicts => "Verdicts",
+            Opcode::Absorbed => "Absorbed",
+            Opcode::StatsReport => "StatsReport",
+            Opcode::ShuttingDown => "ShuttingDown",
+            Opcode::Mounted => "Mounted",
+            Opcode::Unmounted => "Unmounted",
+            Opcode::Promoted => "Promoted",
+            Opcode::TenantList => "TenantList",
+            Opcode::ShadowReport => "ShadowReport",
+            Opcode::MetricsReport => "MetricsReport",
+            Opcode::Busy => "Busy",
+            Opcode::Error => "Error",
+        }
     }
 
     /// Whether this opcode is a request (client → server).
@@ -179,6 +231,7 @@ impl Opcode {
                 | Opcode::Promote
                 | Opcode::ListTenants
                 | Opcode::ShadowStats
+                | Opcode::Metrics
         )
     }
 }
@@ -296,18 +349,24 @@ pub struct Frame {
     pub opcode: Opcode,
     /// Correlates responses with requests across pipelining.
     pub request_id: u64,
+    /// The request trace id this frame carries, when traced. A request's
+    /// id correlates the server-side spans it produces; a response echoes
+    /// the request's id back.
+    pub trace_id: Option<u64>,
     /// The tenant this frame addresses, when registry-routed.
     pub route: Option<TenantRoute>,
-    /// Opcode-specific payload bytes (see `codec`), route excluded.
+    /// Opcode-specific payload bytes (see `codec`), trace id and route
+    /// excluded.
     pub payload: Vec<u8>,
 }
 
 impl Frame {
-    /// A frame with no payload and no route.
+    /// A frame with no payload, no trace id, and no route.
     pub fn empty(opcode: Opcode, request_id: u64) -> Self {
         Self {
             opcode,
             request_id,
+            trace_id: None,
             route: None,
             payload: Vec::new(),
         }
@@ -316,6 +375,13 @@ impl Frame {
     /// This frame with a tenant route attached.
     pub fn routed(mut self, route: TenantRoute) -> Self {
         self.route = Some(route);
+        self
+    }
+
+    /// This frame carrying `trace_id` (`None` leaves the frame untraced —
+    /// the pass-through lets callers thread an `Option` straight in).
+    pub fn traced(mut self, trace_id: impl Into<Option<u64>>) -> Self {
+        self.trace_id = trace_id.into();
         self
     }
 
@@ -329,15 +395,26 @@ impl Frame {
     /// wrapped, emitting a frame whose declared length disagreed with its
     /// bytes; a peer would misparse the remainder of the stream.
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let trace_len = if self.trace_id.is_some() { 8 } else { 0 };
         let route_len = self.route.as_ref().map_or(0, TenantRoute::encoded_len);
-        let declared = declared_payload_len(route_len + self.payload.len())?;
-        let mut out = Vec::with_capacity(HEADER_LEN + route_len + self.payload.len());
+        let declared = declared_payload_len(trace_len + route_len + self.payload.len())?;
+        let mut out = Vec::with_capacity(HEADER_LEN + trace_len + route_len + self.payload.len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&WIRE_PROTOCOL_VERSION.to_le_bytes());
         out.push(self.opcode as u8);
-        out.push(if self.route.is_some() { FLAG_ROUTED } else { 0 });
+        let mut flags = 0u8;
+        if self.route.is_some() {
+            flags |= FLAG_ROUTED;
+        }
+        if self.trace_id.is_some() {
+            flags |= FLAG_TRACED;
+        }
+        out.push(flags);
         out.extend_from_slice(&self.request_id.to_le_bytes());
         out.extend_from_slice(&declared.to_le_bytes());
+        if let Some(trace_id) = self.trace_id {
+            out.extend_from_slice(&trace_id.to_le_bytes());
+        }
         if let Some(route) = &self.route {
             route.encode_into(&mut out)?;
         }
@@ -373,14 +450,28 @@ impl Frame {
     }
 
     /// Builds a frame from a validated header and the payload region it
-    /// declared, splitting the tenant route off the front when the header
-    /// says one is there. This is the seam streaming readers (which read
-    /// header and payload separately) share with [`Frame::decode`].
+    /// declared, splitting the trace id and the tenant route off the front
+    /// when the header says they are there. This is the seam streaming
+    /// readers (which read header and payload separately) share with
+    /// [`Frame::decode`].
     ///
     /// # Errors
     ///
-    /// [`WireError::Malformed`] when the declared route does not parse.
+    /// [`WireError::Malformed`] when the declared trace id or route does
+    /// not parse.
     pub fn assemble(header: FrameHeader, mut payload: Vec<u8>) -> Result<Self, WireError> {
+        let trace_id = if header.traced {
+            let Some(chunk) = payload.first_chunk::<8>() else {
+                return Err(WireError::Malformed(
+                    "traced frame too short for 8-byte trace id".into(),
+                ));
+            };
+            let id = u64::from_le_bytes(*chunk);
+            payload.drain(..8);
+            Some(id)
+        } else {
+            None
+        };
         let route = if header.routed {
             let (route, consumed) = TenantRoute::decode_from(&payload)?;
             payload.drain(..consumed);
@@ -391,6 +482,7 @@ impl Frame {
         Ok(Self {
             opcode: header.opcode,
             request_id: header.request_id,
+            trace_id,
             route,
             payload,
         })
@@ -420,10 +512,10 @@ impl Frame {
         }
         let opcode = Opcode::from_wire(header[6])?;
         let flags = header[7];
-        if flags & !FLAG_ROUTED != 0 {
+        if flags & !KNOWN_FLAGS != 0 {
             return Err(WireError::Malformed(format!(
-                "unknown header flag bits {:#04x} (known: {FLAG_ROUTED:#04x})",
-                flags & !FLAG_ROUTED
+                "unknown header flag bits {:#04x} (known: {KNOWN_FLAGS:#04x})",
+                flags & !KNOWN_FLAGS
             )));
         }
         let request_id = u64::from_le_bytes(header[8..16].try_into().expect("fixed slice"));
@@ -438,6 +530,7 @@ impl Frame {
             opcode,
             request_id,
             routed: flags & FLAG_ROUTED != 0,
+            traced: flags & FLAG_TRACED != 0,
             payload_len,
         })
     }
@@ -461,10 +554,13 @@ pub struct FrameHeader {
     pub opcode: Opcode,
     /// Correlation id.
     pub request_id: u64,
-    /// Whether the payload region starts with a tenant route.
+    /// Whether the payload region starts with a tenant route (after the
+    /// trace id, when both are present).
     pub routed: bool,
-    /// Declared payload length (route included), already checked against
-    /// the cap.
+    /// Whether the payload region starts with an 8-byte trace id.
+    pub traced: bool,
+    /// Declared payload length (trace id and route included), already
+    /// checked against the cap.
     pub payload_len: u32,
 }
 
@@ -477,6 +573,7 @@ mod tests {
         let frame = Frame {
             opcode: Opcode::QueryBatch,
             request_id: 0xDEAD_BEEF_0042,
+            trace_id: None,
             route: None,
             payload: vec![1, 2, 3, 4, 5],
         };
@@ -492,6 +589,7 @@ mod tests {
         let frame = Frame {
             opcode: Opcode::Query,
             request_id: 7,
+            trace_id: None,
             route: Some(TenantRoute::pinned("resnet50.v2", 3)),
             payload: vec![9, 8, 7],
         };
@@ -550,10 +648,68 @@ mod tests {
     }
 
     #[test]
+    fn traced_round_trip_preserves_trace_id_route_and_payload() {
+        let frame = Frame {
+            opcode: Opcode::Query,
+            request_id: 11,
+            trace_id: Some(0xFEED_FACE_CAFE_0001),
+            route: Some(TenantRoute::active("model-a")),
+            payload: vec![4, 5, 6],
+        };
+        let bytes = frame.encode().unwrap();
+        assert_eq!(bytes[7], FLAG_ROUTED | FLAG_TRACED);
+        // Declared length covers trace id + route block + payload.
+        let declared = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        assert_eq!(declared as usize, 8 + (1 + "model-a".len() + 4) + 3);
+        // The trace id rides first in the payload region, little-endian.
+        assert_eq!(
+            u64::from_le_bytes(bytes[HEADER_LEN..HEADER_LEN + 8].try_into().unwrap()),
+            0xFEED_FACE_CAFE_0001
+        );
+        let (back, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(consumed, bytes.len());
+
+        // Traced without a route: only the trace block precedes the payload.
+        let lone = Frame::empty(Opcode::Stats, 12).traced(7u64);
+        let bytes = lone.encode().unwrap();
+        assert_eq!(bytes[7], FLAG_TRACED);
+        let (back, _) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back.trace_id, Some(7));
+        assert!(back.payload.is_empty());
+
+        // `traced(None)` leaves the frame untraced.
+        assert_eq!(
+            Frame::empty(Opcode::Stats, 13)
+                .traced(None)
+                .encode()
+                .unwrap(),
+            Frame::empty(Opcode::Stats, 13).encode().unwrap()
+        );
+    }
+
+    #[test]
+    fn traced_frame_truncated_mid_trace_id_is_malformed() {
+        let good = Frame::empty(Opcode::Stats, 1)
+            .traced(99u64)
+            .encode()
+            .unwrap();
+        // Shrink the payload region to 4 bytes: the frame stays complete
+        // (declared length agrees), but the trace id is cut in half.
+        let mut bad = good[..HEADER_LEN + 4].to_vec();
+        bad[16..20].copy_from_slice(&4u32.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn every_truncation_is_typed() {
         let bytes = Frame {
             opcode: Opcode::Query,
             request_id: 9,
+            trace_id: None,
             route: None,
             payload: vec![7; 16],
         }
@@ -605,7 +761,7 @@ mod tests {
         ));
 
         let mut bad = good.clone();
-        bad[7] = 0x02; // unknown flag bit
+        bad[7] = 0x04; // unknown flag bit
         assert!(matches!(
             Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
             Err(WireError::Malformed(_))
@@ -613,6 +769,13 @@ mod tests {
 
         let mut bad = good.clone();
         bad[7] = FLAG_ROUTED; // routed flag with no route bytes
+        assert!(matches!(
+            Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Malformed(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[7] = FLAG_TRACED; // traced flag with no trace id bytes
         assert!(matches!(
             Frame::decode(&bad, DEFAULT_MAX_PAYLOAD),
             Err(WireError::Malformed(_))

@@ -84,7 +84,7 @@ pub use codec::{
 pub use error::{ErrorCode, WireError};
 pub use frame::{
     valid_tenant_id, Frame, FrameHeader, Opcode, TenantRoute, ACTIVE_VERSION, DEFAULT_MAX_PAYLOAD,
-    FLAG_ROUTED, HEADER_LEN, LEGACY_WIRE_PROTOCOL_VERSION, MAGIC, SUPPORTED_WIRE_PROTOCOL_VERSIONS,
-    TENANT_ID_MAX_BYTES, WIRE_PROTOCOL_VERSION,
+    FLAG_ROUTED, FLAG_TRACED, HEADER_LEN, KNOWN_FLAGS, LEGACY_WIRE_PROTOCOL_VERSION, MAGIC,
+    SUPPORTED_WIRE_PROTOCOL_VERSIONS, TENANT_ID_MAX_BYTES, WIRE_PROTOCOL_VERSION,
 };
-pub use server::{WireConfig, WireServer};
+pub use server::{WireConfig, WireServer, SLOW_LOG_CAPACITY};

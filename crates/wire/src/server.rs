@@ -51,15 +51,16 @@
 
 use crate::codec::{DegradedStats, Request, Response, StatsSnapshot};
 use crate::error::{registry_error_code, serve_error_code, ErrorCode, WireError};
-use crate::frame::{Frame, TenantRoute, ACTIVE_VERSION, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use crate::frame::{Frame, Opcode, TenantRoute, ACTIVE_VERSION, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
 use napmon_artifact::{ArtifactError, MonitorArtifact};
 use napmon_core::ComposedMonitor;
+use napmon_obs::{Counter, LatencyHistogram, MetricsRegistry, ObsReport, SlowLog, SpanKind};
 use napmon_registry::{MonitorRegistry, RegistryError, RegistryReport};
 use napmon_serve::{EngineConfig, MonitorEngine, ServeReport};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -102,6 +103,13 @@ pub struct WireConfig {
     /// saturation, so already-admitted work keeps its latency. Zero
     /// disables watermark shedding.
     pub queue_watermark: usize,
+    /// Requests taking longer than this end-to-end (frame read through
+    /// response write) are recorded in the slow-request log scraped by
+    /// the `Metrics` opcode. Timings come from the `obs` probe clock
+    /// (which reads 0 without the `obs` feature), so the log only
+    /// populates with the feature compiled in; untraced requests log
+    /// under trace id 0. `Duration::MAX` disables the log.
+    pub slow_request_threshold: Duration,
 }
 
 impl Default for WireConfig {
@@ -115,9 +123,13 @@ impl Default for WireConfig {
             idle_timeout: Duration::from_secs(60),
             frame_deadline: Duration::from_secs(10),
             queue_watermark: 4096,
+            slow_request_threshold: Duration::from_millis(100),
         }
     }
 }
+
+/// Entries the slow-request log retains (last-N, drop-oldest).
+pub const SLOW_LOG_CAPACITY: usize = 64;
 
 impl WireConfig {
     fn normalized(self) -> Self {
@@ -134,26 +146,118 @@ impl WireConfig {
     }
 }
 
-/// The [`DegradedStats`] ledger as live atomics.
-#[derive(Default)]
+/// The [`DegradedStats`] ledger, registered in the server's metrics
+/// registry under `wire.degraded.*` — one shared set of counters backs
+/// both the exact per-server `Stats` snapshot and the `Metrics` scrape.
 struct DegradedCounters {
-    busy_budget: AtomicU64,
-    shed_watermark: AtomicU64,
-    refused_connections: AtomicU64,
-    evicted_idle: AtomicU64,
-    evicted_stalled: AtomicU64,
-    unknown_tenant: AtomicU64,
+    busy_budget: Counter,
+    shed_watermark: Counter,
+    refused_connections: Counter,
+    evicted_idle: Counter,
+    evicted_stalled: Counter,
+    unknown_tenant: Counter,
 }
 
 impl DegradedCounters {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            busy_budget: registry.counter("wire.degraded.busy_budget"),
+            shed_watermark: registry.counter("wire.degraded.shed_watermark"),
+            refused_connections: registry.counter("wire.degraded.refused_connections"),
+            evicted_idle: registry.counter("wire.degraded.evicted_idle"),
+            evicted_stalled: registry.counter("wire.degraded.evicted_stalled"),
+            unknown_tenant: registry.counter("wire.degraded.unknown_tenant"),
+        }
+    }
+
     fn snapshot(&self) -> DegradedStats {
         DegradedStats {
-            busy_budget: self.busy_budget.load(Ordering::Relaxed),
-            shed_watermark: self.shed_watermark.load(Ordering::Relaxed),
-            refused_connections: self.refused_connections.load(Ordering::Relaxed),
-            evicted_idle: self.evicted_idle.load(Ordering::Relaxed),
-            evicted_stalled: self.evicted_stalled.load(Ordering::Relaxed),
-            unknown_tenant: self.unknown_tenant.load(Ordering::Relaxed),
+            busy_budget: self.busy_budget.get(),
+            shed_watermark: self.shed_watermark.get(),
+            refused_connections: self.refused_connections.get(),
+            evicted_idle: self.evicted_idle.get(),
+            evicted_stalled: self.evicted_stalled.get(),
+            unknown_tenant: self.unknown_tenant.get(),
+        }
+    }
+}
+
+/// Per-request-opcode counters (`wire.requests.*`), resolved once at
+/// construction so the hot path never touches the registry's lock.
+struct OpcodeCounters {
+    query: Counter,
+    query_batch: Counter,
+    absorb: Counter,
+    stats: Counter,
+    shutdown: Counter,
+    mount: Counter,
+    unmount: Counter,
+    promote: Counter,
+    list_tenants: Counter,
+    shadow_stats: Counter,
+    metrics: Counter,
+}
+
+impl OpcodeCounters {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let named = |op: Opcode| registry.counter(&format!("wire.requests.{}", op.name()));
+        Self {
+            query: named(Opcode::Query),
+            query_batch: named(Opcode::QueryBatch),
+            absorb: named(Opcode::Absorb),
+            stats: named(Opcode::Stats),
+            shutdown: named(Opcode::Shutdown),
+            mount: named(Opcode::Mount),
+            unmount: named(Opcode::Unmount),
+            promote: named(Opcode::Promote),
+            list_tenants: named(Opcode::ListTenants),
+            shadow_stats: named(Opcode::ShadowStats),
+            metrics: named(Opcode::Metrics),
+        }
+    }
+
+    /// The counter for a request opcode; `None` for response opcodes
+    /// (which never arrive at a server as requests worth counting).
+    fn get(&self, opcode: Opcode) -> Option<&Counter> {
+        Some(match opcode {
+            Opcode::Query => &self.query,
+            Opcode::QueryBatch => &self.query_batch,
+            Opcode::Absorb => &self.absorb,
+            Opcode::Stats => &self.stats,
+            Opcode::Shutdown => &self.shutdown,
+            Opcode::Mount => &self.mount,
+            Opcode::Unmount => &self.unmount,
+            Opcode::Promote => &self.promote,
+            Opcode::ListTenants => &self.list_tenants,
+            Opcode::ShadowStats => &self.shadow_stats,
+            Opcode::Metrics => &self.metrics,
+            _ => return None,
+        })
+    }
+}
+
+/// The server's observability surface: its own metrics registry (merged
+/// with the process-global one at scrape time), the slow-request log, and
+/// the pre-resolved hot-path handles.
+struct ServerObs {
+    registry: MetricsRegistry,
+    slow: SlowLog,
+    ops: OpcodeCounters,
+    /// End-to-end wire latency per request (frame read through response
+    /// write), in nanoseconds; zero-valued when the `obs` clock is off.
+    request_ns: Arc<LatencyHistogram>,
+}
+
+impl ServerObs {
+    fn new(config: &WireConfig) -> Self {
+        let registry = MetricsRegistry::new();
+        let threshold_ns =
+            u64::try_from(config.slow_request_threshold.as_nanos()).unwrap_or(u64::MAX);
+        Self {
+            slow: SlowLog::new(SLOW_LOG_CAPACITY, threshold_ns),
+            ops: OpcodeCounters::new(&registry),
+            request_ns: registry.histogram("wire.request_ns"),
+            registry,
         }
     }
 }
@@ -185,6 +289,7 @@ struct Shared {
     shutting_down: AtomicBool,
     in_flight: AtomicUsize,
     degraded: DegradedCounters,
+    obs: ServerObs,
 }
 
 impl Shared {
@@ -206,7 +311,7 @@ impl Shared {
         let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
         if prev >= budget {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
-            self.degraded.busy_budget.fetch_add(1, Ordering::Relaxed);
+            self.degraded.busy_budget.inc();
             return Err((prev as u32, budget as u32));
         }
         Ok(InFlightGuard { shared: self })
@@ -214,7 +319,7 @@ impl Shared {
 
     /// Counts a routing miss and builds its typed error response.
     fn unknown_tenant_response(&self, message: String) -> Response {
-        self.degraded.unknown_tenant.fetch_add(1, Ordering::Relaxed);
+        self.degraded.unknown_tenant.inc();
         Response::Error {
             code: ErrorCode::UnknownTenant,
             message,
@@ -293,12 +398,15 @@ impl WireServer {
         // The accept loop polls, so the shutdown flag can stop it without
         // a wake-up connection.
         listener.set_nonblocking(true)?;
+        let config = config.normalized();
+        let obs = ServerObs::new(&config);
         let shared = Arc::new(Shared {
             backend,
-            config: config.normalized(),
+            config,
             shutting_down: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
-            degraded: DegradedCounters::default(),
+            degraded: DegradedCounters::new(&obs.registry),
+            obs,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -478,10 +586,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<JoinHandle<(
                     if let Ok(bytes) = refusal.into_frame(0).and_then(|f| f.encode()) {
                         let _ = stream.write_all(&bytes);
                     }
-                    shared
-                        .degraded
-                        .refused_connections
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.degraded.refused_connections.inc();
                     continue;
                 }
                 let conn_shared = Arc::clone(shared);
@@ -590,6 +695,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
         };
         let request_id = parsed.request_id;
+        // The decode span starts once the header is in hand; its id is
+        // only known after the payload region is assembled, so the span
+        // is emitted then. `now_ns` is 0 with the obs feature off, and
+        // every probe below folds away with it.
+        let decode_started = napmon_obs::now_ns();
         let payload = match read_payload(&mut stream, shared, parsed.payload_len as usize) {
             Ok(payload) => payload,
             Err(evict @ (ReadError::EvictIdle | ReadError::EvictStalled)) => {
@@ -602,8 +712,30 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         // frame — the stream stays aligned — so the error is a typed
         // response and the connection lives on, exactly like a payload
         // that fails `Request::decode`.
+        let mut echo_trace = None;
+        let request_opcode = parsed.opcode;
         let (response, initiated_shutdown) = match Frame::assemble(parsed, payload) {
-            Ok(frame) => serve_frame(&frame, shared),
+            Ok(frame) => {
+                // The request's trace id: carried by the client, or minted
+                // here when tracing is armed and the frame came untraced —
+                // the wire server is where ids are born.
+                let trace_id = match frame.trace_id {
+                    Some(id) => id,
+                    None if napmon_obs::tracing_enabled() => napmon_obs::mint_trace_id(),
+                    None => 0,
+                };
+                echo_trace = (trace_id != 0).then_some(trace_id);
+                if trace_id != 0 && napmon_obs::tracing_enabled() {
+                    napmon_obs::record_span(
+                        trace_id,
+                        SpanKind::WireDecode,
+                        decode_started,
+                        napmon_obs::now_ns().saturating_sub(decode_started),
+                        frame.opcode as u8 as u64,
+                    );
+                }
+                serve_frame(&frame, shared, trace_id)
+            }
             Err(e) => (
                 Response::Error {
                     code: e.as_code(),
@@ -612,7 +744,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 false,
             ),
         };
-        match response.into_frame(request_id).and_then(|f| f.encode()) {
+        let respond_started = napmon_obs::now_ns();
+        let response_opcode = response.opcode();
+        match response
+            .into_frame(request_id)
+            .map(|f| f.traced(echo_trace))
+            .and_then(|f| f.encode())
+        {
             Ok(reply) => {
                 if let Err(e) = stream.write_all(&reply) {
                     // A write deadline means the peer stopped draining —
@@ -620,13 +758,30 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                     // Otherwise it is a disconnected client: the work is
                     // done (the engine served it); only the reply is lost.
                     if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut {
-                        shared
-                            .degraded
-                            .evicted_stalled
-                            .fetch_add(1, Ordering::Relaxed);
+                        shared.degraded.evicted_stalled.inc();
                     }
                     return;
                 }
+                let finished = napmon_obs::now_ns();
+                let total_ns = finished.saturating_sub(decode_started);
+                shared.obs.request_ns.record(total_ns);
+                if let Some(trace_id) = echo_trace {
+                    if napmon_obs::tracing_enabled() {
+                        napmon_obs::record_span(
+                            trace_id,
+                            SpanKind::WireRespond,
+                            respond_started,
+                            finished.saturating_sub(respond_started),
+                            response_opcode as u8 as u64,
+                        );
+                    }
+                }
+                // Untraced requests log under trace id 0 — the slow log
+                // works with tracing off, it just cannot name the trace.
+                shared
+                    .obs
+                    .slow
+                    .observe(echo_trace.unwrap_or(0), request_opcode.name(), total_ns);
             }
             Err(_) => return,
         }
@@ -638,8 +793,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 /// Serves one decoded frame; the bool reports whether it asked for
-/// shutdown.
-fn serve_frame(frame: &Frame, shared: &Arc<Shared>) -> (Response, bool) {
+/// shutdown. `trace_id` (0 = untraced) flows into the engine's traced
+/// submission paths so shard-side spans join the request's chain.
+fn serve_frame(frame: &Frame, shared: &Arc<Shared>, trace_id: u64) -> (Response, bool) {
     let request = match Request::decode(frame) {
         Ok(request) => request,
         Err(e) => {
@@ -652,8 +808,13 @@ fn serve_frame(frame: &Frame, shared: &Arc<Shared>) -> (Response, bool) {
             )
         }
     };
+    if let Some(counter) = shared.obs.ops.get(frame.opcode) {
+        counter.inc();
+    }
     match &shared.backend {
-        Backend::Single(engine) => serve_single(engine, frame.route.as_ref(), request, shared),
+        Backend::Single(engine) => {
+            serve_single(engine, frame.route.as_ref(), request, shared, trace_id)
+        }
         Backend::Registry(registry) => {
             serve_registry(registry, frame.route.as_ref(), request, shared)
         }
@@ -669,6 +830,7 @@ fn serve_single(
     route: Option<&TenantRoute>,
     request: Request,
     shared: &Arc<Shared>,
+    trace_id: u64,
 ) -> (Response, bool) {
     if let Some(route) = route {
         return (
@@ -682,13 +844,13 @@ fn serve_single(
     match request {
         Request::Query(input) => with_admission(shared, || {
             engine
-                .submit(input)
+                .submit_traced(input, trace_id)
                 .map(Response::Verdict)
                 .unwrap_or_else(|e| serve_error_response(&e))
         }),
         Request::QueryBatch(inputs) => with_admission(shared, || {
             engine
-                .submit_batch(inputs)
+                .submit_batch_traced(inputs, trace_id)
                 .map(Response::Verdicts)
                 .unwrap_or_else(|e| serve_error_response(&e))
         }),
@@ -703,6 +865,7 @@ fn serve_single(
             false,
         ),
         Request::Shutdown => (Response::ShuttingDown, true),
+        Request::Metrics => (metrics_response(shared), false),
         Request::Mount { .. }
         | Request::Unmount
         | Request::Promote
@@ -869,6 +1032,7 @@ fn serve_registry(
                 false,
             )
         }
+        Request::Metrics => (metrics_response(shared), false),
         Request::ListTenants => (Response::TenantList(registry.list()), false),
         Request::ShadowStats => {
             let route = match require_route("shadow-stats") {
@@ -884,6 +1048,17 @@ fn serve_registry(
             )
         }
     }
+}
+
+/// Builds the `Metrics` scrape: the server's registry merged with the
+/// process-global one, the text exposition, the slow-request log, and
+/// the recent trace spans. Control plane, not data plane — it bypasses
+/// the admission ladder so observability answers while the server sheds.
+fn metrics_response(shared: &Shared) -> Response {
+    Response::Metrics(Box::new(ObsReport::capture(
+        &shared.obs.registry,
+        &shared.obs.slow,
+    )))
 }
 
 /// Builds a `Stats` response around the given engine-side report.
@@ -910,10 +1085,7 @@ fn with_admission(shared: &Arc<Shared>, work: impl FnOnce() -> Response) -> (Res
     if watermark > 0 {
         let backlog = shared.backend.backlog();
         if backlog > watermark {
-            shared
-                .degraded
-                .shed_watermark
-                .fetch_add(1, Ordering::Relaxed);
+            shared.degraded.shed_watermark.inc();
             return (
                 Response::Busy {
                     in_flight: backlog.min(u32::MAX as usize) as u32,
@@ -941,10 +1113,7 @@ fn serve_error_response(e: &napmon_serve::ServeError) -> Response {
 fn registry_error_response(shared: &Shared, e: &RegistryError) -> Response {
     let code = registry_error_code(e);
     if code == ErrorCode::UnknownTenant {
-        shared
-            .degraded
-            .unknown_tenant
-            .fetch_add(1, Ordering::Relaxed);
+        shared.degraded.unknown_tenant.inc();
     }
     Response::Error {
         code,
@@ -967,7 +1136,7 @@ fn evict_connection(stream: &mut TcpStream, shared: &Arc<Shared>, why: &ReadErro
         ),
         ReadError::Wire(_) => return, // not an eviction
     };
-    counter.fetch_add(1, Ordering::Relaxed);
+    counter.inc();
     let response = Response::Error {
         code: crate::ErrorCode::Evicted,
         message: message.to_string(),

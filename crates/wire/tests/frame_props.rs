@@ -20,7 +20,7 @@ const SMALL_MAX_PAYLOAD: u32 = 1 << 16;
 
 /// Every opcode, for building valid-header frames around arbitrary
 /// payloads.
-const OPCODES: [Opcode; 22] = [
+const OPCODES: [Opcode; 24] = [
     Opcode::Query,
     Opcode::QueryBatch,
     Opcode::Absorb,
@@ -31,6 +31,7 @@ const OPCODES: [Opcode; 22] = [
     Opcode::Promote,
     Opcode::ListTenants,
     Opcode::ShadowStats,
+    Opcode::Metrics,
     Opcode::Verdict,
     Opcode::Verdicts,
     Opcode::Absorbed,
@@ -41,6 +42,7 @@ const OPCODES: [Opcode; 22] = [
     Opcode::Promoted,
     Opcode::TenantList,
     Opcode::ShadowReport,
+    Opcode::MetricsReport,
     Opcode::Busy,
     Opcode::Error,
 ];
@@ -71,8 +73,12 @@ fn check_frame_decode(bytes: &[u8], max_payload: u32) {
     match Frame::decode(bytes, max_payload) {
         Ok((frame, consumed)) => {
             assert!(consumed <= bytes.len());
+            let trace_len = if frame.trace_id.is_some() { 8 } else { 0 };
             let route_len = frame.route.as_ref().map_or(0, TenantRoute::encoded_len);
-            assert_eq!(consumed, HEADER_LEN + route_len + frame.payload.len());
+            assert_eq!(
+                consumed,
+                HEADER_LEN + trace_len + route_len + frame.payload.len()
+            );
             // A decoded frame re-encodes to exactly the bytes consumed.
             assert_eq!(frame.encode().unwrap(), bytes[..consumed]);
             // The payload decoders are total too, whatever the opcode.
@@ -106,13 +112,15 @@ proptest! {
     /// header decodes clean, so the payload decoders see every input.
     #[test]
     fn valid_frames_with_arbitrary_payloads_never_panic(
-        opcode_index in 0usize..22,
+        opcode_index in 0usize..24,
         request_id in 0u64..u64::MAX,
+        trace_id in proptest::option::of(0u64..u64::MAX),
         payload in collection::vec(0u8..=255, 0..80),
     ) {
         let frame = Frame {
             opcode: OPCODES[opcode_index],
             request_id,
+            trace_id,
             route: None,
             payload,
         };
@@ -152,6 +160,7 @@ proptest! {
         let mut frame = Frame {
             opcode: Opcode::Verdicts,
             request_id: 1,
+            trace_id: None,
             route: None,
             payload,
         };
@@ -165,8 +174,9 @@ proptest! {
     /// stay total over arbitrary payload bytes behind a route.
     #[test]
     fn routed_frames_round_trip_and_decoders_stay_total(
-        opcode_index in 0usize..22,
+        opcode_index in 0usize..24,
         request_id in 0u64..u64::MAX,
+        trace_id in proptest::option::of(0u64..u64::MAX),
         id_seed in 0u64..u64::MAX,
         id_len in 1usize..65,
         version in 0u32..u32::MAX,
@@ -179,6 +189,7 @@ proptest! {
         let frame = Frame {
             opcode: OPCODES[opcode_index],
             request_id,
+            trace_id,
             route: Some(route.clone()),
             payload,
         };
@@ -214,6 +225,7 @@ proptest! {
         let frame = Frame {
             opcode: Opcode::Query,
             request_id: 7,
+            trace_id: Some(0x5EED_7ACE_5EED_7ACE),
             route: Some(TenantRoute {
                 model_id: tenant_id_from(id_seed, id_len),
                 version,
@@ -237,7 +249,7 @@ proptest! {
     /// side of a v1↔v2 pairing can report exactly what the other speaks.
     #[test]
     fn cross_version_frames_fail_typed(
-        opcode_index in 0usize..22,
+        opcode_index in 0usize..24,
         request_id in 0u64..u64::MAX,
         version in 0u16..u16::MAX,
         payload in collection::vec(0u8..=255, 0..32),
@@ -245,6 +257,7 @@ proptest! {
         let frame = Frame {
             opcode: OPCODES[opcode_index],
             request_id,
+            trace_id: None,
             route: None,
             payload,
         };

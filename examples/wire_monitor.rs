@@ -9,12 +9,19 @@
 //!    `MonitorEngine::submit_batch` on the same build;
 //! 4. novel traffic is *absorbed over the wire*: the store grows, every
 //!    shard (and every client) sees the enlarged abstraction immediately;
-//! 5. a client asks for graceful shutdown; the server drains (final queue
+//! 5. the operations client stamps a trace id on its traffic and scrapes
+//!    the server's metrics over the same protocol — counters, text
+//!    exposition, slow-request log, and (with `--features obs`) the
+//!    recorded span chains;
+//! 6. a client asks for graceful shutdown; the server drains (final queue
 //!    depth: zero) and reports;
-//! 6. a warm restart boots a second server straight from the store
+//! 7. a warm restart boots a second server straight from the store
 //!    segments on disk — the absorbed patterns survived.
 //!
-//! Run with `cargo run --release --example wire_monitor`.
+//! Run with `cargo run --release --example wire_monitor`, or with
+//! `--features obs` to arm the hot-path probes. Set `NAPMON_OBS_OUT=dir`
+//! to write the scraped exposition and slow-request log to files (CI
+//! uploads these as build artifacts).
 
 use napmon::artifact::MonitorArtifact;
 use napmon::core::{Monitor, MonitorKind, MonitorSpec, PatternBackend, ThresholdPolicy};
@@ -38,6 +45,10 @@ fn resilient_client(addr: std::net::SocketAddr) -> Result<WireClient, napmon::wi
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Arm request tracing for the whole run. Without `--features obs` this
+    // is a no-op shim and every probe below compiles to nothing; the
+    // metrics scrape itself still works (counters are always live).
+    napmon::obs::set_tracing(true);
     let dir = std::env::temp_dir().join(format!("napmon_wire_example_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let store_root = dir.join("patterns");
@@ -90,7 +101,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &artifact_path,
         "127.0.0.1:0",
         EngineConfig::with_shards(2),
-        WireConfig::default(),
+        WireConfig {
+            // Loopback requests finish in microseconds; a 10us threshold
+            // makes the slow-request log observably populate (with the
+            // probes compiled out, timings read zero and nothing is slow).
+            slow_request_threshold: std::time::Duration::from_micros(10),
+            ..WireConfig::default()
+        },
     )?;
     let addr = server.local_addr();
     println!("serving  wire protocol v{WIRE_PROTOCOL_VERSION} on {addr} (2 shards)");
@@ -120,7 +137,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Absorb over the wire -------------------------------------------
-    let mut operator = resilient_client(addr)?;
+    // The operator stamps a trace id on everything it sends; the server
+    // echoes it back on every response, and — with the probes armed —
+    // records the request's span chain under that id.
+    const OPERATOR_TRACE: u64 = 0x0B5E_4E0A_B1E0_0050;
+    let mut operator = resilient_client(addr)?.with_trace_id(OPERATOR_TRACE);
     let novel: Vec<Vec<f64>> = (0..48)
         .map(|_| rng.uniform_vec(INPUT_DIM, -2.5, 2.5))
         .collect();
@@ -150,6 +171,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.degraded.shed_watermark,
         stats.degraded.evicted_total()
     );
+
+    // ---- Observability scrape, over the same protocol -------------------
+    assert_eq!(
+        operator.last_trace_id(),
+        Some(OPERATOR_TRACE),
+        "the server must echo the operator's trace id"
+    );
+    let obs = operator.metrics()?;
+    let operator_spans = obs
+        .spans
+        .iter()
+        .filter(|s| s.trace_id == OPERATOR_TRACE)
+        .count();
+    println!(
+        "scraped  obs report v{}: {} counters, {} spans under the operator's \
+         trace id, {} slow requests (probes {})",
+        obs.schema_version,
+        obs.metrics.counters.len(),
+        operator_spans,
+        obs.slow_requests.len(),
+        if cfg!(feature = "obs") { "on" } else { "off" }
+    );
+    if let Some(out) = std::env::var_os("NAPMON_OBS_OUT") {
+        let out = std::path::PathBuf::from(out);
+        std::fs::create_dir_all(&out)?;
+        std::fs::write(out.join("metrics.prom"), &obs.exposition)?;
+        std::fs::write(
+            out.join("slow_requests.json"),
+            serde_json::to_string_pretty(&obs.slow_requests)?,
+        )?;
+        println!("wrote    {} (exposition + slow-request log)", out.display());
+    }
     operator.shutdown_server()?;
     let report = server.wait();
     assert_eq!(report.queue_depth, 0, "drain left queued work");

@@ -78,6 +78,7 @@ pub use napmon_core as core;
 pub use napmon_data as data;
 pub use napmon_eval as eval;
 pub use napmon_nn as nn;
+pub use napmon_obs as obs;
 pub use napmon_registry as registry;
 pub use napmon_serve as serve;
 pub use napmon_store as store;

@@ -230,6 +230,38 @@ pub mod collection {
     }
 }
 
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+
+    /// Strategy generating `Option`s from an inner strategy, `None` about
+    /// a quarter of the time (as in real proptest's default weighting).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Option<T>` values: mostly `Some` drawn from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.index(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// The commonly imported names.
 pub mod prelude {
     pub use crate::collection;
