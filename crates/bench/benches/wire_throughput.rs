@@ -12,6 +12,11 @@
 //! the measuring machine's `threads`. Set `NAPMON_BENCH_SMOKE=1` for a
 //! seconds-long smoke pass writing the full schema (CI validates and
 //! regression-gates it; latency fields are informational on smoke runs).
+//!
+//! A final pass measures the reactor's scaling claim directly: 1-client
+//! throughput while a herd of idle connections stays attached, plus the
+//! `napmon-wire-*` thread count observed with the herd held — the
+//! evidence that connections are reactor state, not threads.
 
 use napmon_core::{MonitorKind, MonitorSpec};
 use napmon_nn::{Activation, LayerSpec, Network};
@@ -23,6 +28,11 @@ use std::hint::black_box;
 use std::time::Instant;
 
 const CLIENT_COUNTS: [usize; 3] = [1, 2, 4];
+/// Idle connections held during the high-connection pass (the reactor's
+/// e2e contract is ≥1024; smoke runs hold a token herd for schema
+/// coverage without the dial-up time).
+const IDLE_CONNS_FULL: usize = 1024;
+const IDLE_CONNS_SMOKE: usize = 128;
 const TRAIN_SIZE: usize = 256;
 const BATCH_SIZE: usize = 512;
 const INPUT_DIM: usize = 16;
@@ -65,6 +75,22 @@ struct ClientRow {
 }
 
 #[derive(Serialize)]
+struct HighConnRow {
+    /// Idle connections held open for the whole measured window.
+    idle_conns: usize,
+    /// `napmon-wire-*` threads (reactor + worker pool) observed via
+    /// `/proc/self/task` while the herd was attached; 0 where `/proc`
+    /// is unavailable. The reactor contract is that this figure does
+    /// not scale with `idle_conns`.
+    wire_threads: usize,
+    /// 1-client wire qps measured with the herd attached.
+    qps_1client: f64,
+    /// direct_qps over `qps_1client`: the network boundary's cost while
+    /// a thousand idle peers sit on the same reactor.
+    overhead_vs_direct: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     threads: usize,
     train_size: usize,
@@ -80,6 +106,12 @@ struct Report {
     /// costs.
     wire_overhead_1client: f64,
     rows: Vec<ClientRow>,
+    /// The idle-herd pass: throughput and thread count with ~1k
+    /// connections held open.
+    high_connection: HighConnRow,
+    /// `high_connection.overhead_vs_direct`, lifted to the top level so
+    /// the compare gate can ceiling it like `wire_overhead_1client`.
+    high_conn_overhead: f64,
     notes: String,
 }
 
@@ -87,6 +119,79 @@ fn build_engine(net: &Network, train: &[Vec<f64>]) -> MonitorEngine<napmon_core:
     let spec = MonitorSpec::new(2, MonitorKind::pattern());
     let monitor = spec.build(net, train).expect("build monitor");
     MonitorEngine::new(net.clone(), monitor, EngineConfig::with_shards(SHARDS))
+}
+
+/// Threads currently named with the given prefix (`comm` truncates to 15
+/// bytes, so match on prefixes). 0 on platforms without `/proc`.
+fn threads_with_prefix(prefix: &str) -> usize {
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    entries
+        .filter_map(|entry| {
+            let comm = entry.ok()?.path().join("comm");
+            let name = std::fs::read_to_string(comm).ok()?;
+            name.trim().starts_with(prefix).then_some(())
+        })
+        .count()
+}
+
+/// The idle-herd pass: dial ~1k connections, leave them attached, and
+/// measure 1-client throughput plus the wire thread count beside them.
+fn measure_high_connection(
+    net: &Network,
+    train: &[Vec<f64>],
+    probes: &[Vec<f64>],
+    direct_qps: f64,
+) -> HighConnRow {
+    let idle_conns = if smoke() {
+        IDLE_CONNS_SMOKE
+    } else {
+        IDLE_CONNS_FULL
+    };
+    let server = WireServer::builder(build_engine(net, train))
+        .config(
+            WireConfig::default()
+                .with_max_connections(idle_conns + 8)
+                // Idle eviction must not thin the herd mid-measurement.
+                .with_idle_timeout(std::time::Duration::from_secs(300)),
+        )
+        .bind("127.0.0.1:0")
+        .expect("bind server");
+    let addr = server.local_addr();
+
+    let mut herd: Vec<std::net::TcpStream> = Vec::with_capacity(idle_conns);
+    while herd.len() < idle_conns {
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => herd.push(stream),
+            // A full accept backlog refuses the dial; pace and retry.
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+        }
+    }
+    let wire_threads = threads_with_prefix("napmon-wire");
+
+    let mut client = WireClient::connect(addr).expect("connect beside the herd");
+    client.query_batch(probes).expect("warm-up batch");
+    let start = Instant::now();
+    let mut served = 0u64;
+    while start.elapsed().as_secs_f64() < measure_secs() {
+        black_box(client.query_batch(probes).expect("wire batch"));
+        served += probes.len() as u64;
+    }
+    let qps_1client = served as f64 / start.elapsed().as_secs_f64();
+    drop(herd);
+    server.shutdown();
+    let overhead_vs_direct = direct_qps / qps_1client;
+    println!(
+        "{idle_conns} idle conns {qps_1client:>12.0} req/s  \
+         ({overhead_vs_direct:.2}x vs direct, {wire_threads} wire thread(s))"
+    );
+    HighConnRow {
+        idle_conns,
+        wire_threads,
+        qps_1client,
+        overhead_vs_direct,
+    }
 }
 
 fn main() {
@@ -129,12 +234,9 @@ fn main() {
 
     let mut rows: Vec<ClientRow> = Vec::new();
     for &clients in &CLIENT_COUNTS {
-        let server = WireServer::bind(
-            "127.0.0.1:0",
-            build_engine(&net, &train),
-            WireConfig::default(),
-        )
-        .expect("bind server");
+        let server = WireServer::builder(build_engine(&net, &train))
+            .bind("127.0.0.1:0")
+            .expect("bind server");
         let addr = server.local_addr();
         let secs = measure_secs();
 
@@ -199,10 +301,13 @@ fn main() {
         });
     }
 
+    let high_connection = measure_high_connection(&net, &train, &probes, direct_qps);
+
     let threads = std::thread::available_parallelism()
         .map(usize::from)
         .unwrap_or(1);
     let wire_overhead_1client = rows.first().map_or(0.0, |r| direct_qps / r.qps);
+    let high_conn_overhead = high_connection.overhead_vs_direct;
     let report = Report {
         threads,
         train_size: TRAIN_SIZE,
@@ -214,6 +319,8 @@ fn main() {
         direct_qps,
         wire_overhead_1client,
         rows,
+        high_connection,
+        high_conn_overhead,
         notes: "loopback TCP, pipelined batches, in-distribution workload; \
                 client scaling is bounded by the measuring machine's cores \
                 (see the `threads` field)"

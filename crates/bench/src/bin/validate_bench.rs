@@ -349,6 +349,34 @@ fn validate_wire_report() {
         (0.5..50.0).contains(&overhead),
         "{name}: wire_overhead_1client {overhead:.2}x is implausible"
     );
+    // The idle-herd pass: the reactor must have held a real herd, served
+    // a client beside it at a plausible price, and — where /proc exists —
+    // done so on O(1) wire threads (one reactor plus a bounded pool).
+    let high = field(name, &report, "high_connection");
+    positive(name, high, "qps_1client");
+    let idle = positive(name, high, "idle_conns");
+    assert!(
+        idle >= 128.0,
+        "{name}: high_connection held only {idle} conns"
+    );
+    let Value::Number(wire_threads) = field(name, high, "wire_threads") else {
+        panic!("{name}: `wire_threads` is not a number");
+    };
+    let wire_threads = wire_threads.as_f64();
+    assert!(
+        (0.0..=16.0).contains(&wire_threads),
+        "{name}: {wire_threads} wire threads for {idle} idle conns — the reactor scaled with peers"
+    );
+    let high_overhead = positive(name, &report, "high_conn_overhead");
+    assert!(
+        (0.5..50.0).contains(&high_overhead),
+        "{name}: high_conn_overhead {high_overhead:.2}x is implausible"
+    );
+    assert_eq!(
+        high_overhead.to_bits(),
+        positive(name, high, "overhead_vs_direct").to_bits(),
+        "{name}: high_conn_overhead must mirror high_connection.overhead_vs_direct"
+    );
     let Value::Array(rows) = field(name, &report, "rows") else {
         panic!("{name}: `rows` is not an array");
     };
@@ -422,6 +450,11 @@ struct CompareSpec {
 /// graceful-degradation work; shared by schema validation and the
 /// compare-mode tolerance.
 const WIRE_DEGRADED_KEYS: [&str; 3] = ["degraded_busy", "degraded_shed", "degraded_evicted"];
+
+/// Top-level keys `BENCH_wire.json` grew with the reactor rework (the
+/// idle-herd row and its liftable overhead ratio); tolerated one-way
+/// against pre-reactor baselines.
+const WIRE_TOP_TOLERATED: [&str; 2] = ["high_connection", "high_conn_overhead"];
 
 /// Top-level keys `BENCH_query.json` grew with the bit-sliced batch
 /// kernel; tolerated one-way against pre-kernel baselines. Shared by both
@@ -531,10 +564,10 @@ const COMPARE_SPECS: [CompareSpec; 6] = [
         row_throughput: &["qps"],
         row_latency: &["batch_rtt_us"],
         top_ratio_floor: &[],
-        top_ratio_ceiling: &["wire_overhead_1client"],
+        top_ratio_ceiling: &["wire_overhead_1client", "high_conn_overhead"],
         row_ratio_floor: &[],
         row_tolerated_new: &WIRE_DEGRADED_KEYS,
-        top_tolerated_new: &[],
+        top_tolerated_new: &WIRE_TOP_TOLERATED,
     },
 ];
 

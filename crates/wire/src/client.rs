@@ -164,7 +164,11 @@ impl Default for RetryPolicy {
 }
 
 /// Connection-level knobs of a [`WireClient`].
+///
+/// Non-exhaustive: start from [`ClientConfig::default`] and chain the
+/// `with_*` setters.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ClientConfig {
     /// Deadline for establishing the TCP connection (and re-establishing
     /// it on retry).
@@ -195,25 +199,31 @@ impl Default for ClientConfig {
 
 impl ClientConfig {
     /// Overrides the connect deadline.
-    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
         self.connect_timeout = timeout;
         self
     }
 
     /// Overrides the per-read deadline (`None` blocks forever).
-    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.read_timeout = timeout;
         self
     }
 
     /// Overrides the per-write deadline (`None` blocks forever).
-    pub fn write_timeout(mut self, timeout: Option<Duration>) -> Self {
+    pub fn with_write_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.write_timeout = timeout;
         self
     }
 
+    /// Overrides the largest response payload accepted.
+    pub fn with_max_payload(mut self, max_payload: u32) -> Self {
+        self.max_payload = max_payload;
+        self
+    }
+
     /// Installs a retry policy.
-    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
         self
     }

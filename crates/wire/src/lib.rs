@@ -11,13 +11,20 @@
 //! and the registry control plane (`Mount`, `Unmount`, `Promote`,
 //! `ListTenants`, `ShadowStats`) over a
 //! [`MonitorRegistry`](napmon_registry::MonitorRegistry) backend
-//! ([`WireServer::bind_registry`]).
+//! ([`Backend::Registry`]).
+//!
+//! The server's I/O core is an event-driven reactor (see the
+//! [`reactor`]-module topology diagram): one thread owns every
+//! connection on nonblocking sockets, so an idle connection costs a
+//! buffer rather than an OS thread, and a small fixed worker pool
+//! serves the decoded frames. Construction goes through
+//! [`WireServer::builder`], which takes either backend.
 //!
 //! ```text
 //! clients (any host)                      monitoring service
 //! ┌───────────────┐  framed TCP  ┌─────────────────────────────────┐
 //! │ WireClient    │ ───────────► │ WireServer                      │
-//! │  query_batch  │   NAPW v2    │  thread per connection          │
+//! │  query_batch  │   NAPW v2    │  reactor + worker pool          │
 //! │  absorb_batch │ ◄─────────── │  global in-flight budget (Busy) │
 //! │  stats        │  [routed]    │  MonitorEngine: N shards        │
 //! │  mount/promote│              │  — or MonitorRegistry: tenants  │
@@ -59,7 +66,9 @@
 //! let monitor = spec.build(&net, &train)?;
 //!
 //! let engine = MonitorEngine::new(net, monitor, EngineConfig::with_shards(2));
-//! let server = WireServer::bind("127.0.0.1:0", engine, WireConfig::default())?;
+//! let server = WireServer::builder(engine)
+//!     .config(WireConfig::default())
+//!     .bind("127.0.0.1:0")?;
 //!
 //! let mut client = WireClient::connect(server.local_addr())?;
 //! let verdicts = client.query_batch(&train)?;
@@ -75,6 +84,8 @@ pub mod client;
 pub mod codec;
 pub mod error;
 pub mod frame;
+mod poll;
+pub mod reactor;
 pub mod server;
 
 pub use client::{ClientConfig, RetryPolicy, WireClient};
@@ -87,4 +98,4 @@ pub use frame::{
     FLAG_ROUTED, FLAG_TRACED, HEADER_LEN, KNOWN_FLAGS, LEGACY_WIRE_PROTOCOL_VERSION, MAGIC,
     SUPPORTED_WIRE_PROTOCOL_VERSIONS, TENANT_ID_MAX_BYTES, WIRE_PROTOCOL_VERSION,
 };
-pub use server::{WireConfig, WireServer, SLOW_LOG_CAPACITY};
+pub use server::{Backend, WireConfig, WireServer, WireServerBuilder, SLOW_LOG_CAPACITY};

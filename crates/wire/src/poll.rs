@@ -1,0 +1,93 @@
+//! A minimal readiness facility over `poll(2)` — the only platform
+//! surface the wire reactor needs, kept behind one function so the
+//! event loop itself stays pure std.
+//!
+//! On Linux this is a direct FFI shim onto `poll(2)` via
+//! [`std::os::fd::RawFd`] — no crate dependency, per the vendoring
+//! policy. The struct layout (`fd`, `events`, `revents`) and the
+//! `POLLIN`/`POLLOUT` constants are fixed by POSIX, which is what makes
+//! a three-field `#[repr(C)]` shim sound. On other Unixes the fallback
+//! reports every registered interest as ready and sleeps the requested
+//! timeout: the reactor's nonblocking I/O then resolves the speculation
+//! to `WouldBlock`, and its adaptive backoff keeps the loop from
+//! spinning when nothing is happening.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Readable readiness (or an error/hangup condition, which also makes a
+/// read attempt the right next move).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness.
+pub const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+/// One registered descriptor: interest in, readiness out. Layout matches
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether a read attempt should be made now. Error and hangup
+    /// conditions count: the read is how the error becomes observable.
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Whether a write attempt should be made now.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR) != 0
+    }
+}
+
+/// Blocks until at least one registered interest is ready or `timeout`
+/// passes; returns how many descriptors have events. `EINTR` retries
+/// internally.
+#[cfg(target_os = "linux")]
+pub fn wait(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    use std::os::raw::{c_int, c_ulong};
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+    let ms = c_int::try_from(timeout.as_millis())
+        .unwrap_or(c_int::MAX)
+        .max(1);
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout structs for the whole call.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Portable fallback: speculate readiness on everything after sleeping
+/// the caller's (backoff-adapted) timeout.
+#[cfg(not(target_os = "linux"))]
+pub fn wait(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    std::thread::sleep(timeout.max(Duration::from_micros(100)));
+    for fd in fds.iter_mut() {
+        fd.revents = fd.events;
+    }
+    Ok(fds.len())
+}

@@ -1,21 +1,28 @@
 //! The serving side: a TCP listener over a sharded [`MonitorEngine`] or a
 //! multi-tenant [`MonitorRegistry`].
 //!
-//! One OS thread accepts connections; each connection gets its own
-//! handler thread holding a clone of the backend handle (engines and the
-//! registry are `Sync` — shards are shared, not per-connection). Requests
-//! on one connection are served in arrival order, so a pipelining client
-//! reads responses in the order it wrote requests; concurrency comes from
-//! connections, parallelism from the engine's shards.
+//! **One reactor, a fixed worker pool.** A single reactor thread owns
+//! every connection on nonblocking sockets (see the [`crate::reactor`]
+//! module for the event-loop topology): it accepts, runs each peer's
+//! frame-reassembly state machine, and drains each peer's outbound write
+//! queue. Decoded frames are dispatched to a small fixed pool of worker
+//! threads that run the backend — so an idle connection costs a buffer,
+//! not an OS thread, and thread count is O(1) in the connection count.
+//! At most one job per connection is in flight at a time, so requests on
+//! one connection are served in arrival order and a pipelining client
+//! reads responses in the order it wrote requests; concurrency comes
+//! from connections, parallelism from the worker pool and the engine's
+//! shards.
 //!
-//! **Two backends, one wire.** [`WireServer::bind`] serves a single
-//! engine; [`WireServer::bind_registry`] serves a [`MonitorRegistry`] and
+//! **Two backends, one wire, one front door.** [`WireServer::builder`]
+//! takes a typed [`Backend`] — [`Backend::Engine`] serves a single
+//! engine, [`Backend::Registry`] serves a [`MonitorRegistry`] and
 //! dispatches each work frame by its tenant route (see
-//! [`TenantRoute`]). On a registry server a work
-//! frame *must* carry a route — an unrouted one is answered with a typed
-//! `UnknownTenant` error, as is a routed frame on a single-engine server.
-//! Routing misses are accounted in [`DegradedStats::unknown_tenant`].
-//! Registry admin requests (`Mount`, `Unmount`, `Promote`, `ListTenants`,
+//! [`TenantRoute`]). On a registry server a work frame *must* carry a
+//! route — an unrouted one is answered with a typed `UnknownTenant`
+//! error, as is a routed frame on a single-engine server. Routing misses
+//! are accounted in [`DegradedStats::unknown_tenant`]. Registry admin
+//! requests (`Mount`, `Unmount`, `Promote`, `ListTenants`,
 //! `ShadowStats`) are control plane: they bypass the in-flight work
 //! budget so operators can still flip traffic while the data plane is
 //! saturated.
@@ -27,64 +34,72 @@
 //! connection remains usable.
 //!
 //! **Shutdown drains.** A `Shutdown` request (or [`WireServer::shutdown`])
-//! stops the accept loop and lets every connection finish the frames it
-//! has started — in-flight requests are served, responses written — before
-//! the backend itself drains and reports final metrics. On a registry
-//! backend the connection threads are joined *first*, then
-//! [`MonitorRegistry::shutdown`] runs — which also joins the background
-//! drainers of engines retired by earlier hot-swaps, so a shutdown that
-//! lands mid-swap cannot leak the outgoing engine's worker threads.
-//! A client that disconnects mid-request costs nothing: its work completes
-//! in the engine and the unsendable reply is dropped.
+//! stops accepting and lets every connection finish the frames it has
+//! started — in-flight requests are served, responses written, bounded
+//! by [`WireConfig::drain_grace`] — before the backend itself drains and
+//! reports final metrics. On a registry backend the reactor and workers
+//! are joined *first*, then [`MonitorRegistry::shutdown`] runs — which
+//! also joins the background drainers of engines retired by earlier
+//! hot-swaps, so a shutdown that lands mid-swap cannot leak the outgoing
+//! engine's worker threads. A client that disconnects mid-request costs
+//! nothing: its work completes in the engine and the unsendable reply is
+//! dropped.
 //!
 //! **Degradation is graceful and accounted.** Under pressure the server
 //! walks a fixed shedding ladder rather than falling over: connections
-//! over the cap are refused with one `Busy` frame; fully-read requests are
-//! shed with `Busy` when the backend's backlog crosses the queue watermark
-//! or the in-flight budget is exhausted (never mid-frame — a shed request
+//! over the cap are refused at accept time with one `Busy` frame through
+//! the nonblocking write path; fully-read requests are shed with `Busy`
+//! when the backend's backlog crosses the queue watermark or the
+//! in-flight budget is exhausted (never mid-frame — a shed request
 //! leaves the connection framed and usable); and peers that stall — idle
 //! between frames past [`WireConfig::idle_timeout`], or mid-frame past
 //! [`WireConfig::frame_deadline`] (the slow-loris defense) — are evicted
-//! with a typed `Evicted` error frame so their threads come back. Every
-//! one of these decisions increments a counter in
+//! by the reactor's timer wheel with a typed `Evicted` error frame.
+//! Every one of these decisions increments a counter in
 //! [`DegradedStats`], reported by `Stats`.
 
 use crate::codec::{DegradedStats, Request, Response, StatsSnapshot};
 use crate::error::{registry_error_code, serve_error_code, ErrorCode, WireError};
-use crate::frame::{Frame, Opcode, TenantRoute, ACTIVE_VERSION, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use crate::frame::{Frame, Opcode, TenantRoute, ACTIVE_VERSION, DEFAULT_MAX_PAYLOAD};
+use crate::reactor::{Completion, CompletionQueue, Job, JobKind, Reactor};
 use napmon_artifact::{ArtifactError, MonitorArtifact};
 use napmon_core::ComposedMonitor;
 use napmon_obs::{Counter, LatencyHistogram, MetricsRegistry, ObsReport, SlowLog, SpanKind};
 use napmon_registry::{MonitorRegistry, RegistryError, RegistryReport};
 use napmon_serve::{EngineConfig, MonitorEngine, ServeReport};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning for a [`WireServer`].
+///
+/// Non-exhaustive: start from [`WireConfig::default`] and chain the
+/// `with_*` setters, so new reactor knobs land without breaking
+/// downstream construction sites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct WireConfig {
     /// Global budget of requests being served at once (work opcodes:
     /// `Query`, `QueryBatch`, `Absorb`). A request arriving over budget is
     /// answered `Busy`. Zero is treated as one.
     pub max_in_flight: usize,
-    /// Cap on live connections — the bound on the server's dominant
-    /// resource (one OS thread per connection, budget or not). An accept
-    /// over the cap is answered with a `Busy` frame and closed. Zero is
-    /// treated as one.
+    /// Cap on live connections. An accept over the cap is answered with
+    /// a `Busy` frame and closed. Connections are cheap under the
+    /// reactor (a buffer, not a thread), so the cap bounds memory and
+    /// file descriptors rather than threads. Zero is treated as one.
     pub max_connections: usize,
     /// Largest payload a frame may declare; a larger declaration fails
     /// typed before any allocation.
     pub max_payload: u32,
-    /// How often blocked reads and the accept loop re-check the shutdown
-    /// flag. Also the granularity of drain waits.
+    /// Granularity of the owner-side waits ([`WireServer::wait`]) that
+    /// poll the shutdown flag.
     pub poll_interval: Duration,
-    /// How long a mid-frame read may stall during shutdown before the
-    /// connection is abandoned as dead.
+    /// How long a connection may keep serving already-started work after
+    /// a shutdown is observed, before it is closed mid-stream.
     pub drain_grace: Duration,
     /// How long a connection may sit idle *between* frames before it is
     /// evicted (typed `Evicted` error frame, then close). Bounds how long
@@ -92,9 +107,10 @@ pub struct WireConfig {
     pub idle_timeout: Duration,
     /// How long a peer may stall *mid-frame* — header or payload started
     /// but not finished — before eviction. This is the slow-loris defense:
-    /// trickling one byte per deadline no longer holds a thread forever.
-    /// Also the per-write deadline, so a peer that stops draining its
-    /// responses is evicted rather than wedging the handler in `write`.
+    /// trickling one byte per deadline no longer holds a connection slot
+    /// forever. Also the write-stall deadline, so a peer that stops
+    /// draining its responses is evicted rather than growing the write
+    /// queue without bound.
     pub frame_deadline: Duration,
     /// Backend backlog level (in queued micro-batch jobs, the unit of
     /// `MonitorEngine::queue_depth`; summed across tenants on a registry
@@ -110,6 +126,25 @@ pub struct WireConfig {
     /// populates with the feature compiled in; untraced requests log
     /// under trace id 0. `Duration::MAX` disables the log.
     pub slow_request_threshold: Duration,
+    /// The reactor's poll timeout: the latency bound on timer-wheel
+    /// firings and shutdown-flag observation. I/O readiness and worker
+    /// completions interrupt the poll, so this does not quantize request
+    /// latency.
+    pub poll_tick: Duration,
+    /// Per-connection outbound-queue high-water mark, in bytes: while a
+    /// peer has this much unflushed response data, the reactor stops
+    /// reading new frames from it (backpressure instead of unbounded
+    /// buffering).
+    pub write_high_water: usize,
+    /// Cap on accepts processed per reactor tick, bounding how long one
+    /// accept storm can monopolize the loop.
+    pub max_events_per_tick: usize,
+    /// Worker threads serving decoded frames against the backend. Zero
+    /// (the default) sizes the pool from the machine's available
+    /// parallelism, clamped to [2, 8] — at least two, so admission races
+    /// (`Busy` under a small `max_in_flight`) stay observable even on
+    /// one core.
+    pub dispatch_threads: usize,
 }
 
 impl Default for WireConfig {
@@ -124,6 +159,10 @@ impl Default for WireConfig {
             frame_deadline: Duration::from_secs(10),
             queue_watermark: 4096,
             slow_request_threshold: Duration::from_millis(100),
+            poll_tick: Duration::from_millis(5),
+            write_high_water: 1 << 20,
+            max_events_per_tick: 1024,
+            dispatch_threads: 0,
         }
     }
 }
@@ -132,30 +171,123 @@ impl Default for WireConfig {
 pub const SLOW_LOG_CAPACITY: usize = 64;
 
 impl WireConfig {
+    /// Sets the global in-flight work budget.
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Sets the live-connection cap.
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        self.max_connections = max_connections;
+        self
+    }
+
+    /// Sets the largest payload a frame may declare.
+    pub fn with_max_payload(mut self, max_payload: u32) -> Self {
+        self.max_payload = max_payload;
+        self
+    }
+
+    /// Sets the owner-side shutdown-flag poll granularity.
+    pub fn with_poll_interval(mut self, poll_interval: Duration) -> Self {
+        self.poll_interval = poll_interval;
+        self
+    }
+
+    /// Sets the shutdown drain grace.
+    pub fn with_drain_grace(mut self, drain_grace: Duration) -> Self {
+        self.drain_grace = drain_grace;
+        self
+    }
+
+    /// Sets the between-frames idle eviction deadline.
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Sets the mid-frame stall (slow-loris) eviction deadline.
+    pub fn with_frame_deadline(mut self, frame_deadline: Duration) -> Self {
+        self.frame_deadline = frame_deadline;
+        self
+    }
+
+    /// Sets the backend-backlog shed watermark (0 disables).
+    pub fn with_queue_watermark(mut self, queue_watermark: usize) -> Self {
+        self.queue_watermark = queue_watermark;
+        self
+    }
+
+    /// Sets the slow-request log threshold.
+    pub fn with_slow_request_threshold(mut self, slow_request_threshold: Duration) -> Self {
+        self.slow_request_threshold = slow_request_threshold;
+        self
+    }
+
+    /// Sets the reactor poll tick.
+    pub fn with_poll_tick(mut self, poll_tick: Duration) -> Self {
+        self.poll_tick = poll_tick;
+        self
+    }
+
+    /// Sets the per-connection outbound-queue high-water mark.
+    pub fn with_write_high_water(mut self, write_high_water: usize) -> Self {
+        self.write_high_water = write_high_water;
+        self
+    }
+
+    /// Sets the per-tick accept cap.
+    pub fn with_max_events_per_tick(mut self, max_events_per_tick: usize) -> Self {
+        self.max_events_per_tick = max_events_per_tick;
+        self
+    }
+
+    /// Sets the worker-pool size (0 = auto from available parallelism).
+    pub fn with_dispatch_threads(mut self, dispatch_threads: usize) -> Self {
+        self.dispatch_threads = dispatch_threads;
+        self
+    }
+
     fn normalized(self) -> Self {
         let poll_interval = self.poll_interval.max(Duration::from_millis(1));
+        let poll_tick = self.poll_tick.max(Duration::from_millis(1));
+        // Deadlines below the poll granularity cannot be observed.
+        let granularity = poll_interval.max(poll_tick);
         Self {
             max_in_flight: self.max_in_flight.max(1),
             max_connections: self.max_connections.max(1),
             poll_interval,
-            // Deadlines below the poll granularity cannot be observed.
-            idle_timeout: self.idle_timeout.max(poll_interval),
-            frame_deadline: self.frame_deadline.max(poll_interval),
+            poll_tick,
+            idle_timeout: self.idle_timeout.max(granularity),
+            frame_deadline: self.frame_deadline.max(granularity),
+            write_high_water: self.write_high_water.max(4096),
+            max_events_per_tick: self.max_events_per_tick.max(1),
             ..self
         }
+    }
+
+    pub(crate) fn resolved_dispatch_threads(&self) -> usize {
+        if self.dispatch_threads > 0 {
+            return self.dispatch_threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 8)
     }
 }
 
 /// The [`DegradedStats`] ledger, registered in the server's metrics
 /// registry under `wire.degraded.*` — one shared set of counters backs
 /// both the exact per-server `Stats` snapshot and the `Metrics` scrape.
-struct DegradedCounters {
-    busy_budget: Counter,
-    shed_watermark: Counter,
-    refused_connections: Counter,
-    evicted_idle: Counter,
-    evicted_stalled: Counter,
-    unknown_tenant: Counter,
+pub(crate) struct DegradedCounters {
+    pub(crate) busy_budget: Counter,
+    pub(crate) shed_watermark: Counter,
+    pub(crate) refused_connections: Counter,
+    pub(crate) evicted_idle: Counter,
+    pub(crate) evicted_stalled: Counter,
+    pub(crate) unknown_tenant: Counter,
 }
 
 impl DegradedCounters {
@@ -239,13 +371,13 @@ impl OpcodeCounters {
 /// The server's observability surface: its own metrics registry (merged
 /// with the process-global one at scrape time), the slow-request log, and
 /// the pre-resolved hot-path handles.
-struct ServerObs {
-    registry: MetricsRegistry,
-    slow: SlowLog,
+pub(crate) struct ServerObs {
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) slow: SlowLog,
     ops: OpcodeCounters,
     /// End-to-end wire latency per request (frame read through response
     /// write), in nanoseconds; zero-valued when the `obs` clock is off.
-    request_ns: Arc<LatencyHistogram>,
+    pub(crate) request_ns: Arc<LatencyHistogram>,
 }
 
 impl ServerObs {
@@ -262,19 +394,23 @@ impl ServerObs {
     }
 }
 
-/// What the server dispatches frames into.
-enum Backend {
+/// What a [`WireServer`] dispatches decoded frames into — the typed
+/// choice [`WireServer::builder`] is constructed over. Anything that
+/// converts into a `Backend` (an engine, an `Arc`'d engine, a registry)
+/// can be passed to the builder directly.
+#[non_exhaustive]
+pub enum Backend {
     /// One engine; every work frame goes to it (tenant routes refused).
-    Single(Arc<MonitorEngine<ComposedMonitor>>),
+    Engine(Arc<MonitorEngine<ComposedMonitor>>),
     /// A multi-tenant registry; work frames dispatch by their route.
     Registry(Arc<MonitorRegistry>),
 }
 
 impl Backend {
     /// The backend's total shard backlog, the watermark gate's gauge.
-    fn backlog(&self) -> usize {
+    pub(crate) fn backlog(&self) -> usize {
         match self {
-            Backend::Single(engine) => engine.queue_depth(),
+            Backend::Engine(engine) => engine.queue_depth(),
             Backend::Registry(registry) => {
                 registry.list().iter().map(|t| t.queue_depth as usize).sum()
             }
@@ -282,18 +418,42 @@ impl Backend {
     }
 }
 
-/// State shared by the accept loop and every connection thread.
-struct Shared {
-    backend: Backend,
-    config: WireConfig,
-    shutting_down: AtomicBool,
+impl From<MonitorEngine<ComposedMonitor>> for Backend {
+    fn from(engine: MonitorEngine<ComposedMonitor>) -> Self {
+        Backend::Engine(Arc::new(engine))
+    }
+}
+
+impl From<Arc<MonitorEngine<ComposedMonitor>>> for Backend {
+    fn from(engine: Arc<MonitorEngine<ComposedMonitor>>) -> Self {
+        Backend::Engine(engine)
+    }
+}
+
+impl From<Arc<MonitorRegistry>> for Backend {
+    fn from(registry: Arc<MonitorRegistry>) -> Self {
+        Backend::Registry(registry)
+    }
+}
+
+impl From<MonitorRegistry> for Backend {
+    fn from(registry: MonitorRegistry) -> Self {
+        Backend::Registry(Arc::new(registry))
+    }
+}
+
+/// State shared by the reactor and every worker thread.
+pub(crate) struct Shared {
+    pub(crate) backend: Backend,
+    pub(crate) config: WireConfig,
+    pub(crate) shutting_down: AtomicBool,
     in_flight: AtomicUsize,
-    degraded: DegradedCounters,
-    obs: ServerObs,
+    pub(crate) degraded: DegradedCounters,
+    pub(crate) obs: ServerObs,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::Acquire)
     }
 
@@ -337,6 +497,42 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// Staged construction for a [`WireServer`]: pick the [`Backend`], tune
+/// the [`WireConfig`], bind.
+///
+/// ```no_run
+/// # use napmon_wire::{WireServer, WireConfig};
+/// # fn demo(engine: napmon_serve::MonitorEngine<napmon_core::ComposedMonitor>) -> Result<(), napmon_wire::WireError> {
+/// let server = WireServer::builder(engine)
+///     .config(WireConfig::default().with_max_in_flight(64))
+///     .bind("127.0.0.1:0")?;
+/// # drop(server); Ok(()) }
+/// ```
+#[must_use = "a builder does nothing until bound"]
+pub struct WireServerBuilder {
+    backend: Backend,
+    config: WireConfig,
+}
+
+impl WireServerBuilder {
+    /// Replaces the default [`WireConfig`].
+    pub fn config(mut self, config: WireConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Binds `addr` and starts serving. Bind to port 0 for an
+    /// OS-assigned port ([`WireServer::local_addr`] reports it).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the address cannot be bound or the reactor's
+    /// wake channel cannot be created.
+    pub fn bind(self, addr: impl ToSocketAddrs) -> Result<WireServer, WireError> {
+        WireServer::bind_backend(addr, self.backend, self.config)
+    }
+}
+
 /// A live TCP monitoring service over one [`MonitorEngine`] or a
 /// [`MonitorRegistry`].
 ///
@@ -348,44 +544,43 @@ impl Drop for InFlightGuard<'_> {
 pub struct WireServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl WireServer {
+    /// Starts building a server over `backend` — a
+    /// [`MonitorEngine`], an `Arc` of one, a [`MonitorRegistry`] `Arc`,
+    /// or an explicit [`Backend`].
+    pub fn builder(backend: impl Into<Backend>) -> WireServerBuilder {
+        WireServerBuilder {
+            backend: backend.into(),
+            config: WireConfig::default(),
+        }
+    }
+
     /// Binds `addr` and starts serving `engine`.
-    ///
-    /// Bind to port 0 for an OS-assigned port ([`WireServer::local_addr`]
-    /// reports it).
-    ///
-    /// # Errors
-    ///
-    /// [`WireError::Io`] if the address cannot be bound.
+    #[deprecated(
+        note = "use `WireServer::builder(engine).config(config).bind(addr)` — one entry point for both backends"
+    )]
     pub fn bind(
         addr: impl ToSocketAddrs,
         engine: MonitorEngine<ComposedMonitor>,
         config: WireConfig,
     ) -> Result<Self, WireError> {
-        Self::bind_backend(addr, Backend::Single(Arc::new(engine)), config)
+        Self::builder(engine).config(config).bind(addr)
     }
 
-    /// Binds `addr` and serves `registry`: work frames dispatch by their
-    /// tenant route, and the registry admin opcodes (`Mount`, `Unmount`,
-    /// `Promote`, `ListTenants`, `ShadowStats`) come alive.
-    ///
-    /// The registry is shared — the caller keeps its `Arc` and may mount,
-    /// shadow, and promote concurrently with serving. Shutting the server
-    /// down shuts the registry down too (idempotently), after every
-    /// connection thread has been joined.
-    ///
-    /// # Errors
-    ///
-    /// [`WireError::Io`] if the address cannot be bound.
+    /// Binds `addr` and serves `registry`.
+    #[deprecated(
+        note = "use `WireServer::builder(registry).config(config).bind(addr)` — one entry point for both backends"
+    )]
     pub fn bind_registry(
         addr: impl ToSocketAddrs,
         registry: Arc<MonitorRegistry>,
         config: WireConfig,
     ) -> Result<Self, WireError> {
-        Self::bind_backend(addr, Backend::Registry(registry), config)
+        Self::builder(registry).config(config).bind(addr)
     }
 
     fn bind_backend(
@@ -395,8 +590,6 @@ impl WireServer {
     ) -> Result<Self, WireError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        // The accept loop polls, so the shutdown flag can stop it without
-        // a wake-up connection.
         listener.set_nonblocking(true)?;
         let config = config.normalized();
         let obs = ServerObs::new(&config);
@@ -408,15 +601,30 @@ impl WireServer {
             degraded: DegradedCounters::new(&obs.registry),
             obs,
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("napmon-wire-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_shared))
-            .expect("spawn accept loop");
+        let (jobs_tx, jobs_rx) = std::sync::mpsc::channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let (completions, wake_rx) = CompletionQueue::new()?;
+        let mut workers = Vec::with_capacity(config.resolved_dispatch_threads());
+        for i in 0..config.resolved_dispatch_threads() {
+            let shared = Arc::clone(&shared);
+            let jobs_rx = Arc::clone(&jobs_rx);
+            let completions = Arc::clone(&completions);
+            let handle = std::thread::Builder::new()
+                .name(format!("napmon-wire-w{i}"))
+                .spawn(move || worker_loop(&shared, &jobs_rx, &completions))
+                .expect("spawn wire worker");
+            workers.push(handle);
+        }
+        let reactor = Reactor::new(listener, Arc::clone(&shared), jobs_tx, completions, wake_rx);
+        let reactor = std::thread::Builder::new()
+            .name("napmon-wire-reactor".to_string())
+            .spawn(move || reactor.run())
+            .expect("spawn wire reactor");
         Ok(Self {
             addr,
             shared,
-            accept: Some(accept),
+            reactor: Some(reactor),
+            workers,
         })
     }
 
@@ -436,10 +644,13 @@ impl WireServer {
         wire_config: WireConfig,
     ) -> Result<Self, ArtifactError> {
         let engine = MonitorEngine::from_artifact_file(path, engine_config)?;
-        Self::bind(addr, engine, wire_config).map_err(|e| match e {
-            WireError::Io(io) => ArtifactError::Io(io),
-            other => ArtifactError::Io(std::io::Error::other(other.to_string())),
-        })
+        Self::builder(engine)
+            .config(wire_config)
+            .bind(addr)
+            .map_err(|e| match e {
+                WireError::Io(io) => ArtifactError::Io(io),
+                other => ArtifactError::Io(std::io::Error::other(other.to_string())),
+            })
     }
 
     /// The bound address (useful after binding port 0).
@@ -451,7 +662,7 @@ impl WireServer {
     /// backend (use [`WireServer::registry`]).
     pub fn engine(&self) -> Option<&MonitorEngine<ComposedMonitor>> {
         match &self.shared.backend {
-            Backend::Single(engine) => Some(engine),
+            Backend::Engine(engine) => Some(engine),
             Backend::Registry(_) => None,
         }
     }
@@ -460,7 +671,7 @@ impl WireServer {
     /// single-engine backend.
     pub fn registry(&self) -> Option<&Arc<MonitorRegistry>> {
         match &self.shared.backend {
-            Backend::Single(_) => None,
+            Backend::Engine(_) => None,
             Backend::Registry(registry) => Some(registry),
         }
     }
@@ -509,18 +720,21 @@ impl WireServer {
         }
     }
 
-    /// The one drain path: joins the accept loop, then every connection
-    /// thread, and only then tears the backend down. The ordering is the
-    /// thread-leak guarantee for shutdown-during-hot-swap: once the
-    /// connections are joined no dispatcher can still be submitting into
-    /// an outgoing engine, and [`MonitorRegistry::shutdown`] joins the
-    /// background drainers of every retired engine before returning.
+    /// The one drain path: joins the reactor (which exits once every
+    /// connection has finished or spent its grace), then the worker pool
+    /// (the reactor dropping its job channel is their exit signal), and
+    /// only then tears the backend down. The ordering is the thread-leak
+    /// guarantee for shutdown-during-hot-swap: once the workers are
+    /// joined no dispatcher can still be submitting into an outgoing
+    /// engine, and [`MonitorRegistry::shutdown`] joins the background
+    /// drainers of every retired engine before returning.
     fn drain(mut self) -> BackendReport {
         self.shared.shutting_down.store(true, Ordering::Release);
-        if let Some(accept) = self.accept.take() {
-            for conn in accept.join().unwrap_or_default() {
-                let _ = conn.join();
-            }
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
         // Every serving thread has been joined, so this owner holds the
         // last handle at both levels and neither unwrap can fail; the
@@ -530,7 +744,7 @@ impl WireServer {
         let WireServer { shared, .. } = self;
         match Arc::try_unwrap(shared) {
             Ok(shared) => match shared.backend {
-                Backend::Single(engine) => {
+                Backend::Engine(engine) => {
                     BackendReport::Single(match MonitorEngine::shutdown_shared(engine) {
                         Ok(report) => report,
                         Err(engine) => engine.report(),
@@ -539,7 +753,7 @@ impl WireServer {
                 Backend::Registry(registry) => BackendReport::Registry(registry.shutdown()),
             },
             Err(shared) => match &shared.backend {
-                Backend::Single(engine) => BackendReport::Single(engine.report()),
+                Backend::Engine(engine) => BackendReport::Single(engine.report()),
                 Backend::Registry(registry) => BackendReport::Registry(registry.shutdown()),
             },
         }
@@ -552,243 +766,85 @@ enum BackendReport {
     Registry(RegistryReport),
 }
 
-/// Joins (and drops) every handle whose thread has already exited, so a
-/// long-lived server's bookkeeping scales with *concurrent* connections,
-/// not with every connection ever accepted.
-fn reap_finished(connections: &mut Vec<JoinHandle<()>>) {
-    let mut i = 0;
-    while i < connections.len() {
-        if connections[i].is_finished() {
-            let _ = connections.swap_remove(i).join();
-        } else {
-            i += 1;
-        }
-    }
-}
-
-/// Accepts until shutdown; returns the live connection handles for
-/// joining.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    let mut next_conn = 0usize;
-    while !shared.shutting_down() {
-        match listener.accept() {
-            Ok((mut stream, _peer)) => {
-                reap_finished(&mut connections);
-                // The thread-per-connection model makes live connections
-                // the server's dominant resource; over the cap, the
-                // refusal is a typed Busy frame, not a silent drop.
-                if connections.len() >= shared.config.max_connections {
-                    let refusal = Response::Busy {
-                        in_flight: connections.len() as u32,
-                        budget: shared.config.max_connections as u32,
-                    };
-                    if let Ok(bytes) = refusal.into_frame(0).and_then(|f| f.encode()) {
-                        let _ = stream.write_all(&bytes);
-                    }
-                    shared.degraded.refused_connections.inc();
-                    continue;
-                }
-                let conn_shared = Arc::clone(shared);
-                let id = next_conn;
-                next_conn += 1;
-                let handle = std::thread::Builder::new()
-                    .name(format!("napmon-wire-conn-{id}"))
-                    .spawn(move || handle_connection(stream, &conn_shared))
-                    .expect("spawn connection handler");
-                connections.push(handle);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                reap_finished(&mut connections);
-                std::thread::sleep(shared.config.poll_interval);
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            // A failed accept (fd pressure, transient network error)
-            // affects that one connection attempt, not the server.
-            Err(_) => std::thread::sleep(shared.config.poll_interval),
-        }
-    }
-    connections
-}
-
-/// What one attempt to read a fixed number of bytes produced.
-enum ReadOutcome<T> {
-    /// The buffer is full.
-    Full(T),
-    /// The peer closed (or shutdown fired) before the first byte.
-    Closed,
-}
-
-/// Why a blocking read gave up on a connection.
-enum ReadError {
-    /// The stream itself failed or desynchronized.
-    Wire(WireError),
-    /// The peer sat idle between frames past the idle deadline.
-    EvictIdle,
-    /// The peer stalled mid-frame past the frame deadline.
-    EvictStalled,
-}
-
-impl From<WireError> for ReadError {
-    fn from(e: WireError) -> Self {
-        ReadError::Wire(e)
-    }
-}
-
-impl From<std::io::Error> for ReadError {
-    fn from(e: std::io::Error) -> Self {
-        ReadError::Wire(e.into())
-    }
-}
-
-/// Serves one connection until EOF, a fatal frame error, eviction, or
-/// drained shutdown.
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    // A peer that stops draining responses is evicted by the write
-    // deadline instead of wedging this thread in `write_all`.
-    let _ = stream.set_write_timeout(Some(shared.config.frame_deadline));
-    // Once a shutdown is observed, this connection serves what is already
-    // in flight for at most `drain_grace` more. Without the bound, a peer
-    // streaming new frames back-to-back never hits the read timeout where
-    // the shutdown flag is otherwise checked — and one busy client would
-    // pin `WireServer::drain` (and every worker behind it) forever.
-    let mut drain_deadline: Option<Instant> = None;
+/// One worker: picks up per-connection job batches, serves each frame
+/// against the backend (admission ladder included), encodes the replies
+/// in order, and posts the bytes back to the reactor. Exits when the
+/// reactor hangs up the job channel.
+fn worker_loop(
+    shared: &Arc<Shared>,
+    jobs: &Arc<Mutex<Receiver<Job>>>,
+    completions: &Arc<CompletionQueue>,
+) {
     loop {
-        if shared.shutting_down() {
-            let deadline =
-                *drain_deadline.get_or_insert_with(|| Instant::now() + shared.config.drain_grace);
-            if Instant::now() >= deadline {
-                // Grace spent: close instead of accepting new work. The
-                // peer reads EOF and gets a typed transport error.
-                return;
-            }
-        }
-        let header = match read_header(&mut stream, shared) {
-            Ok(ReadOutcome::Full(header)) => header,
-            Ok(ReadOutcome::Closed) => return,
-            Err(evict @ (ReadError::EvictIdle | ReadError::EvictStalled)) => {
-                evict_connection(&mut stream, shared, &evict, 0);
-                return;
-            }
-            Err(ReadError::Wire(e)) => {
-                // The stream is unframed from here; report and close.
-                respond_error_raw(&mut stream, 0, &e);
-                return;
-            }
+        // Holding the lock across `recv` serializes job *pickup* only;
+        // execution below runs with the lock released.
+        let job = match jobs.lock() {
+            Ok(receiver) => receiver.recv(),
+            Err(_) => return,
         };
-        // The request id is at a fixed offset, so even a frame that fails
-        // validation gets its error correlated — unless the magic itself
-        // is wrong, in which case the offset means nothing.
-        let raw_id = u64::from_le_bytes(header[8..16].try_into().expect("fixed slice"));
-        let parsed = match Frame::decode_header(&header, shared.config.max_payload) {
-            Ok(parsed) => parsed,
-            Err(e) => {
-                let id = if header[0..4] == crate::frame::MAGIC {
-                    raw_id
-                } else {
-                    0
-                };
-                respond_error_raw(&mut stream, id, &e);
-                return;
-            }
+        let Ok(job) = job else {
+            return;
         };
-        let request_id = parsed.request_id;
-        // The decode span starts once the header is in hand; its id is
-        // only known after the payload region is assembled, so the span
-        // is emitted then. `now_ns` is 0 with the obs feature off, and
-        // every probe below folds away with it.
-        let decode_started = napmon_obs::now_ns();
-        let payload = match read_payload(&mut stream, shared, parsed.payload_len as usize) {
-            Ok(payload) => payload,
-            Err(evict @ (ReadError::EvictIdle | ReadError::EvictStalled)) => {
-                evict_connection(&mut stream, shared, &evict, request_id);
-                return;
-            }
-            Err(ReadError::Wire(_)) => return, // peer died mid-frame; nothing to answer
-        };
-        // A frame whose route block fails to decode is still a *complete*
-        // frame — the stream stays aligned — so the error is a typed
-        // response and the connection lives on, exactly like a payload
-        // that fails `Request::decode`.
-        let mut echo_trace = None;
-        let request_opcode = parsed.opcode;
-        let (response, initiated_shutdown) = match Frame::assemble(parsed, payload) {
-            Ok(frame) => {
-                // The request's trace id: carried by the client, or minted
-                // here when tracing is armed and the frame came untraced —
-                // the wire server is where ids are born.
-                let trace_id = match frame.trace_id {
-                    Some(id) => id,
-                    None if napmon_obs::tracing_enabled() => napmon_obs::mint_trace_id(),
-                    None => 0,
-                };
-                echo_trace = (trace_id != 0).then_some(trace_id);
-                if trace_id != 0 && napmon_obs::tracing_enabled() {
-                    napmon_obs::record_span(
-                        trace_id,
-                        SpanKind::WireDecode,
-                        decode_started,
-                        napmon_obs::now_ns().saturating_sub(decode_started),
-                        frame.opcode as u8 as u64,
+        let mut bytes = Vec::new();
+        let mut close = false;
+        let mut initiated_shutdown = false;
+        for item in job.items {
+            let (response, wants_shutdown) = match item.kind {
+                JobKind::Serve(ref frame) => serve_frame(frame, shared, item.trace_id),
+                JobKind::Reject(response) => (response, false),
+            };
+            let respond_started = napmon_obs::now_ns();
+            let response_opcode = response.opcode();
+            match response
+                .into_frame(item.request_id)
+                .map(|f| f.traced(item.echo_trace))
+                .and_then(|f| f.encode())
+            {
+                Ok(reply) => {
+                    bytes.extend_from_slice(&reply);
+                    let finished = napmon_obs::now_ns();
+                    let total_ns = finished.saturating_sub(item.decode_started);
+                    shared.obs.request_ns.record(total_ns);
+                    if let Some(trace_id) = item.echo_trace {
+                        if napmon_obs::tracing_enabled() {
+                            napmon_obs::record_span(
+                                trace_id,
+                                SpanKind::WireRespond,
+                                respond_started,
+                                finished.saturating_sub(respond_started),
+                                response_opcode as u8 as u64,
+                            );
+                        }
+                    }
+                    // Untraced requests log under trace id 0 — the slow
+                    // log works with tracing off, it just cannot name
+                    // the trace.
+                    shared.obs.slow.observe(
+                        item.echo_trace.unwrap_or(0),
+                        item.opcode.name(),
+                        total_ns,
                     );
                 }
-                serve_frame(&frame, shared, trace_id)
-            }
-            Err(e) => (
-                Response::Error {
-                    code: e.as_code(),
-                    message: e.to_string(),
-                },
-                false,
-            ),
-        };
-        let respond_started = napmon_obs::now_ns();
-        let response_opcode = response.opcode();
-        match response
-            .into_frame(request_id)
-            .map(|f| f.traced(echo_trace))
-            .and_then(|f| f.encode())
-        {
-            Ok(reply) => {
-                if let Err(e) = stream.write_all(&reply) {
-                    // A write deadline means the peer stopped draining —
-                    // that is an eviction, and it is accounted as one.
-                    // Otherwise it is a disconnected client: the work is
-                    // done (the engine served it); only the reply is lost.
-                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut {
-                        shared.degraded.evicted_stalled.inc();
-                    }
-                    return;
+                Err(_) => {
+                    close = true;
                 }
-                let finished = napmon_obs::now_ns();
-                let total_ns = finished.saturating_sub(decode_started);
-                shared.obs.request_ns.record(total_ns);
-                if let Some(trace_id) = echo_trace {
-                    if napmon_obs::tracing_enabled() {
-                        napmon_obs::record_span(
-                            trace_id,
-                            SpanKind::WireRespond,
-                            respond_started,
-                            finished.saturating_sub(respond_started),
-                            response_opcode as u8 as u64,
-                        );
-                    }
-                }
-                // Untraced requests log under trace id 0 — the slow log
-                // works with tracing off, it just cannot name the trace.
-                shared
-                    .obs
-                    .slow
-                    .observe(echo_trace.unwrap_or(0), request_opcode.name(), total_ns);
             }
-            Err(_) => return,
+            if wants_shutdown {
+                initiated_shutdown = true;
+                close = true;
+            }
+            // Frames pipelined behind a shutdown (or an unencodable
+            // reply) go unserved — the connection is closing.
+            if close {
+                break;
+            }
         }
-        if initiated_shutdown {
-            shared.shutting_down.store(true, Ordering::Release);
-            return;
-        }
+        completions.post(Completion {
+            conn: job.conn,
+            bytes,
+            close,
+            initiated_shutdown,
+        });
     }
 }
 
@@ -812,7 +868,7 @@ fn serve_frame(frame: &Frame, shared: &Arc<Shared>, trace_id: u64) -> (Response,
         counter.inc();
     }
     match &shared.backend {
-        Backend::Single(engine) => {
+        Backend::Engine(engine) => {
             serve_single(engine, frame.route.as_ref(), request, shared, trace_id)
         }
         Backend::Registry(registry) => {
@@ -1119,139 +1175,4 @@ fn registry_error_response(shared: &Shared, e: &RegistryError) -> Response {
         code,
         message: e.to_string(),
     }
-}
-
-/// Evicts a stalled connection: count it, tell the peer why with a typed
-/// `Evicted` error frame, and hang up politely (half-close + drain) so
-/// the frame survives long enough to be read.
-fn evict_connection(stream: &mut TcpStream, shared: &Arc<Shared>, why: &ReadError, id: u64) {
-    let (counter, message) = match why {
-        ReadError::EvictIdle => (
-            &shared.degraded.evicted_idle,
-            "connection idle past the deadline; reconnect to continue",
-        ),
-        ReadError::EvictStalled => (
-            &shared.degraded.evicted_stalled,
-            "frame stalled past the deadline; reconnect to continue",
-        ),
-        ReadError::Wire(_) => return, // not an eviction
-    };
-    counter.inc();
-    let response = Response::Error {
-        code: crate::ErrorCode::Evicted,
-        message: message.to_string(),
-    };
-    if let Ok(bytes) = response.into_frame(id).and_then(|f| f.encode()) {
-        let _ = stream.write_all(&bytes);
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-}
-
-/// Best-effort typed error reply on a stream that may already be broken,
-/// followed by a polite hangup: half-close the write side, then drain
-/// whatever the peer already sent. Closing with unread bytes would reset
-/// the connection and could discard the error frame before the peer reads
-/// it.
-fn respond_error_raw(stream: &mut TcpStream, request_id: u64, e: &WireError) {
-    let response = Response::Error {
-        code: e.as_code(),
-        message: e.to_string(),
-    };
-    if let Ok(bytes) = response.into_frame(request_id).and_then(|f| f.encode()) {
-        let _ = stream.write_all(&bytes);
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut sink = [0u8; 1024];
-    let deadline = std::time::Instant::now() + Duration::from_secs(1);
-    while std::time::Instant::now() < deadline {
-        match stream.read(&mut sink) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => break,
-        }
-    }
-}
-
-/// Reads a whole header, tolerating read timeouts. Between frames a
-/// shutdown (with no bytes read yet) closes cleanly; once a frame has
-/// started it is read to completion so it can be served — the drain
-/// guarantee. A peer idle past the idle deadline, or stalled mid-header
-/// past the frame deadline, is evicted instead of holding the thread.
-fn read_header(
-    stream: &mut TcpStream,
-    shared: &Shared,
-) -> Result<ReadOutcome<[u8; HEADER_LEN]>, ReadError> {
-    let mut buf = [0u8; HEADER_LEN];
-    let mut filled = 0usize;
-    let mut stalled = Duration::ZERO;
-    while filled < HEADER_LEN {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    Ok(ReadOutcome::Closed)
-                } else {
-                    Err(WireError::Truncated.into())
-                };
-            }
-            Ok(n) => {
-                filled += n;
-                stalled = Duration::ZERO;
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                stalled += shared.config.poll_interval;
-                if shared.shutting_down() {
-                    if filled == 0 {
-                        return Ok(ReadOutcome::Closed);
-                    }
-                    if stalled >= shared.config.drain_grace {
-                        // A peer that started a frame but stopped sending
-                        // cannot hold the drain hostage.
-                        return Err(WireError::Truncated.into());
-                    }
-                } else if filled == 0 {
-                    if stalled >= shared.config.idle_timeout {
-                        return Err(ReadError::EvictIdle);
-                    }
-                } else if stalled >= shared.config.frame_deadline {
-                    return Err(ReadError::EvictStalled);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(ReadOutcome::Full(buf))
-}
-
-/// Reads a declared payload to completion (the frame has started; it will
-/// be served), subject to the same drain grace and frame deadline as
-/// headers.
-fn read_payload(stream: &mut TcpStream, shared: &Shared, len: usize) -> Result<Vec<u8>, ReadError> {
-    let mut buf = vec![0u8; len];
-    let mut filled = 0usize;
-    let mut stalled = Duration::ZERO;
-    while filled < len {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return Err(WireError::Truncated.into()),
-            Ok(n) => {
-                filled += n;
-                stalled = Duration::ZERO;
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                stalled += shared.config.poll_interval;
-                if shared.shutting_down() {
-                    if stalled >= shared.config.drain_grace {
-                        return Err(WireError::Truncated.into());
-                    }
-                } else if stalled >= shared.config.frame_deadline {
-                    return Err(ReadError::EvictStalled);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(buf)
 }

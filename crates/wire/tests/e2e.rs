@@ -70,12 +70,9 @@ fn concurrent_wire_clients_match_direct_engine_bit_for_bit() {
         probes.len()
     );
 
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        engine(&net, &train, 2),
-        WireConfig::default(),
-    )
-    .expect("bind");
+    let server = WireServer::builder(engine(&net, &train, 2))
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let addr = server.local_addr();
 
     let worker = |client_id: usize| {
@@ -122,12 +119,9 @@ fn concurrent_wire_clients_match_direct_engine_bit_for_bit() {
 #[test]
 fn client_shutdown_drains_in_flight_requests() {
     let (net, train, probes) = fixture();
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        engine(&net, &train, 2),
-        WireConfig::default(),
-    )
-    .expect("bind");
+    let server = WireServer::builder(engine(&net, &train, 2))
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let addr = server.local_addr();
 
     // One client pipelines a large batch; another asks for shutdown while
@@ -180,12 +174,9 @@ fn client_shutdown_drains_in_flight_requests() {
 #[test]
 fn malformed_peers_get_typed_errors_not_a_dead_server() {
     let (net, train, probes) = fixture();
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        engine(&net, &train, 1),
-        WireConfig::default(),
-    )
-    .expect("bind");
+    let server = WireServer::builder(engine(&net, &train, 1))
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let addr = server.local_addr();
 
     // Raw socket speaking garbage: the server answers a typed error frame
@@ -248,15 +239,10 @@ fn over_budget_requests_get_typed_busy() {
     let (net, train, probes) = fixture();
     // A budget of 1 with 2 competing clients: the loser of the race gets
     // Busy. Force the race by pipelining from both sides.
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        engine(&net, &train, 1),
-        WireConfig {
-            max_in_flight: 1,
-            ..WireConfig::default()
-        },
-    )
-    .expect("bind");
+    let server = WireServer::builder(engine(&net, &train, 1))
+        .config(WireConfig::default().with_max_in_flight(1))
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let addr = server.local_addr();
 
     let mut saw_busy = false;

@@ -104,12 +104,9 @@ fn seeded_fault_schedules_pin_verdicts_bit_identical() {
     let expected = direct.submit_batch(probes.clone()).expect("direct batch");
     direct.shutdown();
 
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        engine(&net, &train, 2),
-        WireConfig::default(),
-    )
-    .expect("bind");
+    let server = WireServer::builder(engine(&net, &train, 2))
+        .bind("127.0.0.1:0")
+        .expect("bind");
 
     let mut total_kills = 0u64;
     for seed in seeds() {
@@ -117,8 +114,8 @@ fn seeded_fault_schedules_pin_verdicts_bit_identical() {
         let proxy =
             FaultProxy::spawn(server.local_addr(), ProxyPlan::seeded(seed)).expect("spawn proxy");
         let config = ClientConfig::default()
-            .read_timeout(Some(Duration::from_millis(500)))
-            .retry(chaos_retry(seed));
+            .with_read_timeout(Some(Duration::from_millis(500)))
+            .with_retry(chaos_retry(seed));
         let mut client = WireClient::connect_with(proxy.addr(), config)
             .unwrap_or_else(|e| panic!("seed {seed:#x}: connect through proxy: {e}"));
         let verdicts = client
@@ -170,18 +167,16 @@ fn expect_evicted(frame: &Frame) {
 #[test]
 fn idle_and_stalled_peers_are_evicted_and_free_their_slot() {
     let (net, train, probes) = fixture();
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        engine(&net, &train, 1),
-        WireConfig {
-            max_connections: 1,
-            idle_timeout: Duration::from_millis(100),
-            frame_deadline: Duration::from_millis(100),
-            poll_interval: Duration::from_millis(5),
-            ..WireConfig::default()
-        },
-    )
-    .expect("bind");
+    let server = WireServer::builder(engine(&net, &train, 1))
+        .config(
+            WireConfig::default()
+                .with_max_connections(1)
+                .with_idle_timeout(Duration::from_millis(100))
+                .with_frame_deadline(Duration::from_millis(100))
+                .with_poll_interval(Duration::from_millis(5)),
+        )
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let addr = server.local_addr();
 
     // Idle peer: connects, says nothing, gets evicted.
@@ -215,16 +210,17 @@ fn watermark_shed_is_typed_busy_on_a_usable_connection() {
     let (net, train, probes) = fixture();
     // Watermark 1 over a single shard: each in-flight batch frame is one
     // shard job, and the depth gauge counts jobs not yet *picked up* — so
-    // six clients racing keep several jobs queued behind the worker.
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        engine(&net, &train, 1),
-        WireConfig {
-            queue_watermark: 1,
-            ..WireConfig::default()
-        },
-    )
-    .expect("bind");
+    // six clients racing keep several jobs queued behind the worker. Six
+    // dispatch workers let all six clients submit concurrently (the auto
+    // pool would serialize them on a small machine and never queue).
+    let server = WireServer::builder(engine(&net, &train, 1))
+        .config(
+            WireConfig::default()
+                .with_queue_watermark(1)
+                .with_dispatch_threads(6),
+        )
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let addr = server.local_addr();
     let big: Vec<Vec<f64>> = probes.iter().cycle().take(640).cloned().collect();
 
@@ -301,7 +297,7 @@ fn silent_server_times_out_typed_and_exhausts_retries() {
     let addr = listener.local_addr().expect("addr");
 
     // Without retry: a plain typed timeout.
-    let config = ClientConfig::default().read_timeout(Some(Duration::from_millis(50)));
+    let config = ClientConfig::default().with_read_timeout(Some(Duration::from_millis(50)));
     let mut client = WireClient::connect_with(addr, config).expect("connect");
     match client.stats() {
         Err(WireError::TimedOut) => {}
@@ -311,8 +307,8 @@ fn silent_server_times_out_typed_and_exhausts_retries() {
     // With retry: every attempt times out, and the exhaustion is typed
     // with the attempt count and the final cause.
     let config = ClientConfig::default()
-        .read_timeout(Some(Duration::from_millis(50)))
-        .retry(RetryPolicy {
+        .with_read_timeout(Some(Duration::from_millis(50)))
+        .with_retry(RetryPolicy {
             max_attempts: 3,
             initial_backoff: Duration::from_millis(2),
             max_backoff: Duration::from_millis(10),
@@ -339,22 +335,17 @@ fn silent_server_times_out_typed_and_exhausts_retries() {
 #[test]
 fn retry_policy_absorbs_busy_refusals() {
     let (net, train, probes) = fixture();
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        engine(&net, &train, 1),
-        WireConfig {
-            max_in_flight: 1,
-            ..WireConfig::default()
-        },
-    )
-    .expect("bind");
+    let server = WireServer::builder(engine(&net, &train, 1))
+        .config(WireConfig::default().with_max_in_flight(1))
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let addr = server.local_addr();
 
     let handles: Vec<_> = (0..2)
         .map(|i| {
             let probes = probes.clone();
             std::thread::spawn(move || {
-                let config = ClientConfig::default().retry(RetryPolicy::seeded(100 + i));
+                let config = ClientConfig::default().with_retry(RetryPolicy::seeded(100 + i));
                 let mut client = WireClient::connect_with(addr, config).expect("connect");
                 client.query_batch(&probes).expect("retried to completion")
             })

@@ -64,13 +64,13 @@ fn span_signature(spans: &[napmon_obs::TraceEvent], trace_id: u64) -> Vec<(SpanK
 /// request's span signature plus the scraped report.
 fn traced_run(trace_id: u64) -> (Vec<(SpanKind, u64)>, napmon_obs::ObsReport) {
     let (net, train, probes) = fixture();
-    let config = WireConfig {
-        // Everything is "slow" at a zero threshold, so the slow log
-        // observably populates with the traced request.
-        slow_request_threshold: Duration::ZERO,
-        ..WireConfig::default()
-    };
-    let server = WireServer::bind("127.0.0.1:0", engine(&net, &train), config).expect("bind");
+    // Everything is "slow" at a zero threshold, so the slow log
+    // observably populates with the traced request.
+    let config = WireConfig::default().with_slow_request_threshold(Duration::ZERO);
+    let server = WireServer::builder(engine(&net, &train))
+        .config(config)
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let addr = server.local_addr();
 
     let mut client = WireClient::connect(addr).expect("connect");
@@ -143,8 +143,9 @@ fn trace_ids_reconstruct_span_chains_end_to_end() {
     // --- Untraced: with tracing disarmed, requests flow untraced. ---
     napmon_obs::set_tracing(false);
     let (net, train, probes) = fixture();
-    let server =
-        WireServer::bind("127.0.0.1:0", engine(&net, &train), WireConfig::default()).expect("bind");
+    let server = WireServer::builder(engine(&net, &train))
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let mut client = WireClient::connect(server.local_addr()).expect("connect");
     let _ = client.query(&probes[0]).expect("query");
     assert_eq!(client.last_trace_id(), None, "no trace id should be echoed");

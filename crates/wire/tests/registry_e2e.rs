@@ -27,7 +27,7 @@ use napmon_serve::{EngineConfig, MonitorEngine};
 use napmon_tensor::Prng;
 use napmon_wire::{
     ClientConfig, ErrorCode, Frame, Opcode, Response, RetryPolicy, TenantRoute, WireClient,
-    WireConfig, WireError, WireServer, DEFAULT_MAX_PAYLOAD, LEGACY_WIRE_PROTOCOL_VERSION,
+    WireError, WireServer, DEFAULT_MAX_PAYLOAD, LEGACY_WIRE_PROTOCOL_VERSION,
 };
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -93,13 +93,10 @@ fn reference(net: &Network, monitor: ComposedMonitor, probes: &[Vec<f64>]) -> Ve
 }
 
 fn registry_server() -> WireServer {
-    WireServer::bind_registry(
-        "127.0.0.1:0",
-        Arc::new(MonitorRegistry::new(RegistryConfig::with_engine(
-            EngineConfig::with_shards(1),
-        ))),
-        WireConfig::default(),
-    )
+    WireServer::builder(Arc::new(MonitorRegistry::new(RegistryConfig::with_engine(
+        EngineConfig::with_shards(1),
+    ))))
+    .bind("127.0.0.1:0")
     .expect("bind registry server")
 }
 
@@ -225,12 +222,9 @@ fn routed_tenants_serve_bit_identical_and_mismatches_are_typed() {
 fn single_engine_servers_refuse_routes_and_admin_opcodes_typed() {
     let (net, train, probes) = fixture();
     let (monitor_a, _) = monitors(&net, &train);
-    let server = WireServer::bind(
-        "127.0.0.1:0",
-        engine(&net, monitor_a.clone()),
-        WireConfig::default(),
-    )
-    .expect("bind");
+    let server = WireServer::builder(engine(&net, monitor_a.clone()))
+        .bind("127.0.0.1:0")
+        .expect("bind");
     let addr = server.local_addr();
 
     let mut client = WireClient::connect(addr)
@@ -306,8 +300,8 @@ fn promote_is_verdict_transparent_under_seeded_faults() {
         let proxy =
             FaultProxy::spawn(server.local_addr(), ProxyPlan::seeded(seed)).expect("spawn proxy");
         let config = ClientConfig::default()
-            .read_timeout(Some(Duration::from_millis(500)))
-            .retry(RetryPolicy {
+            .with_read_timeout(Some(Duration::from_millis(500)))
+            .with_retry(RetryPolicy {
                 max_attempts: 12,
                 initial_backoff: Duration::from_millis(2),
                 max_backoff: Duration::from_millis(20),

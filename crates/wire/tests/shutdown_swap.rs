@@ -54,17 +54,12 @@ fn shutdown_during_hot_swap_leaks_no_worker_threads() {
 
     // Short drain grace: the prober streams frames back-to-back, so the
     // shutdown rides the grace window out before cutting it loose.
-    let config = WireConfig {
-        drain_grace: Duration::from_millis(250),
-        ..WireConfig::default()
-    };
-    let server = WireServer::bind_registry(
-        "127.0.0.1:0",
-        Arc::new(MonitorRegistry::new(RegistryConfig::with_engine(
-            EngineConfig::with_shards(1),
-        ))),
-        config,
-    )
+    let config = WireConfig::default().with_drain_grace(Duration::from_millis(250));
+    let server = WireServer::builder(Arc::new(MonitorRegistry::new(RegistryConfig::with_engine(
+        EngineConfig::with_shards(1),
+    ))))
+    .config(config)
+    .bind("127.0.0.1:0")
     .expect("bind registry server");
     let addr = server.local_addr();
     let registry = Arc::clone(server.registry().expect("registry backend"));

@@ -29,8 +29,8 @@ use napmon::registry::{MonitorRegistry, RegistryConfig};
 use napmon::serve::EngineConfig;
 use napmon::tensor::Prng;
 use napmon::wire::{
-    ErrorCode, Frame, Opcode, Response, TenantRoute, WireClient, WireConfig, WireServer,
-    DEFAULT_MAX_PAYLOAD, LEGACY_WIRE_PROTOCOL_VERSION, WIRE_PROTOCOL_VERSION,
+    ErrorCode, Frame, Opcode, Response, TenantRoute, WireClient, WireServer, DEFAULT_MAX_PAYLOAD,
+    LEGACY_WIRE_PROTOCOL_VERSION, WIRE_PROTOCOL_VERSION,
 };
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -89,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = Arc::new(MonitorRegistry::new(RegistryConfig::with_engine(
         EngineConfig::with_shards(2),
     )));
-    let server = WireServer::bind_registry("127.0.0.1:0", registry, WireConfig::default())?;
+    let server = WireServer::builder(registry).bind("127.0.0.1:0")?;
     let addr = server.local_addr();
     println!("serving  wire protocol v{WIRE_PROTOCOL_VERSION} registry on {addr}");
 

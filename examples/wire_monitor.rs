@@ -41,7 +41,10 @@ const INPUT_DIM: usize = 4;
 /// connection) is backed off and retried, not treated as fatal — only a
 /// `RetriesExhausted` would surface.
 fn resilient_client(addr: std::net::SocketAddr) -> Result<WireClient, napmon::wire::WireError> {
-    WireClient::connect_with(addr, ClientConfig::default().retry(RetryPolicy::standard()))
+    WireClient::connect_with(
+        addr,
+        ClientConfig::default().with_retry(RetryPolicy::standard()),
+    )
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -101,13 +104,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &artifact_path,
         "127.0.0.1:0",
         EngineConfig::with_shards(2),
-        WireConfig {
-            // Loopback requests finish in microseconds; a 10us threshold
-            // makes the slow-request log observably populate (with the
-            // probes compiled out, timings read zero and nothing is slow).
-            slow_request_threshold: std::time::Duration::from_micros(10),
-            ..WireConfig::default()
-        },
+        // Loopback requests finish in microseconds; a 10us threshold
+        // makes the slow-request log observably populate (with the
+        // probes compiled out, timings read zero and nothing is slow).
+        WireConfig::default().with_slow_request_threshold(std::time::Duration::from_micros(10)),
     )?;
     let addr = server.local_addr();
     println!("serving  wire protocol v{WIRE_PROTOCOL_VERSION} on {addr} (2 shards)");
